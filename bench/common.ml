@@ -1,0 +1,202 @@
+(* Shared benchmark infrastructure: parameters, engine/store construction,
+   preloading, YCSB and TPC-C runners, and table formatting. *)
+
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+module Stats = Kamino_sim.Stats
+module Cost_model = Kamino_nvm.Cost_model
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Kv = Kamino_kv.Kv
+module Ycsb = Kamino_workload.Ycsb
+module Zipf = Kamino_workload.Zipf
+module Driver = Kamino_workload.Driver
+module Tpcc = Kamino_workload.Tpcc
+module Chain = Kamino_chain.Chain
+
+type params = {
+  record_count : int;  (** preloaded keys (paper: 10 M) *)
+  value_size : int;  (** bytes per value (paper: 1 KB) *)
+  ops : int;  (** operations per data point *)
+  node_size : int;  (** B+Tree node object size *)
+  theta : float;  (** zipfian skew *)
+  heap_bytes : int;
+  chain_records : int;  (** smaller key space for replicated runs *)
+  chain_ops : int;
+  tpcc_txs : int;
+}
+
+let scaled =
+  {
+    record_count = 10_000;
+    value_size = 1024;
+    ops = 8_000;
+    node_size = 4096;
+    theta = 0.99;
+    heap_bytes = 48 * 1024 * 1024;
+    chain_records = 10_000;
+    chain_ops = 4_000;
+    tpcc_txs = 4_000;
+  }
+
+let full =
+  {
+    record_count = 100_000;
+    value_size = 1024;
+    ops = 50_000;
+    node_size = 4096;
+    theta = 0.99;
+    heap_bytes = 400 * 1024 * 1024;
+    chain_records = 20_000;
+    chain_ops = 20_000;
+    tpcc_txs = 20_000;
+  }
+
+let engine_config p =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = p.heap_bytes;
+    log_slots = 512;
+    max_tx_entries = 192;
+    data_log_bytes = 16 * 1024 * 1024;
+  }
+
+let kamino_dynamic alpha = Engine.Kamino_dynamic { alpha; policy = Backup.Lru_policy }
+
+(* Build a store and preload [record_count] keys. *)
+let make_store ?(config_tweak = Fun.id) p kind =
+  let e = Engine.create ~config:(config_tweak (engine_config p)) ~kind ~seed:4242 () in
+  let kv = Kv.create e ~value_size:p.value_size ~node_size:p.node_size in
+  let payload = String.make (p.value_size - 16) 'k' in
+  for k = 0 to p.record_count - 1 do
+    Kv.put kv k payload
+  done;
+  Engine.drain_backup e;
+  kv
+
+let value_for p k = Printf.sprintf "%0*d" (p.value_size - 16) (k land 0xffffff)
+
+(* One YCSB run: returns the driver result. *)
+let run_ycsb p kv workload ~clients =
+  let wl = Ycsb.create workload ~record_count:p.record_count ~theta:p.theta in
+  let rng = Rng.create 515 in
+  let step ~client:_ () =
+    match Ycsb.next wl rng with
+    | Ycsb.Read k ->
+        ignore (Kv.get kv k);
+        "read"
+    | Ycsb.Update k ->
+        Kv.put kv k (value_for p k);
+        "update"
+    | Ycsb.Insert k ->
+        Kv.put kv k (value_for p k);
+        "insert"
+    | Ycsb.Scan (k, n) ->
+        ignore (Kv.range kv ~lo:k ~hi:(k + n));
+        "scan"
+    | Ycsb.Rmw k ->
+        ignore (Kv.read_modify_write kv k (fun s -> s));
+        "rmw"
+  in
+  Driver.run ~engine:(Kv.engine kv) ~clients ~total_ops:p.ops ~step
+
+(* One TPC-C run over a fresh engine of the given kind. *)
+let run_tpcc ?(config_tweak = Fun.id) p kind ~clients =
+  let e = Engine.create ~config:(config_tweak (engine_config p)) ~kind ~seed:4242 () in
+  let rng = Rng.create 616 in
+  let t =
+    Tpcc.setup e ~warehouses:2 ~districts_per_w:10 ~customers_per_district:60 ~items:1000
+      ~rng
+  in
+  let step ~client:_ () = Tpcc.kind_name (Tpcc.run_mix t rng) in
+  let r = Driver.run ~engine:e ~clients ~total_ops:p.tpcc_txs ~step in
+  (match Tpcc.consistency_check t with
+  | Ok () -> ()
+  | Error err -> Printf.printf "!! TPC-C consistency violated: %s\n%!" err);
+  r
+
+(* Chain run: multi-client closed loop over a replicated store. *)
+let run_chain p mode workload ~clients =
+  let c =
+    Chain.create
+      ~engine_config:{ (engine_config p) with Engine.heap_bytes = p.heap_bytes }
+      ~rpc_ns:1000 ~mode ~f:2 ~value_size:p.value_size ~node_size:p.node_size ~seed:747 ()
+  in
+  let payload = String.make (p.value_size - 16) 'k' in
+  let at = ref 0 in
+  for k = 0 to p.chain_records - 1 do
+    at := Chain.put c ~at:!at k payload
+  done;
+  let wl = Ycsb.create workload ~record_count:p.chain_records ~theta:p.theta in
+  let rng = Rng.create 515 in
+  let start = !at in
+  let clocks = Array.make clients start in
+  let lat = Hashtbl.create 4 in
+  let series label =
+    match Hashtbl.find_opt lat label with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add lat label s;
+        s
+  in
+  for _ = 1 to p.chain_ops do
+    let client = ref 0 in
+    for i = 1 to clients - 1 do
+      if clocks.(i) < clocks.(!client) then client := i
+    done;
+    let t0 = clocks.(!client) in
+    let label, t1 =
+      match Ycsb.next wl rng with
+      | Ycsb.Read k ->
+          let _, t = Chain.get c ~at:t0 k in
+          ("read", t)
+      | Ycsb.Update k -> ("update", Chain.put c ~at:t0 k payload)
+      | Ycsb.Insert k -> ("insert", Chain.put c ~at:t0 k payload)
+      | Ycsb.Scan (k, n) ->
+          (* scans are served at the tail like reads; model as a read of
+             the first key plus the leaf-walk cost at the tail *)
+          let _, t = Chain.get c ~at:t0 k in
+          ignore n;
+          ("scan", t)
+      | Ycsb.Rmw k ->
+          let _, t = Chain.rmw c ~at:t0 k (fun s -> s) in
+          ("rmw", t)
+    in
+    Stats.add (series label) (float_of_int (t1 - t0));
+    clocks.(!client) <- t1
+  done;
+  let finish = Array.fold_left max start clocks in
+  let all = Hashtbl.fold (fun _ s acc -> Stats.merge acc s) lat (Stats.create ()) in
+  let elapsed = finish - start in
+  let kops =
+    if elapsed = 0 then 0.0 else float_of_int p.chain_ops /. (float_of_int elapsed /. 1e9) /. 1e3
+  in
+  (kops, Stats.mean all, Chain.storage_bytes c)
+
+(* --- Table formatting ---------------------------------------------------- *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row_format widths cells =
+  String.concat "  "
+    (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths cells)
+
+let print_table ~cols rows =
+  let widths =
+    List.mapi
+      (fun i c -> List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) (String.length c) rows)
+      cols
+  in
+  Printf.printf "%s\n" (row_format widths cols);
+  Printf.printf "%s\n" (row_format widths (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun r -> Printf.printf "%s\n" (row_format widths r)) rows
+
+let f1 v = Printf.sprintf "%.1f" v
+
+let f2 v = Printf.sprintf "%.2f" v
+
+let f3 v = Printf.sprintf "%.3f" v
+
+let us_of_ns ns = ns /. 1000.0

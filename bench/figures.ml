@@ -1,0 +1,678 @@
+(* One function per paper figure/table, each printing the same rows/series
+   the paper reports (simulated-time units). EXPERIMENTS.md records the
+   paper-vs-measured comparison for every experiment here. *)
+
+open Common
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Heap = Kamino_heap.Heap
+module Stats = Kamino_sim.Stats
+module Clock = Kamino_sim.Clock
+module Rng = Kamino_sim.Rng
+module Kv = Kamino_kv.Kv
+module Ycsb = Kamino_workload.Ycsb
+module Driver = Kamino_workload.Driver
+module Chain = Kamino_chain.Chain
+module Cost_model = Kamino_nvm.Cost_model
+
+let ycsb_workloads = [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.F ]
+
+let kops r = r.Driver.throughput_mops *. 1000.0
+
+(* --- Figure 1: logging overhead motivation ------------------------------- *)
+
+(* The paper's Figure 1 measures MySQL, where SQL-layer processing
+   dominates each operation and logging adds 50-250%. We charge a fixed
+   SQL-processing stand-in per operation on top of the storage-engine work
+   so logging is a comparable *fraction* of the op. *)
+let sql_layer_ns = 5000
+
+let fig1 p =
+  header
+    "Figure 1: YCSB + TPC-C throughput, no-logging vs undo-logging (K ops/sec, 4 clients, \
+     MySQL-like SQL layer)";
+  let engines = [ ("No Logging", Engine.No_logging); ("Undo-Logging", Engine.Undo_logging) ] in
+  let with_sql e r = ignore e; r in
+  let run_kv kind wl =
+    let kv = make_store p kind in
+    let e = Kv.engine kv in
+    let wlgen = Ycsb.create wl ~record_count:p.record_count ~theta:p.theta in
+    let rng = Kamino_sim.Rng.create 515 in
+    let step ~client:_ () =
+      Clock.advance (Engine.clock e) sql_layer_ns;
+      match Ycsb.next wlgen rng with
+      | Ycsb.Read k ->
+          ignore (Kv.get kv k);
+          "read"
+      | Ycsb.Update k | Ycsb.Insert k ->
+          Kv.put kv k (value_for p k);
+          "write"
+      | Ycsb.Scan (k, n) ->
+          ignore (Kv.range kv ~lo:k ~hi:(k + n));
+          "scan"
+      | Ycsb.Rmw k ->
+          ignore (Kv.read_modify_write kv k (fun s -> s));
+          "rmw"
+    in
+    with_sql e (Driver.run ~engine:e ~clients:4 ~total_ops:p.ops ~step)
+  in
+  let run_tpcc_sql kind =
+    let e = Engine.create ~config:(engine_config p) ~kind ~seed:4242 () in
+    let rng = Kamino_sim.Rng.create 616 in
+    let t =
+      Kamino_workload.Tpcc.setup e ~warehouses:2 ~districts_per_w:10
+        ~customers_per_district:60 ~items:1000 ~rng
+    in
+    let step ~client:_ () =
+      Clock.advance (Engine.clock e) (10 * sql_layer_ns);
+      Kamino_workload.Tpcc.kind_name (Kamino_workload.Tpcc.run_mix t rng)
+    in
+    Driver.run ~engine:e ~clients:4 ~total_ops:p.tpcc_txs ~step
+  in
+  let rows =
+    List.map
+      (fun wl ->
+        let cells = List.map (fun (_, kind) -> f1 (kops (run_kv kind wl))) engines in
+        ("YCSB-" ^ Ycsb.name wl) :: cells)
+      ycsb_workloads
+    @ [ ("TPC-C" :: List.map (fun (_, kind) -> f1 (kops (run_tpcc_sql kind))) engines) ]
+  in
+  print_table ~cols:([ "workload" ] @ List.map fst engines) rows
+
+(* --- Figure 12: YCSB throughput, Kamino-Tx-Simple vs undo, 2/4/8 threads - *)
+
+let fig12 p =
+  header "Figure 12: YCSB throughput (M ops/sec) as client threads vary";
+  let cols =
+    [ "workload" ]
+    @ List.concat_map
+        (fun n -> [ Printf.sprintf "Kamino(%d)" n; Printf.sprintf "Undo(%d)" n ])
+        [ 2; 4; 8 ]
+  in
+  let rows =
+    List.map
+      (fun wl ->
+        let cells =
+          List.concat_map
+            (fun clients ->
+              let k = make_store p Engine.Kamino_simple in
+              let kam = (run_ycsb p k wl ~clients).Driver.throughput_mops in
+              let u = make_store p Engine.Undo_logging in
+              let undo = (run_ycsb p u wl ~clients).Driver.throughput_mops in
+              [ f3 kam; f3 undo ])
+            [ 2; 4; 8 ]
+        in
+        ("YCSB-" ^ Ycsb.name wl) :: cells)
+      ycsb_workloads
+  in
+  print_table ~cols rows
+
+(* --- Figure 13: YCSB + TPC-C latency ------------------------------------- *)
+
+let fig13 p =
+  header "Figure 13: mean operation latency (us), Kamino-Tx-Simple vs undo-logging";
+  (* Latency is measured unsaturated (one client): with four fast clients
+     the shared undo log queues and the comparison degenerates into the
+     throughput story of Figure 12. *)
+  let rows =
+    List.map
+      (fun wl ->
+        let k = make_store p Engine.Kamino_simple in
+        let kam = (run_ycsb p k wl ~clients:1).Driver.mean_latency_ns in
+        let u = make_store p Engine.Undo_logging in
+        let undo = (run_ycsb p u wl ~clients:1).Driver.mean_latency_ns in
+        [
+          "YCSB-" ^ Ycsb.name wl;
+          f2 (us_of_ns kam);
+          f2 (us_of_ns undo);
+          f2 (undo /. kam);
+        ])
+      ycsb_workloads
+    @ [
+        (let kam = (run_tpcc p Engine.Kamino_simple ~clients:1).Driver.mean_latency_ns in
+         let undo = (run_tpcc p Engine.Undo_logging ~clients:1).Driver.mean_latency_ns in
+         [ "TPC-C"; f2 (us_of_ns kam); f2 (us_of_ns undo); f2 (undo /. kam) ]);
+      ]
+  in
+  print_table ~cols:[ "workload"; "Kamino-Tx"; "Undo-Logging"; "speedup" ] rows
+
+(* --- Figures 14/15: partial backups -------------------------------------- *)
+
+let dynamic_points = [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let fig14_15 p =
+  let wls = [ Ycsb.A; Ycsb.B; Ycsb.D; Ycsb.F ] in
+  let cols =
+    [ "workload" ] @ List.map (fun a -> Printf.sprintf "%d%%" (int_of_float (a *. 100.))) dynamic_points
+    @ [ "Full-Copy" ]
+  in
+  let results =
+    List.map
+      (fun wl ->
+        let per_alpha =
+          List.map
+            (fun alpha ->
+              let kv = make_store p (kamino_dynamic alpha) in
+              let r = run_ycsb p kv wl ~clients:4 in
+              (r.Driver.mean_latency_ns, r.Driver.throughput_mops))
+            dynamic_points
+        in
+        let kv = make_store p Engine.Kamino_simple in
+        let r = run_ycsb p kv wl ~clients:4 in
+        (wl, per_alpha @ [ (r.Driver.mean_latency_ns, r.Driver.throughput_mops) ]))
+      wls
+  in
+  header "Figure 14: mean latency (us) with partial backups of 10%..90% vs full copy";
+  print_table ~cols
+    (List.map
+       (fun (wl, cells) ->
+         ("YCSB-" ^ Ycsb.name wl) :: List.map (fun (l, _) -> f2 (us_of_ns l)) cells)
+       results);
+  header "Figure 15: throughput (M ops/sec) with partial backups vs full copy";
+  print_table ~cols
+    (List.map
+       (fun (wl, cells) ->
+         ("YCSB-" ^ Ycsb.name wl) :: List.map (fun (_, t) -> f3 t) cells)
+       results)
+
+(* --- Figure 16: normalized performance per dollar ------------------------ *)
+
+(* TCO stand-in (documented substitution): a server base price plus an NVM
+   price per dataset-sized multiple. The paper's evaluation ran ~10 GB-scale
+   datasets on 112 GB VMs where memory dominates the bill; our scaled heap
+   is tiny, so pricing is per heap-equivalent rather than per raw GB to
+   preserve the figure's shape. Only ratios matter. *)
+let server_base_usd = 2000.0
+
+let usd_per_dataset = 2000.0
+
+let dollars p storage_bytes =
+  server_base_usd
+  +. (float_of_int storage_bytes /. float_of_int p.heap_bytes *. usd_per_dataset)
+
+let fig16 p =
+  header "Figure 16: normalized ops/sec per dollar (baseline: undo-logging)";
+  let configs =
+    [ ("Undo-Logging", Engine.Undo_logging) ]
+    @ List.map
+        (fun a -> (Printf.sprintf "Dynamic-%d" (int_of_float (a *. 100.)), kamino_dynamic a))
+        dynamic_points
+    @ [ ("Full-Copy", Engine.Kamino_simple) ]
+  in
+  let measure kind wl =
+    let kv = make_store p kind in
+    let r = run_ycsb p kv wl ~clients:4 in
+    let cost = dollars p (Engine.storage_bytes (Kv.engine kv)) in
+    r.Driver.throughput_mops *. 1e6 /. cost
+  in
+  let base_w = measure Engine.Undo_logging Ycsb.A in
+  let base_r = measure Engine.Undo_logging Ycsb.C in
+  let rows =
+    List.map
+      (fun (name, kind) ->
+        [
+          name;
+          f2 (measure kind Ycsb.A /. base_w);
+          f2 (measure kind Ycsb.C /. base_r);
+        ])
+      configs
+  in
+  print_table ~cols:[ "config"; "write-heavy (A)"; "read-only (C)" ] rows
+
+(* --- Figures 17/18: replicated latency and throughput -------------------- *)
+
+let fig17_18 p =
+  let wls = [ Ycsb.A; Ycsb.B; Ycsb.D; Ycsb.F ] in
+  let results =
+    List.map
+      (fun wl ->
+        let kam_kops, kam_lat, _ =
+          run_chain p (Chain.Kamino_chain { alpha = None }) wl ~clients:12
+        in
+        let trad_kops, trad_lat, _ = run_chain p Chain.Traditional wl ~clients:12 in
+        (wl, (kam_lat, trad_lat), (kam_kops, trad_kops)))
+      wls
+  in
+  header "Figure 17: replicated mean latency (us), f=2";
+  print_table ~cols:[ "workload"; "Kamino-Tx-Chain"; "Chain-Replication"; "speedup" ]
+    (List.map
+       (fun (wl, (kl, tl), _) ->
+         [ "YCSB-" ^ Ycsb.name wl; f1 (us_of_ns kl); f1 (us_of_ns tl); f2 (tl /. kl) ])
+       results);
+  header "Figure 18: replicated throughput (K ops/sec), f=2";
+  print_table ~cols:[ "workload"; "Kamino-Tx-Chain"; "Chain-Replication"; "speedup" ]
+    (List.map
+       (fun (wl, _, (kk, tk)) ->
+         [ "YCSB-" ^ Ycsb.name wl; f1 kk; f1 tk; f2 (kk /. tk) ])
+       results)
+
+(* --- Table 1: replication schemes ---------------------------------------- *)
+
+let table1 p =
+  header "Table 1: replication schemes (f = 2, measured lt/lc/ln plugged into the formulas)";
+  (* Measure the primitive latencies on this configuration. *)
+  let cfg = engine_config p in
+  let e = Engine.create ~config:cfg ~kind:Engine.No_logging ~seed:9 () in
+  let t0 = Engine.now e in
+  let ptr =
+    Engine.with_tx e (fun tx ->
+        let ptr = Engine.alloc tx p.value_size in
+        Engine.write_int64 tx ptr 0 1L;
+        ptr)
+  in
+  ignore ptr;
+  let lt = Engine.now e - t0 in
+  let cm = cfg.Engine.cost in
+  let lc =
+    int_of_float
+      (Cost_model.copy_cost cm p.value_size
+      +. (cm.Cost_model.flush_line_ns *. float_of_int (p.value_size / 64))
+      +. cm.Cost_model.fence_ns)
+  in
+  let ln = 5000 in
+  let f = 2 in
+  let data_gb = float_of_int p.heap_bytes /. 1e9 in
+  let alpha = 0.2 in
+  let rows =
+    [
+      [
+        "Traditional Chain";
+        string_of_int (f + 1);
+        Printf.sprintf "%.2f GB" (float_of_int (f + 1) *. data_gb);
+        string_of_int ((f + 1) * (lc + ln + lt));
+        string_of_int ((f + 1) * (lc + ln + lt));
+      ];
+      [
+        "Kamino-Tx-Simple Chain";
+        string_of_int (f + 1);
+        Printf.sprintf "%.2f GB" (2.0 *. float_of_int (f + 1) *. data_gb);
+        string_of_int ((f + 1) * (ln + lt));
+        string_of_int ((f + 1) * (ln + lt));
+      ];
+      [
+        "Kamino-Tx-Dynamic Chain";
+        string_of_int (f + 1);
+        Printf.sprintf "%.2f GB" ((1.0 +. alpha) *. float_of_int (f + 1) *. data_gb);
+        string_of_int ((f + 1) * (ln + lt));
+        string_of_int ((f + 1) * (ln + lt));
+      ];
+      [
+        "Kamino-Tx-Amortized Chain";
+        string_of_int (f + 2);
+        Printf.sprintf "%.2f GB" ((float_of_int (f + 2) +. alpha) *. data_gb);
+        string_of_int (2 * (f + 1) * (ln + lt));
+        string_of_int ((f + 1) * (ln + lt));
+      ];
+    ]
+  in
+  Printf.printf "measured: lt=%d ns (1 KB tx), lc=%d ns (1 KB copy), ln=%d ns (hop)\n" lt lc ln;
+  print_table
+    ~cols:[ "scheme"; "#servers"; "storage"; "dependent lat (ns)"; "independent lat (ns)" ]
+    rows;
+  (* Cross-check the amortized scheme against the simulator. *)
+  let check mode label =
+    let kops, lat, storage = run_chain { p with chain_ops = 1000 } mode Ycsb.A ~clients:1 in
+    Printf.printf "simulated %-22s mean latency %.1f us, %.1f K ops/s, %.2f GB\n" label
+      (us_of_ns lat) kops
+      (float_of_int storage /. 1e9)
+  in
+  check Chain.Traditional "traditional";
+  check (Chain.Kamino_chain { alpha = None }) "kamino (full head)";
+  check (Chain.Kamino_chain { alpha = Some 0.2 }) "kamino (dynamic head)"
+
+(* --- §7.1 dependent transactions ----------------------------------------- *)
+
+let dependent p =
+  header
+    "Dependent transactions (80% lookups, 20% inserts on one key, 4 clients): spaced vs \
+     burst";
+  (* Four concurrent clients, as in the paper's experiment: in the burst
+     pattern consecutive same-key inserts from different clients overlap in
+     virtual time, so each must wait for the previous one's backup
+     propagation (and lock release); in the spaced pattern lookups separate
+     them and the copying happens off the critical path. *)
+  let run kind ~burst =
+    let kv = make_store p kind in
+    let rng = Rng.create 31 in
+    let hot = p.record_count / 2 in
+    let i = ref 0 in
+    let step ~client:_ () =
+      incr i;
+      let insert =
+        if burst then !i mod 25 < 5 (* 5 consecutive inserts per 25 ops *)
+        else !i mod 5 = 0
+      in
+      if insert then begin
+        Kv.put kv hot (value_for p hot);
+        "insert"
+      end
+      else begin
+        ignore (Kv.get kv (Rng.int rng p.record_count));
+        "lookup"
+      end
+    in
+    let r = Driver.run ~engine:(Kv.engine kv) ~clients:4 ~total_ops:p.ops ~step in
+    let inserts = Option.get (Driver.latency_of r "insert") in
+    (r.Driver.mean_latency_ns, Stats.mean inserts)
+  in
+  let rows =
+    List.concat_map
+      (fun (name, kind) ->
+        let sa, si = run kind ~burst:false in
+        let ba, bi = run kind ~burst:true in
+        [
+          [ name; "spaced"; f2 (us_of_ns sa); f2 (us_of_ns si) ];
+          [ name; "burst"; f2 (us_of_ns ba); f2 (us_of_ns bi) ];
+          [
+            name;
+            "burst/spaced";
+            f2 (ba /. sa);
+            f2 (bi /. si);
+          ];
+        ])
+      [ ("Undo-Logging", Engine.Undo_logging); ("Kamino-Tx", Engine.Kamino_simple) ]
+  in
+  print_table ~cols:[ "engine"; "pattern"; "avg latency us"; "insert latency us" ] rows
+
+(* --- §7.1 worst case ------------------------------------------------------ *)
+
+let worst p =
+  header "Worst case: back-to-back updates of one object (latency us per update)";
+  let sizes = [ 64; 256; 1024; 4096 ] in
+  let run kind size =
+    let cfg = engine_config p in
+    let e = Engine.create ~config:cfg ~kind ~seed:11 () in
+    let ptr =
+      Engine.with_tx e (fun tx ->
+          let ptr = Engine.alloc tx size in
+          Engine.write_int64 tx ptr 0 0L;
+          ptr)
+    in
+    Engine.drain_backup e;
+    let n = min 5000 p.ops in
+    let t0 = Engine.now e in
+    for i = 1 to n do
+      Engine.with_tx e (fun tx ->
+          Engine.add tx ptr;
+          Engine.write_int64 tx ptr 0 (Int64.of_int i))
+    done;
+    float_of_int (Engine.now e - t0) /. float_of_int n
+  in
+  let rows =
+    List.map
+      (fun size ->
+        let kam = run Engine.Kamino_simple size in
+        let undo = run Engine.Undo_logging size in
+        [ string_of_int size; f2 (us_of_ns kam); f2 (us_of_ns undo); f2 (undo /. kam) ])
+      sizes
+  in
+  print_table ~cols:[ "object bytes"; "Kamino-Tx"; "Undo-Logging"; "ratio" ] rows
+
+(* --- Recovery time (extension) -------------------------------------------- *)
+
+(* Not a paper figure: how long recovery takes as a function of what the
+   crash interrupted. Kamino-Tx recovery replays the intent log — committed
+   records roll forward to the backup, the in-flight one rolls back — so
+   its cost grows with the backlog of unapplied write sets; undo logging
+   only ever rolls back the single in-flight transaction. *)
+let recovery p =
+  header "Recovery time vs. crash backlog (extension; 1 KB objects)";
+  let run_kamino backlog =
+    let cfg = { (engine_config p) with Engine.log_slots = 1024 } in
+    let e = Engine.create ~config:cfg ~kind:Engine.Kamino_simple ~seed:31 () in
+    (* One object per backlog transaction, plus a victim for the in-flight
+       one: all distinct, so nothing forces the applier to catch up before
+       the crash. *)
+    let arr =
+      Array.init 513 (fun _ ->
+          Engine.with_tx e (fun tx ->
+              let o = Engine.alloc tx 1024 in
+              Engine.write_int64 tx o 0 0L;
+              o))
+    in
+    Engine.drain_backup e;
+    (* Build a backlog of committed-but-unapplied write sets... *)
+    for i = 1 to backlog do
+      Engine.with_tx e (fun tx ->
+          let o = arr.(i) in
+          Engine.add tx o;
+          Engine.write_int64 tx o 0 (Int64.of_int i))
+    done;
+    (* ...plus one in-flight transaction, then pull the plug. *)
+    let tx = Engine.begin_tx e in
+    Engine.add tx arr.(0);
+    Engine.write_int64 tx arr.(0) 0 999L;
+    Engine.crash e;
+    let t0 = Engine.now e in
+    Engine.recover e;
+    Engine.now e - t0
+  in
+  let run_undo () =
+    let e = Engine.create ~config:(engine_config p) ~kind:Engine.Undo_logging ~seed:31 () in
+    let o =
+      Engine.with_tx e (fun tx ->
+          let o = Engine.alloc tx 1024 in
+          Engine.write_int64 tx o 0 0L;
+          o)
+    in
+    let tx = Engine.begin_tx e in
+    Engine.add tx o;
+    Engine.write_int64 tx o 0 999L;
+    Engine.crash e;
+    let t0 = Engine.now e in
+    Engine.recover e;
+    Engine.now e - t0
+  in
+  let rows =
+    List.map
+      (fun backlog ->
+        [ string_of_int backlog; f2 (us_of_ns (float_of_int (run_kamino backlog))) ])
+      [ 0; 16; 64; 256; 512 ]
+  in
+  print_table ~cols:[ "unapplied committed txs"; "Kamino recovery us" ] rows;
+  Printf.printf "undo-logging recovery (always one in-flight tx): %.2f us
+"
+    (us_of_ns (float_of_int (run_undo ())))
+
+(* --- Availability under quick reboots (extension) -------------------------- *)
+
+(* Not a paper figure: drive a steady write stream through the asynchronous
+   chain (persistent op queues, cleanup acks) and quick-reboot a middle
+   replica mid-stream. Reports completion-latency percentiles before,
+   during and after the fault window — the paper's §5.3 protocol is what
+   keeps the "during" column finite and the data consistent. *)
+let availability p =
+  header "Availability: write latency (us) around a mid-replica quick reboot (extension)";
+  let module Async = Kamino_chain.Async_chain in
+  let module Op = Kamino_chain.Op in
+  let c =
+    Async.create
+      ~engine_config:{ (engine_config p) with Engine.heap_bytes = p.heap_bytes / 4 }
+      ~hop_ns:5000 ~rpc_ns:1000 ~mode:Async.Kamino_chain ~f:2 ~value_size:p.value_size
+      ~node_size:p.node_size ~seed:57 ()
+  in
+  let payload = String.make (p.value_size - 64) 'a' in
+  let period = 25_000 in
+  let n = 2000 in
+  let reboot_at = n / 2 * period in
+  let before = Stats.create () and during = Stats.create () and after = Stats.create () in
+  for k = 0 to n - 1 do
+    let at = k * period in
+    Async.submit c ~at (Op.Put (k mod 500, payload)) ~on_complete:(fun finish ->
+        let bucket =
+          if at < reboot_at - 500_000 then before
+          else if at < reboot_at + 500_000 then during
+          else after
+        in
+        Stats.add bucket (float_of_int (finish - at)))
+  done;
+  Async.quick_reboot ~downtime_ns:2_000_000 c ~at:reboot_at 2;
+  ignore (Async.run c);
+  (match Async.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Printf.printf "!! replicas diverged: %s
+" e);
+  let row name s =
+    [ name; f1 (us_of_ns (Stats.mean s)); f1 (us_of_ns (Stats.percentile s 99.0));
+      string_of_int (Stats.count s) ]
+  in
+  print_table ~cols:[ "phase"; "mean us"; "p99 us"; "writes" ]
+    [ row "before fault" before; row "fault window (+-0.5ms)" during; row "after fault" after ]
+
+(* --- Ablations ------------------------------------------------------------ *)
+
+let ablate_flush p =
+  header
+    "Ablation: one intent-log persist per declared batch (paper, §6.2) vs per intent \
+     (transactions declare 8 intents up front, Figure-10 style)";
+  let run flush_per_intent =
+    let cfg = { (engine_config p) with Engine.flush_per_intent } in
+    let e = Engine.create ~config:cfg ~kind:Engine.Kamino_simple ~seed:5 () in
+    let objs =
+      Engine.with_tx e (fun tx -> List.init 8 (fun _ -> Engine.alloc tx 256))
+    in
+    Engine.drain_backup e;
+    let n = 2000 in
+    let t0 = Engine.now e in
+    for i = 1 to n do
+      Engine.with_tx e (fun tx ->
+          (* declare all intents first, then edit — the TX_ADD-then-edit
+             shape of the paper's Figure 10 *)
+          List.iter (fun o -> Engine.add tx o) objs;
+          List.iter (fun o -> Engine.write_int tx o 0 i) objs);
+      Kamino_sim.Clock.advance (Engine.clock e) 20_000
+    done;
+    float_of_int (Engine.now e - t0) /. float_of_int n -. 20_000.0
+  in
+  let batched = run false and per_intent = run true in
+  print_table ~cols:[ "variant"; "8-object tx latency us" ]
+    [
+      [ "batched (paper)"; f2 (us_of_ns batched) ];
+      [ "flush per intent"; f2 (us_of_ns per_intent) ];
+      [ "overhead"; f2 (per_intent /. batched) ];
+    ]
+
+let ablate_pending p =
+  header "Ablation: per-object pending tracking (paper) vs global barrier";
+  let run global_pending =
+    let kv =
+      make_store
+        ~config_tweak:(fun c -> { c with Engine.global_pending })
+        p Engine.Kamino_simple
+    in
+    (run_ycsb p kv Ycsb.A ~clients:8).Driver.throughput_mops
+  in
+  let per_object = run false and global = run true in
+  print_table ~cols:[ "variant"; "YCSB-A throughput (M ops/s, 8 clients)" ]
+    [
+      [ "per-object (paper)"; f3 per_object ];
+      [ "global barrier"; f3 global ];
+      [ "speedup"; f2 (per_object /. global) ];
+    ]
+
+let ablate_eviction p =
+  header "Ablation: dynamic backup eviction policy (LRU vs FIFO, alpha = 10%)";
+  let run policy =
+    let kv = make_store p (Engine.Kamino_dynamic { alpha = 0.1; policy }) in
+    let r = run_ycsb p kv Ycsb.A ~clients:4 in
+    let m = Engine.metrics (Kv.engine kv) in
+    let total = m.Engine.backup_hits + m.Engine.backup_misses in
+    ( r.Driver.mean_latency_ns,
+      if total = 0 then 0.0 else float_of_int m.Engine.backup_hits /. float_of_int total )
+  in
+  let lru_lat, lru_hits = run Backup.Lru_policy in
+  let fifo_lat, fifo_hits = run Backup.Fifo_policy in
+  print_table ~cols:[ "policy"; "YCSB-A latency us"; "backup hit rate" ]
+    [
+      [ "LRU (paper)"; f2 (us_of_ns lru_lat); f3 lru_hits ];
+      [ "FIFO"; f2 (us_of_ns fifo_lat); f3 fifo_hits ];
+    ]
+
+(* §1's granularity argument (the MongoDB/NVML motivation): an update that
+   changes a few byte ranges of a large document. Whole-object logging
+   copies the document; field-granular logging copies the fields; Kamino-Tx
+   copies nothing in the critical path either way. *)
+let granularity p =
+  header
+    "Granularity (§1): updating 2 x 64 B fields of a 4 KB document (latency us per tx)";
+  let doc_size = 4096 in
+  let run kind ~field_granular =
+    let cfg = engine_config p in
+    let e = Engine.create ~config:cfg ~kind ~seed:23 () in
+    let doc =
+      Engine.with_tx e (fun tx ->
+          let doc = Engine.alloc tx doc_size in
+          Engine.write_int64 tx doc 0 0L;
+          doc)
+    in
+    Engine.drain_backup e;
+    let n = 2000 in
+    let t0 = Engine.now e in
+    for i = 1 to n do
+      Engine.with_tx e (fun tx ->
+          if field_granular then begin
+            Engine.add_field tx doc 256 64;
+            Engine.add_field tx doc 2048 64
+          end
+          else Engine.add tx doc;
+          Engine.write_int64 tx doc 256 (Int64.of_int i);
+          Engine.write_int64 tx doc 2048 (Int64.of_int i));
+      Kamino_sim.Clock.advance (Engine.clock e) 20_000
+    done;
+    (float_of_int (Engine.now e - t0) /. float_of_int n -. 20_000.0) /. 1000.0
+  in
+  print_table ~cols:[ "engine"; "whole-object log"; "field-granular log" ]
+    [
+      [
+        "Undo-Logging";
+        f2 (run Engine.Undo_logging ~field_granular:false);
+        f2 (run Engine.Undo_logging ~field_granular:true);
+      ];
+      [
+        "Kamino-Tx";
+        f2 (run Engine.Kamino_simple ~field_granular:false);
+        f2 (run Engine.Kamino_simple ~field_granular:true);
+      ];
+    ]
+
+(* §2 "Hardware Support": with persistent caches, flushes/fences are free
+   but atomicity is still needed — Kamino-Tx "does not require but can reap
+   the same benefits". *)
+let ablate_persistent_caches p =
+  header "Ablation: whole-system persistence (persistent caches, §2)";
+  let run cost kind =
+    let kv = make_store ~config_tweak:(fun c -> { c with Engine.cost }) p kind in
+    (run_ycsb p kv Ycsb.A ~clients:1).Driver.mean_latency_ns
+  in
+  let rows =
+    List.map
+      (fun (name, cost) ->
+        let kam = run cost Engine.Kamino_simple and undo = run cost Engine.Undo_logging in
+        [ name; f2 (us_of_ns kam); f2 (us_of_ns undo); f2 (undo /. kam) ])
+      [
+        ("flush+fence (default)", Cost_model.default);
+        ("persistent caches", Cost_model.whole_system_persistence);
+      ]
+  in
+  print_table ~cols:[ "hardware"; "Kamino us"; "Undo us"; "undo/kamino" ] rows
+
+let ablate_slow_nvm p =
+  header "Ablation: NVDIMM-class vs 3D-Xpoint-class device cost models";
+  let run cost =
+    let kv =
+      make_store ~config_tweak:(fun c -> { c with Engine.cost }) p Engine.Kamino_simple
+    in
+    let kam = (run_ycsb p kv Ycsb.A ~clients:4).Driver.mean_latency_ns in
+    let kv =
+      make_store ~config_tweak:(fun c -> { c with Engine.cost }) p Engine.Undo_logging
+    in
+    let undo = (run_ycsb p kv Ycsb.A ~clients:4).Driver.mean_latency_ns in
+    (kam, undo)
+  in
+  let k1, u1 = run Cost_model.default in
+  let k2, u2 = run Cost_model.slow_nvm in
+  print_table ~cols:[ "device"; "Kamino us"; "Undo us"; "undo/kamino" ]
+    [
+      [ "NVDIMM-class"; f2 (us_of_ns k1); f2 (us_of_ns u1); f2 (u1 /. k1) ];
+      [ "3DXP-class"; f2 (us_of_ns k2); f2 (us_of_ns u2); f2 (u2 /. k2) ];
+    ]

@@ -1,0 +1,400 @@
+(* kamino — command-line driver for the Kamino-Tx simulation stack.
+
+   Subcommands:
+     ycsb        run a YCSB workload against the key-value store
+     tpcc        run the TPC-C-lite mix
+     crash-test  hammer an engine with random transactions + crash injection
+     chain       run a replicated (chain) workload
+     info        print the cost model and storage layout constants *)
+
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+module Cost_model = Kamino_nvm.Cost_model
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Kv = Kamino_kv.Kv
+module Ycsb = Kamino_workload.Ycsb
+module Driver = Kamino_workload.Driver
+module Tpcc = Kamino_workload.Tpcc
+module Chain = Kamino_chain.Chain
+open Cmdliner
+
+(* --- shared arguments ----------------------------------------------------- *)
+
+let engine_kind_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "no-logging" | "nolog" -> Ok Engine.No_logging
+    | "undo" | "undo-logging" -> Ok Engine.Undo_logging
+    | "cow" -> Ok Engine.Cow
+    | "kamino" | "kamino-simple" -> Ok Engine.Kamino_simple
+    | s -> (
+        (* kamino-dynamic:<alpha> *)
+        match String.split_on_char ':' s with
+        | [ "kamino-dynamic"; a ] -> (
+            match float_of_string_opt a with
+            | Some alpha when alpha > 0.0 && alpha <= 1.0 ->
+                Ok (Engine.Kamino_dynamic { alpha; policy = Backup.Lru_policy })
+            | _ -> Error (`Msg "alpha must be in (0,1]"))
+        | _ ->
+            Error
+              (`Msg
+                 "expected no-logging | undo | cow | kamino | kamino-dynamic:<alpha>"))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Engine.kind_name k))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_kind_conv Engine.Kamino_simple
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Transaction engine: no-logging, undo, cow, kamino, or \
+           kamino-dynamic:<alpha> (e.g. kamino-dynamic:0.3).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+
+let ops_arg =
+  Arg.(value & opt int 10_000 & info [ "n"; "ops" ] ~docv:"OPS" ~doc:"Operations to run.")
+
+let records_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "r"; "records" ] ~docv:"N" ~doc:"Preloaded keys in the store.")
+
+let heap_mb_arg =
+  Arg.(value & opt int 48 & info [ "heap-mb" ] ~docv:"MB" ~doc:"Main heap size in MiB.")
+
+let config_of heap_mb =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = heap_mb * 1024 * 1024;
+    log_slots = 512;
+    data_log_bytes = 16 * 1024 * 1024;
+  }
+
+let print_metrics e =
+  let m = Engine.metrics e in
+  Printf.printf
+    "engine: %d committed, %d aborted, %d critical-path copies, %d backup misses, %d \
+     applier tasks, %.1f us total lock wait, %.1f MB NVM\n"
+    m.Engine.committed m.Engine.aborted m.Engine.critical_path_copies m.Engine.backup_misses
+    m.Engine.applier_tasks
+    (float_of_int m.Engine.lock_wait_ns /. 1e3)
+    (float_of_int m.Engine.storage_bytes /. 1e6)
+
+(* --- ycsb ------------------------------------------------------------------ *)
+
+let ycsb_cmd =
+  let workload_conv =
+    Arg.conv
+      ( (fun s ->
+          match Ycsb.workload_of_string s with
+          | Some w -> Ok w
+          | None -> Error (`Msg "expected one of A B C D E F")),
+        fun fmt w -> Format.pp_print_string fmt (Ycsb.name w) )
+  in
+  let workload_arg =
+    Arg.(
+      value & opt workload_conv Ycsb.A
+      & info [ "w"; "workload" ] ~docv:"WL" ~doc:"YCSB workload.")
+  in
+  let run kind workload clients ops records heap_mb seed =
+    let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
+    let kv = Kv.create e ~value_size:1024 ~node_size:4096 in
+    let payload = String.make 1000 'v' in
+    Printf.printf "loading %d records...\n%!" records;
+    for k = 0 to records - 1 do
+      Kv.put kv k payload
+    done;
+    Engine.drain_backup e;
+    let wl = Ycsb.create workload ~record_count:records ~theta:0.99 in
+    let rng = Rng.create (seed + 1) in
+    Printf.printf "running YCSB-%s: %d ops, %d clients, engine %s\n%!" (Ycsb.name workload)
+      ops clients (Engine.kind_name kind);
+    let r =
+      Driver.run ~engine:e ~clients ~total_ops:ops ~step:(fun ~client:_ () ->
+          match Ycsb.next wl rng with
+          | Ycsb.Read k ->
+              ignore (Kv.get kv k);
+              "read"
+          | Ycsb.Update k ->
+              Kv.put kv k payload;
+              "update"
+          | Ycsb.Insert k ->
+              Kv.put kv k payload;
+              "insert"
+          | Ycsb.Scan (k, n) ->
+              ignore (Kv.range kv ~lo:k ~hi:(k + n));
+              "scan"
+          | Ycsb.Rmw k ->
+              ignore (Kv.read_modify_write kv k Fun.id);
+              "rmw")
+    in
+    Format.printf "%a@." Driver.pp_result r;
+    List.iter
+      (fun (label, s) ->
+        Printf.printf "  %-8s %s\n" label (Kamino_sim.Stats.summary s))
+      r.Driver.latencies;
+    print_metrics e
+  in
+  let term =
+    Term.(
+      const run $ engine_arg $ workload_arg $ clients_arg $ ops_arg $ records_arg
+      $ heap_mb_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against the key-value store.") term
+
+(* --- tpcc ------------------------------------------------------------------ *)
+
+let tpcc_cmd =
+  let run kind clients ops heap_mb seed =
+    let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
+    let rng = Rng.create (seed + 1) in
+    let t =
+      Tpcc.setup e ~warehouses:2 ~districts_per_w:10 ~customers_per_district:60 ~items:1000
+        ~rng
+    in
+    Printf.printf "running %d TPC-C transactions, %d clients, engine %s\n%!" ops clients
+      (Engine.kind_name kind);
+    let r =
+      Driver.run ~engine:e ~clients ~total_ops:ops ~step:(fun ~client:_ () ->
+          Tpcc.kind_name (Tpcc.run_mix t rng))
+    in
+    Format.printf "%a@." Driver.pp_result r;
+    (match Tpcc.consistency_check t with
+    | Ok () -> Printf.printf "TPC-C consistency: OK\n"
+    | Error e -> Printf.printf "TPC-C consistency VIOLATED: %s\n" e);
+    print_metrics e
+  in
+  let term =
+    Term.(const run $ engine_arg $ clients_arg $ ops_arg $ heap_mb_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "tpcc" ~doc:"Run the TPC-C-lite transaction mix.") term
+
+(* --- crash-test ------------------------------------------------------------ *)
+
+let crash_test_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Transactions to run.")
+  in
+  let run kind rounds heap_mb seed =
+    (match kind with
+    | Engine.No_logging | Engine.Intent_only ->
+        prerr_endline "crash-test requires an engine that can recover";
+        exit 1
+    | _ -> ());
+    let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
+    let kv = Kv.create e ~value_size:256 ~node_size:512 in
+    let rng = Rng.create (seed + 1) in
+    let model = Hashtbl.create 64 in
+    let kv = ref kv in
+    let crashes = ref 0 in
+    for round = 1 to rounds do
+      let k = Rng.int rng 100 in
+      (match Rng.int rng 3 with
+      | 0 ->
+          let v = Printf.sprintf "r%d" round in
+          Kv.put !kv k v;
+          Hashtbl.replace model k v
+      | 1 ->
+          ignore (Kv.delete !kv k);
+          Hashtbl.remove model k
+      | _ -> ignore (Kv.get !kv k));
+      if Rng.int rng 20 = 0 then begin
+        incr crashes;
+        Engine.crash e;
+        Engine.recover e;
+        kv := Kv.reattach e
+      end
+    done;
+    let lost = ref 0 in
+    Hashtbl.iter (fun k v -> if Kv.get !kv k <> Some v then incr lost) model;
+    Printf.printf "%d transactions, %d crashes injected: %s (%d committed keys, %d lost)\n"
+      rounds !crashes
+      (if !lost = 0 && Kv.validate !kv = Ok () then "CONSISTENT" else "CORRUPTED")
+      (Hashtbl.length model) !lost;
+    if !lost > 0 then exit 1
+  in
+  let term = Term.(const run $ engine_arg $ rounds_arg $ heap_mb_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "crash-test"
+       ~doc:"Run random transactions with crash injection and verify atomicity.")
+    term
+
+(* --- chain ------------------------------------------------------------------ *)
+
+let chain_cmd =
+  let mode_arg =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            match String.lowercase_ascii s with
+            | "traditional" -> Ok Chain.Traditional
+            | "kamino" -> Ok (Chain.Kamino_chain { alpha = None })
+            | s -> (
+                match String.split_on_char ':' s with
+                | [ "kamino"; a ] -> (
+                    match float_of_string_opt a with
+                    | Some alpha -> Ok (Chain.Kamino_chain { alpha = Some alpha })
+                    | None -> Error (`Msg "bad alpha"))
+                | _ -> Error (`Msg "expected traditional | kamino | kamino:<alpha>"))),
+          fun fmt -> function
+            | Chain.Traditional -> Format.pp_print_string fmt "traditional"
+            | Chain.Kamino_chain { alpha = None } -> Format.pp_print_string fmt "kamino"
+            | Chain.Kamino_chain { alpha = Some a } ->
+                Format.fprintf fmt "kamino:%.2f" a )
+    in
+    Arg.(
+      value
+      & opt mode_conv (Chain.Kamino_chain { alpha = None })
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"traditional | kamino | kamino:<alpha>")
+  in
+  let f_arg =
+    Arg.(value & opt int 2 & info [ "f" ] ~docv:"F" ~doc:"Failures to tolerate.")
+  in
+  let run mode f ops records seed =
+    let c =
+      Chain.create
+        ~engine_config:{ Engine.default_config with Engine.heap_bytes = 16 * 1024 * 1024 }
+        ~mode ~f ~value_size:1024 ~node_size:4096 ~seed ()
+    in
+    Printf.printf "chain with %d replicas, loading %d records...\n%!" (Chain.length c)
+      records;
+    let payload = String.make 1000 'v' in
+    let at = ref 0 in
+    for k = 0 to records - 1 do
+      at := Chain.put c ~at:!at k payload
+    done;
+    let rng = Rng.create (seed + 1) in
+    let start = !at in
+    let writes = Kamino_sim.Stats.create () and reads = Kamino_sim.Stats.create () in
+    for _ = 1 to ops do
+      let k = Rng.int rng records in
+      let t0 = !at in
+      if Rng.bool rng then begin
+        at := Chain.put c ~at:t0 k payload;
+        Kamino_sim.Stats.add writes (float_of_int (!at - t0))
+      end
+      else begin
+        let _, t = Chain.get c ~at:t0 k in
+        at := t;
+        Kamino_sim.Stats.add reads (float_of_int (!at - t0))
+      end
+    done;
+    Printf.printf "reads:  %s\nwrites: %s\n"
+      (Kamino_sim.Stats.summary reads)
+      (Kamino_sim.Stats.summary writes);
+    Printf.printf "%.1f K ops/s (single closed-loop client), %.0f MB cluster NVM\n"
+      (float_of_int ops /. (float_of_int (!at - start) /. 1e9) /. 1e3)
+      (float_of_int (Chain.storage_bytes c) /. 1e6);
+    match Chain.replicas_consistent c with
+    | Ok () -> Printf.printf "replicas: consistent\n"
+    | Error e ->
+        Printf.printf "replicas: INCONSISTENT (%s)\n" e;
+        exit 1
+  in
+  let term = Term.(const run $ mode_arg $ f_arg $ ops_arg $ records_arg $ seed_arg) in
+  Cmd.v (Cmd.info "chain" ~doc:"Run a replicated chain workload.") term
+
+(* --- fuzz ------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Distinct RNG seeds to fuzz.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 100 & info [ "rounds" ] ~docv:"N" ~doc:"Transactions per seed.")
+  in
+  let run kind seeds rounds =
+    (match kind with
+    | Engine.No_logging | Engine.Intent_only ->
+        prerr_endline "fuzz requires an engine that can recover";
+        exit 1
+    | _ -> ());
+    let failures = ref 0 in
+    for seed = 1 to seeds do
+      let e =
+        Engine.create ~config:(config_of 8) ~kind ~seed ()
+      in
+      let kv = ref (Kv.create e ~value_size:256 ~node_size:512) in
+      let rng = Rng.create (seed * 7919) in
+      let model = Hashtbl.create 64 in
+      (try
+         for round = 1 to rounds do
+           let k = Rng.int rng 100 in
+           (match Rng.int rng 4 with
+           | 0 ->
+               let v = Printf.sprintf "s%dr%d" seed round in
+               Kv.put !kv k v;
+               Hashtbl.replace model k v
+           | 1 ->
+               ignore (Kv.delete !kv k);
+               Hashtbl.remove model k
+           | 2 -> ignore (Kv.read_modify_write !kv k (fun s -> s ^ "."));
+                  (match Hashtbl.find_opt model k with
+                   | Some v -> Hashtbl.replace model k (v ^ ".")
+                   | None -> ())
+           | _ -> ignore (Kv.get !kv k));
+           if Rng.int rng 10 = 0 then begin
+             Engine.crash e;
+             Engine.recover e;
+             kv := Kv.reattach e
+           end
+         done;
+         Engine.drain_backup e;
+         let ok = ref true in
+         Hashtbl.iter (fun k v -> if Kv.get !kv k <> Some v then ok := false) model;
+         if Kv.validate !kv <> Ok () then ok := false;
+         (match Engine.verify_backup e with Ok () -> () | Error _ -> ok := false);
+         if not !ok then begin
+           incr failures;
+           Printf.printf "seed %d: FAILED (state diverged)\n%!" seed
+         end
+       with exn ->
+         incr failures;
+         Printf.printf "seed %d: EXCEPTION %s\n%!" seed (Printexc.to_string exn))
+    done;
+    if !failures = 0 then
+      Printf.printf "fuzz: %d seeds x %d rounds with crash injection — all consistent\n"
+        seeds rounds
+    else begin
+      Printf.printf "fuzz: %d of %d seeds FAILED\n" !failures seeds;
+      exit 1
+    end
+  in
+  let term = Term.(const run $ engine_arg $ seeds_arg $ rounds_arg) in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz an engine across many seeds: random transactions, random crash \
+          injection, full state verification per seed.")
+    term
+
+(* --- info ------------------------------------------------------------------- *)
+
+let info_cmd =
+  let run () =
+    Format.printf "cost model (NVDIMM-class default): %a@." Cost_model.pp Cost_model.default;
+    Format.printf "cost model (3DXP-class):           %a@." Cost_model.pp Cost_model.slow_nvm;
+    Printf.printf "heap size classes: %s\n"
+      (String.concat ", " (Array.to_list (Array.map string_of_int Heap.size_classes)));
+    Printf.printf "max object size: %d bytes\n" Heap.max_object_size
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print cost-model and storage-layout constants.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Kamino-Tx: atomic in-place updates for non-volatile main memory (simulated)" in
+  let cmd =
+    Cmd.group (Cmd.info "kamino" ~doc)
+      [ ycsb_cmd; tpcc_cmd; crash_test_cmd; fuzz_cmd; chain_cmd; info_cmd ]
+  in
+  exit (Cmd.eval cmd)

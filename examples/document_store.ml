@@ -1,0 +1,105 @@
+(* A MongoDB-flavoured document store — the paper's §1 granularity
+   motivation made concrete: "in a document store, an entire document is
+   typically logged though each operation might only change a few
+   byte-ranges within the document".
+
+   Documents are 4 KB persistent objects (16 fields x 248 B) indexed by a
+   B+Tree. Field updates run three ways:
+
+     1. undo-logging with whole-document TX_ADD (what MongoDB-style logging
+        does),
+     2. undo-logging with field-granular TX_ADD_FIELD (fine-grained
+        logging: less bandwidth, same per-entry instruction overhead),
+     3. Kamino-Tx (nothing copied in the critical path either way).
+
+     dune exec examples/document_store.exe *)
+
+module Engine = Kamino_core.Engine
+module Btree = Kamino_index.Btree
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+
+let n_fields = 16
+
+let field_size = 248
+
+let doc_size = (n_fields * field_size) + 8 (* + version header *)
+
+let field_off i = 8 + (i * field_size)
+
+type store = { engine : Engine.t; index : Btree.t }
+
+let create_store kind =
+  let engine =
+    Engine.create
+      ~config:{ Engine.default_config with Engine.heap_bytes = 32 * 1024 * 1024 }
+      ~kind ~seed:3 ()
+  in
+  let index =
+    Engine.with_tx engine (fun tx ->
+        let t = Btree.create tx ~node_size:4096 in
+        Engine.set_root tx (Btree.descriptor t);
+        t)
+  in
+  { engine; index }
+
+let insert_doc s id =
+  Engine.with_tx s.engine (fun tx ->
+      let doc = Engine.alloc tx doc_size in
+      Engine.write_int tx doc 0 0;
+      for f = 0 to n_fields - 1 do
+        Engine.write_string tx doc (field_off f) (Printf.sprintf "doc%d.field%d" id f)
+      done;
+      ignore (Btree.insert tx s.index id doc))
+
+(* Update two fields of one document. *)
+let update_fields s id ~granularity round =
+  Engine.with_tx s.engine (fun tx ->
+      match Btree.find_tx tx s.index id with
+      | None -> ()
+      | Some doc ->
+          let f1 = round mod n_fields and f2 = (round * 7) mod n_fields in
+          (match granularity with
+          | `Whole_document -> Engine.add tx doc
+          | `Fields ->
+              Engine.add_field tx doc 0 8;
+              Engine.add_field tx doc (field_off f1) field_size;
+              if f2 <> f1 then Engine.add_field tx doc (field_off f2) field_size);
+          Engine.write_int tx doc 0 round;
+          Engine.write_string tx doc (field_off f1) (Printf.sprintf "v%d" round);
+          Engine.write_string tx doc (field_off f2) (Printf.sprintf "w%d" round))
+
+let read_field s id f =
+  match Btree.find s.index id with
+  | None -> None
+  | Some doc -> Some (Engine.peek_string s.engine doc (field_off f) 8)
+
+let run kind granularity label =
+  let s = create_store kind in
+  let rng = Rng.create 9 in
+  let docs = 200 in
+  for id = 0 to docs - 1 do
+    insert_doc s id
+  done;
+  Engine.drain_backup s.engine;
+  let rounds = 3000 in
+  let t0 = Engine.now s.engine in
+  for round = 1 to rounds do
+    update_fields s (Rng.int rng docs) ~granularity round;
+    (* readers interleave *)
+    if round mod 4 = 0 then ignore (read_field s (Rng.int rng docs) (round mod n_fields))
+  done;
+  let per_op = float_of_int (Engine.now s.engine - t0) /. float_of_int rounds /. 1000.0 in
+  Printf.printf "%-44s %6.2f us/update\n" label per_op
+
+let () =
+  Printf.printf
+    "Document store: 200 x 4 KB documents, updates touch 2 of 16 fields (~0.5 KB of 4 KB)\n\n";
+  run Engine.Undo_logging `Whole_document "undo-logging, whole-document TX_ADD";
+  run Engine.Undo_logging `Fields "undo-logging, field-granular TX_ADD_FIELD";
+  run Engine.Kamino_simple `Whole_document "kamino-tx, whole-document intents";
+  run Engine.Kamino_simple `Fields "kamino-tx, field-granular intents";
+  Printf.printf
+    "\nFine-grained logging saves bandwidth but keeps the per-copy instruction overhead\n\
+     (allocate, index, deallocate) — the paper's §1 point. Kamino-Tx sidesteps the\n\
+     trade-off: intents are addresses, not copies, at either granularity.\n"

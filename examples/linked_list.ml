@@ -1,0 +1,67 @@
+(* The paper's running example (Figure 4): a persistent doubly-linked list
+   whose operations are multi-object transactions, under fire from random
+   crash injection — comparing all four atomic engine kinds.
+
+     dune exec examples/linked_list.exe *)
+
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Plist = Kamino_index.Plist
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+
+let kinds =
+  [
+    Engine.Undo_logging;
+    Engine.Cow;
+    Engine.Kamino_simple;
+    Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy };
+  ]
+
+let run kind =
+  let engine = Engine.create ~kind ~seed:7 () in
+  let list =
+    Engine.with_tx engine (fun tx ->
+        let l = Plist.create tx in
+        Engine.set_root tx (Plist.handle l);
+        l)
+  in
+  let list = ref list in
+  let rng = Rng.create 42 in
+  let crashes = ref 0 in
+  let t0 = Engine.now engine in
+  for round = 1 to 2000 do
+    let key = Rng.int rng 100 in
+    Engine.with_tx engine (fun tx ->
+        match Rng.int rng 3 with
+        | 0 -> ignore (Plist.insert tx !list ~key ~value:(float_of_int round))
+        | 1 -> ignore (Plist.delete tx !list ~key)
+        | _ -> ignore (Plist.update tx !list ~key ~value:(float_of_int round)));
+    (* Pull the plug now and then. *)
+    if Rng.int rng 200 = 0 then begin
+      incr crashes;
+      Engine.crash engine;
+      Engine.recover engine;
+      list := Plist.attach engine (Engine.root engine);
+      match Plist.validate !list with
+      | Ok () -> ()
+      | Error e -> failwith ("list corrupted after crash: " ^ e)
+    end
+  done;
+  (match Plist.validate !list with
+  | Ok () -> ()
+  | Error e -> failwith ("final validation failed: " ^ e));
+  let m = Engine.metrics engine in
+  Printf.printf
+    "%-22s  %4d nodes survive, %d crashes, %5.2f ms simulated, %d critical-path copies\n"
+    (Engine.kind_name kind) (Plist.length !list) !crashes
+    (float_of_int (Engine.now engine - t0) /. 1e6)
+    m.Engine.critical_path_copies
+
+let () =
+  Printf.printf
+    "Persistent doubly-linked list (Figure 4): 2000 random transactions + crash injection\n\n";
+  List.iter run kinds;
+  Printf.printf
+    "\nNote the simulated-time column: the engines do identical structural work, the\n\
+     difference is what each one copies (and flushes) to stay atomic.\n"

@@ -1,0 +1,297 @@
+module Sim = Kamino_sim.Engine
+module Clock = Kamino_sim.Clock
+module Rng = Kamino_sim.Rng
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Locks = Kamino_core.Locks
+module Backup = Kamino_core.Backup
+module Kv = Kamino_kv.Kv
+
+type mode = Traditional | Kamino_chain
+
+type node = {
+  id : int;
+  engine : Engine.t;
+  mutable kv : Kv.t;
+  clock : Clock.t;
+  input_region : Region.t;
+  mutable input : Opqueue.t;
+  inflight_region : Region.t;
+  mutable inflight : Opqueue.t;
+  exec_seq_obj : Heap.ptr;  (* last executed op sequence, bumped in-tx *)
+  mutable last_forwarded : int;  (* volatile dedup for the in-flight queue *)
+  mutable up : bool;
+}
+
+type t = {
+  mode : mode;
+  sim : Sim.t;
+  hop_ns : int;
+  rpc_ns : int;
+  nodes : node array;
+  mutable next_op_seq : int;
+  (* head-side completion plumbing: op seq -> (write-lock keys, callback) *)
+  pending : (int, int list * (int -> unit)) Hashtbl.t;
+}
+
+(* Envelope: 8-byte op sequence followed by the encoded command. *)
+let envelope ~seq op =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int seq);
+  Bytes.to_string b ^ Op.encode op
+
+let open_envelope payload =
+  ( Int64.to_int (String.get_int64_le payload 0),
+    Op.decode (String.sub payload 8 (String.length payload - 8)) )
+
+let length t = Array.length t.nodes
+
+let sim t = t.sim
+
+let kv_at t i = t.nodes.(i).kv
+
+let executed_seq t i =
+  let n = t.nodes.(i) in
+  Engine.peek_int n.engine n.exec_seq_obj 0
+
+let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 1000)
+    ?(queue_slots = 512) ~mode ~f ~value_size ~node_size ~seed () =
+  if f < 1 then invalid_arg "Async_chain.create: f must be at least 1";
+  let n_nodes = match mode with Traditional -> f + 1 | Kamino_chain -> f + 2 in
+  let slot_bytes = value_size + 64 in
+  let qsize = Opqueue.required_size ~slot_bytes ~n_slots:queue_slots in
+  let nodes =
+    Array.init n_nodes (fun i ->
+        let kind =
+          match mode with
+          | Traditional -> Engine.Undo_logging
+          | Kamino_chain -> if i = 0 then Engine.Kamino_simple else Engine.Intent_only
+        in
+        let engine = Engine.create ~config:engine_config ~kind ~seed:(seed + i) () in
+        let clock = Clock.create () in
+        Engine.set_clock engine clock;
+        let kv = Kv.create engine ~value_size ~node_size in
+        let exec_seq_obj =
+          Engine.with_tx engine (fun tx ->
+              let o = Engine.alloc tx 8 in
+              Engine.write_int tx o 0 0;
+              o)
+        in
+        let rng = Rng.create (seed + 100 + i) in
+        let mk () =
+          Region.create ~cost:engine_config.Engine.cost
+            ~crash_mode:engine_config.Engine.crash_mode ~rng:(Rng.split rng) ~clock
+            ~size:qsize ()
+        in
+        let input_region = mk () and inflight_region = mk () in
+        {
+          id = i;
+          engine;
+          kv;
+          clock;
+          input_region;
+          input = Opqueue.format input_region ~slot_bytes ~n_slots:queue_slots;
+          inflight_region;
+          inflight = Opqueue.format inflight_region ~slot_bytes ~n_slots:queue_slots;
+          exec_seq_obj;
+          last_forwarded = 0;
+          up = true;
+        })
+  in
+  {
+    mode;
+    sim = Sim.create ();
+    hop_ns;
+    rpc_ns;
+    nodes;
+    next_op_seq = 1;
+    pending = Hashtbl.create 64;
+  }
+
+(* Bring a node's clock to the event time and charge RPC processing. *)
+let enter t node =
+  ignore (Clock.advance_to node.clock (Sim.now t.sim));
+  Clock.advance node.clock t.rpc_ns;
+  Engine.set_clock node.engine node.clock
+
+(* Execute a command exactly once: the last-executed sequence number is
+   part of the same transaction, so a reboot can never double-apply. *)
+let execute node ~seq op =
+  let already = Engine.peek_int node.engine node.exec_seq_obj 0 in
+  if seq > already then
+    Engine.with_tx node.engine (fun tx ->
+        Op.apply_tx tx op node.kv;
+        Engine.add tx node.exec_seq_obj;
+        Engine.write_int tx node.exec_seq_obj 0 seq)
+
+let record_inflight node ~seq payload =
+  if seq > node.last_forwarded then begin
+    ignore (Opqueue.enqueue node.inflight payload);
+    node.last_forwarded <- seq
+  end
+
+(* Garbage-collect the in-flight queue up to (and including) an op
+   sequence: queue positions and op sequences differ after reboots, so the
+   match is on the envelope. *)
+let gc_inflight node op_seq =
+  let rec go () =
+    match Opqueue.peek node.inflight with
+    | Some (_, payload) when fst (open_envelope payload) <= op_seq ->
+        ignore (Opqueue.dequeue node.inflight);
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* --- message handlers ----------------------------------------------------- *)
+
+let rec deliver_forward t i payload =
+  let node = t.nodes.(i) in
+  if node.up then begin
+    enter t node;
+    (* Buffer in the persistent input queue before anything else. *)
+    ignore (Opqueue.enqueue node.input payload);
+    process_input t node
+  end
+
+and process_input t node =
+  match Opqueue.peek node.input with
+  | None -> ()
+  | Some (_, payload) ->
+      let seq, op = open_envelope payload in
+      execute node ~seq op;
+      (* The tail forwards to nobody, so it keeps no in-flight queue. *)
+      if node.id + 1 < Array.length t.nodes then record_inflight node ~seq payload;
+      ignore (Opqueue.dequeue node.input);
+      forward_or_finish t node ~seq payload;
+      process_input t node
+
+and forward_or_finish t node ~seq payload =
+  let i = node.id in
+  if i + 1 < Array.length t.nodes then
+    Sim.schedule t.sim
+      ~at:(Clock.now node.clock + t.hop_ns)
+      (fun () -> deliver_forward t (i + 1) payload)
+  else begin
+    (* Tail: acknowledge to the head and start the cleanup cascade. *)
+    let at = Clock.now node.clock + t.hop_ns in
+    Sim.schedule t.sim ~at (fun () -> deliver_ack t seq);
+    if i > 0 then Sim.schedule t.sim ~at (fun () -> deliver_cleanup t (i - 1) seq)
+  end
+
+and deliver_ack t seq =
+  let head = t.nodes.(0) in
+  if head.up then begin
+    enter t head;
+    (* Completion: release the head's extended locks, answer the client,
+       and garbage-collect the head's in-flight entry. *)
+    (match Hashtbl.find_opt t.pending seq with
+    | Some (keys, callback) ->
+        Hashtbl.remove t.pending seq;
+        Locks.release_held_writes (Engine.locks head.engine) keys
+          ~at:(Clock.now head.clock);
+        callback (Clock.now head.clock)
+    | None -> ());
+    gc_inflight head seq
+  end
+
+and deliver_cleanup t i seq =
+  let node = t.nodes.(i) in
+  if node.up then begin
+    enter t node;
+    gc_inflight node seq;
+    if i > 1 then
+      Sim.schedule t.sim
+        ~at:(Clock.now node.clock + t.hop_ns)
+        (fun () -> deliver_cleanup t (i - 1) seq)
+  end
+
+(* --- client interface ----------------------------------------------------- *)
+
+let submit t ~at op ~on_complete =
+  Sim.schedule t.sim ~at (fun () ->
+      let head = t.nodes.(0) in
+      if not head.up then failwith "Async_chain.submit: head is down";
+      enter t head;
+      let seq = t.next_op_seq in
+      t.next_op_seq <- seq + 1;
+      let payload = envelope ~seq op in
+      execute head ~seq op;
+      let keys = Engine.last_write_keys head.engine in
+      Hashtbl.replace t.pending seq (keys, on_complete);
+      (* Hold the head's write locks until the tail acknowledges. *)
+      Locks.hold_writes (Engine.locks head.engine) keys;
+      record_inflight head ~seq payload;
+      if Array.length t.nodes > 1 then
+        Sim.schedule t.sim
+          ~at:(Clock.now head.clock + t.hop_ns)
+          (fun () -> deliver_forward t 1 payload)
+      else deliver_ack t seq)
+
+let read t ~at key ~on_result =
+  Sim.schedule t.sim ~at (fun () ->
+      let tail = t.nodes.(Array.length t.nodes - 1) in
+      enter t tail;
+      let v = Kv.get tail.kv key in
+      on_result v (Clock.now tail.clock + t.hop_ns))
+
+(* --- failures -------------------------------------------------------------- *)
+
+let quick_reboot ?(downtime_ns = 0) t ~at i =
+  Sim.schedule t.sim ~at (fun () ->
+      let node = t.nodes.(i) in
+      node.up <- false;
+      (* The machine is dark while it reboots; everything it does next
+         happens after the downtime, and deliveries queue behind it. *)
+      Clock.advance node.clock downtime_ns;
+      Engine.set_clock node.engine node.clock;
+      ignore (Clock.advance_to node.clock (Sim.now t.sim));
+      Engine.crash node.engine;
+      Region.crash node.input_region;
+      Region.crash node.inflight_region;
+      (* §5.3 recovery. *)
+      Engine.recover node.engine;
+      (match t.mode with
+      | Kamino_chain when i > 0 ->
+          Engine.resolve_from_peer node.engine
+            ~peer:(Engine.main_region t.nodes.(i - 1).engine)
+      | Kamino_chain | Traditional -> ());
+      node.kv <- Kv.reattach node.engine;
+      node.input <- Opqueue.open_existing node.input_region;
+      node.inflight <- Opqueue.open_existing node.inflight_region;
+      node.last_forwarded <- 0;
+      Opqueue.iter node.inflight (fun ~seq:_ ~payload ->
+          let s, _ = open_envelope payload in
+          if s > node.last_forwarded then node.last_forwarded <- s);
+      node.up <- true;
+      (* Re-drive: execute anything buffered but unexecuted, and re-forward
+         everything not yet cleaned (duplicates are deduplicated downstream
+         by the executed-sequence check). *)
+      process_input t node;
+      Opqueue.iter node.inflight (fun ~seq:_ ~payload ->
+          let seq, _ = open_envelope payload in
+          if i + 1 < Array.length t.nodes then
+            Sim.schedule t.sim
+              ~at:(Clock.now node.clock + t.hop_ns)
+              (fun () -> deliver_forward t (i + 1) payload)
+          else forward_or_finish t node ~seq payload))
+
+let run t = Sim.run t.sim
+
+(* --- verification ----------------------------------------------------------- *)
+
+let contents kv =
+  let acc = ref [] in
+  Kv.iter kv (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let replicas_consistent t =
+  let reference = contents t.nodes.(0).kv in
+  let rec check i =
+    if i >= Array.length t.nodes then Ok ()
+    else if contents t.nodes.(i).kv <> reference then
+      Error (Printf.sprintf "replica %d diverges from the head" i)
+    else check (i + 1)
+  in
+  check 1

@@ -1,0 +1,71 @@
+(** Asynchronous chain replication over the discrete-event engine.
+
+    Where {!Chain} executes a write synchronously down the chain (simple,
+    and sufficient for the latency/throughput experiments), this module
+    implements §5.1's machinery explicitly and asynchronously:
+
+    - operations are serializable commands ({!Op}) with a global sequence
+      number assigned at the head;
+    - every replica buffers received commands in a persistent {e input
+      queue} before processing, executes them {e exactly once} (the
+      last-executed sequence number is updated in the same transaction as
+      the command itself), then moves them to a persistent {e in-flight
+      queue} and forwards downstream;
+    - the tail acknowledges completion to the head (which releases locks
+      and completes the client) and sends {e cleanup acknowledgments}
+      upstream that garbage-collect the in-flight queues;
+    - messages are events on a {!Kamino_sim.Engine}; replicas can crash and
+      quick-reboot at arbitrary virtual times, mid-propagation included,
+      recovering from their persistent queues and (for Kamino replicas)
+      their chain neighbours, then re-forwarding anything not yet cleaned.
+
+    Run a workload by submitting operations and calling {!run} to drain the
+    event queue. *)
+
+type mode = Traditional | Kamino_chain
+
+type t
+
+val create :
+  ?engine_config:Kamino_core.Engine.config ->
+  ?hop_ns:int ->
+  ?rpc_ns:int ->
+  ?queue_slots:int ->
+  mode:mode ->
+  f:int ->
+  value_size:int ->
+  node_size:int ->
+  seed:int ->
+  unit ->
+  t
+
+val length : t -> int
+
+(** The simulation driving the chain — schedule crashes on it, then {!run}. *)
+val sim : t -> Kamino_sim.Engine.t
+
+(** [submit t ~at op ~on_complete] hands a write to the head at virtual
+    time [at]; [on_complete] fires with the client-visible completion time
+    when the tail's acknowledgment reaches the head. *)
+val submit : t -> at:int -> Op.t -> on_complete:(int -> unit) -> unit
+
+(** [read t ~at key ~on_result] — served by the tail. *)
+val read : t -> at:int -> int -> on_result:(string option -> int -> unit) -> unit
+
+(** [quick_reboot t ~at i] schedules a crash + §5.3 recovery of replica [i]
+    at virtual time [at]: the replica reopens its persistent queues,
+    resolves incomplete transactions (head: local backup; others: from the
+    predecessor), re-executes anything received but unexecuted, and
+    re-forwards anything not yet cleaned. *)
+val quick_reboot : ?downtime_ns:int -> t -> at:int -> int -> unit
+
+(** [run t] drains the event queue; returns the number of events. *)
+val run : t -> int
+
+(** Committed-state contents of one replica (tests). *)
+val kv_at : t -> int -> Kamino_kv.Kv.t
+
+val replicas_consistent : t -> (unit, string) result
+
+(** Operations executed per replica (exactly-once check). *)
+val executed_seq : t -> int -> int

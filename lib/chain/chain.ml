@@ -1,0 +1,332 @@
+module Clock = Kamino_sim.Clock
+module Region = Kamino_nvm.Region
+module Engine = Kamino_core.Engine
+module Locks = Kamino_core.Locks
+module Backup = Kamino_core.Backup
+module Kv = Kamino_kv.Kv
+
+type mode = Traditional | Kamino_chain of { alpha : float option }
+
+type node = { node_id : int; mutable engine : Engine.t; mutable kv : Kv.t; clock : Clock.t }
+
+type op = { apply : Kv.t -> unit; mutable next_node : int }
+
+type t = {
+  mode : mode;
+  hop_ns : int;
+  rpc_ns : int;  (* per-node request processing (deserialize, dispatch) *)
+  mutable nodes : node list;  (* head first *)
+  mutable inflight : op list;  (* partially propagated writes, oldest first *)
+  membership : Membership.t;
+  engine_config : Engine.config;
+  value_size : int;
+  node_size : int;
+  seed : int;
+  mutable next_node_id : int;
+}
+
+let mode t = t.mode
+
+let membership t = t.membership
+
+let length t = List.length t.nodes
+
+let storage_bytes t =
+  List.fold_left (fun acc n -> acc + Engine.storage_bytes n.engine) 0 t.nodes
+
+let node_clocks t = List.map (fun n -> n.clock) t.nodes
+
+let kv_at t i = (List.nth t.nodes i).kv
+
+let head t = List.hd t.nodes
+
+let tail t = List.nth t.nodes (length t - 1)
+
+let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 2000)
+    ~mode ~f ~value_size ~node_size ~seed () =
+  if f < 1 then invalid_arg "Chain.create: f must be at least 1";
+  let n_nodes = match mode with Traditional -> f + 1 | Kamino_chain _ -> f + 2 in
+  let node_kind i =
+    match mode with
+    | Traditional -> Engine.Undo_logging
+    | Kamino_chain { alpha } ->
+        if i > 0 then Engine.Intent_only
+        else begin
+          match alpha with
+          | None -> Engine.Kamino_simple
+          | Some alpha -> Engine.Kamino_dynamic { alpha; policy = Backup.Lru_policy }
+        end
+  in
+  let nodes =
+    List.init n_nodes (fun i ->
+        let engine =
+          Engine.create ~config:engine_config ~kind:(node_kind i) ~seed:(seed + i) ()
+        in
+        let clock = Clock.create () in
+        Engine.set_clock engine clock;
+        let kv = Kv.create engine ~value_size ~node_size in
+        { node_id = i; engine; kv; clock })
+  in
+  let membership =
+    Membership.create
+      ~members:(List.map (fun n -> n.node_id) nodes)
+      ~failure_timeout_ns:10_000_000
+  in
+  {
+    mode;
+    hop_ns;
+    rpc_ns;
+    nodes;
+    inflight = [];
+    membership;
+    engine_config;
+    value_size;
+    node_size;
+    seed;
+    next_node_id = n_nodes;
+  }
+
+(* Execute [f] on one node, no earlier than [arrive] on its timeline;
+   returns the node-local completion time. Every request pays the node's
+   RPC processing cost before the transaction itself.
+
+   The operation runs on a forked per-operation clock: a transaction that
+   blocks on a lock (a dependent transaction waiting for the tail ack)
+   delays only itself — the node keeps serving other requests — so the
+   node's serial-service clock advances by the op's service time excluding
+   lock waits. *)
+let exec_on t node ~arrive f =
+  let start = max (Clock.now node.clock) arrive in
+  let op_clock = Clock.create_at start in
+  Clock.advance op_clock t.rpc_ns;
+  Engine.set_clock node.engine op_clock;
+  let waits_before = Locks.waits (Engine.locks node.engine) in
+  f node.kv;
+  let waited = Locks.waits (Engine.locks node.engine) - waits_before in
+  let finish = Clock.now op_clock in
+  ignore (Clock.advance_to node.clock (finish - waited));
+  finish
+
+(* Propagate a write down the chain starting at node index [from], first
+   arriving at time [arrive]. Returns the tail's completion time. *)
+let propagate t op ~from ~arrive =
+  let nodes = Array.of_list t.nodes in
+  let arrive = ref arrive in
+  for i = from to Array.length nodes - 1 do
+    let finished = exec_on t nodes.(i) ~arrive:!arrive op.apply in
+    op.next_node <- i + 1;
+    arrive := finished + t.hop_ns
+  done;
+  !arrive - t.hop_ns
+
+(* A full client write: head admission (and, for Kamino, extended lock
+   hold until the tail ack returns). *)
+let submit_write t ~at apply =
+  let op = { apply; next_node = 0 } in
+  match t.mode with
+  | Traditional ->
+      (* client -> head is one hop; tail -> client one more. *)
+      let tail_done = propagate t op ~from:0 ~arrive:(at + t.hop_ns) in
+      tail_done + t.hop_ns
+  | Kamino_chain _ ->
+      (* The client lives on the head: local submission, local up-call on
+         the tail's acknowledgment. *)
+      let h = head t in
+      let head_done = exec_on t h ~arrive:at apply in
+      let keys = Engine.last_write_keys h.engine in
+      let tail_done =
+        if length t > 1 then propagate t op ~from:1 ~arrive:(head_done + t.hop_ns)
+        else head_done
+      in
+      let ack = if length t > 1 then tail_done + t.hop_ns else head_done in
+      (* Locks release at max(backup propagation, tail ack): release_writes
+         takes the max with the commit-time release already recorded. *)
+      Locks.release_writes (Engine.locks h.engine) keys ~at:ack;
+      ack
+
+let put t ~at key value = submit_write t ~at (fun kv -> Kv.put kv key value)
+
+let delete t ~at key =
+  let present = ref false in
+  let finish = submit_write t ~at (fun kv -> present := Kv.delete kv key || !present) in
+  (!present, finish)
+
+let rmw t ~at key f =
+  let applied = ref false in
+  let finish =
+    submit_write t ~at (fun kv -> applied := Kv.read_modify_write kv key f || !applied)
+  in
+  (!applied, finish)
+
+let get t ~at key =
+  (* Reads are served by the tail; one hop out, one hop back. *)
+  let tl = tail t in
+  let result = ref None in
+  let finished = exec_on t tl ~arrive:(at + t.hop_ns) (fun kv -> result := Kv.get kv key) in
+  (!result, finished + t.hop_ns)
+
+let put_aborted t ~at key value =
+  (* The head executes and aborts; the chain never sees the transaction.
+     Undo-logging heads roll back from the undo log, Kamino heads from the
+     local backup. *)
+  let h = head t in
+  exec_on t h ~arrive:at (fun kv -> Kv.put_aborted kv key value)
+
+(* --- Partial propagation (test hooks) ----------------------------------- *)
+
+let put_partial t ~at ~upto key value =
+  let op = { apply = (fun kv -> Kv.put kv key value); next_node = 0 } in
+  let nodes = Array.of_list t.nodes in
+  let upto = min upto (Array.length nodes - 1) in
+  let arrive = ref at in
+  for i = 0 to upto do
+    let finished = exec_on t nodes.(i) ~arrive:!arrive op.apply in
+    op.next_node <- i + 1;
+    arrive := finished + t.hop_ns
+  done;
+  t.inflight <- t.inflight @ [ op ]
+
+let drain_inflight t =
+  List.iter
+    (fun op ->
+      if op.next_node < length t then
+        ignore (propagate t op ~from:op.next_node ~arrive:(Clock.now (head t).clock)))
+    t.inflight;
+  t.inflight <- []
+
+(* --- Failure handling ---------------------------------------------------- *)
+
+let min_nodes t = match t.mode with Traditional -> 1 | Kamino_chain _ -> 2
+
+let fail_stop t i =
+  if length t - 1 < min_nodes t then
+    failwith "Chain.fail_stop: too few replicas would remain";
+  if i < 0 || i >= length t then invalid_arg "Chain.fail_stop: no such replica";
+  let removed_head = i = 0 in
+  let dead = List.nth t.nodes i in
+  (* The membership manager installs a new view; replicas reject messages
+     from the old one. *)
+  ignore (Membership.remove t.membership dead.node_id);
+  t.nodes <- List.filteri (fun j _ -> j <> i) t.nodes;
+  (match (t.mode, removed_head) with
+  | Kamino_chain _, true ->
+      (* §5.2: the surviving first replica becomes head — it builds a local
+         backup from its heap and recovers the lock set (empty here: the
+         synchronous submit model has no in-flight transactions at this
+         point beyond [inflight], which the new head re-forwards). *)
+      let h = head t in
+      Engine.set_clock h.engine h.clock;
+      Engine.promote_to_kamino h.engine
+  | _ -> ());
+  (* Tail failure: the new tail acknowledges in-flight operations — here,
+     re-forwarding anything the dead node had not passed on. *)
+  drain_inflight t
+
+let node_by_id t id = List.find (fun n -> n.node_id = id) t.nodes
+
+let quick_reboot t i =
+  if i < 0 || i >= length t then invalid_arg "Chain.quick_reboot: no such replica";
+  let node = List.nth t.nodes i in
+  Engine.set_clock node.engine node.clock;
+  Engine.crash node.engine;
+  (* §5.3: the rebooted replica contacts the membership manager with the
+     view id it believes is current and learns its neighbours (or that it
+     was declared failed while dark). *)
+  (match
+     Membership.rejoin t.membership ~node:node.node_id
+       ~believed_view:(Membership.current t.membership).Membership.id
+   with
+  | `Removed _ ->
+      failwith "Chain.quick_reboot: replica was declared failed while dark"
+  | `Member (_view, pred, _succ) -> (
+      match t.mode with
+      | Traditional ->
+          (* Undo-logging replicas recover locally. *)
+          Engine.recover node.engine
+      | Kamino_chain _ -> (
+          match pred with
+          | None ->
+              (* Still the head: roll back from the local backup. *)
+              Engine.recover node.engine
+          | Some pred_id ->
+              (* Non-head: reopen, then roll incomplete transactions
+                 forward from the predecessor. *)
+              Engine.recover node.engine;
+              Engine.resolve_from_peer node.engine
+                ~peer:(Engine.main_region (node_by_id t pred_id).engine))));
+  node.kv <- Kv.reattach node.engine;
+  (* Anything the rebooted replica had not yet forwarded is re-sent. *)
+  drain_inflight t
+
+(* §5.3's data-integrity protocol: the whole chain loses power and every
+   replica reboots. Recovery runs down the chain: the head repairs itself
+   from its local backup, then each replica rolls its incomplete
+   transactions forward from its (already repaired) predecessor. Needs at
+   least two replicas of the last known view, which f >= 1 guarantees. *)
+let cluster_restart t =
+  List.iter
+    (fun n ->
+      Engine.set_clock n.engine n.clock;
+      Engine.crash n.engine)
+    t.nodes;
+  let rec repair prev = function
+    | [] -> ()
+    | n :: rest ->
+        Engine.set_clock n.engine n.clock;
+        (match (t.mode, prev) with
+        | Traditional, _ | Kamino_chain _, None -> Engine.recover n.engine
+        | Kamino_chain _, Some p ->
+            Engine.recover n.engine;
+            Engine.resolve_from_peer n.engine ~peer:(Engine.main_region p.engine));
+        n.kv <- Kv.reattach n.engine;
+        repair (Some n) rest
+  in
+  repair None t.nodes;
+  drain_inflight t
+
+(* A fresh replica joins as the tail with state transfer from its
+   predecessor (§5.2). *)
+let add_replica t =
+  let kind =
+    match t.mode with Traditional -> Engine.Undo_logging | Kamino_chain _ -> Engine.Intent_only
+  in
+  let id = t.next_node_id in
+  t.next_node_id <- id + 1;
+  let engine = Engine.create ~config:t.engine_config ~kind ~seed:(t.seed + id) () in
+  let clock = Clock.create () in
+  Engine.set_clock engine clock;
+  (* State transfer: copy the predecessor's whole heap image, persist it,
+     and reopen on top of it. *)
+  let pred = tail t in
+  ignore (Clock.advance_to clock (Clock.now pred.clock));
+  Region.copy_between ~src:(Engine.main_region pred.engine) ~src_off:0
+    ~dst:(Engine.main_region engine) ~dst_off:0
+    ~len:(Region.size (Engine.main_region engine));
+  Region.persist_all (Engine.main_region engine);
+  Engine.recover engine;
+  let kv = Kv.reattach engine in
+  let node = { node_id = id; engine; kv; clock } in
+  t.nodes <- t.nodes @ [ node ];
+  ignore (Membership.add_tail t.membership id);
+  drain_inflight t
+
+(* --- Verification -------------------------------------------------------- *)
+
+let contents kv =
+  let acc = ref [] in
+  Kv.iter kv (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let replicas_consistent t =
+  match t.nodes with
+  | [] -> Error "no replicas"
+  | first :: rest ->
+      let reference = contents first.kv in
+      let rec check i = function
+        | [] -> Ok ()
+        | n :: rest ->
+            if contents n.kv <> reference then
+              Error (Printf.sprintf "replica %d diverges from the head" i)
+            else check (i + 1) rest
+      in
+      check 1 rest

@@ -1,0 +1,119 @@
+(** Chain replication of the key-value store (§5).
+
+    Two modes over the same machinery:
+
+    - {b Traditional}: [f+1] replicas, each running the undo-logging engine
+      — every replica copies data in the critical path of every write, and
+      each write traverses client -> head -> ... -> tail -> client.
+    - {b Kamino-Tx-Chain}: [f+2] replicas. The head runs a Kamino engine
+      (full or dynamic backup) and is collocated with the client; all other
+      replicas run [Intent_only] engines (in-place updates, no local copies
+      at all). The tail acknowledges to the head, which releases a write's
+      locks only once both the tail ack and the local backup propagation
+      have happened. Aborts are decided at the head and never enter the
+      chain.
+
+    The simulated network charges [hop_ns] per message. Each node executes
+    operations serially on its own virtual clock, so pipelining and
+    queueing fall out of the clock arithmetic; reads are served by the
+    tail, as in chain replication.
+
+    Failure handling follows §5.2-5.3: fail-stop removal with chain repair
+    (including head promotion, which builds a backup at the new head), and
+    quick-reboot recovery where a replica rolls its incomplete transactions
+    forward from its predecessor or back from its successor. *)
+
+type mode =
+  | Traditional
+  | Kamino_chain of { alpha : float option }
+      (** [None]: full backup at the head; [Some a]: dynamic backup. *)
+
+type t
+
+val create :
+  ?engine_config:Kamino_core.Engine.config ->
+  ?hop_ns:int ->
+  ?rpc_ns:int ->
+  mode:mode ->
+  f:int ->
+  value_size:int ->
+  node_size:int ->
+  seed:int ->
+  unit ->
+  t
+
+val mode : t -> mode
+
+(** Number of live replicas. *)
+val length : t -> int
+
+(** Cluster-wide NVM bytes across all replicas. *)
+val storage_bytes : t -> int
+
+(** {1 Client operations}
+
+    Each call takes the client's current virtual time and returns the
+    completion time the client observes. Writes run through the whole
+    chain; reads are served by the tail. *)
+
+val put : t -> at:int -> int -> string -> int
+
+val delete : t -> at:int -> int -> bool * int
+
+val get : t -> at:int -> int -> string option * int
+
+(** [rmw t ~at key f] — deterministic read-modify-write, applied
+    identically at every replica. *)
+val rmw : t -> at:int -> int -> (string -> string) -> bool * int
+
+(** [put_aborted t ~at key value] exercises the abort path: the head
+    executes and aborts the transaction locally; nothing is forwarded.
+    Returns the completion time. *)
+val put_aborted : t -> at:int -> int -> string -> int
+
+(** {1 Partial propagation (test hooks)}
+
+    Model in-flight writes: [put_partial] applies a write to replicas
+    [0..upto] only and records it as in flight; [drain_inflight] finishes
+    the propagation (what the in-flight/cleanup queues do after a repair). *)
+
+val put_partial : t -> at:int -> upto:int -> int -> string -> unit
+
+val drain_inflight : t -> unit
+
+(** {1 Failure injection} *)
+
+(** [fail_stop t i] removes replica [i] (0 = head) and repairs the chain.
+    Promotes the next node when the head dies. Raises [Failure] if fewer
+    than two replicas would remain. *)
+val fail_stop : t -> int -> unit
+
+(** [quick_reboot t i] crashes replica [i]'s NVM mid-state and runs the
+    §5.3 recovery: the replica rejoins through the membership manager,
+    then the head rolls back from its local backup while a non-head
+    replica rolls forward from its predecessor. *)
+val quick_reboot : t -> int -> unit
+
+(** [add_replica t] joins a fresh replica as the tail, with state transfer
+    from its predecessor (§5.2 chain repair). *)
+val add_replica : t -> unit
+
+(** [cluster_restart t] — the §5.3 data-integrity protocol: every replica
+    loses power simultaneously; recovery proceeds down the chain, the head
+    from its local backup and each other replica from its repaired
+    predecessor. *)
+val cluster_restart : t -> unit
+
+(** The membership manager (for tests and monitoring). *)
+val membership : t -> Membership.t
+
+(** {1 Inspection (tests)} *)
+
+(** Key-value view of one replica. *)
+val kv_at : t -> int -> Kamino_kv.Kv.t
+
+(** Check that all replicas hold identical key-value contents. *)
+val replicas_consistent : t -> (unit, string) result
+
+(** Per-node virtual clocks, head first (for throughput accounting). *)
+val node_clocks : t -> Kamino_sim.Clock.t list

@@ -1,0 +1,60 @@
+module Kv = Kamino_kv.Kv
+
+type t = Put of int * string | Delete of int | Append of int * string
+
+let apply_tx tx op kv =
+  match op with
+  | Put (k, v) -> Kv.put_tx tx kv k v
+  | Delete k -> ignore (Kv.delete_tx tx kv k)
+  | Append (k, suffix) -> Kv.rmw_tx tx kv k (fun v -> v ^ suffix)
+
+let apply op kv =
+  Kamino_core.Engine.with_tx (Kv.engine kv) (fun tx -> apply_tx tx op kv)
+
+let encode op =
+  let buf = Buffer.create 32 in
+  let add_int n =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int n);
+    Buffer.add_bytes buf b
+  in
+  (match op with
+  | Put (k, v) ->
+      Buffer.add_char buf 'P';
+      add_int k;
+      add_int (String.length v);
+      Buffer.add_string buf v
+  | Delete k ->
+      Buffer.add_char buf 'D';
+      add_int k
+  | Append (k, v) ->
+      Buffer.add_char buf 'A';
+      add_int k;
+      add_int (String.length v);
+      Buffer.add_string buf v);
+  Buffer.contents buf
+
+let decode s =
+  let fail () = failwith "Op.decode: malformed command" in
+  let len = String.length s in
+  if len < 9 then fail ();
+  let int_at off = Int64.to_int (String.get_int64_le s off) in
+  let key = int_at 1 in
+  let with_payload mk =
+    if len < 17 then fail ();
+    let n = int_at 9 in
+    if n < 0 || 17 + n <> len then fail ();
+    mk key (String.sub s 17 n)
+  in
+  match s.[0] with
+  | 'P' -> with_payload (fun k v -> Put (k, v))
+  | 'A' -> with_payload (fun k v -> Append (k, v))
+  | 'D' -> if len <> 9 then fail () else Delete key
+  | _ -> fail ()
+
+let equal a b = a = b
+
+let pp fmt = function
+  | Put (k, v) -> Format.fprintf fmt "Put(%d, %d bytes)" k (String.length v)
+  | Delete k -> Format.fprintf fmt "Delete(%d)" k
+  | Append (k, v) -> Format.fprintf fmt "Append(%d, %d bytes)" k (String.length v)

@@ -1,0 +1,33 @@
+(** The replicated command language.
+
+    Chain replicas receive operations "in the form of a remote procedure
+    call with a named function and the arguments to the function" (§5.1) —
+    i.e. commands must be serializable and deterministic, so every replica
+    computes the same state. [Append] stands in for deterministic
+    read-modify-writes.
+
+    The wire format is a length-prefixed byte string with a tag byte, used
+    by the persistent operation queues. *)
+
+type t =
+  | Put of int * string
+  | Delete of int
+  | Append of int * string  (** append to the existing value, if any *)
+
+(** [apply op kv] executes the command (one transaction). *)
+val apply : t -> Kamino_kv.Kv.t -> unit
+
+(** [apply_tx tx op kv] executes the command inside a caller-owned
+    transaction, so a replica can atomically pair it with its own
+    bookkeeping (exactly-once execution across reboots). *)
+val apply_tx : Kamino_core.Engine.tx -> t -> Kamino_kv.Kv.t -> unit
+
+(** [encode op] — wire bytes (tag, key, payload). *)
+val encode : t -> string
+
+(** [decode s] — inverse of [encode]. Raises [Failure] on garbage. *)
+val decode : string -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

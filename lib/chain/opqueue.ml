@@ -1,0 +1,146 @@
+module Region = Kamino_nvm.Region
+
+type t = {
+  region : Region.t;
+  slot_bytes : int;
+  n_slots : int;
+  slots_start : int;
+  (* head/tail mirrored volatilely; the persistent words are authoritative
+     at open. *)
+  mutable head : int;
+  mutable tail : int;
+}
+
+let magic_value = 0x4B544F505155455FL (* "KTOPQUE_" *)
+
+let magic_off = 0
+let config_off = 8
+let head_off = 16
+let tail_off = 24
+let header_size = 64
+
+(* Slot: seq, payload length, checksum, payload. *)
+let s_seq = 0
+let s_len = 8
+let s_check = 16
+let slot_header = 24
+
+let required_size ~slot_bytes ~n_slots = header_size + (n_slots * (slot_header + slot_bytes))
+
+let slot_stride t = slot_header + t.slot_bytes
+
+let slot_off t seq = t.slots_start + (seq mod t.n_slots * slot_stride t)
+
+let check_of ~seq ~payload =
+  let acc = ref (Int64.of_int (seq lxor 0x5EED)) in
+  String.iter
+    (fun c -> acc := Int64.add (Int64.mul !acc 1099511628211L) (Int64.of_int (Char.code c + 1)))
+    payload;
+  Int64.add !acc 0x5A17EDL
+
+let config_of ~slot_bytes ~n_slots = Int64.of_int ((slot_bytes * 31) + (n_slots * 7) + 5)
+
+let format region ~slot_bytes ~n_slots =
+  if Region.size region < required_size ~slot_bytes ~n_slots then
+    invalid_arg "Opqueue.format: region too small";
+  Region.write_int64 region magic_off magic_value;
+  Region.write_int64 region config_off (config_of ~slot_bytes ~n_slots);
+  Region.write_int region head_off 0;
+  Region.write_int region tail_off 0;
+  (* Config words are recovered from the checksum at open. *)
+  Region.write_int region 32 slot_bytes;
+  Region.write_int region 40 n_slots;
+  Region.persist region 0 header_size;
+  { region; slot_bytes; n_slots; slots_start = header_size; head = 0; tail = 0 }
+
+let read_entry t seq =
+  let off = slot_off t seq in
+  let stored_seq = Region.read_int t.region (off + s_seq) in
+  if stored_seq <> seq then None
+  else begin
+    let len = Region.read_int t.region (off + s_len) in
+    if len < 0 || len > t.slot_bytes then None
+    else begin
+      let payload = Region.read_string t.region (off + slot_header) len in
+      if Region.read_int64 t.region (off + s_check) <> check_of ~seq ~payload then None
+      else Some payload
+    end
+  end
+
+let open_existing region =
+  if Region.read_int64 region magic_off <> magic_value then
+    failwith "Opqueue.open_existing: bad magic";
+  let slot_bytes = Region.read_int region 32 in
+  let n_slots = Region.read_int region 40 in
+  if Region.read_int64 region config_off <> config_of ~slot_bytes ~n_slots then
+    failwith "Opqueue.open_existing: corrupt configuration";
+  let t =
+    {
+      region;
+      slot_bytes;
+      n_slots;
+      slots_start = header_size;
+      head = Region.read_int region head_off;
+      tail = Region.read_int region tail_off;
+    }
+  in
+  (* The persistent tail never points past a torn entry (entries persist
+     before the tail), but be defensive: validate the window. *)
+  let rec trim seq = if seq < t.tail && read_entry t seq <> None then trim (seq + 1) else seq in
+  t.tail <- trim t.head;
+  t
+
+let length t = t.tail - t.head
+
+let is_empty t = length t = 0
+
+let is_full t = length t >= t.n_slots
+
+let head_seq t = t.head
+
+let tail_seq t = t.tail
+
+let enqueue t payload =
+  if is_full t then failwith "Opqueue.enqueue: queue full";
+  if String.length payload > t.slot_bytes then failwith "Opqueue.enqueue: payload too large";
+  let seq = t.tail in
+  let off = slot_off t seq in
+  Region.write_int t.region (off + s_seq) seq;
+  Region.write_int t.region (off + s_len) (String.length payload);
+  Region.write_int64 t.region (off + s_check) (check_of ~seq ~payload);
+  Region.write_string t.region (off + slot_header) payload;
+  Region.persist t.region off (slot_header + String.length payload);
+  (* Publish: single-word tail update. *)
+  t.tail <- seq + 1;
+  Region.write_int t.region tail_off t.tail;
+  Region.persist t.region tail_off 8;
+  seq
+
+let peek t =
+  if is_empty t then None
+  else
+    match read_entry t t.head with
+    | Some payload -> Some (t.head, payload)
+    | None -> failwith "Opqueue.peek: corrupt published entry"
+
+let advance_head t seq =
+  t.head <- seq;
+  Region.write_int t.region head_off t.head;
+  Region.persist t.region head_off 8
+
+let dequeue t =
+  match peek t with
+  | None -> None
+  | Some (seq, payload) ->
+      advance_head t (seq + 1);
+      Some (seq, payload)
+
+let drop_through t seq =
+  if seq >= t.head then advance_head t (min (seq + 1) t.tail)
+
+let iter t f =
+  for seq = t.head to t.tail - 1 do
+    match read_entry t seq with
+    | Some payload -> f ~seq ~payload
+    | None -> failwith "Opqueue.iter: corrupt published entry"
+  done

@@ -1,0 +1,56 @@
+(** Persistent operation queue.
+
+    §5.1: "The replicas buffer such calls in an input queue in non-volatile
+    memory before the receipt is acknowledged upstream. ... It then
+    forwards the transaction downstream and moves the transaction from its
+    input queue to a buffered queue of in-flight transactions." Both queues
+    are instances of this module: a slotted persistent ring of encoded
+    commands with globally ordered sequence numbers.
+
+    Crash discipline: an entry (payload + its sequence tag and checksum) is
+    persisted before the tail pointer publishes it; head/tail pointers are
+    single 8-byte words, so every crash leaves a well-formed window of
+    entries, which [open_existing] revalidates entry by entry. *)
+
+type t
+
+(** [required_size ~slot_bytes ~n_slots]. *)
+val required_size : slot_bytes:int -> n_slots:int -> int
+
+(** [format region ~slot_bytes ~n_slots] — [slot_bytes] bounds one encoded
+    command. *)
+val format : Kamino_nvm.Region.t -> slot_bytes:int -> n_slots:int -> t
+
+(** Reopen after a crash; drops any torn (unpublished) tail entry. *)
+val open_existing : Kamino_nvm.Region.t -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+
+(** Sequence number of the next entry to dequeue / the next to enqueue.
+    Sequence numbers are global and never reused. *)
+val head_seq : t -> int
+
+val tail_seq : t -> int
+
+(** [enqueue t payload] appends durably; returns the entry's sequence
+    number. Raises [Failure] when full or when the payload exceeds the slot
+    size. *)
+val enqueue : t -> string -> int
+
+(** [peek t] — oldest entry, as [(seq, payload)]. *)
+val peek : t -> (int * string) option
+
+(** [dequeue t] durably removes and returns the oldest entry. *)
+val dequeue : t -> (int * string) option
+
+(** [drop_through t seq] durably removes every entry with sequence [<= seq]
+    — the §5.1 cleanup acknowledgments garbage-collecting the in-flight
+    queue. *)
+val drop_through : t -> int -> unit
+
+(** [iter t f] visits queued entries oldest-first as [f ~seq ~payload]. *)
+val iter : t -> (seq:int -> payload:string -> unit) -> unit

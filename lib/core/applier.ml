@@ -1,0 +1,84 @@
+module Region = Kamino_nvm.Region
+module Clock = Kamino_sim.Clock
+
+type apply_fn = tx_id:int -> slot:Intent_log.slot -> ranges:Intent_log.intent list -> unit
+
+type task = {
+  id : int;
+  tx_id : int;
+  slot : Intent_log.slot;
+  ranges : Intent_log.intent list;
+  finish : int;
+}
+
+type t = {
+  regions : Region.t list;
+  apply : apply_fn;
+  queue : task Queue.t;
+  scratch : Clock.t;  (* absorbs NVM costs of lazy application *)
+  mutable vnow : int;
+  mutable next_id : int;
+  mutable applied_through : int;
+  mutable tasks_applied : int;
+}
+
+let create ~regions ~apply =
+  {
+    regions;
+    apply;
+    queue = Queue.create ();
+    scratch = Clock.create ();
+    vnow = 0;
+    next_id = 1;
+    applied_through = 0;
+    tasks_applied = 0;
+  }
+
+let enqueue t ~commit_time ~cost_ns ~tx_id ~slot ~ranges =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let start = max t.vnow commit_time in
+  let finish = start + int_of_float cost_ns in
+  t.vnow <- finish;
+  Queue.add { id; tx_id; slot; ranges; finish } t.queue;
+  (id, finish)
+
+(* Run [f] with every region's cost charging redirected to the scratch
+   clock: the task's timing was already settled at enqueue. *)
+let with_scratch_clock t f =
+  let saved = List.map (fun r -> (r, Region.clock r)) t.regions in
+  List.iter (fun r -> Region.set_clock r t.scratch) t.regions;
+  Fun.protect ~finally:(fun () -> List.iter (fun (r, c) -> Region.set_clock r c) saved) f
+
+let apply_task t task =
+  with_scratch_clock t (fun () ->
+      t.apply ~tx_id:task.tx_id ~slot:task.slot ~ranges:task.ranges);
+  t.applied_through <- task.id;
+  t.tasks_applied <- t.tasks_applied + 1
+
+let sync_through t task_id =
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.queue with
+    | Some task when task.id <= task_id ->
+        ignore (Queue.pop t.queue);
+        apply_task t task
+    | Some _ | None -> continue := false
+  done
+
+let drain t = sync_through t max_int
+
+let drain_one t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some task ->
+      apply_task t task;
+      Some task.finish
+
+let applied_through t = t.applied_through
+
+let virtual_now t = t.vnow
+
+let queued t = Queue.length t.queue
+
+let tasks_applied t = t.tasks_applied

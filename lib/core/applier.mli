@@ -1,0 +1,63 @@
+(** Background backup applier — the heart of "copy off the critical path".
+
+    Committed transactions enqueue a task (their write-set ranges). The
+    applier runs on its own virtual timeline: a task's finish time is
+    computed analytically at enqueue ([max applier_now commit_time] plus the
+    copy and persist cost of the ranges), so the committing client's clock
+    never advances for the copy work. The write locks of the transaction are
+    then released {e at the task's finish time} — which is exactly the
+    paper's rule that dependent transactions wait for the backup to catch up
+    while independent transactions proceed immediately.
+
+    Tasks are applied lazily at the {e data} level (the copies physically
+    happen when something needs them — a later write lock on an overlapping
+    object, intent-log slot exhaustion, a crash-free shutdown), with their
+    NVM work charged to a throwaway clock because the timeline already
+    accounted for it. Laziness matters for fidelity: a crash can land
+    between a commit and its propagation, and recovery must roll the backup
+    forward from the intent log, which the crash tests exercise. *)
+
+type t
+
+(** What applying one task means — supplied by the engine: roll each range
+    forward into the backup, then release the intent-log slot. *)
+type apply_fn = tx_id:int -> slot:Intent_log.slot -> ranges:Intent_log.intent list -> unit
+
+(** [create ~regions ~apply] — [regions] are every region the [apply]
+    callback touches; their clocks are swapped to a throwaway clock for the
+    duration of each lazy application. *)
+val create : regions:Kamino_nvm.Region.t list -> apply:apply_fn -> t
+
+(** [enqueue t ~commit_time ~cost_ns ~tx_id ~slot ~ranges] registers a
+    task and returns [(task_id, finish_time)]. [cost_ns] is the modelled
+    copy+persist cost of the ranges on the applier's timeline. *)
+val enqueue :
+  t ->
+  commit_time:int ->
+  cost_ns:float ->
+  tx_id:int ->
+  slot:Intent_log.slot ->
+  ranges:Intent_log.intent list ->
+  int * int
+
+(** [sync_through t task_id] physically applies every queued task with id
+    [<= task_id]. No-op if already applied. *)
+val sync_through : t -> int -> unit
+
+(** [drain t] applies everything queued. *)
+val drain : t -> unit
+
+(** [drain_one t] applies the oldest queued task and returns its finish
+    time, or [None] if the queue is empty. Used when the intent log is out
+    of slots: the committing client waits (virtually) until this time. *)
+val drain_one : t -> int option
+
+(** Highest task id physically applied so far (0 if none). *)
+val applied_through : t -> int
+
+(** The applier's timeline position: finish time of the last enqueued task. *)
+val virtual_now : t -> int
+
+val queued : t -> int
+
+val tasks_applied : t -> int

@@ -1,0 +1,239 @@
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+
+type policy = Lru_policy | Fifo_policy
+
+type dynamic = {
+  slots : Heap.t;
+  table : Phash.t;
+  lru : Lru.t;
+  policy : policy;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t = Full of Region.t | Dynamic of dynamic
+
+(* The look-up table's value word packs the slot offset and the copy length
+   so the slot allocator can be reconstructed from the table alone after a
+   crash (the allocator metadata itself is volatile). Single-word values
+   keep Phash's crash-atomic publish discipline intact. *)
+let pack_slot ~slot ~len = slot lor (len lsl 32)
+
+let unpack_slot v = (v land 0xFFFFFFFF, v lsr 32)
+
+let create_full region = Full region
+
+let create_dynamic ~slots ~table ~policy =
+  Dynamic
+    {
+      slots = Heap.format slots;
+      table = Phash.format table ~capacity:(Region.size table / 32);
+      lru = Lru.create ();
+      policy;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+let reopen t =
+  match t with
+  | Full region -> Full region
+  | Dynamic d ->
+      (* The table is the persistent truth; the slot allocator's own
+         metadata was volatile and is rebuilt from the mapping. Resident
+         keys re-enter the recency queue so they stay evictable. *)
+      let table = Phash.open_existing (Phash.region d.table) in
+      let live = ref [] in
+      Phash.iter table (fun ~key:_ ~value ->
+          let slot, len = unpack_slot value in
+          live := (slot, len) :: !live);
+      let slots = Heap.rebuild_with (Heap.region d.slots) ~live:!live in
+      let lru = Lru.create () in
+      Phash.iter table (fun ~key ~value:_ -> Lru.touch lru key);
+      Dynamic
+        { slots; table; lru; policy = d.policy; hits = 0; misses = 0; evictions = 0 }
+
+let initialize_full t ~main =
+  match t with
+  | Full region ->
+      Region.copy_between ~src:main ~src_off:0 ~dst:region ~dst_off:0
+        ~len:(Region.size main);
+      Region.persist_all region
+  | Dynamic _ -> ()
+
+let evict d ~locked =
+  match Lru.evict_candidate d.lru ~locked with
+  | None -> false
+  | Some key -> (
+      match Phash.find d.table ~key with
+      | None ->
+          (* The queue briefly knew a key the table does not (should not
+             happen); drop it and try again. *)
+          Lru.remove d.lru key;
+          true
+      | Some packed ->
+          let slot, _len = unpack_slot packed in
+          ignore (Phash.remove d.table ~key);
+          Heap.free d.slots slot;
+          Lru.remove d.lru key;
+          d.evictions <- d.evictions + 1;
+          true)
+
+let rec alloc_slot d ~len ~locked ~pressure ~relieved =
+  match Heap.alloc d.slots len with
+  | slot -> slot
+  | exception Out_of_memory ->
+      if evict d ~locked then alloc_slot d ~len ~locked ~pressure ~relieved
+      else if not relieved then begin
+        (* Everything resident is pinned — usually because committed write
+           sets are still queued at the applier. Let the engine drain it,
+           unpinning their copies, and retry once. *)
+        pressure ();
+        alloc_slot d ~len ~locked ~pressure ~relieved:true
+      end
+      else
+        failwith
+          "Backup: dynamic backup exhausted — every resident copy is locked \
+           (working set exceeds alpha * heap)"
+
+let drop_resident d ~key ~slot =
+  ignore (Phash.remove d.table ~key);
+  Heap.free d.slots slot;
+  Lru.remove d.lru key
+
+(* Forget the resident copy for a range whose object identity has died —
+   called after rolling back an aborted or incomplete transaction, whose
+   fresh allocations may be re-carved with different extent boundaries. *)
+let drop t ~off =
+  match t with
+  | Full _ -> ()
+  | Dynamic d -> (
+      match Phash.find d.table ~key:off with
+      | None -> ()
+      | Some packed ->
+          let slot, _len = unpack_slot packed in
+          drop_resident d ~key:off ~slot)
+
+let ensure_copy t ~main ~off ~len ~locked ~pressure =
+  match t with
+  | Full _ -> ()
+  | Dynamic d -> (
+      let hit =
+        match Phash.find d.table ~key:off with
+        | Some packed ->
+            let slot, stored_len = unpack_slot packed in
+            if stored_len = len then true
+            else begin
+              (* The same address hosts a different-sized object now (its
+                 previous allocation was rolled back by an abort or crash).
+                 The stale copy is useless — and copying the new extent
+                 into the undersized slot would corrupt its neighbours. *)
+              drop_resident d ~key:off ~slot;
+              false
+            end
+        | None -> false
+      in
+      match hit with
+      | true ->
+          d.hits <- d.hits + 1;
+          (* FIFO ablation: recency is insertion order only. *)
+          if d.policy = Lru_policy then Lru.touch d.lru off
+      | false ->
+          d.misses <- d.misses + 1;
+          let slot = alloc_slot d ~len ~locked ~pressure ~relieved:false in
+          let dst = Heap.region d.slots in
+          Region.copy_between ~src:main ~src_off:off ~dst ~dst_off:slot ~len;
+          Region.persist dst slot len;
+          (* Publish the mapping only after the copy is durable; Phash's
+             two-step insert keeps the entry itself crash-atomic. *)
+          Phash.insert d.table ~key:off ~value:(pack_slot ~slot ~len);
+          Lru.touch d.lru off)
+
+let has_copy t ~off =
+  match t with Full _ -> true | Dynamic d -> Phash.find d.table ~key:off <> None
+
+let roll_forward t ~main ~off ~len =
+  match t with
+  | Full region ->
+      Region.copy_between ~src:main ~src_off:off ~dst:region ~dst_off:off ~len;
+      Region.persist region off len
+  | Dynamic d -> (
+      match Phash.find d.table ~key:off with
+      | None ->
+          failwith
+            (Printf.sprintf
+               "Backup.roll_forward: no resident copy for range at %d — locking \
+                discipline violated"
+               off)
+      | Some packed ->
+          let slot, stored_len = unpack_slot packed in
+          if stored_len <> len then
+            failwith
+              (Printf.sprintf
+                 "Backup.roll_forward: resident copy at %d has length %d, range has %d"
+                 off stored_len len);
+          let dst = Heap.region d.slots in
+          Region.copy_between ~src:main ~src_off:off ~dst ~dst_off:slot ~len;
+          Region.persist dst slot len)
+
+let roll_back t ~main ~off ~len =
+  match t with
+  | Full region ->
+      Region.copy_between ~src:region ~src_off:off ~dst:main ~dst_off:off ~len;
+      Region.persist main off len;
+      true
+  | Dynamic d -> (
+      match Phash.find d.table ~key:off with
+      | None -> false
+      | Some packed ->
+          let slot, stored_len = unpack_slot packed in
+          if stored_len <> len then
+            failwith
+              (Printf.sprintf
+                 "Backup.roll_back: resident copy at %d has length %d, range has %d" off
+                 stored_len len);
+          Region.copy_between ~src:(Heap.region d.slots) ~src_off:slot ~dst:main
+            ~dst_off:off ~len;
+          Region.persist main off len;
+          true)
+
+let storage_bytes t =
+  match t with
+  | Full region -> Region.size region
+  | Dynamic d -> Region.size (Heap.region d.slots) + (Phash.capacity d.table * 16)
+
+let hits t = match t with Full _ -> 0 | Dynamic d -> d.hits
+
+let misses t = match t with Full _ -> 0 | Dynamic d -> d.misses
+
+let evictions t = match t with Full _ -> 0 | Dynamic d -> d.evictions
+
+let resident t = match t with Full _ -> 0 | Dynamic d -> Phash.count d.table
+
+let copy_matches ?len t ~main ~off =
+  match t with
+  | Full region ->
+      let len = Option.value len ~default:64 in
+      Some (Region.read_bytes region off len = Region.read_bytes main off len)
+  | Dynamic d -> (
+      match Phash.find d.table ~key:off with
+      | None -> None
+      | Some packed ->
+          let slot, stored_len = unpack_slot packed in
+          let len = Option.value len ~default:stored_len in
+          let len = min len stored_len in
+          Some
+            (Region.read_bytes (Heap.region d.slots) slot len
+            = Region.read_bytes main off len))
+
+let dump_mapping t =
+  match t with
+  | Full _ -> []
+  | Dynamic d ->
+      let acc = ref [] in
+      Phash.iter d.table (fun ~key ~value ->
+          let slot, len = unpack_slot value in
+          acc := (key, slot, len) :: !acc);
+      List.sort compare !acc

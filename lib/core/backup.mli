@@ -1,0 +1,100 @@
+(** The backup copy of the heap — full (Kamino-Tx-Simple) or dynamic
+    partial (Kamino-Tx-Dynamic, §4).
+
+    A full backup is a second region the same size as the main heap; ranges
+    live at identical offsets, so roll-forward and roll-back are plain
+    cross-region copies and no critical-path work is ever needed to
+    establish a copy.
+
+    A dynamic backup holds copies of only the most frequently modified
+    objects in a region of size [alpha * heap]: a slot allocator (reusing
+    {!Kamino_heap.Heap}), a persistent look-up table ({!Phash}: main offset
+    -> slot offset) and a volatile recency queue ({!Lru}). When a
+    transaction locks an object with no resident copy, the copy is created
+    {e on demand, in the critical path} — the latency/storage trade-off the
+    paper evaluates in Figures 14-16. The eviction policy is pluggable
+    (LRU per the paper, FIFO for the ablation bench). *)
+
+type t
+
+type policy = Lru_policy | Fifo_policy
+
+(** [create_full region] wraps a region the same size as the main heap.
+    The caller must initialize it (one whole-heap copy) with {!initialize_full}. *)
+val create_full : Kamino_nvm.Region.t -> t
+
+val create_dynamic :
+  slots:Kamino_nvm.Region.t -> table:Kamino_nvm.Region.t -> policy:policy -> t
+
+(** Re-attach after a crash: reopens the persistent look-up table (dynamic)
+    and resets volatile state. *)
+val reopen : t -> t
+
+(** [initialize_full t ~main] copies the freshly formatted main heap into a
+    full backup and persists it. No-op for dynamic backups. *)
+val initialize_full : t -> main:Kamino_nvm.Region.t -> unit
+
+(** [ensure_copy t ~main ~off ~len ~locked ~pressure] guarantees the backup
+    holds the current main-heap bytes of the range, evicting unlocked
+    resident objects if space is needed (dynamic only). When every resident
+    copy is pinned, [pressure] is invoked once (the engine drains the
+    backup applier, unpinning committed-but-unapplied copies) before a
+    final retry; only if that fails too does the call raise [Failure] —
+    the working set genuinely exceeds [alpha * heap]. Charges all work to
+    the current clock — this is the dynamic variant's critical-path miss
+    cost. *)
+val ensure_copy :
+  t ->
+  main:Kamino_nvm.Region.t ->
+  off:int ->
+  len:int ->
+  locked:(int -> bool) ->
+  pressure:(unit -> unit) ->
+  unit
+
+(** [has_copy t ~off] — does a resident copy exist for the range starting
+    at [off]? Always true for full backups. *)
+val has_copy : t -> off:int -> bool
+
+(** [drop t ~off] forgets the resident copy for the range at [off] (no-op
+    for full backups and absent copies). The engine calls it for every
+    range it rolls back: a rolled-back allocation returns its space to the
+    allocator, and future objects there may have different extent
+    boundaries, which would leave the copy stale and overlapping. *)
+val drop : t -> off:int -> unit
+
+(** [roll_forward t ~main ~off ~len] copies main -> backup and persists the
+    backup range (a committed transaction propagating). Raises [Failure]
+    for a dynamic backup with no resident copy — the engine's locking
+    discipline makes that unreachable. *)
+val roll_forward : t -> main:Kamino_nvm.Region.t -> off:int -> len:int -> unit
+
+(** [roll_back t ~main ~off ~len] copies backup -> main and persists the
+    main range (an aborted or incomplete transaction being undone). For a
+    dynamic backup, a missing copy is a no-op returning [false]: the crash
+    happened before the transaction's first write to that range, so main is
+    untouched there. *)
+val roll_back : t -> main:Kamino_nvm.Region.t -> off:int -> len:int -> bool
+
+(** Total NVM bytes the backup occupies (slots + table for dynamic). *)
+val storage_bytes : t -> int
+
+(** {1 Metrics (dynamic; zero for full)} *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val resident : t -> int
+
+(** [copy_matches t ~main ~off] — does the resident copy for the range at
+    [off] currently equal the main heap's bytes? [None] when absent
+    (dynamic backups). [len] defaults to the resident copy's length
+    (dynamic) or 64 bytes (full). Test/verification helper. *)
+val copy_matches : ?len:int -> t -> main:Kamino_nvm.Region.t -> off:int -> bool option
+
+(** Debug/test introspection of the dynamic mapping:
+    [(main_off, slot_off, len)] triples, sorted. Empty for full backups. *)
+val dump_mapping : t -> (int * int * int) list

@@ -1,0 +1,916 @@
+module Region = Kamino_nvm.Region
+module Cost_model = Kamino_nvm.Cost_model
+module Clock = Kamino_sim.Clock
+module Rng = Kamino_sim.Rng
+module Heap = Kamino_heap.Heap
+
+type kind =
+  | No_logging
+  | Undo_logging
+  | Cow
+  | Kamino_simple
+  | Kamino_dynamic of { alpha : float; policy : Backup.policy }
+  | Intent_only
+
+let kind_name = function
+  | No_logging -> "no-logging"
+  | Undo_logging -> "undo-logging"
+  | Cow -> "cow"
+  | Kamino_simple -> "kamino-simple"
+  | Intent_only -> "intent-only"
+  | Kamino_dynamic { alpha; policy } ->
+      Printf.sprintf "kamino-dynamic(%.0f%%%s)" (alpha *. 100.0)
+        (match policy with Backup.Lru_policy -> "" | Backup.Fifo_policy -> ",fifo")
+
+type config = {
+  heap_bytes : int;
+  log_slots : int;
+  max_tx_entries : int;
+  data_log_bytes : int;
+  cost : Cost_model.t;
+  crash_mode : Region.crash_mode;
+  check_intents : bool;
+  flush_per_intent : bool;
+  global_pending : bool;
+}
+
+let default_config =
+  {
+    heap_bytes = 16 * 1024 * 1024;
+    log_slots = 256;
+    max_tx_entries = 192;
+    data_log_bytes = 8 * 1024 * 1024;
+    cost = Cost_model.default;
+    crash_mode = Region.Words_survive_randomly;
+    check_intents = true;
+    flush_per_intent = false;
+    global_pending = false;
+  }
+
+(* One declared write intent of the active transaction. [cow] is the CoW
+   working copy when the range is redirected; [None] means the range is
+   edited in place (always, for the non-CoW kinds). *)
+type irec = { r_off : int; r_len : int; mutable cow : Data_log.entry option }
+
+type t = {
+  mutable e_kind : kind;
+  e_config : config;
+  main : Region.t;
+  mutable heap : Heap.t;
+  ilog_region : Region.t option;
+  mutable ilog : Intent_log.t option;
+  dlog_region : Region.t option;
+  mutable dlog : Data_log.t option;
+  mutable bkp : Backup.t option;
+  mutable locks : Locks.t;
+  mutable appl : Applier.t option;
+  mutable clk : Clock.t;
+  rng : Rng.t;
+  mutable next_tx_id : int;
+  mutable active : tx option;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable last_write_keys : int list;
+  mutable all_regions : Region.t list;
+}
+
+and tx = {
+  owner : t;
+  id : int;
+  mutable slot : Intent_log.slot option;
+  by_key : (int, irec) Hashtbl.t;
+  mutable order : irec list;  (* reverse declaration order *)
+  mutable lock_keys : int list;  (* write-lock keys (object extents) *)
+  mutable read_keys : int list;
+  mutable needs_barrier : bool;
+  mutable finished : bool;
+}
+
+let tx_engine tx = tx.owner
+
+let kind t = t.e_kind
+
+let config t = t.e_config
+
+let heap t = t.heap
+
+let clock t = t.clk
+
+let now t = Clock.now t.clk
+
+let set_clock t c =
+  t.clk <- c;
+  List.iter (fun r -> Region.set_clock r c) t.all_regions
+
+let main_region t = t.main
+
+let backup t = t.bkp
+
+let applier t = t.appl
+
+let intent_log t = t.ilog
+
+let data_log t = t.dlog
+
+let locks t = t.locks
+
+let root t = Heap.root t.heap
+
+let main_counters t = Region.counters t.main
+
+let storage_bytes t = List.fold_left (fun acc r -> acc + Region.size r) 0 t.all_regions
+
+(* --- Construction ------------------------------------------------------- *)
+
+let uses_intent_log = function
+  | Kamino_simple | Kamino_dynamic _ | Intent_only -> true
+  | No_logging | Undo_logging | Cow -> false
+
+let uses_data_log = function
+  | Undo_logging | Cow -> true
+  | No_logging | Kamino_simple | Kamino_dynamic _ | Intent_only -> false
+
+let make_applier t =
+  let apply ~tx_id:_ ~slot ~ranges =
+    let b = Option.get t.bkp and ilog = Option.get t.ilog in
+    List.iter
+      (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
+      ranges;
+    Intent_log.release ilog slot
+  in
+  Applier.create ~regions:t.all_regions ~apply
+
+let create ?(config = default_config) ~kind ~seed () =
+  let rng = Rng.create seed in
+  let clk = Clock.create () in
+  let mk size = Region.create ~cost:config.cost ~crash_mode:config.crash_mode
+      ~rng:(Rng.split rng) ~clock:clk ~size ()
+  in
+  let main = Region.create ~cost:config.cost ~crash_mode:config.crash_mode
+      ~rng:(Rng.split rng) ~clock:clk ~size:config.heap_bytes ()
+  in
+  let heap = Heap.format main in
+  let ilog_region, ilog =
+    if uses_intent_log kind then begin
+      let size =
+        Intent_log.required_size ~max_user_threads:8
+          ~max_tx_entries:config.max_tx_entries ~n_slots:config.log_slots
+      in
+      let r = mk size in
+      (Some r, Some (Intent_log.format r ~max_user_threads:8
+                       ~max_tx_entries:config.max_tx_entries ~n_slots:config.log_slots))
+    end
+    else (None, None)
+  in
+  let dlog_region, dlog =
+    if uses_data_log kind then begin
+      let r = mk (Data_log.required_size ~arena_bytes:config.data_log_bytes) in
+      (Some r, Some (Data_log.format r))
+    end
+    else (None, None)
+  in
+  let bkp, backup_regions =
+    match kind with
+    | Kamino_simple ->
+        let r = mk config.heap_bytes in
+        let b = Backup.create_full r in
+        Backup.initialize_full b ~main;
+        (Some b, [ r ])
+    | Kamino_dynamic { alpha; policy } ->
+        let slots_bytes = max (int_of_float (alpha *. float_of_int config.heap_bytes)) 65536 in
+        let slots = mk slots_bytes in
+        let table = mk (Phash.required_size ~capacity:(max 1024 (slots_bytes / 128))) in
+        (Some (Backup.create_dynamic ~slots ~table ~policy), [ slots; table ])
+    | No_logging | Undo_logging | Cow | Intent_only -> (None, [])
+  in
+  let all_regions =
+    (main :: Option.to_list ilog_region) @ Option.to_list dlog_region @ backup_regions
+  in
+  let t =
+    {
+      e_kind = kind;
+      e_config = config;
+      main;
+      heap;
+      ilog_region;
+      ilog;
+      dlog_region;
+      dlog;
+      bkp;
+      locks = Locks.create ();
+      appl = None;
+      clk;
+      rng;
+      next_tx_id = 1;
+      active = None;
+      committed = 0;
+      aborted = 0;
+      last_write_keys = [];
+      all_regions;
+    }
+  in
+  (match kind with
+  | Kamino_simple | Kamino_dynamic _ -> t.appl <- Some (make_applier t)
+  | No_logging | Undo_logging | Cow | Intent_only -> ());
+  set_clock t clk;
+  t
+
+(* --- Helpers ------------------------------------------------------------ *)
+
+let cost t = t.e_config.cost
+
+let active_tx tx =
+  if tx.finished then failwith "Engine: transaction already finished";
+  match tx.owner.active with
+  | Some a when a == tx -> ()
+  | _ -> failwith "Engine: transaction is not the active one"
+
+let covering tx abs len =
+  let rec find = function
+    | [] -> None
+    | r :: rest ->
+        if r.r_off <= abs && abs + len <= r.r_off + r.r_len then Some r else find rest
+  in
+  find tx.order
+
+let do_barrier tx =
+  if tx.needs_barrier then begin
+    let t = tx.owner in
+    (match t.e_kind with
+    | Kamino_simple | Kamino_dynamic _ | Intent_only -> (
+        match tx.slot with
+        | Some slot -> Intent_log.barrier (Option.get t.ilog) slot
+        | None -> ())
+    | Undo_logging | Cow -> Data_log.barrier (Option.get t.dlog)
+    | No_logging -> ());
+    tx.needs_barrier <- false
+  end
+
+let persist_ranges region ranges =
+  if ranges <> [] then begin
+    List.iter (fun r -> Region.flush region r.r_off r.r_len) ranges;
+    Region.fence region
+  end
+
+(* Modelled applier cost of propagating a committed write set: copy each
+   range into the backup and issue its write-backs. The applier drains
+   batches of tasks behind one fence, so the fence latency is amortized. *)
+let applier_fence_batch = 4.0
+
+let task_cost cm ranges =
+  List.fold_left
+    (fun acc { Intent_log.off = _; len } ->
+      acc
+      +. Cost_model.copy_cost cm len
+      +. (cm.Cost_model.flush_line_ns *. float_of_int ((len + 63) / 64)))
+    (cm.Cost_model.fence_ns /. applier_fence_batch)
+    ranges
+
+(* Predicate for dynamic-backup eviction: an object is pinned while the
+   active transaction holds it or while a committed-but-unapplied task still
+   needs its resident copy. *)
+let pinned t key =
+  Locks.held_by_active_tx t.locks key
+  ||
+  match t.appl with
+  | Some a -> Locks.last_writer_task t.locks key > Applier.applied_through a
+  | None -> false
+
+(* --- Transactions ------------------------------------------------------- *)
+
+let begin_tx t =
+  (match t.active with
+  | Some _ -> failwith "Engine.begin_tx: a transaction is already active"
+  | None -> ());
+  let id = t.next_tx_id in
+  t.next_tx_id <- id + 1;
+  Region.charge t.main (cost t).Cost_model.tx_overhead_ns;
+  (match t.e_kind with
+  | Undo_logging | Cow -> Data_log.begin_tx (Option.get t.dlog) ~tx_id:id
+  | No_logging | Kamino_simple | Kamino_dynamic _ | Intent_only -> ());
+  let tx =
+    {
+      owner = t;
+      id;
+      slot = None;  (* claimed lazily at the first write intent *)
+      by_key = Hashtbl.create 16;
+      order = [];
+      lock_keys = [];
+      read_keys = [];
+      needs_barrier = uses_data_log t.e_kind;
+      finished = false;
+    }
+  in
+  t.active <- Some tx;
+  tx
+
+(* Intent-log slot of [tx], claimed on first use so read-only transactions
+   never touch the log region. *)
+let claim_slot tx =
+  match tx.slot with
+  | Some s -> s
+  | None ->
+      let t = tx.owner in
+      let ilog = Option.get t.ilog in
+      let s =
+        match t.e_kind with
+        | Kamino_simple | Kamino_dynamic _ ->
+            let appl = Option.get t.appl in
+            let rec claim () =
+              match Intent_log.begin_record ilog ~tx_id:tx.id with
+              | Some s -> s
+              | None -> (
+                  (* Every slot holds a committed-but-unapplied record: wait
+                     (virtually) for the applier to retire the oldest. *)
+                  match Applier.drain_one appl with
+                  | Some finish ->
+                      ignore (Clock.advance_to t.clk finish);
+                      claim ()
+                  | None ->
+                      failwith "Engine.begin_tx: intent log exhausted with empty applier")
+            in
+            claim ()
+        | Intent_only -> (
+            (* Replica slots are released at commit, so a free one always
+               exists under serial execution. *)
+            match Intent_log.begin_record ilog ~tx_id:tx.id with
+            | Some s -> s
+            | None -> failwith "Engine: intent log exhausted on a replica")
+        | No_logging | Undo_logging | Cow -> assert false
+      in
+      tx.slot <- Some s;
+      s
+
+(* Declare a write intent on an arbitrary byte range. [redirectable] selects
+   CoW redirection; allocator metadata, freshly allocated extents and the
+   root pointer are always edited in place. [lock_key] defaults to the
+   range start; field-granular intents lock the whole owning object while
+   logging only the field's bytes. *)
+let declare ?lock_key tx ~off ~len ~redirectable =
+  active_tx tx;
+  let lock_key = Option.value lock_key ~default:off in
+  if not (Hashtbl.mem tx.by_key off) then begin
+    let t = tx.owner in
+    let cm = cost t in
+    let held_at =
+      Locks.acquire_write t.locks lock_key ~now:(Clock.now t.clk)
+        ~cost_ns:cm.Cost_model.lock_ns
+    in
+    ignore (Clock.advance_to t.clk held_at);
+    let cow =
+      match t.e_kind with
+      | No_logging -> None
+      | Undo_logging ->
+          ignore (Data_log.add (Option.get t.dlog) ~off ~len ~replay:Data_log.On_abort
+                    ~src:t.main);
+          None
+      | Cow ->
+          if redirectable then
+            Some (Data_log.add (Option.get t.dlog) ~off ~len ~replay:Data_log.On_commit
+                    ~src:t.main)
+          else begin
+            ignore (Data_log.add (Option.get t.dlog) ~off ~len ~replay:Data_log.On_abort
+                      ~src:t.main);
+            None
+          end
+      | Intent_only ->
+          (* Non-head chain replica: record the intent, edit in place; the
+             chain's neighbours stand in for the backup at recovery. *)
+          let slot = claim_slot tx in
+          Intent_log.add_intent (Option.get t.ilog) slot { Intent_log.off; len };
+          if t.e_config.flush_per_intent then Intent_log.barrier (Option.get t.ilog) slot;
+          None
+      | Kamino_simple | Kamino_dynamic _ ->
+          let appl = Option.get t.appl and b = Option.get t.bkp in
+          if t.e_config.global_pending then begin
+            (* Coarse-blocking ablation: wait for the whole backup to catch
+               up before touching anything. *)
+            if Applier.queued appl > 0 then begin
+              ignore (Clock.advance_to t.clk (Applier.virtual_now appl));
+              Applier.drain appl
+            end
+          end
+          else begin
+            (* The lock wait already advanced our clock past the applier
+               finish time for this object; catch the data up too. *)
+            let last = Locks.last_writer_task t.locks lock_key in
+            if last > Applier.applied_through appl then Applier.sync_through appl last
+          end;
+          let slot = claim_slot tx in
+          Backup.ensure_copy b ~main:t.main ~off ~len ~locked:(pinned t)
+            ~pressure:(fun () -> Applier.drain appl);
+          Intent_log.add_intent (Option.get t.ilog) slot { Intent_log.off; len };
+          if t.e_config.flush_per_intent then Intent_log.barrier (Option.get t.ilog) slot;
+          None
+    in
+    let r = { r_off = off; r_len = len; cow } in
+    Hashtbl.add tx.by_key off r;
+    if not (List.mem lock_key tx.lock_keys) then tx.lock_keys <- lock_key :: tx.lock_keys;
+    tx.order <- r :: tx.order;
+    tx.needs_barrier <- true
+  end
+
+let add tx p =
+  let t = tx.owner in
+  if not (Heap.is_allocated t.heap p) then
+    invalid_arg (Printf.sprintf "Engine.add: %d is not an allocated object" p);
+  let { Heap.off; len } = Heap.extent t.heap p in
+  declare tx ~off ~len ~redirectable:true
+
+let add_range tx { Heap.off; len } = declare tx ~off ~len ~redirectable:false
+
+let add_field tx p field len =
+  let t = tx.owner in
+  if not (Heap.is_allocated t.heap p) then
+    invalid_arg (Printf.sprintf "Engine.add_field: %d is not an allocated object" p);
+  let extent = Heap.extent t.heap p in
+  if field < 0 || p + field + len > extent.Heap.off + extent.Heap.len then
+    invalid_arg "Engine.add_field: range outside the object";
+  match t.e_kind with
+  | Kamino_dynamic _ ->
+      (* The dynamic backup tracks copies per object (as in the paper,
+         whose log entries are object addresses): a sub-object copy would
+         go stale when another transaction updates the object through a
+         whole-extent intent. Intents are 24 bytes either way. *)
+      add tx p
+  | No_logging | Undo_logging | Cow | Kamino_simple | Intent_only ->
+      (* If the whole object is already declared, the field is covered. *)
+      if not (Hashtbl.mem tx.by_key extent.Heap.off) then
+        declare tx ~lock_key:extent.Heap.off ~off:(p + field) ~len ~redirectable:true
+
+let read_lock tx p =
+  active_tx tx;
+  let t = tx.owner in
+  let { Heap.off; len = _ } = Heap.extent t.heap p in
+  let cm = cost t in
+  let held_at =
+    Locks.acquire_read t.locks off ~now:(Clock.now t.clk) ~cost_ns:cm.Cost_model.lock_ns
+  in
+  ignore (Clock.advance_to t.clk held_at);
+  tx.read_keys <- off :: tx.read_keys
+
+let alloc tx size =
+  active_tx tx;
+  let t = tx.owner in
+  let p, ranges = Heap.alloc_ranges t.heap size in
+  List.iter (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false) ranges;
+  do_barrier tx;
+  let p' = Heap.alloc t.heap size in
+  assert (p' = p);
+  p
+
+let free tx p =
+  active_tx tx;
+  let t = tx.owner in
+  if not (Heap.is_allocated t.heap p) then
+    invalid_arg (Printf.sprintf "Engine.free: %d is not an allocated object" p);
+  let extent = Heap.extent t.heap p in
+  (* CoW: if the object is redirected, fold the working copy into the main
+     heap and revert to in-place editing before the deallocator mutates the
+     extent directly. The fold is preceded by an undo snapshot of the
+     pre-transaction bytes so an abort can still restore them. *)
+  (match Hashtbl.find_opt tx.by_key extent.Heap.off with
+  | Some ({ cow = Some entry; _ } as r) ->
+      let dlog = Option.get t.dlog in
+      ignore
+        (Data_log.add dlog ~off:extent.Heap.off ~len:extent.Heap.len
+           ~replay:Data_log.On_abort ~src:t.main);
+      Data_log.reseal dlog entry;
+      Data_log.barrier dlog;
+      Data_log.apply_entry dlog entry ~dst:t.main;
+      Region.persist t.main extent.Heap.off extent.Heap.len;
+      r.cow <- None
+  | Some _ | None -> ());
+  List.iter
+    (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false)
+    (Heap.free_ranges t.heap p);
+  do_barrier tx;
+  Heap.free t.heap p
+
+(* --- Data access -------------------------------------------------------- *)
+
+let check_write tx abs len =
+  match covering tx abs len with
+  | Some r -> Some r
+  | None ->
+      if tx.owner.e_config.check_intents then
+        failwith
+          (Printf.sprintf
+             "Engine: write of %d bytes at %d is not covered by a declared intent \
+              (missing TX_ADD?)"
+             len abs)
+      else None
+
+let write_via tx p field len direct cow_write =
+  active_tx tx;
+  let abs = p + field in
+  let r = check_write tx abs len in
+  do_barrier tx;
+  match r with
+  | Some { cow = Some entry; r_off; _ } -> cow_write entry (abs - r_off)
+  | Some { cow = None; _ } | None -> direct abs
+
+let write_int64 tx p field v =
+  let t = tx.owner in
+  write_via tx p field 8
+    (fun abs -> Region.write_int64 t.main abs v)
+    (fun entry rel -> Data_log.payload_write_int64 (Option.get t.dlog) entry rel v)
+
+let write_int tx p field v = write_int64 tx p field (Int64.of_int v)
+
+let write_bytes tx p field b =
+  let t = tx.owner in
+  write_via tx p field (Bytes.length b)
+    (fun abs -> Region.write_bytes t.main abs b)
+    (fun entry rel -> Data_log.payload_write_bytes (Option.get t.dlog) entry rel b)
+
+let write_string tx p field s = write_bytes tx p field (Bytes.of_string s)
+
+let write_byte tx p field v = write_bytes tx p field (Bytes.make 1 (Char.chr (v land 0xff)))
+
+let read_via tx p field len direct cow_read =
+  active_tx tx;
+  let abs = p + field in
+  match covering tx abs len with
+  | Some { cow = Some entry; r_off; _ } -> cow_read entry (abs - r_off)
+  | Some { cow = None; _ } | None -> direct abs
+
+let read_int64 tx p field =
+  let t = tx.owner in
+  read_via tx p field 8
+    (fun abs -> Region.read_int64 t.main abs)
+    (fun entry rel -> Data_log.payload_read_int64 (Option.get t.dlog) entry rel)
+
+let read_int tx p field = Int64.to_int (read_int64 tx p field)
+
+let read_bytes tx p field len =
+  let t = tx.owner in
+  read_via tx p field len
+    (fun abs -> Region.read_bytes t.main abs len)
+    (fun entry rel -> Data_log.payload_read_bytes (Option.get t.dlog) entry rel len)
+
+let read_string tx p field len = Bytes.to_string (read_bytes tx p field len)
+
+let read_byte tx p field = Bytes.get_uint8 (read_bytes tx p field 1) 0
+
+let peek_int64 t p field = Region.read_int64 t.main (p + field)
+
+let peek_int t p field = Int64.to_int (peek_int64 t p field)
+
+let peek_bytes t p field len = Region.read_bytes t.main (p + field) len
+
+let peek_string t p field len = Bytes.to_string (peek_bytes t p field len)
+
+let set_root tx p =
+  active_tx tx;
+  let t = tx.owner in
+  add_range tx (Heap.root_range t.heap);
+  do_barrier tx;
+  Heap.set_root t.heap p
+
+(* --- Commit and abort --------------------------------------------------- *)
+
+let release_all tx ~write_release =
+  let t = tx.owner in
+  t.last_write_keys <- tx.lock_keys;
+  Locks.release_writes t.locks tx.lock_keys ~at:write_release;
+  Locks.release_reads t.locks tx.read_keys ~at:(Clock.now t.clk)
+
+let finish tx =
+  tx.finished <- true;
+  tx.owner.active <- None
+
+let commit tx =
+  active_tx tx;
+  let t = tx.owner in
+  let ranges = List.rev tx.order in
+  (match t.e_kind with
+  | No_logging ->
+      persist_ranges t.main ranges;
+      release_all tx ~write_release:(Clock.now t.clk)
+  | Intent_only ->
+      (match tx.slot with
+      | None -> ()  (* read-only: the log was never touched *)
+      | Some slot ->
+        let ilog = Option.get t.ilog in
+        do_barrier tx;
+        persist_ranges t.main ranges;
+        Intent_log.mark ilog slot Intent_log.Committed;
+        (* No local backup to synchronize: the record only needs to outlive
+           the in-place writes it covers, which are durable now. *)
+        Intent_log.release ilog slot);
+      release_all tx ~write_release:(Clock.now t.clk)
+  | Undo_logging ->
+      let dlog = Option.get t.dlog in
+      do_barrier tx;
+      persist_ranges t.main (List.filter (fun r -> r.cow = None) ranges);
+      Data_log.finish dlog;
+      release_all tx ~write_release:(Clock.now t.clk)
+  | Cow when ranges = [] ->
+      Data_log.finish (Option.get t.dlog);
+      release_all tx ~write_release:(Clock.now t.clk)
+  | Cow ->
+      let dlog = Option.get t.dlog in
+      let cows = List.filter (fun r -> r.cow <> None) ranges in
+      let in_place = List.filter (fun r -> r.cow = None) ranges in
+      (* Working copies get their final checksums; in-place ranges get
+         commit-time redo snapshots so the [Applying] phase can replay
+         everything from the arena alone. Arena order guarantees these
+         commit-time snapshots are applied last, superseding any stale
+         working copy of an object that was folded back and freed. *)
+      List.iter (fun r -> Data_log.reseal dlog (Option.get r.cow)) cows;
+      List.iter
+        (fun r ->
+          ignore
+            (Data_log.add dlog ~off:r.r_off ~len:r.r_len ~replay:Data_log.On_commit
+               ~src:t.main))
+        in_place;
+      Data_log.barrier dlog;
+      Data_log.mark_applying dlog;
+      (* Apply the copies to the originals — the critical-path copy-back of
+         Figure 5's CoW timeline — then persist everything. *)
+      List.iter
+        (fun r -> Data_log.apply_entry dlog (Option.get r.cow) ~dst:t.main)
+        cows;
+      persist_ranges t.main ranges;
+      Data_log.finish dlog;
+      release_all tx ~write_release:(Clock.now t.clk)
+  | Kamino_simple | Kamino_dynamic _ ->
+      let ilog = Option.get t.ilog and appl = Option.get t.appl in
+      (match tx.slot with
+      | None ->
+          (* Read-only transaction: the log was never touched. *)
+          release_all tx ~write_release:(Clock.now t.clk)
+      | Some slot ->
+        do_barrier tx;
+        persist_ranges t.main ranges;
+        Intent_log.mark ilog slot Intent_log.Committed;
+        let iranges =
+          List.map (fun r -> { Intent_log.off = r.r_off; len = r.r_len }) ranges
+        in
+        let task, finish_at =
+          Applier.enqueue appl ~commit_time:(Clock.now t.clk)
+            ~cost_ns:(task_cost (cost t) iranges) ~tx_id:tx.id ~slot ~ranges:iranges
+        in
+        List.iter (fun k -> Locks.set_last_writer_task t.locks k task) tx.lock_keys;
+        (* The paper's rule: write locks release only once main and backup
+           agree on the write set — i.e. at the applier's finish time. *)
+        release_all tx ~write_release:finish_at));
+  t.committed <- t.committed + 1;
+  finish tx
+
+let abort tx =
+  active_tx tx;
+  let t = tx.owner in
+  let ranges = List.rev tx.order in
+  (match t.e_kind with
+  | No_logging ->
+      finish tx;
+      failwith "Engine.abort: the no-logging baseline cannot roll back"
+  | Intent_only ->
+      finish tx;
+      failwith
+        "Engine.abort: chain replicas cannot roll back locally — aborts are decided \
+         at the head and never forwarded"
+  | Undo_logging | Cow ->
+      let dlog = Option.get t.dlog in
+      do_barrier tx;
+      let entries = Data_log.active_entries dlog in
+      let undos = List.filter (fun e -> e.Data_log.replay = Data_log.On_abort) entries in
+      List.iter (fun e -> Data_log.apply_entry dlog e ~dst:t.main) (List.rev undos);
+      persist_ranges t.main (List.filter (fun r -> r.cow = None) ranges);
+      Data_log.finish dlog;
+      release_all tx ~write_release:(Clock.now t.clk)
+  | Kamino_simple | Kamino_dynamic _ ->
+      (match tx.slot with
+      | None -> ()
+      | Some slot ->
+          let ilog = Option.get t.ilog and b = Option.get t.bkp in
+          Intent_log.mark ilog slot Intent_log.Aborted;
+          (* Roll back in place from the backup — Figure 6's abort timeline:
+             synchronous, but only for the aborting transaction's write
+             set. The rolled-back ranges' resident copies are dropped: a
+             rolled-back allocation's space may be re-carved with different
+             extent boundaries later. *)
+          List.iter
+            (fun r ->
+              ignore (Backup.roll_back b ~main:t.main ~off:r.r_off ~len:r.r_len);
+              Backup.drop b ~off:r.r_off)
+            ranges;
+          Intent_log.release ilog slot);
+      release_all tx ~write_release:(Clock.now t.clk));
+  t.aborted <- t.aborted + 1;
+  finish tx
+
+let with_tx t f =
+  let tx = begin_tx t in
+  match f tx with
+  | v ->
+      commit tx;
+      v
+  | exception exn ->
+      if not tx.finished then abort tx;
+      raise exn
+
+(* --- Crash and recovery ------------------------------------------------- *)
+
+let crash t =
+  (match t.active with
+  | Some tx ->
+      tx.finished <- true;
+      t.active <- None
+  | None -> ());
+  List.iter Region.crash t.all_regions
+
+let recover t =
+  t.locks <- Locks.create ();
+  t.active <- None;
+  t.heap <- Heap.open_existing t.main;
+  (match t.e_kind with
+  | No_logging -> ()
+  | Intent_only ->
+      (* Reopen only: incomplete records cannot be resolved locally (there
+         is no backup). The chain layer supplies a peer via
+         [resolve_from_peer] before the replica rejoins. *)
+      t.ilog <- Some (Intent_log.open_existing (Option.get t.ilog_region));
+      t.next_tx_id <- max t.next_tx_id (Intent_log.max_tx_id (Option.get t.ilog) + 1)
+  | Undo_logging | Cow -> (
+      let dlog = Data_log.open_existing (Option.get t.dlog_region) in
+      t.dlog <- Some dlog;
+      match Data_log.phase dlog with
+      | Data_log.Idle -> ()
+      | Data_log.Running ->
+          (* Incomplete transaction: restore every durable undo snapshot. *)
+          let entries = Data_log.recover_entries dlog in
+          List.iter
+            (fun e ->
+              if e.Data_log.replay = Data_log.On_abort then begin
+                Data_log.apply_entry dlog e ~dst:t.main;
+                Region.flush t.main e.Data_log.off e.Data_log.len
+              end)
+            (List.rev entries);
+          Region.fence t.main;
+          t.next_tx_id <- max t.next_tx_id (Data_log.tx_id dlog + 1);
+          Data_log.finish dlog
+      | Data_log.Applying ->
+          (* CoW redo point passed: replay the copies, in arena order. *)
+          let entries = Data_log.recover_entries dlog in
+          List.iter
+            (fun e ->
+              if e.Data_log.replay = Data_log.On_commit then begin
+                Data_log.apply_entry dlog e ~dst:t.main;
+                Region.flush t.main e.Data_log.off e.Data_log.len
+              end)
+            entries;
+          Region.fence t.main;
+          t.next_tx_id <- max t.next_tx_id (Data_log.tx_id dlog + 1);
+          Data_log.finish dlog)
+  | Kamino_simple | Kamino_dynamic _ ->
+      let ilog = Intent_log.open_existing (Option.get t.ilog_region) in
+      t.ilog <- Some ilog;
+      let b = Backup.reopen (Option.get t.bkp) in
+      t.bkp <- Some b;
+      t.next_tx_id <- max t.next_tx_id (Intent_log.max_tx_id ilog + 1);
+      t.appl <- Some (make_applier t);
+      (* Records are visited in transaction order; committed ones roll the
+         backup forward, incomplete or aborted ones roll the main heap back.
+         The locking discipline guarantees the two sets of ranges are
+         disjoint. *)
+      let pending = ref [] in
+      Intent_log.iter_records ilog (fun slot _txid state intents ->
+          pending := (slot, state, intents) :: !pending);
+      List.iter
+        (fun (slot, state, intents) ->
+          (match state with
+          | Intent_log.Committed ->
+              List.iter
+                (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
+                intents
+          | Intent_log.Running | Intent_log.Aborted ->
+              List.iter
+                (fun { Intent_log.off; len } ->
+                  ignore (Backup.roll_back b ~main:t.main ~off ~len);
+                  Backup.drop b ~off)
+                intents
+          | Intent_log.Free -> ());
+          Intent_log.release ilog slot)
+        (List.rev !pending))
+
+let drain_backup t = match t.appl with Some a -> Applier.drain a | None -> ()
+
+(* The backup invariant that all of Kamino-Tx's safety rests on: once the
+   applier has drained, the backup agrees with the main heap — everywhere
+   for a full backup, on every resident copy for a dynamic one. *)
+let verify_backup t =
+  match t.bkp with
+  | None -> Ok ()
+  | Some b -> (
+      drain_backup t;
+      match b with
+      | _ -> (
+          let mismatches = ref [] in
+          (match Backup.dump_mapping b with
+          | [] ->
+              (* Full backup: compare every live object extent and the
+                 allocator metadata block. *)
+              let h = t.heap in
+              let check off len what =
+                match Backup.copy_matches ~len b ~main:t.main ~off with
+                | Some false -> mismatches := what :: !mismatches
+                | Some true | None -> ()
+              in
+              check 0 (Heap.data_start h) "heap metadata";
+              Heap.iter_objects h (fun p ~capacity ~allocated ->
+                  if allocated then
+                    check (p - 16) (capacity + 16) (Printf.sprintf "object %d" p))
+          | mapping ->
+              List.iter
+                (fun (off, _, _) ->
+                  match Backup.copy_matches b ~main:t.main ~off with
+                  | Some false ->
+                      mismatches := Printf.sprintf "resident copy at %d" off :: !mismatches
+                  | Some true | None -> ())
+                mapping);
+          match !mismatches with
+          | [] -> Ok ()
+          | w :: _ ->
+              Error
+                (Printf.sprintf "backup diverges from main (%d ranges, first: %s)"
+                   (List.length !mismatches) w)))
+
+let last_write_keys t = t.last_write_keys
+
+let unresolved_records t =
+  match t.ilog with
+  | None -> []
+  | Some ilog ->
+      let acc = ref [] in
+      Intent_log.iter_records ilog (fun _ tx_id _ intents ->
+          acc :=
+            ( tx_id,
+              List.map (fun { Intent_log.off; len } -> { Heap.off; len }) intents )
+            :: !acc);
+      List.rev !acc
+
+let resolve_from_peer t ~peer =
+  let ilog = Option.get t.ilog in
+  let slots = ref [] in
+  Intent_log.iter_records ilog (fun slot _ _ intents -> slots := (slot, intents) :: !slots);
+  List.iter
+    (fun (slot, intents) ->
+      List.iter
+        (fun { Intent_log.off; len } ->
+          Region.copy_between ~src:peer ~src_off:off ~dst:t.main ~dst_off:off ~len;
+          Region.persist t.main off len)
+        intents;
+      Intent_log.release ilog slot)
+    (List.rev !slots)
+
+(* Promote a chain replica to head: build a full local backup from the
+   current heap (what a newly promoted head does in §5.2) and start an
+   applier. *)
+let promote_to_kamino t =
+  (match t.e_kind with
+  | Intent_only -> ()
+  | _ -> invalid_arg "Engine.promote_to_kamino: only replicas can be promoted");
+  let r =
+    Region.create ~cost:t.e_config.cost ~crash_mode:t.e_config.crash_mode
+      ~rng:(Rng.split t.rng) ~clock:t.clk ~size:t.e_config.heap_bytes ()
+  in
+  let b = Backup.create_full r in
+  Backup.initialize_full b ~main:t.main;
+  t.bkp <- Some b;
+  t.all_regions <- t.all_regions @ [ r ];
+  t.e_kind <- Kamino_simple;
+  t.appl <- Some (make_applier t);
+  set_clock t t.clk
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+type metrics = {
+  committed : int;
+  aborted : int;
+  critical_path_copies : int;
+  backup_hits : int;
+  backup_misses : int;
+  backup_evictions : int;
+  applier_tasks : int;
+  lock_wait_ns : int;
+  lock_wait_events : int;
+  storage_bytes : int;
+}
+
+let metrics (t : t) =
+  {
+    committed = t.committed;
+    aborted = t.aborted;
+    critical_path_copies =
+      (match t.dlog with Some d -> Data_log.entries_created d | None -> 0);
+    backup_hits = (match t.bkp with Some b -> Backup.hits b | None -> 0);
+    backup_misses = (match t.bkp with Some b -> Backup.misses b | None -> 0);
+    backup_evictions = (match t.bkp with Some b -> Backup.evictions b | None -> 0);
+    applier_tasks = (match t.appl with Some a -> Applier.tasks_applied a | None -> 0);
+    lock_wait_ns = Locks.waits t.locks;
+    lock_wait_events = Locks.wait_events t.locks;
+    storage_bytes = storage_bytes t;
+  }

@@ -1,0 +1,259 @@
+(** The transaction engine: Kamino-Tx and the three baselines behind one
+    API.
+
+    The API mirrors the paper's NVML-derived interface (Table 2): declare
+    write intents on whole objects ([add]), allocate and free objects
+    transactionally ([alloc] / [free]), read and write fields through the
+    engine, then [commit] or [abort]. What happens underneath depends on the
+    engine kind:
+
+    - [No_logging]: in-place writes, durable but {e not} atomic — the
+      motivation baseline of Figure 1. [abort] raises.
+    - [Undo_logging]: NVML semantics — [add] snapshots the object into the
+      data log {e in the critical path}; abort/crash restores snapshots.
+    - [Cow]: [add] creates a working copy, writes are redirected to it, and
+      commit applies the copies to the originals before the locks release
+      (still critical-path copying, on the commit side).
+    - [Kamino_simple] / [Kamino_dynamic]: the paper's contribution — [add]
+      appends an 8-byte-scale intent record, writes go in place, commit
+      enqueues the write set to the background {!Applier}, and write locks
+      release only when the backup has (virtually) caught up, so only
+      dependent transactions ever wait for copying.
+
+    {b Timing model.} All costs are charged to the engine's current
+    {!Kamino_sim.Clock}; multi-client experiments switch the clock between
+    clients (execution is serial at the data level, overlapped in virtual
+    time — see DESIGN.md §6).
+
+    {b Crash discipline.} [crash] simulates power failure on every region;
+    [recover] reopens the structures and replays/rolls back from the logs.
+    Property tests drive random workloads with crashes at arbitrary points
+    and assert that committed transactions survive and uncommitted ones
+    vanish. *)
+
+module Heap = Kamino_heap.Heap
+
+type kind =
+  | No_logging
+  | Undo_logging
+  | Cow
+  | Kamino_simple
+  | Kamino_dynamic of { alpha : float; policy : Backup.policy }
+  | Intent_only
+      (** a non-head chain replica (§5): in-place updates guarded only by
+          the intent log; recovery of incomplete transactions needs a chain
+          neighbour ({!resolve_from_peer}) because there is no local
+          backup — the reason Kamino-Tx-Chain needs [f+2] replicas. *)
+
+val kind_name : kind -> string
+
+type config = {
+  heap_bytes : int;  (** main heap region size *)
+  log_slots : int;  (** intent-log ring capacity (concurrent unapplied txs) *)
+  max_tx_entries : int;  (** max write intents per transaction *)
+  data_log_bytes : int;  (** undo/CoW arena size *)
+  cost : Kamino_nvm.Cost_model.t;
+  crash_mode : Kamino_nvm.Region.crash_mode;
+  check_intents : bool;
+      (** verify every transactional write is covered by a declared intent *)
+  flush_per_intent : bool;
+      (** ablation: persist each intent individually instead of batching *)
+  global_pending : bool;
+      (** ablation: treat the whole heap as one pending unit — every
+          transaction waits for full backup catch-up (coarse blocking) *)
+}
+
+val default_config : config
+
+type t
+
+type tx
+
+(** [create ~kind ~seed ()] builds the full stack: main heap, logs, backup,
+    lock table, applier. Deterministic from [seed]. *)
+val create : ?config:config -> kind:kind -> seed:int -> unit -> t
+
+val kind : t -> kind
+
+val config : t -> config
+
+val heap : t -> Heap.t
+
+(** The engine's current client clock. *)
+val clock : t -> Kamino_sim.Clock.t
+
+(** [set_clock t c] switches the active client: all subsequent costs charge
+    to [c]. *)
+val set_clock : t -> Kamino_sim.Clock.t -> unit
+
+val now : t -> int
+
+(** {1 Transactions} *)
+
+(** Starts a transaction. Raises [Failure] if one is already active
+    (execution is serial at the data level). *)
+val begin_tx : t -> tx
+
+(** The engine a transaction belongs to. *)
+val tx_engine : tx -> t
+
+(** [add tx p] declares a write intent on object [p] (whole extent),
+    acquiring its write lock — the [TX_ADD] of Table 2. Idempotent per
+    object per transaction. *)
+val add : tx -> Heap.ptr -> unit
+
+(** [add_range tx range] declares an intent on an arbitrary range
+    (allocator metadata, the root pointer). *)
+val add_range : tx -> Heap.range -> unit
+
+(** [add_field tx p field len] declares a write intent on [len] bytes at
+    payload offset [field] of object [p] — NVML's field-granular
+    [TX_ADD_FIELD]. The whole object is still locked (the paper's isolation
+    is object-granular), but only the field's bytes are snapshotted
+    (undo/CoW) or propagated to the backup (Kamino), which is the §1
+    granularity argument: logging whole documents for byte-range updates is
+    what makes copying baselines expensive. *)
+val add_field : tx -> Heap.ptr -> int -> int -> unit
+
+(** [read_lock tx p] acquires a read lock: a dependent reader of a pending
+    object waits for backup catch-up, per the paper's safety rules. *)
+val read_lock : tx -> Heap.ptr -> unit
+
+(** [alloc tx size] — [TX_ZALLOC]: transactionally allocates a zeroed
+    object; undone on abort or crash. *)
+val alloc : tx -> int -> Heap.ptr
+
+(** [free tx p] — [TX_FREE]: transactionally frees an object. *)
+val free : tx -> Heap.ptr -> unit
+
+(** [commit tx] makes the transaction durable and atomic. The critical path
+    ends when this returns; lock release may be later (Kamino kinds). *)
+val commit : tx -> unit
+
+(** [abort tx] rolls the transaction back. Raises [Failure] on
+    [No_logging]. *)
+val abort : tx -> unit
+
+(** [with_tx t f] runs [f] in a transaction, committing on return and
+    aborting (then re-raising) on exception. *)
+val with_tx : t -> (tx -> 'a) -> 'a
+
+(** [set_root tx p] transactionally updates the heap root. *)
+val set_root : tx -> Heap.ptr -> unit
+
+val root : t -> Heap.ptr
+
+(** {1 Data access}
+
+    Writes must be covered by a declared intent (checked when
+    [check_intents]); field offsets are relative to the object payload.
+    Reads inside a transaction see the transaction's own writes (CoW
+    redirection included). *)
+
+val write_int64 : tx -> Heap.ptr -> int -> int64 -> unit
+
+val write_int : tx -> Heap.ptr -> int -> int -> unit
+
+val write_byte : tx -> Heap.ptr -> int -> int -> unit
+
+val write_bytes : tx -> Heap.ptr -> int -> bytes -> unit
+
+val write_string : tx -> Heap.ptr -> int -> string -> unit
+
+val read_int64 : tx -> Heap.ptr -> int -> int64
+
+val read_int : tx -> Heap.ptr -> int -> int
+
+val read_byte : tx -> Heap.ptr -> int -> int
+
+val read_bytes : tx -> Heap.ptr -> int -> int -> bytes
+
+val read_string : tx -> Heap.ptr -> int -> int -> string
+
+(** Outside-transaction reads of committed state. *)
+
+val peek_int64 : t -> Heap.ptr -> int -> int64
+
+val peek_int : t -> Heap.ptr -> int -> int
+
+val peek_bytes : t -> Heap.ptr -> int -> int -> bytes
+
+val peek_string : t -> Heap.ptr -> int -> int -> string
+
+(** {1 Crashes and recovery} *)
+
+(** Simulated power failure on every region of the stack. Any active
+    transaction is lost (its volatile state is discarded). *)
+val crash : t -> unit
+
+(** Reopens all structures after {!crash} and restores consistency:
+    committed-but-unapplied transactions roll forward to the backup,
+    incomplete ones roll back from it (or from the data log for the
+    copying baselines). *)
+val recover : t -> unit
+
+(** Apply every queued backup task (e.g. before clean shutdown or before
+    inspecting the backup in tests). *)
+val drain_backup : t -> unit
+
+(** Drain the applier, then check the invariant all of Kamino-Tx's safety
+    rests on: the backup agrees with the main heap — on every live object
+    for a full backup, on every resident copy for a dynamic one. [Ok] for
+    engines without a backup. *)
+val verify_backup : t -> (unit, string) result
+
+(** Write-set lock keys of the most recently committed transaction. The
+    chain layer uses them to extend the head's lock hold until the tail's
+    acknowledgment arrives. *)
+val last_write_keys : t -> int list
+
+(** Intent-log records that survived a crash unresolved ([Intent_only]
+    engines only resolve them through a peer): [(tx_id, ranges)]. *)
+val unresolved_records : t -> (int * Heap.range list) list
+
+(** [resolve_from_peer t ~peer] completes an [Intent_only] replica's
+    recovery by copying every unresolved record's ranges from a chain
+    neighbour's heap (predecessor to roll forward, successor to roll back
+    — identical mechanics, the chain picks the peer per §5.3). *)
+val resolve_from_peer : t -> peer:Kamino_nvm.Region.t -> unit
+
+(** [promote_to_kamino t] turns an [Intent_only] replica into a
+    Kamino-simple head: builds a full local backup from the current heap
+    and starts a backup applier (§5.2, head failure). *)
+val promote_to_kamino : t -> unit
+
+(** {1 Metrics} *)
+
+type metrics = {
+  committed : int;
+  aborted : int;
+  critical_path_copies : int;  (** data-log entries created (undo/CoW) *)
+  backup_hits : int;
+  backup_misses : int;  (** dynamic-backup on-demand copies (critical path) *)
+  backup_evictions : int;
+  applier_tasks : int;  (** committed write sets propagated off-path *)
+  lock_wait_ns : int;
+  lock_wait_events : int;
+  storage_bytes : int;  (** total NVM footprint of the stack *)
+}
+
+val metrics : t -> metrics
+
+val storage_bytes : t -> int
+
+(** Counters of the main heap region (stores, flushes, fences, ...). *)
+val main_counters : t -> Kamino_nvm.Region.counters
+
+(** Direct access for white-box tests. *)
+
+val main_region : t -> Kamino_nvm.Region.t
+
+val backup : t -> Backup.t option
+
+val applier : t -> Applier.t option
+
+val intent_log : t -> Intent_log.t option
+
+val data_log : t -> Data_log.t option
+
+val locks : t -> Locks.t

@@ -1,0 +1,257 @@
+module Region = Kamino_nvm.Region
+
+type slot = int
+
+type state = Free | Running | Committed | Aborted
+
+type intent = { off : int; len : int }
+
+type t = {
+  region : Region.t;
+  max_user_threads : int;
+  max_tx_entries : int;
+  n_slots : int;
+  slots_start : int;
+  slot_size : int;
+  free : slot Queue.t;  (* volatile free list, rebuilt at open *)
+  (* Unflushed byte span of the slot being built, if any: slot index with
+     the lowest and highest dirty offsets to flush at the next barrier. *)
+  mutable unflushed : (slot * int * int) option;
+}
+
+let magic_value = 0x4B54584C4F475631L (* "KTXLOGV1" *)
+
+(* Header words. *)
+let magic_off = 0
+let checksum_off = 8
+let threads_off = 16
+let entries_off = 24
+let slots_off = 32
+let header_size = 64
+
+let scratchpad_size = 64
+let slot_header_size = 64
+let entry_size = 24
+
+(* Slot header words, relative to slot start. *)
+let sh_tx_id = 0
+let sh_state = 8
+let sh_count = 16
+
+let state_to_int = function Free -> 0 | Running -> 1 | Committed -> 2 | Aborted -> 3
+
+(* Per-entry checksum: an entry is only trusted by recovery when this tag,
+   derived from the entry contents and the owning transaction id, matches.
+   A crash persists an arbitrary subset of the dirty 8-byte words of an
+   unflushed entry; a stale or torn entry fails the check and is ignored,
+   which is safe because the barrier ordering guarantees no data write
+   covered by it ever reached NVM. *)
+let check_of ~tx_id ~off ~len =
+  (* The salt keeps an all-zero (never written) entry from validating:
+     mix(0) would otherwise be 0, matching a zeroed checksum word. *)
+  let z = Int64.add 0x5A17EDC0DE5EEDL (Int64.of_int (((tx_id * 1000003) lxor (off * 31)) + (len * 17))) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  Int64.logxor z (Int64.shift_right_logical z 27)
+
+let state_of_int = function
+  | 0 -> Free
+  | 1 -> Running
+  | 2 -> Committed
+  | 3 -> Aborted
+  | n -> failwith (Printf.sprintf "Intent_log: corrupt state %d" n)
+
+let slot_size_of ~max_tx_entries = slot_header_size + (max_tx_entries * entry_size)
+
+let required_size ~max_user_threads ~max_tx_entries ~n_slots =
+  header_size + (max_user_threads * scratchpad_size)
+  + (n_slots * slot_size_of ~max_tx_entries)
+
+let checksum_of ~max_user_threads ~max_tx_entries ~n_slots =
+  Int64.add magic_value
+    (Int64.of_int ((max_user_threads * 31) + (max_tx_entries * 17) + (n_slots * 7)))
+
+let slot_off t slot = t.slots_start + (slot * t.slot_size)
+
+let slot_state t slot = state_of_int (Region.read_int t.region (slot_off t slot + sh_state))
+
+let slot_tx_id t slot = Region.read_int t.region (slot_off t slot + sh_tx_id)
+
+let slot_count t slot = Region.read_int t.region (slot_off t slot + sh_count)
+
+let rebuild_free t =
+  Queue.clear t.free;
+  for s = 0 to t.n_slots - 1 do
+    if slot_state t s = Free then Queue.add s t.free
+  done
+
+let format region ~max_user_threads ~max_tx_entries ~n_slots =
+  let need = required_size ~max_user_threads ~max_tx_entries ~n_slots in
+  if Region.size region < need then
+    invalid_arg
+      (Printf.sprintf "Intent_log.format: region of %d bytes < required %d"
+         (Region.size region) need);
+  Region.write_int64 region magic_off magic_value;
+  Region.write_int64 region checksum_off (checksum_of ~max_user_threads ~max_tx_entries ~n_slots);
+  Region.write_int region threads_off max_user_threads;
+  Region.write_int region entries_off max_tx_entries;
+  Region.write_int region slots_off n_slots;
+  let slots_start = header_size + (max_user_threads * scratchpad_size) in
+  let slot_size = slot_size_of ~max_tx_entries in
+  for s = 0 to n_slots - 1 do
+    Region.write_int region (slots_start + (s * slot_size) + sh_state) (state_to_int Free)
+  done;
+  Region.persist_all region;
+  let t =
+    {
+      region;
+      max_user_threads;
+      max_tx_entries;
+      n_slots;
+      slots_start;
+      slot_size;
+      free = Queue.create ();
+      unflushed = None;
+    }
+  in
+  rebuild_free t;
+  t
+
+let open_existing region =
+  if Region.read_int64 region magic_off <> magic_value then
+    failwith "Intent_log.open_existing: bad magic";
+  let max_user_threads = Region.read_int region threads_off in
+  let max_tx_entries = Region.read_int region entries_off in
+  let n_slots = Region.read_int region slots_off in
+  if
+    Region.read_int64 region checksum_off
+    <> checksum_of ~max_user_threads ~max_tx_entries ~n_slots
+  then failwith "Intent_log.open_existing: header checksum mismatch";
+  let t =
+    {
+      region;
+      max_user_threads;
+      max_tx_entries;
+      n_slots;
+      slots_start = header_size + (max_user_threads * scratchpad_size);
+      slot_size = slot_size_of ~max_tx_entries;
+      free = Queue.create ();
+      unflushed = None;
+    }
+  in
+  rebuild_free t;
+  t
+
+let max_tx_entries t = t.max_tx_entries
+
+let note_unflushed t slot lo hi =
+  match t.unflushed with
+  | Some (s, l, h) when s = slot -> t.unflushed <- Some (s, min l lo, max h hi)
+  | Some _ ->
+      (* Only one transaction builds a record at a time (data-serial
+         execution); a stale span from another slot indicates a missed
+         barrier. *)
+      failwith "Intent_log: unflushed entries from a different slot"
+  | None -> t.unflushed <- Some (slot, lo, hi)
+
+let begin_record t ~tx_id =
+  match Queue.take_opt t.free with
+  | None -> None
+  | Some slot ->
+      let off = slot_off t slot in
+      Region.write_int t.region (off + sh_tx_id) tx_id;
+      Region.write_int t.region (off + sh_state) (state_to_int Running);
+      Region.write_int t.region (off + sh_count) 0;
+      note_unflushed t slot off (off + slot_header_size);
+      Some slot
+
+let add_intent t slot { off; len } =
+  let base = slot_off t slot in
+  let n = slot_count t slot in
+  if n >= t.max_tx_entries then
+    failwith
+      (Printf.sprintf "Intent_log: transaction exceeds max_tx_entries=%d" t.max_tx_entries);
+  let tx_id = slot_tx_id t slot in
+  let eoff = base + slot_header_size + (n * entry_size) in
+  Region.write_int t.region eoff off;
+  Region.write_int t.region (eoff + 8) len;
+  Region.write_int64 t.region (eoff + 16) (check_of ~tx_id ~off ~len);
+  Region.write_int t.region (base + sh_count) (n + 1);
+  note_unflushed t slot base (eoff + entry_size)
+
+let barrier t slot =
+  match t.unflushed with
+  | Some (s, lo, hi) when s = slot ->
+      Region.persist t.region lo (hi - lo);
+      t.unflushed <- None
+  | Some _ | None -> ()
+
+let mark t slot state =
+  barrier t slot;
+  let off = slot_off t slot in
+  Region.write_int t.region (off + sh_state) (state_to_int state);
+  Region.persist t.region (off + sh_state) 8
+
+let release t slot =
+  (* Zero the whole header, not just the state word: a later [begin_record]
+     in this slot may tear at a crash (any subset of its header words can
+     persist), and recovery must never be able to combine a new [Running]
+     state with a stale transaction id and entry count — that would
+     resurrect an already-consumed record and roll back committed data.
+     Starting from an all-zero header, every torn combination is benign:
+     stale entries cannot validate against tx id 0, and a zero count means
+     no intents. The header fits in one cache line, so this explicit flush
+     is itself atomic. *)
+  let never_persisted =
+    match t.unflushed with
+    | Some (s, _, _) when s = slot ->
+        (* A read-only transaction releases its slot without ever
+           barriering it: the durable header is still the zeroed Free state
+           from the previous release, so resetting the volatile image is
+           enough (any torn persist of these zeros at a crash lands on an
+           already-zero durable base). *)
+        t.unflushed <- None;
+        true
+    | Some _ | None -> false
+  in
+  let off = slot_off t slot in
+  Region.write_int t.region (off + sh_tx_id) 0;
+  Region.write_int t.region (off + sh_state) (state_to_int Free);
+  Region.write_int t.region (off + sh_count) 0;
+  if not never_persisted then Region.persist t.region off 24;
+  Queue.add slot t.free
+
+let intents t slot =
+  let base = slot_off t slot in
+  let n = min (slot_count t slot) t.max_tx_entries in
+  let tx_id = slot_tx_id t slot in
+  (* Walk forward, stopping at the first entry whose tag does not match:
+     later entries were appended after it and cannot be trusted either. *)
+  let rec collect i acc =
+    if i >= n then List.rev acc
+    else begin
+      let eoff = base + slot_header_size + (i * entry_size) in
+      let off = Region.read_int t.region eoff in
+      let len = Region.read_int t.region (eoff + 8) in
+      let check = Region.read_int64 t.region (eoff + 16) in
+      if check <> check_of ~tx_id ~off ~len then List.rev acc
+      else collect (i + 1) ({ off; len } :: acc)
+    end
+  in
+  collect 0 []
+
+let free_slots t = Queue.length t.free
+
+let n_slots t = t.n_slots
+
+let occupied_slots t =
+  let slots = ref [] in
+  for s = t.n_slots - 1 downto 0 do
+    if slot_state t s <> Free then slots := s :: !slots
+  done;
+  List.sort (fun a b -> compare (slot_tx_id t a) (slot_tx_id t b)) !slots
+
+let iter_records t f =
+  List.iter (fun s -> f s (slot_tx_id t s) (slot_state t s) (intents t s)) (occupied_slots t)
+
+let max_tx_id t =
+  List.fold_left (fun acc s -> max acc (slot_tx_id t s)) 0 (occupied_slots t)

@@ -1,0 +1,83 @@
+(** Persistent intent log — the paper's Log Manager (§6.2, Figure 11).
+
+    The log records {e which} byte ranges each transaction intends to modify
+    (fixed-size entries holding offsets, not data), plus the transaction
+    outcome. That is all Kamino-Tx needs: roll-back copies come from the
+    backup, roll-forward copies from the main heap. Entries for one
+    transaction are appended to a slot and made durable with a single
+    flush+fence barrier before the first in-place data write they cover
+    (the "minimum number of cache flushes" design).
+
+    Storage layout mirrors Figure 11: a 64-byte header (magic, checksum,
+    max_user_threads, max_tx_size, log size, state), per-thread scratchpads,
+    and the slotted log data area. Slot states: [Free] / [Running] /
+    [Committed] / [Aborted]. Recovery scans all non-free slots in
+    transaction-id order. *)
+
+type t
+
+type slot
+
+type state = Free | Running | Committed | Aborted
+
+type intent = { off : int; len : int }
+
+(** [required_size ~max_user_threads ~max_tx_entries ~n_slots] is the number
+    of NVM bytes a log with those parameters occupies. *)
+val required_size : max_user_threads:int -> max_tx_entries:int -> n_slots:int -> int
+
+val format :
+  Kamino_nvm.Region.t ->
+  max_user_threads:int ->
+  max_tx_entries:int ->
+  n_slots:int ->
+  t
+
+(** [open_existing region] re-attaches after a crash; validates the header
+    checksum. Raises [Failure] on mismatch. *)
+val open_existing : Kamino_nvm.Region.t -> t
+
+val max_tx_entries : t -> int
+
+(** [begin_record t ~tx_id] claims a free slot and writes its header
+    ([Running], zero entries) without flushing. Returns [None] when every
+    slot is occupied — the coordinator then drains the backup applier to
+    reclaim one. *)
+val begin_record : t -> tx_id:int -> slot option
+
+(** [add_intent t slot intent] appends one entry (volatile until the next
+    {!barrier}). Raises [Failure] if the slot is full ([max_tx_entries]). *)
+val add_intent : t -> slot -> intent -> unit
+
+(** [barrier t slot] makes the slot header and all entries appended since
+    the previous barrier durable (one flush batch + one fence). Idempotent:
+    does nothing when there is nothing unflushed. Must be called before the
+    first data write that follows new intents. *)
+val barrier : t -> slot -> unit
+
+(** [mark t slot state] durably records the transaction outcome
+    (flush of the header line + fence). *)
+val mark : t -> slot -> state -> unit
+
+(** [release t slot] marks the slot [Free] so it can be reused. Called after
+    the coordinator has consumed the record (applied or rolled back). *)
+val release : t -> slot -> unit
+
+val slot_tx_id : t -> slot -> int
+
+val slot_state : t -> slot -> state
+
+val intents : t -> slot -> intent list
+
+(** Number of currently free slots. *)
+val free_slots : t -> int
+
+val n_slots : t -> int
+
+(** [iter_records t f] calls [f slot tx_id state intents] for every non-free
+    slot, ordered by ascending transaction id — the recovery scan. *)
+val iter_records : t -> (slot -> int -> state -> intent list -> unit) -> unit
+
+(** Highest transaction id present in any non-free slot, or 0. Recovery
+    seeds the volatile transaction-id counter above it. *)
+val max_tx_id : t -> int

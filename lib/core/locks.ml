@@ -1,0 +1,93 @@
+type key = int
+
+type entry = {
+  mutable writer_release : int;
+  mutable reader_release : int;
+  mutable active : bool;
+  mutable last_task : int;
+  mutable held_base : int;  (* release time saved while held open-ended *)
+}
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  mutable waits : int;
+  mutable wait_events : int;
+}
+
+let create () = { table = Hashtbl.create 4096; waits = 0; wait_events = 0 }
+
+let entry t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e =
+        { writer_release = 0; reader_release = 0; active = false; last_task = -1;
+          held_base = 0 }
+      in
+      Hashtbl.add t.table key e;
+      e
+
+let record_wait t now target =
+  if target > now then begin
+    t.waits <- t.waits + (target - now);
+    t.wait_events <- t.wait_events + 1
+  end
+
+let acquire_write t key ~now ~cost_ns =
+  let e = entry t key in
+  let avail = max e.writer_release e.reader_release in
+  record_wait t now avail;
+  e.active <- true;
+  max now avail + int_of_float cost_ns
+
+let acquire_read t key ~now ~cost_ns =
+  let e = entry t key in
+  record_wait t now e.writer_release;
+  max now e.writer_release + int_of_float cost_ns
+
+let release_writes t keys ~at =
+  List.iter
+    (fun key ->
+      let e = entry t key in
+      e.active <- false;
+      if at > e.writer_release then e.writer_release <- at)
+    keys
+
+let release_reads t keys ~at =
+  List.iter
+    (fun key ->
+      let e = entry t key in
+      if at > e.reader_release then e.reader_release <- at)
+    keys
+
+let held_by_active_tx t key =
+  match Hashtbl.find_opt t.table key with Some e -> e.active | None -> false
+
+let last_writer_task t key =
+  match Hashtbl.find_opt t.table key with Some e -> e.last_task | None -> -1
+
+let set_last_writer_task t key id = (entry t key).last_task <- id
+
+let hold_writes t keys =
+  List.iter
+    (fun key ->
+      let e = entry t key in
+      e.held_base <- e.writer_release;
+      e.writer_release <- max_int)
+    keys
+
+let release_held_writes t keys ~at =
+  List.iter
+    (fun key ->
+      let e = entry t key in
+      if e.writer_release = max_int then e.writer_release <- max e.held_base at
+      else if at > e.writer_release then e.writer_release <- at)
+    keys
+
+let waits t = t.waits
+
+let wait_events t = t.wait_events
+
+let reset_stats t =
+  t.waits <- 0;
+  t.wait_events <- 0

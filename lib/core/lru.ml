@@ -1,0 +1,66 @@
+type node = {
+  key : int;
+  mutable prev : node option;  (* towards MRU *)
+  mutable next : node option;  (* towards LRU *)
+}
+
+type t = {
+  table : (int, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+}
+
+let create () = { table = Hashtbl.create 1024; mru = None; lru = None }
+
+let length t = Hashtbl.length t.table
+
+let mem t key = Hashtbl.mem t.table key
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.mru <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      unlink t n;
+      push_front t n
+  | None ->
+      let n = { key; prev = None; next = None } in
+      Hashtbl.add t.table key n;
+      push_front t n
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table key
+  | None -> ()
+
+let evict_candidate t ~locked =
+  let rec walk = function
+    | None -> None
+    | Some n -> if locked n.key then walk n.prev else Some n.key
+  in
+  walk t.lru
+
+let iter_lru_order t f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        f n.key;
+        walk n.prev
+  in
+  walk t.lru

@@ -1,0 +1,31 @@
+(** Volatile least-recently-used queue.
+
+    Tracks recency of updates to objects held in the dynamic backup region
+    (§6.4). Purely volatile — after a crash it is rebuilt empty, the
+    persistent {!Phash} being the source of truth for which copies exist.
+
+    Eviction skips keys the caller marks as locked: "locked objects are
+    never evicted to ensure safety, that is pending objects are never
+    candidates for eviction". *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val mem : t -> int -> bool
+
+(** [touch t key] inserts [key] as most-recently-used, or moves it there. *)
+val touch : t -> int -> unit
+
+(** [remove t key] drops the key if present. *)
+val remove : t -> int -> unit
+
+(** [evict_candidate t ~locked] returns the least-recently-used key for
+    which [locked key] is false, without removing it. [None] if every
+    resident key is locked (or the queue is empty). *)
+val evict_candidate : t -> locked:(int -> bool) -> int option
+
+(** [iter_lru_order t f] visits keys from least to most recently used. *)
+val iter_lru_order : t -> (int -> unit) -> unit

@@ -1,0 +1,137 @@
+module Region = Kamino_nvm.Region
+module Cost_model = Kamino_nvm.Cost_model
+
+type t = { region : Region.t; capacity : int; mask : int; mutable count : int }
+
+let magic_value = 0x4B54484153485631L (* "KTHASHV1" *)
+
+let magic_off = 0
+let capacity_off = 8
+let entries_start = 64
+
+let empty_key = 0L
+let tombstone_key = -1L
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let required_size ~capacity = entries_start + (pow2_at_least capacity 16 * 16)
+
+let entry_off _t i = entries_start + (i * 16)
+
+let format region ~capacity =
+  let capacity = pow2_at_least capacity 16 in
+  if Region.size region < required_size ~capacity then
+    invalid_arg "Phash.format: region too small";
+  Region.write_int64 region magic_off magic_value;
+  Region.write_int region capacity_off capacity;
+  (* Zero the bucket array (fresh regions are zeroed already, but reformats
+     of reused regions are not). *)
+  Region.fill region entries_start (capacity * 16) 0;
+  Region.persist_all region;
+  { region; capacity; mask = capacity - 1; count = 0 }
+
+let rebuild_count t =
+  let n = ref 0 in
+  for i = 0 to t.capacity - 1 do
+    let k = Region.read_int64 t.region (entry_off t i) in
+    if k <> empty_key && k <> tombstone_key then incr n
+  done;
+  t.count <- !n
+
+let open_existing region =
+  if Region.read_int64 region magic_off <> magic_value then
+    failwith "Phash.open_existing: bad magic";
+  let capacity = Region.read_int region capacity_off in
+  let t = { region; capacity; mask = capacity - 1; count = 0 } in
+  rebuild_count t;
+  t
+
+let capacity t = t.capacity
+
+let region t = t.region
+
+let count t = t.count
+
+let hash key =
+  let z = Int64.of_int key in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+let charge_index t = Region.charge t.region (Region.cost_model t.region).Cost_model.index_ns
+
+let insert t ~key ~value =
+  if key <= 0 then invalid_arg "Phash.insert: keys must be positive";
+  charge_index t;
+  let start = hash key land t.mask in
+  let rec probe i steps first_tomb =
+    if steps > t.capacity then failwith "Phash.insert: table full"
+    else begin
+      let off = entry_off t i in
+      let k = Region.read_int64 t.region off in
+      if k = Int64.of_int key then begin
+        (* Overwrite in place: publish the new value with a persist; the key
+           word is untouched so the entry is never half-visible. *)
+        Region.write_int t.region (off + 8) value;
+        Region.persist t.region off 16
+      end
+      else if k = empty_key then begin
+        let slot = match first_tomb with Some s -> s | None -> off in
+        Region.write_int t.region (slot + 8) value;
+        Region.persist t.region slot 16;
+        Region.write_int t.region slot key;
+        Region.persist t.region slot 16;
+        t.count <- t.count + 1
+      end
+      else begin
+        let first_tomb =
+          if k = tombstone_key && first_tomb = None then Some off else first_tomb
+        in
+        probe ((i + 1) land t.mask) (steps + 1) first_tomb
+      end
+    end
+  in
+  probe start 0 None
+
+let find t ~key =
+  charge_index t;
+  let start = hash key land t.mask in
+  let rec probe i steps =
+    if steps > t.capacity then None
+    else begin
+      let off = entry_off t i in
+      let k = Region.read_int64 t.region off in
+      if k = empty_key then None
+      else if k = Int64.of_int key then Some (Region.read_int t.region (off + 8))
+      else probe ((i + 1) land t.mask) (steps + 1)
+    end
+  in
+  probe start 0
+
+let remove t ~key =
+  charge_index t;
+  let start = hash key land t.mask in
+  let rec probe i steps =
+    if steps > t.capacity then false
+    else begin
+      let off = entry_off t i in
+      let k = Region.read_int64 t.region off in
+      if k = empty_key then false
+      else if k = Int64.of_int key then begin
+        Region.write_int64 t.region off tombstone_key;
+        Region.persist t.region off 8;
+        t.count <- t.count - 1;
+        true
+      end
+      else probe ((i + 1) land t.mask) (steps + 1)
+    end
+  in
+  probe start 0
+
+let iter t f =
+  for i = 0 to t.capacity - 1 do
+    let off = entry_off t i in
+    let k = Region.read_int64 t.region off in
+    if k <> empty_key && k <> tombstone_key then
+      f ~key:(Int64.to_int k) ~value:(Region.read_int t.region (off + 8))
+  done

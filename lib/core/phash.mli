@@ -1,0 +1,42 @@
+(** Persistent open-addressing hash table.
+
+    Kamino-Tx-Dynamic's "backup look-up table": maps a main-heap offset to
+    the offset of its copy in the partial backup region. The mapping must be
+    durable — after a crash, recovery locates the roll-back copies through
+    it — so mutations follow a two-step ordering: the value word is
+    persisted first, then the key word is published with a second persist.
+    The key store is the atomic commit point (8-byte aligned), so a torn
+    insert leaves either no entry or a complete one, never a key pointing at
+    a garbage value.
+
+    Keys are positive integers (NVM offsets); 0 marks an empty bucket and -1
+    a tombstone. *)
+
+type t
+
+(** [required_size ~capacity] — [capacity] is rounded up to a power of two. *)
+val required_size : capacity:int -> int
+
+val format : Kamino_nvm.Region.t -> capacity:int -> t
+
+val open_existing : Kamino_nvm.Region.t -> t
+
+val capacity : t -> int
+
+val region : t -> Kamino_nvm.Region.t
+
+(** Number of live entries (maintained volatilely, rebuilt on open). *)
+val count : t -> int
+
+(** [insert t ~key ~value] adds or overwrites. Raises [Failure] when the
+    table is full (the dynamic backup sizes it at twice the LRU capacity, so
+    this indicates a bug). *)
+val insert : t -> key:int -> value:int -> unit
+
+val find : t -> key:int -> int option
+
+(** [remove t ~key] deletes the mapping if present; returns whether it was. *)
+val remove : t -> key:int -> bool
+
+(** [iter t f] calls [f ~key ~value] for every live entry. *)
+val iter : t -> (key:int -> value:int -> unit) -> unit

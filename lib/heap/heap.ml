@@ -1,0 +1,275 @@
+module Region = Kamino_nvm.Region
+module Cost_model = Kamino_nvm.Cost_model
+
+type t = { region : Region.t }
+
+type ptr = int
+
+let null = 0
+
+type range = { off : int; len : int }
+
+(* Metadata block layout (offsets in bytes). *)
+let magic_off = 0
+let version_off = 8
+let size_off = 16
+let root_off = 24
+let bump_off = 32
+let free_heads_off = 64
+let data_start_off = 256
+
+let magic_value = 0x4B414D494E4F5458L (* "KAMINOTX" *)
+let version_value = 1L
+
+let size_classes =
+  [| 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536; 131072; 262144 |]
+
+let n_classes = Array.length size_classes
+
+let max_object_size = size_classes.(n_classes - 1)
+
+let header_size = 16
+
+(* Object header words, relative to the extent start (= ptr - header_size). *)
+let hdr_capacity_rel = 0
+let hdr_flags_rel = 8
+
+let class_of_size size =
+  if size <= 0 then invalid_arg "Heap: object size must be positive";
+  if size > max_object_size then
+    invalid_arg (Printf.sprintf "Heap: object size %d exceeds max %d" size max_object_size);
+  let rec find i = if size_classes.(i) >= size then i else find (i + 1) in
+  find 0
+
+let is_class_size len = Array.exists (fun c -> c = len) size_classes
+
+let class_head_off cls = free_heads_off + (cls * 8)
+
+let region t = t.region
+
+let charge_cost t ns = Region.charge t.region ns
+
+let format region =
+  if Region.size region < data_start_off + 4096 then
+    invalid_arg "Heap.format: region too small";
+  let t = { region } in
+  Region.write_int64 region magic_off magic_value;
+  Region.write_int64 region version_off version_value;
+  Region.write_int region size_off (Region.size region);
+  Region.write_int region root_off null;
+  Region.write_int region bump_off data_start_off;
+  for cls = 0 to n_classes - 1 do
+    Region.write_int region (class_head_off cls) null
+  done;
+  Region.persist region 0 data_start_off;
+  t
+
+let rebuild_with region ~live =
+  let t = { region } in
+  Region.write_int64 region magic_off magic_value;
+  Region.write_int64 region version_off version_value;
+  Region.write_int region size_off (Region.size region);
+  Region.write_int region root_off null;
+  for cls = 0 to n_classes - 1 do
+    Region.write_int region (class_head_off cls) null
+  done;
+  let bump = ref data_start_off in
+  List.iter
+    (fun (p, size) ->
+      let cls = class_of_size size in
+      let capacity = size_classes.(cls) in
+      Region.write_int region (p - header_size + hdr_capacity_rel) capacity;
+      Region.write_int64 region (p - header_size + hdr_flags_rel) 1L;
+      Region.persist region (p - header_size) header_size;
+      bump := max !bump (p + capacity))
+    live;
+  Region.write_int region bump_off !bump;
+  Region.persist region 0 data_start_off;
+  t
+
+let open_existing region =
+  if Region.read_int64 region magic_off <> magic_value then
+    failwith "Heap.open_existing: bad magic (region was never formatted?)";
+  if Region.read_int64 region version_off <> version_value then
+    failwith "Heap.open_existing: unsupported heap version";
+  { region }
+
+(* Allocation. *)
+
+let bump t = Region.read_int t.region bump_off
+
+let free_head t cls = Region.read_int t.region (class_head_off cls)
+
+let align16 n = (n + 15) land lnot 15
+
+let alloc_ranges t size =
+  let cls = class_of_size size in
+  let capacity = size_classes.(cls) in
+  let head = free_head t cls in
+  if head <> null then
+    (* Reuse: the free-list head word and the object extent change. *)
+    ( head,
+      [
+        { off = class_head_off cls; len = 8 };
+        { off = head - header_size; len = header_size + capacity };
+      ] )
+  else begin
+    let b = align16 (bump t) in
+    let extent_len = header_size + capacity in
+    if b + extent_len > Region.size t.region then raise Out_of_memory;
+    ( b + header_size,
+      [ { off = bump_off; len = 8 }; { off = b; len = extent_len } ] )
+  end
+
+let alloc t size =
+  let cls = class_of_size size in
+  let capacity = size_classes.(cls) in
+  charge_cost t (Region.cost_model t.region).Cost_model.alloc_ns;
+  let head = free_head t cls in
+  if head <> null then begin
+    (* Pop the free list: the object's first payload word links to the next
+       free object of the class. *)
+    let next = Region.read_int t.region head in
+    Region.write_int t.region (class_head_off cls) next;
+    Region.write_int64 t.region (head - header_size + hdr_flags_rel) 1L;
+    Region.fill t.region head capacity 0;
+    head
+  end
+  else begin
+    let b = align16 (bump t) in
+    let extent_len = header_size + capacity in
+    if b + extent_len > Region.size t.region then raise Out_of_memory;
+    Region.write_int t.region bump_off (b + extent_len);
+    Region.write_int t.region (b + hdr_capacity_rel) capacity;
+    Region.write_int64 t.region (b + hdr_flags_rel) 1L;
+    (* A fresh bump object is already zero, but an object being re-formatted
+       after a rollback may not be; zero it for deterministic contents. *)
+    Region.fill t.region (b + header_size) capacity 0;
+    b + header_size
+  end
+
+let capacity t p =
+  if p = null then invalid_arg "Heap.capacity: null pointer";
+  Region.read_int t.region (p - header_size + hdr_capacity_rel)
+
+let is_allocated t p =
+  p <> null
+  && p >= data_start_off + header_size
+  && p < bump t
+  && Region.read_int64 t.region (p - header_size + hdr_flags_rel) = 1L
+
+let extent t p =
+  let cap = capacity t p in
+  { off = p - header_size; len = header_size + cap }
+
+let free_ranges t p =
+  let cap = capacity t p in
+  let cls = class_of_size cap in
+  [ { off = class_head_off cls; len = 8 }; { off = p - header_size; len = header_size + cap } ]
+
+let free t p =
+  if not (is_allocated t p) then
+    invalid_arg (Printf.sprintf "Heap.free: %d is not an allocated object" p);
+  charge_cost t (Region.cost_model t.region).Cost_model.free_ns;
+  let cap = capacity t p in
+  let cls = class_of_size cap in
+  let head = free_head t cls in
+  Region.write_int64 t.region (p - header_size + hdr_flags_rel) 0L;
+  Region.write_int t.region p head;
+  Region.write_int t.region (class_head_off cls) p
+
+(* Root. *)
+
+let root t = Region.read_int t.region root_off
+
+let set_root t p =
+  Region.write_int t.region root_off p;
+  Region.persist t.region root_off 8
+
+let root_range _t = { off = root_off; len = 8 }
+
+(* Introspection. *)
+
+let data_start _t = data_start_off
+
+let high_water t = bump t
+
+let iter_objects t f =
+  let limit = bump t in
+  let rec walk off =
+    if off < limit then begin
+      let off = align16 off in
+      if off + header_size <= limit then begin
+        let cap = Region.read_int t.region (off + hdr_capacity_rel) in
+        let flags = Region.read_int64 t.region (off + hdr_flags_rel) in
+        f (off + header_size) ~capacity:cap ~allocated:(flags = 1L);
+        walk (off + header_size + cap)
+      end
+    end
+  in
+  walk data_start_off
+
+let live_objects t =
+  let n = ref 0 in
+  iter_objects t (fun _ ~capacity:_ ~allocated -> if allocated then incr n);
+  !n
+
+let live_bytes t =
+  let n = ref 0 in
+  iter_objects t (fun _ ~capacity ~allocated -> if allocated then n := !n + capacity);
+  !n
+
+let validate t =
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let limit = bump t in
+  if limit < data_start_off || limit > Region.size t.region then
+    fail "bump pointer %d out of range" limit
+  else begin
+    (* Walk headers. *)
+    let rec walk off =
+      match !error with
+      | Some _ -> ()
+      | None ->
+          let off = align16 off in
+          if off + header_size <= limit then begin
+            let cap = Region.read_int t.region (off + hdr_capacity_rel) in
+            let flags = Region.read_int64 t.region (off + hdr_flags_rel) in
+            if not (is_class_size cap) then
+              fail "object at %d has non-class capacity %d" off cap
+            else if flags <> 0L && flags <> 1L then
+              fail "object at %d has corrupt flags %Ld" off flags
+            else walk (off + header_size + cap)
+          end
+          else if off <> limit && off + header_size > limit then
+            (* A partially bumped object would leave a gap; the bump word and
+               the header are covered by the same intent so this indicates a
+               recovery bug. *)
+            fail "object area ends at %d but bump is %d" off limit
+    in
+    walk data_start_off;
+    (* Check the free lists. *)
+    if !error = None then
+      Array.iteri
+        (fun cls _ ->
+          let seen = Hashtbl.create 16 in
+          let rec follow p steps =
+            if !error <> None then ()
+            else if p <> null then begin
+              if steps > 1_000_000 then fail "free list of class %d too long (cycle?)" cls
+              else if Hashtbl.mem seen p then fail "free list of class %d has a cycle at %d" cls p
+              else if is_allocated t p then
+                fail "free list of class %d contains allocated object %d" cls p
+              else begin
+                Hashtbl.add seen p ();
+                let cap = Region.read_int t.region (p - header_size + hdr_capacity_rel) in
+                if cap <> size_classes.(cls) then
+                  fail "free list of class %d contains object %d of capacity %d" cls p cap
+                else follow (Region.read_int t.region p) (steps + 1)
+              end
+            end
+          in
+          follow (free_head t cls) 0)
+        size_classes
+  end;
+  match !error with None -> Ok () | Some e -> Error e

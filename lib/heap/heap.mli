@@ -1,0 +1,126 @@
+(** Persistent object heap over a simulated NVM region.
+
+    The heap is the paper's "persistent heap manager": applications allocate
+    and free objects, store native values and persistent pointers in them,
+    and name one object as the root. An object is addressed by a [ptr] — the
+    NVM offset of its payload; persistent pointers are just such offsets
+    stored as int64 fields, so they remain valid across crashes and reopens.
+
+    Allocator metadata (bump pointer, per-class free-list heads) lives in
+    NVM and is modified {e through transactions}, exactly as in the paper:
+    the heap itself performs raw writes, and the transaction engines declare
+    write intents on the word ranges reported by {!alloc_ranges} /
+    {!free_ranges} before invoking {!alloc} / {!free}, so aborts and crashes
+    roll the allocator back together with the data.
+
+    Layout: a 256-byte metadata block (magic, version, size, root, bump
+    pointer, free-list heads) followed by the object area. Each object has a
+    16-byte header (capacity, allocated flag) in front of its payload. *)
+
+type t
+
+(** A persistent pointer: the NVM offset of an object's payload.
+    [null] (= 0) points nowhere. *)
+type ptr = int
+
+val null : ptr
+
+(** Size classes available to the allocator, in bytes. Requests are rounded
+    up to the next class. *)
+val size_classes : int array
+
+(** Largest allocatable payload. *)
+val max_object_size : int
+
+(** [format region] initializes a fresh heap in [region] and persists the
+    metadata block. Raises [Invalid_argument] if the region is too small. *)
+val format : Kamino_nvm.Region.t -> t
+
+(** [open_existing region] attaches to a previously formatted heap, e.g.
+    after a crash. Raises [Failure] if the magic number does not match. *)
+val open_existing : Kamino_nvm.Region.t -> t
+
+(** [rebuild_with region ~live] re-creates a consistent allocator state
+    from an external source of truth, preserving object payloads: every
+    [(ptr, size)] in [live] becomes an allocated object (capacity = the
+    size's class), free lists are emptied, and the bump pointer is placed
+    past the last live object. Used by the dynamic backup, whose slot
+    allocator is volatile — the persistent look-up table is authoritative
+    and the allocator is reconstructed from it after a crash. Space that
+    was free before the crash and is not covered by [live] is reclaimed or
+    leaked until the next rebuild; payload bytes of live objects are not
+    touched. *)
+val rebuild_with : Kamino_nvm.Region.t -> live:(ptr * int) list -> t
+
+val region : t -> Kamino_nvm.Region.t
+
+(** {1 Allocation} *)
+
+(** A contiguous NVM byte range, as reported to transaction engines for
+    write-intent declaration. *)
+type range = { off : int; len : int }
+
+(** [alloc_ranges t size] returns [(p, ranges)] where [p] is the pointer the
+    next [alloc t size] call will return and [ranges] are the allocator
+    metadata words plus the object extent that the allocation will modify.
+    It performs no mutation: engines snapshot/declare the ranges, then call
+    {!alloc}. Raises [Out_of_memory] when the heap is exhausted and
+    [Invalid_argument] for sizes above {!max_object_size}. *)
+val alloc_ranges : t -> int -> ptr * range list
+
+(** [alloc t size] allocates an object with at least [size] payload bytes
+    and returns its pointer. The payload is zeroed. *)
+val alloc : t -> int -> ptr
+
+(** [free_ranges t p] returns the ranges {!free} will modify. *)
+val free_ranges : t -> ptr -> range list
+
+(** [free t p] returns [p]'s object to its size-class free list.
+    Raises [Invalid_argument] if [p] is not an allocated object. *)
+val free : t -> ptr -> unit
+
+(** [capacity t p] is the usable payload size of object [p]. *)
+val capacity : t -> ptr -> int
+
+(** [extent t p] is the byte range covering [p]'s header and payload — what
+    engines copy when rolling the object forward or back. *)
+val extent : t -> ptr -> range
+
+(** [is_allocated t p] — used by validation and tests. *)
+val is_allocated : t -> ptr -> bool
+
+(** {1 Root object} *)
+
+val root : t -> ptr
+
+(** [set_root t p] updates and persists the root pointer. The root pointer
+    update is a single 8-byte atomic store, so it is crash-safe by itself. *)
+val set_root : t -> ptr -> unit
+
+(** [root_range t] is the range engines declare when a transaction changes
+    the root. *)
+val root_range : t -> range
+
+(** {1 Introspection} *)
+
+(** [live_objects t] counts currently allocated objects (walks the heap). *)
+val live_objects : t -> int
+
+(** [live_bytes t] sums payload capacities of allocated objects. *)
+val live_bytes : t -> int
+
+(** [data_start t] and [high_water t] delimit the object area in use;
+    engines use them for whole-heap copies (backup initialization). *)
+val data_start : t -> int
+
+val high_water : t -> int
+
+(** [validate t] walks every object header and checks structural invariants
+    (capacity is a known class, flags are 0/1, extents chain exactly to the
+    bump pointer, free lists only contain free objects). Returns an error
+    description instead of raising, so recovery tests can assert on it. *)
+val validate : t -> (unit, string) result
+
+(** [iter_objects t f] calls [f ptr ~capacity ~allocated] for every object
+    slot in address order. *)
+val iter_objects : t -> (ptr -> capacity:int -> allocated:bool -> unit) -> unit

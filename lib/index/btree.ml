@@ -1,0 +1,518 @@
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+
+type t = { engine : Engine.t; desc : Heap.ptr; mk : int }
+
+(* Descriptor object fields. *)
+let d_root = 0
+let d_count = 8
+let d_node_cap = 16
+let desc_size = 24
+
+(* Node fields. [mk] keys at [keys_base], [mk + 1] pointer slots at
+   [ptrs_base]: values for leaves (slot i pairs with key i), children for
+   internal nodes (slot i is the subtree left of key i; slot nkeys is the
+   rightmost child). *)
+let n_flags = 0
+let n_nkeys = 8
+let n_next = 16
+let keys_base = 24
+
+let ptrs_base mk = keys_base + (8 * mk)
+
+let mk_of_capacity cap = (cap - 32) / 16
+
+(* Node accessors, parameterized by a reader so the same traversal code
+   serves committed-state lookups (peek) and in-transaction reads. *)
+type reader = { rd : Heap.ptr -> int -> int }
+
+let peek_reader engine = { rd = (fun p off -> Engine.peek_int engine p off) }
+
+let tx_reader tx = { rd = (fun p off -> Engine.read_int tx p off) }
+
+let is_leaf r node = r.rd node n_flags = 1
+
+let nkeys r node = r.rd node n_nkeys
+
+let next_leaf r node = r.rd node n_next
+
+let key_at r node i = r.rd node (keys_base + (8 * i))
+
+let ptr_at t r node i = r.rd node (ptrs_base t.mk + (8 * i))
+
+(* Position of the first key >= [key], by binary search. *)
+let lower_bound r node n key =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key_at r node mid < key then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 n
+
+(* Child index to descend into for [key]: number of keys <= key. *)
+let child_index r node n key =
+  let i = lower_bound r node n key in
+  if i < n && key_at r node i = key then i + 1 else i
+
+(* --- Construction ------------------------------------------------------- *)
+
+let min_node_size = 96
+
+let alloc_node tx ~node_cap ~leaf =
+  let node = Engine.alloc tx node_cap in
+  Engine.write_int tx node n_flags (if leaf then 1 else 0);
+  Engine.write_int tx node n_nkeys 0;
+  Engine.write_int tx node n_next Heap.null;
+  node
+
+let create tx ~node_size =
+  if node_size < min_node_size then
+    invalid_arg (Printf.sprintf "Btree.create: node_size must be >= %d" min_node_size);
+  let desc = Engine.alloc tx desc_size in
+  let probe = Engine.alloc tx node_size in
+  (* The heap rounds to a size class; the branching factor follows the
+     actual capacity, recorded in the descriptor for reattachment. *)
+  let node_cap = Heap.capacity (Engine.heap (Engine.tx_engine tx)) probe in
+  Engine.write_int tx probe n_flags 1;
+  Engine.write_int tx probe n_nkeys 0;
+  Engine.write_int tx probe n_next Heap.null;
+  Engine.write_int tx desc d_root probe;
+  Engine.write_int tx desc d_count 0;
+  Engine.write_int tx desc d_node_cap node_cap;
+  let engine = Engine.tx_engine tx in
+  { engine; desc; mk = mk_of_capacity node_cap }
+
+let descriptor t = t.desc
+
+let attach engine desc =
+  let node_cap = Engine.peek_int engine desc d_node_cap in
+  { engine; desc; mk = mk_of_capacity node_cap }
+
+let root_of r t = r.rd t.desc d_root
+
+let cardinal t = Engine.peek_int t.engine t.desc d_count
+
+let node_cap t = Engine.peek_int t.engine t.desc d_node_cap
+
+(* --- Bulk array edits (within a transaction) ----------------------------
+
+   Keys and pointer slots are moved with bulk byte copies; the engine
+   routes them through the CoW redirect when needed and charges realistic
+   memmove-style costs. *)
+
+let read_span tx node off len = if len = 0 then Bytes.create 0 else Engine.read_bytes tx node off len
+
+let write_span tx node off b = if Bytes.length b > 0 then Engine.write_bytes tx node off b
+
+(* Open a gap of one key slot at index [j] (and one pointer slot at [pj])
+   in a node currently holding [n] keys. *)
+let open_gap tx t node n ~j ~pj =
+  let moved_keys = read_span tx node (keys_base + (8 * j)) (8 * (n - j)) in
+  write_span tx node (keys_base + (8 * (j + 1))) moved_keys;
+  let pn = n + 1 in
+  let moved = read_span tx node (ptrs_base t.mk + (8 * pj)) (8 * (pn - pj)) in
+  write_span tx node (ptrs_base t.mk + (8 * (pj + 1))) moved
+
+(* Close the gap at key index [j] / pointer index [pj]. *)
+let close_gap tx t node n ~j ~pj =
+  let moved_keys = read_span tx node (keys_base + (8 * (j + 1))) (8 * (n - j - 1)) in
+  write_span tx node (keys_base + (8 * j)) moved_keys;
+  let pn = n + 1 in
+  let moved = read_span tx node (ptrs_base t.mk + (8 * (pj + 1))) (8 * (pn - pj - 1)) in
+  write_span tx node (ptrs_base t.mk + (8 * pj)) moved
+
+let set_key tx node i v = Engine.write_int tx node (keys_base + (8 * i)) v
+
+let set_ptr tx t node i v = Engine.write_int tx node (ptrs_base t.mk + (8 * i)) v
+
+let set_nkeys tx node n = Engine.write_int tx node n_nkeys n
+
+(* Copy the span of keys [from, from+cnt) and pointers [pfrom, pfrom+pcnt)
+   from [src] to [dst] starting at [dj]/[pdj]. *)
+let move_span tx t ~src ~dst ~from ~cnt ~pfrom ~pcnt ~dj ~pdj =
+  let keys = read_span tx src (keys_base + (8 * from)) (8 * cnt) in
+  write_span tx dst (keys_base + (8 * dj)) keys;
+  let ptrs = read_span tx src (ptrs_base t.mk + (8 * pfrom)) (8 * pcnt) in
+  write_span tx dst (ptrs_base t.mk + (8 * pdj)) ptrs
+
+(* --- Lookup -------------------------------------------------------------- *)
+
+let rec find_in r t node key =
+  let n = nkeys r node in
+  if is_leaf r node then begin
+    let i = lower_bound r node n key in
+    if i < n && key_at r node i = key then Some (ptr_at t r node i) else None
+  end
+  else find_in r t (ptr_at t r node (child_index r node n key)) key
+
+let find t key = find_in (peek_reader t.engine) t (root_of (peek_reader t.engine) t) key
+
+let find_tx tx t key =
+  let r = tx_reader tx in
+  find_in r t (root_of r t) key
+
+(* --- Insertion ----------------------------------------------------------- *)
+
+(* Path from the root to the leaf: [(node, child_index)] per internal
+   level, leaf last. *)
+let path_to_leaf r t key =
+  let rec go node acc =
+    if is_leaf r node then (node, acc)
+    else begin
+      let n = nkeys r node in
+      let i = child_index r node n key in
+      go (ptr_at t r node i) ((node, i) :: acc)
+    end
+  in
+  go (root_of r t) []
+
+let bump_count tx t delta =
+  Engine.add tx t.desc;
+  Engine.write_int tx t.desc d_count (Engine.read_int tx t.desc d_count + delta)
+
+(* Insert separator [sep] with right child [right] above [child]; [path] is
+   the remaining ancestor chain (nearest parent first). *)
+let rec insert_upward tx t path sep right =
+  let r = tx_reader tx in
+  match path with
+  | [] ->
+      (* The root split: grow the tree with a new internal root. *)
+      let old_root = root_of r t in
+      let new_root = alloc_node tx ~node_cap:(node_cap t) ~leaf:false in
+      set_key tx new_root 0 sep;
+      set_ptr tx t new_root 0 old_root;
+      set_ptr tx t new_root 1 right;
+      set_nkeys tx new_root 1;
+      Engine.add tx t.desc;
+      Engine.write_int tx t.desc d_root new_root
+  | (parent, i) :: rest ->
+      Engine.add tx parent;
+      let n = nkeys r parent in
+      if n < t.mk then begin
+        (* Room: shift and place sep/right at position i / i+1. *)
+        open_gap tx t parent n ~j:i ~pj:(i + 1);
+        set_key tx parent i sep;
+        set_ptr tx t parent (i + 1) right;
+        set_nkeys tx parent (n + 1)
+      end
+      else begin
+        (* Split the full internal node around its median, then place the
+           pending (sep, right) into the correct half. *)
+        let mid = n / 2 in
+        let promoted = key_at r parent mid in
+        let rnode = alloc_node tx ~node_cap:(node_cap t) ~leaf:false in
+        let rcnt = n - mid - 1 in
+        move_span tx t ~src:parent ~dst:rnode ~from:(mid + 1) ~cnt:rcnt ~pfrom:(mid + 1)
+          ~pcnt:(rcnt + 1) ~dj:0 ~pdj:0;
+        set_nkeys tx rnode rcnt;
+        set_nkeys tx parent mid;
+        let target, ti, tn =
+          if i <= mid then (parent, i, mid) else (rnode, i - mid - 1, rcnt)
+        in
+        open_gap tx t target tn ~j:ti ~pj:(ti + 1);
+        set_key tx target ti sep;
+        set_ptr tx t target (ti + 1) right;
+        set_nkeys tx target (tn + 1);
+        insert_upward tx t rest promoted rnode
+      end
+
+let insert tx t key value =
+  let r = tx_reader tx in
+  let leaf, path = path_to_leaf r t key in
+  let n = nkeys r leaf in
+  let i = lower_bound r leaf n key in
+  if i < n && key_at r leaf i = key then begin
+    (* Replace in place. *)
+    Engine.add tx leaf;
+    let old = ptr_at t r leaf i in
+    set_ptr tx t leaf i value;
+    Some old
+  end
+  else begin
+    Engine.add tx leaf;
+    if n < t.mk then begin
+      open_gap tx t leaf n ~j:i ~pj:i;
+      set_key tx leaf i key;
+      set_ptr tx t leaf i value;
+      set_nkeys tx leaf (n + 1);
+      bump_count tx t 1;
+      None
+    end
+    else begin
+      (* Split the full leaf, then insert into the proper half. *)
+      let keep = n - (n / 2) in
+      let rcnt = n / 2 in
+      let rleaf = alloc_node tx ~node_cap:(node_cap t) ~leaf:true in
+      move_span tx t ~src:leaf ~dst:rleaf ~from:keep ~cnt:rcnt ~pfrom:keep ~pcnt:rcnt ~dj:0
+        ~pdj:0;
+      set_nkeys tx rleaf rcnt;
+      Engine.write_int tx rleaf n_next (next_leaf r leaf);
+      set_nkeys tx leaf keep;
+      Engine.write_int tx leaf n_next rleaf;
+      let sep = key_at r rleaf 0 in
+      let target, ti, tn = if key < sep then (leaf, i, keep) else (rleaf, i - keep, rcnt) in
+      open_gap tx t target tn ~j:ti ~pj:ti;
+      set_key tx target ti key;
+      set_ptr tx t target ti value;
+      set_nkeys tx target (tn + 1);
+      insert_upward tx t path sep rleaf;
+      bump_count tx t 1;
+      None
+    end
+  end
+
+(* --- Deletion ------------------------------------------------------------ *)
+
+let min_keys t = (t.mk / 2) - 1
+
+(* Rebalance [node] (which just lost a key) using its parent; [path] is the
+   ancestor chain. *)
+let rec rebalance tx t node path =
+  let r = tx_reader tx in
+  let n = nkeys r node in
+  match path with
+  | [] ->
+      (* Root: collapse when an internal root runs out of keys. *)
+      if (not (is_leaf r node)) && n = 0 then begin
+        let only_child = ptr_at t r node 0 in
+        Engine.add tx t.desc;
+        Engine.write_int tx t.desc d_root only_child;
+        Engine.free tx node
+      end
+  | (parent, i) :: rest ->
+      if n >= min_keys t then ()
+      else begin
+        Engine.add tx parent;
+        let pn = nkeys r parent in
+        let leaf = is_leaf r node in
+        let left_sibling = if i > 0 then Some (ptr_at t r parent (i - 1)) else None in
+        let right_sibling = if i < pn then Some (ptr_at t r parent (i + 1)) else None in
+        let can_lend s = nkeys r s > min_keys t in
+        match (left_sibling, right_sibling) with
+        | Some l, _ when can_lend l ->
+            (* Borrow the left sibling's last entry. *)
+            Engine.add tx l;
+            Engine.add tx node;
+            let ln = nkeys r l in
+            if leaf then begin
+              open_gap tx t node n ~j:0 ~pj:0;
+              set_key tx node 0 (key_at r l (ln - 1));
+              set_ptr tx t node 0 (ptr_at t r l (ln - 1));
+              set_nkeys tx node (n + 1);
+              set_nkeys tx l (ln - 1);
+              set_key tx parent (i - 1) (key_at r node 0)
+            end
+            else begin
+              open_gap tx t node n ~j:0 ~pj:0;
+              set_key tx node 0 (key_at r parent (i - 1));
+              set_ptr tx t node 0 (ptr_at t r l ln);
+              set_nkeys tx node (n + 1);
+              set_key tx parent (i - 1) (key_at r l (ln - 1));
+              set_nkeys tx l (ln - 1)
+            end
+        | _, Some s when can_lend s ->
+            (* Borrow the right sibling's first entry. *)
+            Engine.add tx s;
+            Engine.add tx node;
+            let sn = nkeys r s in
+            if leaf then begin
+              set_key tx node n (key_at r s 0);
+              set_ptr tx t node n (ptr_at t r s 0);
+              set_nkeys tx node (n + 1);
+              close_gap tx t s sn ~j:0 ~pj:0;
+              set_nkeys tx s (sn - 1);
+              set_key tx parent i (key_at r s 0)
+            end
+            else begin
+              set_key tx node n (key_at r parent i);
+              set_ptr tx t node (n + 1) (ptr_at t r s 0);
+              set_nkeys tx node (n + 1);
+              set_key tx parent i (key_at r s 0);
+              close_gap tx t s sn ~j:0 ~pj:0;
+              set_nkeys tx s (sn - 1)
+            end
+        | Some l, _ ->
+            (* Merge [node] into its left sibling, dropping parent key i-1. *)
+            Engine.add tx l;
+            let ln = nkeys r l in
+            if leaf then begin
+              move_span tx t ~src:node ~dst:l ~from:0 ~cnt:n ~pfrom:0 ~pcnt:n ~dj:ln ~pdj:ln;
+              set_nkeys tx l (ln + n);
+              Engine.write_int tx l n_next (next_leaf r node)
+            end
+            else begin
+              set_key tx l ln (key_at r parent (i - 1));
+              move_span tx t ~src:node ~dst:l ~from:0 ~cnt:n ~pfrom:0 ~pcnt:(n + 1)
+                ~dj:(ln + 1) ~pdj:(ln + 1);
+              set_nkeys tx l (ln + 1 + n)
+            end;
+            Engine.free tx node;
+            close_gap tx t parent pn ~j:(i - 1) ~pj:i;
+            set_nkeys tx parent (pn - 1);
+            rebalance tx t parent rest
+        | None, Some s ->
+            (* Merge the right sibling into [node], dropping parent key i. *)
+            Engine.add tx s;
+            Engine.add tx node;
+            let sn = nkeys r s in
+            if leaf then begin
+              move_span tx t ~src:s ~dst:node ~from:0 ~cnt:sn ~pfrom:0 ~pcnt:sn ~dj:n ~pdj:n;
+              set_nkeys tx node (n + sn);
+              Engine.write_int tx node n_next (next_leaf r s)
+            end
+            else begin
+              set_key tx node n (key_at r parent i);
+              move_span tx t ~src:s ~dst:node ~from:0 ~cnt:sn ~pfrom:0 ~pcnt:(sn + 1)
+                ~dj:(n + 1) ~pdj:(n + 1);
+              set_nkeys tx node (n + 1 + sn)
+            end;
+            Engine.free tx s;
+            close_gap tx t parent pn ~j:i ~pj:(i + 1);
+            set_nkeys tx parent (pn - 1);
+            rebalance tx t parent rest
+        | None, None ->
+            (* A non-root node always has a sibling. *)
+            assert false
+      end
+
+let delete tx t key =
+  let r = tx_reader tx in
+  let leaf, path = path_to_leaf r t key in
+  let n = nkeys r leaf in
+  let i = lower_bound r leaf n key in
+  if i < n && key_at r leaf i = key then begin
+    Engine.add tx leaf;
+    let old = ptr_at t r leaf i in
+    close_gap tx t leaf n ~j:i ~pj:i;
+    set_nkeys tx leaf (n - 1);
+    bump_count tx t (-1);
+    rebalance tx t leaf path;
+    Some old
+  end
+  else None
+
+(* --- Iteration ----------------------------------------------------------- *)
+
+let leftmost_leaf r t =
+  let rec go node = if is_leaf r node then node else go (ptr_at t r node 0) in
+  go (root_of r t)
+
+let iter t f =
+  let r = peek_reader t.engine in
+  let rec walk leaf =
+    if leaf <> Heap.null then begin
+      let n = nkeys r leaf in
+      for i = 0 to n - 1 do
+        f (key_at r leaf i) (ptr_at t r leaf i)
+      done;
+      walk (next_leaf r leaf)
+    end
+  in
+  walk (leftmost_leaf r t)
+
+let range t ~lo ~hi f =
+  let r = peek_reader t.engine in
+  (* Descend to the leaf containing the first key >= lo. *)
+  let rec descend node = if is_leaf r node then node else descend (ptr_at t r node (child_index r node (nkeys r node) lo)) in
+  let rec walk leaf =
+    if leaf <> Heap.null then begin
+      let n = nkeys r leaf in
+      let stop = ref false in
+      for i = 0 to n - 1 do
+        let k = key_at r leaf i in
+        if k > hi then stop := true
+        else if k >= lo then f k (ptr_at t r leaf i)
+      done;
+      if not !stop then walk (next_leaf r leaf)
+    end
+  in
+  walk (descend (root_of r t))
+
+let min_key t =
+  let r = peek_reader t.engine in
+  let leaf = leftmost_leaf r t in
+  if nkeys r leaf = 0 then None else Some (key_at r leaf 0)
+
+let max_key t =
+  let r = peek_reader t.engine in
+  let rec go node =
+    let n = nkeys r node in
+    if is_leaf r node then if n = 0 then None else Some (key_at r node (n - 1))
+    else go (ptr_at t r node n)
+  in
+  go (root_of r t)
+
+let height t =
+  let r = peek_reader t.engine in
+  let rec go node acc = if is_leaf r node then acc else go (ptr_at t r node 0) (acc + 1) in
+  go (root_of r t) 1
+
+(* --- Validation ---------------------------------------------------------- *)
+
+let validate t =
+  let r = peek_reader t.engine in
+  let heap = Engine.heap t.engine in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let count = ref 0 in
+  let leaves = ref [] in
+  let root = root_of r t in
+  (* Returns the depth of the subtree; checks ordering within (lo, hi]. *)
+  let rec check node ~lo ~hi ~is_root =
+    if not (Heap.is_allocated heap node) then begin
+      fail "node %d is not an allocated object" node;
+      0
+    end
+    else begin
+      let n = nkeys r node in
+      if n > t.mk then fail "node %d overflows: %d > %d" node n t.mk;
+      if (not is_root) && n < min_keys t then
+        fail "node %d underflows: %d < %d" node n (min_keys t);
+      (* Separators are copied up from leaf first keys, so a child's keys
+         satisfy [lo <= k < hi]. *)
+      for i = 0 to n - 1 do
+        let k = key_at r node i in
+        (match lo with Some l when k < l -> fail "node %d key %d < lower bound" node k | _ -> ());
+        (match hi with Some h when k >= h -> fail "node %d key %d >= upper bound" node k | _ -> ());
+        if i > 0 && key_at r node (i - 1) >= k then fail "node %d keys out of order" node
+      done;
+      if is_leaf r node then begin
+        count := !count + n;
+        leaves := node :: !leaves;
+        1
+      end
+      else begin
+        if n = 0 && not is_root then fail "internal node %d is empty" node;
+        let depth = ref 0 in
+        for i = 0 to n do
+          let clo = if i = 0 then lo else Some (key_at r node (i - 1)) in
+          let chi = if i = n then hi else Some (key_at r node i) in
+          let d = check (ptr_at t r node i) ~lo:clo ~hi:chi ~is_root:false in
+          if i = 0 then depth := d
+          else if d <> !depth then fail "node %d has uneven child depths" node
+        done;
+        !depth + 1
+      end
+    end
+  in
+  ignore (check root ~lo:None ~hi:None ~is_root:true);
+  (* Leaf chain must visit exactly the leaves found by the tree walk, left
+     to right. *)
+  (match !error with
+  | Some _ -> ()
+  | None ->
+      let chain = ref [] in
+      let rec walk leaf =
+        if leaf <> Heap.null then begin
+          chain := leaf :: !chain;
+          walk (next_leaf r leaf)
+        end
+      in
+      walk (leftmost_leaf r t);
+      if List.sort compare !chain <> List.sort compare !leaves then
+        fail "leaf chain does not match tree leaves";
+      if !count <> cardinal t then
+        fail "descriptor count %d but leaves hold %d keys" (cardinal t) !count);
+  match !error with None -> Ok () | Some e -> Error e

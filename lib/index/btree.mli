@@ -1,0 +1,66 @@
+(** Persistent B+Tree over the transactional engine.
+
+    The index behind the evaluation's key-value store (§7): keys are 63-bit
+    integers, values are persistent pointers. Nodes are heap objects
+    modified through engine transactions, so every structural change
+    (insert, split, delete, merge) is atomic under every engine kind, and
+    crash-recovery tests can slam the tree with torn writes.
+
+    The caller owns the transaction: [insert]/[delete] take a [tx] and
+    declare intents on exactly the nodes they modify, which is what makes
+    the undo-logging baseline expensive (a split undo-logs whole 4 KB
+    nodes) and Kamino-Tx cheap (it logs three 24-byte intents).
+
+    A tree is named by the pointer of its {e descriptor object} (root
+    pointer + key count), typically stored as the heap root. *)
+
+type t
+
+(** [create tx ~node_size] allocates an empty tree (descriptor + root leaf)
+    and returns it. [node_size] bounds the node object size; the branching
+    factor follows from it (e.g. 4096 -> 254 keys/node). *)
+val create : Kamino_core.Engine.tx -> node_size:int -> t
+
+(** [descriptor t] is the tree's persistent handle, e.g. to store as heap
+    root. *)
+val descriptor : t -> Kamino_heap.Heap.ptr
+
+(** [attach engine ptr] re-attaches to an existing tree after reopen. *)
+val attach : Kamino_core.Engine.t -> Kamino_heap.Heap.ptr -> t
+
+(** [find t key] — committed-state lookup (no transaction, no locks). *)
+val find : t -> int -> Kamino_heap.Heap.ptr option
+
+(** [find_tx tx t key] — lookup inside a transaction (sees its writes). *)
+val find_tx : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr option
+
+(** [insert tx t key value] adds or replaces the mapping; returns the
+    previous value if the key was present. *)
+val insert : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr -> Kamino_heap.Heap.ptr option
+
+(** [delete tx t key] removes the mapping; returns the removed value. *)
+val delete : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr option
+
+(** Number of keys in the tree (maintained in the descriptor). *)
+val cardinal : t -> int
+
+(** [iter t f] visits all bindings in ascending key order (committed
+    state). *)
+val iter : t -> (int -> Kamino_heap.Heap.ptr -> unit) -> unit
+
+(** [range t ~lo ~hi f] visits bindings with [lo <= key <= hi]. *)
+val range : t -> lo:int -> hi:int -> (int -> Kamino_heap.Heap.ptr -> unit) -> unit
+
+(** [min_key t] / [max_key t] — extremes, [None] when empty. *)
+val min_key : t -> int option
+
+val max_key : t -> int option
+
+(** Height of the tree (1 = root is a leaf). *)
+val height : t -> int
+
+(** [validate t] checks the B+Tree structural invariants on committed
+    state: key ordering within and across nodes, uniform leaf depth,
+    minimum occupancy of non-root nodes, leaf-chain consistency, and that
+    [cardinal] matches the leaves. *)
+val validate : t -> (unit, string) result

@@ -1,0 +1,196 @@
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+
+type t = { engine : Engine.t; desc : Heap.ptr; buckets : int; segments : int }
+
+(* Descriptor: bucket count, cardinal, then the directory pointer. *)
+let d_buckets = 0
+let d_count = 8
+let d_dir = 16
+let desc_size = 24
+
+(* Segments hold [seg_buckets] bucket-head pointers each; the directory is
+   one object of segment pointers. Both stay well under the largest size
+   class. *)
+let seg_buckets = 256
+
+let seg_size = seg_buckets * 8
+
+(* Entry object: key, value, next. *)
+let e_key = 0
+let e_value = 8
+let e_next = 16
+let entry_size = 24
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let hash key =
+  let z = Int64.of_int key in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+let create tx ~buckets =
+  let buckets = pow2_at_least (max buckets 256) 256 in
+  let segments = buckets / seg_buckets in
+  let engine = Engine.tx_engine tx in
+  let desc = Engine.alloc tx desc_size in
+  let dir = Engine.alloc tx (segments * 8) in
+  for s = 0 to segments - 1 do
+    let seg = Engine.alloc tx seg_size in
+    Engine.write_int tx dir (s * 8) seg
+  done;
+  Engine.write_int tx desc d_buckets buckets;
+  Engine.write_int tx desc d_count 0;
+  Engine.write_int tx desc d_dir dir;
+  { engine; desc; buckets; segments }
+
+let descriptor t = t.desc
+
+let attach engine desc =
+  let buckets = Engine.peek_int engine desc d_buckets in
+  { engine; desc; buckets; segments = buckets / seg_buckets }
+
+let buckets t = t.buckets
+
+let cardinal t = Engine.peek_int t.engine t.desc d_count
+
+(* Locate the segment object and intra-segment offset of a bucket. *)
+let bucket_slot r t key =
+  let b = hash key land (t.buckets - 1) in
+  let dir = r t.desc d_dir in
+  let seg = r dir ((b / seg_buckets) * 8) in
+  (seg, b mod seg_buckets * 8)
+
+let peek t p off = Engine.peek_int t.engine p off
+
+let find t key =
+  let seg, off = bucket_slot (peek t) t key in
+  let rec walk e =
+    if e = Heap.null then None
+    else if peek t e e_key = key then Some (peek t e e_value)
+    else walk (peek t e e_next)
+  in
+  walk (peek t seg off)
+
+let find_tx tx t key =
+  let rd p off = Engine.read_int tx p off in
+  let seg, off = bucket_slot rd t key in
+  let rec walk e =
+    if e = Heap.null then None
+    else if rd e e_key = key then Some (rd e e_value)
+    else walk (rd e e_next)
+  in
+  walk (rd seg off)
+
+let bump_count tx t delta =
+  Engine.add tx t.desc;
+  Engine.write_int tx t.desc d_count (Engine.read_int tx t.desc d_count + delta)
+
+let insert tx t key value =
+  let rd p off = Engine.read_int tx p off in
+  let seg, off = bucket_slot rd t key in
+  (* Look for an existing entry first. *)
+  let rec walk e =
+    if e = Heap.null then None
+    else if rd e e_key = key then Some e
+    else walk (rd e e_next)
+  in
+  match walk (rd seg off) with
+  | Some e ->
+      Engine.add tx e;
+      let old = Engine.read_int tx e e_value in
+      Engine.write_int tx e e_value value;
+      Some old
+  | None ->
+      let entry = Engine.alloc tx entry_size in
+      Engine.write_int tx entry e_key key;
+      Engine.write_int tx entry e_value value;
+      Engine.write_int tx entry e_next (rd seg off);
+      (* Only the one bucket word of the segment changes. *)
+      Engine.add_field tx seg off 8;
+      Engine.write_int tx seg off entry;
+      bump_count tx t 1;
+      None
+
+let remove tx t key =
+  let rd p off = Engine.read_int tx p off in
+  let seg, off = bucket_slot rd t key in
+  let rec walk prev e =
+    if e = Heap.null then None
+    else if rd e e_key = key then begin
+      let value = rd e e_value in
+      let next = rd e e_next in
+      (match prev with
+      | None ->
+          Engine.add_field tx seg off 8;
+          Engine.write_int tx seg off next
+      | Some p ->
+          Engine.add tx p;
+          Engine.write_int tx p e_next next);
+      Engine.free tx e;
+      bump_count tx t (-1);
+      Some value
+    end
+    else walk (Some e) (rd e e_next)
+  in
+  walk None (rd seg off)
+
+let iter t f =
+  let dir = peek t t.desc d_dir in
+  for s = 0 to t.segments - 1 do
+    let seg = peek t dir (s * 8) in
+    for b = 0 to seg_buckets - 1 do
+      let rec walk e =
+        if e <> Heap.null then begin
+          f (peek t e e_key) (peek t e e_value);
+          walk (peek t e e_next)
+        end
+      in
+      walk (peek t seg (b * 8))
+    done
+  done
+
+let validate t =
+  let heap = Engine.heap t.engine in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let count = ref 0 in
+  let dir = peek t t.desc d_dir in
+  for s = 0 to t.segments - 1 do
+    let seg = peek t dir (s * 8) in
+    if not (Heap.is_allocated heap seg) then fail "segment %d not allocated" s
+    else
+      for b = 0 to seg_buckets - 1 do
+        let bucket = (s * seg_buckets) + b in
+        let rec walk e steps =
+          if !error <> None || e = Heap.null then ()
+          else if steps > 1_000_000 then fail "bucket %d chain too long (cycle?)" bucket
+          else if not (Heap.is_allocated heap e) then
+            fail "bucket %d chains to unallocated entry %d" bucket e
+          else begin
+            let key = peek t e e_key in
+            if hash key land (t.buckets - 1) <> bucket then
+              fail "key %d is in bucket %d but hashes elsewhere" key bucket;
+            incr count;
+            walk (peek t e e_next) (steps + 1)
+          end
+        in
+        walk (peek t seg (b * 8)) 0
+      done
+  done;
+  if !error = None && !count <> cardinal t then
+    fail "cardinal says %d but chains hold %d entries" (cardinal t) !count;
+  match !error with None -> Ok () | Some e -> Error e
+
+let max_chain t =
+  let dir = peek t t.desc d_dir in
+  let best = ref 0 in
+  for s = 0 to t.segments - 1 do
+    let seg = peek t dir (s * 8) in
+    for b = 0 to seg_buckets - 1 do
+      let rec depth e n = if e = Heap.null then n else depth (peek t e e_next) (n + 1) in
+      best := max !best (depth (peek t seg (b * 8)) 0)
+    done
+  done;
+  !best

@@ -1,0 +1,57 @@
+(** Transactional persistent hash map.
+
+    A second index structure alongside the B+Tree: integer keys to
+    persistent pointers, with O(1) expected operations and no ordering.
+    Useful for point-lookup-only stores and as the kind of structure the
+    paper's related work builds over persistent heaps.
+
+    Layout: a descriptor points at a directory object of segment pointers;
+    each segment is one heap object holding a fixed run of bucket heads;
+    collisions chain through entry objects ([key, value, next]). Every
+    mutation is a handful of small object intents — insert touches the
+    bucket head and a fresh entry, never a large array — so the structure
+    is cheap under every engine kind and fully covered by the
+    crash-injection tests.
+
+    Capacity (bucket count) is fixed at creation; chains grow without
+    bound, so the map never needs a stop-the-world rehash (load factors
+    above 1 simply lengthen chains). *)
+
+type t
+
+(** [create tx ~buckets] — [buckets] is rounded up to a power of two
+    (min 256). *)
+val create : Kamino_core.Engine.tx -> buckets:int -> t
+
+(** Persistent handle (e.g. to store as heap root). *)
+val descriptor : t -> Kamino_heap.Heap.ptr
+
+val attach : Kamino_core.Engine.t -> Kamino_heap.Heap.ptr -> t
+
+val buckets : t -> int
+
+val cardinal : t -> int
+
+(** [find t key] — committed-state lookup. *)
+val find : t -> int -> Kamino_heap.Heap.ptr option
+
+(** [find_tx tx t key] — lookup inside a transaction. *)
+val find_tx : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr option
+
+(** [insert tx t key value] adds or replaces; returns the previous value. *)
+val insert :
+  Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr -> Kamino_heap.Heap.ptr option
+
+(** [remove tx t key] deletes the binding (freeing its entry object);
+    returns the removed value. *)
+val remove : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr option
+
+(** [iter t f] visits all bindings (bucket order, unspecified). *)
+val iter : t -> (int -> Kamino_heap.Heap.ptr -> unit) -> unit
+
+(** Structural validation: chains are acyclic and bucket-consistent (every
+    entry hashes to the bucket that holds it), cardinal matches. *)
+val validate : t -> (unit, string) result
+
+(** Longest collision chain — load diagnostics. *)
+val max_chain : t -> int

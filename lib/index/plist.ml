@@ -1,0 +1,158 @@
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+
+type t = { engine : Engine.t; head_holder : Heap.ptr }
+
+(* Node layout, mirroring the paper's struct:
+   { int type; int key; double value; p_list_ptr next; p_list_ptr prev } *)
+let f_type = 0
+let f_key = 8
+let f_value = 16
+let f_next = 24
+let f_prev = 32
+let node_size = 40
+
+let node_type_tag = 0x1157 (* "LIST" node marker *)
+
+(* Head-holder object: head pointer and element count. *)
+let h_head = 0
+let h_count = 8
+let holder_size = 16
+
+let create tx =
+  let holder = Engine.alloc tx holder_size in
+  Engine.write_int tx holder h_head Heap.null;
+  Engine.write_int tx holder h_count 0;
+  { engine = Engine.tx_engine tx; head_holder = holder }
+
+let handle t = t.head_holder
+
+let attach engine head_holder = { engine; head_holder }
+
+let head t = Engine.peek_int t.engine t.head_holder h_head
+
+let length t = Engine.peek_int t.engine t.head_holder h_count
+
+(* Find the first node with key >= [key] (committed state); returns
+   [(prev, current)]. *)
+let locate t key =
+  let rec walk prev cur =
+    if cur = Heap.null then (prev, Heap.null)
+    else begin
+      let k = Engine.peek_int t.engine cur f_key in
+      if k >= key then (prev, cur) else walk cur (Engine.peek_int t.engine cur f_next)
+    end
+  in
+  walk Heap.null (head t)
+
+let bump_count tx t delta =
+  Engine.add tx t.head_holder;
+  Engine.write_int tx t.head_holder h_count
+    (Engine.read_int tx t.head_holder h_count + delta)
+
+let insert tx t ~key ~value =
+  let prev, cur = locate t key in
+  if cur <> Heap.null && Engine.peek_int t.engine cur f_key = key then false
+  else begin
+    (* Allocate the node, then relink — the transaction locks the new node
+       (via alloc), current and prev, as in the paper's TxInsert. *)
+    let node = Engine.alloc tx node_size in
+    Engine.write_int tx node f_type node_type_tag;
+    Engine.write_int tx node f_key key;
+    Engine.write_int64 tx node f_value (Int64.bits_of_float value);
+    Engine.write_int tx node f_next cur;
+    Engine.write_int tx node f_prev prev;
+    if cur <> Heap.null then begin
+      Engine.add tx cur;
+      Engine.write_int tx cur f_prev node
+    end;
+    if prev = Heap.null then begin
+      Engine.add tx t.head_holder;
+      Engine.write_int tx t.head_holder h_head node
+    end
+    else begin
+      Engine.add tx prev;
+      Engine.write_int tx prev f_next node
+    end;
+    bump_count tx t 1;
+    true
+  end
+
+let delete tx t ~key =
+  let prev, cur = locate t key in
+  if cur = Heap.null || Engine.peek_int t.engine cur f_key <> key then false
+  else begin
+    Engine.add tx cur;
+    let next = Engine.read_int tx cur f_next in
+    if prev = Heap.null then begin
+      Engine.add tx t.head_holder;
+      Engine.write_int tx t.head_holder h_head next
+    end
+    else begin
+      Engine.add tx prev;
+      Engine.write_int tx prev f_next next
+    end;
+    if next <> Heap.null then begin
+      Engine.add tx next;
+      Engine.write_int tx next f_prev prev
+    end;
+    Engine.free tx cur;
+    bump_count tx t (-1);
+    true
+  end
+
+let update tx t ~key ~value =
+  let _, cur = locate t key in
+  if cur = Heap.null || Engine.peek_int t.engine cur f_key <> key then false
+  else begin
+    Engine.add tx cur;
+    Engine.write_int64 tx cur f_value (Int64.bits_of_float value);
+    true
+  end
+
+let lookup t ~key =
+  let _, cur = locate t key in
+  if cur = Heap.null || Engine.peek_int t.engine cur f_key <> key then None
+  else Some (Int64.float_of_bits (Engine.peek_int64 t.engine cur f_value))
+
+let to_list t =
+  let rec walk cur acc =
+    if cur = Heap.null then List.rev acc
+    else
+      walk
+        (Engine.peek_int t.engine cur f_next)
+        ((Engine.peek_int t.engine cur f_key,
+          Int64.float_of_bits (Engine.peek_int64 t.engine cur f_value))
+        :: acc)
+  in
+  walk (head t) []
+
+let validate t =
+  let e = t.engine in
+  let heap = Engine.heap e in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let rec walk prev cur n =
+    if !error <> None then n
+    else if cur = Heap.null then n
+    else if not (Heap.is_allocated heap cur) then begin
+      fail "node %d is not allocated" cur;
+      n
+    end
+    else begin
+      if Engine.peek_int e cur f_type <> node_type_tag then fail "node %d has a bad tag" cur;
+      if Engine.peek_int e cur f_prev <> prev then fail "node %d has a broken prev link" cur;
+      (if prev <> Heap.null then
+         let pk = Engine.peek_int e prev f_key and ck = Engine.peek_int e cur f_key in
+         if pk >= ck then fail "keys out of order at node %d (%d >= %d)" cur pk ck);
+      if n > 10_000_000 then begin
+        fail "list too long (cycle?)";
+        n
+      end
+      else walk cur (Engine.peek_int e cur f_next) (n + 1)
+    end
+  in
+  let n = walk Heap.null (head t) 0 in
+  if !error = None && n <> length t then
+    fail "count field says %d but the chain has %d nodes" (length t) n;
+  match !error with None -> Ok () | Some e -> Error e

@@ -1,0 +1,45 @@
+(** Persistent doubly-linked list — the paper's running example (Figure 4).
+
+    Each node is a persistent object holding a type tag, an integer key, a
+    double value and persistent [next]/[prev] pointers. Insert, delete,
+    update and lookup are transactions over the engine, each locking the
+    nodes it relinks exactly as the paper's [TxInsert] pseudo-code does
+    ("lock new, current, prev").
+
+    The list is sorted by key (ascending); duplicate keys are rejected. A
+    list is named by its head-holder object, typically stored as the heap
+    root. *)
+
+type t
+
+(** [create tx] allocates an empty list. *)
+val create : Kamino_core.Engine.tx -> t
+
+(** The list's persistent handle (store it as the heap root). *)
+val handle : t -> Kamino_heap.Heap.ptr
+
+(** [attach engine ptr] re-binds after a reopen. *)
+val attach : Kamino_core.Engine.t -> Kamino_heap.Heap.ptr -> t
+
+(** [insert tx t ~key ~value] — [TxInsert]: allocates a node and links it
+    in key order. Returns [false] if the key already exists. *)
+val insert : Kamino_core.Engine.tx -> t -> key:int -> value:float -> bool
+
+(** [delete tx t ~key] — [TxDelete]: unlinks and frees the node. *)
+val delete : Kamino_core.Engine.tx -> t -> key:int -> bool
+
+(** [update tx t ~key ~value] — [TxUpdate]: overwrites the node's value. *)
+val update : Kamino_core.Engine.tx -> t -> key:int -> value:float -> bool
+
+(** [lookup t ~key] — [TxLookup] on committed state. *)
+val lookup : t -> key:int -> float option
+
+(** Number of nodes. *)
+val length : t -> int
+
+(** [to_list t] — [(key, value)] pairs in ascending key order. *)
+val to_list : t -> (int * float) list
+
+(** Structural validation: forward/backward links are mirror images, keys
+    strictly ascending, length matches. *)
+val validate : t -> (unit, string) result

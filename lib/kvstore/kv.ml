@@ -1,0 +1,150 @@
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Btree = Kamino_index.Btree
+
+type t = { engine : Engine.t; tree : Btree.t; value_size : int }
+
+(* Store-descriptor object anchored at the heap root. *)
+let sd_tree = 0
+let sd_value_size = 8
+let sd_size = 16
+
+(* Value object: length word followed by the bytes. *)
+let v_len = 0
+let v_data = 8
+
+let create engine ~value_size ~node_size =
+  if value_size <= 0 || value_size > Heap.max_object_size - v_data then
+    invalid_arg "Kv.create: bad value_size";
+  Engine.with_tx engine (fun tx ->
+      let tree = Btree.create tx ~node_size in
+      let sd = Engine.alloc tx sd_size in
+      Engine.write_int tx sd sd_tree (Btree.descriptor tree);
+      Engine.write_int tx sd sd_value_size value_size;
+      Engine.set_root tx sd;
+      { engine; tree; value_size })
+
+let reattach engine =
+  let sd = Engine.root engine in
+  if sd = Heap.null then failwith "Kv.reattach: heap has no root (store never created?)";
+  let tree = Btree.attach engine (Engine.peek_int engine sd sd_tree) in
+  { engine; tree; value_size = Engine.peek_int engine sd sd_value_size }
+
+let engine t = t.engine
+
+let value_size t = t.value_size
+
+let size t = Btree.cardinal t.tree
+
+let check_value t value =
+  if String.length value > t.value_size then
+    invalid_arg
+      (Printf.sprintf "Kv: value of %d bytes exceeds value_size %d" (String.length value)
+         t.value_size)
+
+let write_value tx vptr value =
+  Engine.write_int tx vptr v_len (String.length value);
+  Engine.write_string tx vptr v_data value
+
+let put_tx tx t key value =
+  check_value t value;
+  match Btree.find_tx tx t.tree key with
+  | Some vptr ->
+      (* Update in place: the whole point of the comparison — undo logging
+         snapshots the 1 KB object here, Kamino-Tx logs a 24-byte intent. *)
+      Engine.add tx vptr;
+      write_value tx vptr value
+  | None ->
+      let vptr = Engine.alloc tx (v_data + t.value_size) in
+      write_value tx vptr value;
+      ignore (Btree.insert tx t.tree key vptr)
+
+let put t key value = Engine.with_tx t.engine (fun tx -> put_tx tx t key value)
+
+let get t key =
+  Engine.with_tx t.engine (fun tx ->
+      match Btree.find_tx tx t.tree key with
+      | None -> None
+      | Some vptr ->
+          Engine.read_lock tx vptr;
+          let len = Engine.read_int tx vptr v_len in
+          Some (Engine.read_string tx vptr v_data len))
+
+let delete_tx tx t key =
+  match Btree.find_tx tx t.tree key with
+  | None -> false
+  | Some vptr ->
+      ignore (Btree.delete tx t.tree key);
+      Engine.free tx vptr;
+      true
+
+let delete t key = Engine.with_tx t.engine (fun tx -> delete_tx tx t key)
+
+let read_modify_write t key f =
+  Engine.with_tx t.engine (fun tx ->
+      match Btree.find_tx tx t.tree key with
+      | None -> false
+      | Some vptr ->
+          Engine.add tx vptr;
+          let len = Engine.read_int tx vptr v_len in
+          let value = f (Engine.read_string tx vptr v_data len) in
+          check_value t value;
+          write_value tx vptr value;
+          true)
+
+let rmw_tx tx t key f =
+  match Btree.find_tx tx t.tree key with
+  | Some vptr ->
+      Engine.add tx vptr;
+      let len = Engine.read_int tx vptr v_len in
+      let value = f (Engine.read_string tx vptr v_data len) in
+      check_value t value;
+      write_value tx vptr value
+  | None -> put_tx tx t key (f "")
+
+let put_aborted t key value =
+  check_value t value;
+  let tx = Engine.begin_tx t.engine in
+  (match Btree.find_tx tx t.tree key with
+  | Some vptr ->
+      Engine.add tx vptr;
+      write_value tx vptr value
+  | None ->
+      let vptr = Engine.alloc tx (v_data + t.value_size) in
+      write_value tx vptr value;
+      ignore (Btree.insert tx t.tree key vptr));
+  Engine.abort tx
+
+let value_ptr t key = Btree.find t.tree key
+
+let exists t key = Btree.find t.tree key <> None
+
+let iter t f =
+  Btree.iter t.tree (fun key vptr ->
+      let len = Engine.peek_int t.engine vptr v_len in
+      f key (Engine.peek_string t.engine vptr v_data len))
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  Btree.range t.tree ~lo ~hi (fun key vptr ->
+      let len = Engine.peek_int t.engine vptr v_len in
+      acc := (key, Engine.peek_string t.engine vptr v_data len) :: !acc);
+  List.rev !acc
+
+let validate t =
+  match Btree.validate t.tree with
+  | Error _ as e -> e
+  | Ok () ->
+      let heap = Engine.heap t.engine in
+      let error = ref None in
+      Btree.iter t.tree (fun key vptr ->
+          if !error = None then begin
+            if not (Heap.is_allocated heap vptr) then
+              error := Some (Printf.sprintf "key %d points at unallocated value %d" key vptr)
+            else begin
+              let len = Engine.peek_int t.engine vptr v_len in
+              if len < 0 || len > t.value_size then
+                error := Some (Printf.sprintf "key %d has corrupt value length %d" key len)
+            end
+          end);
+      (match !error with Some e -> Error e | None -> Ok ())

@@ -1,0 +1,82 @@
+(** Transactional key-value store: the system under test in the paper's
+    evaluation (§7).
+
+    A persistent B+Tree maps integer keys to value objects; every operation
+    is one engine transaction, so the store is atomic and durable under
+    every engine kind. Values are byte strings up to the store's
+    [value_size] (the paper uses 1 KB values over 10 M keys).
+
+    Reads take a read lock on the value object — under Kamino-Tx a read of
+    a {e pending} object (one whose committed update has not yet reached
+    the backup) blocks until the backup catches up, exactly per the paper's
+    dependent-transaction rule. *)
+
+type t
+
+(** [create engine ~value_size ~node_size] formats a fresh store in the
+    engine's heap and anchors it at the heap root. *)
+val create : Kamino_core.Engine.t -> value_size:int -> node_size:int -> t
+
+(** [reattach engine] re-binds to the store after [Engine.recover]. *)
+val reattach : Kamino_core.Engine.t -> t
+
+val engine : t -> Kamino_core.Engine.t
+
+val value_size : t -> int
+
+(** Number of keys present. *)
+val size : t -> int
+
+(** [put t key value] inserts or overwrites. Overwrites update the value
+    object in place (one object write intent); inserts allocate a value
+    object and update the index. Raises [Invalid_argument] if the value
+    exceeds [value_size]. *)
+val put : t -> int -> string -> unit
+
+(** {1 Transaction-scoped variants}
+
+    The plain operations open one transaction each. Replicated state
+    machines need to combine a store mutation with their own bookkeeping
+    (e.g. the last-executed sequence number) atomically; these variants run
+    inside a caller-owned transaction. *)
+
+val put_tx : Kamino_core.Engine.tx -> t -> int -> string -> unit
+
+val delete_tx : Kamino_core.Engine.tx -> t -> int -> bool
+
+(** [rmw_tx tx t key f] — applies [f] to the current value ([""] when the
+    key is absent, inserting the result). *)
+val rmw_tx : Kamino_core.Engine.tx -> t -> int -> (string -> string) -> unit
+
+(** [get t key] reads the committed value. *)
+val get : t -> int -> string option
+
+(** [delete t key] removes the binding and frees the value object;
+    returns whether the key was present. *)
+val delete : t -> int -> bool
+
+(** [read_modify_write t key f] implements YCSB workload F's RMW op in one
+    transaction; returns false if the key is absent. *)
+val read_modify_write : t -> int -> (string -> string) -> bool
+
+(** [exists t key] — index-only lookup, no locks. *)
+val exists : t -> int -> bool
+
+(** [iter t f] visits committed bindings in key order. *)
+val iter : t -> (int -> string -> unit) -> unit
+
+(** [range t ~lo ~hi] returns committed bindings with [lo <= key <= hi] in
+    key order (a YCSB-style scan). *)
+val range : t -> lo:int -> hi:int -> (int * string) list
+
+(** [put_aborted t key value] runs the put transaction and aborts it just
+    before commit — the store is unchanged. Exercises the abort paths
+    (local-only at a chain head). Raises [Failure] on engines that cannot
+    abort. *)
+val put_aborted : t -> int -> string -> unit
+
+(** Persistent pointer of a key's value object, for white-box tests. *)
+val value_ptr : t -> int -> Kamino_heap.Heap.ptr option
+
+(** Structural validation of index + values, for tests. *)
+val validate : t -> (unit, string) result

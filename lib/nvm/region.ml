@@ -1,0 +1,295 @@
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+
+let line_size = 64
+
+type crash_mode = Words_survive_randomly | Lines_survive_randomly | Drop_unflushed
+
+type counters = {
+  mutable stores : int;
+  mutable bytes_stored : int;
+  mutable loads : int;
+  mutable bytes_loaded : int;
+  mutable lines_flushed : int;
+  mutable fences : int;
+  mutable bytes_copied : int;
+  mutable crashes : int;
+}
+
+type t = {
+  size : int;
+  volatile : Bytes.t;
+  persistent : Bytes.t;
+  dirty : Bytes.t;  (* bitset, one bit per line *)
+  mutable clock : Clock.t;
+  mutable frac_ns : float;  (* sub-nanosecond cost carry *)
+  cost : Cost_model.t;
+  crash_mode : crash_mode;
+  rng : Rng.t;
+  counters : counters;
+}
+
+let fresh_counters () =
+  {
+    stores = 0;
+    bytes_stored = 0;
+    loads = 0;
+    bytes_loaded = 0;
+    lines_flushed = 0;
+    fences = 0;
+    bytes_copied = 0;
+    crashes = 0;
+  }
+
+let create ?(cost = Cost_model.default) ?(crash_mode = Words_survive_randomly) ~rng
+    ~clock ~size () =
+  if size <= 0 then invalid_arg "Region.create: size must be positive";
+  let nlines = (size + line_size - 1) / line_size in
+  {
+    size;
+    volatile = Bytes.make size '\000';
+    persistent = Bytes.make size '\000';
+    dirty = Bytes.make ((nlines + 7) / 8) '\000';
+    clock;
+    frac_ns = 0.0;
+    cost;
+    crash_mode;
+    rng;
+    counters = fresh_counters ();
+  }
+
+let size t = t.size
+
+let cost_model t = t.cost
+
+let set_clock t clock = t.clock <- clock
+
+let clock t = t.clock
+
+let charge t ns =
+  let total = ns +. t.frac_ns in
+  let whole = int_of_float total in
+  t.frac_ns <- total -. float_of_int whole;
+  if whole > 0 then Clock.advance t.clock whole
+
+let check_range t off len name =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg (Printf.sprintf "Region.%s: range [%d,+%d) out of bounds (size %d)" name off len t.size)
+
+(* Dirty bitset operations. *)
+
+let set_dirty_line t line =
+  let byte = line lsr 3 and bit = line land 7 in
+  let v = Char.code (Bytes.get t.dirty byte) in
+  Bytes.set t.dirty byte (Char.chr (v lor (1 lsl bit)))
+
+let clear_dirty_line t line =
+  let byte = line lsr 3 and bit = line land 7 in
+  let v = Char.code (Bytes.get t.dirty byte) in
+  Bytes.set t.dirty byte (Char.chr (v land lnot (1 lsl bit)))
+
+let line_is_dirty t line =
+  let byte = line lsr 3 and bit = line land 7 in
+  Char.code (Bytes.get t.dirty byte) land (1 lsl bit) <> 0
+
+let mark_dirty t off len =
+  if len > 0 then begin
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    for line = first to last do
+      set_dirty_line t line
+    done
+  end
+
+(* Stores. *)
+
+let record_store t off len =
+  check_range t off len "write";
+  t.counters.stores <- t.counters.stores + 1;
+  t.counters.bytes_stored <- t.counters.bytes_stored + len;
+  mark_dirty t off len;
+  charge t (Cost_model.store_cost t.cost len)
+
+let write_bytes t off b =
+  record_store t off (Bytes.length b);
+  Bytes.blit b 0 t.volatile off (Bytes.length b)
+
+let write_string t off s =
+  record_store t off (String.length s);
+  Bytes.blit_string s 0 t.volatile off (String.length s)
+
+let write_int64 t off v =
+  record_store t off 8;
+  Bytes.set_int64_le t.volatile off v
+
+let write_int32 t off v =
+  record_store t off 4;
+  Bytes.set_int32_le t.volatile off v
+
+let write_int t off v = write_int64 t off (Int64.of_int v)
+
+let write_byte t off v =
+  record_store t off 1;
+  Bytes.set_uint8 t.volatile off (v land 0xff)
+
+(* Loads. *)
+
+let record_load t off len =
+  check_range t off len "read";
+  t.counters.loads <- t.counters.loads + 1;
+  t.counters.bytes_loaded <- t.counters.bytes_loaded + len;
+  charge t (Cost_model.load_cost t.cost len)
+
+let read_bytes t off len =
+  record_load t off len;
+  Bytes.sub t.volatile off len
+
+let read_string t off len =
+  record_load t off len;
+  Bytes.sub_string t.volatile off len
+
+let read_int64 t off =
+  record_load t off 8;
+  Bytes.get_int64_le t.volatile off
+
+let read_int32 t off =
+  record_load t off 4;
+  Bytes.get_int32_le t.volatile off
+
+let read_int t off = Int64.to_int (read_int64 t off)
+
+let read_byte t off =
+  record_load t off 1;
+  Bytes.get_uint8 t.volatile off
+
+let fill t off len byte =
+  record_store t off len;
+  Bytes.fill t.volatile off len (Char.chr (byte land 0xff))
+
+let blit t ~src ~dst ~len =
+  check_range t src len "blit:src";
+  check_range t dst len "blit:dst";
+  t.counters.bytes_copied <- t.counters.bytes_copied + len;
+  mark_dirty t dst len;
+  charge t (Cost_model.copy_cost t.cost len);
+  Bytes.blit t.volatile src t.volatile dst len
+
+let copy_between ~src ~src_off ~dst ~dst_off ~len =
+  check_range src src_off len "copy_between:src";
+  check_range dst dst_off len "copy_between:dst";
+  dst.counters.bytes_copied <- dst.counters.bytes_copied + len;
+  mark_dirty dst dst_off len;
+  charge dst (Cost_model.copy_cost dst.cost len);
+  Bytes.blit src.volatile src_off dst.volatile dst_off len
+
+(* Persistence. *)
+
+let persist_line t line =
+  let off = line * line_size in
+  let len = min line_size (t.size - off) in
+  Bytes.blit t.volatile off t.persistent off len;
+  clear_dirty_line t line;
+  t.counters.lines_flushed <- t.counters.lines_flushed + 1;
+  charge t t.cost.Cost_model.flush_line_ns
+
+let flush t off len =
+  check_range t off len "flush";
+  if len > 0 then begin
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    for line = first to last do
+      if line_is_dirty t line then persist_line t line
+    done
+  end
+
+let fence t =
+  t.counters.fences <- t.counters.fences + 1;
+  charge t t.cost.Cost_model.fence_ns
+
+let persist t off len =
+  flush t off len;
+  fence t
+
+let nlines t = (t.size + line_size - 1) / line_size
+
+let flush_all t =
+  for line = 0 to nlines t - 1 do
+    if line_is_dirty t line then persist_line t line
+  done
+
+let persist_all t =
+  flush_all t;
+  fence t
+
+(* Crash simulation. *)
+
+let crash_line_words t line =
+  (* Within an evicted or in-flight line only aligned 8-byte words are
+     atomic: each modified word independently reaches the medium or not. *)
+  let off = line * line_size in
+  let len = min line_size (t.size - off) in
+  let words = len / 8 in
+  for w = 0 to words - 1 do
+    let woff = off + (w * 8) in
+    let v = Bytes.get_int64_le t.volatile woff in
+    let p = Bytes.get_int64_le t.persistent woff in
+    if v <> p && Rng.bool t.rng then Bytes.set_int64_le t.persistent woff v
+  done;
+  (* Tail bytes of a short final line persist byte-by-byte. *)
+  for b = words * 8 to len - 1 do
+    let v = Bytes.get t.volatile (off + b) in
+    let p = Bytes.get t.persistent (off + b) in
+    if v <> p && Rng.bool t.rng then Bytes.set t.persistent (off + b) v
+  done
+
+let crash t =
+  t.counters.crashes <- t.counters.crashes + 1;
+  (match t.crash_mode with
+  | Drop_unflushed -> ()
+  | Lines_survive_randomly ->
+      for line = 0 to nlines t - 1 do
+        if line_is_dirty t line && Rng.bool t.rng then begin
+          let off = line * line_size in
+          let len = min line_size (t.size - off) in
+          Bytes.blit t.volatile off t.persistent off len
+        end
+      done
+  | Words_survive_randomly ->
+      for line = 0 to nlines t - 1 do
+        if line_is_dirty t line then crash_line_words t line
+      done);
+  Bytes.blit t.persistent 0 t.volatile 0 t.size;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+
+let is_persisted t off len =
+  check_range t off len "is_persisted";
+  if len = 0 then true
+  else begin
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    let rec loop line = line > last || ((not (line_is_dirty t line)) && loop (line + 1)) in
+    loop first
+  end
+
+let dirty_lines t =
+  let n = ref 0 in
+  for line = 0 to nlines t - 1 do
+    if line_is_dirty t line then incr n
+  done;
+  !n
+
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.stores <- 0;
+  c.bytes_stored <- 0;
+  c.loads <- 0;
+  c.bytes_loaded <- 0;
+  c.lines_flushed <- 0;
+  c.fences <- 0;
+  c.bytes_copied <- 0;
+  c.crashes <- 0
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "{stores=%d (%dB) loads=%d (%dB) flushed_lines=%d fences=%d copied=%dB crashes=%d}"
+    c.stores c.bytes_stored c.loads c.bytes_loaded c.lines_flushed c.fences
+    c.bytes_copied c.crashes

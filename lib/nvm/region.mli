@@ -1,0 +1,143 @@
+(** Simulated byte-addressable non-volatile memory region.
+
+    A region holds two images of its contents:
+
+    - the {e volatile} image: what loads observe — stores land here first,
+      modelling the CPU cache hierarchy;
+    - the {e persistent} image: what survives a crash — data moves here only
+      when the corresponding cache line is flushed (or is evicted by chance
+      at crash time).
+
+    Writes mark 64-byte cache lines dirty. [flush] writes dirty lines back;
+    [fence] orders them (and charges the drain latency). [crash] simulates
+    power failure: each dirty line may or may not have been evicted, and
+    within an evicted line each aligned 8-byte word independently survives,
+    which is exactly the guarantee x86 NVMM gives software (8-byte aligned
+    stores are atomic; nothing else is). Recovery code must tolerate every
+    outcome, and the property-based tests drive thousands of such crashes.
+
+    All operations charge virtual time to the region's current clock; see
+    {!set_clock} for how multi-client simulations multiplex clocks. *)
+
+type t
+
+val line_size : int
+
+(** How unflushed data behaves at a crash. *)
+type crash_mode =
+  | Words_survive_randomly
+      (** each dirty aligned 8-byte word independently persists or not — the
+          adversarial, hardware-faithful default *)
+  | Lines_survive_randomly  (** whole 64 B lines persist or not *)
+  | Drop_unflushed  (** nothing unflushed survives — most deterministic *)
+
+val create :
+  ?cost:Cost_model.t ->
+  ?crash_mode:crash_mode ->
+  rng:Kamino_sim.Rng.t ->
+  clock:Kamino_sim.Clock.t ->
+  size:int ->
+  unit ->
+  t
+
+val size : t -> int
+
+val cost_model : t -> Cost_model.t
+
+(** [set_clock t clock] redirects all subsequent cost charging to [clock].
+    The multi-client scheduler and the background backup applier switch the
+    active clock before running on behalf of a client. *)
+val set_clock : t -> Kamino_sim.Clock.t -> unit
+
+val clock : t -> Kamino_sim.Clock.t
+
+(** {1 Loads and stores}
+
+    All offsets are bounds-checked; integer accessors use little-endian
+    encoding. *)
+
+val write_bytes : t -> int -> bytes -> unit
+val write_string : t -> int -> string -> unit
+val write_int64 : t -> int -> int64 -> unit
+val write_int32 : t -> int -> int32 -> unit
+
+(** 63-bit OCaml int stored as a little-endian int64. *)
+val write_int : t -> int -> int -> unit
+val write_byte : t -> int -> int -> unit
+
+val read_bytes : t -> int -> int -> bytes
+val read_string : t -> int -> int -> string
+val read_int64 : t -> int -> int64
+val read_int32 : t -> int -> int32
+val read_int : t -> int -> int
+val read_byte : t -> int -> int
+
+(** [fill t off len byte] stores [len] copies of [byte]. *)
+val fill : t -> int -> int -> int -> unit
+
+(** [blit t ~src ~dst ~len] copies within the region (volatile image),
+    charging bulk-copy cost and dirtying the destination. *)
+val blit : t -> src:int -> dst:int -> len:int -> unit
+
+(** [copy_between ~src ~src_off ~dst ~dst_off ~len] copies between regions
+    (volatile images), charging bulk-copy cost to [dst]'s clock and dirtying
+    the destination lines. This is the primitive behind Kamino-Tx's
+    roll-forward (main -> backup) and roll-back (backup -> main). *)
+val copy_between : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+
+(** {1 Persistence} *)
+
+(** [flush t off len] writes back every dirty line intersecting the range. *)
+val flush : t -> int -> int -> unit
+
+(** [fence t] charges the ordering/drain latency. Durability of previously
+    flushed lines is only guaranteed after a fence. *)
+val fence : t -> unit
+
+(** [persist t off len] = flush then fence: the standard persist barrier. *)
+val persist : t -> int -> int -> unit
+
+(** [flush_all t] flushes every dirty line (no fence). *)
+val flush_all : t -> unit
+
+(** [persist_all t] flushes everything and fences — used at clean shutdown. *)
+val persist_all : t -> unit
+
+(** {1 Crash simulation} *)
+
+(** [crash t] simulates power failure and reboot: unflushed data survives
+    according to the crash mode, then the volatile image is reloaded from
+    the persistent image. *)
+val crash : t -> unit
+
+(** [is_persisted t off len] is [true] iff no line in the range is dirty —
+    i.e. the range would survive a crash bit-for-bit. *)
+val is_persisted : t -> int -> int -> bool
+
+(** [dirty_lines t] counts currently dirty lines. *)
+val dirty_lines : t -> int
+
+(** [charge t ns] charges [ns] (possibly fractional) nanoseconds of CPU work
+    to the region's current clock. Higher layers use it for instruction
+    overheads that belong to the simulated timeline (allocator bookkeeping,
+    index maintenance, lock handling). *)
+val charge : t -> float -> unit
+
+(** {1 Counters} *)
+
+type counters = {
+  mutable stores : int;
+  mutable bytes_stored : int;
+  mutable loads : int;
+  mutable bytes_loaded : int;
+  mutable lines_flushed : int;
+  mutable fences : int;
+  mutable bytes_copied : int;
+  mutable crashes : int;
+}
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,42 @@
+type t = { queue : (unit -> unit) Pqueue.t; mutable now : int }
+
+let create () = { queue = Pqueue.create (); now = 0 }
+
+let now t = t.now
+
+let schedule t ~at f =
+  let at = max at t.now in
+  Pqueue.push t.queue at f
+
+let schedule_after t ~delay f = schedule t ~at:(t.now + delay) f
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.now <- max t.now at;
+      f ();
+      true
+
+let run t =
+  let n = ref 0 in
+  while step t do
+    incr n
+  done;
+  !n
+
+let run_until t ~deadline =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek t.queue with
+    | Some (at, _) when at <= deadline ->
+        ignore (step t);
+        incr n
+    | _ -> continue := false
+  done;
+  !n
+
+let pending t = Pqueue.length t.queue
+
+let clear t = Pqueue.clear t.queue

@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 output function: state += gamma; z = mix(state). *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Take the top bits, which have better statistical quality, and reduce
+     modulo the bound. The modulo bias is negligible for bounds far below
+     2^62, which covers every use in this repository. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

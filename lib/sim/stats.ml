@@ -1,0 +1,94 @@
+type series = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = [||]; len = 0; sorted = true }
+
+let add s x =
+  if s.len = Array.length s.samples then begin
+    let ncap = if s.len = 0 then 64 else s.len * 2 in
+    let a = Array.make ncap 0.0 in
+    Array.blit s.samples 0 a 0 s.len;
+    s.samples <- a
+  end;
+  s.samples.(s.len) <- x;
+  s.len <- s.len + 1;
+  s.sorted <- false
+
+let count s = s.len
+
+let sum s =
+  let acc = ref 0.0 in
+  for i = 0 to s.len - 1 do
+    acc := !acc +. s.samples.(i)
+  done;
+  !acc
+
+let mean s = if s.len = 0 then nan else sum s /. float_of_int s.len
+
+let ensure_sorted s =
+  if not s.sorted then begin
+    let a = Array.sub s.samples 0 s.len in
+    Array.sort compare a;
+    Array.blit a 0 s.samples 0 s.len;
+    s.sorted <- true
+  end
+
+let percentile s p =
+  if s.len = 0 then nan
+  else begin
+    ensure_sorted s;
+    let rank = p /. 100.0 *. float_of_int (s.len - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let lo = max 0 (min lo (s.len - 1)) and hi = max 0 (min hi (s.len - 1)) in
+    if lo = hi then s.samples.(lo)
+    else begin
+      (* Linear interpolation between the two nearest ranks. *)
+      let frac = rank -. float_of_int lo in
+      (s.samples.(lo) *. (1.0 -. frac)) +. (s.samples.(hi) *. frac)
+    end
+  end
+
+let min_value s =
+  if s.len = 0 then nan
+  else begin
+    ensure_sorted s;
+    s.samples.(0)
+  end
+
+let max_value s =
+  if s.len = 0 then nan
+  else begin
+    ensure_sorted s;
+    s.samples.(s.len - 1)
+  end
+
+let stddev s =
+  if s.len = 0 then nan
+  else begin
+    let m = mean s in
+    let acc = ref 0.0 in
+    for i = 0 to s.len - 1 do
+      let d = s.samples.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int s.len)
+  end
+
+let summary s =
+  if s.len = 0 then "(empty)"
+  else
+    Printf.sprintf "mean=%.1f p50=%.1f p99=%.1f max=%.1f (n=%d)" (mean s)
+      (percentile s 50.0) (percentile s 99.0) (max_value s) s.len
+
+let merge a b =
+  let r = create () in
+  for i = 0 to a.len - 1 do
+    add r a.samples.(i)
+  done;
+  for i = 0 to b.len - 1 do
+    add r b.samples.(i)
+  done;
+  r

@@ -1,0 +1,35 @@
+(** Latency / throughput statistics helpers.
+
+    A [series] accumulates raw samples (nanoseconds, counts, ...) and reports
+    mean, percentiles and extremes. All experiment tables in [bench/] are
+    produced through this module so the formatting is uniform. *)
+
+type series
+
+val create : unit -> series
+
+(** [add s x] appends one sample. *)
+val add : series -> float -> unit
+
+val count : series -> int
+
+val mean : series -> float
+
+(** [percentile s p] returns the [p]-th percentile ([0. <= p <= 100.]) by
+    nearest-rank on the sorted samples. Returns [nan] on an empty series. *)
+val percentile : series -> float -> float
+
+val min_value : series -> float
+
+val max_value : series -> float
+
+val sum : series -> float
+
+(** [stddev s] is the population standard deviation. *)
+val stddev : series -> float
+
+(** [summary s] formats "mean p50 p99 max" in a compact human-readable way. *)
+val summary : series -> string
+
+(** [merge a b] returns a fresh series containing the samples of both. *)
+val merge : series -> series -> series

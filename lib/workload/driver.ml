@@ -1,0 +1,63 @@
+module Clock = Kamino_sim.Clock
+module Stats = Kamino_sim.Stats
+module Engine = Kamino_core.Engine
+
+type result = {
+  total_ops : int;
+  elapsed_ns : int;
+  throughput_mops : float;
+  mean_latency_ns : float;
+  latencies : (string * Stats.series) list;
+}
+
+let run ~engine ~clients ~total_ops ~step =
+  if clients <= 0 then invalid_arg "Driver.run: clients must be positive";
+  (* Clients begin after whatever already happened on the engine's timeline
+     (the load phase); otherwise their first operations would spuriously
+     "wait" for load-time lock releases. *)
+  let start = Engine.now engine in
+  let clocks = Array.init clients (fun _ -> Clock.create_at start) in
+  let latencies : (string, Stats.series) Hashtbl.t = Hashtbl.create 8 in
+  let series label =
+    match Hashtbl.find_opt latencies label with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add latencies label s;
+        s
+  in
+  for _ = 1 to total_ops do
+    (* The client furthest behind in virtual time runs next; this is the
+       conservative discrete-event order that makes lock release times
+       known before any later client observes them. *)
+    let client = ref 0 in
+    for c = 1 to clients - 1 do
+      if Clock.now clocks.(c) < Clock.now clocks.(!client) then client := c
+    done;
+    let clock = clocks.(!client) in
+    Engine.set_clock engine clock;
+    let t0 = Clock.now clock in
+    let label = step ~client:!client () in
+    Stats.add (series label) (float_of_int (Clock.now clock - t0))
+  done;
+  let elapsed_ns = Array.fold_left (fun acc c -> max acc (Clock.now c)) start clocks - start in
+  let all = Hashtbl.fold (fun _ s acc -> Stats.merge acc s) latencies (Stats.create ()) in
+  {
+    total_ops;
+    elapsed_ns;
+    throughput_mops =
+      (if elapsed_ns = 0 then 0.0
+       else float_of_int total_ops /. (float_of_int elapsed_ns /. 1e9) /. 1e6);
+    mean_latency_ns = Stats.mean all;
+    latencies = Hashtbl.fold (fun k v acc -> (k, v) :: acc) latencies [];
+  }
+
+let latency_of result label = List.assoc_opt label result.latencies
+
+let all_latencies result =
+  List.fold_left (fun acc (_, s) -> Stats.merge acc s) (Stats.create ()) result.latencies
+
+let pp_result fmt r =
+  Format.fprintf fmt "%d ops in %.3f ms: %.3f M ops/s, mean latency %.0f ns" r.total_ops
+    (float_of_int r.elapsed_ns /. 1e6)
+    r.throughput_mops r.mean_latency_ns

@@ -1,0 +1,339 @@
+(* Tests for the asynchronous chain: the command language, the persistent
+   operation queues, and the event-driven protocol with mid-propagation
+   crash injection and exactly-once execution. *)
+
+module Sim = Kamino_sim.Engine
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+module Region = Kamino_nvm.Region
+module Engine = Kamino_core.Engine
+module Kv = Kamino_kv.Kv
+module Op = Kamino_chain.Op
+module Opqueue = Kamino_chain.Opqueue
+module Async = Kamino_chain.Async_chain
+
+(* --- Op ------------------------------------------------------------------- *)
+
+let test_op_roundtrip () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "decode inverts encode" true
+        (Op.equal op (Op.decode (Op.encode op))))
+    [
+      Op.Put (1, "value");
+      Op.Put (0, "");
+      Op.Delete 42;
+      Op.Append (7, "suffix");
+      Op.Put (max_int / 2, String.make 500 'x');
+    ]
+
+let test_op_decode_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "garbage %S rejected" s)
+        true
+        (try
+           ignore (Op.decode s);
+           false
+         with Failure _ -> true))
+    [ ""; "x"; "P\x01"; "Q" ^ String.make 16 '\x00'; "P" ^ String.make 20 '\xff' ]
+
+let test_op_apply () =
+  let e =
+    Engine.create
+      ~config:{ Engine.default_config with Engine.heap_bytes = 1 lsl 20 }
+      ~kind:Engine.Kamino_simple ~seed:1 ()
+  in
+  let kv = Kv.create e ~value_size:128 ~node_size:512 in
+  Op.apply (Op.Put (1, "hello")) kv;
+  Alcotest.(check (option string)) "put" (Some "hello") (Kv.get kv 1);
+  Op.apply (Op.Append (1, "-world")) kv;
+  Alcotest.(check (option string)) "append" (Some "hello-world") (Kv.get kv 1);
+  Op.apply (Op.Append (2, "fresh")) kv;
+  Alcotest.(check (option string)) "append to absent inserts" (Some "fresh") (Kv.get kv 2);
+  Op.apply (Op.Delete 1) kv;
+  Alcotest.(check (option string)) "delete" None (Kv.get kv 1)
+
+let op_roundtrip_qcheck =
+  QCheck.Test.make ~name:"random ops roundtrip through the wire format" ~count:200
+    QCheck.(triple (int_range 0 3) (int_range 0 1_000_000) string)
+    (fun (tag, key, payload) ->
+      let op =
+        match tag with
+        | 0 -> Op.Put (key, payload)
+        | 1 -> Op.Delete key
+        | _ -> Op.Append (key, payload)
+      in
+      Op.equal op (Op.decode (Op.encode op)))
+
+(* --- Opqueue ---------------------------------------------------------------- *)
+
+let make_queue ?(crash_mode = Region.Drop_unflushed) ?(n_slots = 8) () =
+  let clock = Clock.create () in
+  let r =
+    Region.create ~crash_mode ~rng:(Rng.create 4) ~clock
+      ~size:(Opqueue.required_size ~slot_bytes:64 ~n_slots)
+      ()
+  in
+  (Opqueue.format r ~slot_bytes:64 ~n_slots, r)
+
+let test_queue_fifo () =
+  let q, _ = make_queue () in
+  Alcotest.(check bool) "empty" true (Opqueue.is_empty q);
+  Alcotest.(check int) "seq 0" 0 (Opqueue.enqueue q "a");
+  Alcotest.(check int) "seq 1" 1 (Opqueue.enqueue q "b");
+  Alcotest.(check int) "length" 2 (Opqueue.length q);
+  Alcotest.(check (option (pair int string))) "peek" (Some (0, "a")) (Opqueue.peek q);
+  Alcotest.(check (option (pair int string))) "dequeue a" (Some (0, "a")) (Opqueue.dequeue q);
+  Alcotest.(check (option (pair int string))) "dequeue b" (Some (1, "b")) (Opqueue.dequeue q);
+  Alcotest.(check (option (pair int string))) "drained" None (Opqueue.dequeue q)
+
+let test_queue_wraparound () =
+  let q, _ = make_queue ~n_slots:4 () in
+  for round = 0 to 24 do
+    let seq = Opqueue.enqueue q (Printf.sprintf "p%d" round) in
+    Alcotest.(check int) "seqs are global" round seq;
+    Alcotest.(check (option (pair int string))) "fifo across wraps"
+      (Some (round, Printf.sprintf "p%d" round))
+      (Opqueue.dequeue q)
+  done
+
+let test_queue_full () =
+  let q, _ = make_queue ~n_slots:2 () in
+  ignore (Opqueue.enqueue q "a");
+  ignore (Opqueue.enqueue q "b");
+  Alcotest.(check bool) "full" true (Opqueue.is_full q);
+  Alcotest.(check bool) "enqueue on full raises" true
+    (try
+       ignore (Opqueue.enqueue q "c");
+       false
+     with Failure _ -> true);
+  ignore (Opqueue.dequeue q);
+  Alcotest.(check int) "space reclaimed" 2 (Opqueue.enqueue q "c")
+
+let test_queue_drop_through () =
+  let q, _ = make_queue () in
+  for i = 0 to 5 do
+    ignore (Opqueue.enqueue q (string_of_int i))
+  done;
+  Opqueue.drop_through q 3;
+  Alcotest.(check (option (pair int string))) "entries <= 3 dropped" (Some (4, "4"))
+    (Opqueue.peek q);
+  Opqueue.drop_through q 100;
+  Alcotest.(check bool) "drop past tail empties" true (Opqueue.is_empty q)
+
+let test_queue_crash_durability () =
+  let q, r = make_queue () in
+  ignore (Opqueue.enqueue q "one");
+  ignore (Opqueue.enqueue q "two");
+  ignore (Opqueue.dequeue q);
+  Region.crash r;
+  let q = Opqueue.open_existing r in
+  Alcotest.(check int) "head survived" 1 (Opqueue.head_seq q);
+  Alcotest.(check int) "tail survived" 2 (Opqueue.tail_seq q);
+  Alcotest.(check (option (pair int string))) "contents survived" (Some (1, "two"))
+    (Opqueue.peek q)
+
+let test_queue_torn_publishes () =
+  (* Word-random crashes after enqueues: the recovered queue must always be
+     a well-formed window whose entries decode intact. *)
+  for seed = 1 to 40 do
+    let clock = Clock.create () in
+    let r =
+      Region.create ~crash_mode:Region.Words_survive_randomly ~rng:(Rng.create seed) ~clock
+        ~size:(Opqueue.required_size ~slot_bytes:64 ~n_slots:8)
+        ()
+    in
+    let q = Opqueue.format r ~slot_bytes:64 ~n_slots:8 in
+    ignore (Opqueue.enqueue q "committed");
+    (* crash possibly mid-way through the second publish *)
+    ignore (Opqueue.enqueue q "racing");
+    Region.crash r;
+    let q = Opqueue.open_existing r in
+    Opqueue.iter q (fun ~seq ~payload ->
+        match seq with
+        | 0 -> Alcotest.(check string) "entry 0 intact" "committed" payload
+        | 1 -> Alcotest.(check string) "entry 1 intact" "racing" payload
+        | _ -> Alcotest.failf "unexpected seq %d" seq)
+  done
+
+(* --- Async chain ------------------------------------------------------------ *)
+
+let engine_config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 2 lsl 20;
+    log_slots = 64;
+    data_log_bytes = 1 lsl 19;
+  }
+
+let make_chain ?(mode = Async.Kamino_chain) () =
+  Async.create ~engine_config ~hop_ns:5000 ~rpc_ns:500 ~mode ~f:2 ~value_size:128
+    ~node_size:512 ~seed:99 ()
+
+let test_async_replication () =
+  List.iter
+    (fun mode ->
+      let c = make_chain ~mode () in
+      let completions = ref [] in
+      for k = 0 to 19 do
+        Async.submit c ~at:(k * 1000)
+          (Op.Put (k, Printf.sprintf "v%d" k))
+          ~on_complete:(fun t -> completions := t :: !completions)
+      done;
+      ignore (Async.run c);
+      Alcotest.(check int) "all completions fired" 20 (List.length !completions);
+      (match Async.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      for i = 0 to Async.length c - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "replica %d executed everything exactly once" i)
+          20 (Async.executed_seq c i)
+      done)
+    [ Async.Kamino_chain; Async.Traditional ]
+
+let test_async_completion_after_full_round_trip () =
+  let c = make_chain () in
+  let finish = ref 0 in
+  Async.submit c ~at:0 (Op.Put (1, "x")) ~on_complete:(fun t -> finish := t);
+  ignore (Async.run c);
+  (* 3 forward hops + 1 ack hop at 5 us plus processing *)
+  Alcotest.(check bool)
+    (Printf.sprintf "completion (%d) covers 4 hops" !finish)
+    true
+    (!finish >= 4 * 5000)
+
+let test_async_reads_at_tail () =
+  let c = make_chain () in
+  Async.submit c ~at:0 (Op.Put (5, "tailread")) ~on_complete:(fun _ -> ());
+  let result = ref None in
+  Async.read c ~at:1_000_000 5 ~on_result:(fun v _ -> result := v);
+  ignore (Async.run c);
+  Alcotest.(check (option string)) "read served by tail" (Some "tailread") !result
+
+let test_async_quick_reboot_mid_propagation () =
+  (* Crash a middle replica while a burst of writes is streaming through
+     the chain; every write must still complete and replicate exactly
+     once. *)
+  List.iter
+    (fun victim ->
+      let c = make_chain () in
+      let completed = ref 0 in
+      for k = 0 to 39 do
+        Async.submit c ~at:(k * 2000)
+          (Op.Append (k mod 7, Printf.sprintf "+%d" k))
+          ~on_complete:(fun _ -> incr completed)
+      done;
+      (* the reboot lands mid-burst *)
+      Async.quick_reboot c ~at:41_000 victim;
+      ignore (Async.run c);
+      Alcotest.(check int)
+        (Printf.sprintf "victim %d: all writes completed" victim)
+        40 !completed;
+      (match Async.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "victim %d: %s" victim e);
+      for i = 0 to Async.length c - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "victim %d: replica %d exactly-once" victim i)
+          40 (Async.executed_seq c i)
+      done)
+    [ 0; 1; 2; 3 ]
+
+let test_async_repeated_reboots_random () =
+  let rng = Rng.create 5 in
+  let c = make_chain () in
+  let completed = ref 0 in
+  let n = 100 in
+  for k = 0 to n - 1 do
+    Async.submit c ~at:(k * 3000)
+      (Op.Put (k mod 17, Printf.sprintf "r%d" k))
+      ~on_complete:(fun _ -> incr completed)
+  done;
+  for _ = 1 to 6 do
+    Async.quick_reboot c
+      ~at:(Rng.int rng (n * 3000))
+      (Rng.int rng (Async.length c))
+  done;
+  ignore (Async.run c);
+  Alcotest.(check int) "all writes completed" n !completed;
+  match Async.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_async_agrees_with_sync_model () =
+  (* The synchronous chain (used by the benchmarks) and this asynchronous
+     protocol implementation model the same system; on an uncontended
+     spaced write stream their client-visible latencies must agree
+     closely. *)
+  let hop = 5000 and rpc = 1000 in
+  let n = 50 in
+  let spacing = 200_000 in
+  (* async *)
+  let ac =
+    Async.create ~engine_config ~hop_ns:hop ~rpc_ns:rpc ~mode:Async.Kamino_chain ~f:2
+      ~value_size:128 ~node_size:512 ~seed:7 ()
+  in
+  let async_lat = ref 0.0 in
+  for k = 0 to n - 1 do
+    let at = k * spacing in
+    Async.submit ac ~at (Op.Put (k, "x")) ~on_complete:(fun t ->
+        async_lat := !async_lat +. float_of_int (t - at))
+  done;
+  ignore (Async.run ac);
+  let async_mean = !async_lat /. float_of_int n in
+  (* sync *)
+  let module Chain = Kamino_chain.Chain in
+  let sc =
+    Chain.create ~engine_config ~hop_ns:hop ~rpc_ns:rpc
+      ~mode:(Chain.Kamino_chain { alpha = None })
+      ~f:2 ~value_size:128 ~node_size:512 ~seed:7 ()
+  in
+  let sync_lat = ref 0.0 in
+  for k = 0 to n - 1 do
+    let at = k * spacing in
+    let t = Chain.put sc ~at k "x" in
+    sync_lat := !sync_lat +. float_of_int (t - at)
+  done;
+  let sync_mean = !sync_lat /. float_of_int n in
+  let ratio = async_mean /. sync_mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "models agree (async %.0f ns vs sync %.0f ns)" async_mean sync_mean)
+    true
+    (ratio > 0.75 && ratio < 1.35)
+
+let () =
+  Alcotest.run "async_chain"
+    [
+      ( "op",
+        [
+          Alcotest.test_case "encode/decode roundtrip" `Quick test_op_roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick test_op_decode_garbage;
+          Alcotest.test_case "apply semantics" `Quick test_op_apply;
+          QCheck_alcotest.to_alcotest op_roundtrip_qcheck;
+        ] );
+      ( "opqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "wraparound" `Quick test_queue_wraparound;
+          Alcotest.test_case "full" `Quick test_queue_full;
+          Alcotest.test_case "drop_through" `Quick test_queue_drop_through;
+          Alcotest.test_case "crash durability" `Quick test_queue_crash_durability;
+          Alcotest.test_case "torn publishes" `Quick test_queue_torn_publishes;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "replication" `Quick test_async_replication;
+          Alcotest.test_case "full round-trip completion" `Quick
+            test_async_completion_after_full_round_trip;
+          Alcotest.test_case "reads at tail" `Quick test_async_reads_at_tail;
+          Alcotest.test_case "quick reboot mid-propagation" `Quick
+            test_async_quick_reboot_mid_propagation;
+          Alcotest.test_case "repeated random reboots" `Quick
+            test_async_repeated_reboots_random;
+          Alcotest.test_case "agrees with the synchronous model" `Quick
+            test_async_agrees_with_sync_model;
+        ] );
+    ]

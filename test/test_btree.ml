@@ -1,0 +1,303 @@
+(* Tests for the persistent B+Tree: model-based checks against Map, split
+   and merge paths with a tiny branching factor, iteration, and crash
+   atomicity of structural changes. *)
+
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Btree = Kamino_index.Btree
+module Rng = Kamino_sim.Rng
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 4 lsl 20;
+    log_slots = 32;
+    data_log_bytes = 1 lsl 20;
+  }
+
+let make ?(kind = Engine.Kamino_simple) ?(node_size = 96) () =
+  let e = Engine.create ~config ~kind ~seed:99 () in
+  let tree = Engine.with_tx e (fun tx -> Btree.create tx ~node_size) in
+  (e, tree)
+
+(* Values must be plausible object pointers for validation purposes; we
+   just need distinct integers, so allocate one real object and offset
+   markers are simply encoded as the key itself (the tree stores any
+   int64). *)
+let v k = 100000 + k
+
+let check_validate tree ctx =
+  match Btree.validate tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid tree: %s" ctx e
+
+let test_empty () =
+  let _, tree = make () in
+  Alcotest.(check int) "empty cardinal" 0 (Btree.cardinal tree);
+  Alcotest.(check (option int)) "find on empty" None (Btree.find tree 5);
+  Alcotest.(check (option int)) "min" None (Btree.min_key tree);
+  Alcotest.(check (option int)) "max" None (Btree.max_key tree);
+  Alcotest.(check int) "height" 1 (Btree.height tree);
+  check_validate tree "empty"
+
+let test_insert_find () =
+  let e, tree = make () in
+  Engine.with_tx e (fun tx ->
+      List.iter (fun k -> ignore (Btree.insert tx tree k (v k))) [ 5; 1; 9; 3; 7 ]);
+  List.iter
+    (fun k -> Alcotest.(check (option int)) "present" (Some (v k)) (Btree.find tree k))
+    [ 1; 3; 5; 7; 9 ];
+  Alcotest.(check (option int)) "absent" None (Btree.find tree 4);
+  Alcotest.(check int) "cardinal" 5 (Btree.cardinal tree);
+  Alcotest.(check (option int)) "min" (Some 1) (Btree.min_key tree);
+  Alcotest.(check (option int)) "max" (Some 9) (Btree.max_key tree);
+  check_validate tree "small"
+
+let test_replace () =
+  let e, tree = make () in
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check (option int)) "fresh insert" None (Btree.insert tx tree 1 10);
+      Alcotest.(check (option int)) "replace returns old" (Some 10) (Btree.insert tx tree 1 20));
+  Alcotest.(check (option int)) "new value" (Some 20) (Btree.find tree 1);
+  Alcotest.(check int) "no double count" 1 (Btree.cardinal tree)
+
+let test_splits_grow_height () =
+  let e, tree = make ~node_size:96 () in
+  (* node_size 96 -> capacity 128 -> 6 keys per node: splits come fast. *)
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 100 do
+        ignore (Btree.insert tx tree k (v k))
+      done);
+  Alcotest.(check bool) "height grew" true (Btree.height tree > 2);
+  Alcotest.(check int) "cardinal" 100 (Btree.cardinal tree);
+  for k = 1 to 100 do
+    Alcotest.(check (option int)) "all present" (Some (v k)) (Btree.find tree k)
+  done;
+  check_validate tree "after splits"
+
+let test_delete_simple () =
+  let e, tree = make () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 10 do
+        ignore (Btree.insert tx tree k (v k))
+      done);
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check (option int)) "delete returns value" (Some (v 5)) (Btree.delete tx tree 5);
+      Alcotest.(check (option int)) "delete absent" None (Btree.delete tx tree 5));
+  Alcotest.(check (option int)) "gone" None (Btree.find tree 5);
+  Alcotest.(check int) "cardinal" 9 (Btree.cardinal tree);
+  check_validate tree "after delete"
+
+let test_delete_everything () =
+  let e, tree = make ~node_size:96 () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 200 do
+        ignore (Btree.insert tx tree k (v k))
+      done);
+  (* Delete in an order that exercises both borrow directions and merges. *)
+  let order = Array.init 200 (fun i -> i + 1) in
+  Rng.shuffle (Rng.create 7) order;
+  Array.iter
+    (fun k ->
+      Engine.with_tx e (fun tx -> ignore (Btree.delete tx tree k));
+      if k mod 37 = 0 then check_validate tree (Printf.sprintf "mid-delete %d" k))
+    order;
+  Alcotest.(check int) "empty again" 0 (Btree.cardinal tree);
+  Alcotest.(check int) "height collapsed" 1 (Btree.height tree);
+  check_validate tree "emptied"
+
+let test_iter_ordered () =
+  let e, tree = make ~node_size:96 () in
+  let keys = [ 42; 7; 99; 1; 55; 23; 88; 3 ] in
+  Engine.with_tx e (fun tx -> List.iter (fun k -> ignore (Btree.insert tx tree k (v k))) keys);
+  let seen = ref [] in
+  Btree.iter tree (fun k value ->
+      Alcotest.(check int) "value matches" (v k) value;
+      seen := k :: !seen);
+  Alcotest.(check (list int)) "ascending order" (List.sort compare keys) (List.rev !seen)
+
+let test_range () =
+  let e, tree = make ~node_size:96 () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 50 do
+        ignore (Btree.insert tx tree (k * 2) (v k))
+      done);
+  let seen = ref [] in
+  Btree.range tree ~lo:10 ~hi:20 (fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list int)) "inclusive range" [ 10; 12; 14; 16; 18; 20 ] (List.rev !seen);
+  let empty = ref [] in
+  Btree.range tree ~lo:101 ~hi:200 (fun k _ -> empty := k :: !empty);
+  Alcotest.(check (list int)) "empty range" [] !empty
+
+let test_find_tx_sees_own_writes () =
+  let e, tree = make () in
+  Engine.with_tx e (fun tx ->
+      ignore (Btree.insert tx tree 77 123);
+      Alcotest.(check (option int)) "visible in tx" (Some 123) (Btree.find_tx tx tree 77))
+
+let test_abort_rolls_back_structure () =
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let e, tree = make ~kind ~node_size:96 () in
+      Engine.with_tx e (fun tx ->
+          for k = 1 to 30 do
+            ignore (Btree.insert tx tree k (v k))
+          done);
+      let card = Btree.cardinal tree and h = Btree.height tree in
+      (* A big aborted transaction that would cause splits. *)
+      let tx = Engine.begin_tx e in
+      for k = 100 to 160 do
+        ignore (Btree.insert tx tree k (v k))
+      done;
+      Engine.abort tx;
+      Alcotest.(check int) (name ^ ": cardinal restored") card (Btree.cardinal tree);
+      Alcotest.(check int) (name ^ ": height restored") h (Btree.height tree);
+      Alcotest.(check (option int)) (name ^ ": inserted key gone") None (Btree.find tree 120);
+      check_validate tree (name ^ " after abort");
+      Alcotest.(check bool) (name ^ ": heap valid") true
+        (Heap.validate (Engine.heap e) = Ok ()))
+    [ Engine.Undo_logging; Engine.Cow; Engine.Kamino_simple ]
+
+let test_attach_after_reopen () =
+  let e, tree = make () in
+  Engine.with_tx e (fun tx ->
+      ignore (Btree.insert tx tree 1 11);
+      Engine.set_root tx (Btree.descriptor tree));
+  Engine.crash e;
+  Engine.recover e;
+  let tree' = Btree.attach e (Engine.root e) in
+  Alcotest.(check (option int)) "rebound tree finds key" (Some 11) (Btree.find tree' 1);
+  check_validate tree' "after reopen"
+
+(* Model-based test: random insert/delete/replace against Map, with
+   per-transaction batching, validated continuously. *)
+let model_qcheck kind =
+  let name = Printf.sprintf "btree matches Map model (%s)" (Engine.kind_name kind) in
+  QCheck.Test.make ~name ~count:30
+    QCheck.(pair small_int (list_of_size (Gen.int_range 30 120) (pair (int_range 0 200) bool)))
+    (fun (_, ops) ->
+      let e, tree = make ~kind ~node_size:96 () in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      let batch = ref [] in
+      let flush_batch () =
+        if !batch <> [] then begin
+          Engine.with_tx e (fun tx ->
+              List.iter
+                (fun (k, ins) ->
+                  if ins then ignore (Btree.insert tx tree k (v k))
+                  else ignore (Btree.delete tx tree k))
+                (List.rev !batch));
+          List.iter
+            (fun (k, ins) ->
+              if ins then model := M.add k (v k) !model else model := M.remove k !model)
+            (List.rev !batch);
+          batch := []
+        end
+      in
+      List.iteri
+        (fun i op ->
+          batch := op :: !batch;
+          if i mod 7 = 6 then flush_batch ())
+        ops;
+      flush_batch ();
+      Btree.validate tree = Ok ()
+      && Btree.cardinal tree = M.cardinal !model
+      && M.for_all (fun k value -> Btree.find tree k = Some value) !model
+      && List.for_all
+           (fun (k, _) -> M.mem k !model || Btree.find tree k = None)
+           ops)
+
+(* Crash-injection on tree structure: run batches, crash randomly between
+   them, verify committed state and tree validity. *)
+let crash_qcheck kind =
+  let name = Printf.sprintf "btree survives crashes (%s)" (Engine.kind_name kind) in
+  QCheck.Test.make ~name ~count:15
+    QCheck.(pair small_int (list_of_size (Gen.int_range 20 80) (pair (int_range 0 150) bool)))
+    (fun (seed, ops) ->
+      let e, tree = make ~kind ~node_size:96 () in
+      Engine.with_tx e (fun tx -> Engine.set_root tx (Btree.descriptor tree));
+      let rng = Rng.create (seed + 1) in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      let tree = ref tree in
+      let batches = ref [] in
+      let cur = ref [] in
+      List.iteri
+        (fun i op ->
+          cur := op :: !cur;
+          if i mod 5 = 4 then begin
+            batches := List.rev !cur :: !batches;
+            cur := []
+          end)
+        ops;
+      if !cur <> [] then batches := List.rev !cur :: !batches;
+      List.iter
+        (fun batch ->
+          let committed = ref false in
+          (try
+             Engine.with_tx e (fun tx ->
+                 List.iter
+                   (fun (k, ins) ->
+                     if ins then ignore (Btree.insert tx !tree k (v k))
+                     else ignore (Btree.delete tx !tree k))
+                   batch;
+                 committed := true)
+           with Failure _ -> ());
+          if !committed then
+            List.iter
+              (fun (k, ins) ->
+                if ins then model := M.add k (v k) !model else model := M.remove k !model)
+              batch;
+          if Rng.int rng 3 = 0 then begin
+            Engine.crash e;
+            Engine.recover e;
+            tree := Btree.attach e (Engine.root e)
+          end)
+        (List.rev !batches);
+      Btree.validate !tree = Ok ()
+      && M.for_all (fun k value -> Btree.find !tree k = Some value) !model
+      && Btree.cardinal !tree = M.cardinal !model)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert and find" `Quick test_insert_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "splits grow height" `Quick test_splits_grow_height;
+          Alcotest.test_case "find_tx sees own writes" `Quick test_find_tx_sees_own_writes;
+        ] );
+      ( "delete",
+        [
+          Alcotest.test_case "simple delete" `Quick test_delete_simple;
+          Alcotest.test_case "delete everything" `Quick test_delete_everything;
+        ] );
+      ( "iteration",
+        [
+          Alcotest.test_case "iter ordered" `Quick test_iter_ordered;
+          Alcotest.test_case "range" `Quick test_range;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "abort rolls back structure" `Quick
+            test_abort_rolls_back_structure;
+          Alcotest.test_case "attach after reopen" `Quick test_attach_after_reopen;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest (model_qcheck Engine.Undo_logging);
+          QCheck_alcotest.to_alcotest (model_qcheck Engine.Cow);
+          QCheck_alcotest.to_alcotest (model_qcheck Engine.Kamino_simple);
+          QCheck_alcotest.to_alcotest
+            (model_qcheck (Engine.Kamino_dynamic { alpha = 0.4; policy = Backup.Lru_policy }));
+          QCheck_alcotest.to_alcotest (crash_qcheck Engine.Undo_logging);
+          QCheck_alcotest.to_alcotest (crash_qcheck Engine.Kamino_simple);
+          QCheck_alcotest.to_alcotest
+            (crash_qcheck (Engine.Kamino_dynamic { alpha = 0.4; policy = Backup.Lru_policy }));
+        ] );
+    ]

@@ -1,0 +1,432 @@
+(* Tests for chain replication: both modes replicate correctly, timing
+   reflects the pipeline, aborts stay local to the head, and the failure
+   protocols (fail-stop, head promotion, quick reboot with peer-based
+   recovery) preserve consistency. *)
+
+module Clock = Kamino_sim.Clock
+module Engine = Kamino_core.Engine
+module Heap = Kamino_heap.Heap
+module Kv = Kamino_kv.Kv
+module Chain = Kamino_chain.Chain
+module Rng = Kamino_sim.Rng
+
+let engine_config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 2 lsl 20;
+    log_slots = 32;
+    data_log_bytes = 1 lsl 19;
+  }
+
+let make ?(mode = Chain.Kamino_chain { alpha = None }) ?(f = 2) () =
+  Chain.create ~engine_config ~hop_ns:5000 ~mode ~f ~value_size:128 ~node_size:512 ~seed:77
+    ()
+
+let both_modes = [ ("traditional", Chain.Traditional); ("kamino", Chain.Kamino_chain { alpha = None }) ]
+
+let test_replica_counts () =
+  let trad = make ~mode:Chain.Traditional ~f:2 () in
+  Alcotest.(check int) "traditional: f+1 replicas" 3 (Chain.length trad);
+  let kam = make ~mode:(Chain.Kamino_chain { alpha = None }) ~f:2 () in
+  Alcotest.(check int) "kamino: f+2 replicas" 4 (Chain.length kam)
+
+let test_writes_replicate () =
+  List.iter
+    (fun (name, mode) ->
+      let c = make ~mode () in
+      let at = ref 0 in
+      for k = 0 to 19 do
+        at := Chain.put c ~at:!at k (Printf.sprintf "val-%d" k)
+      done;
+      (match Chain.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e);
+      let v, _ = Chain.get c ~at:!at 7 in
+      Alcotest.(check (option string)) (name ^ ": read at tail") (Some "val-7") v)
+    both_modes
+
+let test_rmw_and_delete_replicate () =
+  List.iter
+    (fun (name, mode) ->
+      let c = make ~mode () in
+      let at = Chain.put c ~at:0 1 "base" in
+      let applied, at = Chain.rmw c ~at 1 (fun s -> s ^ "+rmw") in
+      Alcotest.(check bool) (name ^ ": rmw applied") true applied;
+      let present, at = Chain.delete c ~at 1 in
+      Alcotest.(check bool) (name ^ ": delete hit") true present;
+      let v, _ = Chain.get c ~at 1 in
+      Alcotest.(check (option string)) (name ^ ": deleted everywhere") None v;
+      match Chain.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    both_modes
+
+let test_write_latency_includes_hops () =
+  List.iter
+    (fun (name, mode) ->
+      let c = make ~mode () in
+      let done_at = Chain.put c ~at:0 1 "x" in
+      let hops =
+        match mode with
+        | Chain.Traditional -> Chain.length c + 1  (* client->head + n-1 + tail->client *)
+        | Chain.Kamino_chain _ -> Chain.length c  (* head-resident client: n-1 + ack *)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: latency %d >= %d hops" name done_at (hops * 5000))
+        true
+        (done_at >= hops * 5000))
+    both_modes
+
+let test_kamino_chain_faster_than_traditional () =
+  (* Same op stream, f=2: the Kamino chain commits without critical-path
+     copies at any replica and saves a client hop, so writes complete
+     sooner even with one extra replica in the chain. *)
+  let run mode =
+    let c = make ~mode ~f:2 () in
+    let at = ref 0 in
+    for k = 0 to 49 do
+      at := Chain.put c ~at:!at k (String.make 100 'v')
+    done;
+    !at
+  in
+  let trad = run Chain.Traditional in
+  let kam = run (Chain.Kamino_chain { alpha = None }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kamino (%d) < traditional (%d)" kam trad)
+    true (kam < trad)
+
+let test_storage_accounting () =
+  let trad = make ~mode:Chain.Traditional ~f:2 () in
+  let kam = make ~mode:(Chain.Kamino_chain { alpha = None }) ~f:2 () in
+  (* Traditional: 3 nodes x (heap + undo arena). Kamino: 4 heaps + 1 backup
+     = f+2+alpha heaps total; with these small arenas the kamino cluster is
+     bigger in heap count but has no per-node copy arenas. *)
+  Alcotest.(check bool) "kamino ~ (f+2+1) heaps" true
+    (Chain.storage_bytes kam > 4 * engine_config.Engine.heap_bytes);
+  Alcotest.(check bool) "traditional ~ (f+1) heaps" true
+    (Chain.storage_bytes trad < Chain.storage_bytes kam)
+
+let test_abort_stays_local () =
+  List.iter
+    (fun (name, mode) ->
+      let c = make ~mode () in
+      let at = Chain.put c ~at:0 5 "committed" in
+      let _ = Chain.put_aborted c ~at 5 "aborted-value" in
+      let v, _ = Chain.get c ~at:(at + 100000) 5 in
+      Alcotest.(check (option string)) (name ^ ": abort invisible") (Some "committed") v;
+      match Chain.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s after abort: %s" name e)
+    both_modes
+
+let test_fail_stop_tail_and_mid () =
+  let c = make ~f:2 () in
+  let at = ref 0 in
+  for k = 0 to 9 do
+    at := Chain.put c ~at:!at k "v"
+  done;
+  Chain.fail_stop c 3;
+  (* tail dies *)
+  Alcotest.(check int) "3 replicas left" 3 (Chain.length c);
+  at := Chain.put c ~at:!at 100 "after-tail-failure";
+  Chain.fail_stop c 1;
+  (* mid dies *)
+  at := Chain.put c ~at:!at 101 "after-mid-failure";
+  (match Chain.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after failures: %s" e);
+  let v, _ = Chain.get c ~at:!at 101 in
+  Alcotest.(check (option string)) "write after repairs" (Some "after-mid-failure") v
+
+let test_head_failure_promotes () =
+  let c = make ~f:2 () in
+  let at = ref 0 in
+  for k = 0 to 9 do
+    at := Chain.put c ~at:!at k (Printf.sprintf "v%d" k)
+  done;
+  Chain.fail_stop c 0;
+  (* head dies; replica 1 must become a Kamino head with a local backup *)
+  Alcotest.(check int) "3 replicas left" 3 (Chain.length c);
+  at := Chain.put c ~at:!at 50 "new-head-write";
+  (* the new head can abort locally, which requires its new backup *)
+  let _ = Chain.put_aborted c ~at:!at 50 "aborted" in
+  let v, _ = Chain.get c ~at:!at 50 in
+  Alcotest.(check (option string)) "new head works" (Some "new-head-write") v;
+  match Chain.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after promotion: %s" e
+
+let test_quick_reboot_head () =
+  let c = make ~f:2 () in
+  let at = ref 0 in
+  for k = 0 to 9 do
+    at := Chain.put c ~at:!at k "stable"
+  done;
+  Chain.quick_reboot c 0;
+  (match Chain.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after head reboot: %s" e);
+  at := Chain.put c ~at:!at 10 "post-reboot";
+  let v, _ = Chain.get c ~at:!at 10 in
+  Alcotest.(check (option string)) "head usable after reboot" (Some "post-reboot") v
+
+let test_quick_reboot_mid_with_incomplete_tx () =
+  (* Manufacture an incomplete transaction on a non-head replica, crash it,
+     and verify the §5.3 roll-forward from the predecessor repairs it. *)
+  let c = make ~f:2 () in
+  let at = ref 0 in
+  for k = 0 to 5 do
+    at := Chain.put c ~at:!at k (Printf.sprintf "v%d" k)
+  done;
+  let mid_kv = Chain.kv_at c 2 in
+  let mid_engine = Kv.engine mid_kv in
+  let vptr = Option.get (Kv.value_ptr mid_kv 3) in
+  (* Start a transaction on the replica directly and leave it incomplete. *)
+  let tx = Engine.begin_tx mid_engine in
+  Engine.add tx vptr;
+  Engine.write_string tx vptr 8 "torn-write-data";
+  Chain.quick_reboot c 2;
+  (match Chain.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after mid reboot: %s" e);
+  let v, _ = Chain.get c ~at:!at 3 in
+  Alcotest.(check (option string)) "value restored from predecessor" (Some "v3") v
+
+let test_cluster_restart () =
+  List.iter
+    (fun (name, mode) ->
+      let c = make ~mode () in
+      let at = ref 0 in
+      for k = 0 to 19 do
+        at := Chain.put c ~at:!at k (Printf.sprintf "v%d" k)
+      done;
+      (* Leave an incomplete transaction on a middle replica before the
+         whole cluster loses power. *)
+      (if mode <> Chain.Traditional then begin
+         let mid_kv = Chain.kv_at c 2 in
+         let vptr = Option.get (Kv.value_ptr mid_kv 9) in
+         let tx = Engine.begin_tx (Kv.engine mid_kv) in
+         Engine.add tx vptr;
+         Engine.write_string tx vptr 8 "half-written"
+       end);
+      Chain.cluster_restart c;
+      (match Chain.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s cluster restart: %s" name e);
+      at := Chain.put c ~at:!at 99 "post-restart";
+      let v, _ = Chain.get c ~at:!at 99 in
+      Alcotest.(check (option string)) (name ^ ": chain usable after restart")
+        (Some "post-restart") v)
+    both_modes
+
+let test_inflight_completion_after_reboot () =
+  let c = make ~f:2 () in
+  let at = ref 0 in
+  for k = 0 to 5 do
+    at := Chain.put c ~at:!at k "base"
+  done;
+  (* A write reaches only the head and first mid, then the second mid
+     reboots; drain must deliver the op to the remaining replicas. *)
+  Chain.put_partial c ~at:!at ~upto:1 99 "inflight-value";
+  Chain.quick_reboot c 2;
+  (match Chain.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after inflight reboot: %s" e);
+  let v, _ = Chain.get c ~at:(!at + 1000000) 99 in
+  Alcotest.(check (option string)) "inflight write completed" (Some "inflight-value") v
+
+let test_dependent_writes_wait_for_ack () =
+  let c = make ~f:2 () in
+  let t1 = Chain.put c ~at:0 1 "first" in
+  (* Two writes issued before the first one's ack arrives: the independent
+     one enters the chain immediately; the dependent one blocks at the
+     head until the ack releases the locks, so it completes later. *)
+  let t_ind = Chain.put c ~at:(t1 / 2) 2 "independent" in
+  let t_dep = Chain.put c ~at:(t1 / 2) 1 "second" in
+  Alcotest.(check bool) "dependent write serialized behind ack" true (t_dep >= t1);
+  Alcotest.(check bool)
+    (Printf.sprintf "independent (%d) completes before dependent (%d)" t_ind t_dep)
+    true (t_ind < t_dep)
+
+let test_random_workload_consistency () =
+  List.iter
+    (fun (name, mode) ->
+      let c = make ~mode () in
+      let rng = Rng.create 13 in
+      let at = ref 0 in
+      for _ = 1 to 200 do
+        let k = Rng.int rng 30 in
+        match Rng.int rng 4 with
+        | 0 -> at := Chain.put c ~at:!at k (Printf.sprintf "p%d" k)
+        | 1 ->
+            let _, t = Chain.delete c ~at:!at k in
+            at := t
+        | 2 ->
+            let _, t = Chain.rmw c ~at:!at k (fun s -> s ^ ".") in
+            at := t
+        | _ ->
+            let _, t = Chain.get c ~at:!at k in
+            at := t
+      done;
+      match Chain.replicas_consistent c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s random workload: %s" name e)
+    both_modes
+
+module Membership = Kamino_chain.Membership
+
+let test_membership_views () =
+  let m = Membership.create ~members:[ 0; 1; 2; 3 ] ~failure_timeout_ns:1000 in
+  Alcotest.(check int) "initial view id" 1 (Membership.current m).Membership.id;
+  Alcotest.(check bool) "current accepted" true (Membership.validate m ~view_id:1 = `Current);
+  let v2 = Membership.remove m 1 in
+  Alcotest.(check int) "view id bumped" 2 v2.Membership.id;
+  Alcotest.(check (list int)) "member removed" [ 0; 2; 3 ] v2.Membership.members;
+  Alcotest.(check bool) "old view rejected" true
+    (match Membership.validate m ~view_id:1 with `Stale v -> v.Membership.id = 2 | `Current -> false);
+  let v3 = Membership.add_tail m 7 in
+  Alcotest.(check (list int)) "tail appended" [ 0; 2; 3; 7 ] v3.Membership.members;
+  Alcotest.(check bool) "duplicate member rejected" true
+    (try ignore (Membership.add_tail m 7); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "removing non-member rejected" true
+    (try ignore (Membership.remove m 99); false with Invalid_argument _ -> true)
+
+let test_membership_neighbours () =
+  let m = Membership.create ~members:[ 5; 6; 7 ] ~failure_timeout_ns:1000 in
+  Alcotest.(check bool) "head" true (Membership.is_head m 5);
+  Alcotest.(check (option int)) "head pred" None (Membership.predecessor m 5);
+  Alcotest.(check (option int)) "mid pred" (Some 5) (Membership.predecessor m 6);
+  Alcotest.(check (option int)) "mid succ" (Some 7) (Membership.successor m 6);
+  Alcotest.(check (option int)) "tail succ" None (Membership.successor m 7);
+  match Membership.rejoin m ~node:6 ~believed_view:1 with
+  | `Member (_, Some 5, Some 7) -> ()
+  | _ -> Alcotest.fail "rejoin neighbours wrong"
+
+let test_membership_rejoin_removed () =
+  let m = Membership.create ~members:[ 1; 2; 3 ] ~failure_timeout_ns:1000 in
+  ignore (Membership.remove m 2);
+  match Membership.rejoin m ~node:2 ~believed_view:1 with
+  | `Removed v -> Alcotest.(check int) "told the current view" 2 v.Membership.id
+  | `Member _ -> Alcotest.fail "removed node must not rejoin silently"
+
+let test_membership_failure_detector () =
+  let m = Membership.create ~members:[ 1; 2 ] ~failure_timeout_ns:1000 in
+  Membership.record_heartbeat m ~node:1 ~now:0;
+  Membership.record_heartbeat m ~node:2 ~now:0;
+  Alcotest.(check (list int)) "nobody suspected yet" [] (Membership.suspects m ~now:500);
+  Membership.record_heartbeat m ~node:2 ~now:900;
+  Alcotest.(check (list int)) "silent node suspected" [ 1 ] (Membership.suspects m ~now:1500)
+
+let test_heartbeat_failure_detection_des () =
+  (* Drive the failure detector from the discrete-event engine: replicas
+     heartbeat every 1 ms; replica 2 goes silent at t = 5 ms (its last
+     heartbeat lands at t = 4 ms); with the chain's 10 ms detection
+     timeout, exactly replica 2 must be suspected shortly after t = 14 ms,
+     after which the chain is repaired and keeps working. *)
+  let module Sim = Kamino_sim.Engine in
+  let c = make ~f:2 () in
+  let m = Chain.membership c in
+  let sim = Sim.create () in
+  let silent_from = 5_000_000 in
+  let node_ids = List.init (Chain.length c) Fun.id in
+  let horizon = 20_000_000 in
+  let rec schedule_heartbeats node at =
+    if at <= horizon then
+      Sim.schedule sim ~at (fun () ->
+          if not (node = 2 && at >= silent_from) then begin
+            Kamino_chain.Membership.record_heartbeat m ~node ~now:at;
+            schedule_heartbeats node (at + 1_000_000)
+          end)
+  in
+  List.iter (fun n -> schedule_heartbeats n 0) node_ids;
+  let detected = ref None in
+  let rec poll at =
+    Sim.schedule sim ~at (fun () ->
+        match Kamino_chain.Membership.suspects m ~now:at with
+        | [] -> if at < horizon then poll (at + 500_000)
+        | suspects -> detected := Some (at, suspects))
+  in
+  poll 1_000_000;
+  ignore (Sim.run sim);
+  (match !detected with
+  | Some (at, [ 2 ]) ->
+      let last_heartbeat = silent_from - 1_000_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "detected at %d" at)
+        true
+        (at > last_heartbeat + 10_000_000 && at <= last_heartbeat + 12_000_000)
+  | Some (_, others) ->
+      Alcotest.failf "wrong suspects: %s" (String.concat "," (List.map string_of_int others))
+  | None -> Alcotest.fail "silent replica never suspected");
+  (* act on the detection: remove the replica and keep serving *)
+  Chain.fail_stop c 2;
+  let at = Chain.put c ~at:25_000_000 1 "after-detection" in
+  let v, _ = Chain.get c ~at 1 in
+  Alcotest.(check (option string)) "chain repaired" (Some "after-detection") v
+
+let test_add_replica_state_transfer () =
+  let c = make ~f:2 () in
+  let at = ref 0 in
+  for k = 0 to 19 do
+    at := Chain.put c ~at:!at k (Printf.sprintf "v%d" k)
+  done;
+  Chain.fail_stop c 3;
+  Alcotest.(check int) "down to 3" 3 (Chain.length c);
+  Chain.add_replica c;
+  Alcotest.(check int) "back to 4" 4 (Chain.length c);
+  (* the fresh tail must have received the full state *)
+  (match Chain.replicas_consistent c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after state transfer: %s" e);
+  at := Chain.put c ~at:!at 100 "post-join";
+  let v, _ = Chain.get c ~at:!at 100 in
+  Alcotest.(check (option string)) "new tail serves reads" (Some "post-join") v;
+  (* views moved forward: remove + add *)
+  Alcotest.(check int) "view id advanced" 3
+    (Membership.current (Chain.membership c)).Membership.id
+
+let () =
+  Alcotest.run "chain"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "replica counts" `Quick test_replica_counts;
+          Alcotest.test_case "writes replicate" `Quick test_writes_replicate;
+          Alcotest.test_case "rmw and delete replicate" `Quick test_rmw_and_delete_replicate;
+          Alcotest.test_case "random workload consistency" `Quick
+            test_random_workload_consistency;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "latency includes hops" `Quick test_write_latency_includes_hops;
+          Alcotest.test_case "kamino beats traditional" `Quick
+            test_kamino_chain_faster_than_traditional;
+          Alcotest.test_case "dependent writes wait for ack" `Quick
+            test_dependent_writes_wait_for_ack;
+          Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+        ] );
+      ( "aborts",
+        [ Alcotest.test_case "abort stays local" `Quick test_abort_stays_local ] );
+      ( "membership",
+        [
+          Alcotest.test_case "views" `Quick test_membership_views;
+          Alcotest.test_case "neighbours" `Quick test_membership_neighbours;
+          Alcotest.test_case "rejoin after removal" `Quick test_membership_rejoin_removed;
+          Alcotest.test_case "failure detector" `Quick test_membership_failure_detector;
+          Alcotest.test_case "add replica state transfer" `Quick
+            test_add_replica_state_transfer;
+          Alcotest.test_case "heartbeat failure detection (DES)" `Quick
+            test_heartbeat_failure_detection_des;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "fail-stop tail and mid" `Quick test_fail_stop_tail_and_mid;
+          Alcotest.test_case "head failure promotes" `Quick test_head_failure_promotes;
+          Alcotest.test_case "quick reboot head" `Quick test_quick_reboot_head;
+          Alcotest.test_case "quick reboot mid with incomplete tx" `Quick
+            test_quick_reboot_mid_with_incomplete_tx;
+          Alcotest.test_case "inflight completes after reboot" `Quick
+            test_inflight_completion_after_reboot;
+          Alcotest.test_case "whole-cluster restart" `Quick test_cluster_restart;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* White-box unit tests for the core components that the engine composes:
+   the lock table's virtual-time semantics, the backup applier's timeline,
+   and the backup manager's copy-tracking invariants. *)
+
+module Clock = Kamino_sim.Clock
+module Rng = Kamino_sim.Rng
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+module Locks = Kamino_core.Locks
+module Applier = Kamino_core.Applier
+module Backup = Kamino_core.Backup
+module Intent_log = Kamino_core.Intent_log
+
+(* --- Locks ---------------------------------------------------------------- *)
+
+let test_locks_uncontended () =
+  let l = Locks.create () in
+  Alcotest.(check int) "free lock acquired now" 105
+    (Locks.acquire_write l 1 ~now:100 ~cost_ns:5.0);
+  Alcotest.(check int) "read lock too" 205 (Locks.acquire_read l 2 ~now:200 ~cost_ns:5.0);
+  Alcotest.(check int) "no waits recorded" 0 (Locks.wait_events l)
+
+let test_locks_writer_blocks_writer () =
+  let l = Locks.create () in
+  ignore (Locks.acquire_write l 1 ~now:0 ~cost_ns:0.0);
+  Locks.release_writes l [ 1 ] ~at:1000;
+  Alcotest.(check int) "second writer waits for release" 1000
+    (Locks.acquire_write l 1 ~now:300 ~cost_ns:0.0);
+  Alcotest.(check int) "one wait event" 1 (Locks.wait_events l);
+  Alcotest.(check int) "wait time recorded" 700 (Locks.waits l)
+
+let test_locks_writer_blocks_reader_not_vice_versa () =
+  let l = Locks.create () in
+  ignore (Locks.acquire_write l 1 ~now:0 ~cost_ns:0.0);
+  Locks.release_writes l [ 1 ] ~at:1000;
+  Alcotest.(check int) "reader waits for writer" 1000
+    (Locks.acquire_read l 1 ~now:100 ~cost_ns:0.0);
+  Locks.release_reads l [ 1 ] ~at:2000;
+  (* a later reader does NOT wait for the earlier reader *)
+  Alcotest.(check int) "reader does not wait for reader" 1500
+    (Locks.acquire_read l 1 ~now:1500 ~cost_ns:0.0);
+  (* but a writer waits for the reader *)
+  Alcotest.(check int) "writer waits for readers" 2000
+    (Locks.acquire_write l 1 ~now:1200 ~cost_ns:0.0)
+
+let test_locks_release_is_monotone () =
+  let l = Locks.create () in
+  ignore (Locks.acquire_write l 1 ~now:0 ~cost_ns:0.0);
+  Locks.release_writes l [ 1 ] ~at:1000;
+  (* an earlier release time must not pull the lock backwards *)
+  Locks.release_writes l [ 1 ] ~at:500;
+  Alcotest.(check int) "max of release times wins" 1000
+    (Locks.acquire_write l 1 ~now:0 ~cost_ns:0.0)
+
+let test_locks_active_tracking () =
+  let l = Locks.create () in
+  ignore (Locks.acquire_write l 7 ~now:0 ~cost_ns:0.0);
+  Alcotest.(check bool) "held while active" true (Locks.held_by_active_tx l 7);
+  Locks.release_writes l [ 7 ] ~at:10;
+  Alcotest.(check bool) "released" false (Locks.held_by_active_tx l 7);
+  Alcotest.(check bool) "unknown key not held" false (Locks.held_by_active_tx l 99)
+
+let test_locks_last_task () =
+  let l = Locks.create () in
+  Alcotest.(check int) "no task yet" (-1) (Locks.last_writer_task l 3);
+  Locks.set_last_writer_task l 3 42;
+  Alcotest.(check int) "task recorded" 42 (Locks.last_writer_task l 3)
+
+(* --- Applier -------------------------------------------------------------- *)
+
+let make_ilog () =
+  let clock = Clock.create () in
+  let size = Intent_log.required_size ~max_user_threads:4 ~max_tx_entries:8 ~n_slots:8 in
+  let r =
+    Region.create ~crash_mode:Region.Drop_unflushed ~rng:(Rng.create 1) ~clock ~size ()
+  in
+  Intent_log.format r ~max_user_threads:4 ~max_tx_entries:8 ~n_slots:8
+
+let test_applier_timeline () =
+  let ilog = make_ilog () in
+  let applied = ref [] in
+  let a =
+    Applier.create ~regions:[]
+      ~apply:(fun ~tx_id ~slot ~ranges:_ ->
+        applied := tx_id :: !applied;
+        Intent_log.release ilog slot)
+  in
+  let slot1 = Option.get (Intent_log.begin_record ilog ~tx_id:1) in
+  Intent_log.barrier ilog slot1;
+  let slot2 = Option.get (Intent_log.begin_record ilog ~tx_id:2) in
+  Intent_log.barrier ilog slot2;
+  let id1, f1 = Applier.enqueue a ~commit_time:100 ~cost_ns:50.0 ~tx_id:1 ~slot:slot1 ~ranges:[] in
+  let id2, f2 = Applier.enqueue a ~commit_time:120 ~cost_ns:50.0 ~tx_id:2 ~slot:slot2 ~ranges:[] in
+  Alcotest.(check int) "first finishes at commit+cost" 150 f1;
+  (* the second task starts when the first ends (150 > 120) *)
+  Alcotest.(check int) "second queues behind first" 200 f2;
+  Alcotest.(check int) "virtual now" 200 (Applier.virtual_now a);
+  Alcotest.(check int) "nothing applied yet (lazy)" 0 (Applier.applied_through a);
+  Applier.sync_through a id1;
+  Alcotest.(check (list int)) "only first applied" [ 1 ] (List.rev !applied);
+  Alcotest.(check int) "applied through first" id1 (Applier.applied_through a);
+  Applier.drain a;
+  Alcotest.(check (list int)) "both applied in order" [ 1; 2 ] (List.rev !applied);
+  Alcotest.(check int) "applied through second" id2 (Applier.applied_through a);
+  Alcotest.(check int) "queue empty" 0 (Applier.queued a)
+
+let test_applier_idle_gap () =
+  let ilog = make_ilog () in
+  let a =
+    Applier.create ~regions:[] ~apply:(fun ~tx_id:_ ~slot ~ranges:_ -> Intent_log.release ilog slot)
+  in
+  let slot = Option.get (Intent_log.begin_record ilog ~tx_id:1) in
+  Intent_log.barrier ilog slot;
+  let _, f1 = Applier.enqueue a ~commit_time:100 ~cost_ns:10.0 ~tx_id:1 ~slot ~ranges:[] in
+  Alcotest.(check int) "task 1 done at 110" 110 f1;
+  (* a task committed much later starts at its commit time, not at 110 *)
+  let slot2 = Option.get (Intent_log.begin_record ilog ~tx_id:2) in
+  Intent_log.barrier ilog slot2;
+  let _, f2 = Applier.enqueue a ~commit_time:5000 ~cost_ns:10.0 ~tx_id:2 ~slot:slot2 ~ranges:[] in
+  Alcotest.(check int) "idle gap respected" 5010 f2
+
+let test_applier_drain_one () =
+  let ilog = make_ilog () in
+  let a =
+    Applier.create ~regions:[] ~apply:(fun ~tx_id:_ ~slot ~ranges:_ -> Intent_log.release ilog slot)
+  in
+  Alcotest.(check (option int)) "drain on empty" None (Applier.drain_one a);
+  let slot = Option.get (Intent_log.begin_record ilog ~tx_id:1) in
+  let _, f = Applier.enqueue a ~commit_time:0 ~cost_ns:33.0 ~tx_id:1 ~slot ~ranges:[] in
+  Alcotest.(check (option int)) "drain_one returns finish" (Some f) (Applier.drain_one a);
+  Alcotest.(check int) "slot released back" 8 (Intent_log.free_slots ilog)
+
+(* --- Backup --------------------------------------------------------------- *)
+
+let make_dynamic () =
+  let clock = Clock.create () in
+  let mk size =
+    Region.create ~crash_mode:Region.Drop_unflushed ~rng:(Rng.create 2) ~clock ~size ()
+  in
+  let main = mk 65536 in
+  let slots = mk 16384 in
+  let table = mk 8192 in
+  (Backup.create_dynamic ~slots ~table ~policy:Backup.Lru_policy, main)
+
+let no_pressure () = ()
+
+let test_backup_roundtrip () =
+  let b, main = make_dynamic () in
+  Region.write_string main 1000 "versionA";
+  Backup.ensure_copy b ~main ~off:1000 ~len:8 ~locked:(fun _ -> false) ~pressure:no_pressure;
+  Alcotest.(check bool) "copy exists" true (Backup.has_copy b ~off:1000);
+  Alcotest.(check int) "one miss" 1 (Backup.misses b);
+  Region.write_string main 1000 "versionB";
+  Alcotest.(check bool) "main rolled back" true (Backup.roll_back b ~main ~off:1000 ~len:8);
+  Alcotest.(check string) "old version restored" "versionA" (Region.read_string main 1000 8);
+  Region.write_string main 1000 "versionC";
+  Backup.roll_forward b ~main ~off:1000 ~len:8;
+  Region.write_string main 1000 "versionD";
+  ignore (Backup.roll_back b ~main ~off:1000 ~len:8);
+  Alcotest.(check string) "roll-forwarded version restored" "versionC"
+    (Region.read_string main 1000 8)
+
+let test_backup_hit_counting () =
+  let b, main = make_dynamic () in
+  Backup.ensure_copy b ~main ~off:64 ~len:32 ~locked:(fun _ -> false) ~pressure:no_pressure;
+  Backup.ensure_copy b ~main ~off:64 ~len:32 ~locked:(fun _ -> false) ~pressure:no_pressure;
+  Alcotest.(check int) "one miss" 1 (Backup.misses b);
+  Alcotest.(check int) "one hit" 1 (Backup.hits b);
+  Alcotest.(check int) "one resident" 1 (Backup.resident b)
+
+let test_backup_eviction_pressure () =
+  let b, main = make_dynamic () in
+  (* slots region is 16 KiB; 1 KiB copies force evictions quickly *)
+  for i = 0 to 31 do
+    Backup.ensure_copy b ~main ~off:(1024 * (i + 1)) ~len:1000 ~locked:(fun _ -> false)
+      ~pressure:no_pressure
+  done;
+  Alcotest.(check bool) "evictions happened" true (Backup.evictions b > 0);
+  Alcotest.(check bool) "bounded residency" true (Backup.resident b <= 16);
+  (* everything pinned -> pressure callback then failure *)
+  let pressured = ref false in
+  Alcotest.(check bool) "exhaustion raises when all pinned" true
+    (try
+       for i = 0 to 31 do
+         Backup.ensure_copy b ~main ~off:(65536 - (1024 * (i + 1))) ~len:1000
+           ~locked:(fun _ -> true)
+           ~pressure:(fun () -> pressured := true)
+       done;
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "pressure was signalled first" true !pressured
+
+let test_backup_stale_length_replaced () =
+  let b, main = make_dynamic () in
+  Region.write_string main 2048 "old-size-contents!";
+  Backup.ensure_copy b ~main ~off:2048 ~len:8 ~locked:(fun _ -> false) ~pressure:no_pressure;
+  (* same offset, different length: the stale copy must be replaced, not
+     reused (regression for the rolled-back-allocation corruption) *)
+  Backup.ensure_copy b ~main ~off:2048 ~len:18 ~locked:(fun _ -> false) ~pressure:no_pressure;
+  Alcotest.(check int) "second ensure was a miss" 2 (Backup.misses b);
+  Region.write_string main 2048 "new-size-contents!";
+  ignore (Backup.roll_back b ~main ~off:2048 ~len:18);
+  Alcotest.(check string) "full-length restore" "old-size-contents!"
+    (Region.read_string main 2048 18)
+
+let test_backup_survives_crash () =
+  let b, main = make_dynamic () in
+  Region.write_string main 512 "precious";
+  Region.persist_all main;
+  Backup.ensure_copy b ~main ~off:512 ~len:8 ~locked:(fun _ -> false) ~pressure:no_pressure;
+  (* crash the backup regions and reopen: mapping and slot content survive *)
+  List.iter
+    (fun (k, _, _) -> ignore k)
+    (Backup.dump_mapping b);
+  let b = Backup.reopen b in
+  Alcotest.(check bool) "copy survives reopen" true (Backup.has_copy b ~off:512);
+  Region.write_string main 512 "clobber!";
+  ignore (Backup.roll_back b ~main ~off:512 ~len:8);
+  Alcotest.(check string) "content restored after reopen" "precious"
+    (Region.read_string main 512 8)
+
+let () =
+  Alcotest.run "core_units"
+    [
+      ( "locks",
+        [
+          Alcotest.test_case "uncontended" `Quick test_locks_uncontended;
+          Alcotest.test_case "writer blocks writer" `Quick test_locks_writer_blocks_writer;
+          Alcotest.test_case "reader/writer asymmetry" `Quick
+            test_locks_writer_blocks_reader_not_vice_versa;
+          Alcotest.test_case "release monotone" `Quick test_locks_release_is_monotone;
+          Alcotest.test_case "active tracking" `Quick test_locks_active_tracking;
+          Alcotest.test_case "last task" `Quick test_locks_last_task;
+        ] );
+      ( "applier",
+        [
+          Alcotest.test_case "timeline" `Quick test_applier_timeline;
+          Alcotest.test_case "idle gap" `Quick test_applier_idle_gap;
+          Alcotest.test_case "drain one" `Quick test_applier_drain_one;
+        ] );
+      ( "backup",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_backup_roundtrip;
+          Alcotest.test_case "hit counting" `Quick test_backup_hit_counting;
+          Alcotest.test_case "eviction and pressure" `Quick test_backup_eviction_pressure;
+          Alcotest.test_case "stale length replaced" `Quick test_backup_stale_length_replaced;
+          Alcotest.test_case "survives crash" `Quick test_backup_survives_crash;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Crash-injection property tests: the heart of the reproduction.
+
+   A random transactional workload runs against each atomic engine kind
+   while crashes are injected at arbitrary points — mid-transaction, right
+   after commit (before the backup applier has propagated anything), after
+   aborts. After every recovery the test asserts the fundamental atomicity
+   contract:
+
+   - every committed transaction's effects are intact (values match a model
+     maintained at commit granularity),
+   - every uncommitted transaction has vanished completely,
+   - the heap's structural invariants hold (validate),
+   - the engine remains usable (more transactions can run).
+
+   The NVM simulator uses word-granular random survival of unflushed lines,
+   so each seed exercises a different torn-write pattern. *)
+
+module Rng = Kamino_sim.Rng
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 1 lsl 20;
+    log_slots = 16;
+    data_log_bytes = 1 lsl 18;
+  }
+
+let atomic_kinds =
+  [
+    ("undo", Engine.Undo_logging);
+    ("cow", Engine.Cow);
+    ("kamino-simple", Engine.Kamino_simple);
+    ("kamino-dynamic", Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy });
+  ]
+
+(* The committed-state model: object pointer -> (size, stamp value). *)
+type model = (Heap.ptr, int * int64) Hashtbl.t
+
+let verify_model e (model : model) context =
+  Hashtbl.iter
+    (fun p (size, stamp) ->
+      if not (Heap.is_allocated (Engine.heap e) p) then
+        Alcotest.failf "%s: committed object %d lost" context p;
+      let v = Engine.peek_int64 e p 0 in
+      if v <> stamp then
+        Alcotest.failf "%s: object %d has stamp %Ld, expected %Ld" context p v stamp;
+      (* the stamp is replicated across the whole payload in 8-byte words *)
+      let words = size / 8 in
+      for w = 1 to words - 1 do
+        let v = Engine.peek_int64 e p (w * 8) in
+        if v <> stamp then
+          Alcotest.failf "%s: object %d word %d torn: %Ld <> %Ld" context p w v stamp
+      done)
+    model;
+  match Heap.validate (Engine.heap e) with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "%s: heap invalid after recovery: %s" context err
+
+let stamp_object tx p size stamp =
+  for w = 0 to (size / 8) - 1 do
+    Engine.write_int64 tx p (w * 8) stamp
+  done
+
+(* One random transaction; returns the model mutation to apply if it
+   commits. [steps] optionally limits how many operations run before the
+   caller crashes the machine mid-flight. *)
+let random_tx rng e (model : model) =
+  let tx = Engine.begin_tx e in
+  let pending = ref [] in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+  let n_ops = 1 + Rng.int rng 3 in
+  for _ = 1 to n_ops do
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 ->
+        (* allocate a fresh object *)
+        let size = [| 32; 64; 256; 1024 |].(Rng.int rng 4) in
+        let p = Engine.alloc tx size in
+        let stamp = Rng.int64 rng in
+        stamp_object tx p size stamp;
+        pending := `Put (p, size, stamp) :: !pending
+    | 3 when keys <> [] ->
+        (* free an existing object (not one touched this tx) *)
+        let p = List.nth keys (Rng.int rng (List.length keys)) in
+        if not (List.exists (function `Put (q, _, _) | `Del q -> q = p) !pending) then begin
+          Engine.free tx p;
+          pending := `Del p :: !pending
+        end
+    | _ when keys <> [] ->
+        (* update an existing object *)
+        let p = List.nth keys (Rng.int rng (List.length keys)) in
+        if not (List.exists (function `Del q -> q = p | `Put _ -> false) !pending) then begin
+          let size, _ = Hashtbl.find model p in
+          Engine.add tx p;
+          let stamp = Rng.int64 rng in
+          stamp_object tx p size stamp;
+          pending := `Put (p, size, stamp) :: !pending
+        end
+    | _ -> ()
+  done;
+  (tx, !pending)
+
+let apply_to_model model pending =
+  List.iter
+    (function
+      | `Put (p, size, stamp) -> Hashtbl.replace model p (size, stamp)
+      | `Del p -> Hashtbl.remove model p)
+    (List.rev pending)
+
+let run_crash_workload name kind ~seed ~rounds =
+  let rng = Rng.create seed in
+  let e = Engine.create ~config ~kind ~seed:(seed + 1000) () in
+  let model : model = Hashtbl.create 64 in
+  for round = 1 to rounds do
+    let context = Printf.sprintf "%s seed=%d round=%d" name seed round in
+    match Rng.int rng 10 with
+    | 0 ->
+        (* crash mid-transaction *)
+        let tx, _pending = random_tx rng e model in
+        ignore tx;
+        Engine.crash e;
+        Engine.recover e;
+        verify_model e model (context ^ " (mid-tx crash)")
+    | 1 ->
+        (* crash immediately after commit, before any backup draining *)
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending;
+        Engine.crash e;
+        Engine.recover e;
+        verify_model e model (context ^ " (post-commit crash)")
+    | 2 ->
+        (* deliberate abort, then crash *)
+        let tx, _pending = random_tx rng e model in
+        Engine.abort tx;
+        Engine.crash e;
+        Engine.recover e;
+        verify_model e model (context ^ " (post-abort crash)")
+    | 3 ->
+        (* abort without crash *)
+        let tx, _pending = random_tx rng e model in
+        Engine.abort tx;
+        verify_model e model (context ^ " (abort)")
+    | 4 ->
+        (* double crash: crash during recovery's aftermath *)
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending;
+        Engine.crash e;
+        Engine.recover e;
+        Engine.crash e;
+        Engine.recover e;
+        verify_model e model (context ^ " (double crash)")
+    | _ ->
+        (* plain committed transaction *)
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending
+  done;
+  (* Final: clean drain, verify data, and check the backup invariant. *)
+  Engine.drain_backup e;
+  verify_model e model (Printf.sprintf "%s seed=%d final" name seed);
+  match Engine.verify_backup e with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "%s seed=%d: %s" name seed err
+
+let crash_test (name, kind) seed () = run_crash_workload name kind ~seed ~rounds:60
+
+(* A focused regression: commit several dependent updates to one object with
+   crashes between them; the surviving value must always be the last
+   committed stamp. *)
+let test_dependent_chain_with_crashes (name, kind) () =
+  let e = Engine.create ~config ~kind ~seed:7 () in
+  let p =
+    Engine.with_tx e (fun tx ->
+        let p = Engine.alloc tx 512 in
+        stamp_object tx p 512 0L;
+        p)
+  in
+  for i = 1 to 30 do
+    Engine.with_tx e (fun tx ->
+        Engine.add tx p;
+        stamp_object tx p 512 (Int64.of_int i));
+    if i mod 3 = 0 then begin
+      Engine.crash e;
+      Engine.recover e
+    end;
+    let v = Engine.peek_int64 e p 0 in
+    if v <> Int64.of_int i then
+      Alcotest.failf "%s: after commit %d the value is %Ld" name i v
+  done
+
+(* Aborts interleaved with commits on the same object: an abort must always
+   restore the most recent committed stamp, even right after a crash. *)
+let test_abort_restores_latest_commit (name, kind) () =
+  let e = Engine.create ~config ~kind ~seed:11 () in
+  let p =
+    Engine.with_tx e (fun tx ->
+        let p = Engine.alloc tx 256 in
+        stamp_object tx p 256 100L;
+        p)
+  in
+  for i = 1 to 20 do
+    (* commit a new stamp *)
+    Engine.with_tx e (fun tx ->
+        Engine.add tx p;
+        stamp_object tx p 256 (Int64.of_int (1000 + i)));
+    (* abort an overwrite *)
+    let tx = Engine.begin_tx e in
+    Engine.add tx p;
+    stamp_object tx p 256 9999L;
+    Engine.abort tx;
+    let v = Engine.peek_int64 e p 0 in
+    if v <> Int64.of_int (1000 + i) then
+      Alcotest.failf "%s: abort %d restored %Ld, expected %d" name i v (1000 + i);
+    if i mod 4 = 0 then begin
+      Engine.crash e;
+      Engine.recover e;
+      let v = Engine.peek_int64 e p 0 in
+      if v <> Int64.of_int (1000 + i) then
+        Alcotest.failf "%s: crash after abort %d lost the committed stamp" name i
+    end
+  done
+
+let () =
+  let workload_cases =
+    List.concat_map
+      (fun (name, kind) ->
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "%s random crashes (seed %d)" name seed)
+              `Slow
+              (crash_test (name, kind) seed))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+      atomic_kinds
+  in
+  let focused_cases =
+    List.concat_map
+      (fun (name, kind) ->
+        [
+          Alcotest.test_case (name ^ " dependent chain with crashes") `Quick
+            (test_dependent_chain_with_crashes (name, kind));
+          Alcotest.test_case (name ^ " abort restores latest commit") `Quick
+            (test_abort_restores_latest_commit (name, kind));
+        ])
+      atomic_kinds
+  in
+  Alcotest.run "crash"
+    [ ("random workloads", workload_cases); ("focused", focused_cases) ]

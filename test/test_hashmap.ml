@@ -1,0 +1,203 @@
+(* Tests for the transactional persistent hash map: model-based behaviour,
+   chain integrity, transactional atomicity, and crash recovery. *)
+
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Heap = Kamino_heap.Heap
+module Hashmap = Kamino_index.Hashmap
+module Rng = Kamino_sim.Rng
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 4 lsl 20;
+    log_slots = 32;
+    data_log_bytes = 1 lsl 20;
+  }
+
+let make ?(kind = Engine.Kamino_simple) ?(buckets = 256) () =
+  let e = Engine.create ~config ~kind ~seed:77 () in
+  let h =
+    Engine.with_tx e (fun tx ->
+        let h = Hashmap.create tx ~buckets in
+        Engine.set_root tx (Hashmap.descriptor h);
+        h)
+  in
+  (e, h)
+
+let check_valid h ctx =
+  match Hashmap.validate h with Ok () -> () | Error e -> Alcotest.failf "%s: %s" ctx e
+
+let test_basic () =
+  let e, h = make () in
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check (option int)) "fresh insert" None (Hashmap.insert tx h 1 100);
+      Alcotest.(check (option int)) "second key" None (Hashmap.insert tx h 2 200));
+  Alcotest.(check (option int)) "find 1" (Some 100) (Hashmap.find h 1);
+  Alcotest.(check (option int)) "find 2" (Some 200) (Hashmap.find h 2);
+  Alcotest.(check (option int)) "absent" None (Hashmap.find h 3);
+  Alcotest.(check int) "cardinal" 2 (Hashmap.cardinal h);
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check (option int)) "replace returns old" (Some 100) (Hashmap.insert tx h 1 111));
+  Alcotest.(check (option int)) "replaced" (Some 111) (Hashmap.find h 1);
+  Alcotest.(check int) "no double count" 2 (Hashmap.cardinal h);
+  check_valid h "basic"
+
+let test_remove () =
+  let e, h = make () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 10 do
+        ignore (Hashmap.insert tx h k (k * 10))
+      done);
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check (option int)) "remove present" (Some 50) (Hashmap.remove tx h 5);
+      Alcotest.(check (option int)) "remove absent" None (Hashmap.remove tx h 5));
+  Alcotest.(check (option int)) "gone" None (Hashmap.find h 5);
+  Alcotest.(check int) "cardinal" 9 (Hashmap.cardinal h);
+  check_valid h "after remove";
+  Alcotest.(check bool) "heap valid (entry freed)" true
+    (Heap.validate (Engine.heap e) = Ok ())
+
+let test_collisions () =
+  (* 256 buckets, 2000 keys: chains must work and stay consistent. *)
+  let e, h = make ~buckets:256 () in
+  for k = 0 to 1999 do
+    Engine.with_tx e (fun tx -> ignore (Hashmap.insert tx h k k))
+  done;
+  Alcotest.(check int) "all inserted" 2000 (Hashmap.cardinal h);
+  Alcotest.(check bool) "chains formed" true (Hashmap.max_chain h > 1);
+  for k = 0 to 1999 do
+    if Hashmap.find h k <> Some k then Alcotest.failf "key %d lost in chains" k
+  done;
+  (* delete every third key, including chain heads and middles *)
+  for k = 0 to 1999 do
+    if k mod 3 = 0 then Engine.with_tx e (fun tx -> ignore (Hashmap.remove tx h k))
+  done;
+  check_valid h "after chained removals";
+  for k = 0 to 1999 do
+    let expect = if k mod 3 = 0 then None else Some k in
+    if Hashmap.find h k <> expect then Alcotest.failf "key %d wrong after removals" k
+  done
+
+let test_find_tx_sees_own_writes () =
+  let e, h = make () in
+  Engine.with_tx e (fun tx ->
+      ignore (Hashmap.insert tx h 9 900);
+      Alcotest.(check (option int)) "visible in tx" (Some 900) (Hashmap.find_tx tx h 9))
+
+let test_abort_atomicity () =
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let e, h = make ~kind () in
+      Engine.with_tx e (fun tx ->
+          for k = 1 to 20 do
+            ignore (Hashmap.insert tx h k k)
+          done);
+      let tx = Engine.begin_tx e in
+      ignore (Hashmap.insert tx h 100 100);
+      ignore (Hashmap.remove tx h 7);
+      ignore (Hashmap.insert tx h 7 777);
+      Engine.abort tx;
+      Alcotest.(check (option int)) (name ^ ": inserted key gone") None (Hashmap.find h 100);
+      Alcotest.(check (option int)) (name ^ ": removed key restored") (Some 7)
+        (Hashmap.find h 7);
+      Alcotest.(check int) (name ^ ": cardinal restored") 20 (Hashmap.cardinal h);
+      check_valid h (name ^ " after abort"))
+    [ Engine.Undo_logging; Engine.Cow; Engine.Kamino_simple ]
+
+let test_crash_recovery () =
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let e, h = make ~kind () in
+      let h = ref h in
+      let rng = Rng.create 13 in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      for round = 1 to 400 do
+        let k = Rng.int rng 80 in
+        (match Rng.int rng 3 with
+        | 0 ->
+            Engine.with_tx e (fun tx -> ignore (Hashmap.insert tx !h k round));
+            model := M.add k round !model
+        | 1 ->
+            Engine.with_tx e (fun tx -> ignore (Hashmap.remove tx !h k));
+            model := M.remove k !model
+        | _ ->
+            Alcotest.(check (option int))
+              (Printf.sprintf "%s lookup %d" name k)
+              (M.find_opt k !model) (Hashmap.find !h k));
+        if round mod 80 = 0 then begin
+          Engine.crash e;
+          Engine.recover e;
+          h := Hashmap.attach e (Engine.root e);
+          check_valid !h (Printf.sprintf "%s after crash %d" name round)
+        end
+      done;
+      Alcotest.(check int) (name ^ ": final cardinal") (M.cardinal !model)
+        (Hashmap.cardinal !h);
+      M.iter
+        (fun k v ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s final %d" name k)
+            (Some v) (Hashmap.find !h k))
+        !model)
+    [
+      Engine.Undo_logging;
+      Engine.Kamino_simple;
+      Engine.Kamino_dynamic { alpha = 0.4; policy = Backup.Lru_policy };
+    ]
+
+let model_qcheck =
+  QCheck.Test.make ~name:"hashmap matches Map model" ~count:40
+    QCheck.(small_list (pair (int_range 0 300) (option small_int)))
+    (fun ops ->
+      let e, h = make ~buckets:256 () in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Some v ->
+              Engine.with_tx e (fun tx -> ignore (Hashmap.insert tx h k v));
+              model := M.add k v !model
+          | None ->
+              Engine.with_tx e (fun tx -> ignore (Hashmap.remove tx h k));
+              model := M.remove k !model)
+        ops;
+      Hashmap.validate h = Ok ()
+      && Hashmap.cardinal h = M.cardinal !model
+      && M.for_all (fun k v -> Hashmap.find h k = Some v) !model)
+
+let test_iter_complete () =
+  let e, h = make () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 50 do
+        ignore (Hashmap.insert tx h k (k * 2))
+      done);
+  let seen = ref [] in
+  Hashmap.iter h (fun k v ->
+      Alcotest.(check int) "value" (k * 2) v;
+      seen := k :: !seen);
+  Alcotest.(check (list int)) "all keys visited" (List.init 50 (fun i -> i + 1))
+    (List.sort compare !seen)
+
+let () =
+  Alcotest.run "hashmap"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "collision chains" `Quick test_collisions;
+          Alcotest.test_case "find_tx" `Quick test_find_tx_sees_own_writes;
+          Alcotest.test_case "iter" `Quick test_iter_complete;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "abort" `Quick test_abort_atomicity;
+          Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+          QCheck_alcotest.to_alcotest model_qcheck;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the persistent object heap: allocation, free lists, roots,
+   reopening, and structural validation. *)
+
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+
+let make ?(size = 1 lsl 20) () =
+  let clock = Clock.create () in
+  let r =
+    Region.create ~crash_mode:Region.Drop_unflushed ~rng:(Rng.create 1) ~clock ~size ()
+  in
+  (Heap.format r, r)
+
+let test_alloc_basic () =
+  let h, _ = make () in
+  let p = Heap.alloc h 100 in
+  Alcotest.(check bool) "non-null" true (p <> Heap.null);
+  Alcotest.(check bool) "allocated" true (Heap.is_allocated h p);
+  Alcotest.(check int) "rounded to class" 128 (Heap.capacity h p);
+  Alcotest.(check int) "one live object" 1 (Heap.live_objects h)
+
+let test_alloc_zeroed () =
+  let h, r = make () in
+  let p = Heap.alloc h 64 in
+  Region.write_string r p "garbage!";
+  Heap.free h p;
+  let q = Heap.alloc h 64 in
+  Alcotest.(check int) "reused slot" p q;
+  Alcotest.(check string) "payload zeroed on reuse"
+    (String.make 8 '\000')
+    (Region.read_string r q 8)
+
+let test_alloc_size_classes () =
+  let h, _ = make () in
+  List.iter
+    (fun (req, expect) ->
+      let p = Heap.alloc h req in
+      Alcotest.(check int) (Printf.sprintf "capacity for %d" req) expect (Heap.capacity h p))
+    [ (1, 32); (32, 32); (33, 64); (1000, 1024); (1024, 1024); (1025, 2048) ]
+
+let test_alloc_invalid () =
+  let h, _ = make () in
+  Alcotest.(check bool) "zero size rejected" true
+    (try
+       ignore (Heap.alloc h 0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "oversized rejected" true
+    (try
+       ignore (Heap.alloc h (Heap.max_object_size + 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_out_of_memory () =
+  let h, _ = make ~size:8192 () in
+  Alcotest.(check bool) "exhaustion raises Out_of_memory" true
+    (try
+       for _ = 1 to 10000 do
+         ignore (Heap.alloc h 1024)
+       done;
+       false
+     with Out_of_memory -> true)
+
+let test_free_and_reuse () =
+  let h, _ = make () in
+  let p1 = Heap.alloc h 256 in
+  let p2 = Heap.alloc h 256 in
+  Heap.free h p1;
+  Alcotest.(check bool) "freed not allocated" false (Heap.is_allocated h p1);
+  Alcotest.(check bool) "other untouched" true (Heap.is_allocated h p2);
+  let p3 = Heap.alloc h 256 in
+  Alcotest.(check int) "LIFO reuse of freed slot" p1 p3
+
+let test_free_invalid () =
+  let h, _ = make () in
+  let p = Heap.alloc h 64 in
+  Heap.free h p;
+  Alcotest.(check bool) "double free rejected" true
+    (try
+       Heap.free h p;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bogus pointer rejected" true
+    (try
+       Heap.free h 12345678;
+       false
+     with Invalid_argument _ -> true)
+
+let test_alloc_ranges_predicts () =
+  let h, _ = make () in
+  (* bump-allocation case *)
+  let p, ranges = Heap.alloc_ranges h 100 in
+  Alcotest.(check int) "prediction matches" p (Heap.alloc h 100);
+  Alcotest.(check int) "two ranges (bump + extent)" 2 (List.length ranges);
+  (* free-list case *)
+  Heap.free h p;
+  let q, ranges' = Heap.alloc_ranges h 100 in
+  Alcotest.(check int) "reuse predicted" p q;
+  Alcotest.(check int) "two ranges (head + extent)" 2 (List.length ranges');
+  Alcotest.(check int) "prediction matches on reuse" q (Heap.alloc h 100)
+
+let test_extent_covers_header_and_payload () =
+  let h, _ = make () in
+  let p = Heap.alloc h 500 in
+  let { Heap.off; len } = Heap.extent h p in
+  Alcotest.(check int) "extent starts at header" (p - 16) off;
+  Alcotest.(check int) "extent length" (16 + 512) len
+
+let test_root () =
+  let h, r = make () in
+  Alcotest.(check int) "null root initially" Heap.null (Heap.root h);
+  let p = Heap.alloc h 64 in
+  Heap.set_root h p;
+  Alcotest.(check int) "root set" p (Heap.root h);
+  (* the root pointer is persisted by set_root *)
+  Region.crash r;
+  let h' = Heap.open_existing r in
+  Alcotest.(check int) "root survives crash" p (Heap.root h')
+
+let test_reopen_preserves_objects () =
+  let h, r = make () in
+  let p = Heap.alloc h 64 in
+  Region.write_string r p "persistent";
+  Heap.set_root h p;
+  Region.persist_all r;
+  Region.crash r;
+  let h' = Heap.open_existing r in
+  Alcotest.(check bool) "still allocated" true (Heap.is_allocated h' p);
+  Alcotest.(check string) "data survived" "persistent" (Region.read_string r p 10)
+
+let test_open_bad_magic () =
+  let clock = Clock.create () in
+  let r =
+    Region.create ~crash_mode:Region.Drop_unflushed ~rng:(Rng.create 1) ~clock
+      ~size:(1 lsl 20) ()
+  in
+  Alcotest.(check bool) "unformatted region rejected" true
+    (try
+       ignore (Heap.open_existing r);
+       false
+     with Failure _ -> true)
+
+let test_live_bytes () =
+  let h, _ = make () in
+  let _ = Heap.alloc h 1024 in
+  let p = Heap.alloc h 32 in
+  Alcotest.(check int) "live bytes" (1024 + 32) (Heap.live_bytes h);
+  Heap.free h p;
+  Alcotest.(check int) "after free" 1024 (Heap.live_bytes h)
+
+let test_validate_ok () =
+  let h, _ = make () in
+  let ps = List.init 20 (fun i -> Heap.alloc h ((i mod 5) + 1 * 100)) in
+  List.iteri (fun i p -> if i mod 3 = 0 then Heap.free h p) ps;
+  match Heap.validate h with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid heap, got %s" e
+
+let test_validate_detects_corruption () =
+  let h, r = make () in
+  let p = Heap.alloc h 64 in
+  (* corrupt the capacity word of the object header *)
+  Region.write_int r (p - 16) 12345;
+  match Heap.validate h with
+  | Ok () -> Alcotest.fail "corruption not detected"
+  | Error _ -> ()
+
+let test_iter_objects () =
+  let h, _ = make () in
+  let p1 = Heap.alloc h 64 in
+  let p2 = Heap.alloc h 128 in
+  Heap.free h p1;
+  let seen = ref [] in
+  Heap.iter_objects h (fun p ~capacity ~allocated -> seen := (p, capacity, allocated) :: !seen);
+  Alcotest.(check (list (triple int int bool)))
+    "address-ordered walk"
+    [ (p1, 64, false); (p2, 128, true) ]
+    (List.rev !seen)
+
+(* Model-based property test: the heap agrees with a simple reference
+   allocator on which pointers are live, and validation always passes. *)
+let alloc_free_qcheck =
+  QCheck.Test.make ~name:"heap matches model allocator under random ops" ~count:60
+    QCheck.(small_list (pair bool small_int))
+    (fun ops ->
+      let h, _ = make () in
+      let live = Hashtbl.create 16 in
+      let live_list = ref [] in
+      List.iter
+        (fun (is_alloc, n) ->
+          if is_alloc || !live_list = [] then begin
+            let size = (n mod 2000) + 1 in
+            let p = Heap.alloc h size in
+            Hashtbl.replace live p ();
+            live_list := p :: !live_list
+          end
+          else begin
+            match !live_list with
+            | p :: rest ->
+                Heap.free h p;
+                Hashtbl.remove live p;
+                live_list := rest
+            | [] -> ()
+          end)
+        ops;
+      Heap.validate h = Ok ()
+      && Heap.live_objects h = Hashtbl.length live
+      && Hashtbl.fold (fun p () acc -> acc && Heap.is_allocated h p) live true)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "zeroed payloads" `Quick test_alloc_zeroed;
+          Alcotest.test_case "size classes" `Quick test_alloc_size_classes;
+          Alcotest.test_case "invalid sizes" `Quick test_alloc_invalid;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+          Alcotest.test_case "alloc_ranges predicts" `Quick test_alloc_ranges_predicts;
+          Alcotest.test_case "extent" `Quick test_extent_covers_header_and_payload;
+        ] );
+      ( "free",
+        [
+          Alcotest.test_case "free and reuse" `Quick test_free_and_reuse;
+          Alcotest.test_case "invalid frees" `Quick test_free_invalid;
+          Alcotest.test_case "live bytes" `Quick test_live_bytes;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "root" `Quick test_root;
+          Alcotest.test_case "reopen preserves objects" `Quick test_reopen_preserves_objects;
+          Alcotest.test_case "bad magic rejected" `Quick test_open_bad_magic;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "valid heap" `Quick test_validate_ok;
+          Alcotest.test_case "detects corruption" `Quick test_validate_detects_corruption;
+          Alcotest.test_case "iter objects" `Quick test_iter_objects;
+          QCheck_alcotest.to_alcotest alloc_free_qcheck;
+        ] );
+    ]

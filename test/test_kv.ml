@@ -1,0 +1,190 @@
+(* Tests for the key-value store: CRUD semantics under every engine kind,
+   crash recovery, and behaviour under the YCSB operation shapes. *)
+
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Kv = Kamino_kv.Kv
+module Rng = Kamino_sim.Rng
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 8 lsl 20;
+    log_slots = 64;
+    data_log_bytes = 2 lsl 20;
+  }
+
+let kinds =
+  [
+    Engine.No_logging;
+    Engine.Undo_logging;
+    Engine.Cow;
+    Engine.Kamino_simple;
+    Engine.Kamino_dynamic { alpha = 0.4; policy = Backup.Lru_policy };
+  ]
+
+let atomic_kinds = List.tl kinds
+
+let make ?(kind = Engine.Kamino_simple) () =
+  let e = Engine.create ~config ~kind ~seed:5 () in
+  Kv.create e ~value_size:256 ~node_size:512
+
+let for_each kinds f = List.iter (fun k -> f (Engine.kind_name k) (make ~kind:k ())) kinds
+
+let test_put_get () =
+  for_each kinds (fun name kv ->
+      Kv.put kv 1 "one";
+      Kv.put kv 2 "two";
+      Alcotest.(check (option string)) (name ^ ": get 1") (Some "one") (Kv.get kv 1);
+      Alcotest.(check (option string)) (name ^ ": get 2") (Some "two") (Kv.get kv 2);
+      Alcotest.(check (option string)) (name ^ ": absent") None (Kv.get kv 3);
+      Alcotest.(check int) (name ^ ": size") 2 (Kv.size kv))
+
+let test_overwrite () =
+  for_each kinds (fun name kv ->
+      Kv.put kv 7 "first";
+      Kv.put kv 7 "second version";
+      Alcotest.(check (option string)) (name ^ ": updated") (Some "second version")
+        (Kv.get kv 7);
+      Alcotest.(check int) (name ^ ": size stays 1") 1 (Kv.size kv))
+
+let test_delete () =
+  for_each kinds (fun name kv ->
+      Kv.put kv 1 "x";
+      Alcotest.(check bool) (name ^ ": delete present") true (Kv.delete kv 1);
+      Alcotest.(check bool) (name ^ ": delete absent") false (Kv.delete kv 1);
+      Alcotest.(check (option string)) (name ^ ": gone") None (Kv.get kv 1);
+      Alcotest.(check int) (name ^ ": size 0") 0 (Kv.size kv);
+      (* the freed value slot is reusable *)
+      Kv.put kv 2 "y";
+      Alcotest.(check (option string)) (name ^ ": reuse ok") (Some "y") (Kv.get kv 2))
+
+let test_rmw () =
+  for_each kinds (fun name kv ->
+      Kv.put kv 5 "counter:0";
+      Alcotest.(check bool) (name ^ ": rmw present") true
+        (Kv.read_modify_write kv 5 (fun s -> s ^ "+1"));
+      Alcotest.(check (option string)) (name ^ ": rmw applied") (Some "counter:0+1")
+        (Kv.get kv 5);
+      Alcotest.(check bool) (name ^ ": rmw absent") false
+        (Kv.read_modify_write kv 99 Fun.id))
+
+let test_value_size_enforced () =
+  let kv = make () in
+  Alcotest.(check bool) "oversized rejected" true
+    (try
+       Kv.put kv 1 (String.make 10_000 'x');
+       false
+     with Invalid_argument _ -> true)
+
+let test_iter () =
+  let kv = make () in
+  List.iter (fun (k, v) -> Kv.put kv k v) [ (3, "c"); (1, "a"); (2, "b") ];
+  let acc = ref [] in
+  Kv.iter kv (fun k v -> acc := (k, v) :: !acc);
+  Alcotest.(check (list (pair int string))) "ordered" [ (1, "a"); (2, "b"); (3, "c") ]
+    (List.rev !acc)
+
+let test_range () =
+  let kv = make () in
+  for k = 0 to 49 do
+    Kv.put kv (k * 2) (Printf.sprintf "v%d" (k * 2))
+  done;
+  let scan = Kv.range kv ~lo:10 ~hi:20 in
+  Alcotest.(check (list (pair int string))) "inclusive scan"
+    [ (10, "v10"); (12, "v12"); (14, "v14"); (16, "v16"); (18, "v18"); (20, "v20") ]
+    scan;
+  Alcotest.(check (list (pair int string))) "empty scan" [] (Kv.range kv ~lo:200 ~hi:300)
+
+let test_many_keys () =
+  for_each atomic_kinds (fun name kv ->
+      for k = 0 to 499 do
+        Kv.put kv k (Printf.sprintf "value-%d" k)
+      done;
+      Alcotest.(check int) (name ^ ": size") 500 (Kv.size kv);
+      for k = 0 to 499 do
+        match Kv.get kv k with
+        | Some v when v = Printf.sprintf "value-%d" k -> ()
+        | other ->
+            Alcotest.failf "%s: key %d wrong: %s" name k
+              (Option.value other ~default:"<none>")
+      done;
+      Alcotest.(check bool) (name ^ ": valid") true (Kv.validate kv = Ok ()))
+
+let test_crash_recover () =
+  for_each atomic_kinds (fun name kv ->
+      let e = Kv.engine kv in
+      for k = 0 to 99 do
+        Kv.put kv k (Printf.sprintf "v%d" k)
+      done;
+      Engine.crash e;
+      Engine.recover e;
+      let kv = Kv.reattach e in
+      Alcotest.(check int) (name ^ ": size after crash") 100 (Kv.size kv);
+      Alcotest.(check (option string)) (name ^ ": value intact") (Some "v42") (Kv.get kv 42);
+      Alcotest.(check bool) (name ^ ": valid after crash") true (Kv.validate kv = Ok ());
+      (* store is still writable after recovery *)
+      Kv.put kv 1000 "post-crash";
+      Alcotest.(check (option string)) (name ^ ": writable") (Some "post-crash")
+        (Kv.get kv 1000))
+
+let test_mixed_workload_with_crashes () =
+  for_each atomic_kinds (fun name kv ->
+      let e = Kv.engine kv in
+      let rng = Rng.create 31 in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      let kv = ref kv in
+      for round = 1 to 300 do
+        let k = Rng.int rng 60 in
+        (match Rng.int rng 4 with
+        | 0 ->
+            let v = Printf.sprintf "r%d-%d" round k in
+            Kv.put !kv k v;
+            model := M.add k v !model
+        | 1 ->
+            let deleted = Kv.delete !kv k in
+            Alcotest.(check bool) (name ^ ": delete agrees with model") (M.mem k !model)
+              deleted;
+            model := M.remove k !model
+        | 2 ->
+            Alcotest.(check (option string)) (name ^ ": get agrees") (M.find_opt k !model)
+              (Kv.get !kv k)
+        | _ ->
+            ignore (Kv.read_modify_write !kv k (fun s -> s ^ "!"));
+            model := M.update k (Option.map (fun s -> s ^ "!")) !model);
+        if round mod 60 = 0 then begin
+          Engine.crash e;
+          Engine.recover e;
+          kv := Kv.reattach e
+        end
+      done;
+      M.iter
+        (fun k v ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s: final key %d" name k)
+            (Some v) (Kv.get !kv k))
+        !model;
+      Alcotest.(check bool) (name ^ ": final valid") true (Kv.validate !kv = Ok ()))
+
+let () =
+  Alcotest.run "kv"
+    [
+      ( "crud",
+        [
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "read-modify-write" `Quick test_rmw;
+          Alcotest.test_case "value size enforced" `Quick test_value_size_enforced;
+          Alcotest.test_case "iter" `Quick test_iter;
+          Alcotest.test_case "range scan" `Quick test_range;
+          Alcotest.test_case "many keys" `Quick test_many_keys;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "crash and recover" `Quick test_crash_recover;
+          Alcotest.test_case "mixed workload with crashes" `Slow
+            test_mixed_workload_with_crashes;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the persistent hash table and the volatile LRU queue used by
+   the dynamic backup. *)
+
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+module Region = Kamino_nvm.Region
+module Phash = Kamino_core.Phash
+module Lru = Kamino_core.Lru
+
+let make ?(capacity = 64) ?(crash_mode = Region.Drop_unflushed) ?(seed = 1) () =
+  let clock = Clock.create () in
+  let r =
+    Region.create ~crash_mode ~rng:(Rng.create seed) ~clock
+      ~size:(Phash.required_size ~capacity) ()
+  in
+  (Phash.format r ~capacity, r)
+
+let test_insert_find_remove () =
+  let h, _ = make () in
+  Phash.insert h ~key:100 ~value:1;
+  Phash.insert h ~key:200 ~value:2;
+  Alcotest.(check (option int)) "find 100" (Some 1) (Phash.find h ~key:100);
+  Alcotest.(check (option int)) "find 200" (Some 2) (Phash.find h ~key:200);
+  Alcotest.(check (option int)) "absent" None (Phash.find h ~key:300);
+  Alcotest.(check int) "count" 2 (Phash.count h);
+  Alcotest.(check bool) "remove present" true (Phash.remove h ~key:100);
+  Alcotest.(check bool) "remove absent" false (Phash.remove h ~key:100);
+  Alcotest.(check (option int)) "gone" None (Phash.find h ~key:100);
+  Alcotest.(check int) "count after remove" 1 (Phash.count h)
+
+let test_overwrite () =
+  let h, _ = make () in
+  Phash.insert h ~key:5 ~value:10;
+  Phash.insert h ~key:5 ~value:20;
+  Alcotest.(check (option int)) "overwritten" (Some 20) (Phash.find h ~key:5);
+  Alcotest.(check int) "no duplicate" 1 (Phash.count h)
+
+let test_tombstone_reuse () =
+  let h, _ = make ~capacity:16 () in
+  (* Fill, delete, and re-insert repeatedly: tombstones must be reused, and
+     probing must still find keys past tombstones. *)
+  for round = 1 to 50 do
+    for k = 1 to 12 do
+      Phash.insert h ~key:(k * 1000) ~value:(round * k)
+    done;
+    for k = 1 to 12 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "round %d key %d" round k)
+        (Some (round * k))
+        (Phash.find h ~key:(k * 1000))
+    done;
+    for k = 1 to 12 do
+      ignore (Phash.remove h ~key:(k * 1000))
+    done
+  done;
+  Alcotest.(check int) "empty at end" 0 (Phash.count h)
+
+let test_invalid_key () =
+  let h, _ = make () in
+  Alcotest.(check bool) "non-positive key rejected" true
+    (try
+       Phash.insert h ~key:0 ~value:1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_persistence_across_crash () =
+  let h, r = make () in
+  Phash.insert h ~key:11 ~value:101;
+  Phash.insert h ~key:22 ~value:202;
+  ignore (Phash.remove h ~key:11);
+  Region.crash r;
+  let h' = Phash.open_existing r in
+  Alcotest.(check (option int)) "surviving entry" (Some 202) (Phash.find h' ~key:22);
+  Alcotest.(check (option int)) "removed entry gone" None (Phash.find h' ~key:11);
+  Alcotest.(check int) "count rebuilt" 1 (Phash.count h')
+
+let test_no_half_inserts_on_crash () =
+  (* The two-step publish discipline: whatever the crash timing, a key that
+     is visible must map to the value that was being inserted (never
+     garbage). *)
+  for seed = 1 to 60 do
+    let h, r = make ~crash_mode:Region.Words_survive_randomly ~seed () in
+    Phash.insert h ~key:7 ~value:70;
+    (* A second insert that may tear. *)
+    (try Phash.insert h ~key:9 ~value:90 with _ -> ());
+    Region.crash r;
+    let h' = Phash.open_existing r in
+    Alcotest.(check (option int)) "stable entry intact" (Some 70) (Phash.find h' ~key:7);
+    match Phash.find h' ~key:9 with
+    | None -> ()
+    | Some v -> Alcotest.(check int) "published value correct" 90 v
+  done
+
+let model_qcheck =
+  QCheck.Test.make ~name:"phash matches Hashtbl model" ~count:100
+    QCheck.(small_list (pair (int_range 1 50) (option small_int)))
+    (fun ops ->
+      let h, _ = make ~capacity:256 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Some v ->
+              Phash.insert h ~key:k ~value:v;
+              Hashtbl.replace model k v
+          | None ->
+              ignore (Phash.remove h ~key:k);
+              Hashtbl.remove model k)
+        ops;
+      Hashtbl.fold (fun k v acc -> acc && Phash.find h ~key:k = Some v) model true
+      && Phash.count h = Hashtbl.length model)
+
+let test_iter () =
+  let h, _ = make () in
+  Phash.insert h ~key:1 ~value:10;
+  Phash.insert h ~key:2 ~value:20;
+  let acc = ref [] in
+  Phash.iter h (fun ~key ~value -> acc := (key, value) :: !acc);
+  Alcotest.(check (list (pair int int))) "all entries" [ (1, 10); (2, 20) ]
+    (List.sort compare !acc)
+
+(* --- LRU --- *)
+
+let test_lru_order () =
+  let q = Lru.create () in
+  List.iter (Lru.touch q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "LRU is 1" (Some 1)
+    (Lru.evict_candidate q ~locked:(fun _ -> false));
+  Lru.touch q 1;
+  (* 1 becomes MRU; 2 is now LRU *)
+  Alcotest.(check (option int)) "after touch LRU is 2" (Some 2)
+    (Lru.evict_candidate q ~locked:(fun _ -> false))
+
+let test_lru_skips_locked () =
+  let q = Lru.create () in
+  List.iter (Lru.touch q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "skips locked LRU" (Some 2)
+    (Lru.evict_candidate q ~locked:(fun k -> k = 1));
+  Alcotest.(check (option int)) "all locked" None
+    (Lru.evict_candidate q ~locked:(fun _ -> true))
+
+let test_lru_remove () =
+  let q = Lru.create () in
+  List.iter (Lru.touch q) [ 1; 2; 3 ];
+  Lru.remove q 2;
+  Alcotest.(check int) "length" 2 (Lru.length q);
+  Alcotest.(check bool) "gone" false (Lru.mem q 2);
+  let order = ref [] in
+  Lru.iter_lru_order q (fun k -> order := k :: !order);
+  Alcotest.(check (list int)) "remaining order (MRU first)" [ 3; 1 ] !order
+
+let test_lru_remove_head_tail () =
+  let q = Lru.create () in
+  List.iter (Lru.touch q) [ 1; 2; 3 ];
+  Lru.remove q 3;
+  (* MRU *)
+  Lru.remove q 1;
+  (* LRU *)
+  Alcotest.(check (option int)) "middle remains" (Some 2)
+    (Lru.evict_candidate q ~locked:(fun _ -> false));
+  Lru.remove q 2;
+  Alcotest.(check (option int)) "empty" None (Lru.evict_candidate q ~locked:(fun _ -> false));
+  (* removing from empty is a no-op *)
+  Lru.remove q 2
+
+let lru_model_qcheck =
+  QCheck.Test.make ~name:"lru eviction order matches a list model" ~count:100
+    QCheck.(small_list (int_range 0 9))
+    (fun touches ->
+      let q = Lru.create () in
+      let model = ref [] in
+      List.iter
+        (fun k ->
+          Lru.touch q k;
+          model := k :: List.filter (fun x -> x <> k) !model)
+        touches;
+      let expect = match List.rev !model with [] -> None | k :: _ -> Some k in
+      Lru.evict_candidate q ~locked:(fun _ -> false) = expect)
+
+let () =
+  Alcotest.run "phash_lru"
+    [
+      ( "phash",
+        [
+          Alcotest.test_case "insert/find/remove" `Quick test_insert_find_remove;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "tombstone reuse" `Quick test_tombstone_reuse;
+          Alcotest.test_case "invalid key" `Quick test_invalid_key;
+          Alcotest.test_case "iter" `Quick test_iter;
+          QCheck_alcotest.to_alcotest model_qcheck;
+        ] );
+      ( "phash durability",
+        [
+          Alcotest.test_case "persists across crash" `Quick test_persistence_across_crash;
+          Alcotest.test_case "no half inserts" `Quick test_no_half_inserts_on_crash;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "order" `Quick test_lru_order;
+          Alcotest.test_case "skips locked" `Quick test_lru_skips_locked;
+          Alcotest.test_case "remove" `Quick test_lru_remove;
+          Alcotest.test_case "remove head/tail" `Quick test_lru_remove_head_tail;
+          QCheck_alcotest.to_alcotest lru_model_qcheck;
+        ] );
+    ]

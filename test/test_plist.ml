@@ -1,0 +1,163 @@
+(* Tests for the persistent doubly-linked list (the paper's Figure 4
+   example): ordering, link symmetry, transactional atomicity of the
+   relinking operations, and crash recovery. *)
+
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Heap = Kamino_heap.Heap
+module Plist = Kamino_index.Plist
+module Rng = Kamino_sim.Rng
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 1 lsl 20;
+    log_slots = 32;
+    data_log_bytes = 1 lsl 19;
+  }
+
+let kinds =
+  [
+    Engine.Undo_logging;
+    Engine.Cow;
+    Engine.Kamino_simple;
+    Engine.Kamino_dynamic { alpha = 0.4; policy = Backup.Lru_policy };
+  ]
+
+let make kind =
+  let e = Engine.create ~config ~kind ~seed:3 () in
+  let l =
+    Engine.with_tx e (fun tx ->
+        let l = Plist.create tx in
+        Engine.set_root tx (Plist.handle l);
+        l)
+  in
+  (e, l)
+
+let check_valid l ctx =
+  match Plist.validate l with Ok () -> () | Error e -> Alcotest.failf "%s: %s" ctx e
+
+let test_insert_ordered () =
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let e, l = make kind in
+      List.iter
+        (fun k ->
+          Engine.with_tx e (fun tx ->
+              Alcotest.(check bool) (name ^ ": insert") true
+                (Plist.insert tx l ~key:k ~value:(float_of_int k))))
+        [ 5; 1; 9; 3; 7 ];
+      Alcotest.(check (list (pair int (float 0.001))))
+        (name ^ ": sorted")
+        [ (1, 1.0); (3, 3.0); (5, 5.0); (7, 7.0); (9, 9.0) ]
+        (Plist.to_list l);
+      Alcotest.(check int) (name ^ ": length") 5 (Plist.length l);
+      Engine.with_tx e (fun tx ->
+          Alcotest.(check bool) (name ^ ": duplicate rejected") false
+            (Plist.insert tx l ~key:5 ~value:0.0));
+      check_valid l name)
+    kinds
+
+let test_delete_relinks () =
+  let e, l = make Engine.Kamino_simple in
+  List.iter
+    (fun k -> Engine.with_tx e (fun tx -> ignore (Plist.insert tx l ~key:k ~value:0.0)))
+    [ 1; 2; 3; 4 ];
+  (* middle, head, tail, absent *)
+  Engine.with_tx e (fun tx -> Alcotest.(check bool) "del middle" true (Plist.delete tx l ~key:2));
+  check_valid l "after middle delete";
+  Engine.with_tx e (fun tx -> Alcotest.(check bool) "del head" true (Plist.delete tx l ~key:1));
+  check_valid l "after head delete";
+  Engine.with_tx e (fun tx -> Alcotest.(check bool) "del tail" true (Plist.delete tx l ~key:4));
+  check_valid l "after tail delete";
+  Engine.with_tx e (fun tx -> Alcotest.(check bool) "del absent" false (Plist.delete tx l ~key:9));
+  Alcotest.(check (list (pair int (float 0.001)))) "one left" [ (3, 0.0) ] (Plist.to_list l);
+  (* freed nodes return to the allocator *)
+  Alcotest.(check bool) "heap valid" true (Heap.validate (Engine.heap e) = Ok ())
+
+let test_update_and_lookup () =
+  let e, l = make Engine.Undo_logging in
+  Engine.with_tx e (fun tx -> ignore (Plist.insert tx l ~key:10 ~value:1.5));
+  Alcotest.(check (option (float 0.001))) "lookup" (Some 1.5) (Plist.lookup l ~key:10);
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check bool) "update" true (Plist.update tx l ~key:10 ~value:2.5));
+  Alcotest.(check (option (float 0.001))) "updated" (Some 2.5) (Plist.lookup l ~key:10);
+  Alcotest.(check (option (float 0.001))) "absent" None (Plist.lookup l ~key:11);
+  Engine.with_tx e (fun tx ->
+      Alcotest.(check bool) "update absent" false (Plist.update tx l ~key:11 ~value:0.0))
+
+let test_abort_atomicity () =
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let e, l = make kind in
+      List.iter
+        (fun k -> Engine.with_tx e (fun tx -> ignore (Plist.insert tx l ~key:k ~value:0.0)))
+        [ 1; 3; 5 ];
+      let before = Plist.to_list l in
+      (* abort an insert that relinks the middle of the list *)
+      let tx = Engine.begin_tx e in
+      ignore (Plist.insert tx l ~key:2 ~value:9.9);
+      ignore (Plist.delete tx l ~key:5);
+      Engine.abort tx;
+      Alcotest.(check (list (pair int (float 0.001)))) (name ^ ": abort restores") before
+        (Plist.to_list l);
+      check_valid l (name ^ " after abort"))
+    kinds
+
+let test_crash_recovery_random_ops () =
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let e, l = make kind in
+      let l = ref l in
+      let rng = Rng.create 99 in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      for round = 1 to 300 do
+        let k = Rng.int rng 40 in
+        (match Rng.int rng 3 with
+        | 0 ->
+            let v = float_of_int round in
+            Engine.with_tx e (fun tx ->
+                if Plist.insert tx !l ~key:k ~value:v then model := M.add k v !model)
+        | 1 ->
+            Engine.with_tx e (fun tx ->
+                if Plist.delete tx !l ~key:k then model := M.remove k !model)
+        | _ ->
+            Engine.with_tx e (fun tx ->
+                if Plist.update tx !l ~key:k ~value:(float_of_int round) then
+                  model := M.add k (float_of_int round) !model));
+        if round mod 60 = 0 then begin
+          Engine.crash e;
+          Engine.recover e;
+          l := Plist.attach e (Engine.root e);
+          check_valid !l (Printf.sprintf "%s after crash %d" name round)
+        end
+      done;
+      Alcotest.(check int) (name ^ ": final length") (M.cardinal !model) (Plist.length !l);
+      M.iter
+        (fun k v ->
+          Alcotest.(check (option (float 0.001)))
+            (Printf.sprintf "%s: key %d" name k)
+            (Some v) (Plist.lookup !l ~key:k))
+        !model)
+    kinds
+
+let () =
+  Alcotest.run "plist"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "insert ordered" `Quick test_insert_ordered;
+          Alcotest.test_case "delete relinks" `Quick test_delete_relinks;
+          Alcotest.test_case "update and lookup" `Quick test_update_and_lookup;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "abort atomicity" `Quick test_abort_atomicity;
+          Alcotest.test_case "crash recovery random ops" `Quick
+            test_crash_recovery_random_ops;
+        ] );
+    ]
