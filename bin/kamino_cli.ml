@@ -86,7 +86,10 @@ let print_metrics e =
     m.Engine.committed m.Engine.aborted m.Engine.critical_path_copies m.Engine.backup_misses
     m.Engine.applier_tasks
     (float_of_int m.Engine.lock_wait_ns /. 1e3)
-    (float_of_int m.Engine.storage_bytes /. 1e6)
+    (float_of_int m.Engine.storage_bytes /. 1e6);
+  Printf.printf
+    "coalescing: %d ranges coalesced, %d tasks batched, %d copy bytes saved\n"
+    m.Engine.ranges_coalesced m.Engine.tasks_batched m.Engine.bytes_saved
 
 (* --- ycsb ------------------------------------------------------------------ *)
 

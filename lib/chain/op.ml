@@ -34,8 +34,10 @@ let encode op =
       Buffer.add_string buf v);
   Buffer.contents buf
 
+exception Decode_error of string
+
 let decode s =
-  let fail () = failwith "Op.decode: malformed command" in
+  let fail () = raise (Decode_error "Op.decode: malformed command") in
   let len = String.length s in
   if len < 9 then fail ();
   let int_at off = Int64.to_int (String.get_int64_le s off) in

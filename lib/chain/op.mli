@@ -25,7 +25,12 @@ val apply_tx : Kamino_core.Engine.tx -> t -> Kamino_kv.Kv.t -> unit
 (** [encode op] — wire bytes (tag, key, payload). *)
 val encode : t -> string
 
-(** [decode s] — inverse of [encode]. Raises [Failure] on garbage. *)
+(** Raised by {!decode} on malformed wire bytes — a dedicated exception so
+    callers (and tests) don't conflate wire corruption with the generic
+    [Failure] any library function may raise. *)
+exception Decode_error of string
+
+(** [decode s] — inverse of [encode]. Raises {!Decode_error} on garbage. *)
 val decode : string -> t
 
 val equal : t -> t -> bool

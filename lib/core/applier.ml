@@ -1,8 +1,6 @@
 module Region = Kamino_nvm.Region
 module Clock = Kamino_sim.Clock
 
-type apply_fn = tx_id:int -> slot:Intent_log.slot -> ranges:Intent_log.intent list -> unit
-
 type task = {
   id : int;
   tx_id : int;
@@ -10,6 +8,8 @@ type task = {
   ranges : Intent_log.intent list;
   finish : int;
 }
+
+type apply_fn = task list -> unit
 
 type t = {
   regions : Region.t list;
@@ -20,6 +20,7 @@ type t = {
   mutable next_id : int;
   mutable applied_through : int;
   mutable tasks_applied : int;
+  mutable tasks_batched : int;
 }
 
 let create ~regions ~apply =
@@ -32,6 +33,7 @@ let create ~regions ~apply =
     next_id = 1;
     applied_through = 0;
     tasks_applied = 0;
+    tasks_batched = 0;
   }
 
 let enqueue t ~commit_time ~cost_ns ~tx_id ~slot ~ranges =
@@ -50,21 +52,25 @@ let with_scratch_clock t f =
   List.iter (fun r -> Region.set_clock r t.scratch) t.regions;
   Fun.protect ~finally:(fun () -> List.iter (fun (r, c) -> Region.set_clock r c) saved) f
 
-let apply_task t task =
-  with_scratch_clock t (fun () ->
-      t.apply ~tx_id:task.tx_id ~slot:task.slot ~ranges:task.ranges);
-  t.applied_through <- task.id;
-  t.tasks_applied <- t.tasks_applied + 1
+let apply_batch t tasks =
+  match tasks with
+  | [] -> ()
+  | _ ->
+      with_scratch_clock t (fun () -> t.apply tasks);
+      let n = List.length tasks in
+      List.iter (fun task -> t.applied_through <- max t.applied_through task.id) tasks;
+      t.tasks_applied <- t.tasks_applied + n;
+      if n > 1 then t.tasks_batched <- t.tasks_batched + n
 
 let sync_through t task_id =
-  let continue = ref true in
-  while !continue do
+  let rec collect acc =
     match Queue.peek_opt t.queue with
     | Some task when task.id <= task_id ->
         ignore (Queue.pop t.queue);
-        apply_task t task
-    | Some _ | None -> continue := false
-  done
+        collect (task :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  apply_batch t (collect [])
 
 let drain t = sync_through t max_int
 
@@ -72,7 +78,7 @@ let drain_one t =
   match Queue.take_opt t.queue with
   | None -> None
   | Some task ->
-      apply_task t task;
+      apply_batch t [ task ];
       Some task.finish
 
 let applied_through t = t.applied_through
@@ -82,3 +88,5 @@ let virtual_now t = t.vnow
 let queued t = Queue.length t.queue
 
 let tasks_applied t = t.tasks_applied
+
+let tasks_batched t = t.tasks_batched

@@ -13,15 +13,33 @@
     happen when something needs them — a later write lock on an overlapping
     object, intent-log slot exhaustion, a crash-free shutdown), with their
     NVM work charged to a throwaway clock because the timeline already
-    accounted for it. Laziness matters for fidelity: a crash can land
-    between a commit and its propagation, and recovery must roll the backup
-    forward from the intent log, which the crash tests exercise. *)
+    accounted for it. When a drain finds several tasks queued it hands them
+    to the engine as one batch, letting the engine merge their ranges into a
+    single cross-region copy pass; each transaction's locks were already
+    scheduled to release at that transaction's own enqueue-time finish, so
+    batching the physical copies never weakens the dependency rule.
+    Laziness matters for fidelity: a crash can land between a commit and
+    its propagation, and recovery must roll the backup forward from the
+    intent log, which the crash tests exercise. *)
 
 type t
 
-(** What applying one task means — supplied by the engine: roll each range
-    forward into the backup, then release the intent-log slot. *)
-type apply_fn = tx_id:int -> slot:Intent_log.slot -> ranges:Intent_log.intent list -> unit
+(** A queued unit of propagation work: one committed transaction's
+    write-set ranges, plus the timeline instant its copy work finishes
+    (settled at enqueue). *)
+type task = {
+  id : int;
+  tx_id : int;
+  slot : Intent_log.slot;
+  ranges : Intent_log.intent list;
+  finish : int;
+}
+
+(** What applying a batch of tasks means — supplied by the engine: roll the
+    tasks' ranges forward into the backup (merging across tasks where
+    legal), then release each task's intent-log slot. Tasks arrive in
+    queue (ascending id) order and the batch is never empty. *)
+type apply_fn = task list -> unit
 
 (** [create ~regions ~apply] — [regions] are every region the [apply]
     callback touches; their clocks are swapped to a throwaway clock for the
@@ -41,15 +59,17 @@ val enqueue :
   int * int
 
 (** [sync_through t task_id] physically applies every queued task with id
-    [<= task_id]. No-op if already applied. *)
+    [<= task_id], handing them to the apply callback as one batch. No-op if
+    already applied. *)
 val sync_through : t -> int -> unit
 
-(** [drain t] applies everything queued. *)
+(** [drain t] applies everything queued as a single batch. *)
 val drain : t -> unit
 
-(** [drain_one t] applies the oldest queued task and returns its finish
-    time, or [None] if the queue is empty. Used when the intent log is out
-    of slots: the committing client waits (virtually) until this time. *)
+(** [drain_one t] applies the oldest queued task (a batch of one) and
+    returns its finish time, or [None] if the queue is empty. Used when the
+    intent log is out of slots: the committing client waits (virtually)
+    until this time. *)
 val drain_one : t -> int option
 
 (** Highest task id physically applied so far (0 if none). *)
@@ -61,3 +81,7 @@ val virtual_now : t -> int
 val queued : t -> int
 
 val tasks_applied : t -> int
+
+(** Number of tasks that were applied as part of a multi-task batch
+    (a batch of [n > 1] adds [n]). *)
+val tasks_batched : t -> int

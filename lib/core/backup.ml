@@ -151,6 +151,8 @@ let ensure_copy t ~main ~off ~len ~locked ~pressure =
           Phash.insert d.table ~key:off ~value:(pack_slot ~slot ~len);
           Lru.touch d.lru off)
 
+let is_full t = match t with Full _ -> true | Dynamic _ -> false
+
 let has_copy t ~off =
   match t with Full _ -> true | Dynamic d -> Phash.find d.table ~key:off <> None
 

@@ -52,6 +52,12 @@ val ensure_copy :
   pressure:(unit -> unit) ->
   unit
 
+(** [is_full t] — is this a full (whole-heap) backup? Full backups admit
+    byte-level range merging during propagation (any main-offset range can
+    be copied across); dynamic backups are object-keyed and require exact
+    [(off, len)] matches. *)
+val is_full : t -> bool
+
 (** [has_copy t ~off] — does a resident copy exist for the range starting
     at [off]? Always true for full backups. *)
 val has_copy : t -> off:int -> bool

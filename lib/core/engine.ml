@@ -32,6 +32,8 @@ type config = {
   check_intents : bool;
   flush_per_intent : bool;
   global_pending : bool;
+  coalesce_writes : bool;
+  lock_shards : int;
 }
 
 let default_config =
@@ -45,12 +47,21 @@ let default_config =
     check_intents = true;
     flush_per_intent = false;
     global_pending = false;
+    coalesce_writes = true;
+    lock_shards = 16;
   }
 
 (* One declared write intent of the active transaction. [cow] is the CoW
    working copy when the range is redirected; [None] means the range is
-   edited in place (always, for the non-CoW kinds). *)
-type irec = { r_off : int; r_len : int; mutable cow : Data_log.entry option }
+   edited in place (always, for the non-CoW kinds). [r_key] is the write
+   lock protecting the range (the owning object's extent for field-granular
+   intents) — the coalescer uses it to decide which gaps are safe to fill. *)
+type irec = {
+  r_off : int;
+  r_len : int;
+  r_key : int;
+  mutable cow : Data_log.entry option;
+}
 
 type t = {
   mutable e_kind : kind;
@@ -70,6 +81,8 @@ type t = {
   mutable active : tx option;
   mutable committed : int;
   mutable aborted : int;
+  mutable ranges_coalesced : int;
+  mutable bytes_saved : int;
   mutable last_write_keys : int list;
   mutable all_regions : Region.t list;
 }
@@ -116,7 +129,36 @@ let locks t = t.locks
 
 let root t = Heap.root t.heap
 
-let main_counters t = Region.counters t.main
+(* Aggregate NVM counters over every region of the stack (heap, logs,
+   backup): the whole point of coalescing and batching is to shrink the
+   copy and write-back traffic of the {e system}, most of which lands on
+   the backup and log regions, not the main heap. *)
+let main_counters t =
+  let agg =
+    {
+      Region.stores = 0;
+      bytes_stored = 0;
+      loads = 0;
+      bytes_loaded = 0;
+      lines_flushed = 0;
+      fences = 0;
+      bytes_copied = 0;
+      crashes = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      let c = Region.counters r in
+      agg.Region.stores <- agg.Region.stores + c.Region.stores;
+      agg.Region.bytes_stored <- agg.Region.bytes_stored + c.Region.bytes_stored;
+      agg.Region.loads <- agg.Region.loads + c.Region.loads;
+      agg.Region.bytes_loaded <- agg.Region.bytes_loaded + c.Region.bytes_loaded;
+      agg.Region.lines_flushed <- agg.Region.lines_flushed + c.Region.lines_flushed;
+      agg.Region.fences <- agg.Region.fences + c.Region.fences;
+      agg.Region.bytes_copied <- agg.Region.bytes_copied + c.Region.bytes_copied;
+      agg.Region.crashes <- agg.Region.crashes + c.Region.crashes)
+    t.all_regions;
+  agg
 
 let storage_bytes t = List.fold_left (fun acc r -> acc + Region.size r) 0 t.all_regions
 
@@ -130,13 +172,47 @@ let uses_data_log = function
   | Undo_logging | Cow -> true
   | No_logging | Kamino_simple | Kamino_dynamic _ | Intent_only -> false
 
+(* The applier hands every drain over as one batch of tasks; merging their
+   ranges into a single copy pass is what "batched backup propagation"
+   means. Only {e exact} merges (overlap / adjacency — the union covers
+   precisely the same bytes) are legal here: a gap-filling merge across
+   tasks could cover a third object an active transaction is updating in
+   place, and its uncommitted bytes must never reach the backup (an abort
+   would then restore them). Committed-but-queued ranges themselves are
+   safe to copy at any later time — [declare] applies every queued task
+   covering an object before the new transaction's first write to it, so no
+   queued range ever overlaps bytes an active transaction has modified.
+   Dynamic backups are object-keyed ([roll_forward] demands an exact
+   [(off, len)] resident match), so their batches only deduplicate
+   identical ranges, never merge bytes. *)
 let make_applier t =
-  let apply ~tx_id:_ ~slot ~ranges =
+  let apply tasks =
     let b = Option.get t.bkp and ilog = Option.get t.ilog in
+    let raw = List.concat_map (fun task -> task.Applier.ranges) tasks in
+    let merged =
+      if not t.e_config.coalesce_writes then raw
+      else if Backup.is_full b then Intent_log.coalesce raw
+      else begin
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun { Intent_log.off; len } ->
+            if Hashtbl.mem seen (off, len) then false
+            else begin
+              Hashtbl.add seen (off, len) ();
+              true
+            end)
+          raw
+      end
+    in
+    if t.e_config.coalesce_writes then begin
+      t.ranges_coalesced <- t.ranges_coalesced + (List.length raw - List.length merged);
+      t.bytes_saved <-
+        t.bytes_saved + (Intent_log.total_bytes raw - Intent_log.total_bytes merged)
+    end;
     List.iter
       (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
-      ranges;
-    Intent_log.release ilog slot
+      merged;
+    List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks
   in
   Applier.create ~regions:t.all_regions ~apply
 
@@ -197,7 +273,7 @@ let create ?(config = default_config) ~kind ~seed () =
       dlog_region;
       dlog;
       bkp;
-      locks = Locks.create ();
+      locks = Locks.create ~shards:config.lock_shards ();
       appl = None;
       clk;
       rng;
@@ -205,6 +281,8 @@ let create ?(config = default_config) ~kind ~seed () =
       active = None;
       committed = 0;
       aborted = 0;
+      ranges_coalesced = 0;
+      bytes_saved = 0;
       last_write_keys = [];
       all_regions;
     }
@@ -251,6 +329,68 @@ let persist_ranges region ranges =
     List.iter (fun r -> Region.flush region r.r_off r.r_len) ranges;
     Region.fence region
   end
+
+(* Append a write intent to the log, merging it into the immediately
+   preceding entry when legal (see {!Intent_log.add_intent_merged}). Log
+   entries stay an {e exact} union of the declared bytes: recovery's
+   cross-record disjointness argument forbids gap-filling — a widened
+   committed entry could overlap the incomplete transaction's torn bytes
+   and launder them into the backup before the rollback reads it. Dynamic
+   backups never merge at all: their recovery resolves ranges object by
+   object and needs each entry to match a resident copy exactly. *)
+let log_intent t slot ~off ~len =
+  let ilog = Option.get t.ilog in
+  let mergeable =
+    t.e_config.coalesce_writes
+    && match t.e_kind with
+       | Kamino_simple | Intent_only -> true
+       | No_logging | Undo_logging | Cow | Kamino_dynamic _ -> false
+  in
+  if mergeable then begin
+    let _, merged = Intent_log.add_intent_merged ilog slot { Intent_log.off; len } in
+    if merged then t.ranges_coalesced <- t.ranges_coalesced + 1
+  end
+  else Intent_log.add_intent ilog slot { Intent_log.off; len };
+  if t.e_config.flush_per_intent then Intent_log.barrier ilog slot
+
+(* Coalesce a committed write set before it is enqueued at the applier.
+   Exact overlap/adjacency merges are always safe (the union covers
+   precisely the same bytes). The 64 B line-threshold merge — two ranges
+   whose gap lies within one cache line become one range, gap included —
+   is applied only when both ranges belong to the same locked object
+   ([r_key]): the gap bytes then sit under this transaction's own write
+   lock, so they hold committed data whenever the (possibly lazy) copy
+   executes. A cross-object gap could cover a third, unrelated object that
+   an active transaction is updating in place, and its uncommitted bytes
+   must never reach the backup — an abort would restore them. *)
+let coalesce_write_set ranges =
+  let line = 64 in
+  let sorted =
+    List.sort (fun a b -> compare (a.r_off, a.r_len) (b.r_off, b.r_len)) ranges
+  in
+  match sorted with
+  | [] -> []
+  | first :: rest ->
+      let cell r = (r.r_off, r.r_len, Some r.r_key) in
+      let merged, last =
+        List.fold_left
+          (fun (acc, (coff, clen, ckey)) r ->
+            let cend = coff + clen in
+            let same_obj =
+              match ckey with Some k -> k = r.r_key | None -> false
+            in
+            if r.r_off <= cend then
+              let nlen = max cend (r.r_off + r.r_len) - coff in
+              (acc, (coff, nlen, if same_obj then ckey else None))
+            else if same_obj && r.r_off / line = (cend - 1) / line then
+              (acc, (coff, r.r_off + r.r_len - coff, ckey))
+            else ((coff, clen) :: acc, cell r))
+          ([], cell first) rest
+      in
+      let coff, clen, _ = last in
+      List.rev_map
+        (fun (off, len) -> { Intent_log.off; len })
+        ((coff, clen) :: merged)
 
 (* Modelled applier cost of propagating a committed write set: copy each
    range into the backup and issue its write-backs. The applier drains
@@ -377,8 +517,7 @@ let declare ?lock_key tx ~off ~len ~redirectable =
           (* Non-head chain replica: record the intent, edit in place; the
              chain's neighbours stand in for the backup at recovery. *)
           let slot = claim_slot tx in
-          Intent_log.add_intent (Option.get t.ilog) slot { Intent_log.off; len };
-          if t.e_config.flush_per_intent then Intent_log.barrier (Option.get t.ilog) slot;
+          log_intent t slot ~off ~len;
           None
       | Kamino_simple | Kamino_dynamic _ ->
           let appl = Option.get t.appl and b = Option.get t.bkp in
@@ -399,11 +538,10 @@ let declare ?lock_key tx ~off ~len ~redirectable =
           let slot = claim_slot tx in
           Backup.ensure_copy b ~main:t.main ~off ~len ~locked:(pinned t)
             ~pressure:(fun () -> Applier.drain appl);
-          Intent_log.add_intent (Option.get t.ilog) slot { Intent_log.off; len };
-          if t.e_config.flush_per_intent then Intent_log.barrier (Option.get t.ilog) slot;
+          log_intent t slot ~off ~len;
           None
     in
-    let r = { r_off = off; r_len = len; cow } in
+    let r = { r_off = off; r_len = len; r_key = lock_key; cow } in
     Hashtbl.add tx.by_key off r;
     if not (List.mem lock_key tx.lock_keys) then tx.lock_keys <- lock_key :: tx.lock_keys;
     tx.order <- r :: tx.order;
@@ -646,7 +784,21 @@ let commit tx =
         persist_ranges t.main ranges;
         Intent_log.mark ilog slot Intent_log.Committed;
         let iranges =
-          List.map (fun r -> { Intent_log.off = r.r_off; len = r.r_len }) ranges
+          match t.e_kind with
+          | Kamino_simple when t.e_config.coalesce_writes ->
+              (* Full backups copy at byte granularity, so the task carries
+                 the coalesced write set; the counters record how many
+                 ranges the pass eliminated and the net copy bytes it
+                 saved. Dynamic backups need the raw per-object ranges. *)
+              let merged = coalesce_write_set ranges in
+              t.ranges_coalesced <-
+                t.ranges_coalesced + (List.length ranges - List.length merged);
+              t.bytes_saved <-
+                t.bytes_saved
+                + (List.fold_left (fun acc r -> acc + r.r_len) 0 ranges
+                  - Intent_log.total_bytes merged);
+              merged
+          | _ -> List.map (fun r -> { Intent_log.off = r.r_off; len = r.r_len }) ranges
         in
         let task, finish_at =
           Applier.enqueue appl ~commit_time:(Clock.now t.clk)
@@ -723,7 +875,7 @@ let crash t =
   List.iter Region.crash t.all_regions
 
 let recover t =
-  t.locks <- Locks.create ();
+  t.locks <- Locks.create ~shards:t.e_config.lock_shards ();
   t.active <- None;
   t.heap <- Heap.open_existing t.main;
   (match t.e_kind with
@@ -895,6 +1047,9 @@ type metrics = {
   backup_misses : int;
   backup_evictions : int;
   applier_tasks : int;
+  tasks_batched : int;
+  ranges_coalesced : int;
+  bytes_saved : int;
   lock_wait_ns : int;
   lock_wait_events : int;
   storage_bytes : int;
@@ -910,6 +1065,9 @@ let metrics (t : t) =
     backup_misses = (match t.bkp with Some b -> Backup.misses b | None -> 0);
     backup_evictions = (match t.bkp with Some b -> Backup.evictions b | None -> 0);
     applier_tasks = (match t.appl with Some a -> Applier.tasks_applied a | None -> 0);
+    tasks_batched = (match t.appl with Some a -> Applier.tasks_batched a | None -> 0);
+    ranges_coalesced = t.ranges_coalesced;
+    bytes_saved = t.bytes_saved;
     lock_wait_ns = Locks.waits t.locks;
     lock_wait_events = Locks.wait_events t.locks;
     storage_bytes = storage_bytes t;

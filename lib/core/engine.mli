@@ -61,6 +61,13 @@ type config = {
   global_pending : bool;
       (** ablation: treat the whole heap as one pending unit — every
           transaction waits for full backup catch-up (coarse blocking) *)
+  coalesce_writes : bool;
+      (** coalesce each transaction's write set (sort + merge overlapping
+          and adjacent ranges, with a 64 B line-granularity threshold for
+          same-object gaps) before it reaches the intent log and the
+          applier, and merge consecutive applier tasks into one copy pass
+          when draining. Off = the raw per-declare path, for A/B benches. *)
+  lock_shards : int;  (** stripe count of the volatile lock table *)
 }
 
 val default_config : config
@@ -232,6 +239,13 @@ type metrics = {
   backup_misses : int;  (** dynamic-backup on-demand copies (critical path) *)
   backup_evictions : int;
   applier_tasks : int;  (** committed write sets propagated off-path *)
+  tasks_batched : int;
+      (** tasks applied as part of a multi-task drain batch *)
+  ranges_coalesced : int;
+      (** ranges eliminated by write-set coalescing (log-entry merges,
+          commit-time merges and cross-task batch merges) *)
+  bytes_saved : int;
+      (** net cross-region copy bytes avoided by coalescing and batching *)
   lock_wait_ns : int;
   lock_wait_events : int;
   storage_bytes : int;  (** total NVM footprint of the stack *)
@@ -241,7 +255,9 @@ val metrics : t -> metrics
 
 val storage_bytes : t -> int
 
-(** Counters of the main heap region (stores, flushes, fences, ...). *)
+(** Aggregated NVM counters (stores, flushes, fences, copies, ...) summed
+    over every region of the stack — main heap, logs and backup. The
+    returned record is a fresh snapshot; mutating it affects nothing. *)
 val main_counters : t -> Kamino_nvm.Region.counters
 
 (** Direct access for white-box tests. *)

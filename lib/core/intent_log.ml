@@ -17,7 +17,39 @@ type t = {
   (* Unflushed byte span of the slot being built, if any: slot index with
      the lowest and highest dirty offsets to flush at the next barrier. *)
   mutable unflushed : (slot * int * int) option;
+  (* Most recently appended entry of the record being built: (slot, entry
+     index, range). Valid only while the entry is still unflushed — the
+     condition under which an in-place rewrite is crash-safe (see
+     [add_intent_merged]). *)
+  mutable last_appended : (slot * int * intent) option;
 }
+
+(* --- Range coalescing ----------------------------------------------------- *)
+
+(* [coalesce ~line intents] sorts the ranges by offset and merges every
+   overlapping or adjacent pair; with [line > 1], two ranges are also merged
+   when the first ends in the same [line]-byte cache line in which the
+   second starts (so two fields of one line become one range, at the cost of
+   covering the gap bytes between them). The result is sorted and disjoint.
+   With [line = 1] the merge is exact: the output covers precisely the bytes
+   of the input, no more and no fewer. *)
+let coalesce ?(line = 1) intents =
+  let intents = List.filter (fun { len; _ } -> len > 0) intents in
+  match List.sort (fun a b -> compare (a.off, a.len) (b.off, b.len)) intents with
+  | [] -> []
+  | first :: rest ->
+      let merged, last =
+        List.fold_left
+          (fun (acc, cur) r ->
+            let cur_end = cur.off + cur.len in
+            if r.off <= cur_end || r.off / line = (cur_end - 1) / line then
+              (acc, { off = cur.off; len = max cur_end (r.off + r.len) - cur.off })
+            else (cur :: acc, r))
+          ([], first) rest
+      in
+      List.rev (last :: merged)
+
+let total_bytes intents = List.fold_left (fun acc { len; _ } -> acc + len) 0 intents
 
 let magic_value = 0x4B54584C4F475631L (* "KTXLOGV1" *)
 
@@ -111,6 +143,7 @@ let format region ~max_user_threads ~max_tx_entries ~n_slots =
       slot_size;
       free = Queue.create ();
       unflushed = None;
+      last_appended = None;
     }
   in
   rebuild_free t;
@@ -136,6 +169,7 @@ let open_existing region =
       slot_size = slot_size_of ~max_tx_entries;
       free = Queue.create ();
       unflushed = None;
+      last_appended = None;
     }
   in
   rebuild_free t;
@@ -162,6 +196,7 @@ let begin_record t ~tx_id =
       Region.write_int t.region (off + sh_state) (state_to_int Running);
       Region.write_int t.region (off + sh_count) 0;
       note_unflushed t slot off (off + slot_header_size);
+      t.last_appended <- None;
       Some slot
 
 let add_intent t slot { off; len } =
@@ -176,13 +211,55 @@ let add_intent t slot { off; len } =
   Region.write_int t.region (eoff + 8) len;
   Region.write_int64 t.region (eoff + 16) (check_of ~tx_id ~off ~len);
   Region.write_int t.region (base + sh_count) (n + 1);
-  note_unflushed t slot base (eoff + entry_size)
+  note_unflushed t slot base (eoff + entry_size);
+  t.last_appended <- Some (slot, n, { off; len })
+
+(* Append [i], or absorb it into the immediately preceding entry of [slot]
+   when the two overlap or adjoin exactly and that entry has never been
+   covered by a barrier. The in-place rewrite is crash-safe precisely in
+   that window: no barrier since the append means no transactional data
+   write has been issued under the entry's protection (writes barrier the
+   log first), so if a crash tears the rewritten entry and recovery
+   discards it, the bytes it covered hold only committed data and need no
+   roll-back. Merging never widens coverage beyond the union of the two
+   exact ranges — entries of distinct records must stay disjoint, or a
+   committed record's roll-forward could resurrect a torn write of the
+   crashed transaction (see DESIGN.md §7).
+
+   Returns the resulting durable entry and whether a merge (or containment)
+   absorbed the new range without appending. *)
+let add_intent_merged t slot ({ off; len } as i) =
+  let extendable =
+    match (t.unflushed, t.last_appended) with
+    | Some (s, _, _), Some (s', idx, prev) when s = slot && s' = slot -> Some (idx, prev)
+    | _ -> None
+  in
+  match extendable with
+  | Some (_, prev) when prev.off <= off && off + len <= prev.off + prev.len ->
+      (prev, true) (* contained: nothing to write *)
+  | Some (idx, prev) when off <= prev.off + prev.len && prev.off <= off + len ->
+      let noff = min off prev.off in
+      let nlen = max (off + len) (prev.off + prev.len) - noff in
+      let merged = { off = noff; len = nlen } in
+      let base = slot_off t slot in
+      let tx_id = slot_tx_id t slot in
+      let eoff = base + slot_header_size + (idx * entry_size) in
+      Region.write_int t.region eoff noff;
+      Region.write_int t.region (eoff + 8) nlen;
+      Region.write_int64 t.region (eoff + 16) (check_of ~tx_id ~off:noff ~len:nlen);
+      note_unflushed t slot eoff (eoff + entry_size);
+      t.last_appended <- Some (slot, idx, merged);
+      (merged, true)
+  | Some _ | None ->
+      add_intent t slot i;
+      (i, false)
 
 let barrier t slot =
   match t.unflushed with
   | Some (s, lo, hi) when s = slot ->
       Region.persist t.region lo (hi - lo);
-      t.unflushed <- None
+      t.unflushed <- None;
+      t.last_appended <- None
   | Some _ | None -> ()
 
 let mark t slot state =
@@ -213,6 +290,9 @@ let release t slot =
         true
     | Some _ | None -> false
   in
+  (match t.last_appended with
+  | Some (s, _, _) when s = slot -> t.last_appended <- None
+  | Some _ | None -> ());
   let off = slot_off t slot in
   Region.write_int t.region (off + sh_tx_id) 0;
   Region.write_int t.region (off + sh_state) (state_to_int Free);

@@ -22,6 +22,22 @@ type state = Free | Running | Committed | Aborted
 
 type intent = { off : int; len : int }
 
+(** [coalesce ?line intents] — the write-set coalescing pass: sorts the
+    ranges by offset and merges every overlapping or adjacent pair into one
+    range. With [line > 1] (the engine uses the 64 B cache-line size), two
+    ranges are additionally merged when the first ends in the same
+    [line]-byte line in which the second starts, so two fields of one cache
+    line become a single range (the merged range then covers the gap bytes
+    between them — safe wherever over-coverage is safe, e.g. backup
+    roll-forward from a consistent main heap). With the default [line = 1]
+    the merge is exact: the output covers precisely the input's bytes, no
+    more and no fewer. The result is sorted and disjoint. Ranges with
+    [len <= 0] are dropped. *)
+val coalesce : ?line:int -> intent list -> intent list
+
+(** Sum of the lengths of [intents]. *)
+val total_bytes : intent list -> int
+
 (** [required_size ~max_user_threads ~max_tx_entries ~n_slots] is the number
     of NVM bytes a log with those parameters occupies. *)
 val required_size : max_user_threads:int -> max_tx_entries:int -> n_slots:int -> int
@@ -48,6 +64,19 @@ val begin_record : t -> tx_id:int -> slot option
 (** [add_intent t slot intent] appends one entry (volatile until the next
     {!barrier}). Raises [Failure] if the slot is full ([max_tx_entries]). *)
 val add_intent : t -> slot -> intent -> unit
+
+(** [add_intent_merged t slot intent] appends [intent], but when it
+    overlaps or is adjacent to the entry appended immediately before — and
+    that entry is still unflushed — the two are merged in place into their
+    exact union instead of consuming a new entry. Returns the entry as
+    recorded and whether a merge (or containment skip) happened. The
+    in-place rewrite is crash-safe precisely because the previous entry has
+    not been covered by a {!barrier} yet: no data write has been issued
+    under its protection, so a torn rewrite can at worst invalidate an
+    entry whose bytes still hold only committed data. Never widens beyond
+    the union — recovery relies on committed records being disjoint from
+    the incomplete transaction's ranges. *)
+val add_intent_merged : t -> slot -> intent -> intent * bool
 
 (** [barrier t slot] makes the slot header and all entries appended since
     the previous barrier durable (one flush batch + one fence). Idempotent:

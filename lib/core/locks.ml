@@ -8,23 +8,41 @@ type entry = {
   mutable held_base : int;  (* release time saved while held open-ended *)
 }
 
+(* The table is striped into [shards] independent hash tables so that large
+   write sets spread their probe/insert cost instead of hammering one
+   table's buckets. Keys are NVM byte offsets; dropping the low 6 bits
+   before sharding keeps a cache line's worth of metadata words in one
+   shard while still spreading distinct objects. *)
 type t = {
-  table : (key, entry) Hashtbl.t;
+  shards : (key, entry) Hashtbl.t array;
   mutable waits : int;
   mutable wait_events : int;
 }
 
-let create () = { table = Hashtbl.create 4096; waits = 0; wait_events = 0 }
+let default_shards = 16
+
+let create ?(shards = default_shards) () =
+  let shards = max 1 shards in
+  {
+    shards = Array.init shards (fun _ -> Hashtbl.create (4096 / shards + 1));
+    waits = 0;
+    wait_events = 0;
+  }
+
+let shard_count t = Array.length t.shards
+
+let shard t key = t.shards.((key lsr 6) mod Array.length t.shards)
 
 let entry t key =
-  match Hashtbl.find_opt t.table key with
+  let table = shard t key in
+  match Hashtbl.find_opt table key with
   | Some e -> e
   | None ->
       let e =
         { writer_release = 0; reader_release = 0; active = false; last_task = -1;
           held_base = 0 }
       in
-      Hashtbl.add t.table key e;
+      Hashtbl.add table key e;
       e
 
 let record_wait t now target =
@@ -61,10 +79,14 @@ let release_reads t keys ~at =
     keys
 
 let held_by_active_tx t key =
-  match Hashtbl.find_opt t.table key with Some e -> e.active | None -> false
+  match Hashtbl.find_opt (shard t key) key with
+  | Some e -> e.active
+  | None -> false
 
 let last_writer_task t key =
-  match Hashtbl.find_opt t.table key with Some e -> e.last_task | None -> -1
+  match Hashtbl.find_opt (shard t key) key with
+  | Some e -> e.last_task
+  | None -> -1
 
 let set_last_writer_task t key id = (entry t key).last_task <- id
 

@@ -22,7 +22,13 @@ type t
 
 type key = int
 
-val create : unit -> t
+(** [create ?shards ()] builds a lock table striped into [shards]
+    (default 16) independent hash tables. A key's shard is selected from
+    its offset with the low 6 bits dropped, so the words of one cache line
+    land together while distinct objects spread across shards. *)
+val create : ?shards:int -> unit -> t
+
+val shard_count : t -> int
 
 (** [acquire_write t key ~now ~cost_ns] returns the virtual time at which
     the caller actually holds the write lock: [max now writer_release

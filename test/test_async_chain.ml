@@ -36,7 +36,7 @@ let test_op_decode_garbage () =
         (try
            ignore (Op.decode s);
            false
-         with Failure _ -> true))
+         with Op.Decode_error _ -> true))
     [ ""; "x"; "P\x01"; "Q" ^ String.make 16 '\x00'; "P" ^ String.make 20 '\xff' ]
 
 let test_op_apply () =

@@ -66,6 +66,31 @@ let test_locks_last_task () =
   Locks.set_last_writer_task l 3 42;
   Alcotest.(check int) "task recorded" 42 (Locks.last_writer_task l 3)
 
+let test_locks_striping () =
+  Alcotest.(check int) "default stripe count" 16 (Locks.shard_count (Locks.create ()));
+  Alcotest.(check int) "custom stripe count" 4
+    (Locks.shard_count (Locks.create ~shards:4 ()));
+  Alcotest.(check int) "degenerate request clamps to one shard" 1
+    (Locks.shard_count (Locks.create ~shards:0 ()));
+  (* semantics are shard-invariant: replay the same script against 1-shard
+     and 16-shard tables and compare every acquire result *)
+  let script =
+    List.init 200 (fun i -> ((i * 7919) mod 4096, i mod 3, 100 * i))
+  in
+  let run shards =
+    let l = Locks.create ~shards () in
+    List.map
+      (fun (key, op, now) ->
+        match op with
+        | 0 -> Locks.acquire_write l key ~now ~cost_ns:5.0
+        | 1 -> Locks.acquire_read l key ~now ~cost_ns:5.0
+        | _ ->
+            Locks.release_writes l [ key ] ~at:(now + 50);
+            0)
+      script
+  in
+  Alcotest.(check (list int)) "one shard agrees with sixteen" (run 1) (run 16)
+
 (* --- Applier -------------------------------------------------------------- *)
 
 let make_ilog () =
@@ -81,9 +106,12 @@ let test_applier_timeline () =
   let applied = ref [] in
   let a =
     Applier.create ~regions:[]
-      ~apply:(fun ~tx_id ~slot ~ranges:_ ->
-        applied := tx_id :: !applied;
-        Intent_log.release ilog slot)
+      ~apply:(fun tasks ->
+        List.iter
+          (fun task ->
+            applied := task.Applier.tx_id :: !applied;
+            Intent_log.release ilog task.Applier.slot)
+          tasks)
   in
   let slot1 = Option.get (Intent_log.begin_record ilog ~tx_id:1) in
   Intent_log.barrier ilog slot1;
@@ -107,7 +135,9 @@ let test_applier_timeline () =
 let test_applier_idle_gap () =
   let ilog = make_ilog () in
   let a =
-    Applier.create ~regions:[] ~apply:(fun ~tx_id:_ ~slot ~ranges:_ -> Intent_log.release ilog slot)
+    Applier.create ~regions:[]
+      ~apply:(fun tasks ->
+        List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks)
   in
   let slot = Option.get (Intent_log.begin_record ilog ~tx_id:1) in
   Intent_log.barrier ilog slot;
@@ -122,7 +152,9 @@ let test_applier_idle_gap () =
 let test_applier_drain_one () =
   let ilog = make_ilog () in
   let a =
-    Applier.create ~regions:[] ~apply:(fun ~tx_id:_ ~slot ~ranges:_ -> Intent_log.release ilog slot)
+    Applier.create ~regions:[]
+      ~apply:(fun tasks ->
+        List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks)
   in
   Alcotest.(check (option int)) "drain on empty" None (Applier.drain_one a);
   let slot = Option.get (Intent_log.begin_record ilog ~tx_id:1) in
@@ -130,17 +162,52 @@ let test_applier_drain_one () =
   Alcotest.(check (option int)) "drain_one returns finish" (Some f) (Applier.drain_one a);
   Alcotest.(check int) "slot released back" 8 (Intent_log.free_slots ilog)
 
+let test_applier_batching () =
+  let ilog = make_ilog () in
+  let batches = ref [] in
+  let a =
+    Applier.create ~regions:[]
+      ~apply:(fun tasks ->
+        batches := List.map (fun task -> task.Applier.tx_id) tasks :: !batches;
+        List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks)
+  in
+  let enqueue tx_id =
+    let slot = Option.get (Intent_log.begin_record ilog ~tx_id) in
+    Intent_log.barrier ilog slot;
+    ignore (Applier.enqueue a ~commit_time:0 ~cost_ns:10.0 ~tx_id ~slot ~ranges:[])
+  in
+  List.iter enqueue [ 1; 2; 3 ];
+  Applier.drain a;
+  Alcotest.(check (list (list int))) "one batch of three, in order" [ [ 1; 2; 3 ] ]
+    (List.rev !batches);
+  Alcotest.(check int) "batched tasks counted" 3 (Applier.tasks_batched a);
+  Alcotest.(check int) "all applied" 3 (Applier.tasks_applied a);
+  (* a single queued task drains as a batch of one and is not "batched" *)
+  enqueue 4;
+  Applier.drain a;
+  Alcotest.(check (list (list int))) "singleton batch" [ [ 1; 2; 3 ]; [ 4 ] ]
+    (List.rev !batches);
+  Alcotest.(check int) "singleton not counted as batched" 3 (Applier.tasks_batched a);
+  (* sync_through batches only the covered prefix *)
+  enqueue 5;
+  enqueue 6;
+  enqueue 7;
+  Applier.sync_through a (Applier.applied_through a + 2);
+  Alcotest.(check (list (list int))) "prefix batch" [ [ 1; 2; 3 ]; [ 4 ]; [ 5; 6 ] ]
+    (List.rev !batches);
+  Applier.drain a
+
 (* --- Backup --------------------------------------------------------------- *)
 
-let make_dynamic () =
+let make_dynamic ?(policy = Backup.Lru_policy) ?(slots_bytes = 16384) () =
   let clock = Clock.create () in
   let mk size =
     Region.create ~crash_mode:Region.Drop_unflushed ~rng:(Rng.create 2) ~clock ~size ()
   in
   let main = mk 65536 in
-  let slots = mk 16384 in
+  let slots = mk slots_bytes in
   let table = mk 8192 in
-  (Backup.create_dynamic ~slots ~table ~policy:Backup.Lru_policy, main)
+  (Backup.create_dynamic ~slots ~table ~policy, main)
 
 let no_pressure () = ()
 
@@ -203,6 +270,88 @@ let test_backup_stale_length_replaced () =
   Alcotest.(check string) "full-length restore" "old-size-contents!"
     (Region.read_string main 2048 18)
 
+(* --- Eviction-policy properties ------------------------------------------- *)
+
+(* A slots region of the minimum formattable size (data start 256 + 4096)
+   holds exactly three 1024-byte copies (16-byte header + 1024 capacity per
+   extent), so the fourth insertion must evict. *)
+let tight_slots_bytes = 4352
+let copy_len = 1000 (* class 1024 *)
+let tight_capacity = 3
+
+let offs_of_keys keys = List.map (fun k -> 1024 * k) keys
+
+(* Random insertion storm with a pinned subset. Whatever the policy and the
+   insertion/reinsertion order, a pinned resident copy must never be evicted
+   as long as the pinned set itself fits in the slots region. *)
+let pinned_never_evicted_qcheck policy name =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(small_list (int_bound 15))
+    (fun keys ->
+      let b, main = make_dynamic ~policy ~slots_bytes:tight_slots_bytes () in
+      (* Pin the first two distinct keys touched; everything else is fair
+         game for eviction. *)
+      let pinned = ref [] in
+      let locked off = List.mem off !pinned in
+      List.iter
+        (fun key ->
+          let off = 1024 * (key + 1) in
+          if List.length !pinned < tight_capacity - 1
+             && not (List.mem off !pinned)
+          then pinned := off :: !pinned;
+          Backup.ensure_copy b ~main ~off ~len:copy_len ~locked
+            ~pressure:(fun () -> ()))
+        keys;
+      List.for_all (fun off -> Backup.has_copy b ~off) !pinned
+      && Backup.resident b <= tight_capacity)
+
+(* [ensure_copy] must raise only when the pinned working set genuinely
+   exceeds the slots capacity — and must signal [pressure] first. With
+   [n] distinct pinned keys the storm succeeds iff [n <= capacity]. *)
+let exhaustion_iff_oversubscribed_qcheck policy name =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(int_bound 5)
+    (fun n ->
+      let b, main = make_dynamic ~policy ~slots_bytes:tight_slots_bytes () in
+      let offs = offs_of_keys (List.init n (fun i -> i + 1)) in
+      let locked off = List.mem off offs in
+      let pressured = ref false in
+      let raised =
+        try
+          List.iter
+            (fun off ->
+              Backup.ensure_copy b ~main ~off ~len:copy_len ~locked
+                ~pressure:(fun () -> pressured := true))
+            offs;
+          false
+        with Failure _ -> true
+      in
+      if n <= tight_capacity then (not raised) && not !pressured
+      else raised && !pressured)
+
+(* The observable LRU/FIFO distinction: fill to capacity with A, B, C,
+   re-touch A, then insert D. LRU evicts B (least recently used); FIFO
+   ignores the re-touch and evicts A (first in). *)
+let test_backup_policy_victim () =
+  let victim policy =
+    let b, main = make_dynamic ~policy ~slots_bytes:tight_slots_bytes () in
+    let ensure off =
+      Backup.ensure_copy b ~main ~off ~len:copy_len ~locked:(fun _ -> false)
+        ~pressure:no_pressure
+    in
+    let a, bk, c, d = (1024, 2048, 3072, 4096) in
+    ensure a; ensure bk; ensure c;
+    Alcotest.(check int) "filled to capacity" tight_capacity (Backup.resident b);
+    ensure a; (* hit: refreshes recency under LRU, a no-op under FIFO *)
+    ensure d;
+    Alcotest.(check int) "one eviction" 1 (Backup.evictions b);
+    List.filter (fun off -> not (Backup.has_copy b ~off)) [ a; bk; c; d ]
+  in
+  Alcotest.(check (list int)) "LRU evicts the stale key" [ 2048 ]
+    (victim Backup.Lru_policy);
+  Alcotest.(check (list int)) "FIFO evicts the oldest insertion" [ 1024 ]
+    (victim Backup.Fifo_policy)
+
 let test_backup_survives_crash () =
   let b, main = make_dynamic () in
   Region.write_string main 512 "precious";
@@ -231,12 +380,14 @@ let () =
           Alcotest.test_case "release monotone" `Quick test_locks_release_is_monotone;
           Alcotest.test_case "active tracking" `Quick test_locks_active_tracking;
           Alcotest.test_case "last task" `Quick test_locks_last_task;
+          Alcotest.test_case "striping is transparent" `Quick test_locks_striping;
         ] );
       ( "applier",
         [
           Alcotest.test_case "timeline" `Quick test_applier_timeline;
           Alcotest.test_case "idle gap" `Quick test_applier_idle_gap;
           Alcotest.test_case "drain one" `Quick test_applier_drain_one;
+          Alcotest.test_case "batched drain" `Quick test_applier_batching;
         ] );
       ( "backup",
         [
@@ -245,5 +396,21 @@ let () =
           Alcotest.test_case "eviction and pressure" `Quick test_backup_eviction_pressure;
           Alcotest.test_case "stale length replaced" `Quick test_backup_stale_length_replaced;
           Alcotest.test_case "survives crash" `Quick test_backup_survives_crash;
+        ] );
+      ( "eviction policy",
+        [
+          QCheck_alcotest.to_alcotest
+            (pinned_never_evicted_qcheck Backup.Lru_policy
+               "LRU: pinned copies survive eviction storms");
+          QCheck_alcotest.to_alcotest
+            (pinned_never_evicted_qcheck Backup.Fifo_policy
+               "FIFO: pinned copies survive eviction storms");
+          QCheck_alcotest.to_alcotest
+            (exhaustion_iff_oversubscribed_qcheck Backup.Lru_policy
+               "LRU: raises iff pinned set exceeds capacity, pressure first");
+          QCheck_alcotest.to_alcotest
+            (exhaustion_iff_oversubscribed_qcheck Backup.Fifo_policy
+               "FIFO: raises iff pinned set exceeds capacity, pressure first");
+          Alcotest.test_case "LRU vs FIFO victim" `Quick test_backup_policy_victim;
         ] );
     ]

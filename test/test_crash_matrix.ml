@@ -1,0 +1,245 @@
+(* Randomized crash matrix: engine kind x crash mode x coalescing flag.
+
+   For every cell of the matrix, seeded workloads run random transactions
+   and crash the machine at the points the coalescing pipeline makes
+   delicate — mid-transaction (intent entries possibly merged in place and
+   not yet flushed), right after commit (the whole write set queued but not
+   propagated), and mid-propagation (the applier's batch partially
+   retired). After each recovery the committed-state model must be intact;
+   at the end the backup invariant must hold.
+
+   The load-bearing claim of the write-set coalescing work is that it is
+   invisible to every outcome: each seed additionally runs twice, with
+   coalescing on and off, and the final committed byte images must be
+   identical (the workload's random draws never depend on engine
+   internals, so the two runs build the same model). *)
+
+module Rng = Kamino_sim.Rng
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Applier = Kamino_core.Applier
+module Backup = Kamino_core.Backup
+
+let base_config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 1 lsl 20;
+    log_slots = 16;
+    data_log_bytes = 1 lsl 18;
+  }
+
+(* Engine builders. The chain head is an [Intent_only] replica that commits
+   a little history and is then promoted to a Kamino-simple head (fresh
+   full backup + applier), which is how §5.2 creates one — from then on it
+   crashes and recovers like any other head. *)
+let make_simple config seed = Engine.create ~config ~kind:Engine.Kamino_simple ~seed ()
+
+let make_dynamic config seed =
+  Engine.create ~config
+    ~kind:(Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy })
+    ~seed ()
+
+let make_chain_head config seed =
+  let e = Engine.create ~config ~kind:Engine.Intent_only ~seed () in
+  for i = 1 to 3 do
+    Engine.with_tx e (fun tx ->
+        let p = Engine.alloc tx 64 in
+        Engine.write_int64 tx p 0 (Int64.of_int i))
+  done;
+  Engine.promote_to_kamino e;
+  e
+
+type model = (Heap.ptr, int * int64) Hashtbl.t
+
+let verify_model e (model : model) context =
+  Hashtbl.iter
+    (fun p (size, stamp) ->
+      if not (Heap.is_allocated (Engine.heap e) p) then
+        Alcotest.failf "%s: committed object %d lost" context p;
+      for w = 0 to (size / 8) - 1 do
+        let v = Engine.peek_int64 e p (w * 8) in
+        if v <> stamp then
+          Alcotest.failf "%s: object %d word %d is %Ld, expected %Ld" context p w v
+            stamp
+      done)
+    model;
+  match Heap.validate (Engine.heap e) with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "%s: heap invalid: %s" context err
+
+let stamp_object tx p size stamp =
+  for w = 0 to (size / 8) - 1 do
+    Engine.write_int64 tx p (w * 8) stamp
+  done
+
+(* One random transaction. Field-granular updates (several small, possibly
+   overlapping strided declares before the writes) are deliberately common:
+   they are what the coalescer actually merges. Returns the model mutation
+   to apply if the transaction commits. *)
+let random_tx rng e (model : model) =
+  let tx = Engine.begin_tx e in
+  let pending = ref [] in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+  let keys = List.sort compare keys in
+  let n_ops = 1 + Rng.int rng 3 in
+  for _ = 1 to n_ops do
+    match Rng.int rng 10 with
+    | 0 | 1 ->
+        let size = [| 32; 64; 256 |].(Rng.int rng 3) in
+        let p = Engine.alloc tx size in
+        let stamp = Rng.int64 rng in
+        stamp_object tx p size stamp;
+        pending := `Put (p, size, stamp) :: !pending
+    | 2 when keys <> [] ->
+        let p = List.nth keys (Rng.int rng (List.length keys)) in
+        if not (List.exists (function `Put (q, _, _) | `Del q -> q = p) !pending)
+        then begin
+          Engine.free tx p;
+          pending := `Del p :: !pending
+        end
+    | _ when keys <> [] ->
+        let p = List.nth keys (Rng.int rng (List.length keys)) in
+        if not (List.exists (function `Del q -> q = p | `Put _ -> false) !pending)
+        then begin
+          let size, _ = Hashtbl.find model p in
+          let stamp = Rng.int64 rng in
+          (* Half the time declare word-by-word (adjacent 8-byte intents the
+             log merges), half the time whole-object. *)
+          if Rng.bool rng then
+            for w = 0 to (size / 8) - 1 do
+              Engine.add_field tx p (w * 8) 8
+            done
+          else Engine.add tx p;
+          stamp_object tx p size stamp;
+          pending := `Put (p, size, stamp) :: !pending
+        end
+    | _ -> ()
+  done;
+  (tx, !pending)
+
+let apply_to_model model pending =
+  List.iter
+    (function
+      | `Put (p, size, stamp) -> Hashtbl.replace model p (size, stamp)
+      | `Del p -> Hashtbl.remove model p)
+    (List.rev pending)
+
+let crash_recover e = Engine.crash e; Engine.recover e
+
+(* One seeded workload; returns the final committed byte image, sorted by
+   object, for cross-run comparison. *)
+let run_workload ~make_engine ~crash_mode ~coalesce ~seed ~rounds context =
+  let config = { base_config with Engine.crash_mode; coalesce_writes = coalesce } in
+  let rng = Rng.create seed in
+  let e = make_engine config (seed + 1000) in
+  let model : model = Hashtbl.create 64 in
+  for round = 1 to rounds do
+    let context = Printf.sprintf "%s seed=%d round=%d" context seed round in
+    match Rng.int rng 12 with
+    | 0 ->
+        (* crash mid-transaction: intents (possibly merged in place) may be
+           unflushed, in-place writes may be torn *)
+        let _tx, _pending = random_tx rng e model in
+        crash_recover e;
+        verify_model e model (context ^ " (mid-tx crash)")
+    | 1 ->
+        (* crash mid-propagation: the write set is committed and queued but
+           nothing has been applied *)
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending;
+        crash_recover e;
+        verify_model e model (context ^ " (pre-propagation crash)")
+    | 2 ->
+        (* crash mid-propagation with a partially retired queue: several
+           committed write sets, one applied, the rest still pending *)
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending;
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending;
+        (match Engine.applier e with
+        | Some a -> ignore (Applier.drain_one a)
+        | None -> ());
+        crash_recover e;
+        verify_model e model (context ^ " (mid-propagation crash)")
+    | 3 ->
+        let tx, _pending = random_tx rng e model in
+        Engine.abort tx;
+        verify_model e model (context ^ " (abort)")
+    | 4 ->
+        let tx, _pending = random_tx rng e model in
+        Engine.abort tx;
+        crash_recover e;
+        verify_model e model (context ^ " (post-abort crash)")
+    | 5 ->
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending;
+        crash_recover e;
+        crash_recover e;
+        verify_model e model (context ^ " (double crash)")
+    | _ ->
+        let tx, pending = random_tx rng e model in
+        Engine.commit tx;
+        apply_to_model model pending
+  done;
+  Engine.drain_backup e;
+  verify_model e model (Printf.sprintf "%s seed=%d final" context seed);
+  (match Engine.verify_backup e with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "%s seed=%d: %s" context seed err);
+  Hashtbl.fold (fun p (size, _) acc -> (p, size, Engine.peek_bytes e p 0 size) :: acc)
+    model []
+  |> List.sort compare
+
+let seeds = List.init 17 (fun i -> i + 1)
+
+let matrix_case name make_engine crash_mode () =
+  List.iter
+    (fun seed ->
+      let image_on =
+        run_workload ~make_engine ~crash_mode ~coalesce:true ~seed ~rounds:40
+          (name ^ "/coalesce")
+      in
+      let image_off =
+        run_workload ~make_engine ~crash_mode ~coalesce:false ~seed ~rounds:40
+          (name ^ "/raw")
+      in
+      if image_on <> image_off then
+        Alcotest.failf
+          "%s seed=%d: coalescing changed the final committed state (%d vs %d objects)"
+          name seed (List.length image_on) (List.length image_off))
+    seeds
+
+let () =
+  let kinds =
+    [
+      ("simple", make_simple);
+      ("dynamic", make_dynamic);
+      ("chain-head", make_chain_head);
+    ]
+  in
+  let modes =
+    [
+      ("drop-unflushed", Region.Drop_unflushed);
+      ("words-random", Region.Words_survive_randomly);
+    ]
+  in
+  let cases =
+    List.concat_map
+      (fun (kname, make_engine) ->
+        List.map
+          (fun (mname, mode) ->
+            let name = Printf.sprintf "%s x %s" kname mname in
+            Alcotest.test_case
+              (Printf.sprintf "%s (%d seeds, coalescing on+off)" name
+                 (List.length seeds))
+              `Slow
+              (matrix_case name make_engine mode))
+          modes)
+      kinds
+  in
+  Alcotest.run "crash_matrix" [ ("matrix", cases) ]
