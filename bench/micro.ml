@@ -67,13 +67,13 @@ let coalescing_run ~coalesce =
      re-touched, one full round later) and the periodic drains see
      multi-task batches. *)
   let groups =
-    List.init 8 (fun _ ->
+    Array.init 8 (fun _ ->
         Engine.with_tx e (fun tx -> List.init 8 (fun _ -> Engine.alloc tx 1024)))
   in
   Engine.drain_backup e;
   let base = Engine.main_counters e in
   for i = 1 to 256 do
-    let objs = List.nth groups (i mod 8) in
+    let objs = groups.(i mod 8) in
     Engine.with_tx e (fun tx ->
         (* Declare first, write after: consecutive declares keep the log's
            entry-merge window open (the pre-write barrier closes it). The

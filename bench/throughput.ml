@@ -1,0 +1,224 @@
+(* Wall-clock throughput bench: real OCaml execution speed of the engine
+   stack, measured next to the simulated cost model.
+
+   The figure benches (`main.exe`) report *simulated* nanoseconds — the
+   numbers the paper's shapes are judged on.  This harness answers the
+   orthogonal question the ROADMAP's "as fast as the hardware allows" goal
+   needs answered: how many transactions per *real* second does the runtime
+   execute, and how much does it allocate per operation?  It drives YCSB
+   A/B/C and the TPC-C mix through every engine kind for a fixed wall-clock
+   budget per cell and writes a machine-readable `BENCH_throughput.json` so
+   successive PRs have a trajectory to regress against.
+
+   The invariant that makes the two columns comparable (DESIGN.md §8): a
+   wall-clock optimization must leave every simulated counter and simulated
+   nanosecond untouched, so `sim_ns_per_op` stays constant across PRs while
+   `ops_per_sec` is supposed to climb.
+
+   Usage: throughput.exe [--budget SECONDS] [--out PATH] [--records N]
+   Exit status is non-zero if any cell completes zero transactions (the CI
+   smoke gate). *)
+
+module Rng = Kamino_sim.Rng
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Region = Kamino_nvm.Region
+module Kv = Kamino_kv.Kv
+module Ycsb = Kamino_workload.Ycsb
+module Tpcc = Kamino_workload.Tpcc
+
+let kinds =
+  [
+    ("no-logging", Engine.No_logging);
+    ("undo-logging", Engine.Undo_logging);
+    ("cow", Engine.Cow);
+    ("kamino-simple", Engine.Kamino_simple);
+    ("kamino-dyn-50", Engine.Kamino_dynamic { alpha = 0.5; policy = Backup.Lru_policy });
+  ]
+
+type cell = {
+  engine : string;
+  workload : string;
+  ops : int;
+  wall_ns : float;
+  ops_per_sec : float;
+  alloc_words_per_op : float;
+  sim_ns_per_op : float;
+  counters : Region.counters;  (* aggregate deltas over the measured window *)
+}
+
+let config records =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = max (8 * 1024 * 1024) (records * 1024);
+    log_slots = 256;
+    data_log_bytes = 8 * 1024 * 1024;
+  }
+
+let sub_counters a b =
+  {
+    Region.stores = a.Region.stores - b.Region.stores;
+    bytes_stored = a.Region.bytes_stored - b.Region.bytes_stored;
+    loads = a.Region.loads - b.Region.loads;
+    bytes_loaded = a.Region.bytes_loaded - b.Region.bytes_loaded;
+    lines_flushed = a.Region.lines_flushed - b.Region.lines_flushed;
+    fences = a.Region.fences - b.Region.fences;
+    bytes_copied = a.Region.bytes_copied - b.Region.bytes_copied;
+    crashes = a.Region.crashes - b.Region.crashes;
+  }
+
+(* Run [step] repeatedly until [budget_s] wall-clock seconds elapse or
+   [max_ops] operations complete, checking the clock once per 32-op batch so
+   the timing overhead stays out of the measured loop. The op cap exists for
+   workloads with net heap growth (TPC-C accumulates undelivered orders):
+   the cap is sized so the heap cannot fill within a run, however fast the
+   engine gets. *)
+let measure ?(max_ops = max_int) ~engine_name ~workload ~budget_s e step =
+  (* Warm up: fault in code paths and let lazy structures settle. *)
+  for _ = 1 to 64 do
+    step ()
+  done;
+  Engine.drain_backup e;
+  Gc.minor ();
+  let c0 = Engine.main_counters e in
+  let sim0 = Engine.now e in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. budget_s in
+  let ops = ref 0 in
+  let t1 = ref t0 in
+  while !t1 < deadline && !ops < max_ops do
+    for _ = 1 to 32 do
+      step ()
+    done;
+    ops := !ops + 32;
+    t1 := Unix.gettimeofday ()
+  done;
+  let wall_s = !t1 -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let sim_ns = Engine.now e - sim0 in
+  let c1 = Engine.main_counters e in
+  let per x = if !ops = 0 then 0.0 else x /. float_of_int !ops in
+  {
+    engine = engine_name;
+    workload;
+    ops = !ops;
+    wall_ns = wall_s *. 1e9;
+    ops_per_sec = (if wall_s <= 0.0 then 0.0 else float_of_int !ops /. wall_s);
+    alloc_words_per_op = per words;
+    sim_ns_per_op = per (float_of_int sim_ns);
+    counters = sub_counters c1 c0;
+  }
+
+let ycsb_cell ~budget_s ~records (engine_name, kind) wl =
+  let e = Engine.create ~config:(config records) ~kind ~seed:90210 () in
+  let kv = Kv.create e ~value_size:256 ~node_size:1024 in
+  let payload = String.make 240 'k' in
+  for k = 0 to records - 1 do
+    Kv.put kv k payload
+  done;
+  Engine.drain_backup e;
+  let w = Ycsb.create wl ~record_count:records ~theta:0.99 in
+  let rng = Rng.create 777 in
+  let step () =
+    match Ycsb.next w rng with
+    | Ycsb.Read k -> ignore (Kv.get kv k)
+    | Ycsb.Update k | Ycsb.Insert k -> Kv.put kv k payload
+    | Ycsb.Scan (k, n) -> ignore (Kv.range kv ~lo:k ~hi:(k + n))
+    | Ycsb.Rmw k -> ignore (Kv.read_modify_write kv k Fun.id)
+  in
+  measure ~engine_name ~workload:("ycsb-" ^ String.lowercase_ascii (Ycsb.name wl))
+    ~budget_s e step
+
+let tpcc_cell ~budget_s ~records:_ (engine_name, kind) =
+  (* TPC-C grows the heap (~200 net bytes per mix op from undelivered
+     orders), so give it a roomy heap and cap ops well below capacity. *)
+  let cfg = { (config 4096) with Engine.heap_bytes = 64 * 1024 * 1024 } in
+  let e = Engine.create ~config:cfg ~kind ~seed:90210 () in
+  let rng = Rng.create 777 in
+  let t =
+    Tpcc.setup e ~warehouses:1 ~districts_per_w:4 ~customers_per_district:20 ~items:200
+      ~rng
+  in
+  let step () = ignore (Tpcc.run_mix t rng) in
+  measure ~max_ops:150_000 ~engine_name ~workload:"tpcc" ~budget_s e step
+
+let json_of_cell c =
+  let n = c.counters in
+  Printf.sprintf
+    {|    {"engine": "%s", "workload": "%s", "ops": %d, "wall_ns": %.0f,
+     "ops_per_sec": %.1f, "alloc_words_per_op": %.1f, "sim_ns_per_op": %.1f,
+     "counters": {"stores": %d, "bytes_stored": %d, "loads": %d, "bytes_loaded": %d,
+                  "lines_flushed": %d, "fences": %d, "bytes_copied": %d}}|}
+    c.engine c.workload c.ops c.wall_ns c.ops_per_sec c.alloc_words_per_op
+    c.sim_ns_per_op n.Region.stores n.Region.bytes_stored n.Region.loads
+    n.Region.bytes_loaded n.Region.lines_flushed n.Region.fences n.Region.bytes_copied
+
+let () =
+  let budget = ref 0.4 and out = ref "BENCH_throughput.json" and records = ref 4096 in
+  let engine_filter = ref "" and workload_filter = ref "" in
+  let rec parse = function
+    | [] -> ()
+    | "--budget" :: v :: rest ->
+        budget := float_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--records" :: v :: rest ->
+        records := int_of_string v;
+        parse rest
+    | "--engine" :: v :: rest ->
+        engine_filter := v;
+        parse rest
+    | "--workload" :: v :: rest ->
+        workload_filter := v;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "throughput.exe: unknown argument %s\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let budget_s = !budget and records = !records in
+  let kinds =
+    List.filter (fun (name, _) -> !engine_filter = "" || name = !engine_filter) kinds
+  in
+  let want_wl name = !workload_filter = "" || name = !workload_filter in
+  Printf.printf
+    "wall-clock throughput: %d records, %.2fs budget per cell, %d engine kinds\n%!"
+    records budget_s (List.length kinds);
+  let cells =
+    List.concat_map
+      (fun kind ->
+        let ycsb =
+          List.filter_map
+            (fun (name, wl) ->
+              if want_wl name then Some (ycsb_cell ~budget_s ~records kind wl) else None)
+            [ ("ycsb-a", Ycsb.A); ("ycsb-b", Ycsb.B); ("ycsb-c", Ycsb.C) ]
+        in
+        let row =
+          ycsb @ (if want_wl "tpcc" then [ tpcc_cell ~budget_s ~records kind ] else [])
+        in
+        List.iter
+          (fun c ->
+            Printf.printf "  %-14s %-7s %9.0f ops/s  %7.1f words/op  %8.0f sim-ns/op\n%!"
+              c.engine c.workload c.ops_per_sec c.alloc_words_per_op c.sim_ns_per_op)
+          row;
+        row)
+      kinds
+  in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"kamino-throughput-v1\",\n  \"budget_s\": %.3f,\n  \
+     \"records\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    budget_s records
+    (String.concat ",\n" (List.map json_of_cell cells));
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" !out (List.length cells);
+  let dead = List.filter (fun c -> c.ops = 0) cells in
+  if dead <> [] then begin
+    List.iter
+      (fun c -> Printf.eprintf "FAIL: %s/%s completed zero transactions\n" c.engine c.workload)
+      dead;
+    exit 1
+  end

@@ -12,10 +12,11 @@ type task = {
 type apply_fn = task list -> unit
 
 type t = {
-  regions : Region.t list;
+  regions : Region.t array;
   apply : apply_fn;
   queue : task Queue.t;
   scratch : Clock.t;  (* absorbs NVM costs of lazy application *)
+  mutable saved_clocks : Clock.t array;  (* reused across applications *)
   mutable vnow : int;
   mutable next_id : int;
   mutable applied_through : int;
@@ -24,11 +25,13 @@ type t = {
 }
 
 let create ~regions ~apply =
+  let scratch = Clock.create () in
   {
     regions;
     apply;
     queue = Queue.create ();
-    scratch = Clock.create ();
+    scratch;
+    saved_clocks = Array.make (max 1 (Array.length regions)) scratch;
     vnow = 0;
     next_id = 1;
     applied_through = 0;
@@ -46,11 +49,31 @@ let enqueue t ~commit_time ~cost_ns ~tx_id ~slot ~ranges =
   (id, finish)
 
 (* Run [f] with every region's cost charging redirected to the scratch
-   clock: the task's timing was already settled at enqueue. *)
+   clock: the task's timing was already settled at enqueue. The saved-clock
+   array is engine-lifetime scratch — applications happen on the hot path
+   (a lock conflict on a queued object syncs the applier synchronously), so
+   the swap must not allocate per call. *)
 let with_scratch_clock t f =
-  let saved = List.map (fun r -> (r, Region.clock r)) t.regions in
-  List.iter (fun r -> Region.set_clock r t.scratch) t.regions;
-  Fun.protect ~finally:(fun () -> List.iter (fun (r, c) -> Region.set_clock r c) saved) f
+  let n = Array.length t.regions in
+  if Array.length t.saved_clocks < n then
+    t.saved_clocks <- Array.make n t.scratch;
+  let saved = t.saved_clocks in
+  for i = 0 to n - 1 do
+    saved.(i) <- Region.clock t.regions.(i);
+    Region.set_clock t.regions.(i) t.scratch
+  done;
+  let restore () =
+    for i = 0 to n - 1 do
+      Region.set_clock t.regions.(i) saved.(i)
+    done
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception exn ->
+      restore ();
+      raise exn
 
 let apply_batch t tasks =
   match tasks with

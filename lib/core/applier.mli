@@ -44,7 +44,7 @@ type apply_fn = task list -> unit
 (** [create ~regions ~apply] — [regions] are every region the [apply]
     callback touches; their clocks are swapped to a throwaway clock for the
     duration of each lazy application. *)
-val create : regions:Kamino_nvm.Region.t list -> apply:apply_fn -> t
+val create : regions:Kamino_nvm.Region.t array -> apply:apply_fn -> t
 
 (** [enqueue t ~commit_time ~cost_ns ~tx_id ~slot ~ranges] registers a
     task and returns [(task_id, finish_time)]. [cost_ns] is the modelled

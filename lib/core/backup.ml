@@ -218,7 +218,7 @@ let copy_matches ?len t ~main ~off =
   match t with
   | Full region ->
       let len = Option.value len ~default:64 in
-      Some (Region.read_bytes region off len = Region.read_bytes main off len)
+      Some (Region.equal_ranges region off main off len)
   | Dynamic d -> (
       match Phash.find d.table ~key:off with
       | None -> None
@@ -226,9 +226,7 @@ let copy_matches ?len t ~main ~off =
           let slot, stored_len = unpack_slot packed in
           let len = Option.value len ~default:stored_len in
           let len = min len stored_len in
-          Some
-            (Region.read_bytes (Heap.region d.slots) slot len
-            = Region.read_bytes main off len))
+          Some (Region.equal_ranges (Heap.region d.slots) slot main off len))
 
 let dump_mapping t =
   match t with

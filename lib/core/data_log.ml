@@ -181,21 +181,54 @@ let payload_write_bytes t entry rel b =
   Region.write_bytes t.region (entry.payload_off + rel) b;
   note_unflushed t (entry.payload_off + rel) (entry.payload_off + rel + Bytes.length b)
 
+let payload_write_string t entry rel s =
+  if rel < 0 || rel + String.length s > entry.len then
+    invalid_arg "Data_log.payload_write_string: out of entry range";
+  Region.write_string t.region (entry.payload_off + rel) s;
+  note_unflushed t (entry.payload_off + rel) (entry.payload_off + rel + String.length s)
+
 let payload_write_int64 t entry rel v =
   if rel < 0 || rel + 8 > entry.len then
     invalid_arg "Data_log.payload_write_int64: out of entry range";
   Region.write_int64 t.region (entry.payload_off + rel) v;
   note_unflushed t (entry.payload_off + rel) (entry.payload_off + rel + 8)
 
+let payload_write_int t entry rel v =
+  if rel < 0 || rel + 8 > entry.len then
+    invalid_arg "Data_log.payload_write_int: out of entry range";
+  Region.write_int t.region (entry.payload_off + rel) v;
+  note_unflushed t (entry.payload_off + rel) (entry.payload_off + rel + 8)
+
+let payload_write_byte t entry rel v =
+  if rel < 0 || rel + 1 > entry.len then
+    invalid_arg "Data_log.payload_write_byte: out of entry range";
+  Region.write_byte t.region (entry.payload_off + rel) v;
+  note_unflushed t (entry.payload_off + rel) (entry.payload_off + rel + 1)
+
 let payload_read_bytes t entry rel len =
   if rel < 0 || rel + len > entry.len then
     invalid_arg "Data_log.payload_read_bytes: out of entry range";
   Region.read_bytes t.region (entry.payload_off + rel) len
 
+let payload_read_string t entry rel len =
+  if rel < 0 || rel + len > entry.len then
+    invalid_arg "Data_log.payload_read_string: out of entry range";
+  Region.read_string t.region (entry.payload_off + rel) len
+
 let payload_read_int64 t entry rel =
   if rel < 0 || rel + 8 > entry.len then
     invalid_arg "Data_log.payload_read_int64: out of entry range";
   Region.read_int64 t.region (entry.payload_off + rel)
+
+let payload_read_int t entry rel =
+  if rel < 0 || rel + 8 > entry.len then
+    invalid_arg "Data_log.payload_read_int: out of entry range";
+  Region.read_int t.region (entry.payload_off + rel)
+
+let payload_read_byte t entry rel =
+  if rel < 0 || rel + 1 > entry.len then
+    invalid_arg "Data_log.payload_read_byte: out of entry range";
+  Region.read_byte t.region (entry.payload_off + rel)
 
 let reseal t entry =
   seal t entry;

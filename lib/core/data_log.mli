@@ -56,11 +56,23 @@ val add : t -> off:int -> len:int -> replay:replay -> src:Kamino_nvm.Region.t ->
     here. Offsets are relative to the covered main-heap range. *)
 val payload_write_bytes : t -> entry -> int -> bytes -> unit
 
+val payload_write_string : t -> entry -> int -> string -> unit
+
 val payload_write_int64 : t -> entry -> int -> int64 -> unit
+
+val payload_write_int : t -> entry -> int -> int -> unit
+
+val payload_write_byte : t -> entry -> int -> int -> unit
 
 val payload_read_bytes : t -> entry -> int -> int -> bytes
 
+val payload_read_string : t -> entry -> int -> int -> string
+
 val payload_read_int64 : t -> entry -> int -> int64
+
+val payload_read_int : t -> entry -> int -> int
+
+val payload_read_byte : t -> entry -> int -> int
 
 (** [reseal t entry] recomputes the entry's checksum after its payload was
     modified (CoW writes). Cheap; durable at the next {!barrier}. *)

@@ -57,9 +57,9 @@ let default_config =
    lock protecting the range (the owning object's extent for field-granular
    intents) — the coalescer uses it to decide which gaps are safe to fill. *)
 type irec = {
-  r_off : int;
-  r_len : int;
-  r_key : int;
+  mutable r_off : int;
+  mutable r_len : int;
+  mutable r_key : int;
   mutable cow : Data_log.entry option;
 }
 
@@ -84,17 +84,31 @@ type t = {
   mutable ranges_coalesced : int;
   mutable bytes_saved : int;
   mutable last_write_keys : int list;
-  mutable all_regions : Region.t list;
+  mutable all_regions : Region.t array;
+  (* Per-transaction scratch, owned by the engine and recycled across
+     transactions (execution is serial at the data level, so at most one
+     transaction uses it at a time). [ws.(0 .. ws_n-1)] is the write set in
+     declaration order, its [irec]s pooled and overwritten in place; range
+     starts are unique within it, and membership checks are linear scans
+     (write sets are a handful of ranges — a hash table costs more in
+     per-transaction clearing than the scans do). [ws_cow_n] counts entries
+     carrying a CoW redirection: when zero — always, for every non-CoW
+     engine kind — reads can go straight to the main heap without
+     consulting the write set. The [tx] handle itself stays a small fresh
+     record per transaction so stale handles from a finished transaction
+     are still detected by [active_tx]. *)
+  mutable ws : irec array;
+  mutable ws_n : int;
+  mutable ws_cow_n : int;
 }
 
 and tx = {
   owner : t;
   id : int;
   mutable slot : Intent_log.slot option;
-  by_key : (int, irec) Hashtbl.t;
-  mutable order : irec list;  (* reverse declaration order *)
   mutable lock_keys : int list;  (* write-lock keys (object extents) *)
-  mutable read_keys : int list;
+  mutable lock_entries : Locks.entry list;  (* handles for [lock_keys], same order *)
+  mutable read_entries : Locks.entry list;
   mutable needs_barrier : bool;
   mutable finished : bool;
 }
@@ -113,7 +127,7 @@ let now t = Clock.now t.clk
 
 let set_clock t c =
   t.clk <- c;
-  List.iter (fun r -> Region.set_clock r c) t.all_regions
+  Array.iter (fun r -> Region.set_clock r c) t.all_regions
 
 let main_region t = t.main
 
@@ -146,7 +160,7 @@ let main_counters t =
       crashes = 0;
     }
   in
-  List.iter
+  Array.iter
     (fun r ->
       let c = Region.counters r in
       agg.Region.stores <- agg.Region.stores + c.Region.stores;
@@ -160,7 +174,7 @@ let main_counters t =
     t.all_regions;
   agg
 
-let storage_bytes t = List.fold_left (fun acc r -> acc + Region.size r) 0 t.all_regions
+let storage_bytes t = Array.fold_left (fun acc r -> acc + Region.size r) 0 t.all_regions
 
 (* --- Construction ------------------------------------------------------- *)
 
@@ -188,6 +202,17 @@ let uses_data_log = function
 let make_applier t =
   let apply tasks =
     let b = Option.get t.bkp and ilog = Option.get t.ilog in
+    match tasks with
+    | [ ({ Applier.ranges = ([] | [ _ ]) as raw; _ } as task) ]
+      when match raw with [ r ] -> r.Intent_log.len > 0 | _ -> true ->
+        (* Singleton batch with at most one non-empty range: nothing can
+           merge or deduplicate, so skip the cross-task machinery. This is
+           the common shape when a lock conflict syncs one queued task. *)
+        List.iter
+          (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
+          raw;
+        Intent_log.release ilog task.Applier.slot
+    | _ ->
     let raw = List.concat_map (fun task -> task.Applier.ranges) tasks in
     let merged =
       if not t.e_config.coalesce_writes then raw
@@ -260,7 +285,8 @@ let create ?(config = default_config) ~kind ~seed () =
     | No_logging | Undo_logging | Cow | Intent_only -> (None, [])
   in
   let all_regions =
-    (main :: Option.to_list ilog_region) @ Option.to_list dlog_region @ backup_regions
+    Array.of_list
+      ((main :: Option.to_list ilog_region) @ Option.to_list dlog_region @ backup_regions)
   in
   let t =
     {
@@ -285,6 +311,9 @@ let create ?(config = default_config) ~kind ~seed () =
       bytes_saved = 0;
       last_write_keys = [];
       all_regions;
+      ws = Array.init 64 (fun _ -> { r_off = 0; r_len = 0; r_key = 0; cow = None });
+      ws_n = 0;
+      ws_cow_n = 0;
     }
   in
   (match kind with
@@ -303,13 +332,48 @@ let active_tx tx =
   | Some a when a == tx -> ()
   | _ -> failwith "Engine: transaction is not the active one"
 
-let covering tx abs len =
-  let rec find = function
-    | [] -> None
-    | r :: rest ->
-        if r.r_off <= abs && abs + len <= r.r_off + r.r_len then Some r else find rest
-  in
-  find tx.order
+(* Index into the write set of the most recently declared intent covering
+   [abs, abs+len), or [-1]. Scanning newest-first matches the old
+   list-order semantics when ranges overlap; returning an index (the
+   caller reads [ws.(i)]) keeps the per-access path allocation-free. *)
+(* Top-level (not a local closure): a local [rec] would capture its free
+   variables afresh on every access, allocating on the hottest path. *)
+let rec covering_scan ws abs len i =
+  if i < 0 then -1
+  else
+    let r = Array.unsafe_get ws i in
+    if r.r_off <= abs && abs + len <= r.r_off + r.r_len then i
+    else covering_scan ws abs len (i - 1)
+
+let covering_idx t abs len = covering_scan t.ws abs len (t.ws_n - 1)
+
+(* Index of the declared intent whose range starts exactly at [off], or
+   [-1]. Range starts are unique within a transaction, so this is a set
+   membership test. *)
+let rec ws_off_scan ws off i =
+  if i < 0 then -1
+  else if (Array.unsafe_get ws i).r_off = off then i
+  else ws_off_scan ws off (i - 1)
+
+let ws_find_off t off = ws_off_scan t.ws off (t.ws_n - 1)
+
+(* Claim the next pooled [irec], growing the pool by doubling. Growth uses
+   [Array.init] so every fresh slot is a distinct record — a shared filler
+   would alias the pool. *)
+let ws_push t ~off ~len ~key ~cow =
+  (if t.ws_n = Array.length t.ws then
+     let n = Array.length t.ws in
+     t.ws <-
+       Array.init (2 * n) (fun i ->
+           if i < n then t.ws.(i) else { r_off = 0; r_len = 0; r_key = 0; cow = None }));
+  let r = t.ws.(t.ws_n) in
+  t.ws_n <- t.ws_n + 1;
+  r.r_off <- off;
+  r.r_len <- len;
+  r.r_key <- key;
+  r.cow <- cow;
+  if cow <> None then t.ws_cow_n <- t.ws_cow_n + 1;
+  r
 
 let do_barrier tx =
   if tx.needs_barrier then begin
@@ -324,11 +388,22 @@ let do_barrier tx =
     tx.needs_barrier <- false
   end
 
-let persist_ranges region ranges =
-  if ranges <> [] then begin
-    List.iter (fun r -> Region.flush region r.r_off r.r_len) ranges;
-    Region.fence region
-  end
+(* Flush the write set's ranges (declaration order) against the main heap,
+   fencing iff at least one range was selected. The fence condition tracks
+   the {e range list}, not the lines actually flushed — a commit whose
+   ranges are already clean still fences, exactly as the list-based
+   predecessor of this function did. [in_place_only] restricts to ranges
+   without a CoW redirection. *)
+let persist_ws t ~in_place_only =
+  let n = ref 0 in
+  for i = 0 to t.ws_n - 1 do
+    let r = t.ws.(i) in
+    if (not in_place_only) || r.cow = None then begin
+      incr n;
+      Region.flush t.main r.r_off r.r_len
+    end
+  done;
+  if !n > 0 then Region.fence t.main
 
 (* Append a write intent to the log, merging it into the immediately
    preceding entry when legal (see {!Intent_log.add_intent_merged}). Log
@@ -363,34 +438,42 @@ let log_intent t slot ~off ~len =
    executes. A cross-object gap could cover a third, unrelated object that
    an active transaction is updating in place, and its uncommitted bytes
    must never reach the backup — an abort would restore them. *)
-let coalesce_write_set ranges =
+let coalesce_write_set t =
   let line = 64 in
-  let sorted =
-    List.sort (fun a b -> compare (a.r_off, a.r_len) (b.r_off, b.r_len)) ranges
-  in
-  match sorted with
-  | [] -> []
-  | first :: rest ->
-      let cell r = (r.r_off, r.r_len, Some r.r_key) in
-      let merged, last =
-        List.fold_left
-          (fun (acc, (coff, clen, ckey)) r ->
-            let cend = coff + clen in
-            let same_obj =
-              match ckey with Some k -> k = r.r_key | None -> false
-            in
-            if r.r_off <= cend then
-              let nlen = max cend (r.r_off + r.r_len) - coff in
-              (acc, (coff, nlen, if same_obj then ckey else None))
-            else if same_obj && r.r_off / line = (cend - 1) / line then
-              (acc, (coff, r.r_off + r.r_len - coff, ckey))
-            else ((coff, clen) :: acc, cell r))
-          ([], cell first) rest
-      in
-      let coff, clen, _ = last in
-      List.rev_map
-        (fun (off, len) -> { Intent_log.off; len })
-        ((coff, clen) :: merged)
+  let n = t.ws_n in
+  if n = 0 then []
+  else if n = 1 then
+    [ { Intent_log.off = t.ws.(0).r_off; len = t.ws.(0).r_len } ]
+  else begin
+    (* Range starts are unique within a transaction ([scr_by_key] is keyed
+       by them), so sorting by [r_off] alone is a total order and the
+       unstable [Array.sort] cannot reorder equal keys. *)
+    let arr = Array.sub t.ws 0 n in
+    Array.sort (fun a b -> Int.compare a.r_off b.r_off) arr;
+    let acc = ref [] in
+    let coff = ref arr.(0).r_off and clen = ref arr.(0).r_len in
+    let ckey = ref arr.(0).r_key and cmixed = ref false in
+    for i = 1 to n - 1 do
+      let r = arr.(i) in
+      let cend = !coff + !clen in
+      let same_obj = (not !cmixed) && !ckey = r.r_key in
+      if r.r_off <= cend then begin
+        clen := max cend (r.r_off + r.r_len) - !coff;
+        if not same_obj then cmixed := true
+      end
+      else if same_obj && r.r_off / line = (cend - 1) / line then
+        clen := r.r_off + r.r_len - !coff
+      else begin
+        acc := { Intent_log.off = !coff; len = !clen } :: !acc;
+        coff := r.r_off;
+        clen := r.r_len;
+        ckey := r.r_key;
+        cmixed := false
+      end
+    done;
+    acc := { Intent_log.off = !coff; len = !clen } :: !acc;
+    List.rev !acc
+  end
 
 (* Modelled applier cost of propagating a committed write set: copy each
    range into the backup and issue its write-backs. The applier drains
@@ -398,13 +481,17 @@ let coalesce_write_set ranges =
 let applier_fence_batch = 4.0
 
 let task_cost cm ranges =
-  List.fold_left
-    (fun acc { Intent_log.off = _; len } ->
-      acc
-      +. Cost_model.copy_cost cm len
-      +. (cm.Cost_model.flush_line_ns *. float_of_int ((len + 63) / 64)))
-    (cm.Cost_model.fence_ns /. applier_fence_batch)
-    ranges
+  (* Open-coded fold: a closure-based [List.fold_left] over floats boxes
+     the accumulator on every step without flambda. *)
+  let acc = ref (cm.Cost_model.fence_ns /. applier_fence_batch) in
+  List.iter
+    (fun { Intent_log.off = _; len } ->
+      acc :=
+        !acc
+        +. Cost_model.copy_cost cm len
+        +. (cm.Cost_model.flush_line_ns *. float_of_int ((len + 63) / 64)))
+    ranges;
+  !acc
 
 (* Predicate for dynamic-backup eviction: an object is pinned while the
    active transaction holds it or while a committed-but-unapplied task still
@@ -428,15 +515,22 @@ let begin_tx t =
   (match t.e_kind with
   | Undo_logging | Cow -> Data_log.begin_tx (Option.get t.dlog) ~tx_id:id
   | No_logging | Kamino_simple | Kamino_dynamic _ | Intent_only -> ());
+  (* Recycle the engine-owned scratch. Clearing here (not at finish) also
+     covers a transaction torn down by [crash], which never finishes.
+     Dropping stale [cow] references lets the data-log entries go. *)
+  for i = 0 to t.ws_n - 1 do
+    t.ws.(i).cow <- None
+  done;
+  t.ws_n <- 0;
+  t.ws_cow_n <- 0;
   let tx =
     {
       owner = t;
       id;
       slot = None;  (* claimed lazily at the first write intent *)
-      by_key = Hashtbl.create 16;
-      order = [];
       lock_keys = [];
-      read_keys = [];
+      lock_entries = [];
+      read_entries = [];
       needs_barrier = uses_data_log t.e_kind;
       finished = false;
     }
@@ -489,11 +583,12 @@ let claim_slot tx =
 let declare ?lock_key tx ~off ~len ~redirectable =
   active_tx tx;
   let lock_key = Option.value lock_key ~default:off in
-  if not (Hashtbl.mem tx.by_key off) then begin
+  if ws_find_off tx.owner off < 0 then begin
     let t = tx.owner in
     let cm = cost t in
+    let le = Locks.entry_of t.locks lock_key in
     let held_at =
-      Locks.acquire_write t.locks lock_key ~now:(Clock.now t.clk)
+      Locks.acquire_write_e t.locks le ~now:(Clock.now t.clk)
         ~cost_ns:cm.Cost_model.lock_ns
     in
     ignore (Clock.advance_to t.clk held_at);
@@ -532,7 +627,7 @@ let declare ?lock_key tx ~off ~len ~redirectable =
           else begin
             (* The lock wait already advanced our clock past the applier
                finish time for this object; catch the data up too. *)
-            let last = Locks.last_writer_task t.locks lock_key in
+            let last = Locks.last_writer_task_e le in
             if last > Applier.applied_through appl then Applier.sync_through appl last
           end;
           let slot = claim_slot tx in
@@ -541,10 +636,11 @@ let declare ?lock_key tx ~off ~len ~redirectable =
           log_intent t slot ~off ~len;
           None
     in
-    let r = { r_off = off; r_len = len; r_key = lock_key; cow } in
-    Hashtbl.add tx.by_key off r;
-    if not (List.mem lock_key tx.lock_keys) then tx.lock_keys <- lock_key :: tx.lock_keys;
-    tx.order <- r :: tx.order;
+    ignore (ws_push t ~off ~len ~key:lock_key ~cow);
+    if not (List.mem lock_key tx.lock_keys) then begin
+      tx.lock_keys <- lock_key :: tx.lock_keys;
+      tx.lock_entries <- le :: tx.lock_entries
+    end;
     tx.needs_barrier <- true
   end
 
@@ -573,7 +669,7 @@ let add_field tx p field len =
       add tx p
   | No_logging | Undo_logging | Cow | Kamino_simple | Intent_only ->
       (* If the whole object is already declared, the field is covered. *)
-      if not (Hashtbl.mem tx.by_key extent.Heap.off) then
+      if ws_find_off t extent.Heap.off < 0 then
         declare tx ~lock_key:extent.Heap.off ~off:(p + field) ~len ~redirectable:true
 
 let read_lock tx p =
@@ -581,11 +677,12 @@ let read_lock tx p =
   let t = tx.owner in
   let { Heap.off; len = _ } = Heap.extent t.heap p in
   let cm = cost t in
+  let e = Locks.entry_of t.locks off in
   let held_at =
-    Locks.acquire_read t.locks off ~now:(Clock.now t.clk) ~cost_ns:cm.Cost_model.lock_ns
+    Locks.acquire_read_e t.locks e ~now:(Clock.now t.clk) ~cost_ns:cm.Cost_model.lock_ns
   in
   ignore (Clock.advance_to t.clk held_at);
-  tx.read_keys <- off :: tx.read_keys
+  tx.read_entries <- e :: tx.read_entries
 
 let alloc tx size =
   active_tx tx;
@@ -607,18 +704,22 @@ let free tx p =
      heap and revert to in-place editing before the deallocator mutates the
      extent directly. The fold is preceded by an undo snapshot of the
      pre-transaction bytes so an abort can still restore them. *)
-  (match Hashtbl.find_opt tx.by_key extent.Heap.off with
-  | Some ({ cow = Some entry; _ } as r) ->
-      let dlog = Option.get t.dlog in
-      ignore
-        (Data_log.add dlog ~off:extent.Heap.off ~len:extent.Heap.len
-           ~replay:Data_log.On_abort ~src:t.main);
-      Data_log.reseal dlog entry;
-      Data_log.barrier dlog;
-      Data_log.apply_entry dlog entry ~dst:t.main;
-      Region.persist t.main extent.Heap.off extent.Heap.len;
-      r.cow <- None
-  | Some _ | None -> ());
+  (let i = ws_find_off t extent.Heap.off in
+   if i >= 0 then
+     let r = t.ws.(i) in
+     match r.cow with
+     | Some entry ->
+         let dlog = Option.get t.dlog in
+         ignore
+           (Data_log.add dlog ~off:extent.Heap.off ~len:extent.Heap.len
+              ~replay:Data_log.On_abort ~src:t.main);
+         Data_log.reseal dlog entry;
+         Data_log.barrier dlog;
+         Data_log.apply_entry dlog entry ~dst:t.main;
+         Region.persist t.main extent.Heap.off extent.Heap.len;
+         r.cow <- None;
+         t.ws_cow_n <- t.ws_cow_n - 1
+     | None -> ());
   List.iter
     (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false)
     (Heap.free_ranges t.heap p);
@@ -627,77 +728,152 @@ let free tx p =
 
 (* --- Data access -------------------------------------------------------- *)
 
-let check_write tx abs len =
-  match covering tx abs len with
-  | Some r -> Some r
-  | None ->
-      if tx.owner.e_config.check_intents then
-        failwith
-          (Printf.sprintf
-             "Engine: write of %d bytes at %d is not covered by a declared intent \
-              (missing TX_ADD?)"
-             len abs)
-      else None
+(* Each accessor below resolves the covering intent by index and branches
+   on its CoW redirection inline. The previous implementation threaded two
+   closures through a generic [write_via]/[read_via]; on the hot read path
+   (every B+Tree key comparison lands here) those closures plus the boxed
+   [Int64.t] round-trip accounted for most of the per-access allocation.
+   [-1] means "no covering intent": reads fall through to the main heap,
+   writes are an intent violation when [check_intents] is set. *)
 
-let write_via tx p field len direct cow_write =
-  active_tx tx;
-  let abs = p + field in
-  let r = check_write tx abs len in
-  do_barrier tx;
-  match r with
-  | Some { cow = Some entry; r_off; _ } -> cow_write entry (abs - r_off)
-  | Some { cow = None; _ } | None -> direct abs
+let check_write_idx tx abs len =
+  let i = covering_idx tx.owner abs len in
+  if i < 0 && tx.owner.e_config.check_intents then
+    failwith
+      (Printf.sprintf
+         "Engine: write of %d bytes at %d is not covered by a declared intent \
+          (missing TX_ADD?)"
+         len abs);
+  i
+
+let cow_of t i = if i < 0 then None else t.ws.(i).cow
 
 let write_int64 tx p field v =
+  active_tx tx;
   let t = tx.owner in
-  write_via tx p field 8
-    (fun abs -> Region.write_int64 t.main abs v)
-    (fun entry rel -> Data_log.payload_write_int64 (Option.get t.dlog) entry rel v)
+  let abs = p + field in
+  let i = check_write_idx tx abs 8 in
+  do_barrier tx;
+  match cow_of t i with
+  | None -> Region.write_int64 t.main abs v
+  | Some entry ->
+      Data_log.payload_write_int64 (Option.get t.dlog) entry (abs - t.ws.(i).r_off) v
 
-let write_int tx p field v = write_int64 tx p field (Int64.of_int v)
+let write_int tx p field v =
+  active_tx tx;
+  let t = tx.owner in
+  let abs = p + field in
+  let i = check_write_idx tx abs 8 in
+  do_barrier tx;
+  match cow_of t i with
+  | None -> Region.write_int t.main abs v
+  | Some entry ->
+      Data_log.payload_write_int (Option.get t.dlog) entry (abs - t.ws.(i).r_off) v
 
 let write_bytes tx p field b =
-  let t = tx.owner in
-  write_via tx p field (Bytes.length b)
-    (fun abs -> Region.write_bytes t.main abs b)
-    (fun entry rel -> Data_log.payload_write_bytes (Option.get t.dlog) entry rel b)
-
-let write_string tx p field s = write_bytes tx p field (Bytes.of_string s)
-
-let write_byte tx p field v = write_bytes tx p field (Bytes.make 1 (Char.chr (v land 0xff)))
-
-let read_via tx p field len direct cow_read =
   active_tx tx;
+  let t = tx.owner in
   let abs = p + field in
-  match covering tx abs len with
-  | Some { cow = Some entry; r_off; _ } -> cow_read entry (abs - r_off)
-  | Some { cow = None; _ } | None -> direct abs
+  let i = check_write_idx tx abs (Bytes.length b) in
+  do_barrier tx;
+  match cow_of t i with
+  | None -> Region.write_bytes t.main abs b
+  | Some entry ->
+      Data_log.payload_write_bytes (Option.get t.dlog) entry (abs - t.ws.(i).r_off) b
+
+let write_string tx p field s =
+  active_tx tx;
+  let t = tx.owner in
+  let abs = p + field in
+  let i = check_write_idx tx abs (String.length s) in
+  do_barrier tx;
+  match cow_of t i with
+  | None -> Region.write_string t.main abs s
+  | Some entry ->
+      Data_log.payload_write_string (Option.get t.dlog) entry (abs - t.ws.(i).r_off) s
+
+let write_byte tx p field v =
+  active_tx tx;
+  let t = tx.owner in
+  let abs = p + field in
+  let i = check_write_idx tx abs 1 in
+  do_barrier tx;
+  match cow_of t i with
+  | None -> Region.write_byte t.main abs v
+  | Some entry ->
+      Data_log.payload_write_byte (Option.get t.dlog) entry (abs - t.ws.(i).r_off) v
+
+(* Reads consult the write set only to follow CoW redirections; when the
+   transaction has none ([ws_cow_n] = 0 — always, outside the CoW engine),
+   they go straight to the main heap. *)
 
 let read_int64 tx p field =
+  active_tx tx;
   let t = tx.owner in
-  read_via tx p field 8
-    (fun abs -> Region.read_int64 t.main abs)
-    (fun entry rel -> Data_log.payload_read_int64 (Option.get t.dlog) entry rel)
+  let abs = p + field in
+  if t.ws_cow_n = 0 then Region.read_int64 t.main abs
+  else
+    let i = covering_idx t abs 8 in
+    match cow_of t i with
+    | None -> Region.read_int64 t.main abs
+    | Some entry ->
+        Data_log.payload_read_int64 (Option.get t.dlog) entry (abs - t.ws.(i).r_off)
 
-let read_int tx p field = Int64.to_int (read_int64 tx p field)
+let read_int tx p field =
+  active_tx tx;
+  let t = tx.owner in
+  let abs = p + field in
+  if t.ws_cow_n = 0 then Region.read_int t.main abs
+  else
+    let i = covering_idx t abs 8 in
+    match cow_of t i with
+    | None -> Region.read_int t.main abs
+    | Some entry ->
+        Data_log.payload_read_int (Option.get t.dlog) entry (abs - t.ws.(i).r_off)
 
 let read_bytes tx p field len =
+  active_tx tx;
   let t = tx.owner in
-  read_via tx p field len
-    (fun abs -> Region.read_bytes t.main abs len)
-    (fun entry rel -> Data_log.payload_read_bytes (Option.get t.dlog) entry rel len)
+  let abs = p + field in
+  if t.ws_cow_n = 0 then Region.read_bytes t.main abs len
+  else
+    let i = covering_idx t abs len in
+    match cow_of t i with
+    | None -> Region.read_bytes t.main abs len
+    | Some entry ->
+        Data_log.payload_read_bytes (Option.get t.dlog) entry (abs - t.ws.(i).r_off) len
 
-let read_string tx p field len = Bytes.to_string (read_bytes tx p field len)
+let read_string tx p field len =
+  active_tx tx;
+  let t = tx.owner in
+  let abs = p + field in
+  if t.ws_cow_n = 0 then Region.read_string t.main abs len
+  else
+    let i = covering_idx t abs len in
+    match cow_of t i with
+    | None -> Region.read_string t.main abs len
+    | Some entry ->
+        Data_log.payload_read_string (Option.get t.dlog) entry (abs - t.ws.(i).r_off) len
 
-let read_byte tx p field = Bytes.get_uint8 (read_bytes tx p field 1) 0
+let read_byte tx p field =
+  active_tx tx;
+  let t = tx.owner in
+  let abs = p + field in
+  if t.ws_cow_n = 0 then Region.read_byte t.main abs
+  else
+    let i = covering_idx t abs 1 in
+    match cow_of t i with
+    | None -> Region.read_byte t.main abs
+    | Some entry ->
+        Data_log.payload_read_byte (Option.get t.dlog) entry (abs - t.ws.(i).r_off)
 
 let peek_int64 t p field = Region.read_int64 t.main (p + field)
 
-let peek_int t p field = Int64.to_int (peek_int64 t p field)
+let peek_int t p field = Region.read_int t.main (p + field)
 
 let peek_bytes t p field len = Region.read_bytes t.main (p + field) len
 
-let peek_string t p field len = Bytes.to_string (peek_bytes t p field len)
+let peek_string t p field len = Region.read_string t.main (p + field) len
 
 let set_root tx p =
   active_tx tx;
@@ -711,8 +887,9 @@ let set_root tx p =
 let release_all tx ~write_release =
   let t = tx.owner in
   t.last_write_keys <- tx.lock_keys;
-  Locks.release_writes t.locks tx.lock_keys ~at:write_release;
-  Locks.release_reads t.locks tx.read_keys ~at:(Clock.now t.clk)
+  List.iter (fun e -> Locks.release_write_e e ~at:write_release) tx.lock_entries;
+  let read_at = Clock.now t.clk in
+  List.iter (fun e -> Locks.release_read_e e ~at:read_at) tx.read_entries
 
 let finish tx =
   tx.finished <- true;
@@ -721,10 +898,9 @@ let finish tx =
 let commit tx =
   active_tx tx;
   let t = tx.owner in
-  let ranges = List.rev tx.order in
   (match t.e_kind with
   | No_logging ->
-      persist_ranges t.main ranges;
+      persist_ws t ~in_place_only:false;
       release_all tx ~write_release:(Clock.now t.clk)
   | Intent_only ->
       (match tx.slot with
@@ -732,7 +908,7 @@ let commit tx =
       | Some slot ->
         let ilog = Option.get t.ilog in
         do_barrier tx;
-        persist_ranges t.main ranges;
+        persist_ws t ~in_place_only:false;
         Intent_log.mark ilog slot Intent_log.Committed;
         (* No local backup to synchronize: the record only needs to outlive
            the in-place writes it covers, which are durable now. *)
@@ -741,36 +917,41 @@ let commit tx =
   | Undo_logging ->
       let dlog = Option.get t.dlog in
       do_barrier tx;
-      persist_ranges t.main (List.filter (fun r -> r.cow = None) ranges);
+      persist_ws t ~in_place_only:true;
       Data_log.finish dlog;
       release_all tx ~write_release:(Clock.now t.clk)
-  | Cow when ranges = [] ->
+  | Cow when t.ws_n = 0 ->
       Data_log.finish (Option.get t.dlog);
       release_all tx ~write_release:(Clock.now t.clk)
   | Cow ->
       let dlog = Option.get t.dlog in
-      let cows = List.filter (fun r -> r.cow <> None) ranges in
-      let in_place = List.filter (fun r -> r.cow = None) ranges in
       (* Working copies get their final checksums; in-place ranges get
          commit-time redo snapshots so the [Applying] phase can replay
          everything from the arena alone. Arena order guarantees these
          commit-time snapshots are applied last, superseding any stale
          working copy of an object that was folded back and freed. *)
-      List.iter (fun r -> Data_log.reseal dlog (Option.get r.cow)) cows;
-      List.iter
-        (fun r ->
+      for i = 0 to t.ws_n - 1 do
+        match t.ws.(i).cow with
+        | Some entry -> Data_log.reseal dlog entry
+        | None -> ()
+      done;
+      for i = 0 to t.ws_n - 1 do
+        let r = t.ws.(i) in
+        if r.cow = None then
           ignore
             (Data_log.add dlog ~off:r.r_off ~len:r.r_len ~replay:Data_log.On_commit
-               ~src:t.main))
-        in_place;
+               ~src:t.main)
+      done;
       Data_log.barrier dlog;
       Data_log.mark_applying dlog;
       (* Apply the copies to the originals — the critical-path copy-back of
          Figure 5's CoW timeline — then persist everything. *)
-      List.iter
-        (fun r -> Data_log.apply_entry dlog (Option.get r.cow) ~dst:t.main)
-        cows;
-      persist_ranges t.main ranges;
+      for i = 0 to t.ws_n - 1 do
+        match t.ws.(i).cow with
+        | Some entry -> Data_log.apply_entry dlog entry ~dst:t.main
+        | None -> ()
+      done;
+      persist_ws t ~in_place_only:false;
       Data_log.finish dlog;
       release_all tx ~write_release:(Clock.now t.clk)
   | Kamino_simple | Kamino_dynamic _ ->
@@ -781,7 +962,7 @@ let commit tx =
           release_all tx ~write_release:(Clock.now t.clk)
       | Some slot ->
         do_barrier tx;
-        persist_ranges t.main ranges;
+        persist_ws t ~in_place_only:false;
         Intent_log.mark ilog slot Intent_log.Committed;
         let iranges =
           match t.e_kind with
@@ -790,21 +971,29 @@ let commit tx =
                  the coalesced write set; the counters record how many
                  ranges the pass eliminated and the net copy bytes it
                  saved. Dynamic backups need the raw per-object ranges. *)
-              let merged = coalesce_write_set ranges in
+              let merged = coalesce_write_set t in
               t.ranges_coalesced <-
-                t.ranges_coalesced + (List.length ranges - List.length merged);
+                t.ranges_coalesced + (t.ws_n - List.length merged);
+              let raw_bytes = ref 0 in
+              for i = 0 to t.ws_n - 1 do
+                raw_bytes := !raw_bytes + t.ws.(i).r_len
+              done;
               t.bytes_saved <-
-                t.bytes_saved
-                + (List.fold_left (fun acc r -> acc + r.r_len) 0 ranges
-                  - Intent_log.total_bytes merged);
+                t.bytes_saved + (!raw_bytes - Intent_log.total_bytes merged);
               merged
-          | _ -> List.map (fun r -> { Intent_log.off = r.r_off; len = r.r_len }) ranges
+          | _ ->
+              let acc = ref [] in
+              for i = t.ws_n - 1 downto 0 do
+                let r = t.ws.(i) in
+                acc := { Intent_log.off = r.r_off; len = r.r_len } :: !acc
+              done;
+              !acc
         in
         let task, finish_at =
           Applier.enqueue appl ~commit_time:(Clock.now t.clk)
             ~cost_ns:(task_cost (cost t) iranges) ~tx_id:tx.id ~slot ~ranges:iranges
         in
-        List.iter (fun k -> Locks.set_last_writer_task t.locks k task) tx.lock_keys;
+        List.iter (fun e -> Locks.set_last_writer_task_e e task) tx.lock_entries;
         (* The paper's rule: write locks release only once main and backup
            agree on the write set — i.e. at the applier's finish time. *)
         release_all tx ~write_release:finish_at));
@@ -814,7 +1003,6 @@ let commit tx =
 let abort tx =
   active_tx tx;
   let t = tx.owner in
-  let ranges = List.rev tx.order in
   (match t.e_kind with
   | No_logging ->
       finish tx;
@@ -830,7 +1018,7 @@ let abort tx =
       let entries = Data_log.active_entries dlog in
       let undos = List.filter (fun e -> e.Data_log.replay = Data_log.On_abort) entries in
       List.iter (fun e -> Data_log.apply_entry dlog e ~dst:t.main) (List.rev undos);
-      persist_ranges t.main (List.filter (fun r -> r.cow = None) ranges);
+      persist_ws t ~in_place_only:true;
       Data_log.finish dlog;
       release_all tx ~write_release:(Clock.now t.clk)
   | Kamino_simple | Kamino_dynamic _ ->
@@ -844,11 +1032,11 @@ let abort tx =
              set. The rolled-back ranges' resident copies are dropped: a
              rolled-back allocation's space may be re-carved with different
              extent boundaries later. *)
-          List.iter
-            (fun r ->
-              ignore (Backup.roll_back b ~main:t.main ~off:r.r_off ~len:r.r_len);
-              Backup.drop b ~off:r.r_off)
-            ranges;
+          for i = 0 to t.ws_n - 1 do
+            let r = t.ws.(i) in
+            ignore (Backup.roll_back b ~main:t.main ~off:r.r_off ~len:r.r_len);
+            Backup.drop b ~off:r.r_off
+          done;
           Intent_log.release ilog slot);
       release_all tx ~write_release:(Clock.now t.clk));
   t.aborted <- t.aborted + 1;
@@ -872,7 +1060,7 @@ let crash t =
       tx.finished <- true;
       t.active <- None
   | None -> ());
-  List.iter Region.crash t.all_regions
+  Array.iter Region.crash t.all_regions
 
 let recover t =
   t.locks <- Locks.create ~shards:t.e_config.lock_shards ();
@@ -1032,7 +1220,7 @@ let promote_to_kamino t =
   let b = Backup.create_full r in
   Backup.initialize_full b ~main:t.main;
   t.bkp <- Some b;
-  t.all_regions <- t.all_regions @ [ r ];
+  t.all_regions <- Array.append t.all_regions [| r |];
   t.e_kind <- Kamino_simple;
   t.appl <- Some (make_applier t);
   set_clock t t.clk

@@ -14,14 +14,22 @@ type t = {
   slots_start : int;
   slot_size : int;
   free : slot Queue.t;  (* volatile free list, rebuilt at open *)
-  (* Unflushed byte span of the slot being built, if any: slot index with
-     the lowest and highest dirty offsets to flush at the next barrier. *)
-  mutable unflushed : (slot * int * int) option;
-  (* Most recently appended entry of the record being built: (slot, entry
-     index, range). Valid only while the entry is still unflushed — the
-     condition under which an in-place rewrite is crash-safe (see
-     [add_intent_merged]). *)
-  mutable last_appended : (slot * int * intent) option;
+  (* Unflushed byte span of the slot being built, if any: the slot index
+     ([-1] = none) with the lowest and highest dirty offsets to flush at
+     the next barrier. Flat mutable ints rather than an option-of-tuple:
+     this is updated on every appended intent and the hot path must not
+     allocate. *)
+  mutable uf_slot : int;
+  mutable uf_lo : int;
+  mutable uf_hi : int;
+  (* Most recently appended entry of the record being built: slot index
+     ([-1] = none), entry index and range. Valid only while the entry is
+     still unflushed — the condition under which an in-place rewrite is
+     crash-safe (see [add_intent_merged]). *)
+  mutable la_slot : int;
+  mutable la_idx : int;
+  mutable la_off : int;
+  mutable la_len : int;
 }
 
 (* --- Range coalescing ----------------------------------------------------- *)
@@ -104,11 +112,18 @@ let checksum_of ~max_user_threads ~max_tx_entries ~n_slots =
 
 let slot_off t slot = t.slots_start + (slot * t.slot_size)
 
-let slot_state t slot = state_of_int (Region.read_int t.region (slot_off t slot + sh_state))
+(* Slot indices only come from the free queue and loops bounded by
+   [n_slots], and [format]/[open_existing] verified the region covers every
+   slot, so the header words are in bounds by construction — the unchecked
+   accessors are safe and keep these hot helpers allocation- and
+   branch-free. *)
 
-let slot_tx_id t slot = Region.read_int t.region (slot_off t slot + sh_tx_id)
+let slot_state t slot =
+  state_of_int (Region.unsafe_read_int t.region (slot_off t slot + sh_state))
 
-let slot_count t slot = Region.read_int t.region (slot_off t slot + sh_count)
+let slot_tx_id t slot = Region.unsafe_read_int t.region (slot_off t slot + sh_tx_id)
+
+let slot_count t slot = Region.unsafe_read_int t.region (slot_off t slot + sh_count)
 
 let rebuild_free t =
   Queue.clear t.free;
@@ -142,8 +157,13 @@ let format region ~max_user_threads ~max_tx_entries ~n_slots =
       slots_start;
       slot_size;
       free = Queue.create ();
-      unflushed = None;
-      last_appended = None;
+      uf_slot = -1;
+      uf_lo = 0;
+      uf_hi = 0;
+      la_slot = -1;
+      la_idx = 0;
+      la_off = 0;
+      la_len = 0;
     }
   in
   rebuild_free t;
@@ -168,8 +188,13 @@ let open_existing region =
       slots_start = header_size + (max_user_threads * scratchpad_size);
       slot_size = slot_size_of ~max_tx_entries;
       free = Queue.create ();
-      unflushed = None;
-      last_appended = None;
+      uf_slot = -1;
+      uf_lo = 0;
+      uf_hi = 0;
+      la_slot = -1;
+      la_idx = 0;
+      la_off = 0;
+      la_len = 0;
     }
   in
   rebuild_free t;
@@ -178,14 +203,20 @@ let open_existing region =
 let max_tx_entries t = t.max_tx_entries
 
 let note_unflushed t slot lo hi =
-  match t.unflushed with
-  | Some (s, l, h) when s = slot -> t.unflushed <- Some (s, min l lo, max h hi)
-  | Some _ ->
-      (* Only one transaction builds a record at a time (data-serial
-         execution); a stale span from another slot indicates a missed
-         barrier. *)
-      failwith "Intent_log: unflushed entries from a different slot"
-  | None -> t.unflushed <- Some (slot, lo, hi)
+  if t.uf_slot = slot then begin
+    if lo < t.uf_lo then t.uf_lo <- lo;
+    if hi > t.uf_hi then t.uf_hi <- hi
+  end
+  else if t.uf_slot >= 0 then
+    (* Only one transaction builds a record at a time (data-serial
+       execution); a stale span from another slot indicates a missed
+       barrier. *)
+    failwith "Intent_log: unflushed entries from a different slot"
+  else begin
+    t.uf_slot <- slot;
+    t.uf_lo <- lo;
+    t.uf_hi <- hi
+  end
 
 let begin_record t ~tx_id =
   match Queue.take_opt t.free with
@@ -196,7 +227,7 @@ let begin_record t ~tx_id =
       Region.write_int t.region (off + sh_state) (state_to_int Running);
       Region.write_int t.region (off + sh_count) 0;
       note_unflushed t slot off (off + slot_header_size);
-      t.last_appended <- None;
+      t.la_slot <- -1;
       Some slot
 
 let add_intent t slot { off; len } =
@@ -212,7 +243,10 @@ let add_intent t slot { off; len } =
   Region.write_int64 t.region (eoff + 16) (check_of ~tx_id ~off ~len);
   Region.write_int t.region (base + sh_count) (n + 1);
   note_unflushed t slot base (eoff + entry_size);
-  t.last_appended <- Some (slot, n, { off; len })
+  t.la_slot <- slot;
+  t.la_idx <- n;
+  t.la_off <- off;
+  t.la_len <- len
 
 (* Append [i], or absorb it into the immediately preceding entry of [slot]
    when the two overlap or adjoin exactly and that entry has never been
@@ -229,38 +263,41 @@ let add_intent t slot { off; len } =
    Returns the resulting durable entry and whether a merge (or containment)
    absorbed the new range without appending. *)
 let add_intent_merged t slot ({ off; len } as i) =
-  let extendable =
-    match (t.unflushed, t.last_appended) with
-    | Some (s, _, _), Some (s', idx, prev) when s = slot && s' = slot -> Some (idx, prev)
-    | _ -> None
-  in
-  match extendable with
-  | Some (_, prev) when prev.off <= off && off + len <= prev.off + prev.len ->
-      (prev, true) (* contained: nothing to write *)
-  | Some (idx, prev) when off <= prev.off + prev.len && prev.off <= off + len ->
-      let noff = min off prev.off in
-      let nlen = max (off + len) (prev.off + prev.len) - noff in
-      let merged = { off = noff; len = nlen } in
+  if t.uf_slot = slot && t.la_slot = slot then begin
+    let poff = t.la_off and plen = t.la_len in
+    if poff <= off && off + len <= poff + plen then
+      ({ off = poff; len = plen }, true) (* contained: nothing to write *)
+    else if off <= poff + plen && poff <= off + len then begin
+      let noff = min off poff in
+      let nlen = max (off + len) (poff + plen) - noff in
       let base = slot_off t slot in
       let tx_id = slot_tx_id t slot in
+      let idx = t.la_idx in
       let eoff = base + slot_header_size + (idx * entry_size) in
       Region.write_int t.region eoff noff;
       Region.write_int t.region (eoff + 8) nlen;
       Region.write_int64 t.region (eoff + 16) (check_of ~tx_id ~off:noff ~len:nlen);
       note_unflushed t slot eoff (eoff + entry_size);
-      t.last_appended <- Some (slot, idx, merged);
-      (merged, true)
-  | Some _ | None ->
+      t.la_off <- noff;
+      t.la_len <- nlen;
+      ({ off = noff; len = nlen }, true)
+    end
+    else begin
       add_intent t slot i;
       (i, false)
+    end
+  end
+  else begin
+    add_intent t slot i;
+    (i, false)
+  end
 
 let barrier t slot =
-  match t.unflushed with
-  | Some (s, lo, hi) when s = slot ->
-      Region.persist t.region lo (hi - lo);
-      t.unflushed <- None;
-      t.last_appended <- None
-  | Some _ | None -> ()
+  if t.uf_slot = slot then begin
+    Region.persist t.region t.uf_lo (t.uf_hi - t.uf_lo);
+    t.uf_slot <- -1;
+    t.la_slot <- -1
+  end
 
 let mark t slot state =
   barrier t slot;
@@ -279,20 +316,18 @@ let release t slot =
      no intents. The header fits in one cache line, so this explicit flush
      is itself atomic. *)
   let never_persisted =
-    match t.unflushed with
-    | Some (s, _, _) when s = slot ->
-        (* A read-only transaction releases its slot without ever
-           barriering it: the durable header is still the zeroed Free state
-           from the previous release, so resetting the volatile image is
-           enough (any torn persist of these zeros at a crash lands on an
-           already-zero durable base). *)
-        t.unflushed <- None;
-        true
-    | Some _ | None -> false
+    if t.uf_slot = slot then begin
+      (* A read-only transaction releases its slot without ever
+         barriering it: the durable header is still the zeroed Free state
+         from the previous release, so resetting the volatile image is
+         enough (any torn persist of these zeros at a crash lands on an
+         already-zero durable base). *)
+      t.uf_slot <- -1;
+      true
+    end
+    else false
   in
-  (match t.last_appended with
-  | Some (s, _, _) when s = slot -> t.last_appended <- None
-  | Some _ | None -> ());
+  if t.la_slot = slot then t.la_slot <- -1;
   let off = slot_off t slot in
   Region.write_int t.region (off + sh_tx_id) 0;
   Region.write_int t.region (off + sh_state) (state_to_int Free);

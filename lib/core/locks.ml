@@ -51,32 +51,35 @@ let record_wait t now target =
     t.wait_events <- t.wait_events + 1
   end
 
-let acquire_write t key ~now ~cost_ns =
-  let e = entry t key in
+let entry_of = entry
+
+let acquire_write_e t e ~now ~cost_ns =
   let avail = max e.writer_release e.reader_release in
   record_wait t now avail;
   e.active <- true;
   max now avail + int_of_float cost_ns
 
-let acquire_read t key ~now ~cost_ns =
-  let e = entry t key in
+let acquire_read_e t e ~now ~cost_ns =
   record_wait t now e.writer_release;
   max now e.writer_release + int_of_float cost_ns
 
-let release_writes t keys ~at =
-  List.iter
-    (fun key ->
-      let e = entry t key in
-      e.active <- false;
-      if at > e.writer_release then e.writer_release <- at)
-    keys
+let release_write_e e ~at =
+  e.active <- false;
+  if at > e.writer_release then e.writer_release <- at
 
-let release_reads t keys ~at =
-  List.iter
-    (fun key ->
-      let e = entry t key in
-      if at > e.reader_release then e.reader_release <- at)
-    keys
+let release_read_e e ~at = if at > e.reader_release then e.reader_release <- at
+
+let last_writer_task_e e = e.last_task
+
+let set_last_writer_task_e e id = e.last_task <- id
+
+let acquire_write t key ~now ~cost_ns = acquire_write_e t (entry t key) ~now ~cost_ns
+
+let acquire_read t key ~now ~cost_ns = acquire_read_e t (entry t key) ~now ~cost_ns
+
+let release_writes t keys ~at = List.iter (fun key -> release_write_e (entry t key) ~at) keys
+
+let release_reads t keys ~at = List.iter (fun key -> release_read_e (entry t key) ~at) keys
 
 let held_by_active_tx t key =
   match Hashtbl.find_opt (shard t key) key with

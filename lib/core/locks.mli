@@ -40,6 +40,34 @@ val acquire_write : t -> key -> now:int -> cost_ns:float -> int
     lock is held: [max now writer_release] plus [cost_ns]. *)
 val acquire_read : t -> key -> now:int -> cost_ns:float -> int
 
+(** {2 Entry handles}
+
+    A lock acquisition resolves the key to its table entry once; callers
+    that will release the same lock (and stamp its applier task) later in
+    the transaction can keep the handle and skip the re-hash on every
+    subsequent touch. Handles stay valid for the lifetime of the table
+    they came from. *)
+
+type entry
+
+(** [entry_of t key] resolves (creating if absent) the entry for [key]. *)
+val entry_of : t -> key -> entry
+
+(** Entry-handle variants of the key-based operations above. The [t]
+    parameter on the acquires is for the wait statistics only. *)
+
+val acquire_write_e : t -> entry -> now:int -> cost_ns:float -> int
+
+val acquire_read_e : t -> entry -> now:int -> cost_ns:float -> int
+
+val release_write_e : entry -> at:int -> unit
+
+val release_read_e : entry -> at:int -> unit
+
+val last_writer_task_e : entry -> int
+
+val set_last_writer_task_e : entry -> int -> unit
+
 (** [release_writes t keys ~at] records that the write locks on [keys] are
     released at virtual time [at] and clears active-transaction ownership. *)
 val release_writes : t -> key list -> at:int -> unit

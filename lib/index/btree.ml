@@ -40,16 +40,17 @@ let key_at r node i = r.rd node (keys_base + (8 * i))
 
 let ptr_at t r node i = r.rd node (ptrs_base t.mk + (8 * i))
 
-(* Position of the first key >= [key], by binary search. *)
-let lower_bound r node n key =
-  let rec go lo hi =
-    if lo >= hi then lo
-    else begin
-      let mid = (lo + hi) / 2 in
-      if key_at r node mid < key then go (mid + 1) hi else go lo mid
-    end
-  in
-  go 0 n
+(* Position of the first key >= [key], by binary search. Top-level rec
+   (not a local closure) so the search allocates nothing per node. *)
+let rec lb_scan r node key lo hi =
+  if lo >= hi then lo
+  else begin
+    let mid = (lo + hi) / 2 in
+    if key_at r node mid < key then lb_scan r node key (mid + 1) hi
+    else lb_scan r node key lo mid
+  end
+
+let lower_bound r node n key = lb_scan r node key 0 n
 
 (* Child index to descend into for [key]: number of keys <= key. *)
 let child_index r node n key =
@@ -147,7 +148,9 @@ let rec find_in r t node key =
   end
   else find_in r t (ptr_at t r node (child_index r node n key)) key
 
-let find t key = find_in (peek_reader t.engine) t (root_of (peek_reader t.engine) t) key
+let find t key =
+  let r = peek_reader t.engine in
+  find_in r t (root_of r t) key
 
 let find_tx tx t key =
   let r = tx_reader tx in

@@ -5,6 +5,12 @@ let line_size = 64
 
 type crash_mode = Words_survive_randomly | Lines_survive_randomly | Drop_unflushed
 
+(* Single-field float records are stored flat, so mutating [v] writes the
+   double in place. A [mutable float] field in the mixed record [t] below
+   would instead allocate a fresh boxed float on {e every} cost charge —
+   i.e. on every load and store the simulation models. *)
+type fcarry = { mutable v : float }
+
 type counters = {
   mutable stores : int;
   mutable bytes_stored : int;
@@ -16,13 +22,21 @@ type counters = {
   mutable crashes : int;
 }
 
+(* The dirty bitset is padded to a whole number of 64-bit words so the scan
+   loops can zero-test eight lines' worth of bytes at a time. [dirty_lo] /
+   [dirty_hi] bound the lines that may be dirty (in line units, inclusive);
+   every set bit lies inside the interval, which lets flush/crash/query
+   skip the rest of the bitmap entirely. An empty dirty set is represented
+   as lo = max_int, hi = -1. *)
 type t = {
   size : int;
   volatile : Bytes.t;
   persistent : Bytes.t;
-  dirty : Bytes.t;  (* bitset, one bit per line *)
+  dirty : Bytes.t;  (* bitset, one bit per line, padded to 8-byte words *)
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
   mutable clock : Clock.t;
-  mutable frac_ns : float;  (* sub-nanosecond cost carry *)
+  frac_ns : fcarry;  (* sub-nanosecond cost carry *)
   cost : Cost_model.t;
   crash_mode : crash_mode;
   rng : Rng.t;
@@ -49,9 +63,11 @@ let create ?(cost = Cost_model.default) ?(crash_mode = Words_survive_randomly) ~
     size;
     volatile = Bytes.make size '\000';
     persistent = Bytes.make size '\000';
-    dirty = Bytes.make ((nlines + 7) / 8) '\000';
+    dirty = Bytes.make ((nlines + 63) / 64 * 8) '\000';
+    dirty_lo = max_int;
+    dirty_hi = -1;
     clock;
-    frac_ns = 0.0;
+    frac_ns = { v = 0.0 };
     cost;
     crash_mode;
     rng;
@@ -66,48 +82,104 @@ let set_clock t clock = t.clock <- clock
 
 let clock t = t.clock
 
-let charge t ns =
-  let total = ns +. t.frac_ns in
+let[@inline] charge t ns =
+  let total = ns +. t.frac_ns.v in
   let whole = int_of_float total in
-  t.frac_ns <- total -. float_of_int whole;
+  t.frac_ns.v <- total -. float_of_int whole;
   if whole > 0 then Clock.advance t.clock whole
 
 let check_range t off len name =
   if off < 0 || len < 0 || off + len > t.size then
     invalid_arg (Printf.sprintf "Region.%s: range [%d,+%d) out of bounds (size %d)" name off len t.size)
 
-(* Dirty bitset operations. *)
+(* Little-endian int accessors assembled from 16-bit pieces. On a 64-bit
+   system these compile to immediate-int arithmetic; [Bytes.get_int64_le]
+   returns a boxed [Int64.t] that allocates on every call without flambda.
+   The encoding is bit-identical to [Int64.of_int] / [Int64.to_int]: the
+   final word is taken with an arithmetic shift so byte 7's top bit carries
+   the OCaml int's sign, exactly as [Int64.of_int] sign-extends it. *)
 
-let set_dirty_line t line =
-  let byte = line lsr 3 and bit = line land 7 in
-  let v = Char.code (Bytes.get t.dirty byte) in
-  Bytes.set t.dirty byte (Char.chr (v lor (1 lsl bit)))
+(* Raw 16-bit loads/stores without per-call bounds checks: every caller
+   sits behind a [check_range] (or reads the fixed-size dirty bitset at
+   word-aligned offsets derived from in-range line numbers), so the four
+   checks [Bytes.get_uint16_le] would repeat per 64-bit access are pure
+   overhead on the hottest loops in the simulator. The primitives are
+   native-endian, hence the compile-time byte-swap on big-endian hosts,
+   mirroring the stdlib's own implementation. *)
+external unsafe_get16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+
+let swap16 x = ((x land 0xff) lsl 8) lor ((x lsr 8) land 0xff)
+
+let get16_le b off =
+  if Sys.big_endian then swap16 (unsafe_get16 b off) else unsafe_get16 b off
+
+let set16_le b off v =
+  if Sys.big_endian then unsafe_set16 b off (swap16 v) else unsafe_set16 b off v
+
+let get_int_le b off =
+  get16_le b off
+  lor (get16_le b (off + 2) lsl 16)
+  lor (get16_le b (off + 4) lsl 32)
+  lor (get16_le b (off + 6) lsl 48)
+
+let set_int_le b off v =
+  set16_le b off (v land 0xffff);
+  set16_le b (off + 2) ((v lsr 16) land 0xffff);
+  set16_le b (off + 4) ((v lsr 32) land 0xffff);
+  set16_le b (off + 6) ((v asr 48) land 0xffff)
+
+(* Dirty bitset operations. *)
 
 let clear_dirty_line t line =
   let byte = line lsr 3 and bit = line land 7 in
-  let v = Char.code (Bytes.get t.dirty byte) in
-  Bytes.set t.dirty byte (Char.chr (v land lnot (1 lsl bit)))
+  let v = Char.code (Bytes.unsafe_get t.dirty byte) in
+  Bytes.unsafe_set t.dirty byte (Char.unsafe_chr (v land lnot (1 lsl bit)))
 
-let line_is_dirty t line =
-  let byte = line lsr 3 and bit = line land 7 in
-  Char.code (Bytes.get t.dirty byte) land (1 lsl bit) <> 0
+let or_dirty_byte t byte mask =
+  Bytes.unsafe_set t.dirty byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.dirty byte) lor mask))
 
 let mark_dirty t off len =
   if len > 0 then begin
     let first = off / line_size and last = (off + len - 1) / line_size in
-    for line = first to last do
-      set_dirty_line t line
-    done
+    if first < t.dirty_lo then t.dirty_lo <- first;
+    if last > t.dirty_hi then t.dirty_hi <- last;
+    let fb = first lsr 3 and lb = last lsr 3 in
+    if fb = lb then
+      or_dirty_byte t fb (((1 lsl (last - first + 1)) - 1) lsl (first land 7))
+    else begin
+      or_dirty_byte t fb (0xff lsl (first land 7) land 0xff);
+      if lb > fb + 1 then Bytes.fill t.dirty (fb + 1) (lb - fb - 1) '\xff';
+      or_dirty_byte t lb ((1 lsl ((last land 7) + 1)) - 1)
+    end
   end
 
-(* Stores. *)
+(* Stores.
 
-let record_store t off len =
-  check_range t off len "write";
+   The [_unchecked] halves update counters, dirty lines and simulated cost
+   exactly as the checked entry points do; the public unsafe accessors use
+   them after the caller has validated the enclosing range once. *)
+
+(* The cost arithmetic is open-coded here rather than calling
+   [Cost_model.store_cost]/[charge]: without flambda a float returned
+   across a function boundary is boxed, which put several allocations on
+   every simulated load and store. Open-coded, every intermediate stays in
+   a register. The arithmetic (and hence the clock) is unchanged. *)
+let record_store_unchecked t off len =
   t.counters.stores <- t.counters.stores + 1;
   t.counters.bytes_stored <- t.counters.bytes_stored + len;
   mark_dirty t off len;
-  charge t (Cost_model.store_cost t.cost len)
+  let c = t.cost in
+  let ns = c.Cost_model.store_overhead_ns +. (c.Cost_model.store_ns_per_byte *. float_of_int len) in
+  let total = ns +. t.frac_ns.v in
+  let whole = int_of_float total in
+  t.frac_ns.v <- total -. float_of_int whole;
+  if whole > 0 then Clock.advance t.clock whole
+
+let record_store t off len =
+  check_range t off len "write";
+  record_store_unchecked t off len
 
 let write_bytes t off b =
   record_store t off (Bytes.length b);
@@ -125,19 +197,37 @@ let write_int32 t off v =
   record_store t off 4;
   Bytes.set_int32_le t.volatile off v
 
-let write_int t off v = write_int64 t off (Int64.of_int v)
+let write_int t off v =
+  record_store t off 8;
+  set_int_le t.volatile off v
 
 let write_byte t off v =
   record_store t off 1;
   Bytes.set_uint8 t.volatile off (v land 0xff)
 
+let unsafe_write_int t off v =
+  record_store_unchecked t off 8;
+  set_int_le t.volatile off v
+
+let unsafe_write_byte t off v =
+  record_store_unchecked t off 1;
+  Bytes.unsafe_set t.volatile off (Char.unsafe_chr (v land 0xff))
+
 (* Loads. *)
+
+let record_load_unchecked t len =
+  t.counters.loads <- t.counters.loads + 1;
+  t.counters.bytes_loaded <- t.counters.bytes_loaded + len;
+  let c = t.cost in
+  let ns = c.Cost_model.load_overhead_ns +. (c.Cost_model.load_ns_per_byte *. float_of_int len) in
+  let total = ns +. t.frac_ns.v in
+  let whole = int_of_float total in
+  t.frac_ns.v <- total -. float_of_int whole;
+  if whole > 0 then Clock.advance t.clock whole
 
 let record_load t off len =
   check_range t off len "read";
-  t.counters.loads <- t.counters.loads + 1;
-  t.counters.bytes_loaded <- t.counters.bytes_loaded + len;
-  charge t (Cost_model.load_cost t.cost len)
+  record_load_unchecked t len
 
 let read_bytes t off len =
   record_load t off len;
@@ -147,6 +237,12 @@ let read_string t off len =
   record_load t off len;
   Bytes.sub_string t.volatile off len
 
+let read_into t off dst pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Region.read_into: destination range out of bounds";
+  record_load t off len;
+  Bytes.blit t.volatile off dst pos len
+
 let read_int64 t off =
   record_load t off 8;
   Bytes.get_int64_le t.volatile off
@@ -155,11 +251,40 @@ let read_int32 t off =
   record_load t off 4;
   Bytes.get_int32_le t.volatile off
 
-let read_int t off = Int64.to_int (read_int64 t off)
+let read_int t off =
+  record_load t off 8;
+  get_int_le t.volatile off
 
 let read_byte t off =
   record_load t off 1;
   Bytes.get_uint8 t.volatile off
+
+let unsafe_read_int t off =
+  record_load_unchecked t 8;
+  get_int_le t.volatile off
+
+let unsafe_read_byte t off =
+  record_load_unchecked t 1;
+  Char.code (Bytes.unsafe_get t.volatile off)
+
+let equal_ranges a aoff b boff len =
+  check_range a aoff len "equal_ranges";
+  check_range b boff len "equal_ranges";
+  record_load_unchecked a len;
+  record_load_unchecked b len;
+  let av = a.volatile and bv = b.volatile in
+  let words = len lsr 3 in
+  let rec word_eq i =
+    i >= words
+    || (get_int_le av (aoff + (i lsl 3)) = get_int_le bv (boff + (i lsl 3))
+       && word_eq (i + 1))
+  in
+  let rec byte_eq i =
+    i >= len
+    || (Bytes.unsafe_get av (aoff + i) = Bytes.unsafe_get bv (boff + i)
+       && byte_eq (i + 1))
+  in
+  word_eq 0 && byte_eq (words lsl 3)
 
 let fill t off len byte =
   record_store t off len;
@@ -181,23 +306,90 @@ let copy_between ~src ~src_off ~dst ~dst_off ~len =
   charge dst (Cost_model.copy_cost dst.cost len);
   Bytes.blit src.volatile src_off dst.volatile dst_off len
 
-(* Persistence. *)
+(* Persistence.
 
-let persist_line t line =
-  let off = line * line_size in
-  let len = min line_size (t.size - off) in
+   The scan loops below all follow the same shape: clamp the requested line
+   range to the [dirty_lo, dirty_hi] watermark, then walk the bitset one
+   64-bit word (64 lines) at a time, zero-testing each word as four 16-bit
+   loads (immediate ints — a single [Bytes.get_int64_le] would both allocate
+   and silently lose line 63 of the word if narrowed to an OCaml int).
+   Nonzero words decay to a per-byte, per-bit walk in ascending line order,
+   which keeps the flush/RNG sequencing identical to the naive per-line
+   loop this replaces. *)
+
+let word_nonzero d bo =
+  unsafe_get16 d bo
+  lor unsafe_get16 d (bo + 2)
+  lor unsafe_get16 d (bo + 4)
+  lor unsafe_get16 d (bo + 6)
+  <> 0
+
+(* Persist the contiguous dirty run [l0..l1] with a single
+   volatile→persistent blit. The per-line bookkeeping — bitset clear,
+   lines_flushed, and the flush_line_ns charge with its fractional-ns
+   carry — still runs once per line in ascending order, so every counter
+   and the simulated clock end up bit-identical to the per-line
+   blit-and-charge loop this replaces ({!Clock.advance} is a plain add,
+   so one advance of the summed whole-ns is the same as one per line). *)
+let persist_run t l0 l1 =
+  let off = l0 * line_size in
+  let len = min ((l1 + 1) * line_size) t.size - off in
   Bytes.blit t.volatile off t.persistent off len;
-  clear_dirty_line t line;
-  t.counters.lines_flushed <- t.counters.lines_flushed + 1;
-  charge t t.cost.Cost_model.flush_line_ns
+  let ns = t.cost.Cost_model.flush_line_ns in
+  let acc = ref 0 in
+  for line = l0 to l1 do
+    clear_dirty_line t line;
+    let total = ns +. t.frac_ns.v in
+    let whole = int_of_float total in
+    t.frac_ns.v <- total -. float_of_int whole;
+    acc := !acc + whole
+  done;
+  t.counters.lines_flushed <- t.counters.lines_flushed + (l1 - l0 + 1);
+  if !acc > 0 then Clock.advance t.clock !acc
 
 let flush t off len =
   check_range t off len "flush";
   if len > 0 then begin
     let first = off / line_size and last = (off + len - 1) / line_size in
-    for line = first to last do
-      if line_is_dirty t line then persist_line t line
-    done
+    let a = if first > t.dirty_lo then first else t.dirty_lo in
+    let b = if last < t.dirty_hi then last else t.dirty_hi in
+    if a <= b then begin
+      let d = t.dirty in
+      (* Track the pending run of consecutive dirty lines; a gap (or end
+         of scan) flushes it with one blit. *)
+      let rs = ref (-1) and re = ref (-2) in
+      for w = a lsr 6 to b lsr 6 do
+        let bo = w lsl 3 in
+        if word_nonzero d bo then
+          for byte = bo to bo + 7 do
+            let v = Char.code (Bytes.unsafe_get d byte) in
+            if v <> 0 then begin
+              let base = byte lsl 3 in
+              for bit = 0 to 7 do
+                if v land (1 lsl bit) <> 0 then begin
+                  let line = base + bit in
+                  if line >= a && line <= b then
+                    if line = !re + 1 then re := line
+                    else begin
+                      if !rs >= 0 then persist_run t !rs !re;
+                      rs := line;
+                      re := line
+                    end
+                end
+              done
+            end
+          done
+      done;
+      if !rs >= 0 then persist_run t !rs !re;
+      (* A flush reaching down to the low watermark leaves nothing dirty at
+         or below [b]; pull the watermark up past it (or empty it). *)
+      if first <= t.dirty_lo then
+        if last >= t.dirty_hi then begin
+          t.dirty_lo <- max_int;
+          t.dirty_hi <- -1
+        end
+        else t.dirty_lo <- b + 1
+    end
   end
 
 let fence t =
@@ -208,12 +400,35 @@ let persist t off len =
   flush t off len;
   fence t
 
-let nlines t = (t.size + line_size - 1) / line_size
-
 let flush_all t =
-  for line = 0 to nlines t - 1 do
-    if line_is_dirty t line then persist_line t line
-  done
+  if t.dirty_lo <= t.dirty_hi then begin
+    let d = t.dirty in
+    let rs = ref (-1) and re = ref (-2) in
+    for w = t.dirty_lo lsr 6 to t.dirty_hi lsr 6 do
+      let bo = w lsl 3 in
+      if word_nonzero d bo then
+        for byte = bo to bo + 7 do
+          let v = Char.code (Bytes.unsafe_get d byte) in
+          if v <> 0 then begin
+            let base = byte lsl 3 in
+            for bit = 0 to 7 do
+              if v land (1 lsl bit) <> 0 then begin
+                let line = base + bit in
+                if line = !re + 1 then re := line
+                else begin
+                  if !rs >= 0 then persist_run t !rs !re;
+                  rs := line;
+                  re := line
+                end
+              end
+            done
+          end
+        done
+    done;
+    if !rs >= 0 then persist_run t !rs !re;
+    t.dirty_lo <- max_int;
+    t.dirty_hi <- -1
+  end
 
 let persist_all t =
   flush_all t;
@@ -229,9 +444,17 @@ let crash_line_words t line =
   let words = len / 8 in
   for w = 0 to words - 1 do
     let woff = off + (w * 8) in
-    let v = Bytes.get_int64_le t.volatile woff in
-    let p = Bytes.get_int64_le t.persistent woff in
-    if v <> p && Rng.bool t.rng then Bytes.set_int64_le t.persistent woff v
+    let v = get_int_le t.volatile woff in
+    let p = get_int_le t.persistent woff in
+    if v <> p then begin
+      if Rng.bool t.rng then Bytes.blit t.volatile woff t.persistent woff 8
+    end
+    else if Bytes.get_int64_le t.volatile woff <> Bytes.get_int64_le t.persistent woff
+    then begin
+      (* [get_int_le] drops bit 63; fall back to the full comparison for
+         the one-in-2^63 narrowed collision so no modified word is missed. *)
+      if Rng.bool t.rng then Bytes.blit t.volatile woff t.persistent woff 8
+    end
   done;
   (* Tail bytes of a short final line persist byte-by-byte. *)
   for b = words * 8 to len - 1 do
@@ -240,40 +463,87 @@ let crash_line_words t line =
     if v <> p && Rng.bool t.rng then Bytes.set t.persistent (off + b) v
   done
 
+let crash_evict_line t line =
+  if Rng.bool t.rng then begin
+    let off = line * line_size in
+    let len = min line_size (t.size - off) in
+    Bytes.blit t.volatile off t.persistent off len
+  end
+
 let crash t =
   t.counters.crashes <- t.counters.crashes + 1;
-  (match t.crash_mode with
-  | Drop_unflushed -> ()
-  | Lines_survive_randomly ->
-      for line = 0 to nlines t - 1 do
-        if line_is_dirty t line && Rng.bool t.rng then begin
-          let off = line * line_size in
-          let len = min line_size (t.size - off) in
-          Bytes.blit t.volatile off t.persistent off len
-        end
-      done
-  | Words_survive_randomly ->
-      for line = 0 to nlines t - 1 do
-        if line_is_dirty t line then crash_line_words t line
-      done);
+  (if t.crash_mode <> Drop_unflushed && t.dirty_lo <= t.dirty_hi then begin
+     let d = t.dirty in
+     let words_mode = t.crash_mode = Words_survive_randomly in
+     for w = t.dirty_lo lsr 6 to t.dirty_hi lsr 6 do
+       let bo = w lsl 3 in
+       if word_nonzero d bo then
+         for byte = bo to bo + 7 do
+           let v = Char.code (Bytes.unsafe_get d byte) in
+           if v <> 0 then begin
+             let base = byte lsl 3 in
+             for bit = 0 to 7 do
+               if v land (1 lsl bit) <> 0 then
+                 if words_mode then crash_line_words t (base + bit)
+                 else crash_evict_line t (base + bit)
+             done
+           end
+         done
+     done
+   end);
   Bytes.blit t.persistent 0 t.volatile 0 t.size;
-  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  t.dirty_lo <- max_int;
+  t.dirty_hi <- -1
 
 let is_persisted t off len =
   check_range t off len "is_persisted";
   if len = 0 then true
   else begin
     let first = off / line_size and last = (off + len - 1) / line_size in
-    let rec loop line = line > last || ((not (line_is_dirty t line)) && loop (line + 1)) in
-    loop first
+    let a = if first > t.dirty_lo then first else t.dirty_lo in
+    let b = if last < t.dirty_hi then last else t.dirty_hi in
+    if a > b then true
+    else begin
+      let d = t.dirty in
+      let clean = ref true in
+      let byte = ref (a lsr 3) in
+      let last_byte = b lsr 3 in
+      while !clean && !byte <= last_byte do
+        let v = Char.code (Bytes.unsafe_get d !byte) in
+        if v <> 0 then begin
+          let base = !byte lsl 3 in
+          for bit = 0 to 7 do
+            let line = base + bit in
+            if v land (1 lsl bit) <> 0 && line >= a && line <= b then clean := false
+          done
+        end;
+        incr byte
+      done;
+      !clean
+    end
   end
 
-let dirty_lines t =
-  let n = ref 0 in
-  for line = 0 to nlines t - 1 do
-    if line_is_dirty t line then incr n
+let popcount =
+  let table = Bytes.make 256 '\000' in
+  for i = 0 to 255 do
+    let rec count v = if v = 0 then 0 else (v land 1) + count (v lsr 1) in
+    Bytes.set table i (Char.chr (count i))
   done;
-  !n
+  table
+
+let dirty_lines t =
+  if t.dirty_hi < t.dirty_lo then 0
+  else begin
+    (* Edge bytes may cover lines outside the watermark, but the invariant
+       says those bits are clear, so whole-byte popcounts are exact. *)
+    let n = ref 0 in
+    for byte = t.dirty_lo lsr 3 to t.dirty_hi lsr 3 do
+      n :=
+        !n + Char.code (Bytes.unsafe_get popcount (Char.code (Bytes.unsafe_get t.dirty byte)))
+    done;
+    !n
+  end
 
 let counters t = t.counters
 

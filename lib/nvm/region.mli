@@ -72,6 +72,32 @@ val read_int32 : t -> int -> int32
 val read_int : t -> int -> int
 val read_byte : t -> int -> int
 
+(** [read_into t off dst pos len] copies [len] bytes at [off] into [dst]
+    starting at [pos] — the allocation-free counterpart of {!read_bytes}
+    (same load accounting, same bounds checks, caller-supplied buffer). *)
+val read_into : t -> int -> bytes -> int -> int -> unit
+
+(** {2 Unchecked accessors}
+
+    Identical to their checked counterparts — same counters, dirty-line
+    tracking and simulated cost — except the per-call range check is
+    skipped. The caller must have validated that the whole enclosing range
+    is in bounds (e.g. an object extent or a log-slot header checked once
+    at lookup); passing an unvalidated offset corrupts adjacent data
+    silently. *)
+
+val unsafe_read_int : t -> int -> int
+val unsafe_read_byte : t -> int -> int
+val unsafe_write_int : t -> int -> int -> unit
+val unsafe_write_byte : t -> int -> int -> unit
+
+(** [equal_ranges a aoff b boff len] compares [len] bytes of [a]'s and
+    [b]'s volatile images without allocating. Each region is charged
+    exactly one load of [len] bytes, so substituting this for a
+    read-both-and-compare leaves every counter and simulated cost
+    unchanged. *)
+val equal_ranges : t -> int -> t -> int -> int -> bool
+
 (** [fill t off len byte] stores [len] copies of [byte]. *)
 val fill : t -> int -> int -> int -> unit
 

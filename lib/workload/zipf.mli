@@ -21,3 +21,9 @@ val sample : t -> Kamino_sim.Rng.t -> int
 (** [sample_scrambled t rng] draws a key in [0, n) with zipfian popularity
     but hash-scattered identity. *)
 val sample_scrambled : t -> Kamino_sim.Rng.t -> int
+
+(** [scramble n rank] is the pure hash [sample_scrambled] applies to a
+    sampled rank to scatter hot ranks over the [n]-key space. Exposed so
+    tests can pin [sample_scrambled = scramble n (sample t rng)] without
+    re-deriving the hash. *)
+val scramble : int -> int -> int

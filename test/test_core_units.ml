@@ -105,7 +105,7 @@ let test_applier_timeline () =
   let ilog = make_ilog () in
   let applied = ref [] in
   let a =
-    Applier.create ~regions:[]
+    Applier.create ~regions:[||]
       ~apply:(fun tasks ->
         List.iter
           (fun task ->
@@ -135,7 +135,7 @@ let test_applier_timeline () =
 let test_applier_idle_gap () =
   let ilog = make_ilog () in
   let a =
-    Applier.create ~regions:[]
+    Applier.create ~regions:[||]
       ~apply:(fun tasks ->
         List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks)
   in
@@ -152,7 +152,7 @@ let test_applier_idle_gap () =
 let test_applier_drain_one () =
   let ilog = make_ilog () in
   let a =
-    Applier.create ~regions:[]
+    Applier.create ~regions:[||]
       ~apply:(fun tasks ->
         List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks)
   in
@@ -166,7 +166,7 @@ let test_applier_batching () =
   let ilog = make_ilog () in
   let batches = ref [] in
   let a =
-    Applier.create ~regions:[]
+    Applier.create ~regions:[||]
       ~apply:(fun tasks ->
         batches := List.map (fun task -> task.Applier.tx_id) tasks :: !batches;
         List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks)

@@ -46,6 +46,89 @@ let test_zipf_scramble_spreads () =
   let hottest = Hashtbl.fold (fun k c (bk, bc) -> if c > bc then (k, c) else (bk, bc)) seen (0, 0) in
   Alcotest.(check bool) "hottest key is scattered" true (fst hottest > 100)
 
+(* Chi-square goodness-of-fit of [Zipf.sample] against the exact rank
+   probabilities p_i = i^-theta / zeta_n(theta). The sampler is the
+   Gray/YCSB inverse-CDF approximation, so the statistic carries a small
+   deterministic bias on top of sampling noise — at n=200, theta=0.99 and
+   100k draws it sits near 275 (pure noise over 24 bins would be ~25-50).
+   The thresholds are set at roughly twice that: far below any structurally
+   wrong sampler (a uniform impostor scores ~190,000; mis-parameterized
+   theta scores in the thousands) while leaving headroom over the
+   approximation's own bias. Low ranks are tested individually where the
+   mass is; the tail is pooled into doubling bins so every expected count
+   stays well above the chi-square validity floor of ~5. *)
+let chi_square ~n ~theta ~samples ~seed =
+  let z = Zipf.create ~n ~theta in
+  let zetan = ref 0.0 in
+  for i = 1 to n do
+    zetan := !zetan +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  let p r = 1.0 /. (Float.pow (float_of_int (r + 1)) theta *. !zetan) in
+  let counts = Array.make n 0 in
+  let rng = Rng.create seed in
+  for _ = 1 to samples do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let chi2 = ref 0.0 in
+  let add_bin lo hi =
+    let obs = ref 0 and expect = ref 0.0 in
+    for r = lo to hi do
+      obs := !obs + counts.(r);
+      expect := !expect +. p r
+    done;
+    let e = !expect *. float_of_int samples in
+    let d = float_of_int !obs -. e in
+    chi2 := !chi2 +. (d *. d /. e)
+  in
+  for r = 0 to min 19 (n - 1) do
+    add_bin r r
+  done;
+  let lo = ref 20 and w = ref 20 in
+  while !lo < n do
+    let hi = min (n - 1) (!lo + !w - 1) in
+    add_bin !lo hi;
+    lo := hi + 1;
+    w := !w * 2
+  done;
+  !chi2
+
+let test_zipf_chi_square () =
+  let check ~n ~theta ~limit =
+    let chi2 = chi_square ~n ~theta ~samples:100_000 ~seed:4242 in
+    Alcotest.(check bool)
+      (Printf.sprintf "chi2 for n=%d theta=%.2f within bound (%.1f < %.1f)" n theta chi2
+         limit)
+      true (chi2 < limit)
+  in
+  check ~n:200 ~theta:0.99 ~limit:600.0;
+  check ~n:1000 ~theta:0.99 ~limit:600.0;
+  check ~n:200 ~theta:0.5 ~limit:300.0
+
+(* The whole point of seeding: a fixed seed must reproduce the exact key
+   sequence, and the scramble must stay a pure function of the rank. *)
+let test_zipf_scrambled_deterministic () =
+  let sequence seed =
+    let z = Zipf.create ~n:4096 ~theta:0.99 in
+    let rng = Rng.create seed in
+    List.init 1000 (fun _ -> Zipf.sample_scrambled z rng)
+  in
+  Alcotest.(check (list int)) "same seed, same key stream" (sequence 99) (sequence 99);
+  Alcotest.(check bool) "different seed, different key stream" true
+    (sequence 99 <> sequence 100);
+  (* sample_scrambled = scramble-of-sample: replaying the rank stream
+     through a parallel RNG must reproduce the key stream via the same
+     pure hash, pinning the composition (not just the end-to-end values). *)
+  let z = Zipf.create ~n:4096 ~theta:0.99 in
+  let r1 = Rng.create 7 and r2 = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let rank = Zipf.sample z r1 in
+    let key = Zipf.sample_scrambled z r2 in
+    Alcotest.(check int) "key stream = scramble of rank stream"
+      (Zipf.scramble 4096 rank) key;
+    Alcotest.(check bool) "key in range" true (key >= 0 && key < 4096)
+  done
+
 let test_zipf_invalid () =
   Alcotest.(check bool) "bad n" true
     (try ignore (Zipf.create ~n:0 ~theta:0.9); false with Invalid_argument _ -> true);
@@ -209,6 +292,10 @@ let () =
           Alcotest.test_case "bounds" `Quick test_zipf_bounds;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "scramble spreads" `Quick test_zipf_scramble_spreads;
+          Alcotest.test_case "chi-square vs exact rank probabilities" `Quick
+            test_zipf_chi_square;
+          Alcotest.test_case "scrambled sampling is deterministic" `Quick
+            test_zipf_scrambled_deterministic;
           Alcotest.test_case "invalid args" `Quick test_zipf_invalid;
         ] );
       ( "ycsb",
