@@ -18,6 +18,7 @@ module Ycsb = Kamino_workload.Ycsb
 module Driver = Kamino_workload.Driver
 module Tpcc = Kamino_workload.Tpcc
 module Chain = Kamino_chain.Chain
+module Chaos = Kamino_chaos.Chaos
 open Cmdliner
 
 (* --- shared arguments ----------------------------------------------------- *)
@@ -380,6 +381,156 @@ let fuzz_cmd =
           injection, full state verification per seed.")
     term
 
+(* --- chaos ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match Chaos.mode_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg "expected traditional | kamino")),
+        fun fmt m -> Format.pp_print_string fmt (Chaos.mode_name m) )
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt mode_conv Kamino_chain.Async_chain.Kamino_chain
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"traditional | kamino")
+  in
+  let chaos_ops_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "n"; "ops" ] ~docv:"OPS" ~doc:"Client operations per run.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 6 & info [ "faults" ] ~docv:"N" ~doc:"Faults drawn per schedule.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:"Explore $(docv) consecutive seeds instead of a single run.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Replay a serialized fault schedule instead of drawing one.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Write failing schedules and histories here as artifacts.")
+  in
+  let history_arg =
+    Arg.(
+      value & flag
+      & info [ "history" ] ~doc:"Print the full run record, not just the verdict.")
+  in
+  let broken_arg =
+    Arg.(
+      value & flag
+      & info [ "broken-recovery" ]
+          ~doc:
+            "Deliberately forget the in-flight window on reboot (oracle self-test: \
+             the durable-prefix oracle must catch this).")
+  in
+  let save_artifacts dir (o : Chaos.outcome) shrunk =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let base = Printf.sprintf "%s/chaos-%s-seed%d" dir (Chaos.mode_name o.Chaos.mode) o.Chaos.seed in
+    let write path s =
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc
+    in
+    write (base ^ ".schedule") (Chaos.schedule_to_string shrunk);
+    write (base ^ ".history") o.Chaos.history;
+    Printf.printf "  artifacts: %s.{schedule,history}\n%!" base
+  in
+  let report_failure ~mode ~seed ~ops out_dir recovery_fault (o : Chaos.outcome) =
+    let shrunk = Chaos.shrink ~recovery_fault ~mode ~seed ~ops o.Chaos.schedule in
+    Printf.printf "  shrunk to %d fault(s):\n%s%!" (List.length shrunk)
+      (String.concat ""
+         (List.map (fun f -> "    " ^ Chaos.fault_to_string f ^ "\n") shrunk));
+    Option.iter (fun dir -> save_artifacts dir o shrunk) out_dir
+  in
+  let run mode seed ops faults sweep schedule_file out_dir history broken =
+    let recovery_fault =
+      if broken then Kamino_chain.Async_chain.Drop_inflight_on_reboot
+      else Kamino_chain.Async_chain.No_fault
+    in
+    match schedule_file with
+    | Some path -> (
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Chaos.schedule_of_string s with
+        | Error e ->
+            Printf.eprintf "bad schedule file: %s\n" e;
+            exit 2
+        | Ok schedule ->
+            let o = Chaos.run ~recovery_fault ~mode ~seed ~ops ~schedule () in
+            print_string o.Chaos.history;
+            if o.Chaos.verdict <> Ok () then exit 1)
+    | None ->
+        if sweep > 0 then begin
+          let failures = ref 0 in
+          for s = seed to seed + sweep - 1 do
+            let o = Chaos.explore ~recovery_fault ~ops ~faults ~mode ~seed:s () in
+            match o.Chaos.verdict with
+            | Ok () ->
+                Printf.printf
+                  "seed %d: PASS (%d events, %d/%d acked, %d reads, %d stale drops, %d \
+                   survivors)\n%!"
+                  s o.Chaos.events o.Chaos.acked o.Chaos.submitted o.Chaos.reads
+                  o.Chaos.stale_drops
+                  (List.length o.Chaos.survivors)
+            | Error e ->
+                incr failures;
+                Printf.printf "seed %d: FAIL — %s\n%!" s e;
+                report_failure ~mode ~seed:s ~ops out_dir recovery_fault o
+          done;
+          Printf.printf "chaos sweep: %d seeds, %d failure(s), mode %s\n" sweep !failures
+            (Chaos.mode_name mode);
+          if !failures > 0 then exit 1
+        end
+        else begin
+          let o = Chaos.explore ~recovery_fault ~ops ~faults ~mode ~seed () in
+          if history then print_string o.Chaos.history
+          else begin
+            Printf.printf "mode=%s seed=%d ops=%d: %s\n" (Chaos.mode_name mode) seed ops
+              (match o.Chaos.verdict with Ok () -> "PASS" | Error e -> "FAIL — " ^ e);
+            Printf.printf
+              "  %d events, %d submitted, %d acked, %d reads, %d stale drops, survivors \
+               [%s]\n"
+              o.Chaos.events o.Chaos.submitted o.Chaos.acked o.Chaos.reads
+              o.Chaos.stale_drops
+              (String.concat ";" (List.map string_of_int o.Chaos.survivors))
+          end;
+          if o.Chaos.verdict <> Ok () then begin
+            report_failure ~mode ~seed ~ops out_dir recovery_fault o;
+            exit 1
+          end
+        end
+  in
+  let term =
+    Term.(
+      const run $ mode_arg $ seed_arg $ chaos_ops_arg $ faults_arg $ sweep_arg
+      $ schedule_arg $ out_dir_arg $ history_arg $ broken_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Explore random fault schedules against the replicated chain and check the \
+          linearizability and durable-prefix oracles.")
+    term
+
 (* --- info ------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -398,6 +549,6 @@ let () =
   let doc = "Kamino-Tx: atomic in-place updates for non-volatile main memory (simulated)" in
   let cmd =
     Cmd.group (Cmd.info "kamino" ~doc)
-      [ ycsb_cmd; tpcc_cmd; crash_test_cmd; fuzz_cmd; chain_cmd; info_cmd ]
+      [ ycsb_cmd; tpcc_cmd; crash_test_cmd; fuzz_cmd; chain_cmd; chaos_cmd; info_cmd ]
   in
   exit (Cmd.eval cmd)

@@ -10,6 +10,10 @@ module Kv = Kamino_kv.Kv
 
 type mode = Traditional | Kamino_chain
 
+type recovery_fault = No_fault | Drop_inflight_on_reboot
+
+exception Corrupt_entry of { node : int; queue_seq : int; reason : string }
+
 type node = {
   id : int;
   engine : Engine.t;
@@ -22,6 +26,14 @@ type node = {
   exec_seq_obj : Heap.ptr;  (* last executed op sequence, bumped in-tx *)
   mutable last_forwarded : int;  (* volatile dedup for the in-flight queue *)
   mutable up : bool;
+  mutable removed : bool;  (* fail-stopped out of the view, permanently *)
+  mutable fwd_link_at : int;
+      (* latest delivery time scheduled on this node's forward link — keeps
+         the link FIFO even when per-hop jitter would reorder messages *)
+  applied : (int, unit) Hashtbl.t;
+      (* omniscient-observer record of every op sequence whose transaction
+         committed here; survives reboots (it is oracle instrumentation,
+         not replica state) but is meaningless once the node is removed *)
 }
 
 type t = {
@@ -29,10 +41,16 @@ type t = {
   sim : Sim.t;
   hop_ns : int;
   rpc_ns : int;
+  promote_ns : int;
   nodes : node array;
+  membership : Membership.t;
   mutable next_op_seq : int;
   (* head-side completion plumbing: op seq -> (write-lock keys, callback) *)
   pending : (int, int list * (int -> unit)) Hashtbl.t;
+  mutable jitter : (Rng.t * int) option;  (* per-hop delay noise: rng, amplitude *)
+  mutable stale_drops : int;
+  mutable promoting : int option;  (* replica whose head promotion is in flight *)
+  mutable recovery_fault : recovery_fault;
 }
 
 (* Envelope: 8-byte op sequence followed by the encoded command. *)
@@ -45,18 +63,60 @@ let open_envelope payload =
   ( Int64.to_int (String.get_int64_le payload 0),
     Op.decode (String.sub payload 8 (String.length payload - 8)) )
 
+(* Decoding a persistent queue slot can fail if the slot was corrupted in
+   place (the queue's checksum guards torn publishes, not bit rot under a
+   valid checksum). Surface it as a typed error naming the replica and the
+   slot instead of executing garbage. *)
+let open_envelope_exn node ~queue_seq payload =
+  match open_envelope payload with
+  | v -> v
+  | exception Op.Decode_error reason ->
+      raise (Corrupt_entry { node = node.id; queue_seq; reason })
+  | exception Invalid_argument reason ->
+      raise (Corrupt_entry { node = node.id; queue_seq; reason })
+
 let length t = Array.length t.nodes
 
 let sim t = t.sim
 
 let kv_at t i = t.nodes.(i).kv
 
+let engine_at t i = t.nodes.(i).engine
+
+let input_queue t i = t.nodes.(i).input
+
 let executed_seq t i =
   let n = t.nodes.(i) in
   Engine.peek_int n.engine n.exec_seq_obj 0
 
+let applied_seqs t i =
+  let seqs = Hashtbl.fold (fun seq () acc -> seq :: acc) t.nodes.(i).applied [] in
+  List.sort compare seqs
+
+let members t = (Membership.current t.membership).Membership.members
+
+let view_id t = (Membership.current t.membership).Membership.id
+
+let stale_drops t = t.stale_drops
+
+let promotion_pending t = t.promoting
+
+let set_hop_jitter t j = t.jitter <- j
+
+let set_recovery_fault t f = t.recovery_fault <- f
+
+let head_id t =
+  match members t with
+  | h :: _ -> h
+  | [] -> invalid_arg "Async_chain: the chain has no members left"
+
+let tail_id t =
+  match List.rev (members t) with
+  | tl :: _ -> tl
+  | [] -> invalid_arg "Async_chain: the chain has no members left"
+
 let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 1000)
-    ?(queue_slots = 512) ~mode ~f ~value_size ~node_size ~seed () =
+    ?(promote_ns = 50_000) ?(queue_slots = 512) ~mode ~f ~value_size ~node_size ~seed () =
   if f < 1 then invalid_arg "Async_chain.create: f must be at least 1";
   let n_nodes = match mode with Traditional -> f + 1 | Kamino_chain -> f + 2 in
   let slot_bytes = value_size + 64 in
@@ -97,6 +157,9 @@ let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 
           exec_seq_obj;
           last_forwarded = 0;
           up = true;
+          removed = false;
+          fwd_link_at = 0;
+          applied = Hashtbl.create 64;
         })
   in
   {
@@ -104,9 +167,18 @@ let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 
     sim = Sim.create ();
     hop_ns;
     rpc_ns;
+    promote_ns;
     nodes;
+    membership =
+      Membership.create
+        ~members:(List.init n_nodes Fun.id)
+        ~failure_timeout_ns:(50 * hop_ns);
     next_op_seq = 1;
     pending = Hashtbl.create 64;
+    jitter = None;
+    stale_drops = 0;
+    promoting = None;
+    recovery_fault = No_fault;
   }
 
 (* Bring a node's clock to the event time and charge RPC processing. *)
@@ -115,15 +187,21 @@ let enter t node =
   Clock.advance node.clock t.rpc_ns;
   Engine.set_clock node.engine node.clock
 
+let hop_delay t =
+  t.hop_ns
+  + match t.jitter with Some (rng, amp) when amp > 0 -> Rng.int rng amp | _ -> 0
+
 (* Execute a command exactly once: the last-executed sequence number is
    part of the same transaction, so a reboot can never double-apply. *)
 let execute node ~seq op =
   let already = Engine.peek_int node.engine node.exec_seq_obj 0 in
-  if seq > already then
+  if seq > already then begin
     Engine.with_tx node.engine (fun tx ->
         Op.apply_tx tx op node.kv;
         Engine.add tx node.exec_seq_obj;
-        Engine.write_int tx node.exec_seq_obj 0 seq)
+        Engine.write_int tx node.exec_seq_obj 0 seq);
+    Hashtbl.replace node.applied seq ()
+  end
 
 let record_inflight node ~seq payload =
   if seq > node.last_forwarded then begin
@@ -137,145 +215,297 @@ let record_inflight node ~seq payload =
 let gc_inflight node op_seq =
   let rec go () =
     match Opqueue.peek node.inflight with
-    | Some (_, payload) when fst (open_envelope payload) <= op_seq ->
+    | Some (qseq, payload)
+      when fst (open_envelope_exn node ~queue_seq:qseq payload) <= op_seq ->
         ignore (Opqueue.dequeue node.inflight);
         go ()
     | Some _ | None -> ()
   in
   go ()
 
+(* Snapshot the in-flight entries before re-driving them: the re-drive may
+   itself garbage-collect the queue (a node that became tail acks its own
+   backlog), and iterating a queue while dequeuing from it is undefined. *)
+let inflight_entries node =
+  let acc = ref [] in
+  Opqueue.iter node.inflight (fun ~seq:_ ~payload -> acc := payload :: !acc);
+  List.rev !acc
+
 (* --- message handlers ----------------------------------------------------- *)
 
-let rec deliver_forward t i payload =
-  let node = t.nodes.(i) in
-  if node.up then begin
-    enter t node;
-    (* Buffer in the persistent input queue before anything else. *)
-    ignore (Opqueue.enqueue node.input payload);
-    process_input t node
-  end
+(* Forward sends ride a FIFO link (TCP in the real system): with per-hop
+   jitter enabled, a naively scheduled later send could overtake an earlier
+   one and make a replica observe a sequence gap it would then never fill.
+   Clamping each delivery after the link's previous one preserves order. *)
+let send_on_fwd_link t from_node ~at f =
+  let at = max at (from_node.fwd_link_at + 1) in
+  from_node.fwd_link_at <- at;
+  Sim.schedule t.sim ~at f
+
+let rec deliver_forward t ~view i payload =
+  match Membership.validate t.membership ~view_id:view with
+  | `Stale _ -> t.stale_drops <- t.stale_drops + 1
+  | `Current ->
+      let node = t.nodes.(i) in
+      if node.up && not node.removed then begin
+        enter t node;
+        (* Buffer in the persistent input queue before anything else. *)
+        ignore (Opqueue.enqueue node.input payload);
+        process_input t node
+      end
 
 and process_input t node =
   match Opqueue.peek node.input with
   | None -> ()
-  | Some (_, payload) ->
-      let seq, op = open_envelope payload in
+  | Some (qseq, payload) ->
+      let seq, op = open_envelope_exn node ~queue_seq:qseq payload in
       execute node ~seq op;
-      (* The tail forwards to nobody, so it keeps no in-flight queue. *)
-      if node.id + 1 < Array.length t.nodes then record_inflight node ~seq payload;
+      (* A tail forwards to nobody, so it records no in-flight entry. *)
+      (match Membership.successor t.membership node.id with
+      | Some _ -> record_inflight node ~seq payload
+      | None -> ());
       ignore (Opqueue.dequeue node.input);
       forward_or_finish t node ~seq payload;
       process_input t node
 
 and forward_or_finish t node ~seq payload =
-  let i = node.id in
-  if i + 1 < Array.length t.nodes then
-    Sim.schedule t.sim
-      ~at:(Clock.now node.clock + t.hop_ns)
-      (fun () -> deliver_forward t (i + 1) payload)
-  else begin
-    (* Tail: acknowledge to the head and start the cleanup cascade. *)
-    let at = Clock.now node.clock + t.hop_ns in
-    Sim.schedule t.sim ~at (fun () -> deliver_ack t seq);
-    if i > 0 then Sim.schedule t.sim ~at (fun () -> deliver_cleanup t (i - 1) seq)
-  end
+  match Membership.successor t.membership node.id with
+  | Some nxt ->
+      let vid = view_id t in
+      send_on_fwd_link t node
+        ~at:(Clock.now node.clock + hop_delay t)
+        (fun () -> deliver_forward t ~view:vid nxt payload)
+  | None ->
+      (* Tail: acknowledge to the head and start the cleanup cascade. A
+         node that just became tail also drains its own in-flight backlog
+         here — it has nobody left to forward to. *)
+      let vid = view_id t in
+      let at = Clock.now node.clock + hop_delay t in
+      Sim.schedule t.sim ~at (fun () -> deliver_ack t ~view:vid seq);
+      gc_inflight node seq;
+      (match Membership.predecessor t.membership node.id with
+      | Some p -> Sim.schedule t.sim ~at (fun () -> deliver_cleanup t ~view:vid p seq)
+      | None -> ())
 
-and deliver_ack t seq =
-  let head = t.nodes.(0) in
-  if head.up then begin
-    enter t head;
-    (* Completion: release the head's extended locks, answer the client,
-       and garbage-collect the head's in-flight entry. *)
-    (match Hashtbl.find_opt t.pending seq with
-    | Some (keys, callback) ->
-        Hashtbl.remove t.pending seq;
-        Locks.release_held_writes (Engine.locks head.engine) keys
-          ~at:(Clock.now head.clock);
-        callback (Clock.now head.clock)
-    | None -> ());
-    gc_inflight head seq
-  end
+and deliver_ack t ~view seq =
+  match Membership.validate t.membership ~view_id:view with
+  | `Stale _ -> t.stale_drops <- t.stale_drops + 1
+  | `Current ->
+      let head = t.nodes.(head_id t) in
+      if head.up then begin
+        enter t head;
+        (* Completion: release the head's extended locks, answer the client,
+           and garbage-collect the head's in-flight entry. A head promoted
+           after the original submitted never held these locks; releasing
+           them there is a harmless no-op. *)
+        (match Hashtbl.find_opt t.pending seq with
+        | Some (keys, callback) ->
+            Hashtbl.remove t.pending seq;
+            Locks.release_held_writes (Engine.locks head.engine) keys
+              ~at:(Clock.now head.clock);
+            callback (Clock.now head.clock)
+        | None -> ());
+        gc_inflight head seq
+      end
 
-and deliver_cleanup t i seq =
-  let node = t.nodes.(i) in
-  if node.up then begin
-    enter t node;
-    gc_inflight node seq;
-    if i > 1 then
-      Sim.schedule t.sim
-        ~at:(Clock.now node.clock + t.hop_ns)
-        (fun () -> deliver_cleanup t (i - 1) seq)
-  end
+and deliver_cleanup t ~view i seq =
+  match Membership.validate t.membership ~view_id:view with
+  | `Stale _ -> t.stale_drops <- t.stale_drops + 1
+  | `Current ->
+      let node = t.nodes.(i) in
+      if node.up && not node.removed then begin
+        enter t node;
+        gc_inflight node seq;
+        (* The head's in-flight entry is cleaned by the tail ack, not the
+           cascade. *)
+        match Membership.predecessor t.membership i with
+        | Some p when p <> head_id t ->
+            Sim.schedule t.sim
+              ~at:(Clock.now node.clock + hop_delay t)
+              (fun () -> deliver_cleanup t ~view p seq)
+        | Some _ | None -> ()
+      end
 
 (* --- client interface ----------------------------------------------------- *)
 
-let submit t ~at op ~on_complete =
+let submit t ~at ?(on_submit = fun _ -> ()) op ~on_complete =
   Sim.schedule t.sim ~at (fun () ->
-      let head = t.nodes.(0) in
+      let head = t.nodes.(head_id t) in
       if not head.up then failwith "Async_chain.submit: head is down";
       enter t head;
       let seq = t.next_op_seq in
       t.next_op_seq <- seq + 1;
+      on_submit seq;
       let payload = envelope ~seq op in
       execute head ~seq op;
       let keys = Engine.last_write_keys head.engine in
       Hashtbl.replace t.pending seq (keys, on_complete);
       (* Hold the head's write locks until the tail acknowledges. *)
       Locks.hold_writes (Engine.locks head.engine) keys;
-      record_inflight head ~seq payload;
-      if Array.length t.nodes > 1 then
-        Sim.schedule t.sim
-          ~at:(Clock.now head.clock + t.hop_ns)
-          (fun () -> deliver_forward t 1 payload)
-      else deliver_ack t seq)
+      (match Membership.successor t.membership head.id with
+      | Some _ -> record_inflight head ~seq payload
+      | None -> ());
+      forward_or_finish t head ~seq payload)
 
 let read t ~at key ~on_result =
   Sim.schedule t.sim ~at (fun () ->
-      let tail = t.nodes.(Array.length t.nodes - 1) in
-      enter t tail;
-      let v = Kv.get tail.kv key in
-      on_result v (Clock.now tail.clock + t.hop_ns))
+      let tail = t.nodes.(tail_id t) in
+      if tail.up then begin
+        enter t tail;
+        let v = Kv.get tail.kv key in
+        on_result v (Clock.now tail.clock + hop_delay t)
+      end)
 
 (* --- failures -------------------------------------------------------------- *)
 
+(* §5.3 quick reboot: crash and recover in place, without a view change.
+   The rejoin handshake tells a node that was fail-stopped while dark that
+   it is out (Figure 9's `Removed answer); it then stays dark. *)
+let reboot_now ?(downtime_ns = 0) t i =
+  let node = t.nodes.(i) in
+  if not node.removed then begin
+    node.up <- false;
+    (* The machine is dark while it reboots; everything it does next
+       happens after the downtime, and deliveries queue behind it. *)
+    Clock.advance node.clock downtime_ns;
+    Engine.set_clock node.engine node.clock;
+    ignore (Clock.advance_to node.clock (Sim.now t.sim));
+    Engine.crash node.engine;
+    Region.crash node.input_region;
+    Region.crash node.inflight_region;
+    (* §5.3 recovery. *)
+    Engine.recover node.engine;
+    match Membership.rejoin t.membership ~node:i ~believed_view:(view_id t) with
+    | `Removed _ -> node.removed <- true
+    | `Member (_, pred, succ) ->
+        (* A replica without a local backup resolves incomplete transactions
+           through a chain neighbour: the predecessor rolls it forward; a
+           promoted-but-unbuilt head has no predecessor and rolls back from
+           its successor instead (§5.2). Engines with a local backup (the
+           original head, or a replica whose promotion completed) recovered
+           locally in [Engine.recover]. *)
+        (match t.mode with
+        | Kamino_chain when Engine.kind node.engine = Engine.Intent_only -> (
+            match (match pred with Some _ -> pred | None -> succ) with
+            | Some p ->
+                Engine.resolve_from_peer node.engine
+                  ~peer:(Engine.main_region t.nodes.(p).engine)
+            | None -> ())
+        | Kamino_chain | Traditional -> ());
+        node.kv <- Kv.reattach node.engine;
+        node.input <- Opqueue.open_existing node.input_region;
+        node.inflight <- Opqueue.open_existing node.inflight_region;
+        (match t.recovery_fault with
+        | Drop_inflight_on_reboot ->
+            (* Deliberately broken recovery for oracle self-tests: forget
+               the un-cleaned in-flight window, so a later chain repair has
+               nothing to re-forward and stale-dropped operations are lost
+               downstream. *)
+            while Opqueue.dequeue node.inflight <> None do
+              ()
+            done
+        | No_fault -> ());
+        node.last_forwarded <- 0;
+        Opqueue.iter node.inflight (fun ~seq:_ ~payload ->
+            let s, _ = open_envelope_exn node ~queue_seq:0 payload in
+            if s > node.last_forwarded then node.last_forwarded <- s);
+        node.up <- true;
+        (* Re-drive: execute anything buffered but unexecuted, and re-forward
+           everything not yet cleaned (duplicates are deduplicated downstream
+           by the executed-sequence check). *)
+        process_input t node;
+        List.iter
+          (fun payload ->
+            let seq, _ = open_envelope_exn node ~queue_seq:0 payload in
+            forward_or_finish t node ~seq payload)
+          (inflight_entries node)
+  end
+
 let quick_reboot ?(downtime_ns = 0) t ~at i =
-  Sim.schedule t.sim ~at (fun () ->
-      let node = t.nodes.(i) in
-      node.up <- false;
-      (* The machine is dark while it reboots; everything it does next
-         happens after the downtime, and deliveries queue behind it. *)
-      Clock.advance node.clock downtime_ns;
-      Engine.set_clock node.engine node.clock;
-      ignore (Clock.advance_to node.clock (Sim.now t.sim));
-      Engine.crash node.engine;
-      Region.crash node.input_region;
-      Region.crash node.inflight_region;
-      (* §5.3 recovery. *)
-      Engine.recover node.engine;
-      (match t.mode with
-      | Kamino_chain when i > 0 ->
-          Engine.resolve_from_peer node.engine
-            ~peer:(Engine.main_region t.nodes.(i - 1).engine)
-      | Kamino_chain | Traditional -> ());
-      node.kv <- Kv.reattach node.engine;
-      node.input <- Opqueue.open_existing node.input_region;
-      node.inflight <- Opqueue.open_existing node.inflight_region;
-      node.last_forwarded <- 0;
-      Opqueue.iter node.inflight (fun ~seq:_ ~payload ->
-          let s, _ = open_envelope payload in
-          if s > node.last_forwarded then node.last_forwarded <- s);
-      node.up <- true;
-      (* Re-drive: execute anything buffered but unexecuted, and re-forward
-         everything not yet cleaned (duplicates are deduplicated downstream
-         by the executed-sequence check). *)
-      process_input t node;
-      Opqueue.iter node.inflight (fun ~seq:_ ~payload ->
-          let seq, _ = open_envelope payload in
-          if i + 1 < Array.length t.nodes then
-            Sim.schedule t.sim
-              ~at:(Clock.now node.clock + t.hop_ns)
-              (fun () -> deliver_forward t (i + 1) payload)
-          else forward_or_finish t node ~seq payload))
+  Sim.schedule t.sim ~at (fun () -> reboot_now ~downtime_ns t i)
+
+(* A newly promoted head finishes §5.2's takeover: build a full local
+   backup from the current heap and start a backup applier. Runs as its
+   own event [promote_ns] after the view change, so crashes can land in
+   the promotion window; it no-ops if the replica was promoted already
+   (idempotent under reboot) or was itself removed in the meantime. *)
+let complete_promotion t i =
+  let node = t.nodes.(i) in
+  if t.promoting = Some i then t.promoting <- None;
+  if (not node.removed) && Engine.kind node.engine = Engine.Intent_only then begin
+    enter t node;
+    Engine.promote_to_kamino node.engine
+  end
+
+(* After a view change every surviving member re-drives: it executes
+   anything still buffered and re-forwards its un-cleaned in-flight window
+   to its {e new} successor. Entries stay in flight until the tail's
+   cleanup acknowledgment, so the union of the survivors' windows covers
+   every operation the old view had not fully acknowledged — which is what
+   makes the repair converge despite stale-view messages being dropped. *)
+let repair_node t i =
+  let node = t.nodes.(i) in
+  if node.up && (not node.removed) && List.mem i (members t) then begin
+    enter t node;
+    process_input t node;
+    List.iter
+      (fun payload ->
+        let seq, _ = open_envelope_exn node ~queue_seq:0 payload in
+        forward_or_finish t node ~seq payload)
+      (inflight_entries node)
+  end
+
+let fail_stop_now t i =
+  let node = t.nodes.(i) in
+  if node.removed then ()
+  else if List.length (members t) <= 1 then
+    invalid_arg "Async_chain.fail_stop: cannot remove the last member"
+  else begin
+    let was_head = head_id t = i in
+    node.up <- false;
+    node.removed <- true;
+    ignore (Membership.remove t.membership i);
+    (* §5.2 head failure: the next replica becomes head. Under Kamino-Tx it
+       must build a local backup before it can recover alone; the build is
+       scheduled as a separate event so the window is crashable. *)
+    (if was_head && t.mode = Kamino_chain then
+       let nh = head_id t in
+       if Engine.kind t.nodes.(nh).engine = Engine.Intent_only then begin
+         t.promoting <- Some nh;
+         Sim.schedule_after t.sim ~delay:t.promote_ns (fun () -> complete_promotion t nh)
+       end);
+    (* Chain repair runs with the view change, before the new view carries
+       any new client traffic: in chain replication the chain is wedged
+       during reconfiguration. The ordering matters — a survivor's
+       re-forwards must get onto its FIFO link ahead of any post-change
+       forward, or a downstream replica would see (and skip past) a
+       sequence gap left by the stale-view drops. Deliveries still take
+       their hop delays; only the decision to re-send is atomic with the
+       view change. *)
+    List.iter (fun m -> repair_node t m) (members t)
+  end
+
+let fail_stop t ~at i = Sim.schedule t.sim ~at (fun () -> fail_stop_now t i)
+
+(* A message stamped with an out-of-date view id, delivered to a live
+   member: the receiver's view validation must drop it. The payload is a
+   write that was never sequenced by the head, so if validation were ever
+   broken the replica would execute it and the chaos oracles would see the
+   divergence. *)
+let inject_stale_probe_now t i =
+  let node = t.nodes.(i) in
+  if node.up && not node.removed then begin
+    let stale_view = view_id t - 1 in
+    let payload =
+      envelope ~seq:(t.next_op_seq + 1_000_000) (Op.Put (0, "stale-probe"))
+    in
+    Sim.schedule t.sim
+      ~at:(Sim.now t.sim + t.hop_ns)
+      (fun () -> deliver_forward t ~view:stale_view i payload)
+  end
+
+let inject_stale_probe t ~at i =
+  Sim.schedule t.sim ~at (fun () -> inject_stale_probe_now t i)
 
 let run t = Sim.run t.sim
 
@@ -287,11 +517,15 @@ let contents kv =
   List.rev !acc
 
 let replicas_consistent t =
-  let reference = contents t.nodes.(0).kv in
-  let rec check i =
-    if i >= Array.length t.nodes then Ok ()
-    else if contents t.nodes.(i).kv <> reference then
-      Error (Printf.sprintf "replica %d diverges from the head" i)
-    else check (i + 1)
-  in
-  check 1
+  match members t with
+  | [] -> Ok ()
+  | h :: rest ->
+      let reference = contents t.nodes.(h).kv in
+      let rec check = function
+        | [] -> Ok ()
+        | m :: ms ->
+            if contents t.nodes.(m).kv <> reference then
+              Error (Printf.sprintf "replica %d diverges from the head" m)
+            else check ms
+      in
+      check rest

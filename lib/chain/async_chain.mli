@@ -2,7 +2,7 @@
 
     Where {!Chain} executes a write synchronously down the chain (simple,
     and sufficient for the latency/throughput experiments), this module
-    implements §5.1's machinery explicitly and asynchronously:
+    implements §5.1–§5.3's machinery explicitly and asynchronously:
 
     - operations are serializable commands ({!Op}) with a global sequence
       number assigned at the head;
@@ -14,15 +14,33 @@
     - the tail acknowledges completion to the head (which releases locks
       and completes the client) and sends {e cleanup acknowledgments}
       upstream that garbage-collect the in-flight queues;
+    - the chain's composition is a sequence of {!Membership} views; every
+      message is stamped with the sender's view id and receivers drop
+      stale-view messages (§5.3). Fail-stop removals install a new view,
+      repair the chain by re-driving every survivor's in-flight window, and
+      — when the head fails under Kamino-Tx — promote the next replica by
+      building it a local backup (§5.2), as a separate crashable event;
     - messages are events on a {!Kamino_sim.Engine}; replicas can crash and
       quick-reboot at arbitrary virtual times, mid-propagation included,
       recovering from their persistent queues and (for Kamino replicas)
       their chain neighbours, then re-forwarding anything not yet cleaned.
 
     Run a workload by submitting operations and calling {!run} to drain the
-    event queue. *)
+    event queue. The [*_now] variants apply a failure immediately — they
+    exist for the chaos explorer, which injects faults at event boundaries
+    of the simulation rather than at pre-planned virtual times. *)
 
 type mode = Traditional | Kamino_chain
+
+(** Deliberately broken recovery, for validating the chaos oracles: a
+    harness that cannot catch [Drop_inflight_on_reboot] (a reboot that
+    forgets the un-cleaned in-flight window, leaving a later chain repair
+    nothing to re-forward) is not testing anything. *)
+type recovery_fault = No_fault | Drop_inflight_on_reboot
+
+(** A persistent queue slot decoded to garbage (bit rot under a valid
+    queue checksum): surfaced with the replica and slot, never executed. *)
+exception Corrupt_entry of { node : int; queue_seq : int; reason : string }
 
 type t
 
@@ -30,6 +48,7 @@ val create :
   ?engine_config:Kamino_core.Engine.config ->
   ?hop_ns:int ->
   ?rpc_ns:int ->
+  ?promote_ns:int ->
   ?queue_slots:int ->
   mode:mode ->
   f:int ->
@@ -46,26 +65,87 @@ val sim : t -> Kamino_sim.Engine.t
 
 (** [submit t ~at op ~on_complete] hands a write to the head at virtual
     time [at]; [on_complete] fires with the client-visible completion time
-    when the tail's acknowledgment reaches the head. *)
-val submit : t -> at:int -> Op.t -> on_complete:(int -> unit) -> unit
+    when the tail's acknowledgment reaches the head. [on_submit] reports
+    the op's global sequence number the moment the head assigns it. *)
+val submit :
+  t -> at:int -> ?on_submit:(int -> unit) -> Op.t -> on_complete:(int -> unit) -> unit
 
-(** [read t ~at key ~on_result] — served by the tail. *)
+(** [read t ~at key ~on_result] — served by the current tail. *)
 val read : t -> at:int -> int -> on_result:(string option -> int -> unit) -> unit
 
 (** [quick_reboot t ~at i] schedules a crash + §5.3 recovery of replica [i]
     at virtual time [at]: the replica reopens its persistent queues,
-    resolves incomplete transactions (head: local backup; others: from the
-    predecessor), re-executes anything received but unexecuted, and
-    re-forwards anything not yet cleaned. *)
+    resolves incomplete transactions (with a local backup: locally;
+    otherwise from a chain neighbour), re-executes anything received but
+    unexecuted, and re-forwards anything not yet cleaned. A replica that
+    was fail-stopped while dark learns [`Removed] from the rejoin
+    handshake and stays out. *)
 val quick_reboot : ?downtime_ns:int -> t -> at:int -> int -> unit
+
+(** [reboot_now t i] — the same, applied immediately (event-boundary
+    injection). *)
+val reboot_now : ?downtime_ns:int -> t -> int -> unit
+
+(** [fail_stop t ~at i] schedules a permanent fail-stop removal of replica
+    [i]: a new membership view without it is installed, every survivor
+    re-drives its in-flight window to its new neighbours, and if [i] was
+    the head of a Kamino chain the new head's backup build is scheduled
+    [promote_ns] later. Raises [Invalid_argument] if [i] is the last
+    member. *)
+val fail_stop : t -> at:int -> int -> unit
+
+val fail_stop_now : t -> int -> unit
+
+(** [inject_stale_probe t ~at i] delivers a forward message stamped with an
+    out-of-date view id to replica [i]: view validation must drop it (the
+    payload would visibly corrupt the replica if executed). *)
+val inject_stale_probe : t -> at:int -> int -> unit
+
+val inject_stale_probe_now : t -> int -> unit
+
+(** [set_hop_jitter t (Some (rng, amp))] adds [Rng.int rng amp] nanoseconds
+    of noise to every hop delay. Forward links stay FIFO (deliveries are
+    clamped after the link's previous delivery), as over TCP. *)
+val set_hop_jitter : t -> (Kamino_sim.Rng.t * int) option -> unit
+
+val set_recovery_fault : t -> recovery_fault -> unit
 
 (** [run t] drains the event queue; returns the number of events. *)
 val run : t -> int
 
+(** {1 Observation} *)
+
+(** Members of the current view, head first. *)
+val members : t -> int list
+
+val view_id : t -> int
+
+val head_id : t -> int
+
+val tail_id : t -> int
+
+(** Messages dropped by stale-view validation so far. *)
+val stale_drops : t -> int
+
+(** The replica whose head promotion (backup build) is still in flight. *)
+val promotion_pending : t -> int option
+
 (** Committed-state contents of one replica (tests). *)
 val kv_at : t -> int -> Kamino_kv.Kv.t
 
+val engine_at : t -> int -> Kamino_core.Engine.t
+
+(** White-box access to a replica's persistent input queue (corruption
+    tests). *)
+val input_queue : t -> int -> Opqueue.t
+
+(** Every member of the current view holds the same committed contents. *)
 val replicas_consistent : t -> (unit, string) result
 
-(** Operations executed per replica (exactly-once check). *)
+(** Highest op sequence executed by a replica (exactly-once check). *)
 val executed_seq : t -> int -> int
+
+(** Every op sequence whose transaction committed at replica [i], sorted —
+    omniscient-observer ground truth for the chaos oracles (survives
+    reboots; holes appear when a head fails before an op propagates). *)
+val applied_seqs : t -> int -> int list

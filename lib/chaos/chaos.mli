@@ -1,0 +1,108 @@
+(** Deterministic fault-schedule explorer for the chain layer.
+
+    The single-node engines are validated by an exhaustive crash matrix;
+    this module gives the replicated chain (§5.2–§5.3) the same adversarial
+    treatment. A {e schedule} is a list of faults addressed by the
+    simulation's logical event counter ("after the Nth event"), injected
+    through {!Kamino_sim.Engine.set_boundary_hook} while a seeded random
+    workload streams through an {!Kamino_chain.Async_chain}:
+
+    - quick reboots of any replica mid-propagation (including during the
+      cleanup-ack cascade), with randomized downtime;
+    - fail-stop removals with chain repair and — for a failed Kamino head —
+      promotion of the next replica (its backup build is itself a separate,
+      crashable event);
+    - stale-view probes: messages stamped with an out-of-date view id that
+      replicas must reject;
+    - per-hop latency jitter (FIFO links preserved).
+
+    Every run records the client-visible history and checks two oracles at
+    quiescence:
+
+    - {e linearizability}: completed operations agree with a sequential
+      key-value model in head-sequence order, and every read returned a
+      state of its key consistent with its invocation/response window;
+    - {e durable prefix}: every acknowledged write survives on every
+      surviving replica; every unacknowledged write is atomically
+      present-or-absent and identical across survivors after repair; the
+      head's backup agrees with its heap ({!Kamino_core.Engine.verify_backup}).
+
+    Everything is deterministic from [(mode, seed, ops, schedule)]: the same
+    seed reproduces a byte-identical history and verdict. *)
+
+module Async = Kamino_chain.Async_chain
+
+type fault =
+  | Reboot of { node : int; at_event : int; downtime_ns : int }
+  | Fail_stop of { node : int; at_event : int }
+  | Stale_probe of { node : int; at_event : int }
+  | Hop_jitter of { at_event : int; amplitude_ns : int }
+
+type outcome = {
+  seed : int;
+  mode : Async.mode;
+  ops : int;
+  schedule : fault list;
+  verdict : (unit, string) result;
+  history : string;  (** rendered run record; byte-identical across replays *)
+  events : int;  (** simulation events executed *)
+  submitted : int;  (** writes that reached the head *)
+  acked : int;  (** writes whose tail acknowledgment completed *)
+  reads : int;
+  stale_drops : int;  (** messages rejected by view validation *)
+  survivors : int list;  (** members of the final view *)
+}
+
+val mode_name : Async.mode -> string
+
+val mode_of_string : string -> Async.mode option
+
+(** [run ~mode ~seed ~ops ~schedule ()] drives one workload under one
+    fault schedule to quiescence and applies both oracles.
+    [recovery_fault] deliberately breaks replica recovery — for validating
+    that the oracles catch a broken protocol. *)
+val run :
+  ?recovery_fault:Async.recovery_fault ->
+  mode:Async.mode ->
+  seed:int ->
+  ops:int ->
+  schedule:fault list ->
+  unit ->
+  outcome
+
+(** [gen_schedule ~seed ~faults ~nodes ~events] draws a random schedule:
+    [faults] faults at event indices in [\[1, events\]]. *)
+val gen_schedule : seed:int -> faults:int -> nodes:int -> events:int -> fault list
+
+(** [explore ~mode ~seed ~ops ~faults ()] — the front door: a fault-free
+    dry run measures the workload's event count, a schedule is drawn over
+    that range, and the faulted run is checked. Deterministic from
+    [(mode, seed, ops, faults)]. *)
+val explore :
+  ?recovery_fault:Async.recovery_fault ->
+  ?ops:int ->
+  ?faults:int ->
+  mode:Async.mode ->
+  seed:int ->
+  unit ->
+  outcome
+
+(** [shrink ~mode ~seed ~ops schedule] greedily minimizes a failing
+    schedule: faults are dropped one at a time while the run still fails
+    either oracle. Returns the original schedule if it does not fail. *)
+val shrink :
+  ?recovery_fault:Async.recovery_fault ->
+  mode:Async.mode ->
+  seed:int ->
+  ops:int ->
+  fault list ->
+  fault list
+
+(** {1 Schedule serialization} — one fault per line, for replaying a
+    failure from a CI artifact. *)
+
+val fault_to_string : fault -> string
+
+val schedule_to_string : fault list -> string
+
+val schedule_of_string : string -> (fault list, string) result

@@ -1,8 +1,17 @@
-type t = { queue : (unit -> unit) Pqueue.t; mutable now : int }
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable now : int;
+  mutable events : int;
+  mutable boundary_hook : (unit -> unit) option;
+}
 
-let create () = { queue = Pqueue.create (); now = 0 }
+let create () = { queue = Pqueue.create (); now = 0; events = 0; boundary_hook = None }
 
 let now t = t.now
+
+let events_executed t = t.events
+
+let set_boundary_hook t hook = t.boundary_hook <- hook
 
 let schedule t ~at f =
   let at = max at t.now in
@@ -16,6 +25,8 @@ let step t =
   | Some (at, f) ->
       t.now <- max t.now at;
       f ();
+      t.events <- t.events + 1;
+      (match t.boundary_hook with Some hook -> hook () | None -> ());
       true
 
 let run t =

@@ -32,5 +32,19 @@ val run_until : t -> deadline:int -> int
 (** [pending t] is the number of queued events. *)
 val pending : t -> int
 
+(** [events_executed t] is the total number of events executed since
+    [create] — a deterministic logical clock for the simulation, used by
+    the chaos explorer to address fault-injection points ("after the Nth
+    event") independently of virtual time. *)
+val events_executed : t -> int
+
+(** [set_boundary_hook t (Some f)] installs a callback invoked after every
+    executed event, once the event's own side effects (including anything
+    it scheduled) are in place. The hook runs {e between} events, so it may
+    inspect and mutate simulation state — crash a node, bump a membership
+    view, schedule new events — without racing the event it follows. One
+    hook at a time; [None] uninstalls. *)
+val set_boundary_hook : t -> (unit -> unit) option -> unit
+
 (** [clear t] drops all queued events without running them. *)
 val clear : t -> unit

@@ -309,6 +309,85 @@ let test_membership_rejoin_removed () =
   | `Removed v -> Alcotest.(check int) "told the current view" 2 v.Membership.id
   | `Member _ -> Alcotest.fail "removed node must not rejoin silently"
 
+(* Random interleavings of the membership operations preserve the view
+   invariants: every change installs a strictly larger view id; views stay
+   head-first (a removal keeps the survivors' relative order, an addition
+   appends at the tail); and the Figure-9 rejoin contract holds — a node
+   removed from the view is always told [`Removed], a member always gets
+   its model-predicted neighbours. *)
+let membership_interleaving_qcheck =
+  QCheck.Test.make ~name:"membership: random interleavings keep the view invariants"
+    ~count:300
+    QCheck.(list (pair (int_range 0 3) small_nat))
+    (fun actions ->
+      let m = Membership.create ~members:[ 0; 1; 2 ] ~failure_timeout_ns:1000 in
+      let model = ref [ 0; 1; 2 ] in
+      let removed = ref [] in
+      let next_fresh = ref 3 in
+      let last_id = ref (Membership.current m).Membership.id in
+      let check_view label v =
+        if v.Membership.id <= !last_id then
+          QCheck.Test.fail_reportf "%s: view id %d not strictly increasing (last %d)"
+            label v.Membership.id !last_id;
+        last_id := v.Membership.id;
+        if v.Membership.members <> !model then
+          QCheck.Test.fail_reportf "%s: members [%s], model [%s]" label
+            (String.concat ";" (List.map string_of_int v.Membership.members))
+            (String.concat ";" (List.map string_of_int !model))
+      in
+      List.iter
+        (fun (action, pick) ->
+          match action with
+          | 0 when List.length !model > 1 ->
+              let victim = List.nth !model (pick mod List.length !model) in
+              model := List.filter (fun n -> n <> victim) !model;
+              removed := victim :: !removed;
+              check_view "remove" (Membership.remove m victim)
+          | 1 ->
+              let fresh = !next_fresh in
+              incr next_fresh;
+              model := !model @ [ fresh ];
+              check_view "add_tail" (Membership.add_tail m fresh)
+          | 2 -> (
+              (* Rejoin either a removed node or a member, with any stale
+                 believed view. *)
+              let pool = !removed @ !model in
+              let node = List.nth pool (pick mod List.length pool) in
+              let believed = 1 + (pick mod !last_id) in
+              match Membership.rejoin m ~node ~believed_view:believed with
+              | `Removed v ->
+                  if List.mem node !model then
+                    QCheck.Test.fail_reportf "member %d told `Removed" node;
+                  if v.Membership.id <> !last_id then
+                    QCheck.Test.fail_reportf "rejoin reported view %d, current is %d"
+                      v.Membership.id !last_id
+              | `Member (v, pred, succ) ->
+                  if not (List.mem node !model) then
+                    QCheck.Test.fail_reportf "removed node %d readmitted as member" node;
+                  if v.Membership.id <> !last_id then
+                    QCheck.Test.fail_reportf "rejoin reported view %d, current is %d"
+                      v.Membership.id !last_id;
+                  let idx = ref (-1) in
+                  List.iteri (fun i n -> if n = node then idx := i) !model;
+                  let expect_pred = if !idx = 0 then None else List.nth_opt !model (!idx - 1) in
+                  let expect_succ = List.nth_opt !model (!idx + 1) in
+                  if pred <> expect_pred || succ <> expect_succ then
+                    QCheck.Test.fail_reportf "rejoin neighbours of %d wrong" node)
+          | _ ->
+              (* Validate: the current id passes, anything older is stale
+                 and reports the current view. *)
+              if Membership.validate m ~view_id:!last_id <> `Current then
+                QCheck.Test.fail_reportf "current view id %d rejected" !last_id;
+              if !last_id > 1 then
+                match Membership.validate m ~view_id:(1 + (pick mod (!last_id - 1))) with
+                | `Stale v when v.Membership.id = !last_id -> ()
+                | `Stale v ->
+                    QCheck.Test.fail_reportf "stale answer carried view %d, current %d"
+                      v.Membership.id !last_id
+                | `Current -> QCheck.Test.fail_reportf "stale view id accepted")
+        actions;
+      true)
+
 let test_membership_failure_detector () =
   let m = Membership.create ~members:[ 1; 2 ] ~failure_timeout_ns:1000 in
   Membership.record_heartbeat m ~node:1 ~now:0;
@@ -412,6 +491,7 @@ let () =
           Alcotest.test_case "views" `Quick test_membership_views;
           Alcotest.test_case "neighbours" `Quick test_membership_neighbours;
           Alcotest.test_case "rejoin after removal" `Quick test_membership_rejoin_removed;
+          QCheck_alcotest.to_alcotest membership_interleaving_qcheck;
           Alcotest.test_case "failure detector" `Quick test_membership_failure_detector;
           Alcotest.test_case "add replica state transfer" `Quick
             test_add_replica_state_transfer;
