@@ -17,7 +17,16 @@
 
    Usage: throughput.exe [--budget SECONDS] [--out PATH] [--records N]
    Exit status is non-zero if any cell completes zero transactions (the CI
-   smoke gate). *)
+   smoke gate).
+
+   `--ab [--ab-ops N] [--gate-words FILE]` runs the tracing A/B instead of
+   the normal grid: each Kamino engine executes the same fixed-op YCSB-A
+   run twice, tracing off then on, and the run fails unless simulated
+   ns/op and every NVM counter are bit-identical — the observability
+   layer must be invisible to the simulation.  `--gate-words` additionally
+   compares the tracing-off allocation rate against the committed
+   baseline JSON and fails on a >2% regression, so the disabled path
+   stays free. *)
 
 module Rng = Kamino_sim.Rng
 module Engine = Kamino_core.Engine
@@ -26,6 +35,7 @@ module Region = Kamino_nvm.Region
 module Kv = Kamino_kv.Kv
 module Ycsb = Kamino_workload.Ycsb
 module Tpcc = Kamino_workload.Tpcc
+module Obs = Kamino_obs.Obs
 
 let kinds =
   [
@@ -110,8 +120,8 @@ let measure ?(max_ops = max_int) ~engine_name ~workload ~budget_s e step =
     counters = sub_counters c1 c0;
   }
 
-let ycsb_cell ~budget_s ~records (engine_name, kind) wl =
-  let e = Engine.create ~config:(config records) ~kind ~seed:90210 () in
+let ycsb_cell ?obs ?max_ops ~budget_s ~records (engine_name, kind) wl =
+  let e = Engine.create ~config:(config records) ?obs ~kind ~seed:90210 () in
   let kv = Kv.create e ~value_size:256 ~node_size:1024 in
   let payload = String.make 240 'k' in
   for k = 0 to records - 1 do
@@ -127,7 +137,7 @@ let ycsb_cell ~budget_s ~records (engine_name, kind) wl =
     | Ycsb.Scan (k, n) -> ignore (Kv.range kv ~lo:k ~hi:(k + n))
     | Ycsb.Rmw k -> ignore (Kv.read_modify_write kv k Fun.id)
   in
-  measure ~engine_name ~workload:("ycsb-" ^ String.lowercase_ascii (Ycsb.name wl))
+  measure ?max_ops ~engine_name ~workload:("ycsb-" ^ String.lowercase_ascii (Ycsb.name wl))
     ~budget_s e step
 
 let tpcc_cell ~budget_s ~records:_ (engine_name, kind) =
@@ -143,6 +153,99 @@ let tpcc_cell ~budget_s ~records:_ (engine_name, kind) =
   let step () = ignore (Tpcc.run_mix t rng) in
   measure ~max_ops:150_000 ~engine_name ~workload:"tpcc" ~budget_s e step
 
+(* --- tracing A/B ----------------------------------------------------------- *)
+
+(* Pull one cell's [alloc_words_per_op] out of a committed
+   BENCH_throughput.json by string scanning (cells are emitted by
+   [json_of_cell]; no JSON parser in the dependency set). *)
+let scan_baseline_words path ~engine ~workload =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let find sub from =
+    let n = String.length sub and l = String.length s in
+    let rec go i =
+      if i + n > l then None
+      else if String.sub s i n = sub then Some (i + n)
+      else go (i + 1)
+    in
+    go from
+  in
+  let cell = Printf.sprintf {|"engine": "%s", "workload": "%s"|} engine workload in
+  match find cell 0 with
+  | None -> None
+  | Some i -> (
+      match find {|"alloc_words_per_op": |} i with
+      | None -> None
+      | Some j ->
+          let k = ref j in
+          while !k < String.length s && s.[!k] <> ',' && s.[!k] <> '\n' do
+            incr k
+          done;
+          float_of_string_opt (String.trim (String.sub s j (!k - j))))
+
+(* Fixed-op YCSB-A, tracing off then on, per Kamino engine.  The two runs
+   re-create the engine from the same seed, so the only difference is the
+   tracer: any drift in simulated time or NVM counters is an
+   instrumentation bug (DESIGN.md §8/§10) and fails the run. *)
+let run_ab ~records ~ab_ops ~gate_words =
+  let engines =
+    List.filter
+      (fun (name, _) -> String.length name >= 6 && String.sub name 0 6 = "kamino")
+      kinds
+  in
+  Printf.printf "tracing A/B: ycsb-a, %d ops per cell, %d records\n%!" ab_ops records;
+  let failed = ref false in
+  let off_cells =
+    List.map
+      (fun ((name, _) as kind) ->
+        let off = ycsb_cell ~max_ops:ab_ops ~budget_s:1e9 ~records kind Ycsb.A in
+        let obs = Obs.create () in
+        let on = ycsb_cell ~obs ~max_ops:ab_ops ~budget_s:1e9 ~records kind Ycsb.A in
+        let sim_ok = off.sim_ns_per_op = on.sim_ns_per_op in
+        let counters_ok = off.counters = on.counters in
+        Printf.printf
+          "  %-14s off %7.1f words/op %8.0f sim-ns/op | on %7.1f words/op %8.0f \
+           sim-ns/op (%d events, %d dropped)\n%!"
+          name off.alloc_words_per_op off.sim_ns_per_op on.alloc_words_per_op
+          on.sim_ns_per_op (Obs.total obs) (Obs.dropped obs);
+        if not sim_ok then begin
+          failed := true;
+          Printf.eprintf "FAIL: %s sim-ns/op drifted with tracing on (%.3f -> %.3f)\n"
+            name off.sim_ns_per_op on.sim_ns_per_op
+        end;
+        if not counters_ok then begin
+          failed := true;
+          Printf.eprintf "FAIL: %s NVM counters drifted with tracing on\n" name
+        end;
+        (name, off))
+      engines
+  in
+  (match gate_words with
+  | None -> ()
+  | Some path -> (
+      match scan_baseline_words path ~engine:"kamino-simple" ~workload:"ycsb-a" with
+      | None ->
+          failed := true;
+          Printf.eprintf "FAIL: no kamino-simple/ycsb-a baseline in %s\n" path
+      | Some base ->
+          let off = List.assoc "kamino-simple" off_cells in
+          let limit = base *. 1.02 in
+          Printf.printf
+            "  words/op gate: measured %.1f vs baseline %.1f (limit %.1f)\n%!"
+            off.alloc_words_per_op base limit;
+          if off.alloc_words_per_op > limit then begin
+            failed := true;
+            Printf.eprintf
+              "FAIL: tracing-off allocation regressed: %.1f words/op > %.1f (baseline \
+               %.1f + 2%%)\n"
+              off.alloc_words_per_op limit base
+          end));
+  if !failed then exit 1;
+  Printf.printf "tracing A/B: zero simulated-time and counter delta across %d engines\n"
+    (List.length engines)
+
 let json_of_cell c =
   let n = c.counters in
   Printf.sprintf
@@ -157,6 +260,7 @@ let json_of_cell c =
 let () =
   let budget = ref 0.4 and out = ref "BENCH_throughput.json" and records = ref 4096 in
   let engine_filter = ref "" and workload_filter = ref "" in
+  let ab = ref false and ab_ops = ref 20_000 and gate_words = ref None in
   let rec parse = function
     | [] -> ()
     | "--budget" :: v :: rest ->
@@ -174,12 +278,25 @@ let () =
     | "--workload" :: v :: rest ->
         workload_filter := v;
         parse rest
+    | "--ab" :: rest ->
+        ab := true;
+        parse rest
+    | "--ab-ops" :: v :: rest ->
+        ab_ops := int_of_string v;
+        parse rest
+    | "--gate-words" :: v :: rest ->
+        gate_words := Some v;
+        parse rest
     | a :: _ ->
         Printf.eprintf "throughput.exe: unknown argument %s\n" a;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let budget_s = !budget and records = !records in
+  if !ab then begin
+    run_ab ~records ~ab_ops:!ab_ops ~gate_words:!gate_words;
+    exit 0
+  end;
   let kinds =
     List.filter (fun (name, _) -> !engine_filter = "" || name = !engine_filter) kinds
   in

@@ -5,6 +5,7 @@
      tpcc        run the TPC-C-lite mix
      crash-test  hammer an engine with random transactions + crash injection
      chain       run a replicated (chain) workload
+     trace       run a traced YCSB workload, export a Perfetto timeline
      info        print the cost model and storage layout constants *)
 
 module Rng = Kamino_sim.Rng
@@ -19,6 +20,8 @@ module Driver = Kamino_workload.Driver
 module Tpcc = Kamino_workload.Tpcc
 module Chain = Kamino_chain.Chain
 module Chaos = Kamino_chaos.Chaos
+module Obs = Kamino_obs.Obs
+module Sink = Kamino_obs.Sink
 open Cmdliner
 
 (* --- shared arguments ----------------------------------------------------- *)
@@ -92,54 +95,60 @@ let print_metrics e =
     "coalescing: %d ranges coalesced, %d tasks batched, %d copy bytes saved\n"
     m.Engine.ranges_coalesced m.Engine.tasks_batched m.Engine.bytes_saved
 
+let workload_conv =
+  Arg.conv
+    ( (fun s ->
+        match Ycsb.workload_of_string s with
+        | Some w -> Ok w
+        | None -> Error (`Msg "expected one of A B C D E F")),
+      fun fmt w -> Format.pp_print_string fmt (Ycsb.name w) )
+
+let workload_arg =
+  Arg.(
+    value & opt workload_conv Ycsb.A
+    & info [ "w"; "workload" ] ~docv:"WL" ~doc:"YCSB workload.")
+
+(* Shared between [ycsb] and [trace]: preload [records] keys, then stream
+   [ops] YCSB operations. [after_load] runs between the two phases (the
+   trace command resets the event ring there so the timeline covers only
+   the measured workload). *)
+let run_ycsb ?(after_load = ignore) e ~kind ~workload ~clients ~ops ~records ~seed =
+  let kv = Kv.create e ~value_size:1024 ~node_size:4096 in
+  let payload = String.make 1000 'v' in
+  Printf.printf "loading %d records...\n%!" records;
+  for k = 0 to records - 1 do
+    Kv.put kv k payload
+  done;
+  Engine.drain_backup e;
+  after_load ();
+  let wl = Ycsb.create workload ~record_count:records ~theta:0.99 in
+  let rng = Rng.create (seed + 1) in
+  Printf.printf "running YCSB-%s: %d ops, %d clients, engine %s\n%!" (Ycsb.name workload)
+    ops clients (Engine.kind_name kind);
+  Driver.run ~engine:e ~clients ~total_ops:ops ~step:(fun ~client:_ () ->
+      match Ycsb.next wl rng with
+      | Ycsb.Read k ->
+          ignore (Kv.get kv k);
+          "read"
+      | Ycsb.Update k ->
+          Kv.put kv k payload;
+          "update"
+      | Ycsb.Insert k ->
+          Kv.put kv k payload;
+          "insert"
+      | Ycsb.Scan (k, n) ->
+          ignore (Kv.range kv ~lo:k ~hi:(k + n));
+          "scan"
+      | Ycsb.Rmw k ->
+          ignore (Kv.read_modify_write kv k Fun.id);
+          "rmw")
+
 (* --- ycsb ------------------------------------------------------------------ *)
 
 let ycsb_cmd =
-  let workload_conv =
-    Arg.conv
-      ( (fun s ->
-          match Ycsb.workload_of_string s with
-          | Some w -> Ok w
-          | None -> Error (`Msg "expected one of A B C D E F")),
-        fun fmt w -> Format.pp_print_string fmt (Ycsb.name w) )
-  in
-  let workload_arg =
-    Arg.(
-      value & opt workload_conv Ycsb.A
-      & info [ "w"; "workload" ] ~docv:"WL" ~doc:"YCSB workload.")
-  in
   let run kind workload clients ops records heap_mb seed =
     let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
-    let kv = Kv.create e ~value_size:1024 ~node_size:4096 in
-    let payload = String.make 1000 'v' in
-    Printf.printf "loading %d records...\n%!" records;
-    for k = 0 to records - 1 do
-      Kv.put kv k payload
-    done;
-    Engine.drain_backup e;
-    let wl = Ycsb.create workload ~record_count:records ~theta:0.99 in
-    let rng = Rng.create (seed + 1) in
-    Printf.printf "running YCSB-%s: %d ops, %d clients, engine %s\n%!" (Ycsb.name workload)
-      ops clients (Engine.kind_name kind);
-    let r =
-      Driver.run ~engine:e ~clients ~total_ops:ops ~step:(fun ~client:_ () ->
-          match Ycsb.next wl rng with
-          | Ycsb.Read k ->
-              ignore (Kv.get kv k);
-              "read"
-          | Ycsb.Update k ->
-              Kv.put kv k payload;
-              "update"
-          | Ycsb.Insert k ->
-              Kv.put kv k payload;
-              "insert"
-          | Ycsb.Scan (k, n) ->
-              ignore (Kv.range kv ~lo:k ~hi:(k + n));
-              "scan"
-          | Ycsb.Rmw k ->
-              ignore (Kv.read_modify_write kv k Fun.id);
-              "rmw")
-    in
+    let r = run_ycsb e ~kind ~workload ~clients ~ops ~records ~seed in
     Format.printf "%a@." Driver.pp_result r;
     List.iter
       (fun (label, s) ->
@@ -153,6 +162,50 @@ let ycsb_cmd =
       $ heap_mb_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against the key-value store.") term
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write Chrome/Perfetto trace-event JSON to $(docv).")
+  in
+  let ring_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "ring" ] ~docv:"SLOTS"
+          ~doc:
+            "Event-ring capacity; once full, the oldest events are overwritten \
+             (the drop count is reported).")
+  in
+  let run kind workload clients ops records heap_mb seed out ring =
+    let obs = Obs.create ~capacity:ring () in
+    let e = Engine.create ~config:(config_of heap_mb) ~obs ~kind ~seed () in
+    let r =
+      run_ycsb e ~kind ~workload ~clients ~ops ~records ~seed ~after_load:(fun () ->
+          Obs.reset obs)
+    in
+    Format.printf "%a@." Driver.pp_result r;
+    print_string (Sink.summary_string ~obs (Engine.registry e));
+    Sink.write_perfetto_file out obs;
+    Printf.printf
+      "trace: %s — %d events held, %d dropped; open it at https://ui.perfetto.dev \
+       or chrome://tracing\n"
+      out (Obs.length obs) (Obs.dropped obs)
+  in
+  let term =
+    Term.(
+      const run $ engine_arg $ workload_arg $ clients_arg $ ops_arg $ records_arg
+      $ heap_mb_arg $ seed_arg $ out_arg $ ring_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a YCSB workload with event tracing on and export a Perfetto timeline \
+          plus a metrics summary (counters, sim-time histograms).")
+    term
 
 (* --- tpcc ------------------------------------------------------------------ *)
 
@@ -440,6 +493,17 @@ let chaos_cmd =
             "Deliberately forget the in-flight window on reboot (oracle self-test: \
              the durable-prefix oracle must catch this).")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome/Perfetto timeline of the run to $(docv): chain hops, \
+             view changes, promotions, per-node engine events, and one instant per \
+             injected fault. Applies to a single run or a $(b,--schedule) replay, \
+             not to $(b,--sweep).")
+  in
   let save_artifacts dir (o : Chaos.outcome) shrunk =
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let base = Printf.sprintf "%s/chaos-%s-seed%d" dir (Chaos.mode_name o.Chaos.mode) o.Chaos.seed in
@@ -459,10 +523,21 @@ let chaos_cmd =
          (List.map (fun f -> "    " ^ Chaos.fault_to_string f ^ "\n") shrunk));
     Option.iter (fun dir -> save_artifacts dir o shrunk) out_dir
   in
-  let run mode seed ops faults sweep schedule_file out_dir history broken =
+  let run mode seed ops faults sweep schedule_file out_dir history broken trace =
     let recovery_fault =
       if broken then Kamino_chain.Async_chain.Drop_inflight_on_reboot
       else Kamino_chain.Async_chain.No_fault
+    in
+    let obs =
+      match trace with Some _ -> Obs.create () | None -> Obs.null
+    in
+    let write_trace () =
+      Option.iter
+        (fun path ->
+          Sink.write_perfetto_file path obs;
+          Printf.printf "trace: %s — %d events held, %d dropped\n%!" path
+            (Obs.length obs) (Obs.dropped obs))
+        trace
     in
     match schedule_file with
     | Some path -> (
@@ -475,8 +550,9 @@ let chaos_cmd =
             Printf.eprintf "bad schedule file: %s\n" e;
             exit 2
         | Ok schedule ->
-            let o = Chaos.run ~recovery_fault ~mode ~seed ~ops ~schedule () in
+            let o = Chaos.run ~recovery_fault ~obs ~mode ~seed ~ops ~schedule () in
             print_string o.Chaos.history;
+            write_trace ();
             if o.Chaos.verdict <> Ok () then exit 1)
     | None ->
         if sweep > 0 then begin
@@ -501,7 +577,7 @@ let chaos_cmd =
           if !failures > 0 then exit 1
         end
         else begin
-          let o = Chaos.explore ~recovery_fault ~ops ~faults ~mode ~seed () in
+          let o = Chaos.explore ~recovery_fault ~obs ~ops ~faults ~mode ~seed () in
           if history then print_string o.Chaos.history
           else begin
             Printf.printf "mode=%s seed=%d ops=%d: %s\n" (Chaos.mode_name mode) seed ops
@@ -513,6 +589,7 @@ let chaos_cmd =
               o.Chaos.stale_drops
               (String.concat ";" (List.map string_of_int o.Chaos.survivors))
           end;
+          write_trace ();
           if o.Chaos.verdict <> Ok () then begin
             report_failure ~mode ~seed ~ops out_dir recovery_fault o;
             exit 1
@@ -522,7 +599,7 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ mode_arg $ seed_arg $ chaos_ops_arg $ faults_arg $ sweep_arg
-      $ schedule_arg $ out_dir_arg $ history_arg $ broken_arg)
+      $ schedule_arg $ out_dir_arg $ history_arg $ broken_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -549,6 +626,15 @@ let () =
   let doc = "Kamino-Tx: atomic in-place updates for non-volatile main memory (simulated)" in
   let cmd =
     Cmd.group (Cmd.info "kamino" ~doc)
-      [ ycsb_cmd; tpcc_cmd; crash_test_cmd; fuzz_cmd; chain_cmd; chaos_cmd; info_cmd ]
+      [
+        ycsb_cmd;
+        tpcc_cmd;
+        crash_test_cmd;
+        fuzz_cmd;
+        chain_cmd;
+        chaos_cmd;
+        trace_cmd;
+        info_cmd;
+      ]
   in
   exit (Cmd.eval cmd)

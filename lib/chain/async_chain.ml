@@ -7,6 +7,7 @@ module Engine = Kamino_core.Engine
 module Locks = Kamino_core.Locks
 module Backup = Kamino_core.Backup
 module Kv = Kamino_kv.Kv
+module Obs = Kamino_obs.Obs
 
 type mode = Traditional | Kamino_chain
 
@@ -51,7 +52,14 @@ type t = {
   mutable stale_drops : int;
   mutable promoting : int option;  (* replica whose head promotion is in flight *)
   mutable recovery_fault : recovery_fault;
+  obs : Obs.t;  (* chain-level events: hops, view changes, promotions *)
 }
+
+(* Track layout: track 0 is chain-level control; node [i] owns tracks
+   [10 (i+1) .. 10 (i+1) + 3] — tx, applier, nvm (the engine's three, see
+   {!Engine.create}) and its forward/ack link. *)
+let node_track i = 10 * (i + 1)
+let link_track i = node_track i + 3
 
 (* Envelope: 8-byte op sequence followed by the encoded command. *)
 let envelope ~seq op =
@@ -115,8 +123,9 @@ let tail_id t =
   | tl :: _ -> tl
   | [] -> invalid_arg "Async_chain: the chain has no members left"
 
-let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 1000)
-    ?(promote_ns = 50_000) ?(queue_slots = 512) ~mode ~f ~value_size ~node_size ~seed () =
+let create ?(engine_config = Engine.default_config) ?(obs = Obs.null)
+    ?(hop_ns = 5000) ?(rpc_ns = 1000) ?(promote_ns = 50_000) ?(queue_slots = 512)
+    ~mode ~f ~value_size ~node_size ~seed () =
   if f < 1 then invalid_arg "Async_chain.create: f must be at least 1";
   let n_nodes = match mode with Traditional -> f + 1 | Kamino_chain -> f + 2 in
   let slot_bytes = value_size + 64 in
@@ -128,7 +137,10 @@ let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 
           | Traditional -> Engine.Undo_logging
           | Kamino_chain -> if i = 0 then Engine.Kamino_simple else Engine.Intent_only
         in
-        let engine = Engine.create ~config:engine_config ~kind ~seed:(seed + i) () in
+        let engine =
+          Engine.create ~config:engine_config ~obs ~obs_track:(node_track i)
+            ~kind ~seed:(seed + i) ()
+        in
         let clock = Clock.create () in
         Engine.set_clock engine clock;
         let kv = Kv.create engine ~value_size ~node_size in
@@ -145,6 +157,15 @@ let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 
             ~size:qsize ()
         in
         let input_region = mk () and inflight_region = mk () in
+        if Obs.enabled obs then begin
+          Obs.name_track obs (node_track i) (Printf.sprintf "node%d/tx" i);
+          Obs.name_track obs (node_track i + 1) (Printf.sprintf "node%d/applier" i);
+          Obs.name_track obs (node_track i + 2) (Printf.sprintf "node%d/nvm" i);
+          Obs.name_track obs (link_track i) (Printf.sprintf "node%d/link" i);
+          Region.set_obs input_region ~track:(node_track i + 2) obs;
+          Region.set_obs inflight_region ~track:(node_track i + 2) obs;
+          Obs.name_track obs 0 "chain"
+        end;
         {
           id = i;
           engine;
@@ -179,6 +200,7 @@ let create ?(engine_config = Engine.default_config) ?(hop_ns = 5000) ?(rpc_ns = 
     stale_drops = 0;
     promoting = None;
     recovery_fault = No_fault;
+    obs;
   }
 
 (* Bring a node's clock to the event time and charge RPC processing. *)
@@ -237,10 +259,22 @@ let inflight_entries node =
    jitter enabled, a naively scheduled later send could overtake an earlier
    one and make a replica observe a sequence gap it would then never fill.
    Clamping each delivery after the link's previous one preserves order. *)
-let send_on_fwd_link t from_node ~at f =
+let send_on_fwd_link t from_node ~at ~seq ~dst f =
   let at = max at (from_node.fwd_link_at + 1) in
   from_node.fwd_link_at <- at;
+  (if Obs.enabled t.obs then
+     let ts = Clock.now from_node.clock in
+     Obs.emit t.obs ~kind:Obs.k_hop ~track:(link_track from_node.id) ~ts
+       ~dur:(at - ts) ~a:seq ~b:from_node.id ~c:dst);
   Sim.schedule t.sim ~at f
+
+(* A hop outside the FIFO forward link (tail ack, cleanup cascade). *)
+let trace_hop t from_node ~at ~seq ~dst =
+  if Obs.enabled t.obs then begin
+    let ts = Clock.now from_node.clock in
+    Obs.emit t.obs ~kind:Obs.k_hop ~track:(link_track from_node.id) ~ts
+      ~dur:(max 0 (at - ts)) ~a:seq ~b:from_node.id ~c:dst
+  end
 
 let rec deliver_forward t ~view i payload =
   match Membership.validate t.membership ~view_id:view with
@@ -274,6 +308,7 @@ and forward_or_finish t node ~seq payload =
       let vid = view_id t in
       send_on_fwd_link t node
         ~at:(Clock.now node.clock + hop_delay t)
+        ~seq ~dst:nxt
         (fun () -> deliver_forward t ~view:vid nxt payload)
   | None ->
       (* Tail: acknowledge to the head and start the cleanup cascade. A
@@ -281,10 +316,13 @@ and forward_or_finish t node ~seq payload =
          here — it has nobody left to forward to. *)
       let vid = view_id t in
       let at = Clock.now node.clock + hop_delay t in
+      trace_hop t node ~at ~seq ~dst:(head_id t);
       Sim.schedule t.sim ~at (fun () -> deliver_ack t ~view:vid seq);
       gc_inflight node seq;
       (match Membership.predecessor t.membership node.id with
-      | Some p -> Sim.schedule t.sim ~at (fun () -> deliver_cleanup t ~view:vid p seq)
+      | Some p ->
+          trace_hop t node ~at ~seq ~dst:p;
+          Sim.schedule t.sim ~at (fun () -> deliver_cleanup t ~view:vid p seq)
       | None -> ())
 
 and deliver_ack t ~view seq =
@@ -320,9 +358,9 @@ and deliver_cleanup t ~view i seq =
            cascade. *)
         match Membership.predecessor t.membership i with
         | Some p when p <> head_id t ->
-            Sim.schedule t.sim
-              ~at:(Clock.now node.clock + hop_delay t)
-              (fun () -> deliver_cleanup t ~view p seq)
+            let at = Clock.now node.clock + hop_delay t in
+            trace_hop t node ~at ~seq ~dst:p;
+            Sim.schedule t.sim ~at (fun () -> deliver_cleanup t ~view p seq)
         | Some _ | None -> ()
       end
 
@@ -434,7 +472,10 @@ let complete_promotion t i =
   if t.promoting = Some i then t.promoting <- None;
   if (not node.removed) && Engine.kind node.engine = Engine.Intent_only then begin
     enter t node;
-    Engine.promote_to_kamino node.engine
+    Engine.promote_to_kamino node.engine;
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~kind:Obs.k_promote ~track:0 ~ts:(Sim.now t.sim) ~dur:(-1)
+        ~a:i ~b:(view_id t) ~c:0
   end
 
 (* After a view change every surviving member re-drives: it executes
@@ -465,6 +506,9 @@ let fail_stop_now t i =
     node.up <- false;
     node.removed <- true;
     ignore (Membership.remove t.membership i);
+    (if Obs.enabled t.obs then
+       Obs.emit t.obs ~kind:Obs.k_view_change ~track:0 ~ts:(Sim.now t.sim)
+         ~dur:(-1) ~a:(view_id t) ~b:i ~c:0);
     (* §5.2 head failure: the next replica becomes head. Under Kamino-Tx it
        must build a local backup before it can recover alone; the build is
        scheduled as a separate event so the window is crashable. *)

@@ -44,8 +44,15 @@ exception Corrupt_entry of { node : int; queue_seq : int; reason : string }
 
 type t
 
+(** [obs] (default {!Kamino_obs.Obs.null}) traces the whole chain into one
+    tracer: per-hop propagation spans (forward sends, tail acks, cleanup
+    cascade), view-change and head-promotion instants on track 0, and each
+    node's engine events on its own track group — node [i] owns tracks
+    [10 (i+1) .. 10 (i+1) + 3] (tx / applier / nvm / link). The null
+    default costs one branch per site and cannot move simulated time. *)
 val create :
   ?engine_config:Kamino_core.Engine.config ->
+  ?obs:Kamino_obs.Obs.t ->
   ?hop_ns:int ->
   ?rpc_ns:int ->
   ?promote_ns:int ->

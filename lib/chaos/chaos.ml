@@ -4,6 +4,7 @@ module Engine = Kamino_core.Engine
 module Kv = Kamino_kv.Kv
 module Op = Kamino_chain.Op
 module Async = Kamino_chain.Async_chain
+module Obs = Kamino_obs.Obs
 
 type fault =
   | Reboot of { node : int; at_event : int; downtime_ns : int }
@@ -328,45 +329,59 @@ let chaos_engine_config =
     data_log_bytes = 1 lsl 16;
   }
 
-let make_chain ~mode ~seed =
-  Async.create ~engine_config:chaos_engine_config ~hop_ns:5000 ~rpc_ns:500
+let make_chain ?(obs = Obs.null) ~mode ~seed () =
+  Async.create ~engine_config:chaos_engine_config ~obs ~hop_ns:5000 ~rpc_ns:500
     ~promote_ns:40_000 ~queue_slots:256 ~mode ~f:2 ~value_size:64 ~node_size:512 ~seed ()
 
 (* Apply one fault at an event boundary. Faults drawn against a dry run can
    be inapplicable by the time they fire (the node was removed, the chain
    is too short to shrink further); they become deterministic no-ops so a
    schedule replays identically. *)
-let apply_fault chain ~seed log fault =
+let apply_fault chain ~seed ~obs log fault =
   let note verdict = Buffer.add_string log (fault_to_string fault ^ verdict ^ "\n") in
   let alive node =
     node < Async.length chain && List.mem node (Async.members chain)
   in
+  (* Fault codes in the trace: 0 = reboot, 1 = fail-stop, 2 = stale-view
+     probe, 3 = hop jitter (see {!Obs.k_fault}). Only applied faults leave
+     an instant — a skipped fault never touched the system. *)
+  let trace code node at_event =
+    if Obs.enabled obs then
+      Obs.emit obs ~kind:Obs.k_fault ~track:0
+        ~ts:(Sim.now (Async.sim chain))
+        ~dur:(-1) ~a:code ~b:node ~c:at_event
+  in
   match fault with
-  | Reboot { node; downtime_ns; _ } ->
+  | Reboot { node; downtime_ns; at_event } ->
       if alive node then begin
+        trace 0 node at_event;
         Async.reboot_now ~downtime_ns chain node;
         note " -> applied"
       end
       else note " -> skipped (not a member)"
-  | Fail_stop { node; _ } ->
+  | Fail_stop { node; at_event } ->
       if alive node && List.length (Async.members chain) > 2 then begin
+        trace 1 node at_event;
         Async.fail_stop_now chain node;
         note " -> applied"
       end
       else note " -> skipped (not a member, or chain too short)"
-  | Stale_probe { node; _ } ->
+  | Stale_probe { node; at_event } ->
       if alive node then begin
+        trace 2 node at_event;
         Async.inject_stale_probe_now chain node;
         note " -> applied"
       end
       else note " -> skipped (not a member)"
   | Hop_jitter { at_event; amplitude_ns } ->
+      trace 3 (-1) at_event;
       Async.set_hop_jitter chain
         (Some (Rng.create ((seed * 1_000_003) + at_event), amplitude_ns));
       note " -> applied"
 
-let run ?(recovery_fault = Async.No_fault) ~mode ~seed ~ops ~schedule () =
-  let chain = make_chain ~mode ~seed in
+let run ?(recovery_fault = Async.No_fault) ?(obs = Obs.null) ~mode ~seed ~ops
+    ~schedule () =
+  let chain = make_chain ~obs ~mode ~seed () in
   Async.set_recovery_fault chain recovery_fault;
   let steps = gen_workload ~seed ~ops in
   let writes = ref [] and reads = ref [] in
@@ -403,7 +418,7 @@ let run ?(recovery_fault = Async.No_fault) ~mode ~seed ~ops ~schedule () =
            match !pending with
            | f :: rest when fault_at_event f <= n ->
                pending := rest;
-               apply_fault chain ~seed fault_log f;
+               apply_fault chain ~seed ~obs fault_log f;
                fire ()
            | _ -> ()
          in
@@ -469,13 +484,14 @@ let run ?(recovery_fault = Async.No_fault) ~mode ~seed ~ops ~schedule () =
     survivors;
   }
 
-let explore ?(recovery_fault = Async.No_fault) ?(ops = 40) ?(faults = 6) ~mode ~seed () =
+let explore ?(recovery_fault = Async.No_fault) ?obs ?(ops = 40) ?(faults = 6)
+    ~mode ~seed () =
   (* Dry run: measure the fault-free event count so the schedule spans the
-     whole workload. *)
+     whole workload. Only the faulted run is traced. *)
   let dry = run ~mode ~seed ~ops ~schedule:[] () in
   let nodes = match mode with Async.Traditional -> 3 | Async.Kamino_chain -> 4 in
   let schedule = gen_schedule ~seed ~faults ~nodes ~events:dry.events in
-  run ~recovery_fault ~mode ~seed ~ops ~schedule ()
+  run ~recovery_fault ?obs ~mode ~seed ~ops ~schedule ()
 
 let shrink ?(recovery_fault = Async.No_fault) ~mode ~seed ~ops schedule =
   let fails s =

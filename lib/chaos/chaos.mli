@@ -60,9 +60,16 @@ val mode_of_string : string -> Async.mode option
 (** [run ~mode ~seed ~ops ~schedule ()] drives one workload under one
     fault schedule to quiescence and applies both oracles.
     [recovery_fault] deliberately breaks replica recovery — for validating
-    that the oracles catch a broken protocol. *)
+    that the oracles catch a broken protocol. [obs] (default
+    {!Kamino_obs.Obs.null}) traces the run: chain hops, view changes and
+    promotions, every node's engine events, plus one instant per {e
+    applied} fault on track 0 ([a] = 0 reboot / 1 fail-stop / 2 stale
+    probe / 3 jitter, [b] = node, [c] = the fault's event index). Tracing
+    never perturbs the simulation: history and verdict are byte-identical
+    with and without it. *)
 val run :
   ?recovery_fault:Async.recovery_fault ->
+  ?obs:Kamino_obs.Obs.t ->
   mode:Async.mode ->
   seed:int ->
   ops:int ->
@@ -80,6 +87,7 @@ val gen_schedule : seed:int -> faults:int -> nodes:int -> events:int -> fault li
     [(mode, seed, ops, faults)]. *)
 val explore :
   ?recovery_fault:Async.recovery_fault ->
+  ?obs:Kamino_obs.Obs.t ->
   ?ops:int ->
   ?faults:int ->
   mode:Async.mode ->

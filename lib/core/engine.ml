@@ -3,6 +3,8 @@ module Cost_model = Kamino_nvm.Cost_model
 module Clock = Kamino_sim.Clock
 module Rng = Kamino_sim.Rng
 module Heap = Kamino_heap.Heap
+module Obs = Kamino_obs.Obs
+module Metrics = Kamino_obs.Metrics
 
 type kind =
   | No_logging
@@ -79,10 +81,24 @@ type t = {
   rng : Rng.t;
   mutable next_tx_id : int;
   mutable active : tx option;
-  mutable committed : int;
-  mutable aborted : int;
-  mutable ranges_coalesced : int;
-  mutable bytes_saved : int;
+  (* Observability. The engine's bookkeeping counters live in a
+     {!Kamino_obs.Metrics} registry; handles are resolved once here so
+     every hot-path update stays a single field mutation. [e_obs] is
+     [Obs.null] unless the caller opted in at [create]; every event site
+     is a single enabled-check branch and never touches a clock, so
+     tracing cannot move a simulated ns (DESIGN.md par10). [obs_base] is
+     the engine's base Perfetto track: base = transactions, base+1 =
+     applier timeline, base+2 = NVM write-backs. *)
+  e_obs : Obs.t;
+  obs_base : int;
+  reg : Metrics.t;
+  m_committed : Metrics.counter;
+  m_aborted : Metrics.counter;
+  m_ranges_coalesced : Metrics.counter;
+  m_bytes_saved : Metrics.counter;
+  h_dep_wait : Metrics.hist;
+  h_applier_lag : Metrics.hist;
+  h_queue_depth : Metrics.hist;
   mutable last_write_keys : int list;
   mutable all_regions : Region.t array;
   (* Per-transaction scratch, owned by the engine and recycled across
@@ -105,6 +121,7 @@ type t = {
 and tx = {
   owner : t;
   id : int;
+  t_begin : int;  (* client-clock ns at begin, for the commit/abort span *)
   mutable slot : Intent_log.slot option;
   mutable lock_keys : int list;  (* write-lock keys (object extents) *)
   mutable lock_entries : Locks.entry list;  (* handles for [lock_keys], same order *)
@@ -202,6 +219,13 @@ let uses_data_log = function
 let make_applier t =
   let apply tasks =
     let b = Option.get t.bkp and ilog = Option.get t.ilog in
+    (if Obs.enabled t.e_obs then
+       let ntasks = List.length tasks in
+       let nranges =
+         List.fold_left (fun n task -> n + List.length task.Applier.ranges) 0 tasks
+       in
+       Obs.emit t.e_obs ~kind:Obs.k_applier_batch ~track:(t.obs_base + 1)
+         ~ts:(Clock.now t.clk) ~dur:(-1) ~a:ntasks ~b:nranges ~c:0);
     match tasks with
     | [ ({ Applier.ranges = ([] | [ _ ]) as raw; _ } as task) ]
       when match raw with [ r ] -> r.Intent_log.len > 0 | _ -> true ->
@@ -230,9 +254,9 @@ let make_applier t =
       end
     in
     if t.e_config.coalesce_writes then begin
-      t.ranges_coalesced <- t.ranges_coalesced + (List.length raw - List.length merged);
-      t.bytes_saved <-
-        t.bytes_saved + (Intent_log.total_bytes raw - Intent_log.total_bytes merged)
+      Metrics.add t.m_ranges_coalesced (List.length raw - List.length merged);
+      Metrics.add t.m_bytes_saved
+        (Intent_log.total_bytes raw - Intent_log.total_bytes merged)
     end;
     List.iter
       (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
@@ -241,7 +265,8 @@ let make_applier t =
   in
   Applier.create ~regions:t.all_regions ~apply
 
-let create ?(config = default_config) ~kind ~seed () =
+let create ?(config = default_config) ?(obs = Obs.null) ?(obs_track = 1) ~kind
+    ~seed () =
   let rng = Rng.create seed in
   let clk = Clock.create () in
   let mk size = Region.create ~cost:config.cost ~crash_mode:config.crash_mode
@@ -288,6 +313,7 @@ let create ?(config = default_config) ~kind ~seed () =
     Array.of_list
       ((main :: Option.to_list ilog_region) @ Option.to_list dlog_region @ backup_regions)
   in
+  let reg = Metrics.create () in
   let t =
     {
       e_kind = kind;
@@ -305,10 +331,16 @@ let create ?(config = default_config) ~kind ~seed () =
       rng;
       next_tx_id = 1;
       active = None;
-      committed = 0;
-      aborted = 0;
-      ranges_coalesced = 0;
-      bytes_saved = 0;
+      e_obs = obs;
+      obs_base = obs_track;
+      reg;
+      m_committed = Metrics.counter reg "engine.committed";
+      m_aborted = Metrics.counter reg "engine.aborted";
+      m_ranges_coalesced = Metrics.counter reg "engine.ranges_coalesced";
+      m_bytes_saved = Metrics.counter reg "engine.bytes_saved";
+      h_dep_wait = Metrics.hist reg "engine.dependent_wait_ns";
+      h_applier_lag = Metrics.hist reg "applier.lag_ns";
+      h_queue_depth = Metrics.hist reg "applier.queue_depth";
       last_write_keys = [];
       all_regions;
       ws = Array.init 64 (fun _ -> { r_off = 0; r_len = 0; r_key = 0; cow = None });
@@ -319,6 +351,12 @@ let create ?(config = default_config) ~kind ~seed () =
   (match kind with
   | Kamino_simple | Kamino_dynamic _ -> t.appl <- Some (make_applier t)
   | No_logging | Undo_logging | Cow | Intent_only -> ());
+  if Obs.enabled obs then begin
+    Obs.name_track obs obs_track "tx";
+    Obs.name_track obs (obs_track + 1) "applier";
+    Obs.name_track obs (obs_track + 2) "nvm";
+    Array.iter (fun r -> Region.set_obs r ~track:(obs_track + 2) obs) all_regions
+  end;
   set_clock t clk;
   t
 
@@ -423,10 +461,13 @@ let log_intent t slot ~off ~len =
   in
   if mergeable then begin
     let _, merged = Intent_log.add_intent_merged ilog slot { Intent_log.off; len } in
-    if merged then t.ranges_coalesced <- t.ranges_coalesced + 1
+    if merged then Metrics.incr t.m_ranges_coalesced
   end
   else Intent_log.add_intent ilog slot { Intent_log.off; len };
-  if t.e_config.flush_per_intent then Intent_log.barrier ilog slot
+  if t.e_config.flush_per_intent then Intent_log.barrier ilog slot;
+  if Obs.enabled t.e_obs then
+    Obs.emit t.e_obs ~kind:Obs.k_intent ~track:t.obs_base ~ts:(Clock.now t.clk)
+      ~dur:(-1) ~a:off ~b:len ~c:0
 
 (* Coalesce a committed write set before it is enqueued at the applier.
    Exact overlap/adjacency merges are always safe (the union covers
@@ -511,6 +552,7 @@ let begin_tx t =
   | None -> ());
   let id = t.next_tx_id in
   t.next_tx_id <- id + 1;
+  let t_begin = Clock.now t.clk in
   Region.charge t.main (cost t).Cost_model.tx_overhead_ns;
   (match t.e_kind with
   | Undo_logging | Cow -> Data_log.begin_tx (Option.get t.dlog) ~tx_id:id
@@ -527,6 +569,7 @@ let begin_tx t =
     {
       owner = t;
       id;
+      t_begin;
       slot = None;  (* claimed lazily at the first write intent *)
       lock_keys = [];
       lock_entries = [];
@@ -587,10 +630,30 @@ let declare ?lock_key tx ~off ~len ~redirectable =
     let t = tx.owner in
     let cm = cost t in
     let le = Locks.entry_of t.locks lock_key in
-    let held_at =
-      Locks.acquire_write_e t.locks le ~now:(Clock.now t.clk)
-        ~cost_ns:cm.Cost_model.lock_ns
+    let now0 = Clock.now t.clk in
+    (* Cause attribution, read before acquiring: the wait is {e dependent}
+       (the paper's backup catch-up wait) when the lock's previous writer
+       has a committed-but-unapplied task — the same predicate [pinned]
+       uses. Anything else is plain contention. *)
+    let dependent =
+      Obs.enabled t.e_obs
+      &&
+      match t.appl with
+      | Some appl -> Locks.last_writer_task_e le > Applier.applied_through appl
+      | None -> false
     in
+    let held_at =
+      Locks.acquire_write_e t.locks le ~now:now0 ~cost_ns:cm.Cost_model.lock_ns
+    in
+    (if Obs.enabled t.e_obs then
+       let waited = held_at - now0 - int_of_float cm.Cost_model.lock_ns in
+       if waited > 0 then begin
+         if dependent then Metrics.observe t.h_dep_wait waited;
+         Obs.emit t.e_obs ~kind:Obs.k_lock_wait ~track:t.obs_base ~ts:now0
+           ~dur:waited ~a:lock_key
+           ~b:(if dependent then 1 else 0)
+           ~c:tx.id
+       end);
     ignore (Clock.advance_to t.clk held_at);
     let cow =
       match t.e_kind with
@@ -678,9 +741,26 @@ let read_lock tx p =
   let { Heap.off; len = _ } = Heap.extent t.heap p in
   let cm = cost t in
   let e = Locks.entry_of t.locks off in
-  let held_at =
-    Locks.acquire_read_e t.locks e ~now:(Clock.now t.clk) ~cost_ns:cm.Cost_model.lock_ns
+  let now0 = Clock.now t.clk in
+  let dependent =
+    Obs.enabled t.e_obs
+    &&
+    match t.appl with
+    | Some appl -> Locks.last_writer_task_e e > Applier.applied_through appl
+    | None -> false
   in
+  let held_at =
+    Locks.acquire_read_e t.locks e ~now:now0 ~cost_ns:cm.Cost_model.lock_ns
+  in
+  (if Obs.enabled t.e_obs then
+     let waited = held_at - now0 - int_of_float cm.Cost_model.lock_ns in
+     if waited > 0 then begin
+       if dependent then Metrics.observe t.h_dep_wait waited;
+       Obs.emit t.e_obs ~kind:Obs.k_lock_wait ~track:t.obs_base ~ts:now0
+         ~dur:waited ~a:off
+         ~b:(if dependent then 1 else 0)
+         ~c:tx.id
+     end);
   ignore (Clock.advance_to t.clk held_at);
   tx.read_entries <- e :: tx.read_entries
 
@@ -972,14 +1052,13 @@ let commit tx =
                  ranges the pass eliminated and the net copy bytes it
                  saved. Dynamic backups need the raw per-object ranges. *)
               let merged = coalesce_write_set t in
-              t.ranges_coalesced <-
-                t.ranges_coalesced + (t.ws_n - List.length merged);
+              Metrics.add t.m_ranges_coalesced (t.ws_n - List.length merged);
               let raw_bytes = ref 0 in
               for i = 0 to t.ws_n - 1 do
                 raw_bytes := !raw_bytes + t.ws.(i).r_len
               done;
-              t.bytes_saved <-
-                t.bytes_saved + (!raw_bytes - Intent_log.total_bytes merged);
+              Metrics.add t.m_bytes_saved
+                (!raw_bytes - Intent_log.total_bytes merged);
               merged
           | _ ->
               let acc = ref [] in
@@ -989,15 +1068,37 @@ let commit tx =
               done;
               !acc
         in
+        let tcost = task_cost (cost t) iranges in
         let task, finish_at =
-          Applier.enqueue appl ~commit_time:(Clock.now t.clk)
-            ~cost_ns:(task_cost (cost t) iranges) ~tx_id:tx.id ~slot ~ranges:iranges
+          Applier.enqueue appl ~commit_time:(Clock.now t.clk) ~cost_ns:tcost
+            ~tx_id:tx.id ~slot ~ranges:iranges
         in
         List.iter (fun e -> Locks.set_last_writer_task_e e task) tx.lock_entries;
+        (if Obs.enabled t.e_obs then begin
+           (* The task occupies [finish_at - cost, finish_at) of the
+              applier's private timeline ([Applier.enqueue] computes
+              [finish = max vnow commit_time + cost]); applier lag is how
+              far that finish runs ahead of the committing client. *)
+           let nowc = Clock.now t.clk in
+           Metrics.observe t.h_applier_lag (finish_at - nowc);
+           let depth = Applier.queued appl in
+           Metrics.observe t.h_queue_depth depth;
+           let icost = int_of_float tcost in
+           Obs.emit t.e_obs ~kind:Obs.k_applier_task ~track:(t.obs_base + 1)
+             ~ts:(finish_at - icost) ~dur:icost ~a:tx.id
+             ~b:(List.length iranges)
+             ~c:(Intent_log.total_bytes iranges);
+           Obs.emit t.e_obs ~kind:Obs.k_queue_depth ~track:(t.obs_base + 1)
+             ~ts:nowc ~dur:(-1) ~a:depth ~b:0 ~c:0
+         end);
         (* The paper's rule: write locks release only once main and backup
            agree on the write set — i.e. at the applier's finish time. *)
         release_all tx ~write_release:finish_at));
-  t.committed <- t.committed + 1;
+  Metrics.incr t.m_committed;
+  (if Obs.enabled t.e_obs then
+     let nowc = Clock.now t.clk in
+     Obs.emit t.e_obs ~kind:Obs.k_commit ~track:t.obs_base ~ts:tx.t_begin
+       ~dur:(nowc - tx.t_begin) ~a:tx.id ~b:t.ws_n ~c:0);
   finish tx
 
 let abort tx =
@@ -1039,7 +1140,11 @@ let abort tx =
           done;
           Intent_log.release ilog slot);
       release_all tx ~write_release:(Clock.now t.clk));
-  t.aborted <- t.aborted + 1;
+  Metrics.incr t.m_aborted;
+  (if Obs.enabled t.e_obs then
+     let nowc = Clock.now t.clk in
+     Obs.emit t.e_obs ~kind:Obs.k_abort ~track:t.obs_base ~ts:tx.t_begin
+       ~dur:(nowc - tx.t_begin) ~a:tx.id ~b:0 ~c:0);
   finish tx
 
 let with_tx t f =
@@ -1223,6 +1328,7 @@ let promote_to_kamino t =
   t.all_regions <- Array.append t.all_regions [| r |];
   t.e_kind <- Kamino_simple;
   t.appl <- Some (make_applier t);
+  if Obs.enabled t.e_obs then Region.set_obs r ~track:(t.obs_base + 2) t.e_obs;
   set_clock t t.clk
 
 (* --- Metrics ------------------------------------------------------------ *)
@@ -1245,8 +1351,8 @@ type metrics = {
 
 let metrics (t : t) =
   {
-    committed = t.committed;
-    aborted = t.aborted;
+    committed = Metrics.value t.m_committed;
+    aborted = Metrics.value t.m_aborted;
     critical_path_copies =
       (match t.dlog with Some d -> Data_log.entries_created d | None -> 0);
     backup_hits = (match t.bkp with Some b -> Backup.hits b | None -> 0);
@@ -1254,9 +1360,32 @@ let metrics (t : t) =
     backup_evictions = (match t.bkp with Some b -> Backup.evictions b | None -> 0);
     applier_tasks = (match t.appl with Some a -> Applier.tasks_applied a | None -> 0);
     tasks_batched = (match t.appl with Some a -> Applier.tasks_batched a | None -> 0);
-    ranges_coalesced = t.ranges_coalesced;
-    bytes_saved = t.bytes_saved;
+    ranges_coalesced = Metrics.value t.m_ranges_coalesced;
+    bytes_saved = Metrics.value t.m_bytes_saved;
     lock_wait_ns = Locks.waits t.locks;
     lock_wait_events = Locks.wait_events t.locks;
     storage_bytes = storage_bytes t;
   }
+
+let obs t = t.e_obs
+
+(* The registry as a one-stop snapshot: the engine's own counters and
+   histograms update live; numbers owned by subcomponents (backup, applier,
+   locks) are synced in as gauges on each call so sinks see everything the
+   old ad-hoc [metrics] record carried. *)
+let registry t =
+  let gauge name v = Metrics.set (Metrics.counter t.reg name) v in
+  gauge "backup.hits" (match t.bkp with Some b -> Backup.hits b | None -> 0);
+  gauge "backup.misses" (match t.bkp with Some b -> Backup.misses b | None -> 0);
+  gauge "backup.evictions"
+    (match t.bkp with Some b -> Backup.evictions b | None -> 0);
+  gauge "applier.tasks"
+    (match t.appl with Some a -> Applier.tasks_applied a | None -> 0);
+  gauge "applier.tasks_batched"
+    (match t.appl with Some a -> Applier.tasks_batched a | None -> 0);
+  gauge "datalog.critical_path_copies"
+    (match t.dlog with Some d -> Data_log.entries_created d | None -> 0);
+  gauge "locks.wait_ns" (Locks.waits t.locks);
+  gauge "locks.wait_events" (Locks.wait_events t.locks);
+  gauge "storage.bytes" (storage_bytes t);
+  t.reg

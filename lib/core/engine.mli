@@ -77,8 +77,23 @@ type t
 type tx
 
 (** [create ~kind ~seed ()] builds the full stack: main heap, logs, backup,
-    lock table, applier. Deterministic from [seed]. *)
-val create : ?config:config -> kind:kind -> seed:int -> unit -> t
+    lock table, applier. Deterministic from [seed].
+
+    [obs] (default {!Kamino_obs.Obs.null}) attaches an event tracer;
+    [obs_track] (default 1) is the engine's base Perfetto track id —
+    the engine uses [obs_track] for transaction events, [obs_track + 1]
+    for the applier timeline and [obs_track + 2] for NVM write-backs.
+    With the default null tracer every instrumentation site reduces to
+    one predictable branch: zero allocation, zero simulated-time skew
+    (DESIGN.md par10). *)
+val create :
+  ?config:config ->
+  ?obs:Kamino_obs.Obs.t ->
+  ?obs_track:int ->
+  kind:kind ->
+  seed:int ->
+  unit ->
+  t
 
 val kind : t -> kind
 
@@ -252,6 +267,18 @@ type metrics = {
 }
 
 val metrics : t -> metrics
+
+(** The engine's tracer, as passed to {!create} ([Obs.null] otherwise). *)
+val obs : t -> Kamino_obs.Obs.t
+
+(** The engine's metrics registry — the store behind {!metrics}. The
+    engine's own counters ([engine.committed], [engine.ranges_coalesced],
+    ...) and histograms ([engine.dependent_wait_ns], [applier.lag_ns],
+    [applier.queue_depth]) update live; component-owned numbers
+    ([backup.hits], [applier.tasks], [locks.wait_ns], ...) are synced in
+    as gauges on each call, so the returned registry is a complete
+    snapshot for {!Kamino_obs.Sink.summary}. *)
+val registry : t -> Kamino_obs.Metrics.t
 
 val storage_bytes : t -> int
 

@@ -1,5 +1,6 @@
 module Rng = Kamino_sim.Rng
 module Clock = Kamino_sim.Clock
+module Obs = Kamino_obs.Obs
 
 let line_size = 64
 
@@ -41,6 +42,11 @@ type t = {
   crash_mode : crash_mode;
   rng : Rng.t;
   counters : counters;
+  (* Tracing: [obs] is [Obs.null] unless the owner opted in, making every
+     instrumentation site below a single load-and-branch. Events never
+     touch the clock, so enabling them cannot move a simulated ns. *)
+  mutable obs : Obs.t;
+  mutable obs_track : int;
 }
 
 let fresh_counters () =
@@ -72,6 +78,8 @@ let create ?(cost = Cost_model.default) ?(crash_mode = Words_survive_randomly) ~
     crash_mode;
     rng;
     counters = fresh_counters ();
+    obs = Obs.null;
+    obs_track = 0;
   }
 
 let size t = t.size
@@ -81,6 +89,12 @@ let cost_model t = t.cost
 let set_clock t clock = t.clock <- clock
 
 let clock t = t.clock
+
+let set_obs t ?(track = 0) obs =
+  t.obs <- obs;
+  t.obs_track <- track
+
+let obs t = t.obs
 
 let[@inline] charge t ns =
   let total = ns +. t.frac_ns.v in
@@ -347,7 +361,7 @@ let persist_run t l0 l1 =
   t.counters.lines_flushed <- t.counters.lines_flushed + (l1 - l0 + 1);
   if !acc > 0 then Clock.advance t.clock !acc
 
-let flush t off len =
+let flush_quiet t off len =
   check_range t off len "flush";
   if len > 0 then begin
     let first = off / line_size and last = (off + len - 1) / line_size in
@@ -392,15 +406,33 @@ let flush t off len =
     end
   end
 
+let flush t off len =
+  if Obs.enabled t.obs then begin
+    let t0 = Clock.now t.clock in
+    let lf0 = t.counters.lines_flushed in
+    flush_quiet t off len;
+    let lines = t.counters.lines_flushed - lf0 in
+    if lines > 0 then
+      Obs.emit t.obs ~kind:Obs.k_flush ~track:t.obs_track ~ts:t0
+        ~dur:(Clock.now t.clock - t0) ~a:lines ~b:off ~c:0
+  end
+  else flush_quiet t off len
+
 let fence t =
   t.counters.fences <- t.counters.fences + 1;
-  charge t t.cost.Cost_model.fence_ns
+  if Obs.enabled t.obs then begin
+    let t0 = Clock.now t.clock in
+    charge t t.cost.Cost_model.fence_ns;
+    Obs.emit t.obs ~kind:Obs.k_fence ~track:t.obs_track ~ts:t0
+      ~dur:(Clock.now t.clock - t0) ~a:0 ~b:0 ~c:0
+  end
+  else charge t t.cost.Cost_model.fence_ns
 
 let persist t off len =
   flush t off len;
   fence t
 
-let flush_all t =
+let flush_all_quiet t =
   if t.dirty_lo <= t.dirty_hi then begin
     let d = t.dirty in
     let rs = ref (-1) and re = ref (-2) in
@@ -429,6 +461,19 @@ let flush_all t =
     t.dirty_lo <- max_int;
     t.dirty_hi <- -1
   end
+
+let flush_all t =
+  if Obs.enabled t.obs then begin
+    let t0 = Clock.now t.clock in
+    let lf0 = t.counters.lines_flushed in
+    let off0 = if t.dirty_lo <= t.dirty_hi then t.dirty_lo * line_size else 0 in
+    flush_all_quiet t;
+    let lines = t.counters.lines_flushed - lf0 in
+    if lines > 0 then
+      Obs.emit t.obs ~kind:Obs.k_flush ~track:t.obs_track ~ts:t0
+        ~dur:(Clock.now t.clock - t0) ~a:lines ~b:off0 ~c:0
+  end
+  else flush_all_quiet t
 
 let persist_all t =
   flush_all t;

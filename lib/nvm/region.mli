@@ -51,6 +51,20 @@ val set_clock : t -> Kamino_sim.Clock.t -> unit
 
 val clock : t -> Kamino_sim.Clock.t
 
+(** {1 Observability}
+
+    A region records flush write-back runs (spans) and fences on its
+    tracer. The tracer defaults to {!Kamino_obs.Obs.null}; every
+    instrumentation site is a single enabled-check branch, and events
+    never touch the clock, so tracing cannot perturb simulated time
+    (DESIGN.md par10). *)
+
+(** [set_obs t ?track obs] attaches a tracer; [track] is the Perfetto
+    track (thread) id events are tagged with (default 0). *)
+val set_obs : t -> ?track:int -> Kamino_obs.Obs.t -> unit
+
+val obs : t -> Kamino_obs.Obs.t
+
 (** {1 Loads and stores}
 
     All offsets are bounds-checked; integer accessors use little-endian

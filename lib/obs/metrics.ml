@@ -1,0 +1,89 @@
+type counter = { c_name : string; mutable count : int }
+
+type hist = {
+  h_name : string;
+  buckets : int array; (* index = bit length of the sample *)
+  mutable n : int;
+  mutable total : int;
+  mutable hmax : int;
+}
+
+type t = {
+  mutable counters : (string * counter) list;
+  mutable hists : (string * hist) list;
+}
+
+(* Registries hold a handful of entries resolved at setup time, so a
+   sorted assoc list beats a Hashtbl for determinism and simplicity. *)
+
+let create () = { counters = []; hists = [] }
+
+let counter t name =
+  match List.assoc_opt name t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      t.counters <- (name, c) :: t.counters;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let set c n = c.count <- n
+let value c = c.count
+let counter_name c = c.c_name
+
+let hist t name =
+  match List.assoc_opt name t.hists with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; buckets = Array.make 64 0; n = 0; total = 0; hmax = 0 }
+      in
+      t.hists <- (name, h) :: t.hists;
+      h
+
+(* Number of significant bits: bits 0 = 0, bits 1 = 1, bits 7 = 3. *)
+let bits v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  let i = bits v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.n <- h.n + 1;
+  h.total <- h.total + v;
+  if v > h.hmax then h.hmax <- v
+
+let hist_name h = h.h_name
+let count h = h.n
+let sum h = h.total
+let max_value h = h.hmax
+let mean h = if h.n = 0 then 0. else float_of_int h.total /. float_of_int h.n
+
+let percentile h p =
+  if h.n = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int h.n)) in
+      if r < 1 then 1 else if r > h.n then h.n else r
+    in
+    let i = ref 0 in
+    let seen = ref 0 in
+    while !seen < rank && !i < 64 do
+      seen := !seen + h.buckets.(!i);
+      if !seen < rank then i := !i + 1
+    done;
+    (* Upper bound of bucket !i: 2^!i - 1 (bucket 0 holds only 0). *)
+    let ub = if !i = 0 then 0 else (1 lsl !i) - 1 in
+    min ub h.hmax
+  end
+
+let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let fold_counters t ~init ~f =
+  List.fold_left (fun acc (name, c) -> f acc name c.count) init
+    (by_name t.counters)
+
+let fold_hists t ~init ~f =
+  List.fold_left (fun acc (name, h) -> f acc name h) init (by_name t.hists)

@@ -1,0 +1,59 @@
+(** Named counters and simulated-time histograms.
+
+    A registry is a flat namespace of monotonic counters and log2-bucket
+    histograms.  Handles are resolved once (at engine creation) so every
+    hot-path update is a plain field mutation — no hashing, no
+    allocation.  All aggregation is over integers, so percentile
+    estimates are deterministic across runs and machines.
+
+    Histogram buckets are by bit length: value [v] lands in bucket
+    [bits v] (0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...), 64
+    buckets total.  A percentile is reported as the upper bound of the
+    bucket holding that rank, clamped to the observed maximum — a
+    <= 2x overestimate, stable and cheap, which is what a regression
+    tripwire needs. *)
+
+type t
+type counter
+type hist
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Find or register. The same name always yields the same handle. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : counter -> int -> unit
+(** Overwrite the value — for gauges synced from an external source. *)
+
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Histograms} *)
+
+val hist : t -> string -> hist
+val observe : hist -> int -> unit
+(** Negative samples are clamped to 0. *)
+
+val hist_name : hist -> string
+val count : hist -> int
+val sum : hist -> int
+val max_value : hist -> int
+
+val mean : hist -> float
+(** 0. when empty. *)
+
+val percentile : hist -> float -> int
+(** [percentile h p] for [p] in [0..100]; 0 when empty. *)
+
+(** {1 Enumeration} *)
+
+val fold_counters : t -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
+(** Sorted by name, for deterministic reports. *)
+
+val fold_hists : t -> init:'a -> f:('a -> string -> hist -> 'a) -> 'a
+(** Sorted by name. *)

@@ -1,0 +1,23 @@
+(** Render a tracer / registry into consumable form.
+
+    The Perfetto sink writes Chrome trace-event JSON (the
+    ["traceEvents"] array format) loadable by https://ui.perfetto.dev
+    or chrome://tracing.  Timestamps are simulated microseconds with
+    nanosecond precision ([ts]/[dur] carry three decimals); track names
+    become per-tid thread metadata.  Output is a pure function of ring
+    contents, so traces are byte-identical for the same seed. *)
+
+val perfetto : Buffer.t -> Obs.t -> unit
+(** Append the full JSON document to [buf]. *)
+
+val perfetto_string : Obs.t -> string
+
+val write_perfetto_file : string -> Obs.t -> unit
+(** Write (truncate) [path] with the JSON document. *)
+
+val summary : Buffer.t -> ?obs:Obs.t -> Metrics.t -> unit
+(** Plain-text report: counters, then histograms
+    (count/mean/p50/p95/p99/max), then — when [obs] is given — ring
+    occupancy and drop counts.  Deterministic ordering. *)
+
+val summary_string : ?obs:Obs.t -> Metrics.t -> string

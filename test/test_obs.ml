@@ -1,0 +1,276 @@
+(* Tests for the observability subsystem: the event ring (wraparound,
+   drop accounting, the null tracer), the metrics registry (deterministic
+   log2-bucket percentiles), the Perfetto sink's document shape, seed
+   determinism of traces, and — the load-bearing invariant — that turning
+   tracing on changes no simulated nanosecond, no NVM counter, and no
+   crash-recovery or chaos outcome (DESIGN.md §8/§10). *)
+
+module Rng = Kamino_sim.Rng
+module Engine = Kamino_core.Engine
+module Kv = Kamino_kv.Kv
+module Obs = Kamino_obs.Obs
+module Metrics = Kamino_obs.Metrics
+module Sink = Kamino_obs.Sink
+module Async = Kamino_chain.Async_chain
+module Chaos = Kamino_chaos.Chaos
+
+(* --- event ring ------------------------------------------------------------ *)
+
+let test_ring_wraparound () =
+  let o = Obs.create ~capacity:16 () in
+  Alcotest.(check bool) "enabled" true (Obs.enabled o);
+  Alcotest.(check int) "capacity honored" 16 (Obs.capacity o);
+  for i = 0 to 39 do
+    Obs.emit o ~kind:Obs.k_commit ~track:1 ~ts:(i * 10) ~dur:1 ~a:i ~b:0 ~c:0
+  done;
+  Alcotest.(check int) "ring holds capacity" 16 (Obs.length o);
+  Alcotest.(check int) "overflow counted as drops" 24 (Obs.dropped o);
+  Alcotest.(check int) "total = held + dropped" 40 (Obs.total o);
+  (* Survivors are exactly the newest [capacity] events, oldest first. *)
+  let got = ref [] in
+  Obs.iter o (fun ~kind:_ ~track:_ ~ts:_ ~dur:_ ~a ~b:_ ~c:_ -> got := a :: !got);
+  Alcotest.(check (list int)) "newest events survive, in order"
+    (List.init 16 (fun i -> 24 + i))
+    (List.rev !got);
+  Obs.reset o;
+  Alcotest.(check int) "reset empties the ring" 0 (Obs.length o);
+  Alcotest.(check int) "reset clears drops" 0 (Obs.dropped o)
+
+let test_null_tracer () =
+  Alcotest.(check bool) "null is disabled" false (Obs.enabled Obs.null);
+  Obs.emit Obs.null ~kind:Obs.k_flush ~track:0 ~ts:1 ~dur:1 ~a:1 ~b:1 ~c:1;
+  Obs.name_track Obs.null 3 "ghost";
+  Alcotest.(check int) "null records nothing" 0 (Obs.length Obs.null);
+  Alcotest.(check (list (pair int string))) "null names nothing" [] (Obs.tracks Obs.null)
+
+(* --- metrics registry ------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "engine.committed" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr + add" 5 (Metrics.value c);
+  let c' = Metrics.counter r "engine.committed" in
+  Metrics.incr c';
+  Alcotest.(check int) "same name, same handle" 6 (Metrics.value c);
+  Metrics.set c 42;
+  Alcotest.(check int) "set overwrites" 42 (Metrics.value c);
+  let names =
+    Metrics.fold_counters r ~init:[] ~f:(fun acc name v -> (name, v) :: acc)
+  in
+  Alcotest.(check (list (pair string int)))
+    "fold enumerates sorted"
+    [ ("engine.committed", 42) ]
+    (List.rev names)
+
+let test_metrics_percentiles () =
+  let r = Metrics.create () in
+  let h = Metrics.hist r "wait" in
+  for v = 1 to 100 do
+    Metrics.observe h v
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.count h);
+  Alcotest.(check int) "max" 100 (Metrics.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Metrics.mean h);
+  (* Log2 buckets: rank 50 lands in bucket [32,63], reported as its upper
+     bound; the top ranks clamp to the observed max. *)
+  Alcotest.(check int) "p50 = bucket upper bound" 63 (Metrics.percentile h 50.0);
+  Alcotest.(check int) "p99 clamps to max" 100 (Metrics.percentile h 99.0);
+  Metrics.observe h (-5);
+  Alcotest.(check int) "negatives clamp to 0" 101 (Metrics.count h);
+  let empty = Metrics.hist r "empty" in
+  Alcotest.(check int) "empty percentile" 0 (Metrics.percentile empty 99.0);
+  Alcotest.(check (float 0.001)) "empty mean" 0.0 (Metrics.mean empty)
+
+(* --- a small deterministic engine workload ---------------------------------- *)
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 4 * 1024 * 1024;
+    log_slots = 128;
+    data_log_bytes = 2 * 1024 * 1024;
+  }
+
+let run_workload ?obs ?(crashes = false) kind =
+  let e = Engine.create ~config ?obs ~kind ~seed:11 () in
+  let kv = ref (Kv.create e ~value_size:256 ~node_size:512) in
+  let rng = Rng.create 99 in
+  let model = Hashtbl.create 64 in
+  for round = 1 to 400 do
+    let k = Rng.int rng 64 in
+    (match Rng.int rng 3 with
+    | 0 ->
+        let v = Printf.sprintf "v%d" round in
+        Kv.put !kv k v;
+        Hashtbl.replace model k v
+    | 1 ->
+        ignore (Kv.delete !kv k);
+        Hashtbl.remove model k
+    | _ -> ignore (Kv.get !kv k));
+    if crashes && Rng.int rng 40 = 0 then begin
+      Engine.crash e;
+      Engine.recover e;
+      kv := Kv.reattach e
+    end
+  done;
+  Engine.drain_backup e;
+  let contents =
+    Hashtbl.fold (fun k v acc -> Printf.sprintf "%d=%s" k v :: acc) model []
+    |> List.sort compare |> String.concat ";"
+  in
+  (e, !kv, contents)
+
+(* --- Perfetto sink ---------------------------------------------------------- *)
+
+(* No JSON parser in the dependency set, so the shape check is structural:
+   the exact envelope [json_of_cell]-style consumers depend on, balanced
+   braces/brackets, and one object per recorded event. *)
+let test_perfetto_shape () =
+  let obs = Obs.create ~capacity:1024 () in
+  let e, _, _ = run_workload ~obs Engine.Kamino_simple in
+  let s = Sink.perfetto_string obs in
+  let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s in
+  Alcotest.(check bool) "opens with traceEvents" true
+    (String.length s > 16 && String.sub s 0 16 = {|{"traceEvents":[|});
+  Alcotest.(check int) "braces balance" (count '{') (count '}');
+  Alcotest.(check int) "brackets balance" (count '[') (count ']');
+  let occurrences needle =
+    let nl = String.length needle and sl = String.length s in
+    let n = ref 0 in
+    for i = 0 to sl - nl do
+      if String.sub s i nl = needle then incr n
+    done;
+    !n
+  in
+  (* One event object per ring slot, plus one metadata record per named
+     track; every record carries a phase tag. *)
+  Alcotest.(check int) "every record has a phase"
+    (Obs.length obs + List.length (Obs.tracks obs))
+    (occurrences {|"ph":|});
+  Alcotest.(check int) "thread names cover the tracks"
+    (List.length (Obs.tracks obs))
+    (occurrences {|"thread_name"|});
+  Alcotest.(check bool) "declares the time unit" true
+    (occurrences {|"displayTimeUnit":"ns"|} = 1);
+  Alcotest.(check bool) "records drop accounting" true (occurrences {|"dropped":|} = 1);
+  Alcotest.(check bool) "engine emitted spans" true (occurrences {|"ph":"X"|} > 0);
+  ignore e
+
+let test_trace_determinism () =
+  let trace () =
+    let obs = Obs.create ~capacity:4096 () in
+    let _ = run_workload ~obs Engine.Kamino_simple in
+    Sink.perfetto_string obs
+  in
+  let a = trace () and b = trace () in
+  Alcotest.(check bool) "byte-identical trace for the same seed" true (a = b);
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 1000)
+
+(* --- tracing must not perturb the simulation -------------------------------- *)
+
+let engine_fingerprint e =
+  let m = Engine.metrics e in
+  let c = Engine.main_counters e in
+  (Engine.now e, m, c)
+
+let test_differential_ycsb () =
+  List.iter
+    (fun kind ->
+      let plain, _, contents = run_workload kind in
+      let obs = Obs.create () in
+      let traced, _, contents' = run_workload ~obs kind in
+      Alcotest.(check bool) "tracer saw the run" true (Obs.total obs > 0);
+      Alcotest.(check bool) "same simulated time and counters" true
+        (engine_fingerprint plain = engine_fingerprint traced);
+      Alcotest.(check string) "same committed contents" contents contents')
+    [
+      Engine.Kamino_simple;
+      Engine.Kamino_dynamic { alpha = 0.5; policy = Kamino_core.Backup.Lru_policy };
+      Engine.Undo_logging;
+    ]
+
+let test_differential_crash_recovery () =
+  let plain, kv_a, contents = run_workload ~crashes:true Engine.Kamino_simple in
+  let obs = Obs.create () in
+  let traced, kv_b, contents' = run_workload ~obs ~crashes:true Engine.Kamino_simple in
+  Alcotest.(check bool) "same simulated time and counters" true
+    (engine_fingerprint plain = engine_fingerprint traced);
+  Alcotest.(check string) "same surviving contents" contents contents';
+  Alcotest.(check bool) "both stores validate" true
+    (Kv.validate kv_a = Ok () && Kv.validate kv_b = Ok ())
+
+let test_differential_chaos () =
+  List.iter
+    (fun mode ->
+      let plain = Chaos.explore ~mode ~seed:17 () in
+      let obs = Obs.create () in
+      let traced = Chaos.explore ~obs ~mode ~seed:17 () in
+      Alcotest.(check bool) "tracer saw the run" true (Obs.total obs > 0);
+      Alcotest.(check string)
+        (Chaos.mode_name mode ^ ": byte-identical history")
+        plain.Chaos.history traced.Chaos.history;
+      Alcotest.(check bool)
+        (Chaos.mode_name mode ^ ": same verdict and event count")
+        true
+        (plain.Chaos.verdict = traced.Chaos.verdict
+        && plain.Chaos.events = traced.Chaos.events))
+    [ Async.Traditional; Async.Kamino_chain ]
+
+(* --- registry wiring --------------------------------------------------------- *)
+
+let test_engine_registry () =
+  let e, _, _ = run_workload Engine.Kamino_simple in
+  let m = Engine.metrics e in
+  let reg = Engine.registry e in
+  let get name =
+    Metrics.fold_counters reg ~init:None ~f:(fun acc n v ->
+        if n = name then Some v else acc)
+  in
+  Alcotest.(check (option int)) "committed" (Some m.Engine.committed)
+    (get "engine.committed");
+  Alcotest.(check (option int)) "applier tasks" (Some m.Engine.applier_tasks)
+    (get "applier.tasks");
+  Alcotest.(check (option int)) "storage gauge" (Some m.Engine.storage_bytes)
+    (get "storage.bytes");
+  let summary = Sink.summary_string reg in
+  Alcotest.(check bool) "summary renders counters" true
+    (String.length summary > 0
+    &&
+    let needle = "engine.committed" in
+    let nl = String.length needle in
+    let rec has i =
+      i + nl <= String.length summary
+      && (String.sub summary i nl = needle || has (i + 1))
+    in
+    has 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound and drops" `Quick test_ring_wraparound;
+          Alcotest.test_case "null tracer" `Quick test_null_tracer;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "perfetto shape" `Quick test_perfetto_shape;
+          Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "ycsb sim-time unchanged" `Quick test_differential_ycsb;
+          Alcotest.test_case "crash recovery unchanged" `Quick
+            test_differential_crash_recovery;
+          Alcotest.test_case "chaos outcome unchanged" `Quick test_differential_chaos;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "engine wiring" `Quick test_engine_registry ] );
+    ]
