@@ -19,6 +19,13 @@
    Exit status is non-zero if any cell completes zero transactions (the CI
    smoke gate).
 
+   `--shards L` (e.g. `--shards 1,4`) runs the sharded-façade scaling curve
+   instead of the normal grid: a fixed-op uniform-key YCSB-A with clients
+   pinned round-robin over the shards, reporting *simulated* aggregate
+   throughput per shard count into `BENCH_shard.json`.  The run fails if
+   any higher shard count falls below the first cell — the CI monotone
+   scaling gate.
+
    `--ab [--ab-ops N] [--gate-words FILE]` runs the tracing A/B instead of
    the normal grid: each Kamino engine executes the same fixed-op YCSB-A
    run twice, tracing off then on, and the run fails unless simulated
@@ -29,6 +36,7 @@
    stays free. *)
 
 module Rng = Kamino_sim.Rng
+module Cost_model = Kamino_nvm.Cost_model
 module Engine = Kamino_core.Engine
 module Backup = Kamino_core.Backup
 module Region = Kamino_nvm.Region
@@ -36,6 +44,9 @@ module Kv = Kamino_kv.Kv
 module Ycsb = Kamino_workload.Ycsb
 module Tpcc = Kamino_workload.Tpcc
 module Obs = Kamino_obs.Obs
+module Shard = Kamino_shard.Shard
+module Shard_kv = Kamino_shard.Shard_kv
+module Shard_driver = Kamino_shard.Shard_driver
 
 let kinds =
   [
@@ -246,6 +257,133 @@ let run_ab ~records ~ab_ops ~gate_words =
   Printf.printf "tracing A/B: zero simulated-time and counter delta across %d engines\n"
     (List.length engines)
 
+(* --- shard scaling --------------------------------------------------------- *)
+
+(* The `--shards` curve measures *simulated* aggregate throughput of the
+   sharded façade on an interleaved uniform-key YCSB-A: fixed clients
+   pinned round-robin over the shards, each drawing 50/50 reads/updates
+   uniformly from its home shard's keys. The cell is sized to be
+   applier-bound — slow-NVM copy costs and a small intent-log ring — so
+   the single backup-propagation timeline is the shards=1 bottleneck and
+   per-shard appliers are what extra shards buy, which is exactly the
+   paper's §4.3 argument partitioned (DESIGN.md par11). *)
+
+type shard_cell = {
+  s_shards : int;
+  s_clients : int;
+  s_ops : int;
+  s_elapsed_ns : int;
+  s_mops : float;  (* aggregate simulated M ops/s *)
+  s_mean_ns : float;
+  s_wall_s : float;
+  s_committed : int;
+}
+
+let shard_config ~records =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = max (8 * 1024 * 1024) (records * 4096);
+    log_slots = 8;
+    data_log_bytes = 8 * 1024 * 1024;
+    cost = Cost_model.slow_nvm;
+  }
+
+let shard_cell ~shards ~clients ~total_ops ~records =
+  let s =
+    Shard.create ~config:(shard_config ~records) ~kind:Engine.Kamino_simple
+      ~seed:90210 ~shards ()
+  in
+  let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
+  let payload = String.make 1000 'k' in
+  for k = 0 to records - 1 do
+    Shard_kv.put kv k payload
+  done;
+  Shard.drain_backups s;
+  (* Clients are pinned to home shards, so each draws keys from its own
+     shard's slice of the hash-routed key space. *)
+  let own = Array.make shards [] in
+  for k = records - 1 downto 0 do
+    let i = Shard.route s k in
+    own.(i) <- k :: own.(i)
+  done;
+  let own = Array.map Array.of_list own in
+  let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Shard_driver.run ~shard:s ~clients ~total_ops ~step:(fun ~client ~shard_id () ->
+        let keys = own.(shard_id) in
+        let rng = rngs.(client) in
+        let k = keys.(Rng.int rng (Array.length keys)) in
+        if Rng.int rng 100 < 50 then begin
+          ignore (Kv.get (Shard_kv.store kv shard_id) k);
+          "read"
+        end
+        else begin
+          Kv.put (Shard_kv.store kv shard_id) k payload;
+          "update"
+        end)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    s_shards = shards;
+    s_clients = clients;
+    s_ops = r.Kamino_workload.Driver.total_ops;
+    s_elapsed_ns = r.Kamino_workload.Driver.elapsed_ns;
+    s_mops = r.Kamino_workload.Driver.throughput_mops;
+    s_mean_ns = r.Kamino_workload.Driver.mean_latency_ns;
+    s_wall_s = wall;
+    s_committed = Shard.committed s;
+  }
+
+let json_of_shard_cell c =
+  Printf.sprintf
+    {|    {"shards": %d, "clients": %d, "ops": %d, "elapsed_sim_ns": %d,
+     "agg_mops": %.4f, "mean_latency_ns": %.0f, "committed": %d, "wall_s": %.3f}|}
+    c.s_shards c.s_clients c.s_ops c.s_elapsed_ns c.s_mops c.s_mean_ns c.s_committed
+    c.s_wall_s
+
+let run_shards ~shard_list ~clients ~total_ops ~records ~out =
+  Printf.printf
+    "shard scaling: uniform-key ycsb-a, %d ops, %d clients, %d records, shards %s\n%!"
+    total_ops clients records
+    (String.concat "," (List.map string_of_int shard_list));
+  let cells =
+    List.map
+      (fun shards ->
+        let c = shard_cell ~shards ~clients ~total_ops ~records in
+        Printf.printf
+          "  shards=%-2d %8.4f M ops/s  mean %8.0f ns  %d committed  (%.2fs wall)\n%!"
+          c.s_shards c.s_mops c.s_mean_ns c.s_committed c.s_wall_s;
+        c)
+      shard_list
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"kamino-shard-v1\",\n  \"workload\": \"ycsb-a-uniform\",\n  \
+     \"clients\": %d,\n  \"ops\": %d,\n  \"records\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    clients total_ops records
+    (String.concat ",\n" (List.map json_of_shard_cell cells));
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
+  match cells with
+  | [] -> ()
+  | base :: rest ->
+      (* The CI gate: scaling must be monotone against the first (lowest)
+         shard count — more appliers must never lose aggregate throughput. *)
+      let failed = ref false in
+      List.iter
+        (fun c ->
+          let x = if base.s_mops = 0.0 then 0.0 else c.s_mops /. base.s_mops in
+          Printf.printf "  shards=%d vs shards=%d: %.2fx\n%!" c.s_shards base.s_shards x;
+          if c.s_mops < base.s_mops then begin
+            failed := true;
+            Printf.eprintf
+              "FAIL: %d-shard aggregate ops/s (%.4f M) below the %d-shard run (%.4f M)\n"
+              c.s_shards c.s_mops base.s_shards base.s_mops
+          end)
+        rest;
+      if !failed then exit 1
+
 let json_of_cell c =
   let n = c.counters in
   Printf.sprintf
@@ -258,9 +396,10 @@ let json_of_cell c =
     n.Region.bytes_loaded n.Region.lines_flushed n.Region.fences n.Region.bytes_copied
 
 let () =
-  let budget = ref 0.4 and out = ref "BENCH_throughput.json" and records = ref 4096 in
+  let budget = ref 0.4 and out = ref "" and records = ref 4096 in
   let engine_filter = ref "" and workload_filter = ref "" in
   let ab = ref false and ab_ops = ref 20_000 and gate_words = ref None in
+  let shards = ref [] and shard_ops = ref 20_000 and shard_clients = ref 8 in
   let rec parse = function
     | [] -> ()
     | "--budget" :: v :: rest ->
@@ -287,6 +426,15 @@ let () =
     | "--gate-words" :: v :: rest ->
         gate_words := Some v;
         parse rest
+    | "--shards" :: v :: rest ->
+        shards := List.map int_of_string (String.split_on_char ',' v);
+        parse rest
+    | "--shard-ops" :: v :: rest ->
+        shard_ops := int_of_string v;
+        parse rest
+    | "--shard-clients" :: v :: rest ->
+        shard_clients := int_of_string v;
+        parse rest
     | a :: _ ->
         Printf.eprintf "throughput.exe: unknown argument %s\n" a;
         exit 2
@@ -297,6 +445,13 @@ let () =
     run_ab ~records ~ab_ops:!ab_ops ~gate_words:!gate_words;
     exit 0
   end;
+  if !shards <> [] then begin
+    let out = if !out = "" then "BENCH_shard.json" else !out in
+    run_shards ~shard_list:!shards ~clients:!shard_clients ~total_ops:!shard_ops
+      ~records ~out;
+    exit 0
+  end;
+  let out = if !out = "" then "BENCH_throughput.json" else !out in
   let kinds =
     List.filter (fun (name, _) -> !engine_filter = "" || name = !engine_filter) kinds
   in
@@ -324,14 +479,14 @@ let () =
         row)
       kinds
   in
-  let oc = open_out !out in
+  let oc = open_out out in
   Printf.fprintf oc
     "{\n  \"schema\": \"kamino-throughput-v1\",\n  \"budget_s\": %.3f,\n  \
      \"records\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     budget_s records
     (String.concat ",\n" (List.map json_of_cell cells));
   close_out oc;
-  Printf.printf "wrote %s (%d cells)\n" !out (List.length cells);
+  Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
   let dead = List.filter (fun c -> c.ops = 0) cells in
   if dead <> [] then begin
     List.iter

@@ -20,6 +20,9 @@ module Driver = Kamino_workload.Driver
 module Tpcc = Kamino_workload.Tpcc
 module Chain = Kamino_chain.Chain
 module Chaos = Kamino_chaos.Chaos
+module Shard = Kamino_shard.Shard
+module Shard_kv = Kamino_shard.Shard_kv
+module Shard_driver = Kamino_shard.Shard_driver
 module Obs = Kamino_obs.Obs
 module Sink = Kamino_obs.Sink
 open Cmdliner
@@ -145,21 +148,97 @@ let run_ycsb ?(after_load = ignore) e ~kind ~workload ~clients ~ops ~records ~se
 
 (* --- ycsb ------------------------------------------------------------------ *)
 
+(* Sharded variant of [run_ycsb]: clients are pinned round-robin to home
+   shards and draw keys from their shard's slice of the hash-routed key
+   space, so every operation is a single-shard transaction and each
+   shard's timeline is a standalone engine run. *)
+let run_ycsb_sharded ~config ~kind ~workload ~shards ~clients ~ops ~records ~seed =
+  let s = Shard.create ~config ~kind ~seed ~shards () in
+  let kv = Shard_kv.create s ~value_size:1024 ~node_size:4096 in
+  let payload = String.make 1000 'v' in
+  Printf.printf "loading %d records over %d shards...\n%!" records shards;
+  for k = 0 to records - 1 do
+    Shard_kv.put kv k payload
+  done;
+  Shard.drain_backups s;
+  let own = Array.make shards [] in
+  for k = records - 1 downto 0 do
+    own.(Shard.route s k) <- k :: own.(Shard.route s k)
+  done;
+  let own = Array.map Array.of_list own in
+  let wls =
+    Array.map
+      (fun keys -> Ycsb.create workload ~record_count:(Array.length keys) ~theta:0.99)
+      own
+  in
+  let rngs = Array.init clients (fun c -> Rng.create (seed + 1 + c)) in
+  Printf.printf "running YCSB-%s: %d ops, %d clients, %d shards, engine %s\n%!"
+    (Ycsb.name workload) ops clients shards (Engine.kind_name kind);
+  let r =
+    Shard_driver.run ~shard:s ~clients ~total_ops:ops
+      ~step:(fun ~client ~shard_id () ->
+        let keys = own.(shard_id) in
+        (* Inserts (workloads D/E) grow the generator's key space past the
+           loaded slice; fold them back onto owned keys. *)
+        let key r = keys.(r mod Array.length keys) in
+        let store = Shard_kv.store kv shard_id in
+        match Ycsb.next wls.(shard_id) rngs.(client) with
+        | Ycsb.Read k ->
+            ignore (Kv.get store (key k));
+            "read"
+        | Ycsb.Update k ->
+            Kv.put store (key k) payload;
+            "update"
+        | Ycsb.Insert k ->
+            Kv.put store (key k) payload;
+            "insert"
+        | Ycsb.Scan (k, n) ->
+            ignore (Kv.range store ~lo:(key k) ~hi:(key k + n));
+            "scan"
+        | Ycsb.Rmw k ->
+            ignore (Kv.read_modify_write store (key k) Fun.id);
+            "rmw")
+  in
+  (s, r)
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Partition the heap across $(docv) independent engine shards.")
+
 let ycsb_cmd =
-  let run kind workload clients ops records heap_mb seed =
-    let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
-    let r = run_ycsb e ~kind ~workload ~clients ~ops ~records ~seed in
-    Format.printf "%a@." Driver.pp_result r;
-    List.iter
-      (fun (label, s) ->
-        Printf.printf "  %-8s %s\n" label (Kamino_sim.Stats.summary s))
-      r.Driver.latencies;
-    print_metrics e
+  let run kind workload shards clients ops records heap_mb seed =
+    if shards <= 1 then begin
+      let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
+      let r = run_ycsb e ~kind ~workload ~clients ~ops ~records ~seed in
+      Format.printf "%a@." Driver.pp_result r;
+      List.iter
+        (fun (label, s) ->
+          Printf.printf "  %-8s %s\n" label (Kamino_sim.Stats.summary s))
+        r.Driver.latencies;
+      print_metrics e
+    end
+    else begin
+      let s, r =
+        run_ycsb_sharded ~config:(config_of heap_mb) ~kind ~workload ~shards ~clients
+          ~ops ~records ~seed
+      in
+      Format.printf "%a@." Driver.pp_result r;
+      List.iter
+        (fun (label, st) ->
+          Printf.printf "  %-8s %s\n" label (Kamino_sim.Stats.summary st))
+        r.Driver.latencies;
+      for i = 0 to Shard.shards s - 1 do
+        Printf.printf "shard %d: " i;
+        print_metrics (Shard.engine s i)
+      done
+    end
   in
   let term =
     Term.(
-      const run $ engine_arg $ workload_arg $ clients_arg $ ops_arg $ records_arg
-      $ heap_mb_arg $ seed_arg)
+      const run $ engine_arg $ workload_arg $ shards_arg $ clients_arg $ ops_arg
+      $ records_arg $ heap_mb_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against the key-value store.") term
 

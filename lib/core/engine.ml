@@ -1,3 +1,12 @@
+(* The kind-independent shell of the transaction engine. Shared state,
+   the strategy signature and the helper toolbox live in {!Variant}; the
+   per-kind critical paths (declare/commit/abort/recover) live in the
+   variant modules and are dispatched through [t.strat]. This module owns
+   what every kind shares: construction, write-set tracking, lock
+   acquisition with wait attribution, clock plumbing, the data accessors,
+   crash/recovery scaffolding, and metrics. *)
+
+open Variant
 module Region = Kamino_nvm.Region
 module Cost_model = Kamino_nvm.Cost_model
 module Clock = Kamino_sim.Clock
@@ -6,7 +15,7 @@ module Heap = Kamino_heap.Heap
 module Obs = Kamino_obs.Obs
 module Metrics = Kamino_obs.Metrics
 
-type kind =
+type kind = Variant.kind =
   | No_logging
   | Undo_logging
   | Cow
@@ -14,17 +23,9 @@ type kind =
   | Kamino_dynamic of { alpha : float; policy : Backup.policy }
   | Intent_only
 
-let kind_name = function
-  | No_logging -> "no-logging"
-  | Undo_logging -> "undo-logging"
-  | Cow -> "cow"
-  | Kamino_simple -> "kamino-simple"
-  | Intent_only -> "intent-only"
-  | Kamino_dynamic { alpha; policy } ->
-      Printf.sprintf "kamino-dynamic(%.0f%%%s)" (alpha *. 100.0)
-        (match policy with Backup.Lru_policy -> "" | Backup.Fifo_policy -> ",fifo")
+let kind_name = Variant.kind_name
 
-type config = {
+type config = Variant.config = {
   heap_bytes : int;
   log_slots : int;
   max_tx_entries : int;
@@ -38,99 +39,29 @@ type config = {
   lock_shards : int;
 }
 
-let default_config =
-  {
-    heap_bytes = 16 * 1024 * 1024;
-    log_slots = 256;
-    max_tx_entries = 192;
-    data_log_bytes = 8 * 1024 * 1024;
-    cost = Cost_model.default;
-    crash_mode = Region.Words_survive_randomly;
-    check_intents = true;
-    flush_per_intent = false;
-    global_pending = false;
-    coalesce_writes = true;
-    lock_shards = 16;
-  }
+let default_config = Variant.default_config
 
-(* One declared write intent of the active transaction. [cow] is the CoW
-   working copy when the range is redirected; [None] means the range is
-   edited in place (always, for the non-CoW kinds). [r_key] is the write
-   lock protecting the range (the owning object's extent for field-granular
-   intents) — the coalescer uses it to decide which gaps are safe to fill. *)
-type irec = {
-  mutable r_off : int;
-  mutable r_len : int;
-  mutable r_key : int;
-  mutable cow : Data_log.entry option;
-}
+type error = Variant.error =
+  | Tx_already_active
+  | Tx_finished
+  | Tx_not_active
+  | Intent_log_exhausted of string
+  | Missing_intent of { off : int; len : int }
+  | Abort_unsupported of kind
+  | Component_missing of string
+  | Unsupported of string
 
-type t = {
-  mutable e_kind : kind;
-  e_config : config;
-  main : Region.t;
-  mutable heap : Heap.t;
-  ilog_region : Region.t option;
-  mutable ilog : Intent_log.t option;
-  dlog_region : Region.t option;
-  mutable dlog : Data_log.t option;
-  mutable bkp : Backup.t option;
-  mutable locks : Locks.t;
-  mutable appl : Applier.t option;
-  mutable clk : Clock.t;
-  rng : Rng.t;
-  mutable next_tx_id : int;
-  mutable active : tx option;
-  (* Observability. The engine's bookkeeping counters live in a
-     {!Kamino_obs.Metrics} registry; handles are resolved once here so
-     every hot-path update stays a single field mutation. [e_obs] is
-     [Obs.null] unless the caller opted in at [create]; every event site
-     is a single enabled-check branch and never touches a clock, so
-     tracing cannot move a simulated ns (DESIGN.md par10). [obs_base] is
-     the engine's base Perfetto track: base = transactions, base+1 =
-     applier timeline, base+2 = NVM write-backs. *)
-  e_obs : Obs.t;
-  obs_base : int;
-  reg : Metrics.t;
-  m_committed : Metrics.counter;
-  m_aborted : Metrics.counter;
-  m_ranges_coalesced : Metrics.counter;
-  m_bytes_saved : Metrics.counter;
-  h_dep_wait : Metrics.hist;
-  h_applier_lag : Metrics.hist;
-  h_queue_depth : Metrics.hist;
-  mutable last_write_keys : int list;
-  mutable all_regions : Region.t array;
-  (* Per-transaction scratch, owned by the engine and recycled across
-     transactions (execution is serial at the data level, so at most one
-     transaction uses it at a time). [ws.(0 .. ws_n-1)] is the write set in
-     declaration order, its [irec]s pooled and overwritten in place; range
-     starts are unique within it, and membership checks are linear scans
-     (write sets are a handful of ranges — a hash table costs more in
-     per-transaction clearing than the scans do). [ws_cow_n] counts entries
-     carrying a CoW redirection: when zero — always, for every non-CoW
-     engine kind — reads can go straight to the main heap without
-     consulting the write set. The [tx] handle itself stays a small fresh
-     record per transaction so stale handles from a finished transaction
-     are still detected by [active_tx]. *)
-  mutable ws : irec array;
-  mutable ws_n : int;
-  mutable ws_cow_n : int;
-}
+exception Error = Variant.Error
 
-and tx = {
-  owner : t;
-  id : int;
-  t_begin : int;  (* client-clock ns at begin, for the commit/abort span *)
-  mutable slot : Intent_log.slot option;
-  mutable lock_keys : int list;  (* write-lock keys (object extents) *)
-  mutable lock_entries : Locks.entry list;  (* handles for [lock_keys], same order *)
-  mutable read_entries : Locks.entry list;
-  mutable needs_barrier : bool;
-  mutable finished : bool;
-}
+let error_message = Variant.error_message
+
+type nonrec t = t
+
+type nonrec tx = tx
 
 let tx_engine tx = tx.owner
+
+let tx_id tx = tx.id
 
 let kind t = t.e_kind
 
@@ -160,110 +91,19 @@ let locks t = t.locks
 
 let root t = Heap.root t.heap
 
-(* Aggregate NVM counters over every region of the stack (heap, logs,
-   backup): the whole point of coalescing and batching is to shrink the
-   copy and write-back traffic of the {e system}, most of which lands on
-   the backup and log regions, not the main heap. *)
-let main_counters t =
-  let agg =
-    {
-      Region.stores = 0;
-      bytes_stored = 0;
-      loads = 0;
-      bytes_loaded = 0;
-      lines_flushed = 0;
-      fences = 0;
-      bytes_copied = 0;
-      crashes = 0;
-    }
-  in
-  Array.iter
-    (fun r ->
-      let c = Region.counters r in
-      agg.Region.stores <- agg.Region.stores + c.Region.stores;
-      agg.Region.bytes_stored <- agg.Region.bytes_stored + c.Region.bytes_stored;
-      agg.Region.loads <- agg.Region.loads + c.Region.loads;
-      agg.Region.bytes_loaded <- agg.Region.bytes_loaded + c.Region.bytes_loaded;
-      agg.Region.lines_flushed <- agg.Region.lines_flushed + c.Region.lines_flushed;
-      agg.Region.fences <- agg.Region.fences + c.Region.fences;
-      agg.Region.bytes_copied <- agg.Region.bytes_copied + c.Region.bytes_copied;
-      agg.Region.crashes <- agg.Region.crashes + c.Region.crashes)
-    t.all_regions;
-  agg
+let main_counters = Variant.main_counters
 
-let storage_bytes t = Array.fold_left (fun acc r -> acc + Region.size r) 0 t.all_regions
+let storage_bytes = Variant.storage_bytes
 
 (* --- Construction ------------------------------------------------------- *)
 
-let uses_intent_log = function
-  | Kamino_simple | Kamino_dynamic _ | Intent_only -> true
-  | No_logging | Undo_logging | Cow -> false
-
-let uses_data_log = function
-  | Undo_logging | Cow -> true
-  | No_logging | Kamino_simple | Kamino_dynamic _ | Intent_only -> false
-
-(* The applier hands every drain over as one batch of tasks; merging their
-   ranges into a single copy pass is what "batched backup propagation"
-   means. Only {e exact} merges (overlap / adjacency — the union covers
-   precisely the same bytes) are legal here: a gap-filling merge across
-   tasks could cover a third object an active transaction is updating in
-   place, and its uncommitted bytes must never reach the backup (an abort
-   would then restore them). Committed-but-queued ranges themselves are
-   safe to copy at any later time — [declare] applies every queued task
-   covering an object before the new transaction's first write to it, so no
-   queued range ever overlaps bytes an active transaction has modified.
-   Dynamic backups are object-keyed ([roll_forward] demands an exact
-   [(off, len)] resident match), so their batches only deduplicate
-   identical ranges, never merge bytes. *)
-let make_applier t =
-  let apply tasks =
-    let b = Option.get t.bkp and ilog = Option.get t.ilog in
-    (if Obs.enabled t.e_obs then
-       let ntasks = List.length tasks in
-       let nranges =
-         List.fold_left (fun n task -> n + List.length task.Applier.ranges) 0 tasks
-       in
-       Obs.emit t.e_obs ~kind:Obs.k_applier_batch ~track:(t.obs_base + 1)
-         ~ts:(Clock.now t.clk) ~dur:(-1) ~a:ntasks ~b:nranges ~c:0);
-    match tasks with
-    | [ ({ Applier.ranges = ([] | [ _ ]) as raw; _ } as task) ]
-      when match raw with [ r ] -> r.Intent_log.len > 0 | _ -> true ->
-        (* Singleton batch with at most one non-empty range: nothing can
-           merge or deduplicate, so skip the cross-task machinery. This is
-           the common shape when a lock conflict syncs one queued task. *)
-        List.iter
-          (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
-          raw;
-        Intent_log.release ilog task.Applier.slot
-    | _ ->
-    let raw = List.concat_map (fun task -> task.Applier.ranges) tasks in
-    let merged =
-      if not t.e_config.coalesce_writes then raw
-      else if Backup.is_full b then Intent_log.coalesce raw
-      else begin
-        let seen = Hashtbl.create 16 in
-        List.filter
-          (fun { Intent_log.off; len } ->
-            if Hashtbl.mem seen (off, len) then false
-            else begin
-              Hashtbl.add seen (off, len) ();
-              true
-            end)
-          raw
-      end
-    in
-    if t.e_config.coalesce_writes then begin
-      Metrics.add t.m_ranges_coalesced (List.length raw - List.length merged);
-      Metrics.add t.m_bytes_saved
-        (Intent_log.total_bytes raw - Intent_log.total_bytes merged)
-    end;
-    List.iter
-      (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
-      merged;
-    List.iter (fun task -> Intent_log.release ilog task.Applier.slot) tasks
-  in
-  Applier.create ~regions:t.all_regions ~apply
+let strategy_of_kind = function
+  | No_logging -> Variant.no_logging
+  | Undo_logging -> Undo_variant.ops
+  | Cow -> Cow_variant.ops
+  | Kamino_simple -> Kamino_variant.simple
+  | Kamino_dynamic _ -> Kamino_variant.dynamic
+  | Intent_only -> Intent_variant.ops
 
 let create ?(config = default_config) ?(obs = Obs.null) ?(obs_track = 1) ~kind
     ~seed () =
@@ -317,6 +157,7 @@ let create ?(config = default_config) ?(obs = Obs.null) ?(obs_track = 1) ~kind
   let t =
     {
       e_kind = kind;
+      strat = strategy_of_kind kind;
       e_config = config;
       main;
       heap;
@@ -360,203 +201,17 @@ let create ?(config = default_config) ?(obs = Obs.null) ?(obs_track = 1) ~kind
   set_clock t clk;
   t
 
-(* --- Helpers ------------------------------------------------------------ *)
-
-let cost t = t.e_config.cost
-
-let active_tx tx =
-  if tx.finished then failwith "Engine: transaction already finished";
-  match tx.owner.active with
-  | Some a when a == tx -> ()
-  | _ -> failwith "Engine: transaction is not the active one"
-
-(* Index into the write set of the most recently declared intent covering
-   [abs, abs+len), or [-1]. Scanning newest-first matches the old
-   list-order semantics when ranges overlap; returning an index (the
-   caller reads [ws.(i)]) keeps the per-access path allocation-free. *)
-(* Top-level (not a local closure): a local [rec] would capture its free
-   variables afresh on every access, allocating on the hottest path. *)
-let rec covering_scan ws abs len i =
-  if i < 0 then -1
-  else
-    let r = Array.unsafe_get ws i in
-    if r.r_off <= abs && abs + len <= r.r_off + r.r_len then i
-    else covering_scan ws abs len (i - 1)
-
-let covering_idx t abs len = covering_scan t.ws abs len (t.ws_n - 1)
-
-(* Index of the declared intent whose range starts exactly at [off], or
-   [-1]. Range starts are unique within a transaction, so this is a set
-   membership test. *)
-let rec ws_off_scan ws off i =
-  if i < 0 then -1
-  else if (Array.unsafe_get ws i).r_off = off then i
-  else ws_off_scan ws off (i - 1)
-
-let ws_find_off t off = ws_off_scan t.ws off (t.ws_n - 1)
-
-(* Claim the next pooled [irec], growing the pool by doubling. Growth uses
-   [Array.init] so every fresh slot is a distinct record — a shared filler
-   would alias the pool. *)
-let ws_push t ~off ~len ~key ~cow =
-  (if t.ws_n = Array.length t.ws then
-     let n = Array.length t.ws in
-     t.ws <-
-       Array.init (2 * n) (fun i ->
-           if i < n then t.ws.(i) else { r_off = 0; r_len = 0; r_key = 0; cow = None }));
-  let r = t.ws.(t.ws_n) in
-  t.ws_n <- t.ws_n + 1;
-  r.r_off <- off;
-  r.r_len <- len;
-  r.r_key <- key;
-  r.cow <- cow;
-  if cow <> None then t.ws_cow_n <- t.ws_cow_n + 1;
-  r
-
-let do_barrier tx =
-  if tx.needs_barrier then begin
-    let t = tx.owner in
-    (match t.e_kind with
-    | Kamino_simple | Kamino_dynamic _ | Intent_only -> (
-        match tx.slot with
-        | Some slot -> Intent_log.barrier (Option.get t.ilog) slot
-        | None -> ())
-    | Undo_logging | Cow -> Data_log.barrier (Option.get t.dlog)
-    | No_logging -> ());
-    tx.needs_barrier <- false
-  end
-
-(* Flush the write set's ranges (declaration order) against the main heap,
-   fencing iff at least one range was selected. The fence condition tracks
-   the {e range list}, not the lines actually flushed — a commit whose
-   ranges are already clean still fences, exactly as the list-based
-   predecessor of this function did. [in_place_only] restricts to ranges
-   without a CoW redirection. *)
-let persist_ws t ~in_place_only =
-  let n = ref 0 in
-  for i = 0 to t.ws_n - 1 do
-    let r = t.ws.(i) in
-    if (not in_place_only) || r.cow = None then begin
-      incr n;
-      Region.flush t.main r.r_off r.r_len
-    end
-  done;
-  if !n > 0 then Region.fence t.main
-
-(* Append a write intent to the log, merging it into the immediately
-   preceding entry when legal (see {!Intent_log.add_intent_merged}). Log
-   entries stay an {e exact} union of the declared bytes: recovery's
-   cross-record disjointness argument forbids gap-filling — a widened
-   committed entry could overlap the incomplete transaction's torn bytes
-   and launder them into the backup before the rollback reads it. Dynamic
-   backups never merge at all: their recovery resolves ranges object by
-   object and needs each entry to match a resident copy exactly. *)
-let log_intent t slot ~off ~len =
-  let ilog = Option.get t.ilog in
-  let mergeable =
-    t.e_config.coalesce_writes
-    && match t.e_kind with
-       | Kamino_simple | Intent_only -> true
-       | No_logging | Undo_logging | Cow | Kamino_dynamic _ -> false
-  in
-  if mergeable then begin
-    let _, merged = Intent_log.add_intent_merged ilog slot { Intent_log.off; len } in
-    if merged then Metrics.incr t.m_ranges_coalesced
-  end
-  else Intent_log.add_intent ilog slot { Intent_log.off; len };
-  if t.e_config.flush_per_intent then Intent_log.barrier ilog slot;
-  if Obs.enabled t.e_obs then
-    Obs.emit t.e_obs ~kind:Obs.k_intent ~track:t.obs_base ~ts:(Clock.now t.clk)
-      ~dur:(-1) ~a:off ~b:len ~c:0
-
-(* Coalesce a committed write set before it is enqueued at the applier.
-   Exact overlap/adjacency merges are always safe (the union covers
-   precisely the same bytes). The 64 B line-threshold merge — two ranges
-   whose gap lies within one cache line become one range, gap included —
-   is applied only when both ranges belong to the same locked object
-   ([r_key]): the gap bytes then sit under this transaction's own write
-   lock, so they hold committed data whenever the (possibly lazy) copy
-   executes. A cross-object gap could cover a third, unrelated object that
-   an active transaction is updating in place, and its uncommitted bytes
-   must never reach the backup — an abort would restore them. *)
-let coalesce_write_set t =
-  let line = 64 in
-  let n = t.ws_n in
-  if n = 0 then []
-  else if n = 1 then
-    [ { Intent_log.off = t.ws.(0).r_off; len = t.ws.(0).r_len } ]
-  else begin
-    (* Range starts are unique within a transaction ([scr_by_key] is keyed
-       by them), so sorting by [r_off] alone is a total order and the
-       unstable [Array.sort] cannot reorder equal keys. *)
-    let arr = Array.sub t.ws 0 n in
-    Array.sort (fun a b -> Int.compare a.r_off b.r_off) arr;
-    let acc = ref [] in
-    let coff = ref arr.(0).r_off and clen = ref arr.(0).r_len in
-    let ckey = ref arr.(0).r_key and cmixed = ref false in
-    for i = 1 to n - 1 do
-      let r = arr.(i) in
-      let cend = !coff + !clen in
-      let same_obj = (not !cmixed) && !ckey = r.r_key in
-      if r.r_off <= cend then begin
-        clen := max cend (r.r_off + r.r_len) - !coff;
-        if not same_obj then cmixed := true
-      end
-      else if same_obj && r.r_off / line = (cend - 1) / line then
-        clen := r.r_off + r.r_len - !coff
-      else begin
-        acc := { Intent_log.off = !coff; len = !clen } :: !acc;
-        coff := r.r_off;
-        clen := r.r_len;
-        ckey := r.r_key;
-        cmixed := false
-      end
-    done;
-    acc := { Intent_log.off = !coff; len = !clen } :: !acc;
-    List.rev !acc
-  end
-
-(* Modelled applier cost of propagating a committed write set: copy each
-   range into the backup and issue its write-backs. The applier drains
-   batches of tasks behind one fence, so the fence latency is amortized. *)
-let applier_fence_batch = 4.0
-
-let task_cost cm ranges =
-  (* Open-coded fold: a closure-based [List.fold_left] over floats boxes
-     the accumulator on every step without flambda. *)
-  let acc = ref (cm.Cost_model.fence_ns /. applier_fence_batch) in
-  List.iter
-    (fun { Intent_log.off = _; len } ->
-      acc :=
-        !acc
-        +. Cost_model.copy_cost cm len
-        +. (cm.Cost_model.flush_line_ns *. float_of_int ((len + 63) / 64)))
-    ranges;
-  !acc
-
-(* Predicate for dynamic-backup eviction: an object is pinned while the
-   active transaction holds it or while a committed-but-unapplied task still
-   needs its resident copy. *)
-let pinned t key =
-  Locks.held_by_active_tx t.locks key
-  ||
-  match t.appl with
-  | Some a -> Locks.last_writer_task t.locks key > Applier.applied_through a
-  | None -> false
-
 (* --- Transactions ------------------------------------------------------- *)
 
 let begin_tx t =
   (match t.active with
-  | Some _ -> failwith "Engine.begin_tx: a transaction is already active"
+  | Some _ -> error Tx_already_active
   | None -> ());
   let id = t.next_tx_id in
   t.next_tx_id <- id + 1;
   let t_begin = Clock.now t.clk in
   Region.charge t.main (cost t).Cost_model.tx_overhead_ns;
-  (match t.e_kind with
-  | Undo_logging | Cow -> Data_log.begin_tx (Option.get t.dlog) ~tx_id:id
-  | No_logging | Kamino_simple | Kamino_dynamic _ | Intent_only -> ());
+  t.strat.v_begin t ~tx_id:id;
   (* Recycle the engine-owned scratch. Clearing here (not at finish) also
      covers a transaction torn down by [crash], which never finishes.
      Dropping stale [cow] references lets the data-log entries go. *)
@@ -575,54 +230,17 @@ let begin_tx t =
       lock_entries = [];
       read_entries = [];
       needs_barrier = uses_data_log t.e_kind;
+      prepared = false;
       finished = false;
     }
   in
   t.active <- Some tx;
   tx
 
-(* Intent-log slot of [tx], claimed on first use so read-only transactions
-   never touch the log region. *)
-let claim_slot tx =
-  match tx.slot with
-  | Some s -> s
-  | None ->
-      let t = tx.owner in
-      let ilog = Option.get t.ilog in
-      let s =
-        match t.e_kind with
-        | Kamino_simple | Kamino_dynamic _ ->
-            let appl = Option.get t.appl in
-            let rec claim () =
-              match Intent_log.begin_record ilog ~tx_id:tx.id with
-              | Some s -> s
-              | None -> (
-                  (* Every slot holds a committed-but-unapplied record: wait
-                     (virtually) for the applier to retire the oldest. *)
-                  match Applier.drain_one appl with
-                  | Some finish ->
-                      ignore (Clock.advance_to t.clk finish);
-                      claim ()
-                  | None ->
-                      failwith "Engine.begin_tx: intent log exhausted with empty applier")
-            in
-            claim ()
-        | Intent_only -> (
-            (* Replica slots are released at commit, so a free one always
-               exists under serial execution. *)
-            match Intent_log.begin_record ilog ~tx_id:tx.id with
-            | Some s -> s
-            | None -> failwith "Engine: intent log exhausted on a replica")
-        | No_logging | Undo_logging | Cow -> assert false
-      in
-      tx.slot <- Some s;
-      s
-
 (* Declare a write intent on an arbitrary byte range. [redirectable] selects
-   CoW redirection; allocator metadata, freshly allocated extents and the
-   root pointer are always edited in place. [lock_key] defaults to the
-   range start; field-granular intents lock the whole owning object while
-   logging only the field's bytes. *)
+   CoW redirection; allocator metadata, fresh extents and the root pointer
+   are always edited in place. [lock_key] defaults to the range start;
+   field-granular intents lock the owning object, log only the field. *)
 let declare ?lock_key tx ~off ~len ~redirectable =
   active_tx tx;
   let lock_key = Option.value lock_key ~default:off in
@@ -655,50 +273,7 @@ let declare ?lock_key tx ~off ~len ~redirectable =
            ~c:tx.id
        end);
     ignore (Clock.advance_to t.clk held_at);
-    let cow =
-      match t.e_kind with
-      | No_logging -> None
-      | Undo_logging ->
-          ignore (Data_log.add (Option.get t.dlog) ~off ~len ~replay:Data_log.On_abort
-                    ~src:t.main);
-          None
-      | Cow ->
-          if redirectable then
-            Some (Data_log.add (Option.get t.dlog) ~off ~len ~replay:Data_log.On_commit
-                    ~src:t.main)
-          else begin
-            ignore (Data_log.add (Option.get t.dlog) ~off ~len ~replay:Data_log.On_abort
-                      ~src:t.main);
-            None
-          end
-      | Intent_only ->
-          (* Non-head chain replica: record the intent, edit in place; the
-             chain's neighbours stand in for the backup at recovery. *)
-          let slot = claim_slot tx in
-          log_intent t slot ~off ~len;
-          None
-      | Kamino_simple | Kamino_dynamic _ ->
-          let appl = Option.get t.appl and b = Option.get t.bkp in
-          if t.e_config.global_pending then begin
-            (* Coarse-blocking ablation: wait for the whole backup to catch
-               up before touching anything. *)
-            if Applier.queued appl > 0 then begin
-              ignore (Clock.advance_to t.clk (Applier.virtual_now appl));
-              Applier.drain appl
-            end
-          end
-          else begin
-            (* The lock wait already advanced our clock past the applier
-               finish time for this object; catch the data up too. *)
-            let last = Locks.last_writer_task_e le in
-            if last > Applier.applied_through appl then Applier.sync_through appl last
-          end;
-          let slot = claim_slot tx in
-          Backup.ensure_copy b ~main:t.main ~off ~len ~locked:(pinned t)
-            ~pressure:(fun () -> Applier.drain appl);
-          log_intent t slot ~off ~len;
-          None
-    in
+    let cow = t.strat.v_declare t tx ~le ~off ~len ~redirectable in
     ignore (ws_push t ~off ~len ~key:lock_key ~cow);
     if not (List.mem lock_key tx.lock_keys) then begin
       tx.lock_keys <- lock_key :: tx.lock_keys;
@@ -723,17 +298,16 @@ let add_field tx p field len =
   let extent = Heap.extent t.heap p in
   if field < 0 || p + field + len > extent.Heap.off + extent.Heap.len then
     invalid_arg "Engine.add_field: range outside the object";
-  match t.e_kind with
-  | Kamino_dynamic _ ->
-      (* The dynamic backup tracks copies per object (as in the paper,
-         whose log entries are object addresses): a sub-object copy would
-         go stale when another transaction updates the object through a
-         whole-extent intent. Intents are 24 bytes either way. *)
-      add tx p
-  | No_logging | Undo_logging | Cow | Kamino_simple | Intent_only ->
-      (* If the whole object is already declared, the field is covered. *)
-      if ws_find_off t extent.Heap.off < 0 then
-        declare tx ~lock_key:extent.Heap.off ~off:(p + field) ~len ~redirectable:true
+  if t.strat.v_object_granular then
+    (* The dynamic backup tracks copies per object (as in the paper, whose
+       log entries are object addresses): a sub-object copy would go stale
+       when another transaction updates the object through a whole-extent
+       intent. Intents are 24 bytes either way. *)
+    add tx p
+  else if
+    (* If the whole object is already declared, the field is covered. *)
+    ws_find_off t extent.Heap.off < 0
+  then declare tx ~lock_key:extent.Heap.off ~off:(p + field) ~len ~redirectable:true
 
 let read_lock tx p =
   active_tx tx;
@@ -780,26 +354,7 @@ let free tx p =
   if not (Heap.is_allocated t.heap p) then
     invalid_arg (Printf.sprintf "Engine.free: %d is not an allocated object" p);
   let extent = Heap.extent t.heap p in
-  (* CoW: if the object is redirected, fold the working copy into the main
-     heap and revert to in-place editing before the deallocator mutates the
-     extent directly. The fold is preceded by an undo snapshot of the
-     pre-transaction bytes so an abort can still restore them. *)
-  (let i = ws_find_off t extent.Heap.off in
-   if i >= 0 then
-     let r = t.ws.(i) in
-     match r.cow with
-     | Some entry ->
-         let dlog = Option.get t.dlog in
-         ignore
-           (Data_log.add dlog ~off:extent.Heap.off ~len:extent.Heap.len
-              ~replay:Data_log.On_abort ~src:t.main);
-         Data_log.reseal dlog entry;
-         Data_log.barrier dlog;
-         Data_log.apply_entry dlog entry ~dst:t.main;
-         Region.persist t.main extent.Heap.off extent.Heap.len;
-         r.cow <- None;
-         t.ws_cow_n <- t.ws_cow_n - 1
-     | None -> ());
+  t.strat.v_pre_free t tx extent;
   List.iter
     (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false)
     (Heap.free_ranges t.heap p);
@@ -809,21 +364,16 @@ let free tx p =
 (* --- Data access -------------------------------------------------------- *)
 
 (* Each accessor below resolves the covering intent by index and branches
-   on its CoW redirection inline. The previous implementation threaded two
-   closures through a generic [write_via]/[read_via]; on the hot read path
-   (every B+Tree key comparison lands here) those closures plus the boxed
-   [Int64.t] round-trip accounted for most of the per-access allocation.
-   [-1] means "no covering intent": reads fall through to the main heap,
-   writes are an intent violation when [check_intents] is set. *)
+   on its CoW redirection inline — a generic closure-threaded [write_via]/
+   [read_via] formulation dominated per-access allocation on the hot read
+   path (every B+Tree key comparison lands here). [-1] means "no covering
+   intent": reads fall through to the main heap, writes are an intent
+   violation when [check_intents] is set. *)
 
 let check_write_idx tx abs len =
   let i = covering_idx tx.owner abs len in
   if i < 0 && tx.owner.e_config.check_intents then
-    failwith
-      (Printf.sprintf
-         "Engine: write of %d bytes at %d is not covered by a declared intent \
-          (missing TX_ADD?)"
-         len abs);
+    error (Missing_intent { off = abs; len });
   i
 
 let cow_of t i = if i < 0 then None else t.ws.(i).cow
@@ -837,7 +387,7 @@ let write_int64 tx p field v =
   match cow_of t i with
   | None -> Region.write_int64 t.main abs v
   | Some entry ->
-      Data_log.payload_write_int64 (Option.get t.dlog) entry (abs - t.ws.(i).r_off) v
+      Data_log.payload_write_int64 (the_dlog t) entry (abs - t.ws.(i).r_off) v
 
 let write_int tx p field v =
   active_tx tx;
@@ -848,7 +398,7 @@ let write_int tx p field v =
   match cow_of t i with
   | None -> Region.write_int t.main abs v
   | Some entry ->
-      Data_log.payload_write_int (Option.get t.dlog) entry (abs - t.ws.(i).r_off) v
+      Data_log.payload_write_int (the_dlog t) entry (abs - t.ws.(i).r_off) v
 
 let write_bytes tx p field b =
   active_tx tx;
@@ -859,7 +409,7 @@ let write_bytes tx p field b =
   match cow_of t i with
   | None -> Region.write_bytes t.main abs b
   | Some entry ->
-      Data_log.payload_write_bytes (Option.get t.dlog) entry (abs - t.ws.(i).r_off) b
+      Data_log.payload_write_bytes (the_dlog t) entry (abs - t.ws.(i).r_off) b
 
 let write_string tx p field s =
   active_tx tx;
@@ -870,7 +420,7 @@ let write_string tx p field s =
   match cow_of t i with
   | None -> Region.write_string t.main abs s
   | Some entry ->
-      Data_log.payload_write_string (Option.get t.dlog) entry (abs - t.ws.(i).r_off) s
+      Data_log.payload_write_string (the_dlog t) entry (abs - t.ws.(i).r_off) s
 
 let write_byte tx p field v =
   active_tx tx;
@@ -881,7 +431,7 @@ let write_byte tx p field v =
   match cow_of t i with
   | None -> Region.write_byte t.main abs v
   | Some entry ->
-      Data_log.payload_write_byte (Option.get t.dlog) entry (abs - t.ws.(i).r_off) v
+      Data_log.payload_write_byte (the_dlog t) entry (abs - t.ws.(i).r_off) v
 
 (* Reads consult the write set only to follow CoW redirections; when the
    transaction has none ([ws_cow_n] = 0 — always, outside the CoW engine),
@@ -897,7 +447,7 @@ let read_int64 tx p field =
     match cow_of t i with
     | None -> Region.read_int64 t.main abs
     | Some entry ->
-        Data_log.payload_read_int64 (Option.get t.dlog) entry (abs - t.ws.(i).r_off)
+        Data_log.payload_read_int64 (the_dlog t) entry (abs - t.ws.(i).r_off)
 
 let read_int tx p field =
   active_tx tx;
@@ -909,7 +459,7 @@ let read_int tx p field =
     match cow_of t i with
     | None -> Region.read_int t.main abs
     | Some entry ->
-        Data_log.payload_read_int (Option.get t.dlog) entry (abs - t.ws.(i).r_off)
+        Data_log.payload_read_int (the_dlog t) entry (abs - t.ws.(i).r_off)
 
 let read_bytes tx p field len =
   active_tx tx;
@@ -921,7 +471,7 @@ let read_bytes tx p field len =
     match cow_of t i with
     | None -> Region.read_bytes t.main abs len
     | Some entry ->
-        Data_log.payload_read_bytes (Option.get t.dlog) entry (abs - t.ws.(i).r_off) len
+        Data_log.payload_read_bytes (the_dlog t) entry (abs - t.ws.(i).r_off) len
 
 let read_string tx p field len =
   active_tx tx;
@@ -933,7 +483,7 @@ let read_string tx p field len =
     match cow_of t i with
     | None -> Region.read_string t.main abs len
     | Some entry ->
-        Data_log.payload_read_string (Option.get t.dlog) entry (abs - t.ws.(i).r_off) len
+        Data_log.payload_read_string (the_dlog t) entry (abs - t.ws.(i).r_off) len
 
 let read_byte tx p field =
   active_tx tx;
@@ -945,7 +495,7 @@ let read_byte tx p field =
     match cow_of t i with
     | None -> Region.read_byte t.main abs
     | Some entry ->
-        Data_log.payload_read_byte (Option.get t.dlog) entry (abs - t.ws.(i).r_off)
+        Data_log.payload_read_byte (the_dlog t) entry (abs - t.ws.(i).r_off)
 
 let peek_int64 t p field = Region.read_int64 t.main (p + field)
 
@@ -964,187 +514,50 @@ let set_root tx p =
 
 (* --- Commit and abort --------------------------------------------------- *)
 
-let release_all tx ~write_release =
-  let t = tx.owner in
-  t.last_write_keys <- tx.lock_keys;
-  List.iter (fun e -> Locks.release_write_e e ~at:write_release) tx.lock_entries;
-  let read_at = Clock.now t.clk in
-  List.iter (fun e -> Locks.release_read_e e ~at:read_at) tx.read_entries
-
-let finish tx =
-  tx.finished <- true;
-  tx.owner.active <- None
+let emit_commit_span t tx =
+  Metrics.incr t.m_committed;
+  if Obs.enabled t.e_obs then
+    let nowc = Clock.now t.clk in
+    Obs.emit t.e_obs ~kind:Obs.k_commit ~track:t.obs_base ~ts:tx.t_begin
+      ~dur:(nowc - tx.t_begin) ~a:tx.id ~b:t.ws_n ~c:0
 
 let commit tx =
   active_tx tx;
   let t = tx.owner in
-  (match t.e_kind with
-  | No_logging ->
-      persist_ws t ~in_place_only:false;
-      release_all tx ~write_release:(Clock.now t.clk)
-  | Intent_only ->
-      (match tx.slot with
-      | None -> ()  (* read-only: the log was never touched *)
-      | Some slot ->
-        let ilog = Option.get t.ilog in
-        do_barrier tx;
-        persist_ws t ~in_place_only:false;
-        Intent_log.mark ilog slot Intent_log.Committed;
-        (* No local backup to synchronize: the record only needs to outlive
-           the in-place writes it covers, which are durable now. *)
-        Intent_log.release ilog slot);
-      release_all tx ~write_release:(Clock.now t.clk)
-  | Undo_logging ->
-      let dlog = Option.get t.dlog in
-      do_barrier tx;
-      persist_ws t ~in_place_only:true;
-      Data_log.finish dlog;
-      release_all tx ~write_release:(Clock.now t.clk)
-  | Cow when t.ws_n = 0 ->
-      Data_log.finish (Option.get t.dlog);
-      release_all tx ~write_release:(Clock.now t.clk)
-  | Cow ->
-      let dlog = Option.get t.dlog in
-      (* Working copies get their final checksums; in-place ranges get
-         commit-time redo snapshots so the [Applying] phase can replay
-         everything from the arena alone. Arena order guarantees these
-         commit-time snapshots are applied last, superseding any stale
-         working copy of an object that was folded back and freed. *)
-      for i = 0 to t.ws_n - 1 do
-        match t.ws.(i).cow with
-        | Some entry -> Data_log.reseal dlog entry
-        | None -> ()
-      done;
-      for i = 0 to t.ws_n - 1 do
-        let r = t.ws.(i) in
-        if r.cow = None then
-          ignore
-            (Data_log.add dlog ~off:r.r_off ~len:r.r_len ~replay:Data_log.On_commit
-               ~src:t.main)
-      done;
-      Data_log.barrier dlog;
-      Data_log.mark_applying dlog;
-      (* Apply the copies to the originals — the critical-path copy-back of
-         Figure 5's CoW timeline — then persist everything. *)
-      for i = 0 to t.ws_n - 1 do
-        match t.ws.(i).cow with
-        | Some entry -> Data_log.apply_entry dlog entry ~dst:t.main
-        | None -> ()
-      done;
-      persist_ws t ~in_place_only:false;
-      Data_log.finish dlog;
-      release_all tx ~write_release:(Clock.now t.clk)
-  | Kamino_simple | Kamino_dynamic _ ->
-      let ilog = Option.get t.ilog and appl = Option.get t.appl in
-      (match tx.slot with
-      | None ->
-          (* Read-only transaction: the log was never touched. *)
-          release_all tx ~write_release:(Clock.now t.clk)
-      | Some slot ->
-        do_barrier tx;
-        persist_ws t ~in_place_only:false;
-        Intent_log.mark ilog slot Intent_log.Committed;
-        let iranges =
-          match t.e_kind with
-          | Kamino_simple when t.e_config.coalesce_writes ->
-              (* Full backups copy at byte granularity, so the task carries
-                 the coalesced write set; the counters record how many
-                 ranges the pass eliminated and the net copy bytes it
-                 saved. Dynamic backups need the raw per-object ranges. *)
-              let merged = coalesce_write_set t in
-              Metrics.add t.m_ranges_coalesced (t.ws_n - List.length merged);
-              let raw_bytes = ref 0 in
-              for i = 0 to t.ws_n - 1 do
-                raw_bytes := !raw_bytes + t.ws.(i).r_len
-              done;
-              Metrics.add t.m_bytes_saved
-                (!raw_bytes - Intent_log.total_bytes merged);
-              merged
-          | _ ->
-              let acc = ref [] in
-              for i = t.ws_n - 1 downto 0 do
-                let r = t.ws.(i) in
-                acc := { Intent_log.off = r.r_off; len = r.r_len } :: !acc
-              done;
-              !acc
-        in
-        let tcost = task_cost (cost t) iranges in
-        let task, finish_at =
-          Applier.enqueue appl ~commit_time:(Clock.now t.clk) ~cost_ns:tcost
-            ~tx_id:tx.id ~slot ~ranges:iranges
-        in
-        List.iter (fun e -> Locks.set_last_writer_task_e e task) tx.lock_entries;
-        (if Obs.enabled t.e_obs then begin
-           (* The task occupies [finish_at - cost, finish_at) of the
-              applier's private timeline ([Applier.enqueue] computes
-              [finish = max vnow commit_time + cost]); applier lag is how
-              far that finish runs ahead of the committing client. *)
-           let nowc = Clock.now t.clk in
-           Metrics.observe t.h_applier_lag (finish_at - nowc);
-           let depth = Applier.queued appl in
-           Metrics.observe t.h_queue_depth depth;
-           let icost = int_of_float tcost in
-           Obs.emit t.e_obs ~kind:Obs.k_applier_task ~track:(t.obs_base + 1)
-             ~ts:(finish_at - icost) ~dur:icost ~a:tx.id
-             ~b:(List.length iranges)
-             ~c:(Intent_log.total_bytes iranges);
-           Obs.emit t.e_obs ~kind:Obs.k_queue_depth ~track:(t.obs_base + 1)
-             ~ts:nowc ~dur:(-1) ~a:depth ~b:0 ~c:0
-         end);
-        (* The paper's rule: write locks release only once main and backup
-           agree on the write set — i.e. at the applier's finish time. *)
-        release_all tx ~write_release:finish_at));
-  Metrics.incr t.m_committed;
-  (if Obs.enabled t.e_obs then
-     let nowc = Clock.now t.clk in
-     Obs.emit t.e_obs ~kind:Obs.k_commit ~track:t.obs_base ~ts:tx.t_begin
-       ~dur:(nowc - tx.t_begin) ~a:tx.id ~b:t.ws_n ~c:0);
+  if tx.prepared then error (Unsupported "commit after prepare (use commit_prepared)");
+  t.strat.v_commit t tx;
+  emit_commit_span t tx;
   finish tx
 
 let abort tx =
   active_tx tx;
   let t = tx.owner in
-  (match t.e_kind with
-  | No_logging ->
-      finish tx;
-      failwith "Engine.abort: the no-logging baseline cannot roll back"
-  | Intent_only ->
-      finish tx;
-      failwith
-        "Engine.abort: chain replicas cannot roll back locally — aborts are decided \
-         at the head and never forwarded"
-  | Undo_logging | Cow ->
-      let dlog = Option.get t.dlog in
-      do_barrier tx;
-      let entries = Data_log.active_entries dlog in
-      let undos = List.filter (fun e -> e.Data_log.replay = Data_log.On_abort) entries in
-      List.iter (fun e -> Data_log.apply_entry dlog e ~dst:t.main) (List.rev undos);
-      persist_ws t ~in_place_only:true;
-      Data_log.finish dlog;
-      release_all tx ~write_release:(Clock.now t.clk)
-  | Kamino_simple | Kamino_dynamic _ ->
-      (match tx.slot with
-      | None -> ()
-      | Some slot ->
-          let ilog = Option.get t.ilog and b = Option.get t.bkp in
-          Intent_log.mark ilog slot Intent_log.Aborted;
-          (* Roll back in place from the backup — Figure 6's abort timeline:
-             synchronous, but only for the aborting transaction's write
-             set. The rolled-back ranges' resident copies are dropped: a
-             rolled-back allocation's space may be re-carved with different
-             extent boundaries later. *)
-          for i = 0 to t.ws_n - 1 do
-            let r = t.ws.(i) in
-            ignore (Backup.roll_back b ~main:t.main ~off:r.r_off ~len:r.r_len);
-            Backup.drop b ~off:r.r_off
-          done;
-          Intent_log.release ilog slot);
-      release_all tx ~write_release:(Clock.now t.clk));
+  t.strat.v_abort t tx;
   Metrics.incr t.m_aborted;
   (if Obs.enabled t.e_obs then
      let nowc = Clock.now t.clk in
      Obs.emit t.e_obs ~kind:Obs.k_abort ~track:t.obs_base ~ts:tx.t_begin
        ~dur:(nowc - tx.t_begin) ~a:tx.id ~b:0 ~c:0);
+  finish tx
+
+(* Two-phase commit for the sharded façade: [prepare] makes the write set
+   and its intent record durable while the record still says [Running];
+   [commit_prepared] is the decision half. The shard coordinator writes
+   its persistent cross-shard marker between the two (DESIGN.md par11). *)
+
+let prepare tx =
+  active_tx tx;
+  if tx.prepared then error (Unsupported "prepare called twice");
+  let t = tx.owner in
+  t.strat.v_prepare t tx;
+  tx.prepared <- true
+
+let commit_prepared tx =
+  active_tx tx;
+  if not tx.prepared then error (Unsupported "commit_prepared without prepare");
+  let t = tx.owner in
+  t.strat.v_commit_prepared t tx;
+  emit_commit_span t tx;
   finish tx
 
 let with_tx t f =
@@ -1167,121 +580,15 @@ let crash t =
   | None -> ());
   Array.iter Region.crash t.all_regions
 
-let recover t =
+let recover ?(promote_running = fun _ -> false) t =
   t.locks <- Locks.create ~shards:t.e_config.lock_shards ();
   t.active <- None;
   t.heap <- Heap.open_existing t.main;
-  (match t.e_kind with
-  | No_logging -> ()
-  | Intent_only ->
-      (* Reopen only: incomplete records cannot be resolved locally (there
-         is no backup). The chain layer supplies a peer via
-         [resolve_from_peer] before the replica rejoins. *)
-      t.ilog <- Some (Intent_log.open_existing (Option.get t.ilog_region));
-      t.next_tx_id <- max t.next_tx_id (Intent_log.max_tx_id (Option.get t.ilog) + 1)
-  | Undo_logging | Cow -> (
-      let dlog = Data_log.open_existing (Option.get t.dlog_region) in
-      t.dlog <- Some dlog;
-      match Data_log.phase dlog with
-      | Data_log.Idle -> ()
-      | Data_log.Running ->
-          (* Incomplete transaction: restore every durable undo snapshot. *)
-          let entries = Data_log.recover_entries dlog in
-          List.iter
-            (fun e ->
-              if e.Data_log.replay = Data_log.On_abort then begin
-                Data_log.apply_entry dlog e ~dst:t.main;
-                Region.flush t.main e.Data_log.off e.Data_log.len
-              end)
-            (List.rev entries);
-          Region.fence t.main;
-          t.next_tx_id <- max t.next_tx_id (Data_log.tx_id dlog + 1);
-          Data_log.finish dlog
-      | Data_log.Applying ->
-          (* CoW redo point passed: replay the copies, in arena order. *)
-          let entries = Data_log.recover_entries dlog in
-          List.iter
-            (fun e ->
-              if e.Data_log.replay = Data_log.On_commit then begin
-                Data_log.apply_entry dlog e ~dst:t.main;
-                Region.flush t.main e.Data_log.off e.Data_log.len
-              end)
-            entries;
-          Region.fence t.main;
-          t.next_tx_id <- max t.next_tx_id (Data_log.tx_id dlog + 1);
-          Data_log.finish dlog)
-  | Kamino_simple | Kamino_dynamic _ ->
-      let ilog = Intent_log.open_existing (Option.get t.ilog_region) in
-      t.ilog <- Some ilog;
-      let b = Backup.reopen (Option.get t.bkp) in
-      t.bkp <- Some b;
-      t.next_tx_id <- max t.next_tx_id (Intent_log.max_tx_id ilog + 1);
-      t.appl <- Some (make_applier t);
-      (* Records are visited in transaction order; committed ones roll the
-         backup forward, incomplete or aborted ones roll the main heap back.
-         The locking discipline guarantees the two sets of ranges are
-         disjoint. *)
-      let pending = ref [] in
-      Intent_log.iter_records ilog (fun slot _txid state intents ->
-          pending := (slot, state, intents) :: !pending);
-      List.iter
-        (fun (slot, state, intents) ->
-          (match state with
-          | Intent_log.Committed ->
-              List.iter
-                (fun { Intent_log.off; len } -> Backup.roll_forward b ~main:t.main ~off ~len)
-                intents
-          | Intent_log.Running | Intent_log.Aborted ->
-              List.iter
-                (fun { Intent_log.off; len } ->
-                  ignore (Backup.roll_back b ~main:t.main ~off ~len);
-                  Backup.drop b ~off)
-                intents
-          | Intent_log.Free -> ());
-          Intent_log.release ilog slot)
-        (List.rev !pending))
+  t.strat.v_recover t ~promote_running
 
-let drain_backup t = match t.appl with Some a -> Applier.drain a | None -> ()
+let drain_backup = Variant.drain_backup
 
-(* The backup invariant that all of Kamino-Tx's safety rests on: once the
-   applier has drained, the backup agrees with the main heap — everywhere
-   for a full backup, on every resident copy for a dynamic one. *)
-let verify_backup t =
-  match t.bkp with
-  | None -> Ok ()
-  | Some b -> (
-      drain_backup t;
-      match b with
-      | _ -> (
-          let mismatches = ref [] in
-          (match Backup.dump_mapping b with
-          | [] ->
-              (* Full backup: compare every live object extent and the
-                 allocator metadata block. *)
-              let h = t.heap in
-              let check off len what =
-                match Backup.copy_matches ~len b ~main:t.main ~off with
-                | Some false -> mismatches := what :: !mismatches
-                | Some true | None -> ()
-              in
-              check 0 (Heap.data_start h) "heap metadata";
-              Heap.iter_objects h (fun p ~capacity ~allocated ->
-                  if allocated then
-                    check (p - 16) (capacity + 16) (Printf.sprintf "object %d" p))
-          | mapping ->
-              List.iter
-                (fun (off, _, _) ->
-                  match Backup.copy_matches b ~main:t.main ~off with
-                  | Some false ->
-                      mismatches := Printf.sprintf "resident copy at %d" off :: !mismatches
-                  | Some true | None -> ())
-                mapping);
-          match !mismatches with
-          | [] -> Ok ()
-          | w :: _ ->
-              Error
-                (Printf.sprintf "backup diverges from main (%d ranges, first: %s)"
-                   (List.length !mismatches) w)))
+let verify_backup = Variant.verify_backup
 
 let last_write_keys t = t.last_write_keys
 
@@ -1298,7 +605,7 @@ let unresolved_records t =
       List.rev !acc
 
 let resolve_from_peer t ~peer =
-  let ilog = Option.get t.ilog in
+  let ilog = the_ilog t in
   let slots = ref [] in
   Intent_log.iter_records ilog (fun slot _ _ intents -> slots := (slot, intents) :: !slots);
   List.iter
@@ -1327,6 +634,7 @@ let promote_to_kamino t =
   t.bkp <- Some b;
   t.all_regions <- Array.append t.all_regions [| r |];
   t.e_kind <- Kamino_simple;
+  t.strat <- Kamino_variant.simple;
   t.appl <- Some (make_applier t);
   if Obs.enabled t.e_obs then Region.set_obs r ~track:(t.obs_base + 2) t.e_obs;
   set_clock t t.clk

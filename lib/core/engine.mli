@@ -33,7 +33,7 @@
 
 module Heap = Kamino_heap.Heap
 
-type kind =
+type kind = Variant.kind =
   | No_logging
   | Undo_logging
   | Cow
@@ -47,7 +47,7 @@ type kind =
 
 val kind_name : kind -> string
 
-type config = {
+type config = Variant.config = {
   heap_bytes : int;  (** main heap region size *)
   log_slots : int;  (** intent-log ring capacity (concurrent unapplied txs) *)
   max_tx_entries : int;  (** max write intents per transaction *)
@@ -71,6 +71,32 @@ type config = {
 }
 
 val default_config : config
+
+(** {1 Errors}
+
+    Engine-state misuse raises {!Error} with a variant the shard and
+    chaos layers can match on. Programming errors against the heap API
+    (freeing an unallocated pointer, a field range outside its object)
+    remain [Invalid_argument]. *)
+
+type error = Variant.error =
+  | Tx_already_active  (** [begin_tx] while a transaction is active *)
+  | Tx_finished  (** operation on a committed/aborted/crashed handle *)
+  | Tx_not_active  (** stale handle: a different transaction is active *)
+  | Intent_log_exhausted of string
+      (** no free slot and no way to make one; the payload says where *)
+  | Missing_intent of { off : int; len : int }
+      (** transactional write not covered by a declared intent (when
+          [check_intents]) — missing [TX_ADD] *)
+  | Abort_unsupported of kind
+      (** the kind cannot roll back locally (no-logging, chain replicas) *)
+  | Component_missing of string
+      (** the kind has no such component (e.g. data log on Kamino) *)
+  | Unsupported of string  (** operation undefined for the kind *)
+
+exception Error of error
+
+val error_message : error -> string
 
 type t
 
@@ -112,12 +138,16 @@ val now : t -> int
 
 (** {1 Transactions} *)
 
-(** Starts a transaction. Raises [Failure] if one is already active
-    (execution is serial at the data level). *)
+(** Starts a transaction. Raises [Error Tx_already_active] if one is
+    already active (execution is serial at the data level). *)
 val begin_tx : t -> tx
 
 (** The engine a transaction belongs to. *)
 val tx_engine : tx -> t
+
+(** The transaction's engine-local id (what intent-log records and the
+    sharded commit marker carry). *)
+val tx_id : tx -> int
 
 (** [add tx p] declares a write intent on object [p] (whole extent),
     acquiring its write lock — the [TX_ADD] of Table 2. Idempotent per
@@ -152,9 +182,28 @@ val free : tx -> Heap.ptr -> unit
     ends when this returns; lock release may be later (Kamino kinds). *)
 val commit : tx -> unit
 
-(** [abort tx] rolls the transaction back. Raises [Failure] on
-    [No_logging]. *)
+(** [abort tx] rolls the transaction back. Raises
+    [Error (Abort_unsupported _)] on [No_logging] and [Intent_only]. *)
 val abort : tx -> unit
+
+(** {2 Two-phase commit (sharded cross-shard transactions)}
+
+    [prepare tx] makes the transaction's write set and intent record
+    durable while the record still says [Running] — a crash at this point
+    rolls the transaction back on recovery. [commit_prepared tx] is the
+    decision half of {!commit}: it marks the record committed, hands the
+    write set to the backup applier and releases the locks at the
+    applier's finish time. [commit tx] is exactly [prepare] followed by
+    [commit_prepared]; the sharded façade interleaves its persistent
+    cross-shard commit marker between the two, and recovery passes the
+    marker's transaction set to {!recover} as [promote_running] so every
+    marked participant rolls {e forward}. Only the Kamino kinds support
+    two-phase commit; others raise [Error (Unsupported _)]. A prepared
+    transaction can still {!abort} (marker never written). *)
+
+val prepare : tx -> unit
+
+val commit_prepared : tx -> unit
 
 (** [with_tx t f] runs [f] in a transaction, committing on return and
     aborting (then re-raising) on exception. *)
@@ -211,8 +260,13 @@ val crash : t -> unit
 (** Reopens all structures after {!crash} and restores consistency:
     committed-but-unapplied transactions roll forward to the backup,
     incomplete ones roll back from it (or from the data log for the
-    copying baselines). *)
-val recover : t -> unit
+    copying baselines). [promote_running] (default [fun _ -> false])
+    is the sharded commit marker's all-or-nothing decision: a [Running]
+    intent-log record whose transaction id it accepts is treated as
+    committed and rolled {e forward} — safe only because {!prepare} made
+    the record's in-place writes durable before any marker naming it
+    could exist. *)
+val recover : ?promote_running:(int -> bool) -> t -> unit
 
 (** Apply every queued backup task (e.g. before clean shutdown or before
     inspecting the backup in tests). *)

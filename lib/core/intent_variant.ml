@@ -1,0 +1,65 @@
+(* [Intent_only]: a non-head chain replica (§5). In-place updates guarded
+   only by the intent log — there is no local backup, so incomplete
+   records cannot be resolved locally; the chain layer supplies a peer
+   ([Engine.resolve_from_peer]) before the replica rejoins, which is the
+   reason Kamino-Tx-Chain needs [f+2] replicas. Aborts are decided at the
+   head and never forwarded, so local rollback is unsupported. *)
+
+open Variant
+
+let claim_once t tx =
+  (* Replica slots are released at commit, so a free one always exists
+     under serial execution. *)
+  match Intent_log.begin_record (the_ilog t) ~tx_id:tx.id with
+  | Some s -> s
+  | None -> error (Intent_log_exhausted "replica")
+
+let declare t tx ~le:_ ~off ~len ~redirectable:_ =
+  (* Record the intent, edit in place; the chain's neighbours stand in
+     for the backup at recovery. *)
+  let slot = claim_slot tx in
+  log_intent t slot ~mergeable:t.e_config.coalesce_writes ~off ~len;
+  None
+
+let barrier t tx =
+  match tx.slot with
+  | Some slot -> Intent_log.barrier (the_ilog t) slot
+  | None -> ()
+
+let commit t tx =
+  (match tx.slot with
+  | None -> ()  (* read-only: the log was never touched *)
+  | Some slot ->
+      let ilog = the_ilog t in
+      do_barrier tx;
+      persist_ws t ~in_place_only:false;
+      Intent_log.mark ilog slot Intent_log.Committed;
+      (* No local backup to synchronize: the record only needs to outlive
+         the in-place writes it covers, which are durable now. *)
+      Intent_log.release ilog slot);
+  release_all tx ~write_release:(Clock.now t.clk)
+
+let abort _t tx =
+  finish tx;
+  error (Abort_unsupported Intent_only)
+
+let recover t ~promote_running:_ =
+  (* Reopen only: incomplete records wait for [resolve_from_peer]. *)
+  let ilog = Intent_log.open_existing (Option.get t.ilog_region) in
+  t.ilog <- Some ilog;
+  t.next_tx_id <- max t.next_tx_id (Intent_log.max_tx_id ilog + 1)
+
+let ops =
+  {
+    v_object_granular = false;
+    v_begin = (fun _ ~tx_id:_ -> ());
+    v_claim_slot = claim_once;
+    v_declare = declare;
+    v_pre_free = no_op_pre_free;
+    v_barrier = barrier;
+    v_commit = commit;
+    v_abort = abort;
+    v_prepare = unsupported "prepare (intent-only)";
+    v_commit_prepared = unsupported "commit_prepared (intent-only)";
+    v_recover = recover;
+  }

@@ -1,0 +1,38 @@
+(* [Undo_logging]: NVML semantics. Declaring an intent snapshots the
+   pre-transaction bytes into the data log {e in the critical path}; writes
+   then go in place, commit persists them and closes the log transaction,
+   abort (or crash recovery) restores the snapshots. The copying cost the
+   paper's intent log removes sits entirely in [v_declare]. *)
+
+open Variant
+
+let begin_ t ~tx_id = Data_log.begin_tx (the_dlog t) ~tx_id
+
+let declare t _tx ~le:_ ~off ~len ~redirectable:_ =
+  ignore
+    (Data_log.add (the_dlog t) ~off ~len ~replay:Data_log.On_abort ~src:t.main);
+  None
+
+let barrier t _tx = Data_log.barrier (the_dlog t)
+
+let commit t tx =
+  let dlog = the_dlog t in
+  do_barrier tx;
+  persist_ws t ~in_place_only:true;
+  Data_log.finish dlog;
+  release_all tx ~write_release:(Clock.now t.clk)
+
+let ops =
+  {
+    v_object_granular = false;
+    v_begin = begin_;
+    v_claim_slot = (fun _ _ -> error (Component_missing "intent log"));
+    v_declare = declare;
+    v_pre_free = no_op_pre_free;
+    v_barrier = barrier;
+    v_commit = commit;
+    v_abort = data_log_abort;
+    v_prepare = unsupported "prepare (undo-logging)";
+    v_commit_prepared = unsupported "commit_prepared (undo-logging)";
+    v_recover = (fun t ~promote_running:_ -> data_log_recover t);
+  }

@@ -1,0 +1,102 @@
+(** Sharded multi-engine façade.
+
+    Partitions the persistent heap across [shards] fully independent
+    {!Kamino_core.Engine} instances — per-shard region, intent log, backup,
+    applier and obs tracks — behind a deterministic key router. Single-shard
+    transactions run exactly as on a standalone engine (shard [i] of a
+    façade seeded [s] is bit-identical to [Engine.create ~seed:(s + i)]);
+    cross-shard transactions use ordered shard acquisition and two-phase
+    commit against a persistent commit marker, so a crash anywhere in the
+    protocol leaves the transaction all-or-nothing across shards (DESIGN.md
+    par11). *)
+
+module Engine = Kamino_core.Engine
+
+type t
+
+(** [create ~kind ~seed ~shards ()] builds [shards] engines. Engine [i]
+    is created with seed [seed + i] and, when [obs] is enabled, base
+    Perfetto track [obs_track_base + 4 * i] (named [shard<i>.tx] /
+    [.applier] / [.nvm]). The cross-shard commit marker lives in its own
+    small region sharing [config]'s cost model and crash mode. *)
+val create :
+  ?config:Engine.config ->
+  ?obs:Kamino_obs.Obs.t ->
+  ?obs_track_base:int ->
+  kind:Engine.kind ->
+  seed:int ->
+  shards:int ->
+  unit ->
+  t
+
+val shards : t -> int
+
+(** [engine t i] is shard [i]'s engine — the full standalone API applies. *)
+val engine : t -> int -> Engine.t
+
+val kind : t -> Engine.kind
+
+val obs : t -> Kamino_obs.Obs.t
+
+(** The commit-marker region (white-box tests). *)
+val marker_region : t -> Kamino_nvm.Region.t
+
+(** {1 Routing} *)
+
+(** [route_key ~shards key] is the deterministic key router: a
+    multiplicative hash so dense and strided key spaces both spread. *)
+val route_key : shards:int -> int -> int
+
+val route : t -> int -> int
+
+(** {1 Transactions} *)
+
+(** [set_clock t i c] switches shard [i]'s active client clock. *)
+val set_clock : t -> int -> Kamino_sim.Clock.t -> unit
+
+(** [with_tx t i f] runs a single-shard transaction on shard [i] —
+    plain [Engine.with_tx], no façade overhead. *)
+val with_tx : t -> int -> (Engine.tx -> 'a) -> 'a
+
+(** Protocol positions reported to [on_step] during {!with_cross_tx} —
+    the crash-injection hook for the sharded crash matrix. *)
+type cross_step =
+  | Prepared of int  (** shard [i]'s write set is durable, still Running *)
+  | Marker_written  (** the commit point: marker valid flag persisted *)
+  | Committed of int  (** shard [i] marked committed, propagation queued *)
+  | Marker_cleared
+
+(** [with_cross_tx t ids f] runs one atomic transaction spanning shards
+    [ids]. Participants begin in ascending shard order on the first
+    participant's clock; [f] receives a lookup from shard id to its open
+    transaction. On normal return: prepare each shard, persist the marker
+    (participant [(shard, tx_id)] pairs, then the valid flag, each behind
+    its own fence), commit each prepared transaction, clear the marker.
+    On exception from [f]: abort every participant and re-raise. Only the
+    Kamino kinds support this (two-phase commit); others raise
+    [Engine.Error (Unsupported _)]. *)
+val with_cross_tx :
+  ?on_step:(cross_step -> unit) -> t -> int list -> ((int -> Engine.tx) -> 'a) -> 'a
+
+(** {1 Crashes and recovery} *)
+
+(** Power failure on every shard and the marker region. *)
+val crash : t -> unit
+
+(** Recovers every shard. A valid commit marker promotes its listed
+    participants — their Running intent records roll {e forward} — and
+    is then cleared; without one every incomplete transaction rolls back
+    as on a standalone engine. *)
+val recover : t -> unit
+
+val drain_backups : t -> unit
+
+val verify_backups : t -> (unit, string) result
+
+(** {1 Aggregates} *)
+
+val storage_bytes : t -> int
+
+val committed : t -> int
+
+val aborted : t -> int

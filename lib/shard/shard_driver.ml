@@ -1,0 +1,74 @@
+module Clock = Kamino_sim.Clock
+module Stats = Kamino_sim.Stats
+module Driver = Kamino_workload.Driver
+
+let home ~shards client = client mod shards
+
+(* Mirrors Driver.run with two changes: each client is pinned to a home
+   shard (round-robin) and carries a fixed operation quota instead of
+   drawing from a global pool. The quota is what makes a shard's
+   sub-workload self-contained: shard [i] executes exactly the quota of
+   its clients, in exactly the order a standalone engine run of those
+   clients would — the global min-clock pick, restricted to one shard's
+   clients, is that shard's min-clock pick. test_shard.ml holds the
+   per-shard timelines to a standalone engine bit-for-bit. *)
+let run ~shard ~clients ~total_ops ~step =
+  if clients <= 0 then invalid_arg "Shard_driver.run: clients must be positive";
+  let shards = Shard.shards shard in
+  let quota =
+    Array.init clients (fun c ->
+        (total_ops / clients) + if c < total_ops mod clients then 1 else 0)
+  in
+  (* Each client starts after whatever already happened on its home
+     shard's timeline (the load phase). *)
+  let starts =
+    Array.init clients (fun c ->
+        Kamino_core.Engine.now (Shard.engine shard (home ~shards c)))
+  in
+  let clocks = Array.init clients (fun c -> Clock.create_at starts.(c)) in
+  let latencies : (string, Stats.series) Hashtbl.t = Hashtbl.create 8 in
+  let series label =
+    match Hashtbl.find_opt latencies label with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add latencies label s;
+        s
+  in
+  for _ = 1 to total_ops do
+    (* Furthest-behind client with work left runs next; progress is
+       measured from each client's own start so shards whose load phases
+       ended at different times are compared fairly. *)
+    let client = ref (-1) in
+    let behind = ref max_int in
+    for c = 0 to clients - 1 do
+      let p = Clock.now clocks.(c) - starts.(c) in
+      if quota.(c) > 0 && p < !behind then begin
+        client := c;
+        behind := p
+      end
+    done;
+    let c = !client in
+    quota.(c) <- quota.(c) - 1;
+    let clock = clocks.(c) in
+    let shard_id = home ~shards c in
+    Shard.set_clock shard shard_id clock;
+    let t0 = Clock.now clock in
+    let label = step ~client:c ~shard_id () in
+    Stats.add (series label) (float_of_int (Clock.now clock - t0))
+  done;
+  let elapsed_ns =
+    let m = ref 0 in
+    Array.iteri (fun c clk -> m := max !m (Clock.now clk - starts.(c))) clocks;
+    !m
+  in
+  let all = Hashtbl.fold (fun _ s acc -> Stats.merge acc s) latencies (Stats.create ()) in
+  {
+    Driver.total_ops;
+    elapsed_ns;
+    throughput_mops =
+      (if elapsed_ns = 0 then 0.0
+       else float_of_int total_ops /. (float_of_int elapsed_ns /. 1e9) /. 1e6);
+    mean_latency_ns = Stats.mean all;
+    latencies = Hashtbl.fold (fun k v acc -> (k, v) :: acc) latencies [];
+  }

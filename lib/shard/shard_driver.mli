@@ -1,0 +1,26 @@
+(** Multi-client virtual-time driver over a sharded façade.
+
+    Clients are pinned round-robin to home shards (client [c] drives shard
+    [c mod shards]) and each carries a fixed quota of
+    [total_ops / clients] operations (earlier clients absorb the
+    remainder). The furthest-behind client — measured from its own home
+    shard's start time — runs next, which restricted to one shard's
+    clients is exactly {!Kamino_workload.Driver.run}'s order: every
+    shard's timeline is bit-identical to a standalone engine running that
+    shard's clients alone. *)
+
+(** The home shard of [client] under [shards]. *)
+val home : shards:int -> int -> int
+
+(** [run ~shard ~clients ~total_ops ~step] — [step ~client ~shard_id ()]
+    must execute exactly one operation against shard [shard_id] (whose
+    active clock is already the client's) and return the operation's
+    label. Returns the standard driver result; [elapsed_ns] is the
+    largest per-client elapsed time, so throughput aggregates across
+    shards. *)
+val run :
+  shard:Shard.t ->
+  clients:int ->
+  total_ops:int ->
+  step:(client:int -> shard_id:int -> unit -> string) ->
+  Kamino_workload.Driver.result

@@ -1,0 +1,81 @@
+module Engine = Kamino_core.Engine
+module Kv = Kamino_kv.Kv
+
+type t = { shard : Shard.t; stores : Kv.t array }
+
+let create shard ~value_size ~node_size =
+  let stores =
+    Array.init (Shard.shards shard) (fun i ->
+        Kv.create (Shard.engine shard i) ~value_size ~node_size)
+  in
+  { shard; stores }
+
+let reattach shard =
+  let stores =
+    Array.init (Shard.shards shard) (fun i -> Kv.reattach (Shard.engine shard i))
+  in
+  { shard; stores }
+
+let shard t = t.shard
+
+let store t i = t.stores.(i)
+
+let store_of_key t key = t.stores.(Shard.route t.shard key)
+
+let size t = Array.fold_left (fun acc s -> acc + Kv.size s) 0 t.stores
+
+(* Single-key operations: route, then run on the owning shard's store as
+   a plain single-shard transaction. *)
+let put t key value = Kv.put (store_of_key t key) key value
+
+let get t key = Kv.get (store_of_key t key) key
+
+let delete t key = Kv.delete (store_of_key t key) key
+
+let read_modify_write t key f = Kv.read_modify_write (store_of_key t key) key f
+
+let exists t key = Kv.exists (store_of_key t key) key
+
+let range t i ~lo ~hi = Kv.range t.stores.(i) ~lo ~hi
+
+(* [multi_put] is the cross-shard client: all bindings become visible
+   atomically even when their keys route to different shards. The
+   single-shard case degenerates to one plain transaction — no marker,
+   no 2PC. *)
+let multi_put ?on_step t bindings =
+  match bindings with
+  | [] -> ()
+  | _ ->
+      let by_shard = Hashtbl.create 8 in
+      List.iter
+        (fun (key, value) ->
+          let i = Shard.route t.shard key in
+          Hashtbl.replace by_shard i
+            ((key, value) :: Option.value ~default:[] (Hashtbl.find_opt by_shard i)))
+        bindings;
+      let ids = Hashtbl.fold (fun i _ acc -> i :: acc) by_shard [] in
+      (match ids with
+      | [ i ] ->
+          Engine.with_tx (Shard.engine t.shard i) (fun tx ->
+              List.iter
+                (fun (key, value) -> Kv.put_tx tx t.stores.(i) key value)
+                (List.rev (Hashtbl.find by_shard i)))
+      | _ ->
+          Shard.with_cross_tx ?on_step t.shard ids (fun tx_of ->
+              List.iter
+                (fun i ->
+                  let tx = tx_of i in
+                  List.iter
+                    (fun (key, value) -> Kv.put_tx tx t.stores.(i) key value)
+                    (List.rev (Hashtbl.find by_shard i)))
+                (List.sort compare ids)))
+
+let validate t =
+  let rec go i =
+    if i >= Array.length t.stores then Ok ()
+    else
+      match Kv.validate t.stores.(i) with
+      | Ok () -> go (i + 1)
+      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+  in
+  go 0

@@ -1,0 +1,40 @@
+(** Key-value store over a sharded façade: one {!Kamino_kv.Kv} per shard,
+    keys routed by {!Shard.route}. Single-key operations are plain
+    single-shard transactions on the owning shard; {!multi_put} commits a
+    batch spanning shards atomically through {!Shard.with_cross_tx}. *)
+
+type t
+
+val create : Shard.t -> value_size:int -> node_size:int -> t
+
+(** Re-bind every per-shard store after {!Shard.recover}. *)
+val reattach : Shard.t -> t
+
+val shard : t -> Shard.t
+
+(** Shard [i]'s underlying store (white-box tests). *)
+val store : t -> int -> Kamino_kv.Kv.t
+
+val size : t -> int
+
+val put : t -> int -> string -> unit
+
+val get : t -> int -> string option
+
+val delete : t -> int -> bool
+
+val read_modify_write : t -> int -> (string -> string) -> bool
+
+val exists : t -> int -> bool
+
+(** [range t i ~lo ~hi] scans shard [i]'s local index (keys are hash
+    routed, so a global key-ordered scan does not exist by design). *)
+val range : t -> int -> lo:int -> hi:int -> (int * string) list
+
+(** [multi_put t bindings] makes all bindings visible atomically. One
+    participating shard: a plain transaction. Several: a cross-shard
+    two-phase commit ([on_step] passes through to
+    {!Shard.with_cross_tx}). *)
+val multi_put : ?on_step:(Shard.cross_step -> unit) -> t -> (int * string) list -> unit
+
+val validate : t -> (unit, string) result

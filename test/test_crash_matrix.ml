@@ -195,6 +195,97 @@ let run_workload ~make_engine ~crash_mode ~coalesce ~seed ~rounds context =
     model []
   |> List.sort compare
 
+(* --- sharded dimension ----------------------------------------------------- *)
+
+module Shard = Kamino_shard.Shard
+
+exception Crashed
+
+(* Random crash points during cross-shard commits. Each round stamps a
+   fresh value into one object per participating shard through
+   [with_cross_tx] and crashes at a random protocol step (or not at all).
+   The all-or-nothing oracle: a crash before the marker's valid flag is
+   durable must leave every shard at the previous stamp on recovery; from
+   [Marker_written] on, every shard must show the new stamp — there is no
+   step at which a mixed outcome is acceptable. *)
+let sharded_case crash_mode () =
+  List.iter
+    (fun seed ->
+      let shards = 3 in
+      let config = { base_config with Engine.crash_mode } in
+      let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+      let rng = Rng.create (seed * 71) in
+      let cells =
+        Array.init shards (fun i ->
+            Shard.with_tx s i (fun tx ->
+                let p = Engine.alloc tx 64 in
+                Engine.write_int64 tx p 0 0L;
+                p))
+      in
+      let stamps = Array.make shards 0L in
+      for round = 1 to 30 do
+        let context = Printf.sprintf "sharded seed=%d round=%d" seed round in
+        (* 2 or 3 participants, random composition. *)
+        let ids =
+          let all = [ 0; 1; 2 ] in
+          if Rng.bool rng then all
+          else
+            let out = Rng.int rng shards in
+            List.filter (fun i -> i <> out) all
+        in
+        let stamp = Int64.of_int ((round * 100) + seed) in
+        (* Protocol steps: |ids| prepares, marker write, |ids| commits,
+           marker clear. [n_steps] means "run to completion". *)
+        let n_steps = (2 * List.length ids) + 2 in
+        let crash_at = Rng.int rng (n_steps + 1) in
+        let count = ref 0 in
+        let on_step _ =
+          if !count = crash_at then begin
+            Shard.crash s;
+            raise Crashed
+          end;
+          incr count
+        in
+        let write_all tx_of =
+          List.iter
+            (fun i ->
+              let tx = tx_of i in
+              Engine.add tx cells.(i);
+              Engine.write_int64 tx cells.(i) 0 stamp)
+            ids
+        in
+        let crashed =
+          match Shard.with_cross_tx ~on_step s ids write_all with
+          | () -> false
+          | exception Crashed -> true
+        in
+        if crashed then Shard.recover s;
+        (* Marker durable (valid flag persisted) iff crash_at reached the
+           [Marker_written] step — all applied; before it — none. *)
+        let applied = (not crashed) || crash_at >= List.length ids in
+        if applied then List.iter (fun i -> stamps.(i) <- stamp) ids;
+        List.iter
+          (fun i ->
+            let v = Engine.peek_int64 (Shard.engine s i) cells.(i) 0 in
+            if v <> stamps.(i) then
+              Alcotest.failf "%s (crash_at=%d of %d): shard %d cell is %Ld, expected %Ld"
+                context crash_at n_steps i v stamps.(i))
+          [ 0; 1; 2 ];
+        Alcotest.(check int) (context ^ ": marker retired") 0
+          (Region.read_int (Shard.marker_region s) 0)
+      done;
+      Shard.drain_backups s;
+      (match Shard.verify_backups s with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "sharded seed=%d: %s" seed err);
+      Array.iteri
+        (fun i e ->
+          match Heap.validate (Engine.heap e) with
+          | Ok () -> ()
+          | Error err -> Alcotest.failf "sharded seed=%d shard %d: %s" seed i err)
+        (Array.init shards (Shard.engine s)))
+    (List.init 12 (fun i -> i + 1))
+
 let seeds = List.init 17 (fun i -> i + 1)
 
 let matrix_case name make_engine crash_mode () =
@@ -242,4 +333,12 @@ let () =
           modes)
       kinds
   in
-  Alcotest.run "crash_matrix" [ ("matrix", cases) ]
+  let sharded =
+    List.map
+      (fun (mname, mode) ->
+        Alcotest.test_case
+          (Printf.sprintf "sharded x %s (12 seeds, random crash points)" mname)
+          `Slow (sharded_case mode))
+      modes
+  in
+  Alcotest.run "crash_matrix" [ ("matrix", cases); ("sharded", sharded) ]

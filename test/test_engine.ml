@@ -160,7 +160,7 @@ let test_no_logging_abort_raises () =
     (try
        Engine.abort tx;
        false
-     with Failure _ -> true)
+     with Engine.Error (Engine.Abort_unsupported _) -> true)
 
 let test_write_without_intent_rejected () =
   for_each_kind atomic_kinds (fun name e ->
@@ -170,7 +170,7 @@ let test_write_without_intent_rejected () =
         (try
            Engine.write_int64 tx p 0 1L;
            false
-         with Failure _ -> true);
+         with Engine.Error (Engine.Missing_intent _) -> true);
       (try Engine.abort tx with _ -> ()))
 
 let test_serial_tx_enforced () =
@@ -180,7 +180,7 @@ let test_serial_tx_enforced () =
     (try
        ignore (Engine.begin_tx e);
        false
-     with Failure _ -> true)
+     with Engine.Error Engine.Tx_already_active -> true)
 
 let test_set_root () =
   for_each_kind atomic_kinds (fun name e ->
@@ -227,7 +227,7 @@ let test_add_field_semantics () =
             (try
                Engine.write_int64 tx p 512 0L;
                false
-             with Failure _ -> true);
+             with Engine.Error (Engine.Missing_intent _) -> true);
           (try Engine.abort tx with _ -> ()));
       (* abort of a field write restores only via the field range *)
       let tx = Engine.begin_tx e in
@@ -502,12 +502,12 @@ let test_double_commit_rejected () =
     (try
        Engine.commit tx;
        false
-     with Failure _ -> true);
+     with Engine.Error Engine.Tx_finished -> true);
   Alcotest.(check bool) "abort after commit raises" true
     (try
        Engine.abort tx;
        false
-     with Failure _ -> true)
+     with Engine.Error Engine.Tx_finished -> true)
 
 let test_read_only_tx_cheap () =
   (* Read-only transactions must not touch the logs at all. *)

@@ -1,0 +1,364 @@
+(* Sharded façade tests.
+
+   - Router: deterministic, in range, spreads dense key spaces.
+   - Isolation: each shard of an N-shard façade is bit-identical — same
+     simulated clocks, same NVM counters — to a standalone engine created
+     with the same derived seed and driven with the same sub-workload.
+   - Scaling: the applier-bound uniform-key YCSB-A cell gains >= 2x
+     aggregate simulated throughput at 4 shards (the acceptance gate the
+     bench's `--shards` curve tracks in CI).
+   - Cross-shard transactions: all-or-nothing with and without crashes,
+     marker lifecycle, abort path. *)
+
+module Rng = Kamino_sim.Rng
+module Clock = Kamino_sim.Clock
+module Cost_model = Kamino_nvm.Cost_model
+module Region = Kamino_nvm.Region
+module Engine = Kamino_core.Engine
+module Kv = Kamino_kv.Kv
+module Shard = Kamino_shard.Shard
+module Shard_kv = Kamino_shard.Shard_kv
+module Shard_driver = Kamino_shard.Shard_driver
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 8 * 1024 * 1024;
+    log_slots = 8;
+    data_log_bytes = 1 lsl 18;
+    cost = Cost_model.slow_nvm;
+  }
+
+(* --- router ---------------------------------------------------------------- *)
+
+let test_router () =
+  List.iter
+    (fun shards ->
+      let counts = Array.make shards 0 in
+      for key = 0 to 4095 do
+        let i = Shard.route_key ~shards key in
+        if i < 0 || i >= shards then
+          Alcotest.failf "route_key ~shards:%d %d = %d out of range" shards key i;
+        Alcotest.(check int)
+          (Printf.sprintf "route_key %d deterministic" key)
+          i
+          (Shard.route_key ~shards key);
+        counts.(i) <- counts.(i) + 1
+      done;
+      (* A dense key space must spread: no shard starved or hogging. *)
+      Array.iteri
+        (fun i c ->
+          let fair = 4096 / shards in
+          if c < fair / 2 || c > fair * 2 then
+            Alcotest.failf "shards=%d: shard %d owns %d of 4096 keys (fair %d)"
+              shards i c fair)
+        counts)
+    [ 1; 2; 4; 8 ]
+
+(* --- per-shard isolation --------------------------------------------------- *)
+
+(* The uniform-key YCSB-A cell from the bench, parameterized so the same
+   client streams can drive a façade or a standalone mirror. *)
+let payload = String.make 1000 'k'
+
+let load_kv kv records =
+  for k = 0 to records - 1 do
+    Shard_kv.put kv k payload
+  done;
+  Shard.drain_backups (Shard_kv.shard kv)
+
+let owned_keys s records =
+  let own = Array.make (Shard.shards s) [] in
+  for k = records - 1 downto 0 do
+    own.(Shard.route s k) <- k :: own.(Shard.route s k)
+  done;
+  Array.map Array.of_list own
+
+let step_op ~own ~rngs store ~client ~shard_id =
+  let keys = own.(shard_id) in
+  let rng = rngs.(client) in
+  let k = keys.(Rng.int rng (Array.length keys)) in
+  if Rng.int rng 100 < 50 then begin
+    ignore (Kv.get store k);
+    "read"
+  end
+  else begin
+    Kv.put store k payload;
+    "update"
+  end
+
+let run_sharded ~shards ~clients ~total_ops ~records ~seed =
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+  let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
+  load_kv kv records;
+  let own = owned_keys s records in
+  let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+  let r =
+    Shard_driver.run ~shard:s ~clients ~total_ops ~step:(fun ~client ~shard_id () ->
+        step_op ~own ~rngs (Shard_kv.store kv shard_id) ~client ~shard_id)
+  in
+  (s, r)
+
+(* Standalone mirror of façade shard [target]: an engine created with the
+   façade's derived seed, loaded with the shard's slice of the key space
+   in the same order, driven by the same pinned clients (same rng streams,
+   same quotas) in min-clock order. *)
+let run_standalone ~shards ~clients ~total_ops ~records ~seed ~target =
+  let e = Engine.create ~config ~kind:Engine.Kamino_simple ~seed:(seed + target) () in
+  let kv = Kv.create e ~value_size:1024 ~node_size:1024 in
+  (* Reconstruct the shard's key slice with the façade's router. *)
+  let own_all = Array.make shards [] in
+  for k = records - 1 downto 0 do
+    own_all.(Shard.route_key ~shards k) <- k :: own_all.(Shard.route_key ~shards k)
+  done;
+  let own = Array.map Array.of_list own_all in
+  Array.iter (fun k -> Kv.put kv k payload) own.(target);
+  Engine.drain_backup e;
+  let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+  let mine = List.filter (fun c -> c mod shards = target) (List.init clients Fun.id) in
+  let quota =
+    List.map
+      (fun c -> (c, (total_ops / clients) + if c < total_ops mod clients then 1 else 0))
+      mine
+    |> List.to_seq |> Hashtbl.of_seq
+  in
+  let start = Engine.now e in
+  let clocks =
+    List.map (fun c -> (c, Clock.create_at start)) mine |> List.to_seq
+    |> Hashtbl.of_seq
+  in
+  let remaining = ref (Hashtbl.fold (fun _ q acc -> acc + q) quota 0) in
+  while !remaining > 0 do
+    let client = ref (-1) and behind = ref max_int in
+    List.iter
+      (fun c ->
+        let p = Clock.now (Hashtbl.find clocks c) - start in
+        if Hashtbl.find quota c > 0 && p < !behind then begin
+          client := c;
+          behind := p
+        end)
+      mine;
+    let c = !client in
+    Hashtbl.replace quota c (Hashtbl.find quota c - 1);
+    decr remaining;
+    Engine.set_clock e (Hashtbl.find clocks c);
+    ignore (step_op ~own ~rngs kv ~client:c ~shard_id:target)
+  done;
+  e
+
+let counters_equal a b =
+  a.Region.stores = b.Region.stores
+  && a.Region.bytes_stored = b.Region.bytes_stored
+  && a.Region.loads = b.Region.loads
+  && a.Region.bytes_loaded = b.Region.bytes_loaded
+  && a.Region.lines_flushed = b.Region.lines_flushed
+  && a.Region.fences = b.Region.fences
+  && a.Region.bytes_copied = b.Region.bytes_copied
+
+let test_isolation () =
+  let shards = 4 and clients = 8 and total_ops = 2000 and records = 1024 in
+  let seed = 90210 in
+  let s, _r = run_sharded ~shards ~clients ~total_ops ~records ~seed in
+  for target = 0 to shards - 1 do
+    let solo = run_standalone ~shards ~clients ~total_ops ~records ~seed ~target in
+    let se = Shard.engine s target in
+    (* Same final simulated instant: the last client to run on the shard
+       parks the engine clock, and both executions end on the same op. *)
+    Alcotest.(check int)
+      (Printf.sprintf "shard %d sim-ns equals standalone run" target)
+      (Engine.now solo) (Engine.now se);
+    Alcotest.(check int)
+      (Printf.sprintf "shard %d committed count" target)
+      (Engine.metrics solo).Engine.committed (Engine.metrics se).Engine.committed;
+    if not (counters_equal (Engine.main_counters se) (Engine.main_counters solo)) then
+      Alcotest.failf "shard %d NVM counters diverge from the standalone engine"
+        target
+  done
+
+(* --- scaling --------------------------------------------------------------- *)
+
+let test_scaling () =
+  let cell shards =
+    let _s, r = run_sharded ~shards ~clients:8 ~total_ops:8000 ~records:2048 ~seed:90210 in
+    r.Kamino_workload.Driver.throughput_mops
+  in
+  let one = cell 1 in
+  let four = cell 4 in
+  if four < 2.0 *. one then
+    Alcotest.failf "4-shard aggregate %.4f M ops/s is below 2x the 1-shard %.4f" four
+      one
+
+(* --- cross-shard transactions ---------------------------------------------- *)
+
+let make_cross ~shards ~seed =
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+  (* One 64-byte cell per shard, stamped through cross-shard commits. *)
+  let cells =
+    Array.init shards (fun i ->
+        Shard.with_tx s i (fun tx ->
+            let p = Engine.alloc tx 64 in
+            Engine.write_int64 tx p 0 0L;
+            p))
+  in
+  (s, cells)
+
+let stamp_all s cells ids stamp ?on_step () =
+  Shard.with_cross_tx ?on_step s ids (fun tx_of ->
+      List.iter
+        (fun i ->
+          let tx = tx_of i in
+          Engine.add tx cells.(i);
+          Engine.write_int64 tx cells.(i) 0 stamp)
+        ids)
+
+let check_cells s cells ids ~expect context =
+  List.iter
+    (fun i ->
+      let v = Engine.peek_int64 (Shard.engine s i) cells.(i) 0 in
+      if v <> expect then
+        Alcotest.failf "%s: shard %d cell is %Ld, expected %Ld" context i v expect)
+    ids
+
+let test_cross_commit () =
+  let s, cells = make_cross ~shards:4 ~seed:11 in
+  let ids = [ 0; 1; 2; 3 ] in
+  stamp_all s cells ids 42L ();
+  check_cells s cells ids ~expect:42L "cross-shard commit";
+  Alcotest.(check int) "marker cleared after commit" 0
+    (Region.read_int (Shard.marker_region s) 0);
+  (* Partial participant lists work too, and leave bystanders alone. *)
+  stamp_all s cells [ 1; 3 ] 43L ();
+  check_cells s cells [ 1; 3 ] ~expect:43L "partial cross-shard commit";
+  check_cells s cells [ 0; 2 ] ~expect:42L "bystander shards untouched";
+  match Shard.verify_backups s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+exception Boom
+
+let test_cross_abort () =
+  let s, cells = make_cross ~shards:3 ~seed:12 in
+  let ids = [ 0; 1; 2 ] in
+  stamp_all s cells ids 7L ();
+  (match
+     Shard.with_cross_tx s ids (fun tx_of ->
+         List.iter
+           (fun i ->
+             let tx = tx_of i in
+             Engine.add tx cells.(i);
+             Engine.write_int64 tx cells.(i) 0 666L)
+           ids;
+         raise Boom)
+   with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Boom -> ());
+  check_cells s cells ids ~expect:7L "abort rolled every shard back";
+  (* The engines are usable afterwards. *)
+  stamp_all s cells ids 8L ();
+  check_cells s cells ids ~expect:8L "commit after abort"
+
+exception Crashed
+
+(* Crash at every protocol step: before the marker's valid flag is durable
+   the transaction must vanish everywhere; from [Marker_written] on it
+   must land everywhere. *)
+let test_cross_crash_at_each_step () =
+  let ids = [ 0; 1; 2 ] in
+  (* Step indices: 0,1,2 = Prepared; 3 = Marker_written; 4,5,6 = Committed;
+     7 = Marker_cleared. *)
+  for crash_at = 0 to 7 do
+    let s, cells = make_cross ~shards:3 ~seed:(100 + crash_at) in
+    stamp_all s cells ids 1L ();
+    let count = ref 0 in
+    let on_step _ =
+      if !count = crash_at then begin
+        Shard.crash s;
+        raise Crashed
+      end;
+      incr count
+    in
+    (match stamp_all s cells ids 2L ~on_step () with
+    | () -> Alcotest.failf "crash_at=%d: protocol completed" crash_at
+    | exception Crashed -> ());
+    Shard.recover s;
+    let expect = if crash_at < 3 then 1L else 2L in
+    check_cells s cells ids ~expect
+      (Printf.sprintf "crash_at=%d recovery" crash_at);
+    Alcotest.(check int)
+      (Printf.sprintf "crash_at=%d marker retired" crash_at)
+      0
+      (Region.read_int (Shard.marker_region s) 0);
+    (* Recovered façade keeps working, including another cross commit. *)
+    stamp_all s cells ids 3L ();
+    check_cells s cells ids ~expect:3L
+      (Printf.sprintf "crash_at=%d post-recovery commit" crash_at);
+    match Shard.verify_backups s with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "crash_at=%d: %s" crash_at e
+  done
+
+(* --- sharded kv ------------------------------------------------------------ *)
+
+let test_multi_put () =
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed:21 ~shards:4 () in
+  let kv = Shard_kv.create s ~value_size:256 ~node_size:1024 in
+  let bindings = List.init 16 (fun k -> (k, Printf.sprintf "v%d" k)) in
+  Shard_kv.multi_put kv bindings;
+  List.iter
+    (fun (k, v) ->
+      match Shard_kv.get kv k with
+      | Some got when got = v -> ()
+      | Some got -> Alcotest.failf "key %d: %S, expected %S" k got v
+      | None -> Alcotest.failf "key %d missing after multi_put" k)
+    bindings;
+  Alcotest.(check int) "size sums shards" 16 (Shard_kv.size kv);
+  (* Crash right after the marker is durable: the whole batch must land. *)
+  let update = List.init 16 (fun k -> (k, Printf.sprintf "w%d" k)) in
+  let count = ref 0 in
+  (match
+     Shard_kv.multi_put kv update ~on_step:(fun step ->
+         (match step with
+         | Shard.Marker_written ->
+             Shard.crash s;
+             raise Crashed
+         | _ -> ());
+         incr count)
+   with
+  | () -> Alcotest.fail "crash hook did not fire"
+  | exception Crashed -> ());
+  Shard.recover s;
+  let kv = Shard_kv.reattach s in
+  List.iter
+    (fun (k, v) ->
+      match Shard_kv.get kv k with
+      | Some got when got = v -> ()
+      | Some got -> Alcotest.failf "key %d after crash: %S, expected %S" k got v
+      | None -> Alcotest.failf "key %d missing after recovery" k)
+    update;
+  match Shard_kv.validate kv with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "router",
+        [ Alcotest.test_case "deterministic, in range, spreads" `Quick test_router ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "per-shard sim-ns equals a standalone engine" `Quick
+            test_isolation;
+        ] );
+      ( "scaling",
+        [ Alcotest.test_case "4 shards >= 2x aggregate ops/s" `Quick test_scaling ] );
+      ( "cross-shard",
+        [
+          Alcotest.test_case "commit is atomic across shards" `Quick test_cross_commit;
+          Alcotest.test_case "user exception aborts every participant" `Quick
+            test_cross_abort;
+          Alcotest.test_case "crash at every protocol step is all-or-nothing" `Quick
+            test_cross_crash_at_each_step;
+        ] );
+      ( "kv",
+        [ Alcotest.test_case "multi_put atomic, crash-safe" `Quick test_multi_put ] );
+    ]

@@ -1,0 +1,194 @@
+(* Differential refactor oracle for the engine-variant extraction.
+
+   Every engine kind runs the same seeded workload mix (transactions,
+   aborts where the kind supports them, crash/recover cycles between
+   transactions) and is then reduced to a fingerprint: the final simulated
+   nanosecond, the aggregate NVM counters over every region of the stack,
+   and an FNV-1a hash of the main heap's byte image. The expected values
+   below were recorded on the pre-refactor monolithic engine.ml; the
+   extracted variant modules must reproduce them bit-for-bit — any drift
+   in a single flush, fence, copied byte or simulated nanosecond fails
+   the suite.
+
+   Regenerate (only when a PR deliberately changes modelled behavior)
+   with:  KAMINO_ORACLE_PRINT=1 dune exec test/test_variant_oracle.exe *)
+
+module Rng = Kamino_sim.Rng
+module Region = Kamino_nvm.Region
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 1 lsl 20;
+    log_slots = 16;
+    data_log_bytes = 1 lsl 18;
+  }
+
+(* Kind table: name, builder, whether the kind can roll back locally. *)
+let kinds =
+  [
+    ("no-logging", Engine.No_logging, false);
+    ("undo-logging", Engine.Undo_logging, true);
+    ("cow", Engine.Cow, true);
+    ("kamino-simple", Engine.Kamino_simple, true);
+    ( "kamino-dynamic",
+      Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy },
+      true );
+    ("intent-only", Engine.Intent_only, false);
+  ]
+
+let seeds = [ 1; 2; 3 ]
+
+let stamp_object tx p size stamp =
+  for w = 0 to (size / 8) - 1 do
+    Engine.write_int64 tx p (w * 8) stamp
+  done
+
+(* One committed transaction: allocs, whole-object and field-granular
+   updates, frees — the same op shapes the crash matrix drives. *)
+let committed_tx rng e live =
+  Engine.with_tx e (fun tx ->
+      let n_ops = 1 + Rng.int rng 3 in
+      for _ = 1 to n_ops do
+        match Rng.int rng 10 with
+        | 0 | 1 ->
+            let size = [| 32; 64; 256 |].(Rng.int rng 3) in
+            let p = Engine.alloc tx size in
+            stamp_object tx p size (Rng.int64 rng);
+            live := (p, size) :: !live
+        | 2 when !live <> [] ->
+            let ps = List.sort compare !live in
+            let p, _ = List.nth ps (Rng.int rng (List.length ps)) in
+            Engine.free tx p;
+            live := List.filter (fun (q, _) -> q <> p) !live
+        | _ when !live <> [] ->
+            let ps = List.sort compare !live in
+            let p, size = List.nth ps (Rng.int rng (List.length ps)) in
+            if Rng.bool rng then
+              for w = 0 to (size / 8) - 1 do
+                Engine.add_field tx p (w * 8) 8
+              done
+            else Engine.add tx p;
+            stamp_object tx p size (Rng.int64 rng)
+        | _ -> ()
+      done)
+
+let aborted_tx rng e live =
+  let tx = Engine.begin_tx e in
+  (match List.sort compare !live with
+  | [] -> ignore (Engine.alloc tx 64)
+  | ps ->
+      let p, size = List.nth ps (Rng.int rng (List.length ps)) in
+      Engine.add tx p;
+      stamp_object tx p size (Rng.int64 rng));
+  Engine.abort tx
+
+let run_workload kind can_abort seed =
+  let e = Engine.create ~config ~kind ~seed () in
+  let rng = Rng.create (seed * 7919) in
+  let live = ref [] in
+  for _round = 1 to 60 do
+    match Rng.int rng 12 with
+    | 0 when can_abort -> aborted_tx rng e live
+    | 1 ->
+        (* Crash between transactions, then recover. Deterministic: torn
+           lines are drawn from the engine's own split RNGs. *)
+        Engine.crash e;
+        Engine.recover e;
+        live := List.filter (fun (p, _) -> Heap.is_allocated (Engine.heap e) p) !live
+    | _ -> committed_tx rng e live
+  done;
+  Engine.drain_backup e;
+  e
+
+(* FNV-1a over the main heap's volatile byte image (equals the persistent
+   image after the final drain for every durable range we care about; what
+   matters is that it is deterministic and covers every byte). *)
+let heap_hash e =
+  let r = Engine.main_region e in
+  let h = ref 0x3bf29ce484222325 in
+  let chunk = 4096 in
+  let size = Region.size r in
+  let off = ref 0 in
+  while !off < size do
+    let len = min chunk (size - !off) in
+    let b = Region.read_bytes r !off len in
+    for i = 0 to len - 1 do
+      h := (!h lxor Char.code (Bytes.get b i)) * 0x100000001b3
+    done;
+    off := !off + len
+  done;
+  !h land max_int
+
+let fingerprint kind can_abort seed =
+  let e = run_workload kind can_abort seed in
+  (* Counters and sim-ns first: hashing the heap performs loads. *)
+  let sim = Engine.now e in
+  let c = Engine.main_counters e in
+  Printf.sprintf
+    "sim=%d stores=%d bytes_stored=%d loads=%d bytes_loaded=%d flushed=%d \
+     fences=%d copied=%d heap=%x"
+    sim c.Region.stores c.Region.bytes_stored c.Region.loads c.Region.bytes_loaded
+    c.Region.lines_flushed c.Region.fences c.Region.bytes_copied (heap_hash e)
+
+(* Recorded on the pre-refactor monolithic engine (PR 5 baseline). *)
+let expected =
+  [
+    ("no-logging/seed=1", "sim=74611 stores=1019 bytes_stored=10408 loads=1412 bytes_loaded=11296 flushed=193 fences=55 copied=0 heap=2548557fdb6a5ddf");
+    ("no-logging/seed=2", "sim=69234 stores=1092 bytes_stored=10992 loads=1072 bytes_loaded=8576 flushed=181 fences=50 copied=0 heap=2a7893ab76fb0999");
+    ("no-logging/seed=3", "sim=88579 stores=2063 bytes_stored=18480 loads=2829 bytes_loaded=22632 flushed=305 fences=58 copied=0 heap=1dd8f7d19f71bbc1");
+    ("undo-logging/seed=1", "sim=1093669 stores=3783 bytes_stored=32688 loads=2453 bytes_loaded=26248 flushed=1475 fences=549 copied=10808 heap=15bb7a52914dce43");
+    ("undo-logging/seed=2", "sim=887135 stores=3139 bytes_stored=26392 loads=1958 bytes_loaded=21376 flushed=1193 fences=459 copied=9704 heap=2a3b9e99e5b47915");
+    ("undo-logging/seed=3", "sim=1482255 stores=5436 bytes_stored=45432 loads=3411 bytes_loaded=37656 flushed=2036 fences=737 copied=16200 heap=f41bdf358cb150a");
+    ("cow/seed=1", "sim=1263268 stores=4528 bytes_stored=38648 loads=3335 bytes_loaded=39464 flushed=2109 fences=678 copied=19856 heap=15bb7a52914dce43");
+    ("cow/seed=2", "sim=1030311 stores=3743 bytes_stored=31224 loads=2642 bytes_loaded=31768 flushed=1691 fences=569 copied=16352 heap=2a3b9e99e5b47915");
+    ("cow/seed=3", "sim=1622873 stores=6293 bytes_stored=52288 loads=4639 bytes_loaded=57584 flushed=2902 fences=876 copied=30304 heap=f41bdf358cb150a");
+    ("kamino-simple/seed=1", "sim=339624 stores=3081 bytes_stored=27072 loads=2677 bytes_loaded=21416 flushed=17133 fences=342 copied=1058648 heap=15bb7a52914dce43");
+    ("kamino-simple/seed=2", "sim=331292 stores=2613 bytes_stored=22184 loads=2153 bytes_loaded=17224 flushed=17040 fences=322 copied=1056840 heap=2a3b9e99e5b47915");
+    ("kamino-simple/seed=3", "sim=348099 stores=4404 bytes_stored=37176 loads=2933 bytes_loaded=23464 flushed=17321 fences=383 copied=1062488 heap=f41bdf358cb150a");
+    ("kamino-dynamic/seed=1", "sim=363108 stores=2567 bytes_stored=93400 loads=90257 bytes_loaded=722056 flushed=2015 fences=518 copied=13304 heap=15bb7a52914dce43");
+    ("kamino-dynamic/seed=2", "sim=356401 stores=2319 bytes_stored=89056 loads=89527 bytes_loaded=716216 flushed=1882 fences=480 copied=10712 heap=2a3b9e99e5b47915");
+    ("kamino-dynamic/seed=3", "sim=142315 stores=3040 bytes_stored=95168 loads=4868 bytes_loaded=38944 flushed=2046 fences=447 copied=16232 heap=f41bdf358cb150a");
+    ("intent-only/seed=1", "sim=103085 stores=2772 bytes_stored=24432 loads=2145 bytes_loaded=17160 flushed=519 fences=254 copied=0 heap=2548557fdb6a5ddf");
+    ("intent-only/seed=2", "sim=93790 stores=2411 bytes_stored=21544 loads=1660 bytes_loaded=13280 flushed=466 fences=227 copied=0 heap=2a7893ab76fb0999");
+    ("intent-only/seed=3", "sim=122527 stores=4948 bytes_stored=41560 loads=3861 bytes_loaded=30888 flushed=661 fences=275 copied=0 heap=1dd8f7d19f71bbc1");
+  ]
+
+let all_cells () =
+  List.concat_map
+    (fun (name, kind, can_abort) ->
+      List.map
+        (fun seed ->
+          (Printf.sprintf "%s/seed=%d" name seed, fingerprint kind can_abort seed))
+        seeds)
+    kinds
+
+let () =
+  if Sys.getenv_opt "KAMINO_ORACLE_PRINT" <> None then begin
+    List.iter
+      (fun (cell, fp) -> Printf.printf "    (%S, %S);\n" cell fp)
+      (all_cells ());
+    exit 0
+  end;
+  let cases =
+    List.map
+      (fun (name, kind, can_abort) ->
+        Alcotest.test_case name `Quick (fun () ->
+            List.iter
+              (fun seed ->
+                let cell = Printf.sprintf "%s/seed=%d" name seed in
+                let got = fingerprint kind can_abort seed in
+                match List.assoc_opt cell expected with
+                | None -> Alcotest.failf "%s: no recorded fingerprint" cell
+                | Some want ->
+                    if got <> want then
+                      Alcotest.failf
+                        "%s: fingerprint drifted\n  recorded: %s\n  current:  %s" cell
+                        want got)
+              seeds))
+      kinds
+  in
+  Alcotest.run "variant_oracle" [ ("fingerprints", cases) ]
