@@ -257,6 +257,122 @@ let run_ab ~records ~ab_ops ~gate_words =
   Printf.printf "tracing A/B: zero simulated-time and counter delta across %d engines\n"
     (List.length engines)
 
+(* --- snapshot reads -------------------------------------------------------- *)
+
+(* `--snapshot-reads` runs the read-path A/B instead of the normal grid:
+   the read-heavy YCSB cells (B 95/5, C 100/0, D 95/5-latest) on
+   kamino-simple, each measured twice — reads through the locked
+   transactional path ([Kv.get]) and through the lock-free backup
+   snapshot path ([Kv.snapshot_get] on a dedicated reader clock). Writes
+   `BENCH_read.json` with both columns plus the staleness percentiles
+   the snapshot runs observed, and fails if the snapshot column loses to
+   the locked baseline on any cell — the whole point of reading the
+   backup at the watermark is that readers skip locks, so losing means
+   the read path regressed. *)
+
+type read_cell = {
+  r_cell : cell;
+  r_mode : string;  (* "locked" | "snapshot" *)
+  r_hits : int;
+  r_fallbacks : int;
+  r_stale_p50 : int;
+  r_stale_p99 : int;
+  r_stale_max : int;
+}
+
+let read_cell ?max_ops ~snapshot ~budget_s ~records (wl_name, wl) =
+  (* YCSB-D grows the key space (5% inserts), so the heap gets headroom
+     and the D cell is op-capped below capacity, like the TPC-C cell. *)
+  let cfg = { (config records) with Engine.heap_bytes = 32 * 1024 * 1024 } in
+  let e = Engine.create ~config:cfg ~kind:Engine.Kamino_simple ~seed:90210 () in
+  let kv = Kv.create e ~value_size:256 ~node_size:1024 in
+  let payload = String.make 240 'k' in
+  for k = 0 to records - 1 do
+    Kv.put kv k payload
+  done;
+  Engine.drain_backup e;
+  let w = Ycsb.create wl ~record_count:records ~theta:0.99 in
+  let rng = Rng.create 777 in
+  let reader = Kamino_sim.Clock.create_at (Engine.now e) in
+  let read k =
+    if snapshot then ignore (Kv.snapshot_get ~clock:reader kv k)
+    else ignore (Kv.get kv k)
+  in
+  let step () =
+    match Ycsb.next w rng with
+    | Ycsb.Read k -> read k
+    | Ycsb.Update k | Ycsb.Insert k -> Kv.put kv k payload
+    | Ycsb.Scan (k, n) -> ignore (Kv.range kv ~lo:k ~hi:(k + n))
+    | Ycsb.Rmw k -> ignore (Kv.read_modify_write kv k Fun.id)
+  in
+  let c = measure ?max_ops ~engine_name:"kamino-simple" ~workload:wl_name ~budget_s e step in
+  let m = Engine.metrics e in
+  let h = Kamino_obs.Metrics.hist (Engine.registry e) "engine.snapshot_staleness_ns" in
+  {
+    r_cell = c;
+    r_mode = (if snapshot then "snapshot" else "locked");
+    r_hits = m.Engine.snapshot_hits;
+    r_fallbacks = m.Engine.snapshot_fallbacks;
+    r_stale_p50 = Kamino_obs.Metrics.percentile h 50.0;
+    r_stale_p99 = Kamino_obs.Metrics.percentile h 99.0;
+    r_stale_max = Kamino_obs.Metrics.max_value h;
+  }
+
+let json_of_read_cell r =
+  Printf.sprintf
+    {|    {"workload": "%s", "mode": "%s", "ops": %d, "ops_per_sec": %.1f,
+     "sim_ns_per_op": %.1f, "alloc_words_per_op": %.1f,
+     "snapshot_hits": %d, "snapshot_fallbacks": %d,
+     "staleness_ns": {"p50": %d, "p99": %d, "max": %d}}|}
+    r.r_cell.workload r.r_mode r.r_cell.ops r.r_cell.ops_per_sec r.r_cell.sim_ns_per_op
+    r.r_cell.alloc_words_per_op r.r_hits r.r_fallbacks r.r_stale_p50 r.r_stale_p99
+    r.r_stale_max
+
+let run_snapshot_reads ~budget_s ~records ~out =
+  Printf.printf
+    "snapshot-read A/B: kamino-simple, %d records, %.2fs budget per cell\n%!" records
+    budget_s;
+  let wls =
+    [ ("ycsb-b", Ycsb.B, None); ("ycsb-c", Ycsb.C, None); ("ycsb-d", Ycsb.D, Some 200_000) ]
+  in
+  let failed = ref false in
+  let cells =
+    List.concat_map
+      (fun (wn, w, max_ops) ->
+        let wl = (wn, w) in
+        let locked = read_cell ?max_ops ~snapshot:false ~budget_s ~records wl in
+        let snap = read_cell ?max_ops ~snapshot:true ~budget_s ~records wl in
+        Printf.printf
+          "  %-7s locked %9.0f ops/s | snapshot %9.0f ops/s (%.2fx)  %d hits, %d \
+           fallbacks, staleness p50/p99/max %d/%d/%d ns\n%!"
+          (fst wl) locked.r_cell.ops_per_sec snap.r_cell.ops_per_sec
+          (if locked.r_cell.ops_per_sec > 0.0 then
+             snap.r_cell.ops_per_sec /. locked.r_cell.ops_per_sec
+           else 0.0)
+          snap.r_hits snap.r_fallbacks snap.r_stale_p50 snap.r_stale_p99 snap.r_stale_max;
+        if snap.r_cell.ops_per_sec < locked.r_cell.ops_per_sec then begin
+          failed := true;
+          Printf.eprintf
+            "FAIL: %s snapshot reads (%.0f ops/s) below the locked baseline (%.0f)\n"
+            (fst wl) snap.r_cell.ops_per_sec locked.r_cell.ops_per_sec
+        end;
+        if snap.r_hits = 0 then begin
+          failed := true;
+          Printf.eprintf "FAIL: %s snapshot run served zero backup hits\n" (fst wl)
+        end;
+        [ locked; snap ])
+      wls
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"kamino-read-v1\",\n  \"engine\": \"kamino-simple\",\n  \
+     \"budget_s\": %.3f,\n  \"records\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    budget_s records
+    (String.concat ",\n" (List.map json_of_read_cell cells));
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
+  if !failed then exit 1
+
 (* --- shard scaling --------------------------------------------------------- *)
 
 (* The `--shards` curve measures *simulated* aggregate throughput of the
@@ -399,6 +515,7 @@ let () =
   let budget = ref 0.4 and out = ref "" and records = ref 4096 in
   let engine_filter = ref "" and workload_filter = ref "" in
   let ab = ref false and ab_ops = ref 20_000 and gate_words = ref None in
+  let snapshot_reads = ref false in
   let shards = ref [] and shard_ops = ref 20_000 and shard_clients = ref 8 in
   let rec parse = function
     | [] -> ()
@@ -419,6 +536,9 @@ let () =
         parse rest
     | "--ab" :: rest ->
         ab := true;
+        parse rest
+    | "--snapshot-reads" :: rest ->
+        snapshot_reads := true;
         parse rest
     | "--ab-ops" :: v :: rest ->
         ab_ops := int_of_string v;
@@ -443,6 +563,11 @@ let () =
   let budget_s = !budget and records = !records in
   if !ab then begin
     run_ab ~records ~ab_ops:!ab_ops ~gate_words:!gate_words;
+    exit 0
+  end;
+  if !snapshot_reads then begin
+    let out = if !out = "" then "BENCH_read.json" else !out in
+    run_snapshot_reads ~budget_s ~records ~out;
     exit 0
   end;
   if !shards <> [] then begin

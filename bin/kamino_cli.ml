@@ -98,6 +98,22 @@ let print_metrics e =
     "coalescing: %d ranges coalesced, %d tasks batched, %d copy bytes saved\n"
     m.Engine.ranges_coalesced m.Engine.tasks_batched m.Engine.bytes_saved
 
+(* Printed only when the run actually issued snapshot reads. *)
+let print_snapshot_summary e =
+  let m = Engine.metrics e in
+  if m.Engine.snapshot_hits > 0 || m.Engine.snapshot_fallbacks > 0 then begin
+    let h =
+      Kamino_obs.Metrics.hist (Engine.registry e) "engine.snapshot_staleness_ns"
+    in
+    Printf.printf
+      "snapshot reads: %d backup hits, %d locked fallbacks, staleness p50/p99/max \
+       %d/%d/%d ns\n"
+      m.Engine.snapshot_hits m.Engine.snapshot_fallbacks
+      (Kamino_obs.Metrics.percentile h 50.0)
+      (Kamino_obs.Metrics.percentile h 99.0)
+      (Kamino_obs.Metrics.max_value h)
+  end
+
 let workload_conv =
   Arg.conv
     ( (fun s ->
@@ -115,7 +131,8 @@ let workload_arg =
    [ops] YCSB operations. [after_load] runs between the two phases (the
    trace command resets the event ring there so the timeline covers only
    the measured workload). *)
-let run_ycsb ?(after_load = ignore) e ~kind ~workload ~clients ~ops ~records ~seed =
+let run_ycsb ?(after_load = ignore) ?(snapshot_reads = false) e ~kind ~workload
+    ~clients ~ops ~records ~seed =
   let kv = Kv.create e ~value_size:1024 ~node_size:4096 in
   let payload = String.make 1000 'v' in
   Printf.printf "loading %d records...\n%!" records;
@@ -124,14 +141,23 @@ let run_ycsb ?(after_load = ignore) e ~kind ~workload ~clients ~ops ~records ~se
   done;
   Engine.drain_backup e;
   after_load ();
+  (* Snapshot reads run on their own clock: they serve from the backup at
+     the watermark without locks, so their cost never lands on the
+     writers' timeline (reported read latency is the reader's). *)
+  let reader = Clock.create_at (Engine.now e) in
+  let read kv k =
+    if snapshot_reads then ignore (Kv.snapshot_get ~clock:reader kv k)
+    else ignore (Kv.get kv k)
+  in
   let wl = Ycsb.create workload ~record_count:records ~theta:0.99 in
   let rng = Rng.create (seed + 1) in
-  Printf.printf "running YCSB-%s: %d ops, %d clients, engine %s\n%!" (Ycsb.name workload)
-    ops clients (Engine.kind_name kind);
+  Printf.printf "running YCSB-%s: %d ops, %d clients, engine %s%s\n%!"
+    (Ycsb.name workload) ops clients (Engine.kind_name kind)
+    (if snapshot_reads then ", snapshot reads" else "");
   Driver.run ~engine:e ~clients ~total_ops:ops ~step:(fun ~client:_ () ->
       match Ycsb.next wl rng with
       | Ycsb.Read k ->
-          ignore (Kv.get kv k);
+          read kv k;
           "read"
       | Ycsb.Update k ->
           Kv.put kv k payload;
@@ -152,7 +178,8 @@ let run_ycsb ?(after_load = ignore) e ~kind ~workload ~clients ~ops ~records ~se
    shards and draw keys from their shard's slice of the hash-routed key
    space, so every operation is a single-shard transaction and each
    shard's timeline is a standalone engine run. *)
-let run_ycsb_sharded ~config ~kind ~workload ~shards ~clients ~ops ~records ~seed =
+let run_ycsb_sharded ?(snapshot_reads = false) ~config ~kind ~workload ~shards ~clients
+    ~ops ~records ~seed () =
   let s = Shard.create ~config ~kind ~seed ~shards () in
   let kv = Shard_kv.create s ~value_size:1024 ~node_size:4096 in
   let payload = String.make 1000 'v' in
@@ -172,8 +199,14 @@ let run_ycsb_sharded ~config ~kind ~workload ~shards ~clients ~ops ~records ~see
       own
   in
   let rngs = Array.init clients (fun c -> Rng.create (seed + 1 + c)) in
-  Printf.printf "running YCSB-%s: %d ops, %d clients, %d shards, engine %s\n%!"
-    (Ycsb.name workload) ops clients shards (Engine.kind_name kind);
+  let reader = Clock.create_at 0 in
+  let read store k =
+    if snapshot_reads then ignore (Kv.snapshot_get ~clock:reader store k)
+    else ignore (Kv.get store k)
+  in
+  Printf.printf "running YCSB-%s: %d ops, %d clients, %d shards, engine %s%s\n%!"
+    (Ycsb.name workload) ops clients shards (Engine.kind_name kind)
+    (if snapshot_reads then ", snapshot reads" else "");
   let r =
     Shard_driver.run ~shard:s ~clients ~total_ops:ops
       ~step:(fun ~client ~shard_id () ->
@@ -184,7 +217,7 @@ let run_ycsb_sharded ~config ~kind ~workload ~shards ~clients ~ops ~records ~see
         let store = Shard_kv.store kv shard_id in
         match Ycsb.next wls.(shard_id) rngs.(client) with
         | Ycsb.Read k ->
-            ignore (Kv.get store (key k));
+            read store (key k);
             "read"
         | Ycsb.Update k ->
             Kv.put store (key k) payload;
@@ -207,22 +240,33 @@ let shards_arg =
     & info [ "shards" ] ~docv:"N"
         ~doc:"Partition the heap across $(docv) independent engine shards.")
 
+let snapshot_reads_arg =
+  Arg.(
+    value & flag
+    & info [ "snapshot-reads" ]
+        ~doc:
+          "Serve Read operations from the backup heap at the applier's commit \
+           watermark (lock-free, on a dedicated reader clock) instead of through \
+           locked transactions. Engines without a full backup fall back to the \
+           locked path.")
+
 let ycsb_cmd =
-  let run kind workload shards clients ops records heap_mb seed =
+  let run kind workload shards clients ops records heap_mb seed snapshot_reads =
     if shards <= 1 then begin
       let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
-      let r = run_ycsb e ~kind ~workload ~clients ~ops ~records ~seed in
+      let r = run_ycsb ~snapshot_reads e ~kind ~workload ~clients ~ops ~records ~seed in
       Format.printf "%a@." Driver.pp_result r;
       List.iter
         (fun (label, s) ->
           Printf.printf "  %-8s %s\n" label (Kamino_sim.Stats.summary s))
         r.Driver.latencies;
-      print_metrics e
+      print_metrics e;
+      print_snapshot_summary e
     end
     else begin
       let s, r =
-        run_ycsb_sharded ~config:(config_of heap_mb) ~kind ~workload ~shards ~clients
-          ~ops ~records ~seed
+        run_ycsb_sharded ~snapshot_reads ~config:(config_of heap_mb) ~kind ~workload
+          ~shards ~clients ~ops ~records ~seed ()
       in
       Format.printf "%a@." Driver.pp_result r;
       List.iter
@@ -231,14 +275,15 @@ let ycsb_cmd =
         r.Driver.latencies;
       for i = 0 to Shard.shards s - 1 do
         Printf.printf "shard %d: " i;
-        print_metrics (Shard.engine s i)
+        print_metrics (Shard.engine s i);
+        print_snapshot_summary (Shard.engine s i)
       done
     end
   in
   let term =
     Term.(
       const run $ engine_arg $ workload_arg $ shards_arg $ clients_arg $ ops_arg
-      $ records_arg $ heap_mb_arg $ seed_arg)
+      $ records_arg $ heap_mb_arg $ seed_arg $ snapshot_reads_arg)
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against the key-value store.") term
 

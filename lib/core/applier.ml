@@ -7,6 +7,7 @@ type task = {
   slot : Intent_log.slot;
   ranges : Intent_log.intent list;
   finish : int;
+  commit : int;
 }
 
 type apply_fn = task list -> unit
@@ -20,6 +21,7 @@ type t = {
   mutable vnow : int;
   mutable next_id : int;
   mutable applied_through : int;
+  mutable wm_ns : int;
   mutable tasks_applied : int;
   mutable tasks_batched : int;
 }
@@ -35,6 +37,7 @@ let create ~regions ~apply =
     vnow = 0;
     next_id = 1;
     applied_through = 0;
+    wm_ns = 0;
     tasks_applied = 0;
     tasks_batched = 0;
   }
@@ -45,7 +48,7 @@ let enqueue t ~commit_time ~cost_ns ~tx_id ~slot ~ranges =
   let start = max t.vnow commit_time in
   let finish = start + int_of_float cost_ns in
   t.vnow <- finish;
-  Queue.add { id; tx_id; slot; ranges; finish } t.queue;
+  Queue.add { id; tx_id; slot; ranges; finish; commit = commit_time } t.queue;
   (id, finish)
 
 (* Run [f] with every region's cost charging redirected to the scratch
@@ -81,7 +84,11 @@ let apply_batch t tasks =
   | _ ->
       with_scratch_clock t (fun () -> t.apply tasks);
       let n = List.length tasks in
-      List.iter (fun task -> t.applied_through <- max t.applied_through task.id) tasks;
+      List.iter
+        (fun task ->
+          t.applied_through <- max t.applied_through task.id;
+          t.wm_ns <- max t.wm_ns task.commit)
+        tasks;
       t.tasks_applied <- t.tasks_applied + n;
       if n > 1 then t.tasks_batched <- t.tasks_batched + n
 
@@ -105,6 +112,10 @@ let drain_one t =
       Some task.finish
 
 let applied_through t = t.applied_through
+
+let watermark t = (t.applied_through, t.wm_ns)
+
+let last_enqueued t = t.next_id - 1
 
 let virtual_now t = t.vnow
 

@@ -33,6 +33,7 @@ type task = {
   slot : Intent_log.slot;
   ranges : Intent_log.intent list;
   finish : int;
+  commit : int;  (** the owning transaction's commit sim-ns *)
 }
 
 (** What applying a batch of tasks means — supplied by the engine: roll the
@@ -74,6 +75,20 @@ val drain_one : t -> int option
 
 (** Highest task id physically applied so far (0 if none). *)
 val applied_through : t -> int
+
+(** The published commit watermark: [(applied_through, wm_ns)] where
+    [wm_ns] is the running maximum commit sim-ns over every applied task.
+    The backup region holds exactly the heap state with tasks
+    [1..applied_through] rolled forward, so a read of the backup observes
+    the committed prefix up to this watermark. Both components are
+    monotone over the applier's lifetime; a fresh applier (creation or
+    recovery) restarts at [(0, 0)], at which point the backup holds the
+    whole durable prefix. Pure bookkeeping: reading it performs no NVM
+    work and advances no clock. *)
+val watermark : t -> int * int
+
+(** Id of the most recently enqueued task (0 if none yet). *)
+val last_enqueued : t -> int
 
 (** The applier's timeline position: finish time of the last enqueued task. *)
 val virtual_now : t -> int

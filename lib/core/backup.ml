@@ -25,6 +25,8 @@ let unpack_slot v = (v land 0xFFFFFFFF, v lsr 32)
 
 let create_full region = Full region
 
+let full_region = function Full region -> Some region | Dynamic _ -> None
+
 let create_dynamic ~slots ~table ~policy =
   Dynamic
     {

@@ -52,6 +52,13 @@ val ensure_copy :
   pressure:(unit -> unit) ->
   unit
 
+(** [full_region t] — the whole-heap backup region of a full backup
+    ([None] for dynamic backups). Ranges live at main-heap offsets, so a
+    read of this region at offset [off] observes the backup's copy of main
+    byte [off]: this is the substrate of the snapshot-read path
+    ({!Engine.read_tx}). *)
+val full_region : t -> Kamino_nvm.Region.t option
+
 (** [is_full t] — is this a full (whole-heap) backup? Full backups admit
     byte-level range merging during propagation (any main-offset range can
     be copied across); dynamic backups are object-keyed and require exact

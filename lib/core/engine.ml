@@ -182,6 +182,10 @@ let create ?(config = default_config) ?(obs = Obs.null) ?(obs_track = 1) ~kind
       h_dep_wait = Metrics.hist reg "engine.dependent_wait_ns";
       h_applier_lag = Metrics.hist reg "applier.lag_ns";
       h_queue_depth = Metrics.hist reg "applier.queue_depth";
+      m_snapshot_hits = Metrics.counter reg "snapshot.hits";
+      m_snapshot_fallbacks = Metrics.counter reg "snapshot.fallbacks";
+      h_snapshot_staleness = Metrics.hist reg "engine.snapshot_staleness_ns";
+      last_commit_ns = 0;
       last_write_keys = [];
       all_regions;
       ws = Array.init 64 (fun _ -> { r_off = 0; r_len = 0; r_key = 0; cow = None });
@@ -497,6 +501,82 @@ let read_byte tx p field =
     | Some entry ->
         Data_log.payload_read_byte (the_dlog t) entry (abs - t.ws.(i).r_off)
 
+(* --- Snapshot reads (MVCC-lite) ------------------------------------------ *)
+
+(* A read-only view over the full backup region at the applier's published
+   watermark. The backup mirrors the main heap at identical offsets and is
+   written only by the applier (in ascending task-id order) and by
+   recovery, so at any instant it holds exactly the heap state with
+   committed tasks [1..applied_through] rolled forward: a transactionally
+   consistent, slightly stale image. Readers therefore take {e no locks},
+   never consult the intent log, and never join the dependent-wait class —
+   the paper's storage overhead repurposed as read capacity. Loads charge
+   whatever clock the backup region currently carries (the reader's, under
+   the driver's per-client multiplexing), never the writer's. *)
+type snapshot = { s_owner : t; s_reg : Region.t }
+
+let snapshot_engine s = s.s_owner
+
+let snapshot_watermark t =
+  match (t.bkp, t.appl) with
+  | Some b, Some a when Backup.is_full b -> Some (Applier.watermark a)
+  | _ -> None
+
+let read_tx ?clock t f =
+  let serve reg a =
+    let snap = { s_owner = t; s_reg = reg } in
+    let run () = f snap in
+    let result =
+      match clock with
+      | None -> run ()
+      | Some c ->
+          (* Dedicated reader clock: swap it in on the backup region only,
+             so concurrent writers (whose clock stays on every other
+             region) observe zero cost from the read. *)
+          let saved = Region.clock reg in
+          Region.set_clock reg c;
+          Fun.protect ~finally:(fun () -> Region.set_clock reg saved) run
+    in
+    match result with
+    | Some v ->
+        Metrics.incr t.m_snapshot_hits;
+        let _, wm_ns = Applier.watermark a in
+        Metrics.observe t.h_snapshot_staleness (max 0 (t.last_commit_ns - wm_ns));
+        Some v
+    | None ->
+        Metrics.incr t.m_snapshot_fallbacks;
+        None
+  in
+  match (t.bkp, t.appl) with
+  | Some b, Some a when Backup.is_full b -> (
+      match Backup.full_region b with
+      | Some reg -> serve reg a
+      | None ->
+          Metrics.incr t.m_snapshot_fallbacks;
+          None)
+  | _ ->
+      (* Dynamic backups are object-keyed (no consistent whole-heap image)
+         and the other kinds have no backup at all: the caller falls back
+         to the locked read path behind the same API. *)
+      Metrics.incr t.m_snapshot_fallbacks;
+      None
+
+let snapshot_read_int64 s p field = Region.read_int64 s.s_reg (p + field)
+
+let snapshot_read_int s p field = Region.read_int s.s_reg (p + field)
+
+let snapshot_read_byte s p field = Region.read_byte s.s_reg (p + field)
+
+let snapshot_read_bytes s p field len = Region.read_bytes s.s_reg (p + field) len
+
+let snapshot_read_string s p field len = Region.read_string s.s_reg (p + field) len
+
+(* The root pointer as the snapshot saw it: the entry point for traversing
+   persistent structures inside the backup image. *)
+let snapshot_root s =
+  let { Heap.off; len = _ } = Heap.root_range s.s_owner.heap in
+  Region.read_int s.s_reg off
+
 let peek_int64 t p field = Region.read_int64 t.main (p + field)
 
 let peek_int t p field = Region.read_int t.main (p + field)
@@ -516,6 +596,9 @@ let set_root tx p =
 
 let emit_commit_span t tx =
   Metrics.incr t.m_committed;
+  (* Reading the clock charges nothing; the stamp feeds snapshot-staleness
+     accounting ([read_tx]) without perturbing the commit path. *)
+  t.last_commit_ns <- Clock.now t.clk;
   if Obs.enabled t.e_obs then
     let nowc = Clock.now t.clk in
     Obs.emit t.e_obs ~kind:Obs.k_commit ~track:t.obs_base ~ts:tx.t_begin
@@ -655,6 +738,8 @@ type metrics = {
   lock_wait_ns : int;
   lock_wait_events : int;
   storage_bytes : int;
+  snapshot_hits : int;
+  snapshot_fallbacks : int;
 }
 
 let metrics (t : t) =
@@ -673,6 +758,8 @@ let metrics (t : t) =
     lock_wait_ns = Locks.waits t.locks;
     lock_wait_events = Locks.wait_events t.locks;
     storage_bytes = storage_bytes t;
+    snapshot_hits = Metrics.value t.m_snapshot_hits;
+    snapshot_fallbacks = Metrics.value t.m_snapshot_fallbacks;
   }
 
 let obs t = t.e_obs

@@ -251,6 +251,63 @@ val peek_bytes : t -> Heap.ptr -> int -> int -> bytes
 
 val peek_string : t -> Heap.ptr -> int -> int -> string
 
+(** {1 Snapshot reads (MVCC-lite)}
+
+    The full backup is, at any instant, a transactionally consistent
+    slightly-stale copy of the main heap: it is written only by the
+    {!Applier} (committed tasks, in ascending id order) and by recovery,
+    so it holds exactly the heap state with the committed prefix
+    [1..applied_through] rolled forward. A snapshot read serves directly
+    from that image at the applier's published watermark — it takes
+    {e no locks}, never joins the dependent-wait class and never blocks
+    or perturbs writers. Staleness is bounded and observable:
+    [engine.snapshot_staleness_ns] records (last commit sim-ns −
+    watermark sim-ns) per served read.
+
+    Only engines with a full backup ([Kamino_simple] and promoted chain
+    heads) can serve snapshots; dynamic backups are object-keyed (no
+    consistent whole-heap image) and the other kinds have no backup, so
+    {!read_tx} returns [None] and the caller falls back to the locked
+    path behind the same API ([snapshot.fallbacks] counts these). *)
+
+type snapshot
+
+(** [read_tx t f] runs the read-only body [f] against the backup image
+    and returns [Some result] (a {e snapshot hit}). [f] itself may return
+    [None] to decline — e.g. when the structure it wants has not
+    propagated into the backup yet — which counts as a fallback, like an
+    engine with no servable backup. [clock] optionally charges the
+    snapshot's loads to a dedicated reader clock instead of the engine's
+    current one (the backup region's clock is swapped for the duration of
+    [f] and restored). *)
+val read_tx : ?clock:Kamino_sim.Clock.t -> t -> (snapshot -> 'a option) -> 'a option
+
+(** The applier's published commit watermark [(applied_task_id, wm_ns)]
+    when the engine can serve snapshots, [None] otherwise. Both
+    components are monotone between recoveries; a fresh applier restarts
+    at [(0, 0)], at which point the backup holds the whole durable
+    prefix. *)
+val snapshot_watermark : t -> (int * int) option
+
+val snapshot_engine : snapshot -> t
+
+(** Reads inside a {!read_tx} body: identical offsets to the main heap
+    (the full backup mirrors it), charged to the reading clock. *)
+
+val snapshot_read_int64 : snapshot -> Heap.ptr -> int -> int64
+
+val snapshot_read_int : snapshot -> Heap.ptr -> int -> int
+
+val snapshot_read_byte : snapshot -> Heap.ptr -> int -> int
+
+val snapshot_read_bytes : snapshot -> Heap.ptr -> int -> int -> bytes
+
+val snapshot_read_string : snapshot -> Heap.ptr -> int -> int -> string
+
+(** The heap root pointer as the snapshot saw it ([Heap.null] if the
+    store's creating transaction has not propagated yet). *)
+val snapshot_root : snapshot -> Heap.ptr
+
 (** {1 Crashes and recovery} *)
 
 (** Simulated power failure on every region of the stack. Any active
@@ -318,6 +375,10 @@ type metrics = {
   lock_wait_ns : int;
   lock_wait_events : int;
   storage_bytes : int;  (** total NVM footprint of the stack *)
+  snapshot_hits : int;  (** reads served from the backup image *)
+  snapshot_fallbacks : int;
+      (** snapshot reads that fell back to the locked path (no full
+          backup, or the requested structure not yet propagated) *)
 }
 
 val metrics : t -> metrics

@@ -153,6 +153,14 @@ type t = {
   h_dep_wait : Metrics.hist;
   h_applier_lag : Metrics.hist;
   h_queue_depth : Metrics.hist;
+  m_snapshot_hits : Metrics.counter;
+  m_snapshot_fallbacks : Metrics.counter;
+  h_snapshot_staleness : Metrics.hist;
+  (* Commit sim-ns of the most recent commit on this engine: the snapshot
+     staleness a read observes is [last_commit_ns - watermark_ns]. Plain
+     bookkeeping — stamped from the already-read clock on the commit path,
+     so tracking it costs no NVM work and moves no simulated ns. *)
+  mutable last_commit_ns : int;
   mutable last_write_keys : int list;
   mutable all_regions : Region.t array;
   (* Per-transaction scratch, owned by the engine and recycled across

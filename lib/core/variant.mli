@@ -125,6 +125,12 @@ type t = {
   h_dep_wait : Metrics.hist;
   h_applier_lag : Metrics.hist;
   h_queue_depth : Metrics.hist;
+  m_snapshot_hits : Metrics.counter;
+  m_snapshot_fallbacks : Metrics.counter;
+  h_snapshot_staleness : Metrics.hist;
+  mutable last_commit_ns : int;
+      (** commit sim-ns of the most recent commit — snapshot staleness is
+          [last_commit_ns - watermark_ns] at read time *)
   mutable last_write_keys : int list;
   mutable all_regions : Region.t array;
   mutable ws : irec array;  (** pooled write set, [0 .. ws_n-1] live *)

@@ -30,6 +30,11 @@ let peek_reader engine = { rd = (fun p off -> Engine.peek_int engine p off) }
 
 let tx_reader tx = { rd = (fun p off -> Engine.read_int tx p off) }
 
+(* The full backup mirrors the main heap at identical offsets, so the
+   same traversal code serves snapshot lookups verbatim — node pointers
+   read from the backup image are offsets into that same image. *)
+let snapshot_reader snap = { rd = (fun p off -> Engine.snapshot_read_int snap p off) }
+
 let is_leaf r node = r.rd node n_flags = 1
 
 let nkeys r node = r.rd node n_nkeys
@@ -154,6 +159,16 @@ let find t key =
 
 let find_tx tx t key =
   let r = tx_reader tx in
+  find_in r t (root_of r t) key
+
+(* Lookup entirely inside a backup snapshot: root pointer, node capacity
+   and every node are read from the backup image, so the traversal
+   observes one prefix-consistent tree regardless of what has propagated
+   since. [t.mk] is immutable after [create] (the descriptor's
+   [d_node_cap] is written once), so the live handle's branching factor
+   is valid for the snapshot's tree. *)
+let find_snapshot snap t key =
+  let r = snapshot_reader snap in
   find_in r t (root_of r t) key
 
 (* --- Insertion ----------------------------------------------------------- *)

@@ -34,6 +34,14 @@ val find : t -> int -> Kamino_heap.Heap.ptr option
 (** [find_tx tx t key] — lookup inside a transaction (sees its writes). *)
 val find_tx : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr option
 
+(** [find_snapshot snap t key] — lookup entirely inside a backup snapshot
+    ({!Kamino_core.Engine.read_tx}): root, nodes and the returned value
+    pointer all come from the backup image, one prefix-consistent tree at
+    the applier's watermark. Zero locks. The returned pointer addresses
+    the {e snapshot} image — dereference it with [snapshot_read_*]. *)
+val find_snapshot :
+  Kamino_core.Engine.snapshot -> t -> int -> Kamino_heap.Heap.ptr option
+
 (** [insert tx t key value] adds or replaces the mapping; returns the
     previous value if the key was present. *)
 val insert : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr -> Kamino_heap.Heap.ptr option

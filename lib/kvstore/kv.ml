@@ -70,6 +70,33 @@ let get t key =
           let len = Engine.read_int tx vptr v_len in
           Some (Engine.read_string tx vptr v_data len))
 
+(* Read-only lookup served from the backup image at the applier's
+   watermark: tree traversal and value bytes all come from the snapshot,
+   so the result is the store's state at some committed prefix — no locks
+   taken, writers never perturbed. Declines (falling back to the locked
+   {!get}) when the engine has no servable backup or the store's creating
+   transaction has not propagated yet (snapshot root still null — the
+   backup image predates the store, and there is no tree to walk).
+   A key absent from the snapshot's tree is a valid snapshot answer
+   ([Some None]): the key did not exist at the watermark. *)
+let snapshot_get ?clock t key =
+  match
+    Engine.read_tx ?clock t.engine (fun snap ->
+        let sd = Engine.snapshot_root snap in
+        if sd = Heap.null then None
+        else if Engine.snapshot_read_int snap sd sd_tree <> Btree.descriptor t.tree
+        then None
+        else
+          match Btree.find_snapshot snap t.tree key with
+          | None -> Some None
+          | Some vptr ->
+              let len = Engine.snapshot_read_int snap vptr v_len in
+              if len < 0 || len > t.value_size then None
+              else Some (Some (Engine.snapshot_read_string snap vptr v_data len)))
+  with
+  | Some result -> result
+  | None -> get t key
+
 let delete_tx tx t key =
   match Btree.find_tx tx t.tree key with
   | None -> false

@@ -51,6 +51,19 @@ val rmw_tx : Kamino_core.Engine.tx -> t -> int -> (string -> string) -> unit
 (** [get t key] reads the committed value. *)
 val get : t -> int -> string option
 
+(** [snapshot_get t key] is a read-only transaction served from the
+    backup image at the applier's published watermark
+    ({!Kamino_core.Engine.read_tx}): it sees the store's state at some
+    committed prefix, takes no locks, never joins the dependent-wait
+    class and never perturbs a writer. Falls back to the locked {!get}
+    (behind the same API, counted as [snapshot.fallbacks]) when the
+    engine cannot serve snapshots — no full backup, or the store's
+    creating transaction has not propagated yet. [clock] charges the
+    snapshot's loads to a dedicated reader clock. [None] can mean
+    "absent at the watermark" even while a concurrent insert has already
+    committed: that is the documented staleness. *)
+val snapshot_get : ?clock:Kamino_sim.Clock.t -> t -> int -> string option
+
 (** [delete t key] removes the binding and frees the value object;
     returns whether the key was present. *)
 val delete : t -> int -> bool

@@ -196,6 +196,12 @@ let recover t =
 
 let drain_backups t = Array.iter Engine.drain_backup t.engines
 
+(* Per-shard commit watermarks: shard [i]'s applier publishes its own
+   [(task_id, wm_ns)] independently — there is no global watermark, which
+   is exactly the per-shard consistency contract of sharded snapshot
+   reads (DESIGN.md par12). *)
+let watermarks t = Array.map Engine.snapshot_watermark t.engines
+
 let verify_backups t =
   let rec go i =
     if i >= Array.length t.engines then Ok ()

@@ -91,6 +91,14 @@ val recover : t -> unit
 
 val drain_backups : t -> unit
 
+(** Per-shard commit watermarks, indexed by shard id: shard [i]'s applier
+    publishes its own [(task_id, wm_ns)] independently ([None] when the
+    shard's kind cannot serve snapshots). There is deliberately no global
+    watermark — sharded snapshot reads are {e per-shard} consistent: each
+    key is served at its owning shard's watermark, and a multi-key read
+    spanning shards may observe different shards at different prefixes. *)
+val watermarks : t -> (int * int) option array
+
 val verify_backups : t -> (unit, string) result
 
 (** {1 Aggregates} *)

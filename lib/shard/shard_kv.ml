@@ -30,6 +30,16 @@ let put t key value = Kv.put (store_of_key t key) key value
 
 let get t key = Kv.get (store_of_key t key) key
 
+(* Routed snapshot reads: each key is served from its owning shard's
+   backup at that shard's own watermark — per-shard consistency, no
+   cross-shard watermark exists. Zero locks on the snapshot path, so a
+   concurrent cross-shard [multi_put] holding its whole lock set cannot
+   block these. *)
+let snapshot_get ?clock t key = Kv.snapshot_get ?clock (store_of_key t key) key
+
+let snapshot_multi_get ?clock t keys =
+  List.map (fun key -> (key, snapshot_get ?clock t key)) keys
+
 let delete t key = Kv.delete (store_of_key t key) key
 
 let read_modify_write t key f = Kv.read_modify_write (store_of_key t key) key f

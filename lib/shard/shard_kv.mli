@@ -21,6 +21,21 @@ val put : t -> int -> string -> unit
 
 val get : t -> int -> string option
 
+(** [snapshot_get t key] routes the key and serves it from the owning
+    shard's backup at {e that shard's} watermark
+    ({!Kamino_kv.Kv.snapshot_get}): no locks, so a concurrent cross-shard
+    {!multi_put} holding its full lock set cannot block it. Falls back to
+    the locked path when the shard cannot serve snapshots. *)
+val snapshot_get : ?clock:Kamino_sim.Clock.t -> t -> int -> string option
+
+(** [snapshot_multi_get t keys] is [snapshot_get] per key, in order.
+    {b Per-shard consistency}: each key reflects its owning shard's own
+    watermark — keys on different shards may be observed at different
+    committed prefixes, and there is no cross-shard snapshot point
+    (DESIGN.md par12). *)
+val snapshot_multi_get :
+  ?clock:Kamino_sim.Clock.t -> t -> int list -> (int * string option) list
+
 val delete : t -> int -> bool
 
 val read_modify_write : t -> int -> (string -> string) -> bool

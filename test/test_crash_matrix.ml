@@ -127,6 +127,92 @@ let apply_to_model model pending =
 
 let crash_recover e = Engine.crash e; Engine.recover e
 
+(* --- snapshot-read dimension ---------------------------------------------
+
+   Interleaved with the crash workload, snapshot reads get their own
+   serial history: per object, [(task_id, Some (size, stamp))] for each
+   committed (re)stamp and [(task_id, None)] for a free — newest first,
+   task ids from [Applier.last_enqueued] at commit time. A snapshot read
+   of an object must then show, in {e every} word, exactly the stamp of
+   the newest entry at or below the watermark — one uniform committed
+   stamp, so any torn value (words from two different commits, or from
+   an uncommitted write) fails. Entries above the watermark, objects not
+   yet allocated at the watermark, and freed-at-the-watermark objects are
+   skipped: their backup bytes are legitimately indeterminate.
+
+   Recovery resets the dimension: a fresh applier restarts the watermark
+   at (0, 0), and the recovered backup holds the whole durable prefix, so
+   every live object's history collapses to [(0, current committed
+   stamp)] — which the post-recovery sweep then checks against the
+   backup, crashes mid-applier-batch included. *)
+
+type shist = (Heap.ptr, (int * (int * int64) option) list) Hashtbl.t
+
+let task_now e =
+  match Engine.applier e with Some a -> Applier.last_enqueued a | None -> 0
+
+let srecord (sh : shist) e pending =
+  let task = task_now e in
+  List.iter
+    (fun ev ->
+      let p, v =
+        match ev with
+        | `Put (p, size, stamp) -> (p, Some (size, stamp))
+        | `Del p -> (p, None)
+      in
+      Hashtbl.replace sh p
+        ((task, v) :: Option.value ~default:[] (Hashtbl.find_opt sh p)))
+    (List.rev pending)
+
+let reset_shist (sh : shist) (model : model) =
+  Hashtbl.reset sh;
+  Hashtbl.iter
+    (fun p (size, stamp) -> Hashtbl.replace sh p [ (0, Some (size, stamp)) ])
+    model
+
+(* Sweep every tracked object against the backup image at the current
+   watermark. *)
+let snapshot_sweep e (sh : shist) last_wm context =
+  match Engine.snapshot_watermark e with
+  | None -> ()
+  | Some (wm_id, wm_ns) ->
+      let pa, pns = !last_wm in
+      if wm_id < pa || wm_ns < pns then
+        Alcotest.failf "%s: watermark regressed (%d,%d) -> (%d,%d)" context pa
+          pns wm_id wm_ns;
+      last_wm := (wm_id, wm_ns);
+      let enq = task_now e in
+      if wm_id > enq then
+        Alcotest.failf "%s: watermark %d beyond last durable commit %d" context
+          wm_id enq;
+      Hashtbl.iter
+        (fun p entries ->
+          let rec at = function
+            | [] -> None
+            | (task, v) :: rest -> if task <= wm_id then Some v else at rest
+          in
+          match at entries with
+          | Some (Some (size, stamp)) ->
+              let words =
+                Engine.read_tx e (fun snap ->
+                    Some
+                      (List.init (size / 8) (fun w ->
+                           Engine.snapshot_read_int64 snap p (w * 8))))
+              in
+              (match words with
+              | None -> ()
+              | Some ws ->
+                  List.iteri
+                    (fun w v ->
+                      if v <> stamp then
+                        Alcotest.failf
+                          "%s: torn snapshot: object %d word %d is %Ld, \
+                           watermark %d says %Ld"
+                          context p w v wm_id stamp)
+                    ws)
+          | Some None | None -> ())
+        sh
+
 (* One seeded workload; returns the final committed byte image, sorted by
    object, for cross-run comparison. *)
 let run_workload ~make_engine ~crash_mode ~coalesce ~seed ~rounds context =
@@ -134,36 +220,60 @@ let run_workload ~make_engine ~crash_mode ~coalesce ~seed ~rounds context =
   let rng = Rng.create seed in
   let e = make_engine config (seed + 1000) in
   let model : model = Hashtbl.create 64 in
+  let sh : shist = Hashtbl.create 64 in
+  let last_wm = ref (-1, -1) in
+  let commit_and_record tx pending =
+    Engine.commit tx;
+    apply_to_model model pending;
+    srecord sh e pending
+  in
+  (* Crash + recover, then re-baseline the snapshot dimension: fresh
+     applier, watermark (0, 0), backup = the whole durable prefix. The
+     immediate sweep is the post-recovery oracle — no torn values even
+     when the crash landed mid-applier-batch. *)
+  let crash_recover_reset ctx =
+    crash_recover e;
+    reset_shist sh model;
+    last_wm := (-1, -1);
+    (match Engine.snapshot_watermark e with
+    | Some ((a, _) as wm) ->
+        if a <> 0 then
+          Alcotest.failf "%s: post-recovery watermark %d <> 0 (fresh applier)"
+            ctx a;
+        if wm > (task_now e, max_int) then
+          Alcotest.failf "%s: post-recovery watermark beyond durable commits"
+            ctx
+    | None -> ());
+    snapshot_sweep e sh last_wm (ctx ^ " (post-recovery snapshot)")
+  in
   for round = 1 to rounds do
     let context = Printf.sprintf "%s seed=%d round=%d" context seed round in
-    match Rng.int rng 12 with
+    (match Rng.int rng 12 with
     | 0 ->
         (* crash mid-transaction: intents (possibly merged in place) may be
            unflushed, in-place writes may be torn *)
         let _tx, _pending = random_tx rng e model in
-        crash_recover e;
+        crash_recover_reset context;
         verify_model e model (context ^ " (mid-tx crash)")
     | 1 ->
         (* crash mid-propagation: the write set is committed and queued but
            nothing has been applied *)
         let tx, pending = random_tx rng e model in
-        Engine.commit tx;
-        apply_to_model model pending;
-        crash_recover e;
+        commit_and_record tx pending;
+        crash_recover_reset context;
         verify_model e model (context ^ " (pre-propagation crash)")
     | 2 ->
         (* crash mid-propagation with a partially retired queue: several
            committed write sets, one applied, the rest still pending *)
         let tx, pending = random_tx rng e model in
-        Engine.commit tx;
-        apply_to_model model pending;
+        commit_and_record tx pending;
         let tx, pending = random_tx rng e model in
-        Engine.commit tx;
-        apply_to_model model pending;
+        commit_and_record tx pending;
         (match Engine.applier e with
         | Some a -> ignore (Applier.drain_one a)
         | None -> ());
-        crash_recover e;
+        snapshot_sweep e sh last_wm (context ^ " (mid-batch snapshot)");
+        crash_recover_reset context;
         verify_model e model (context ^ " (mid-propagation crash)")
     | 3 ->
         let tx, _pending = random_tx rng e model in
@@ -172,22 +282,22 @@ let run_workload ~make_engine ~crash_mode ~coalesce ~seed ~rounds context =
     | 4 ->
         let tx, _pending = random_tx rng e model in
         Engine.abort tx;
-        crash_recover e;
+        crash_recover_reset context;
         verify_model e model (context ^ " (post-abort crash)")
     | 5 ->
         let tx, pending = random_tx rng e model in
-        Engine.commit tx;
-        apply_to_model model pending;
-        crash_recover e;
-        crash_recover e;
+        commit_and_record tx pending;
+        crash_recover_reset context;
+        crash_recover_reset context;
         verify_model e model (context ^ " (double crash)")
     | _ ->
         let tx, pending = random_tx rng e model in
-        Engine.commit tx;
-        apply_to_model model pending
+        commit_and_record tx pending);
+    snapshot_sweep e sh last_wm context
   done;
   Engine.drain_backup e;
   verify_model e model (Printf.sprintf "%s seed=%d final" context seed);
+  snapshot_sweep e sh last_wm (Printf.sprintf "%s seed=%d final snapshot" context seed);
   (match Engine.verify_backup e with
   | Ok () -> ()
   | Error err -> Alcotest.failf "%s seed=%d: %s" context seed err);

@@ -218,6 +218,84 @@ let test_differential_chaos () =
         && plain.Chaos.events = traced.Chaos.events))
     [ Async.Traditional; Async.Kamino_chain ]
 
+(* --- snapshot-read observability --------------------------------------------- *)
+
+(* The same seeded write workload, with or without interleaved snapshot
+   reads on a dedicated reader clock. Both arms draw the identical rng
+   sequence (the probe key is drawn unconditionally) so the write paths
+   are operation-for-operation the same. *)
+let run_snapshot_workload ~reads kind =
+  let e = Engine.create ~config ~kind ~seed:11 () in
+  let kv = Kv.create e ~value_size:256 ~node_size:512 in
+  let rng = Rng.create 99 in
+  let reader = Kamino_sim.Clock.create_at 0 in
+  (* Prime: propagate the store's creation so every probe is a genuine
+     backup hit — a fallback would take the locked path and perturb the
+     write-side clock, which is exactly what the A/B test forbids. *)
+  Kv.put kv 0 "prime";
+  Engine.drain_backup e;
+  for round = 1 to 400 do
+    let k = Rng.int rng 64 in
+    (match Rng.int rng 3 with
+    | 0 -> Kv.put kv k (Printf.sprintf "v%d" round)
+    | 1 -> ignore (Kv.delete kv k)
+    | _ -> ignore (Kv.get kv k));
+    if Rng.int rng 5 = 0 then Engine.drain_backup e;
+    let probe = Rng.int rng 64 in
+    if reads then ignore (Kv.snapshot_get ~clock:reader kv probe)
+  done;
+  Engine.drain_backup e;
+  e
+
+let staleness_fingerprint e =
+  let h = Metrics.hist (Engine.registry e) "engine.snapshot_staleness_ns" in
+  ( Metrics.count h,
+    Metrics.max_value h,
+    Metrics.mean h,
+    List.map (fun p -> Metrics.percentile h p) [ 50.0; 90.0; 99.0 ] )
+
+let test_staleness_deterministic () =
+  let a = run_snapshot_workload ~reads:true Engine.Kamino_simple in
+  let b = run_snapshot_workload ~reads:true Engine.Kamino_simple in
+  let ma = Engine.metrics a in
+  Alcotest.(check bool) "probes hit the backup" true (ma.Engine.snapshot_hits > 0);
+  Alcotest.(check int) "primed store never falls back" 0 ma.Engine.snapshot_fallbacks;
+  Alcotest.(check bool) "staleness histogram is seed-deterministic" true
+    (staleness_fingerprint a = staleness_fingerprint b);
+  Alcotest.(check bool) "histogram counts every hit" true
+    (let count, _, _, _ = staleness_fingerprint a in
+     count = ma.Engine.snapshot_hits)
+
+(* Snapshot reads are invisible to writers: the reads-on arm must show
+   zero sim-ns drift and zero main-region NVM-counter drift against the
+   reads-off arm (backup-region loads are the only difference, charged to
+   the reader's own clock). *)
+let test_snapshot_ab_invisible () =
+  let off = run_snapshot_workload ~reads:false Engine.Kamino_simple in
+  let on_ = run_snapshot_workload ~reads:true Engine.Kamino_simple in
+  Alcotest.(check int) "0 sim-ns drift on the write path" (Engine.now off)
+    (Engine.now on_);
+  (* [main_counters] aggregates every region of the stack, backup
+     included, so the reader's own load traffic is visible there — but
+     the write side (stores, flushes, fences, copies) must not move by a
+     single byte. *)
+  (let a = Engine.main_counters off and b = Engine.main_counters on_ in
+   let open Kamino_nvm.Region in
+   Alcotest.(check bool) "0 write-side NVM counter drift" true
+     (a.stores = b.stores
+     && a.bytes_stored = b.bytes_stored
+     && a.lines_flushed = b.lines_flushed
+     && a.fences = b.fences
+     && a.bytes_copied = b.bytes_copied);
+   Alcotest.(check bool) "reader load traffic lands on the backup" true
+     (b.loads > a.loads));
+  let mo = Engine.metrics off and mn = Engine.metrics on_ in
+  Alcotest.(check int) "same committed" mo.Engine.committed mn.Engine.committed;
+  Alcotest.(check int) "same applier tasks" mo.Engine.applier_tasks
+    mn.Engine.applier_tasks;
+  Alcotest.(check bool) "reads-on arm actually read" true
+    (mn.Engine.snapshot_hits > 0 && mo.Engine.snapshot_hits = 0)
+
 (* --- registry wiring --------------------------------------------------------- *)
 
 let test_engine_registry () =
@@ -270,6 +348,13 @@ let () =
           Alcotest.test_case "crash recovery unchanged" `Quick
             test_differential_crash_recovery;
           Alcotest.test_case "chaos outcome unchanged" `Quick test_differential_chaos;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "staleness histogram deterministic per seed" `Quick
+            test_staleness_deterministic;
+          Alcotest.test_case "snapshot reads invisible to the write path" `Quick
+            test_snapshot_ab_invisible;
         ] );
       ( "registry",
         [ Alcotest.test_case "engine wiring" `Quick test_engine_registry ] );

@@ -339,6 +339,109 @@ let test_multi_put () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* --- snapshot reads -------------------------------------------------------- *)
+
+(* Routed sharded snapshot reads are bit-identical to standalone per-shard
+   engines at equal watermarks: shard [i] of a façade seeded [s] serves
+   exactly what [Engine.create ~seed:(s + i)] serves after the same
+   routed sub-workload — same watermark pair, same values. *)
+let prop_snapshot_mirror =
+  QCheck.Test.make ~count:20 ~name:"sharded snapshot reads mirror standalone shards"
+    QCheck.(
+      pair (int_range 1 1000)
+        (list_of_size Gen.(int_range 1 40)
+           (pair (int_range 0 63) (int_range 1 64))))
+    (fun (seed, ops) ->
+      let shards = 4 in
+      let value_of k len = String.make len (Char.chr (Char.code 'a' + (k mod 26))) in
+      let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+      let kv = Shard_kv.create s ~value_size:256 ~node_size:1024 in
+      List.iter (fun (k, len) -> Shard_kv.put kv k (value_of k len)) ops;
+      Shard.drain_backups s;
+      let solo =
+        Array.init shards (fun i ->
+            let e = Engine.create ~config ~kind:Engine.Kamino_simple ~seed:(seed + i) () in
+            let kvi = Kv.create e ~value_size:256 ~node_size:1024 in
+            List.iter
+              (fun (k, len) ->
+                if Shard.route_key ~shards k = i then Kv.put kvi k (value_of k len))
+              ops;
+            Engine.drain_backup e;
+            (e, kvi))
+      in
+      let wms = Shard.watermarks s in
+      Array.iteri
+        (fun i (e, _) ->
+          if wms.(i) <> Engine.snapshot_watermark e then
+            QCheck.Test.fail_reportf "shard %d watermark diverges from standalone" i)
+        solo;
+      let keys = List.sort_uniq compare (List.map fst ops) in
+      List.iter
+        (fun k ->
+          let i = Shard.route s k in
+          let _, kvi = solo.(i) in
+          let routed = Shard_kv.snapshot_get kv k in
+          let standalone = Kv.snapshot_get kvi k in
+          if routed <> standalone then
+            QCheck.Test.fail_reportf
+              "key %d (shard %d): routed snapshot %s, standalone %s" k i
+              (Option.value ~default:"<none>" routed)
+              (Option.value ~default:"<none>" standalone))
+        keys;
+      true)
+
+(* A snapshot multi-get is never blocked by a concurrent cross-shard
+   [multi_put]'s lock set: probed at [Marker_written] — every participant
+   prepared, every write lock held on every shard — it must return the
+   pre-transaction values, as genuine backup hits (the locked fallback
+   would trip over the open transactions). *)
+let test_snapshot_during_multi_put () =
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed:31 ~shards:4 () in
+  let kv = Shard_kv.create s ~value_size:256 ~node_size:1024 in
+  let keys = List.init 16 Fun.id in
+  List.iter (fun k -> Shard_kv.put kv k (Printf.sprintf "old%d" k)) keys;
+  Shard.drain_backups s;
+  let fallbacks () =
+    let n = ref 0 in
+    for i = 0 to Shard.shards s - 1 do
+      n := !n + (Engine.metrics (Shard.engine s i)).Engine.snapshot_fallbacks
+    done;
+    !n
+  in
+  let fb0 = fallbacks () in
+  let probes = ref 0 in
+  let observed = ref [] in
+  Shard_kv.multi_put kv
+    (List.map (fun k -> (k, Printf.sprintf "new%d" k)) keys)
+    ~on_step:(fun step ->
+      match step with
+      | Shard.Marker_written ->
+          let reader = Clock.create_at 0 in
+          observed := Shard_kv.snapshot_multi_get ~clock:reader kv keys;
+          incr probes
+      | _ -> ());
+  Alcotest.(check int) "probe fired at Marker_written" 1 !probes;
+  List.iter
+    (fun (k, v) ->
+      let expect = Printf.sprintf "old%d" k in
+      match v with
+      | Some got when got = expect -> ()
+      | Some got ->
+          Alcotest.failf "key %d under multi_put locks: %S, expected %S" k got expect
+      | None -> Alcotest.failf "key %d missing under multi_put locks" k)
+    !observed;
+  Alcotest.(check int) "all probes were backup hits, zero fallbacks" fb0 (fallbacks ());
+  (* Once the batch commits and propagates, snapshots serve the new values. *)
+  Shard.drain_backups s;
+  List.iter
+    (fun k ->
+      match Shard_kv.snapshot_get kv k with
+      | Some got when got = Printf.sprintf "new%d" k -> ()
+      | v ->
+          Alcotest.failf "key %d after drain: %s" k
+            (Option.value ~default:"<none>" v))
+    keys
+
 let () =
   Alcotest.run "shard"
     [
@@ -361,4 +464,10 @@ let () =
         ] );
       ( "kv",
         [ Alcotest.test_case "multi_put atomic, crash-safe" `Quick test_multi_put ] );
+      ( "snapshot",
+        [
+          QCheck_alcotest.to_alcotest prop_snapshot_mirror;
+          Alcotest.test_case "multi-get never blocks on multi_put locks" `Quick
+            test_snapshot_during_multi_put;
+        ] );
     ]
