@@ -1,6 +1,23 @@
 (* Shared benchmark infrastructure: parameters, engine/store construction,
    preloading, YCSB and TPC-C runners, and table formatting. *)
 
+(* Monotonic-guarded wall clock, the one timing source for every bench
+   entry point. [Unix.gettimeofday] can step backwards under NTP slews;
+   a bench that reads it raw can report negative elapsed time or a
+   bogus speedup. [now_s] clamps to non-decreasing, so intervals from
+   [elapsed_s] are always >= 0 and every entry point agrees on what
+   "wall seconds" means. *)
+module Wall = struct
+  let last = ref neg_infinity
+
+  let now_s () =
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+  let elapsed_s ~since = max 0.0 (now_s () -. since)
+end
+
 module Rng = Kamino_sim.Rng
 module Clock = Kamino_sim.Clock
 module Stats = Kamino_sim.Stats

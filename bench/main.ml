@@ -61,8 +61,9 @@ let () =
     (fun name ->
       match List.assoc_opt name exps with
       | Some f ->
-          let t0 = Sys.time () in
+          let t0 = Common.Wall.now_s () in
           f ();
-          Printf.printf "[%s done in %.1fs cpu]\n%!" name (Sys.time () -. t0)
+          Printf.printf "[%s done in %.1fs wall]\n%!" name
+            (Common.Wall.elapsed_s ~since:t0)
       | None -> Printf.printf "unknown experiment %S (skipped)\n" name)
     names

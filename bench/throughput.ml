@@ -20,11 +20,16 @@
    smoke gate).
 
    `--shards L` (e.g. `--shards 1,4`) runs the sharded-façade scaling curve
-   instead of the normal grid: a fixed-op uniform-key YCSB-A with clients
-   pinned round-robin over the shards, reporting *simulated* aggregate
-   throughput per shard count into `BENCH_shard.json`.  The run fails if
-   any higher shard count falls below the first cell — the CI monotone
-   scaling gate.
+   instead of the normal grid: fixed-op YCSB-A cells (uniform and
+   zipf-skewed keys) with clients pinned round-robin over the shards,
+   reporting *simulated* aggregate throughput per shard count into
+   `BENCH_shard.json` (schema v2, with wall_mops / wall_speedup columns).
+   The run fails if any higher shard count falls below the first cell —
+   the CI monotone scaling gate.  `--domains L` additionally re-runs each
+   cell on that many OCaml domains: simulated results must stay
+   bit-identical (the built-in determinism oracle) while wall-clock
+   speedup at 2 domains is gated against `--wall-floor` (default 1.6x) on
+   multicore hosts, and SKIPped on single-core ones.
 
    `--ab [--ab-ops N] [--gate-words FILE]` runs the tracing A/B instead of
    the normal grid: each Kamino engine executes the same fixed-op YCSB-A
@@ -104,7 +109,7 @@ let measure ?(max_ops = max_int) ~engine_name ~workload ~budget_s e step =
   let c0 = Engine.main_counters e in
   let sim0 = Engine.now e in
   let w0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Common.Wall.now_s () in
   let deadline = t0 +. budget_s in
   let ops = ref 0 in
   let t1 = ref t0 in
@@ -113,7 +118,7 @@ let measure ?(max_ops = max_int) ~engine_name ~workload ~budget_s e step =
       step ()
     done;
     ops := !ops + 32;
-    t1 := Unix.gettimeofday ()
+    t1 := Common.Wall.now_s ()
   done;
   let wall_s = !t1 -. t0 in
   let words = Gc.minor_words () -. w0 in
@@ -375,24 +380,39 @@ let run_snapshot_reads ~budget_s ~records ~out =
 
 (* --- shard scaling --------------------------------------------------------- *)
 
-(* The `--shards` curve measures *simulated* aggregate throughput of the
-   sharded façade on an interleaved uniform-key YCSB-A: fixed clients
-   pinned round-robin over the shards, each drawing 50/50 reads/updates
-   uniformly from its home shard's keys. The cell is sized to be
-   applier-bound — slow-NVM copy costs and a small intent-log ring — so
-   the single backup-propagation timeline is the shards=1 bottleneck and
-   per-shard appliers are what extra shards buy, which is exactly the
-   paper's §4.3 argument partitioned (DESIGN.md par11). *)
+(* The `--shards` curve measures the sharded façade on an interleaved
+   YCSB-A: fixed clients pinned round-robin over the shards, each drawing
+   50/50 reads/updates from its home shard's keys — uniformly and (the
+   `ycsb-a-zipf` row) zipf-skewed, so hot-key imbalance across domains is
+   measured rather than assumed. The cell is sized to be applier-bound —
+   slow-NVM copy costs and a small intent-log ring — so the single
+   backup-propagation timeline is the shards=1 bottleneck and per-shard
+   appliers are what extra shards buy: the paper's §4.3 argument
+   partitioned (DESIGN.md par11).
+
+   `--domains L` re-runs every cell once per domain count (1 is always
+   included as the baseline): *simulated* numbers must be bit-identical
+   across domain counts — the built-in determinism oracle fails the run
+   on any drift in per-shard engine fingerprints, elapsed sim-ns or mean
+   latency — while *wall* seconds are what the domains buy. On a
+   multicore host the wall-clock speedup of the 2-domain uniform cell is
+   gated (`--wall-floor`, default 1.6x); on a single-core host the gate
+   prints SKIP and passes, since there is nothing to parallelize onto. *)
 
 type shard_cell = {
+  s_workload : string;  (* "ycsb-a-uniform" | "ycsb-a-zipf" *)
   s_shards : int;
+  s_domains : int;
   s_clients : int;
   s_ops : int;
   s_elapsed_ns : int;
   s_mops : float;  (* aggregate simulated M ops/s *)
   s_mean_ns : float;
   s_wall_s : float;
+  s_wall_mops : float;  (* real M ops per wall second *)
+  mutable s_wall_speedup : float;  (* vs the domains=1 run of the same cell *)
   s_committed : int;
+  s_fingerprints : string array;  (* per-shard Engine.fingerprint *)
 }
 
 let shard_config ~records =
@@ -404,7 +424,7 @@ let shard_config ~records =
     cost = Cost_model.slow_nvm;
   }
 
-let shard_cell ~shards ~clients ~total_ops ~records =
+let shard_cell ~zipf ~shards ~domains ~clients ~total_ops ~records =
   let s =
     Shard.create ~config:(shard_config ~records) ~kind:Engine.Kamino_simple
       ~seed:90210 ~shards ()
@@ -423,13 +443,31 @@ let shard_cell ~shards ~clients ~total_ops ~records =
     own.(i) <- k :: own.(i)
   done;
   let own = Array.map Array.of_list own in
+  (* Zipf rows: one generator per shard over that shard's slice (read-only
+     tables, safe to share across the shard's clients), so each shard has
+     its own hot set and the hottest shard bounds wall-clock scaling. *)
+  let zipfs =
+    if zipf then
+      Some
+        (Array.map
+           (fun keys -> Kamino_workload.Zipf.create ~n:(Array.length keys) ~theta:0.99)
+           own)
+    else None
+  in
   let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
-  let t0 = Unix.gettimeofday () in
+  let pick ~shard_id rng =
+    let keys = own.(shard_id) in
+    match zipfs with
+    | Some zs -> keys.(Kamino_workload.Zipf.sample_scrambled zs.(shard_id) rng)
+    | None -> keys.(Rng.int rng (Array.length keys))
+  in
+  let router = Kamino_shard.Shard_router.create s in
+  let t0 = Common.Wall.now_s () in
   let r =
-    Shard_driver.run ~shard:s ~clients ~total_ops ~step:(fun ~client ~shard_id () ->
-        let keys = own.(shard_id) in
+    Shard_driver.run ~domains ~router ~shard:s ~clients ~total_ops
+      ~step:(fun ~client ~shard_id () ->
         let rng = rngs.(client) in
-        let k = keys.(Rng.int rng (Array.length keys)) in
+        let k = pick ~shard_id rng in
         if Rng.int rng 100 < 50 then begin
           ignore (Kv.get (Shard_kv.store kv shard_id) k);
           "read"
@@ -438,67 +476,153 @@ let shard_cell ~shards ~clients ~total_ops ~records =
           Kv.put (Shard_kv.store kv shard_id) k payload;
           "update"
         end)
+      ()
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Common.Wall.elapsed_s ~since:t0 in
   {
+    s_workload = (if zipf then "ycsb-a-zipf" else "ycsb-a-uniform");
     s_shards = shards;
+    s_domains = domains;
     s_clients = clients;
     s_ops = r.Kamino_workload.Driver.total_ops;
     s_elapsed_ns = r.Kamino_workload.Driver.elapsed_ns;
     s_mops = r.Kamino_workload.Driver.throughput_mops;
     s_mean_ns = r.Kamino_workload.Driver.mean_latency_ns;
     s_wall_s = wall;
+    s_wall_mops = (if wall <= 0.0 then 0.0 else float_of_int total_ops /. wall /. 1e6);
+    s_wall_speedup = 1.0;
     s_committed = Shard.committed s;
+    s_fingerprints =
+      Array.init shards (fun i -> Engine.fingerprint (Shard.engine s i));
   }
 
 let json_of_shard_cell c =
   Printf.sprintf
-    {|    {"shards": %d, "clients": %d, "ops": %d, "elapsed_sim_ns": %d,
-     "agg_mops": %.4f, "mean_latency_ns": %.0f, "committed": %d, "wall_s": %.3f}|}
-    c.s_shards c.s_clients c.s_ops c.s_elapsed_ns c.s_mops c.s_mean_ns c.s_committed
-    c.s_wall_s
+    {|    {"workload": "%s", "shards": %d, "domains": %d, "clients": %d, "ops": %d,
+     "elapsed_sim_ns": %d, "agg_mops": %.4f, "mean_latency_ns": %.0f,
+     "committed": %d, "wall_s": %.3f, "wall_mops": %.4f, "wall_speedup": %.2f}|}
+    c.s_workload c.s_shards c.s_domains c.s_clients c.s_ops c.s_elapsed_ns c.s_mops
+    c.s_mean_ns c.s_committed c.s_wall_s c.s_wall_mops c.s_wall_speedup
 
-let run_shards ~shard_list ~clients ~total_ops ~records ~out =
+let run_shards ~shard_list ~domain_list ~clients ~total_ops ~records ~wall_floor ~out =
+  (* domains=1 is always measured: it is the wall-speedup denominator and
+     the determinism baseline the parallel runs are checked against. *)
+  let domain_list =
+    List.sort_uniq compare (if List.mem 1 domain_list then domain_list else 1 :: domain_list)
+  in
+  let cores = Domain.recommended_domain_count () in
   Printf.printf
-    "shard scaling: uniform-key ycsb-a, %d ops, %d clients, %d records, shards %s\n%!"
+    "shard scaling: ycsb-a uniform+zipf, %d ops, %d clients, %d records, shards %s, \
+     domains %s (%d cores)\n%!"
     total_ops clients records
-    (String.concat "," (List.map string_of_int shard_list));
+    (String.concat "," (List.map string_of_int shard_list))
+    (String.concat "," (List.map string_of_int domain_list))
+    cores;
+  let failed = ref false in
   let cells =
-    List.map
-      (fun shards ->
-        let c = shard_cell ~shards ~clients ~total_ops ~records in
-        Printf.printf
-          "  shards=%-2d %8.4f M ops/s  mean %8.0f ns  %d committed  (%.2fs wall)\n%!"
-          c.s_shards c.s_mops c.s_mean_ns c.s_committed c.s_wall_s;
-        c)
-      shard_list
+    List.concat_map
+      (fun zipf ->
+        List.concat_map
+          (fun shards ->
+            let base =
+              shard_cell ~zipf ~shards ~domains:1 ~clients ~total_ops ~records
+            in
+            let rest =
+              List.filter_map
+                (fun domains ->
+                  if domains = 1 then None
+                  else begin
+                    let c =
+                      shard_cell ~zipf ~shards ~domains ~clients ~total_ops ~records
+                    in
+                    c.s_wall_speedup <-
+                      (if c.s_wall_s > 0.0 then base.s_wall_s /. c.s_wall_s else 0.0);
+                    (* The determinism oracle: a parallel run must be the
+                       sequential run, bit for bit, in simulated space. *)
+                    if
+                      c.s_fingerprints <> base.s_fingerprints
+                      || c.s_elapsed_ns <> base.s_elapsed_ns
+                      || c.s_mean_ns <> base.s_mean_ns
+                      || c.s_committed <> base.s_committed
+                    then begin
+                      failed := true;
+                      Printf.eprintf
+                        "FAIL: %s shards=%d domains=%d diverges from the sequential \
+                         run (sim %d vs %d ns, %d vs %d committed)\n"
+                        c.s_workload shards domains c.s_elapsed_ns base.s_elapsed_ns
+                        c.s_committed base.s_committed
+                    end;
+                    Some c
+                  end)
+                domain_list
+            in
+            let row = base :: rest in
+            List.iter
+              (fun c ->
+                Printf.printf
+                  "  %-14s shards=%-2d domains=%-2d %8.4f sim-M ops/s  %8.4f wall-M \
+                   ops/s  (%.3fs wall, %.2fx)\n%!"
+                  c.s_workload c.s_shards c.s_domains c.s_mops c.s_wall_mops c.s_wall_s
+                  c.s_wall_speedup)
+              row;
+            row)
+          shard_list)
+      [ false; true ]
   in
   let oc = open_out out in
   Printf.fprintf oc
-    "{\n  \"schema\": \"kamino-shard-v1\",\n  \"workload\": \"ycsb-a-uniform\",\n  \
-     \"clients\": %d,\n  \"ops\": %d,\n  \"records\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
-    clients total_ops records
+    "{\n  \"schema\": \"kamino-shard-v2\",\n  \"clients\": %d,\n  \"ops\": %d,\n  \
+     \"records\": %d,\n  \"cores\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    clients total_ops records cores
     (String.concat ",\n" (List.map json_of_shard_cell cells));
   close_out oc;
   Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
-  match cells with
+  (* Gate 1 (simulated): scaling must be monotone against the lowest shard
+     count within each (workload, domains=1) series — more appliers must
+     never lose aggregate simulated throughput. *)
+  List.iter
+    (fun wl ->
+      match List.filter (fun c -> c.s_workload = wl && c.s_domains = 1) cells with
+      | [] -> ()
+      | base :: rest ->
+          List.iter
+            (fun c ->
+              if c.s_mops < base.s_mops then begin
+                failed := true;
+                Printf.eprintf
+                  "FAIL: %s %d-shard aggregate ops/s (%.4f M) below the %d-shard run \
+                   (%.4f M)\n"
+                  wl c.s_shards c.s_mops base.s_shards base.s_mops
+              end)
+            rest)
+    [ "ycsb-a-uniform"; "ycsb-a-zipf" ];
+  (* Gate 2 (wall): at 2 domains the uniform cell must beat the floor on a
+     multicore host. One core means domains time-slice one CPU — nothing
+     to win, so the gate reports SKIP rather than a meaningless number. *)
+  (match
+     List.filter
+       (fun c -> c.s_workload = "ycsb-a-uniform" && c.s_domains = 2 && c.s_shards >= 2)
+       cells
+   with
   | [] -> ()
-  | base :: rest ->
-      (* The CI gate: scaling must be monotone against the first (lowest)
-         shard count — more appliers must never lose aggregate throughput. *)
-      let failed = ref false in
-      List.iter
-        (fun c ->
-          let x = if base.s_mops = 0.0 then 0.0 else c.s_mops /. base.s_mops in
-          Printf.printf "  shards=%d vs shards=%d: %.2fx\n%!" c.s_shards base.s_shards x;
-          if c.s_mops < base.s_mops then begin
-            failed := true;
-            Printf.eprintf
-              "FAIL: %d-shard aggregate ops/s (%.4f M) below the %d-shard run (%.4f M)\n"
-              c.s_shards c.s_mops base.s_shards base.s_mops
-          end)
-        rest;
-      if !failed then exit 1
+  | two_domain ->
+      let best =
+        List.fold_left (fun acc c -> max acc c.s_wall_speedup) 0.0 two_domain
+      in
+      if cores < 2 then
+        Printf.printf
+          "SKIP: wall-speedup gate needs >= 2 cores (host reports %d); best 2-domain \
+           speedup observed %.2fx\n"
+          cores best
+      else if best < wall_floor then begin
+        failed := true;
+        Printf.eprintf
+          "FAIL: best 2-domain wall speedup %.2fx is below the %.2fx floor\n" best
+          wall_floor
+      end
+      else Printf.printf "wall-speedup gate: %.2fx at 2 domains (floor %.2fx)\n" best
+          wall_floor);
+  if !failed then exit 1
 
 let json_of_cell c =
   let n = c.counters in
@@ -517,6 +641,7 @@ let () =
   let ab = ref false and ab_ops = ref 20_000 and gate_words = ref None in
   let snapshot_reads = ref false in
   let shards = ref [] and shard_ops = ref 20_000 and shard_clients = ref 8 in
+  let domains = ref [ 1 ] and wall_floor = ref 1.6 in
   let rec parse = function
     | [] -> ()
     | "--budget" :: v :: rest ->
@@ -555,6 +680,12 @@ let () =
     | "--shard-clients" :: v :: rest ->
         shard_clients := int_of_string v;
         parse rest
+    | "--domains" :: v :: rest ->
+        domains := List.map int_of_string (String.split_on_char ',' v);
+        parse rest
+    | "--wall-floor" :: v :: rest ->
+        wall_floor := float_of_string v;
+        parse rest
     | a :: _ ->
         Printf.eprintf "throughput.exe: unknown argument %s\n" a;
         exit 2
@@ -572,8 +703,8 @@ let () =
   end;
   if !shards <> [] then begin
     let out = if !out = "" then "BENCH_shard.json" else !out in
-    run_shards ~shard_list:!shards ~clients:!shard_clients ~total_ops:!shard_ops
-      ~records ~out;
+    run_shards ~shard_list:!shards ~domain_list:!domains ~clients:!shard_clients
+      ~total_ops:!shard_ops ~records ~wall_floor:!wall_floor ~out;
     exit 0
   end;
   let out = if !out = "" then "BENCH_throughput.json" else !out in

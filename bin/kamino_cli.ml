@@ -178,8 +178,8 @@ let run_ycsb ?(after_load = ignore) ?(snapshot_reads = false) e ~kind ~workload
    shards and draw keys from their shard's slice of the hash-routed key
    space, so every operation is a single-shard transaction and each
    shard's timeline is a standalone engine run. *)
-let run_ycsb_sharded ?(snapshot_reads = false) ~config ~kind ~workload ~shards ~clients
-    ~ops ~records ~seed () =
+let run_ycsb_sharded ?(snapshot_reads = false) ?(domains = 1) ~config ~kind ~workload
+    ~shards ~clients ~ops ~records ~seed () =
   let s = Shard.create ~config ~kind ~seed ~shards () in
   let kv = Shard_kv.create s ~value_size:1024 ~node_size:4096 in
   let payload = String.make 1000 'v' in
@@ -204,11 +204,12 @@ let run_ycsb_sharded ?(snapshot_reads = false) ~config ~kind ~workload ~shards ~
     if snapshot_reads then ignore (Kv.snapshot_get ~clock:reader store k)
     else ignore (Kv.get store k)
   in
-  Printf.printf "running YCSB-%s: %d ops, %d clients, %d shards, engine %s%s\n%!"
-    (Ycsb.name workload) ops clients shards (Engine.kind_name kind)
+  Printf.printf "running YCSB-%s: %d ops, %d clients, %d shards, %d domains, engine %s%s\n%!"
+    (Ycsb.name workload) ops clients shards domains (Engine.kind_name kind)
     (if snapshot_reads then ", snapshot reads" else "");
+  let router = Kamino_shard.Shard_router.create s in
   let r =
-    Shard_driver.run ~shard:s ~clients ~total_ops:ops
+    Shard_driver.run ~domains ~router ~shard:s ~clients ~total_ops:ops
       ~step:(fun ~client ~shard_id () ->
         let keys = own.(shard_id) in
         (* Inserts (workloads D/E) grow the generator's key space past the
@@ -231,6 +232,7 @@ let run_ycsb_sharded ?(snapshot_reads = false) ~config ~kind ~workload ~shards ~
         | Ycsb.Rmw k ->
             ignore (Kv.read_modify_write store (key k) Fun.id);
             "rmw")
+      ()
   in
   (s, r)
 
@@ -238,7 +240,20 @@ let shards_arg =
   Arg.(
     value & opt int 1
     & info [ "shards" ] ~docv:"N"
-        ~doc:"Partition the heap across $(docv) independent engine shards.")
+        ~doc:
+          "Partition the heap across $(docv) independent engine shards (per-shard \
+           region, intent log, backup, applier and clock). Clients are pinned \
+           round-robin to home shards; every operation is a single-shard \
+           transaction. Requires $(docv) >= 1; 1 runs the standalone engine.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Run the shard lanes on $(docv) OCaml domains (real cores, clamped to the \
+           shard count). Simulated results are bit-identical to $(docv)=1 — only \
+           wall-clock time changes. Only meaningful together with $(b,--shards).")
 
 let snapshot_reads_arg =
   Arg.(
@@ -251,7 +266,11 @@ let snapshot_reads_arg =
            locked path.")
 
 let ycsb_cmd =
-  let run kind workload shards clients ops records heap_mb seed snapshot_reads =
+  let run kind workload shards domains clients ops records heap_mb seed snapshot_reads =
+    if domains > 1 && shards <= 1 then begin
+      prerr_endline "kamino ycsb: --domains needs --shards >= 2 (nothing to parallelize)";
+      exit 2
+    end;
     if shards <= 1 then begin
       let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
       let r = run_ycsb ~snapshot_reads e ~kind ~workload ~clients ~ops ~records ~seed in
@@ -265,8 +284,8 @@ let ycsb_cmd =
     end
     else begin
       let s, r =
-        run_ycsb_sharded ~snapshot_reads ~config:(config_of heap_mb) ~kind ~workload
-          ~shards ~clients ~ops ~records ~seed ()
+        run_ycsb_sharded ~snapshot_reads ~domains ~config:(config_of heap_mb) ~kind
+          ~workload ~shards ~clients ~ops ~records ~seed ()
       in
       Format.printf "%a@." Driver.pp_result r;
       List.iter
@@ -282,10 +301,19 @@ let ycsb_cmd =
   in
   let term =
     Term.(
-      const run $ engine_arg $ workload_arg $ shards_arg $ clients_arg $ ops_arg
-      $ records_arg $ heap_mb_arg $ seed_arg $ snapshot_reads_arg)
+      const run $ engine_arg $ workload_arg $ shards_arg $ domains_arg $ clients_arg
+      $ ops_arg $ records_arg $ heap_mb_arg $ seed_arg $ snapshot_reads_arg)
   in
-  Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against the key-value store.") term
+  Cmd.v
+    (Cmd.info "ycsb"
+       ~doc:
+         "Run a YCSB workload (A-F) against the key-value store: $(b,--records) keys \
+          are preloaded, then $(b,--ops) operations stream from $(b,--clients) \
+          simulated clients in deterministic virtual time. $(b,--shards) partitions \
+          the heap across independent engines and $(b,--domains) executes the shards \
+          on real OCaml domains with bit-identical simulated results. Reports \
+          simulated throughput, per-operation latency series and engine metrics.")
+    term
 
 (* --- trace ------------------------------------------------------------------ *)
 

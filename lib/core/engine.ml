@@ -764,6 +764,33 @@ let metrics (t : t) =
 
 let obs t = t.e_obs
 
+(* Whole-engine fingerprint for determinism oracles: simulated instant,
+   the metrics record, and every region's NVM counters and content
+   digests, hashed together. Built exclusively from cost-free reads
+   ([Region.digest], counter loads), so taking a fingerprint cannot move
+   the execution it observes — two runs are bit-equivalent iff their
+   fingerprints match. *)
+let fingerprint t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "now=%d;" (Clock.now t.clk));
+  let m = metrics t in
+  Buffer.add_string b
+    (Printf.sprintf "m=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d;" m.committed
+       m.aborted m.critical_path_copies m.backup_hits m.backup_misses
+       m.backup_evictions m.applier_tasks m.tasks_batched m.ranges_coalesced
+       m.bytes_saved m.lock_wait_ns m.lock_wait_events m.storage_bytes
+       m.snapshot_hits m.snapshot_fallbacks);
+  Array.iter
+    (fun r ->
+      let c = Region.counters r in
+      Buffer.add_string b
+        (Printf.sprintf "r=%d,%d,%d,%d,%d,%d,%d,%d,%s;" c.Region.stores
+           c.Region.bytes_stored c.Region.loads c.Region.bytes_loaded
+           c.Region.lines_flushed c.Region.fences c.Region.bytes_copied
+           c.Region.crashes (Region.digest r)))
+    t.all_regions;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* The registry as a one-stop snapshot: the engine's own counters and
    histograms update live; numbers owned by subcomponents (backup, applier,
    locks) are synced in as gauges on each call so sinks see everything the

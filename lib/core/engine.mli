@@ -383,6 +383,14 @@ type metrics = {
 
 val metrics : t -> metrics
 
+(** [fingerprint t] hashes the engine's observable execution state —
+    simulated instant, the full {!metrics} record, and every region's
+    NVM counters plus volatile/persistent content digests — into one hex
+    string. Built from cost-free reads only, so fingerprinting never
+    perturbs the run: the parallel-vs-sequential oracle compares
+    fingerprints across {!Shard_driver.run} [domains] settings. *)
+val fingerprint : t -> string
+
 (** The engine's tracer, as passed to {!create} ([Obs.null] otherwise). *)
 val obs : t -> Kamino_obs.Obs.t
 

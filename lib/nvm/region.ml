@@ -590,6 +590,12 @@ let dirty_lines t =
     !n
   end
 
+(* Cost-free content digest for determinism oracles: reads both images
+   directly — no simulated time charged, no counters touched — so
+   fingerprinting an execution cannot perturb it. *)
+let digest t =
+  Digest.to_hex (Digest.string (Digest.bytes t.volatile ^ Digest.bytes t.persistent))
+
 let counters t = t.counters
 
 let reset_counters t =

@@ -163,6 +163,12 @@ val dirty_lines : t -> int
     index maintenance, lock handling). *)
 val charge : t -> float -> unit
 
+(** [digest t] is a hex digest of the volatile and persistent images.
+    Cost-free by construction — no simulated time, no counter updates —
+    so determinism oracles can fingerprint a heap without perturbing the
+    execution they are checking. *)
+val digest : t -> string
+
 (** {1 Counters} *)
 
 type counters = {

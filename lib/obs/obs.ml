@@ -145,3 +145,45 @@ let iter t f =
 
 let tracks t =
   List.sort (fun (i, _) (j, _) -> compare i j) t.track_names
+
+(* Deterministic merge of per-domain (per-shard) rings into one timeline.
+   Events are keyed by (track, ts) with a *stable* sort, so equal keys
+   keep concatenation order — and concatenation order is ring-array
+   order, fixed by the caller (shard id), never by which domain finished
+   first. Under the parallel driver every track is written by exactly one
+   ring, so within a track the merged order is exactly that ring's
+   emission order and the result is bit-identical across domain counts.
+   Capacity and drop counts sum, keeping sink trailers faithful. *)
+let merged rings =
+  let live = List.filter enabled (Array.to_list rings) in
+  match live with
+  | [] -> null
+  | _ ->
+      let cap = List.fold_left (fun acc r -> acc + capacity r) 0 live in
+      let out = create ~capacity:cap () in
+      let events = ref [] in
+      let n = ref 0 in
+      List.iter
+        (fun r ->
+          iter r (fun ~kind ~track ~ts ~dur ~a ~b ~c ->
+              events := (track, ts, !n, (kind, dur, a, b, c)) :: !events;
+              incr n))
+        live;
+      let sorted =
+        List.sort
+          (fun (t1, ts1, i1, _) (t2, ts2, i2, _) ->
+            match compare t1 t2 with
+            | 0 -> ( match compare ts1 ts2 with 0 -> compare i1 i2 | d -> d)
+            | d -> d)
+          (List.rev !events)
+      in
+      List.iter
+        (fun (track, ts, _, (kind, dur, a, b, c)) ->
+          emit out ~kind ~track ~ts ~dur ~a ~b ~c)
+        sorted;
+      out.dropped <- List.fold_left (fun acc r -> acc + dropped r) 0 live;
+      List.iter
+        (fun r ->
+          List.iter (fun (id, name) -> name_track out id name) (tracks r))
+        live;
+      out

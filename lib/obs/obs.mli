@@ -138,3 +138,13 @@ val iter :
 
 val tracks : t -> (int * string) list
 (** Named tracks, sorted by track id. *)
+
+val merged : t array -> t
+(** [merged rings] combines per-domain event rings into one tracer for
+    sink time: events are stably ordered by track id, then simulated ns,
+    then ring-array position — a key that never depends on domain
+    scheduling, only on the caller-fixed ring order (shard id under the
+    parallel driver, where each track is written by exactly one ring).
+    The result's capacity, [dropped] count and track names are the sums
+    and union of the inputs, so sink trailers stay faithful. Disabled
+    rings are skipped; [merged [||]] (or all-disabled) is {!null}. *)

@@ -53,20 +53,31 @@ let marker_size ~shards =
   let need = 16 + (16 * shards) in
   ((need + 4095) / 4096) * 4096
 
-let create ?(config = Engine.default_config) ?(obs = Obs.null)
+let create ?(config = Engine.default_config) ?(obs = Obs.null) ?shard_obs
     ?(obs_track_base = 1) ~kind ~seed ~shards () =
   if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+  (match shard_obs with
+  | Some rings when Array.length rings <> shards ->
+      invalid_arg "Shard.create: shard_obs length must equal shards"
+  | _ -> ());
   let engines =
     Array.init shards (fun i ->
-        let e =
-          Engine.create ~config ~obs ~obs_track:(obs_track_base + (4 * i)) ~kind
-            ~seed:(seed + i) ()
+        (* With [shard_obs], shard [i]'s events land in its own ring — the
+           only mutator is the shard's executor domain, so tracing stays
+           lock-free under the parallel driver; [Obs.merged] rebuilds the
+           global timeline deterministically. *)
+        let ring =
+          match shard_obs with Some rings -> rings.(i) | None -> obs
         in
-        if Obs.enabled obs then begin
+        let e =
+          Engine.create ~config ~obs:ring ~obs_track:(obs_track_base + (4 * i))
+            ~kind ~seed:(seed + i) ()
+        in
+        if Obs.enabled ring then begin
           let base = obs_track_base + (4 * i) in
-          Obs.name_track obs base (Printf.sprintf "shard%d.tx" i);
-          Obs.name_track obs (base + 1) (Printf.sprintf "shard%d.applier" i);
-          Obs.name_track obs (base + 2) (Printf.sprintf "shard%d.nvm" i)
+          Obs.name_track ring base (Printf.sprintf "shard%d.tx" i);
+          Obs.name_track ring (base + 1) (Printf.sprintf "shard%d.applier" i);
+          Obs.name_track ring (base + 2) (Printf.sprintf "shard%d.nvm" i)
         end;
         e)
   in

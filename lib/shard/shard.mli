@@ -15,13 +15,21 @@ module Engine = Kamino_core.Engine
 type t
 
 (** [create ~kind ~seed ~shards ()] builds [shards] engines. Engine [i]
-    is created with seed [seed + i] and, when [obs] is enabled, base
+    is created with seed [seed + i] and, when its tracer is enabled, base
     Perfetto track [obs_track_base + 4 * i] (named [shard<i>.tx] /
     [.applier] / [.nvm]). The cross-shard commit marker lives in its own
-    small region sharing [config]'s cost model and crash mode. *)
+    small region sharing [config]'s cost model and crash mode.
+
+    [shard_obs] (length [shards]) gives shard [i] its {e own} event ring
+    [shard_obs.(i)] instead of the shared [obs] — required under
+    {!Shard_driver.run} with [domains > 1], where each ring is mutated
+    only by its shard's executor domain and
+    {!Kamino_obs.Obs.merged} recovers the deterministic global timeline
+    afterwards. *)
 val create :
   ?config:Engine.config ->
   ?obs:Kamino_obs.Obs.t ->
+  ?shard_obs:Kamino_obs.Obs.t array ->
   ?obs_track_base:int ->
   kind:Engine.kind ->
   seed:int ->

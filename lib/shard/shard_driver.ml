@@ -4,65 +4,126 @@ module Driver = Kamino_workload.Driver
 
 let home ~shards client = client mod shards
 
-(* Mirrors Driver.run with two changes: each client is pinned to a home
-   shard (round-robin) and carries a fixed operation quota instead of
-   drawing from a global pool. The quota is what makes a shard's
-   sub-workload self-contained: shard [i] executes exactly the quota of
-   its clients, in exactly the order a standalone engine run of those
-   clients would — the global min-clock pick, restricted to one shard's
-   clients, is that shard's min-clock pick. test_shard.ml holds the
-   per-shard timelines to a standalone engine bit-for-bit. *)
-let run ~shard ~clients ~total_ops ~step =
-  if clients <= 0 then invalid_arg "Shard_driver.run: clients must be positive";
+(* The driver mirrors Driver.run with two changes: each client is pinned
+   to a home shard (round-robin) and carries a fixed operation quota
+   instead of drawing from a global pool. The quota is what makes a
+   shard's sub-workload self-contained, and self-containment is what
+   makes the *decomposition* valid: the global furthest-behind pick,
+   restricted to one shard's clients, is exactly that shard's local
+   furthest-behind pick (clients never migrate, quotas are fixed, and no
+   cross-shard state feeds the choice). So the driver executes each
+   shard as an independent *lane* — its clients, their clocks and
+   quotas, its latency series — and the lane's operation stream is the
+   same whether lanes run interleaved on one domain or concurrently on
+   many. test_shard.ml holds the per-shard timelines to a standalone
+   engine bit-for-bit, and the parallel-vs-sequential oracle fingerprints
+   whole heaps across [domains] settings. *)
+
+type lane = {
+  l_shard : int;
+  l_clients : int array;  (* global client ids, ascending *)
+  l_quota : int array;  (* indexed like [l_clients] *)
+  l_clocks : Clock.t array;
+  l_start : int;  (* shard timeline at lane start (post-load) *)
+  mutable l_remaining : int;
+  (* Label -> series, plus first-appearance order for a canonical merge. *)
+  l_series : (string, Stats.series) Hashtbl.t;
+  mutable l_labels : string list;  (* reversed first-appearance order *)
+  mutable l_elapsed : int;
+}
+
+let make_lanes ~shard ~clients ~total_ops =
   let shards = Shard.shards shard in
-  let quota =
-    Array.init clients (fun c ->
-        (total_ops / clients) + if c < total_ops mod clients then 1 else 0)
-  in
-  (* Each client starts after whatever already happened on its home
-     shard's timeline (the load phase). *)
-  let starts =
-    Array.init clients (fun c ->
-        Kamino_core.Engine.now (Shard.engine shard (home ~shards c)))
-  in
-  let clocks = Array.init clients (fun c -> Clock.create_at starts.(c)) in
-  let latencies : (string, Stats.series) Hashtbl.t = Hashtbl.create 8 in
-  let series label =
-    match Hashtbl.find_opt latencies label with
-    | Some s -> s
-    | None ->
-        let s = Stats.create () in
-        Hashtbl.add latencies label s;
-        s
-  in
-  for _ = 1 to total_ops do
-    (* Furthest-behind client with work left runs next; progress is
-       measured from each client's own start so shards whose load phases
-       ended at different times are compared fairly. *)
-    let client = ref (-1) in
+  let quota_of c = (total_ops / clients) + if c < total_ops mod clients then 1 else 0 in
+  Array.init shards (fun s ->
+      let mine =
+        Array.of_list
+          (List.filter (fun c -> home ~shards c = s) (List.init clients Fun.id))
+      in
+      let quota = Array.map quota_of mine in
+      (* Each client starts after whatever already happened on its home
+         shard's timeline (the load phase). *)
+      let start = Kamino_core.Engine.now (Shard.engine shard s) in
+      {
+        l_shard = s;
+        l_clients = mine;
+        l_quota = quota;
+        l_clocks = Array.map (fun _ -> Clock.create_at start) mine;
+        l_start = start;
+        l_remaining = Array.fold_left ( + ) 0 quota;
+        l_series = Hashtbl.create 8;
+        l_labels = [];
+        l_elapsed = 0;
+      })
+
+let lane_series lane label =
+  match Hashtbl.find_opt lane.l_series label with
+  | Some s -> s
+  | None ->
+      let s = Stats.create () in
+      Hashtbl.add lane.l_series label s;
+      lane.l_labels <- label :: lane.l_labels;
+      s
+
+(* One full lane: the furthest-behind client with quota left runs next,
+   progress measured from the lane's own start so shards whose load
+   phases ended at different times are compared fairly. [service] is the
+   router poll point — between operations, no transaction active — where
+   a parallel executor answers lease requests from coordinators. *)
+let exec_lane ~shard ~step ~service lane =
+  let n = Array.length lane.l_clients in
+  while lane.l_remaining > 0 do
+    service ();
+    let pick = ref (-1) in
     let behind = ref max_int in
-    for c = 0 to clients - 1 do
-      let p = Clock.now clocks.(c) - starts.(c) in
-      if quota.(c) > 0 && p < !behind then begin
-        client := c;
+    for k = 0 to n - 1 do
+      let p = Clock.now lane.l_clocks.(k) - lane.l_start in
+      if lane.l_quota.(k) > 0 && p < !behind then begin
+        pick := k;
         behind := p
       end
     done;
-    let c = !client in
-    quota.(c) <- quota.(c) - 1;
-    let clock = clocks.(c) in
-    let shard_id = home ~shards c in
-    Shard.set_clock shard shard_id clock;
+    let k = !pick in
+    lane.l_quota.(k) <- lane.l_quota.(k) - 1;
+    lane.l_remaining <- lane.l_remaining - 1;
+    let clock = lane.l_clocks.(k) in
+    Shard.set_clock shard lane.l_shard clock;
     let t0 = Clock.now clock in
-    let label = step ~client:c ~shard_id () in
-    Stats.add (series label) (float_of_int (Clock.now clock - t0))
+    let label = step ~client:lane.l_clients.(k) ~shard_id:lane.l_shard () in
+    Stats.add (lane_series lane label) (float_of_int (Clock.now clock - t0))
   done;
-  let elapsed_ns =
-    let m = ref 0 in
-    Array.iteri (fun c clk -> m := max !m (Clock.now clk - starts.(c))) clocks;
-    !m
+  let m = ref 0 in
+  Array.iter (fun clk -> m := max !m (Clock.now clk - lane.l_start)) lane.l_clocks;
+  lane.l_elapsed <- !m
+
+(* Merge lane results into one Driver.result, canonically: labels in
+   first-appearance order over lanes in shard order, each label's series
+   rebuilt lane by lane in shard order. Merge order never depends on
+   which domain finished first, so the result is bit-identical across
+   [domains] settings — including the float sums inside Stats. *)
+let merge_lanes ~total_ops lanes =
+  let labels =
+    Array.fold_left
+      (fun acc lane ->
+        List.fold_left
+          (fun acc l -> if List.mem l acc then acc else acc @ [ l ])
+          acc
+          (List.rev lane.l_labels))
+      [] lanes
   in
-  let all = Hashtbl.fold (fun _ s acc -> Stats.merge acc s) latencies (Stats.create ()) in
+  let merged label =
+    Array.fold_left
+      (fun acc lane ->
+        match Hashtbl.find_opt lane.l_series label with
+        | Some s -> Stats.merge acc s
+        | None -> acc)
+      (Stats.create ()) lanes
+  in
+  let latencies = List.map (fun l -> (l, merged l)) labels in
+  let all =
+    List.fold_left (fun acc (_, s) -> Stats.merge acc s) (Stats.create ()) latencies
+  in
+  let elapsed_ns = Array.fold_left (fun m lane -> max m lane.l_elapsed) 0 lanes in
   {
     Driver.total_ops;
     elapsed_ns;
@@ -70,5 +131,54 @@ let run ~shard ~clients ~total_ops ~step =
       (if elapsed_ns = 0 then 0.0
        else float_of_int total_ops /. (float_of_int elapsed_ns /. 1e9) /. 1e6);
     mean_latency_ns = Stats.mean all;
-    latencies = Hashtbl.fold (fun k v acc -> (k, v) :: acc) latencies [];
+    latencies;
   }
+
+let run ?(domains = 1) ?router ~shard ~clients ~total_ops ~step () =
+  if clients <= 0 then invalid_arg "Shard_driver.run: clients must be positive";
+  if domains <= 0 then invalid_arg "Shard_driver.run: domains must be positive";
+  (match router with
+  | Some r when Shard_router.shard r != shard ->
+      invalid_arg "Shard_driver.run: router belongs to a different facade"
+  | _ -> ());
+  let shards = Shard.shards shard in
+  let nd = max 1 (min domains shards) in
+  let lanes = make_lanes ~shard ~clients ~total_ops in
+  Option.iter (fun r -> Shard_router.attach r ~domains:nd) router;
+  let service_for d =
+    match router with
+    | Some r when nd > 1 -> fun () -> Shard_router.service r ~domain:d
+    | _ -> fun () -> ()
+  in
+  if nd = 1 then
+    (* Sequential mode: lanes run to completion in shard order on the
+       calling domain. (Interleaving lanes op-by-op would also be
+       correct — lanes share nothing — but whole-lane order is what the
+       parallel mode's per-domain loop produces, so both modes are the
+       same code path per lane.) *)
+    Array.iter (exec_lane ~shard ~step ~service:(service_for 0)) lanes
+  else begin
+    (* Parallel mode: domain [d] owns lanes [s] with [s mod nd = d] and
+       runs them in ascending shard order. Engines, clocks, rngs and obs
+       rings of a lane are touched only by its owner (router leases
+       excepted), so no locks are needed. After its last lane a domain
+       keeps answering lease requests until every domain is done —
+       coordinators may still need its engines. *)
+    let active = Atomic.make nd in
+    let body d =
+      let service = service_for d in
+      Array.iter
+        (fun lane -> if lane.l_shard mod nd = d then exec_lane ~shard ~step ~service lane)
+        lanes;
+      Atomic.decr active;
+      while Atomic.get active > 0 do
+        service ();
+        Domain.cpu_relax ()
+      done
+    in
+    let spawned = Array.init (nd - 1) (fun k -> Domain.spawn (fun () -> body (k + 1))) in
+    body 0;
+    Array.iter Domain.join spawned
+  end;
+  Option.iter (fun r -> Shard_router.attach r ~domains:1) router;
+  merge_lanes ~total_ops lanes

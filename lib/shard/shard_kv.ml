@@ -51,8 +51,11 @@ let range t i ~lo ~hi = Kv.range t.stores.(i) ~lo ~hi
 (* [multi_put] is the cross-shard client: all bindings become visible
    atomically even when their keys route to different shards. The
    single-shard case degenerates to one plain transaction — no marker,
-   no 2PC. *)
-let multi_put ?on_step t bindings =
+   no 2PC. Under the parallel driver pass [router] (and the calling
+   client's home shard as [from]): foreign-shard batches then lease the
+   owning executor domains instead of racing them, and the single-shard
+   home case stays lock-free. *)
+let multi_put ?on_step ?router ?(from = 0) t bindings =
   match bindings with
   | [] -> ()
   | _ ->
@@ -64,21 +67,27 @@ let multi_put ?on_step t bindings =
             ((key, value) :: Option.value ~default:[] (Hashtbl.find_opt by_shard i)))
         bindings;
       let ids = Hashtbl.fold (fun i _ acc -> i :: acc) by_shard [] in
-      (match ids with
-      | [ i ] ->
-          Engine.with_tx (Shard.engine t.shard i) (fun tx ->
-              List.iter
-                (fun (key, value) -> Kv.put_tx tx t.stores.(i) key value)
-                (List.rev (Hashtbl.find by_shard i)))
-      | _ ->
-          Shard.with_cross_tx ?on_step t.shard ids (fun tx_of ->
-              List.iter
-                (fun i ->
-                  let tx = tx_of i in
-                  List.iter
-                    (fun (key, value) -> Kv.put_tx tx t.stores.(i) key value)
-                    (List.rev (Hashtbl.find by_shard i)))
-                (List.sort compare ids)))
+      let single i =
+        Engine.with_tx (Shard.engine t.shard i) (fun tx ->
+            List.iter
+              (fun (key, value) -> Kv.put_tx tx t.stores.(i) key value)
+              (List.rev (Hashtbl.find by_shard i)))
+      in
+      let cross with_cross_tx =
+        with_cross_tx (fun tx_of ->
+            List.iter
+              (fun i ->
+                let tx = tx_of i in
+                List.iter
+                  (fun (key, value) -> Kv.put_tx tx t.stores.(i) key value)
+                  (List.rev (Hashtbl.find by_shard i)))
+              (List.sort compare ids))
+      in
+      (match (ids, router) with
+      | [ i ], None -> single i
+      | [ i ], Some r -> Shard_router.exclusive r ~from [ i ] (fun () -> single i)
+      | _, None -> cross (Shard.with_cross_tx ?on_step t.shard ids)
+      | _, Some r -> cross (Shard_router.with_cross_tx ?on_step r ~from ids))
 
 let validate t =
   let rec go i =

@@ -49,7 +49,19 @@ val range : t -> int -> lo:int -> hi:int -> (int * string) list
 (** [multi_put t bindings] makes all bindings visible atomically. One
     participating shard: a plain transaction. Several: a cross-shard
     two-phase commit ([on_step] passes through to
-    {!Shard.with_cross_tx}). *)
-val multi_put : ?on_step:(Shard.cross_step -> unit) -> t -> (int * string) list -> unit
+    {!Shard.with_cross_tx}).
+
+    Under {!Shard_driver.run} with [domains > 1], pass the run's
+    [router] and the calling client's home shard as [from]: batches
+    touching foreign shards then run under {!Shard_router.exclusive}
+    (coordinator lock + domain leases) instead of racing the owning
+    executors. Home-shard single-shard batches stay lock-free. *)
+val multi_put :
+  ?on_step:(Shard.cross_step -> unit) ->
+  ?router:Shard_router.t ->
+  ?from:int ->
+  t ->
+  (int * string) list ->
+  unit
 
 val validate : t -> (unit, string) result

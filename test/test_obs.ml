@@ -43,6 +43,62 @@ let test_null_tracer () =
   Alcotest.(check int) "null records nothing" 0 (Obs.length Obs.null);
   Alcotest.(check (list (pair int string))) "null names nothing" [] (Obs.tracks Obs.null)
 
+(* --- multi-ring merge -------------------------------------------------------- *)
+
+let test_merged_order () =
+  let a = Obs.create ~capacity:8 () in
+  let b = Obs.create ~capacity:8 () in
+  Obs.name_track a 1 "one";
+  Obs.name_track b 0 "zero";
+  Obs.emit a ~kind:Obs.k_commit ~track:1 ~ts:5 ~dur:1 ~a:50 ~b:0 ~c:0;
+  Obs.emit a ~kind:Obs.k_commit ~track:1 ~ts:10 ~dur:1 ~a:51 ~b:0 ~c:0;
+  Obs.emit b ~kind:Obs.k_commit ~track:0 ~ts:7 ~dur:1 ~a:52 ~b:0 ~c:0;
+  let m = Obs.merged [| a; b |] in
+  let got = ref [] in
+  Obs.iter m (fun ~kind:_ ~track ~ts ~dur:_ ~a ~b:_ ~c:_ ->
+      got := (track, ts, a) :: !got);
+  Alcotest.(check (list (triple int int int)))
+    "sorted by (track, ts)"
+    [ (0, 7, 52); (1, 5, 50); (1, 10, 51) ]
+    (List.rev !got);
+  Alcotest.(check (list (pair int string)))
+    "track names union"
+    [ (0, "zero"); (1, "one") ]
+    (List.sort compare (Obs.tracks m));
+  Alcotest.(check int) "no drops" 0 (Obs.dropped m);
+  Alcotest.(check bool) "all-null input merges to null" false
+    (Obs.enabled (Obs.merged [| Obs.null |]))
+
+(* The parallel driver's invariant, stressed directly: one ring per domain,
+   each mutated only by its owner, merged afterwards — across a 4 x 10k
+   event burst nothing is lost, duplicated, or reordered within a track. *)
+let test_merged_domain_stress () =
+  let domains = 4 and events = 10_000 in
+  let rings = Array.init domains (fun _ -> Obs.create ~capacity:16_384 ()) in
+  let worker d () =
+    let r = rings.(d) in
+    for i = 0 to events - 1 do
+      Obs.emit r ~kind:Obs.k_commit ~track:d ~ts:i ~dur:1 ~a:(succ i) ~b:d ~c:0
+    done
+  in
+  let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
+  Array.iter Domain.join spawned;
+  let m = Obs.merged rings in
+  Alcotest.(check int) "no event lost across domains" (domains * events)
+    (Obs.length m);
+  Alcotest.(check int) "no drops" 0 (Obs.dropped m);
+  let next = Array.make domains 0 in
+  Obs.iter m (fun ~kind:_ ~track ~ts ~dur:_ ~a ~b ~c:_ ->
+      if b <> track then Alcotest.failf "track %d: payload crossed rings" track;
+      if ts <> next.(track) || a <> succ ts then
+        Alcotest.failf "track %d: saw ts=%d a=%d, expected ts=%d (lost or duplicated)"
+          track ts a next.(track);
+      next.(track) <- ts + 1);
+  Array.iteri
+    (fun d n -> Alcotest.(check int) (Printf.sprintf "track %d complete" d) events n)
+    next
+
 (* --- metrics registry ------------------------------------------------------- *)
 
 let test_metrics_counters () =
@@ -331,6 +387,13 @@ let () =
         [
           Alcotest.test_case "wraparound and drops" `Quick test_ring_wraparound;
           Alcotest.test_case "null tracer" `Quick test_null_tracer;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "deterministic (track, ts) order" `Quick
+            test_merged_order;
+          Alcotest.test_case "4-domain 10k-event burst, nothing lost" `Quick
+            test_merged_domain_stress;
         ] );
       ( "metrics",
         [

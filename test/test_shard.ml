@@ -19,6 +19,12 @@ module Kv = Kamino_kv.Kv
 module Shard = Kamino_shard.Shard
 module Shard_kv = Kamino_shard.Shard_kv
 module Shard_driver = Kamino_shard.Shard_driver
+module Shard_router = Kamino_shard.Shard_router
+module Mailbox = Kamino_shard.Mailbox
+module Stats = Kamino_sim.Stats
+module Obs = Kamino_obs.Obs
+module Sink = Kamino_obs.Sink
+module Driver = Kamino_workload.Driver
 
 let config =
   {
@@ -87,15 +93,18 @@ let step_op ~own ~rngs store ~client ~shard_id =
     "update"
   end
 
-let run_sharded ~shards ~clients ~total_ops ~records ~seed =
+let run_sharded ?(domains = 1) ~shards ~clients ~total_ops ~records ~seed () =
   let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
   let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
   load_kv kv records;
   let own = owned_keys s records in
   let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+  let router = Shard_router.create s in
   let r =
-    Shard_driver.run ~shard:s ~clients ~total_ops ~step:(fun ~client ~shard_id () ->
+    Shard_driver.run ~domains ~router ~shard:s ~clients ~total_ops
+      ~step:(fun ~client ~shard_id () ->
         step_op ~own ~rngs (Shard_kv.store kv shard_id) ~client ~shard_id)
+      ()
   in
   (s, r)
 
@@ -158,7 +167,7 @@ let counters_equal a b =
 let test_isolation () =
   let shards = 4 and clients = 8 and total_ops = 2000 and records = 1024 in
   let seed = 90210 in
-  let s, _r = run_sharded ~shards ~clients ~total_ops ~records ~seed in
+  let s, _r = run_sharded ~shards ~clients ~total_ops ~records ~seed () in
   for target = 0 to shards - 1 do
     let solo = run_standalone ~shards ~clients ~total_ops ~records ~seed ~target in
     let se = Shard.engine s target in
@@ -179,7 +188,7 @@ let test_isolation () =
 
 let test_scaling () =
   let cell shards =
-    let _s, r = run_sharded ~shards ~clients:8 ~total_ops:8000 ~records:2048 ~seed:90210 in
+    let _s, r = run_sharded ~shards ~clients:8 ~total_ops:8000 ~records:2048 ~seed:90210 () in
     r.Kamino_workload.Driver.throughput_mops
   in
   let one = cell 1 in
@@ -187,6 +196,209 @@ let test_scaling () =
   if four < 2.0 *. one then
     Alcotest.failf "4-shard aggregate %.4f M ops/s is below 2x the 1-shard %.4f" four
       one
+
+(* --- parallel execution (OCaml 5 domains) ----------------------------------- *)
+
+(* The float fields compare with [=]: bit-identity, not tolerance — the
+   merge order in [Shard_driver] is domain-count-independent by design. *)
+let result_fingerprint (r : Driver.result) =
+  ( r.Driver.total_ops,
+    r.Driver.elapsed_ns,
+    r.Driver.throughput_mops,
+    r.Driver.mean_latency_ns,
+    List.map (fun (l, s) -> (l, Stats.count s, Stats.sum s)) r.Driver.latencies )
+
+let shard_fingerprints s =
+  Array.init (Shard.shards s) (fun i -> Engine.fingerprint (Shard.engine s i))
+
+(* The determinism contract: simulated time, NVM counters, heap images and
+   the merged driver result are bit-identical whatever the domain count. *)
+let test_parallel_oracle () =
+  let shards = 4 and clients = 9 and total_ops = 2500 and records = 1024 in
+  List.iter
+    (fun seed ->
+      let s1, r1 =
+        run_sharded ~domains:1 ~shards ~clients ~total_ops ~records ~seed ()
+      in
+      let base_fp = shard_fingerprints s1 in
+      let base_r = result_fingerprint r1 in
+      List.iter
+        (fun domains ->
+          let sn, rn =
+            run_sharded ~domains ~shards ~clients ~total_ops ~records ~seed ()
+          in
+          Array.iteri
+            (fun i fp ->
+              if fp <> base_fp.(i) then
+                Alcotest.failf
+                  "seed=%d domains=%d: shard %d heap/counter fingerprint diverges"
+                  seed domains i)
+            (shard_fingerprints sn);
+          Alcotest.(check int)
+            (Printf.sprintf "seed=%d domains=%d committed" seed domains)
+            (Shard.committed s1) (Shard.committed sn);
+          if result_fingerprint rn <> base_r then
+            Alcotest.failf "seed=%d domains=%d: driver result diverges" seed
+              domains)
+        [ 2; 3; 4 ])
+    [ 7; 90210; 4242 ]
+
+(* Lane decomposition: the parallel executor's per-shard operation streams
+   (which client ran each op, in order) equal the projection of the global
+   furthest-behind schedule onto each shard. The reference is reimplemented
+   here over a second identically-seeded façade. *)
+let prop_parallel_stream =
+  QCheck.Test.make ~count:15
+    ~name:"parallel per-shard streams match the global schedule"
+    QCheck.(quad (int_range 1 1000) (int_range 1 4) (int_range 1 9) (int_range 0 400))
+    (fun (seed, shards, clients, total_ops) ->
+      let records = 512 in
+      let domains = 1 + (seed mod 4) in
+      (* Reference: one loop over every client at once, always the globally
+         furthest-behind next (ties to the lowest client id). *)
+      let streams_ref = Array.make shards [] in
+      (let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+       let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
+       load_kv kv records;
+       let own = owned_keys s records in
+       let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+       let home = Array.init clients (fun c -> Shard_driver.home ~shards c) in
+       let starts = Array.init shards (fun i -> Engine.now (Shard.engine s i)) in
+       let clocks = Array.init clients (fun c -> Clock.create_at starts.(home.(c))) in
+       let quota =
+         Array.init clients (fun c ->
+             (total_ops / clients) + if c < total_ops mod clients then 1 else 0)
+       in
+       for _ = 1 to total_ops do
+         let pick = ref (-1) and behind = ref max_int in
+         for c = 0 to clients - 1 do
+           let p = Clock.now clocks.(c) - starts.(home.(c)) in
+           if quota.(c) > 0 && p < !behind then begin
+             pick := c;
+             behind := p
+           end
+         done;
+         let c = !pick in
+         let i = home.(c) in
+         quota.(c) <- quota.(c) - 1;
+         Shard.set_clock s i clocks.(c);
+         ignore (step_op ~own ~rngs (Shard_kv.store kv i) ~client:c ~shard_id:i);
+         streams_ref.(i) <- c :: streams_ref.(i)
+       done);
+      (* Candidate: the domain executor, recording who ran on each shard.
+         Each stream cell is written only by its shard's executor domain. *)
+      let streams_par = Array.make shards [] in
+      (let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+       let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
+       load_kv kv records;
+       let own = owned_keys s records in
+       let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+       let router = Shard_router.create s in
+       ignore
+         (Shard_driver.run ~domains ~router ~shard:s ~clients ~total_ops
+            ~step:(fun ~client ~shard_id () ->
+              streams_par.(shard_id) <- client :: streams_par.(shard_id);
+              step_op ~own ~rngs (Shard_kv.store kv shard_id) ~client ~shard_id)
+            ()));
+      Array.iteri
+        (fun i ref_stream ->
+          if streams_par.(i) <> ref_stream then
+            QCheck.Test.fail_reportf
+              "shard %d: parallel stream diverges from the global schedule (%d vs %d ops)"
+              i
+              (List.length streams_par.(i))
+              (List.length ref_stream))
+        streams_ref;
+      true)
+
+(* Byte-identical Perfetto traces across domain counts: per-shard rings
+   (each mutated only by its executor domain), merged afterwards on the
+   deterministic (track, ts) order. *)
+let test_parallel_trace_identity () =
+  let shards = 4 and clients = 8 and total_ops = 1500 and records = 512 in
+  let trace domains =
+    let rings = Array.init shards (fun _ -> Obs.create ~capacity:8192 ()) in
+    let s =
+      Shard.create ~config ~shard_obs:rings ~kind:Engine.Kamino_simple ~seed:90210
+        ~shards ()
+    in
+    let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
+    load_kv kv records;
+    let own = owned_keys s records in
+    let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+    let router = Shard_router.create s in
+    ignore
+      (Shard_driver.run ~domains ~router ~shard:s ~clients ~total_ops
+         ~step:(fun ~client ~shard_id () ->
+           step_op ~own ~rngs (Shard_kv.store kv shard_id) ~client ~shard_id)
+         ());
+    Sink.perfetto_string (Obs.merged rings)
+  in
+  let base = trace 1 in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length base > 1000);
+  List.iter
+    (fun domains ->
+      if trace domains <> base then
+        Alcotest.failf "domains=%d: merged Perfetto trace differs from domains=1"
+          domains)
+    [ 2; 4 ]
+
+(* Cross-shard transactions from inside the parallel executor: one client
+   periodically issues a [multi_put] spanning every shard, routed through
+   the router's lease protocol. Leased operations are linearizable (not
+   bit-scheduled), so the check is semantic: the batch lands atomically,
+   the store validates, and the backups converge. The spanning keys live
+   outside the preloaded range so no other client overwrites them. *)
+let test_cross_domain_multi_put () =
+  let shards = 4 and clients = 8 and total_ops = 2000 and records = 512 in
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed:77 ~shards () in
+  let kv = Shard_kv.create s ~value_size:1024 ~node_size:1024 in
+  load_kv kv records;
+  let own = owned_keys s records in
+  let rngs = Array.init clients (fun c -> Rng.create (777 + c)) in
+  let router = Shard_router.create s in
+  (* One fresh key per shard, outside [0, records). *)
+  let span =
+    Array.to_list
+      (Array.init shards (fun i ->
+           let k = ref records in
+           while Shard.route s !k <> i do
+             incr k
+           done;
+           !k))
+  in
+  let stamps = ref 0 and ops0 = ref 0 in
+  (* Both refs belong to client 0 alone, hence to one executor domain. *)
+  ignore
+    (Shard_driver.run ~domains:shards ~router ~shard:s ~clients ~total_ops
+       ~step:(fun ~client ~shard_id () ->
+         if client = 0 then begin
+           incr ops0;
+           if !ops0 mod 50 = 0 then begin
+             incr stamps;
+             Shard_kv.multi_put ~router ~from:shard_id kv
+               (List.map (fun k -> (k, Printf.sprintf "stamp%d" !stamps)) span);
+             "multi"
+           end
+           else step_op ~own ~rngs (Shard_kv.store kv shard_id) ~client ~shard_id
+         end
+         else step_op ~own ~rngs (Shard_kv.store kv shard_id) ~client ~shard_id)
+       ());
+  Alcotest.(check bool) "issued cross-shard transactions" true (!stamps > 0);
+  Alcotest.(check bool) "router leased foreign domains" true
+    (Shard_router.crossed router > 0);
+  let expect = Printf.sprintf "stamp%d" !stamps in
+  List.iter
+    (fun k ->
+      match Shard_kv.get kv k with
+      | Some got when got = expect -> ()
+      | v ->
+          Alcotest.failf "key %d after parallel multi_put run: %s, expected %S" k
+            (Option.value ~default:"<none>" v)
+            expect)
+    span;
+  (match Shard_kv.validate kv with Ok () -> () | Error e -> Alcotest.fail e);
+  match Shard.verify_backups s with Ok () -> () | Error e -> Alcotest.fail e
 
 (* --- cross-shard transactions ---------------------------------------------- *)
 
@@ -454,6 +666,16 @@ let () =
         ] );
       ( "scaling",
         [ Alcotest.test_case "4 shards >= 2x aggregate ops/s" `Quick test_scaling ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "bit-identical across domain counts" `Quick
+            test_parallel_oracle;
+          QCheck_alcotest.to_alcotest prop_parallel_stream;
+          Alcotest.test_case "merged Perfetto trace byte-identical" `Quick
+            test_parallel_trace_identity;
+          Alcotest.test_case "cross-shard multi_put under domains" `Quick
+            test_cross_domain_multi_put;
+        ] );
       ( "cross-shard",
         [
           Alcotest.test_case "commit is atomic across shards" `Quick test_cross_commit;

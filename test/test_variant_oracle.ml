@@ -18,6 +18,10 @@ module Region = Kamino_nvm.Region
 module Heap = Kamino_heap.Heap
 module Engine = Kamino_core.Engine
 module Backup = Kamino_core.Backup
+module Shard = Kamino_shard.Shard
+module Shard_kv = Kamino_shard.Shard_kv
+module Shard_driver = Kamino_shard.Shard_driver
+module Shard_router = Kamino_shard.Shard_router
 
 let config =
   {
@@ -157,6 +161,64 @@ let expected =
     ("intent-only/seed=3", "sim=122527 stores=4948 bytes_stored=41560 loads=3861 bytes_loaded=30888 flushed=661 fences=275 copied=0 heap=1dd8f7d19f71bbc1");
   ]
 
+(* --- sharded parallel oracle ------------------------------------------------ *)
+
+(* The same recorded-fingerprint discipline, one level up: a 4-shard façade
+   driven by the domain executor. The cell is fingerprinted per shard (sim
+   ns, NVM counters, heap image hash) and must match the recorded value at
+   EVERY domain count — so the parallel executor is pinned to the sequential
+   baseline, and both are pinned across refactors. *)
+let sharded_payload = String.make 200 'p'
+
+let sharded_fingerprint ~domains seed =
+  let shards = 4 and clients = 6 and total_ops = 600 and records = 256 in
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed ~shards () in
+  let kv = Shard_kv.create s ~value_size:256 ~node_size:1024 in
+  for k = 0 to records - 1 do
+    Shard_kv.put kv k sharded_payload
+  done;
+  Shard.drain_backups s;
+  let own = Array.make shards [] in
+  for k = records - 1 downto 0 do
+    own.(Shard.route s k) <- k :: own.(Shard.route s k)
+  done;
+  let own = Array.map Array.of_list own in
+  let rngs = Array.init clients (fun c -> Rng.create ((seed * 131) + c)) in
+  let router = Shard_router.create s in
+  ignore
+    (Shard_driver.run ~domains ~router ~shard:s ~clients ~total_ops
+       ~step:(fun ~client ~shard_id () ->
+         let keys = own.(shard_id) in
+         let rng = rngs.(client) in
+         let k = keys.(Rng.int rng (Array.length keys)) in
+         let store = Shard_kv.store kv shard_id in
+         if Rng.int rng 100 < 50 then begin
+           ignore (Kamino_kv.Kv.get store k);
+           "read"
+         end
+         else begin
+           Kamino_kv.Kv.put store k sharded_payload;
+           "update"
+         end)
+       ());
+  String.concat " "
+    (List.init shards (fun i ->
+         let e = Shard.engine s i in
+         let sim = Engine.now e in
+         let c = Engine.main_counters e in
+         Printf.sprintf "s%d{sim=%d st=%d fl=%d fe=%d cp=%d heap=%x}" i sim
+           c.Region.stores c.Region.lines_flushed c.Region.fences
+           c.Region.bytes_copied (heap_hash e)))
+
+(* Recorded at domains=1 on this PR's driver; asserted at every domain
+   count below. *)
+let expected_sharded =
+  [
+    ("sharded/seed=1", "s0{sim=480285 st=3545 fl=21309 fe=1052 cp=1203832 heap=226b0fa79fc90eb2} s1{sim=479231 st=3602 fl=21335 fe=1075 cp=1203224 heap=19d9125e5804b2d5} s2{sim=482931 st=3007 fl=20617 fe=848 cp=1182224 heap=1a9d3e4ccd5bbed6} s3{sim=470463 st=2788 fl=20315 fe=795 cp=1173648 heap=29dddcee379e681c}");
+    ("sharded/seed=2", "s0{sim=482042 st=3625 fl=21448 fe=1089 cp=1209112 heap=226b0fa79fc90eb2} s1{sim=475145 st=3476 fl=21234 fe=1040 cp=1202168 heap=19d9125e5804b2d5} s2{sim=485254 st=3079 fl=20696 fe=867 cp=1184336 heap=1a9d3e4ccd5bbed6} s3{sim=474311 st=2921 fl=20493 fe=841 cp=1179456 heap=29dddcee379e681c}");
+    ("sharded/seed=3", "s0{sim=480490 st=3514 fl=21237 fe=1040 cp=1200136 heap=226b0fa79fc90eb2} s1{sim=478100 st=3534 fl=21241 fe=1047 cp=1200056 heap=19d9125e5804b2d5} s2{sim=483340 st=3026 fl=20656 fe=858 cp=1183808 heap=1a9d3e4ccd5bbed6} s3{sim=468154 st=2668 fl=20070 fe=733 cp=1163088 heap=29dddcee379e681c}");
+  ]
+
 let all_cells () =
   List.concat_map
     (fun (name, kind, can_abort) ->
@@ -171,6 +233,12 @@ let () =
     List.iter
       (fun (cell, fp) -> Printf.printf "    (%S, %S);\n" cell fp)
       (all_cells ());
+    List.iter
+      (fun seed ->
+        Printf.printf "    (%S, %S);\n"
+          (Printf.sprintf "sharded/seed=%d" seed)
+          (sharded_fingerprint ~domains:1 seed))
+      seeds;
     exit 0
   end;
   let cases =
@@ -191,4 +259,24 @@ let () =
               seeds))
       kinds
   in
-  Alcotest.run "variant_oracle" [ ("fingerprints", cases) ]
+  let sharded_case =
+    Alcotest.test_case "sharded-parallel" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let cell = Printf.sprintf "sharded/seed=%d" seed in
+            match List.assoc_opt cell expected_sharded with
+            | None -> Alcotest.failf "%s: no recorded fingerprint" cell
+            | Some want ->
+                List.iter
+                  (fun domains ->
+                    let got = sharded_fingerprint ~domains seed in
+                    if got <> want then
+                      Alcotest.failf
+                        "%s at domains=%d: fingerprint drifted\n\
+                        \  recorded: %s\n\
+                        \  current:  %s" cell domains want got)
+                  [ 1; 3 ])
+          seeds)
+  in
+  Alcotest.run "variant_oracle"
+    [ ("fingerprints", cases); ("sharded", [ sharded_case ]) ]
