@@ -1,0 +1,140 @@
+(* Cluster latency bench: drive the replicated shard-cluster (chain of
+   f+2 replicas per shard, cross-shard 2PC over chain heads) with a
+   fault-free open-loop workload and report commit-latency percentiles in
+   *simulated* nanoseconds, straight from the cluster's metrics registry.
+
+   Two histograms matter: [cluster.commit_ns] (every client write,
+   single-key and multi) and [cluster.cross_commit_ns] (only the
+   multi_puts that actually spanned several chains — prepare, marker
+   persist, commit, full-chain acknowledgment on every participant).
+   Being simulated time, the numbers are deterministic for a given
+   (seed, ops) pair — successive PRs regress against the committed
+   `BENCH_cluster.json` shape, not against host noise.
+
+   Usage: cluster_bench.exe [--ops N] [--seed N] [--out PATH]
+   Exit status is non-zero if any histogram is empty or the final
+   cluster verification (quiescence, replica byte-consistency, backup
+   images) fails — the CI smoke gate. *)
+
+module Rng = Kamino_sim.Rng
+module Engine = Kamino_core.Engine
+module Metrics = Kamino_obs.Metrics
+module Op = Kamino_chain.Op
+module Cluster = Kamino_cluster.Cluster
+
+let shards = 3
+
+let f = 1
+
+let key_space = 64
+
+let run ~ops ~seed =
+  let cluster =
+    Cluster.create
+      ~engine_config:
+        {
+          Engine.default_config with
+          Engine.heap_bytes = 1 lsl 19;
+          log_slots = 64;
+          data_log_bytes = 1 lsl 17;
+        }
+      ~hop_ns:5000 ~rpc_ns:500 ~promote_ns:40_000 ~shards ~f ~value_size:64
+      ~node_size:512 ~seed ()
+  in
+  let rng = Rng.create ((seed * 31) + 7) in
+  let at = ref 0 in
+  let singles = ref 0 and multis = ref 0 in
+  for i = 0 to ops - 1 do
+    at := !at + 1_200 + Rng.int rng 2_400;
+    if Rng.int rng 4 = 0 then begin
+      (* 2-3 distinct keys: under the router nearly always cross-chain. *)
+      incr multis;
+      let n = 2 + Rng.int rng 2 in
+      let rec draw acc = function
+        | 0 -> acc
+        | n ->
+            let k = Rng.int rng key_space in
+            if List.mem_assoc k acc then draw acc n
+            else draw ((k, Printf.sprintf "m%d.%d" i k) :: acc) (n - 1)
+      in
+      Cluster.multi_put cluster ~at:!at (List.rev (draw [] n))
+        ~on_complete:(fun _ -> ())
+    end
+    else begin
+      incr singles;
+      Cluster.submit cluster ~at:!at
+        (Op.Put (Rng.int rng key_space, Printf.sprintf "v%d" i))
+        ~on_complete:(fun _ -> ())
+    end
+  done;
+  let events = Cluster.run cluster in
+  (cluster, events, !singles, !multis)
+
+let hist_json name h =
+  let ps = Metrics.percentiles h [| 50.; 95.; 99. |] in
+  Printf.sprintf
+    {|    "%s": { "count": %d, "p50_ns": %d, "p95_ns": %d, "p99_ns": %d, "mean_ns": %.1f, "max_ns": %d }|}
+    name (Metrics.count h) ps.(0) ps.(1) ps.(2) (Metrics.mean h)
+    (Metrics.max_value h)
+
+let () =
+  let ops = ref 2_000 and seed = ref 42 and out = ref "BENCH_cluster.json" in
+  let specs =
+    [
+      ("--ops", Arg.Set_int ops, "N  client operations (default 2000)");
+      ("--seed", Arg.Set_int seed, "N  workload seed (default 42)");
+      ("--out", Arg.Set_string out, "PATH  output JSON (default BENCH_cluster.json)");
+    ]
+  in
+  Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "cluster_bench";
+  let cluster, events, singles, multis = run ~ops:!ops ~seed:!seed in
+  (match Cluster.verify cluster with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "cluster verification failed: %s\n" e;
+      exit 1);
+  let reg = Cluster.registry cluster in
+  let commit_h = Metrics.hist reg "cluster.commit_ns" in
+  let cross_h = Metrics.hist reg "cluster.cross_commit_ns" in
+  if Metrics.count commit_h = 0 || Metrics.count cross_h = 0 then begin
+    Printf.eprintf "empty latency histogram (commit=%d cross=%d)\n"
+      (Metrics.count commit_h) (Metrics.count cross_h);
+    exit 1
+  end;
+  let counters =
+    Metrics.fold_counters reg ~init:[] ~f:(fun acc name v ->
+        Printf.sprintf {|      "%s": %d|} name v :: acc)
+    |> List.rev
+  in
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         {|  "schema": 1,|};
+         Printf.sprintf {|  "shards": %d,|} shards;
+         Printf.sprintf {|  "f": %d,|} f;
+         Printf.sprintf {|  "seed": %d,|} !seed;
+         Printf.sprintf {|  "ops": %d,|} !ops;
+         Printf.sprintf {|  "singles": %d,|} singles;
+         Printf.sprintf {|  "multis": %d,|} multis;
+         Printf.sprintf {|  "events": %d,|} events;
+         {|  "latency": {|};
+         hist_json "commit_ns" commit_h ^ ",";
+         hist_json "cross_commit_ns" cross_h;
+         "  },";
+         {|  "counters": {|};
+       ]
+      @ [ String.concat ",\n" counters ]
+      @ [ "  }"; "}"; "" ])
+  in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "%s: %d ops (%d singles, %d multis) in %d events\n" !out !ops
+    singles multis events;
+  let ps = Metrics.percentiles commit_h [| 50.; 95.; 99. |] in
+  let xs = Metrics.percentiles cross_h [| 50.; 95.; 99. |] in
+  Printf.printf "  commit p50/p95/p99 = %d/%d/%d ns (%d samples)\n" ps.(0) ps.(1)
+    ps.(2) (Metrics.count commit_h);
+  Printf.printf "  cross  p50/p95/p99 = %d/%d/%d ns (%d samples)\n" xs.(0) xs.(1)
+    xs.(2) (Metrics.count cross_h)

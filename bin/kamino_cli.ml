@@ -20,6 +20,7 @@ module Driver = Kamino_workload.Driver
 module Tpcc = Kamino_workload.Tpcc
 module Chain = Kamino_chain.Chain
 module Chaos = Kamino_chaos.Chaos
+module Cchaos = Kamino_chaos.Cluster_chaos
 module Shard = Kamino_shard.Shard
 module Shard_kv = Kamino_shard.Shard_kv
 module Shard_driver = Kamino_shard.Shard_driver
@@ -760,6 +761,142 @@ let chaos_cmd =
           linearizability and durable-prefix oracles.")
     term
 
+(* --- cluster ----------------------------------------------------------------- *)
+
+let cluster_cmd =
+  let ops_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "n"; "ops" ] ~docv:"OPS"
+          ~doc:"Client operations per run (writes, cross-shard multi_puts, reads).")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 6 & info [ "faults" ] ~docv:"N" ~doc:"Faults drawn per schedule.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:"Explore $(docv) consecutive seeds instead of a single run.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Replay a serialized fault schedule instead of drawing one.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Write failing schedules and histories here as artifacts.")
+  in
+  let history_arg =
+    Arg.(
+      value & flag
+      & info [ "history" ] ~doc:"Print the full run record, not just the verdict.")
+  in
+  let broken_arg =
+    Arg.(
+      value & flag
+      & info [ "broken-recovery" ]
+          ~doc:
+            "Deliberately forget the in-flight window on reboot (oracle self-test: \
+             the cluster oracles must catch this).")
+  in
+  let save_artifacts dir (o : Cchaos.outcome) shrunk =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let base = Printf.sprintf "%s/cluster-seed%d" dir o.Cchaos.seed in
+    let write path s =
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc
+    in
+    write (base ^ ".schedule") (Cchaos.schedule_to_string shrunk);
+    write (base ^ ".history") o.Cchaos.history;
+    Printf.printf "  artifacts: %s.{schedule,history}\n%!" base
+  in
+  let report_failure ~seed ~ops out_dir recovery_fault (o : Cchaos.outcome) =
+    let shrunk = Cchaos.shrink ~recovery_fault ~seed ~ops o.Cchaos.schedule in
+    Printf.printf "  shrunk to %d fault(s):\n%s%!" (List.length shrunk)
+      (String.concat ""
+         (List.map (fun f -> "    " ^ Cchaos.fault_to_string f ^ "\n") shrunk));
+    Option.iter (fun dir -> save_artifacts dir o shrunk) out_dir
+  in
+  let summary (o : Cchaos.outcome) =
+    Printf.sprintf
+      "%d events, %d/%d writes acked, %d/%d multis acked (%d cross-chain), %d \
+       redrives, %d reads, %d stale drops, commit p50/p95/p99 = %d/%d/%d ns"
+      o.Cchaos.events o.Cchaos.acked o.Cchaos.submitted o.Cchaos.multis_acked
+      o.Cchaos.multis o.Cchaos.crossed o.Cchaos.redrives o.Cchaos.reads
+      o.Cchaos.stale_drops o.Cchaos.p50_ns o.Cchaos.p95_ns o.Cchaos.p99_ns
+  in
+  let run seed ops faults sweep schedule_file out_dir history broken =
+    let recovery_fault =
+      if broken then Kamino_chain.Async_chain.Drop_inflight_on_reboot
+      else Kamino_chain.Async_chain.No_fault
+    in
+    match schedule_file with
+    | Some path -> (
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Cchaos.schedule_of_string s with
+        | Error e ->
+            Printf.eprintf "bad schedule file: %s\n" e;
+            exit 2
+        | Ok schedule ->
+            let o = Cchaos.run ~recovery_fault ~seed ~ops ~schedule () in
+            print_string o.Cchaos.history;
+            if o.Cchaos.verdict <> Ok () then exit 1)
+    | None ->
+        if sweep > 0 then begin
+          let failures = ref 0 in
+          for s = seed to seed + sweep - 1 do
+            let o = Cchaos.explore ~recovery_fault ~ops ~faults ~seed:s () in
+            match o.Cchaos.verdict with
+            | Ok () -> Printf.printf "seed %d: PASS (%s)\n%!" s (summary o)
+            | Error e ->
+                incr failures;
+                Printf.printf "seed %d: FAIL — %s\n%!" s e;
+                report_failure ~seed:s ~ops out_dir recovery_fault o
+          done;
+          Printf.printf "cluster sweep: %d seeds, %d failure(s)\n" sweep !failures;
+          if !failures > 0 then exit 1
+        end
+        else begin
+          let o = Cchaos.explore ~recovery_fault ~ops ~faults ~seed () in
+          if history then print_string o.Cchaos.history
+          else begin
+            Printf.printf "cluster seed=%d ops=%d shards=%d f=%d: %s\n" seed ops
+              Cchaos.cluster_shards Cchaos.cluster_f
+              (match o.Cchaos.verdict with Ok () -> "PASS" | Error e -> "FAIL — " ^ e);
+            Printf.printf "  %s\n  fingerprint %s\n" (summary o) o.Cchaos.fingerprint
+          end;
+          if o.Cchaos.verdict <> Ok () then begin
+            report_failure ~seed ~ops out_dir recovery_fault o;
+            exit 1
+          end
+        end
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ ops_arg $ faults_arg $ sweep_arg $ schedule_arg
+      $ out_dir_arg $ history_arg $ broken_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Explore random fault schedules against the replicated shard-cluster \
+          (chain-per-shard, cross-shard 2PC over chain heads) and check the \
+          durable-prefix, cluster-atomicity, linearizability and quiescence \
+          oracles.")
+    term
+
 (* --- info ------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -785,6 +922,7 @@ let () =
         fuzz_cmd;
         chain_cmd;
         chaos_cmd;
+        cluster_cmd;
         trace_cmd;
         info_cmd;
       ]

@@ -31,6 +31,10 @@ type node = {
   mutable fwd_link_at : int;
       (* latest delivery time scheduled on this node's forward link — keeps
          the link FIFO even when per-hop jitter would reorder messages *)
+  mutable cluster_tx : (int * Engine.tx) option;
+      (* a cluster-prepared transaction parked at this head: (op seq,
+         prepared tx). Volatile — a crash leaves only the durable Running
+         record, whose fate the recovery hook decides from the marker. *)
   applied : (int, unit) Hashtbl.t;
       (* omniscient-observer record of every op sequence whose transaction
          committed here; survives reboots (it is oracle instrumentation,
@@ -53,6 +57,19 @@ type t = {
   mutable promoting : int option;  (* replica whose head promotion is in flight *)
   mutable recovery_fault : recovery_fault;
   obs : Obs.t;  (* chain-level events: hops, view changes, promotions *)
+  (* Cluster composition (2PC over chain heads, DESIGN.md §14). While a
+     cluster transaction is prepared-but-undecided on this chain the head
+     is wedged: client submissions park in [deferred] so no later sequence
+     number can execute (and forward) ahead of the prepared one — the
+     exactly-once guard is monotone in op sequence, so order violations
+     would silently drop the cluster op downstream. *)
+  mutable cluster_hold : bool;
+  deferred : (Op.t * (int -> unit) * (int -> unit)) Queue.t;
+      (* parked submissions: op, on_submit, on_complete *)
+  mutable on_view_change : (unit -> unit) option;
+  mutable recovery_hook : (node:int -> tx_id:int -> bool) option;
+      (* the cluster marker's all-or-nothing decision for a Running record
+         found at reboot of [node] — plumbed into [Engine.recover] *)
 }
 
 (* Track layout: track 0 is chain-level control; node [i] owns tracks
@@ -123,12 +140,14 @@ let tail_id t =
   | tl :: _ -> tl
   | [] -> invalid_arg "Async_chain: the chain has no members left"
 
-let create ?(engine_config = Engine.default_config) ?(obs = Obs.null)
+let create ?sim ?(engine_config = Engine.default_config) ?(obs = Obs.null)
     ?(hop_ns = 5000) ?(rpc_ns = 1000) ?(promote_ns = 50_000) ?(queue_slots = 512)
-    ~mode ~f ~value_size ~node_size ~seed () =
+    ?slot_bytes ~mode ~f ~value_size ~node_size ~seed () =
   if f < 1 then invalid_arg "Async_chain.create: f must be at least 1";
   let n_nodes = match mode with Traditional -> f + 1 | Kamino_chain -> f + 2 in
-  let slot_bytes = value_size + 64 in
+  let slot_bytes =
+    match slot_bytes with Some b -> b | None -> value_size + 64
+  in
   let qsize = Opqueue.required_size ~slot_bytes ~n_slots:queue_slots in
   let nodes =
     Array.init n_nodes (fun i ->
@@ -180,12 +199,13 @@ let create ?(engine_config = Engine.default_config) ?(obs = Obs.null)
           up = true;
           removed = false;
           fwd_link_at = 0;
+          cluster_tx = None;
           applied = Hashtbl.create 64;
         })
   in
   {
     mode;
-    sim = Sim.create ();
+    sim = (match sim with Some s -> s | None -> Sim.create ());
     hop_ns;
     rpc_ns;
     promote_ns;
@@ -201,6 +221,10 @@ let create ?(engine_config = Engine.default_config) ?(obs = Obs.null)
     promoting = None;
     recovery_fault = No_fault;
     obs;
+    cluster_hold = false;
+    deferred = Queue.create ();
+    on_view_change = None;
+    recovery_hook = None;
   }
 
 (* Bring a node's clock to the event time and charge RPC processing. *)
@@ -366,24 +390,41 @@ and deliver_cleanup t ~view i seq =
 
 (* --- client interface ----------------------------------------------------- *)
 
-let submit t ~at ?(on_submit = fun _ -> ()) op ~on_complete =
-  Sim.schedule t.sim ~at (fun () ->
-      let head = t.nodes.(head_id t) in
-      if not head.up then failwith "Async_chain.submit: head is down";
-      enter t head;
-      let seq = t.next_op_seq in
-      t.next_op_seq <- seq + 1;
-      on_submit seq;
-      let payload = envelope ~seq op in
-      execute head ~seq op;
-      let keys = Engine.last_write_keys head.engine in
-      Hashtbl.replace t.pending seq (keys, on_complete);
-      (* Hold the head's write locks until the tail acknowledges. *)
-      Locks.hold_writes (Engine.locks head.engine) keys;
-      (match Membership.successor t.membership head.id with
-      | Some _ -> record_inflight head ~seq payload
-      | None -> ());
-      forward_or_finish t head ~seq payload)
+let rec submit_now t ?(on_submit = fun _ -> ()) op ~on_complete =
+  if t.cluster_hold then
+    (* The head is wedged under a prepared cluster transaction: executing a
+       later sequence number now would break the monotone exactly-once
+       guard if the cluster op must be re-prepared. Park until commit. *)
+    Queue.add (op, on_submit, on_complete) t.deferred
+  else begin
+    let head = t.nodes.(head_id t) in
+    if not head.up then failwith "Async_chain.submit: head is down";
+    enter t head;
+    let seq = t.next_op_seq in
+    t.next_op_seq <- seq + 1;
+    on_submit seq;
+    let payload = envelope ~seq op in
+    execute head ~seq op;
+    let keys = Engine.last_write_keys head.engine in
+    Hashtbl.replace t.pending seq (keys, on_complete);
+    (* Hold the head's write locks until the tail acknowledges. *)
+    Locks.hold_writes (Engine.locks head.engine) keys;
+    (match Membership.successor t.membership head.id with
+    | Some _ -> record_inflight head ~seq payload
+    | None -> ());
+    forward_or_finish t head ~seq payload
+  end
+
+and flush_deferred t =
+  if not t.cluster_hold then
+    match Queue.take_opt t.deferred with
+    | None -> ()
+    | Some (op, on_submit, on_complete) ->
+        submit_now t ~on_submit op ~on_complete;
+        flush_deferred t
+
+let submit t ~at ?on_submit op ~on_complete =
+  Sim.schedule t.sim ~at (fun () -> submit_now t ?on_submit op ~on_complete)
 
 let read t ~at key ~on_result =
   Sim.schedule t.sim ~at (fun () ->
@@ -411,8 +452,25 @@ let reboot_now ?(downtime_ns = 0) t i =
     Engine.crash node.engine;
     Region.crash node.input_region;
     Region.crash node.inflight_region;
-    (* §5.3 recovery. *)
-    Engine.recover node.engine;
+    (* §5.3 recovery. A Running intent record at rest can only be a
+       cluster-prepared transaction (everything else commits within one
+       event); the cluster's recovery hook decides its fate from the
+       persistent marker — listed in a valid marker means the cluster
+       committed, so the record rolls forward, else back. *)
+    let stashed = node.cluster_tx in
+    node.cluster_tx <- None;
+    let promote txid =
+      match t.recovery_hook with
+      | Some h -> h ~node:i ~tx_id:txid
+      | None -> false
+    in
+    Engine.recover ~promote_running:promote node.engine;
+    (match stashed with
+    | Some (seq, tx) when promote (Engine.tx_id tx) ->
+        (* The prepared transaction rolled forward: its exec-seq bump (and
+           data) committed, so the omniscient applied record must agree. *)
+        Hashtbl.replace node.applied seq ()
+    | Some _ | None -> ());
     match Membership.rejoin t.membership ~node:i ~believed_view:(view_id t) with
     | `Removed _ -> node.removed <- true
     | `Member (_, pred, succ) ->
@@ -526,7 +584,11 @@ let fail_stop_now t i =
        sequence gap left by the stale-view drops. Deliveries still take
        their hop delays; only the decision to re-send is atomic with the
        view change. *)
-    List.iter (fun m -> repair_node t m) (members t)
+    List.iter (fun m -> repair_node t m) (members t);
+    (* The cluster coordinator re-drives any cross-chain transaction that
+       was parked on the removed head — after the repair, so its re-sends
+       queue behind the survivors' re-forwards. *)
+    match t.on_view_change with Some h -> h () | None -> ()
   end
 
 let fail_stop t ~at i = Sim.schedule t.sim ~at (fun () -> fail_stop_now t i)
@@ -550,6 +612,103 @@ let inject_stale_probe_now t i =
 
 let inject_stale_probe t ~at i =
   Sim.schedule t.sim ~at (fun () -> inject_stale_probe_now t i)
+
+(* --- cluster composition (2PC over chain heads) ---------------------------- *)
+
+let set_view_change_hook t h = t.on_view_change <- h
+
+let set_recovery_hook t h = t.recovery_hook <- h
+
+let cluster_held t = t.cluster_hold
+
+let deferred_count t = Queue.length t.deferred
+
+(* Only Kamino engines implement [prepare]; a freshly promoted head is
+   [Intent_only] until its backup build completes, so the coordinator must
+   retry after the promotion window. *)
+let head_can_prepare t =
+  t.mode = Kamino_chain
+  && Engine.kind t.nodes.(head_id t).engine <> Engine.Intent_only
+
+let cluster_prepare ?seq t op =
+  let head = t.nodes.(head_id t) in
+  if not head.up then failwith "Async_chain.cluster_prepare: head is down";
+  enter t head;
+  let seq =
+    match seq with
+    | Some s ->
+        (* Re-prepare after the original prepared head died: the sequence
+           number is the transaction's chain-wide identity (marker entry,
+           pending-ack slot), so it must survive the re-prepare. The old
+           head never forwarded it, and the wedge kept later sequence
+           numbers from executing, so the exactly-once guard still has
+           headroom for it. *)
+        assert (s < t.next_op_seq);
+        s
+    | None ->
+        let s = t.next_op_seq in
+        t.next_op_seq <- s + 1;
+        s
+  in
+  t.cluster_hold <- true;
+  let tx = Engine.begin_tx head.engine in
+  Op.apply_tx tx op head.kv;
+  Engine.add tx head.exec_seq_obj;
+  Engine.write_int tx head.exec_seq_obj 0 seq;
+  Engine.prepare tx;
+  head.cluster_tx <- Some (seq, tx);
+  (seq, head.id, Engine.tx_id tx)
+
+let cluster_prepared_live t ~seq =
+  match t.nodes.(head_id t).cluster_tx with
+  | Some (s, _) -> s = seq
+  | None -> false
+
+let cluster_commit ?(on_ack = fun _ -> ()) t ~seq op =
+  let head = t.nodes.(head_id t) in
+  if not head.up then failwith "Async_chain.cluster_commit: head is down";
+  enter t head;
+  let payload = envelope ~seq op in
+  let committed_now =
+    match head.cluster_tx with
+    | Some (s, tx) when s = seq ->
+        Engine.commit_prepared tx;
+        head.cluster_tx <- None;
+        Hashtbl.replace head.applied seq ();
+        true
+    | Some _ | None ->
+        (* The prepared transaction is gone — the head rebooted (recovery
+           already rolled it forward under the valid marker) or the chain
+           promoted a new head that never saw it. Execute is exactly-once
+           guarded, so this is an idempotent re-drive. *)
+        let already = Engine.peek_int head.engine head.exec_seq_obj 0 in
+        if seq > already then begin
+          execute head ~seq op;
+          true
+        end
+        else false
+  in
+  let keys = if committed_now then Engine.last_write_keys head.engine else [] in
+  Hashtbl.replace t.pending seq (keys, on_ack);
+  Locks.hold_writes (Engine.locks head.engine) keys;
+  (match Membership.successor t.membership head.id with
+  | Some _ -> record_inflight head ~seq payload
+  | None -> ());
+  t.cluster_hold <- false;
+  forward_or_finish t head ~seq payload;
+  flush_deferred t
+
+let cluster_redrive t ~seq op =
+  let head = t.nodes.(head_id t) in
+  if head.up && not head.removed then begin
+    enter t head;
+    let payload = envelope ~seq op in
+    execute head ~seq op;
+    (match Membership.successor t.membership head.id with
+    | Some _ -> record_inflight head ~seq payload
+    | None -> ());
+    forward_or_finish t head ~seq payload
+  end
 
 let run t = Sim.run t.sim
 

@@ -51,12 +51,14 @@ type t
     [10 (i+1) .. 10 (i+1) + 3] (tx / applier / nvm / link). The null
     default costs one branch per site and cannot move simulated time. *)
 val create :
+  ?sim:Kamino_sim.Engine.t ->
   ?engine_config:Kamino_core.Engine.config ->
   ?obs:Kamino_obs.Obs.t ->
   ?hop_ns:int ->
   ?rpc_ns:int ->
   ?promote_ns:int ->
   ?queue_slots:int ->
+  ?slot_bytes:int ->
   mode:mode ->
   f:int ->
   value_size:int ->
@@ -119,6 +121,70 @@ val set_recovery_fault : t -> recovery_fault -> unit
 
 (** [run t] drains the event queue; returns the number of events. *)
 val run : t -> int
+
+(** {1 Cluster composition}
+
+    The cluster layer ({!Kamino_cluster.Cluster}) runs cross-chain
+    transactions as persistent-marker 2PC over chain {e heads}. The chain
+    contributes the per-participant half: prepare a transaction at the
+    current head (wedging the chain — later client submissions park so no
+    higher sequence number can execute ahead of the undecided one), report
+    whether the prepared transaction is still alive at the current head,
+    commit (or idempotently re-drive) it, and surface view changes and
+    reboot-recovery decisions to the coordinator. *)
+
+(** [cluster_prepare t op] executes [op] at the current head inside a
+    prepared-but-undecided transaction ({!Kamino_core.Engine.prepare}) and
+    wedges the chain. Returns [(seq, node, tx_id)] — the op's chain
+    sequence number, the head that prepared it, and the engine-local
+    transaction id (what the cluster marker records). [?seq] re-prepares
+    under the {e same} sequence number at a newly promoted head after the
+    original died undecided. Call only from inside a simulation event, and
+    only when {!head_can_prepare}. *)
+val cluster_prepare : ?seq:int -> t -> Op.t -> int * int * int
+
+(** Whether the cluster transaction prepared as [seq] is still parked,
+    undecided, at the current head. False after a head reboot (recovery
+    resolved it from the marker) or a head promotion (the prepared state
+    died with the old head) — the coordinator must then re-prepare (before
+    the marker) or re-drive (after). *)
+val cluster_prepared_live : t -> seq:int -> bool
+
+(** [cluster_commit t ~seq op] makes the cluster decision visible on this
+    chain: commits the prepared transaction if it is still alive, otherwise
+    idempotently re-executes [op] at the current head; then unwedges the
+    chain, flushes parked submissions, and propagates [seq] down the chain.
+    [on_ack] fires with the completion time when the tail's acknowledgment
+    reaches the head. *)
+val cluster_commit : ?on_ack:(int -> unit) -> t -> seq:int -> Op.t -> unit
+
+(** [cluster_redrive t ~seq op] re-propagates a committed-but-unacked
+    cluster op through the {e current} head after a view change — execution
+    and forwarding are exactly-once guarded, so re-driving is always safe. *)
+val cluster_redrive : t -> seq:int -> Op.t -> unit
+
+(** Whether the current head's engine supports two-phase commit right now —
+    false for a freshly promoted head until its backup build completes
+    (it is still [Intent_only]), and always false for [Traditional]
+    chains. *)
+val head_can_prepare : t -> bool
+
+(** The chain is wedged under a prepared-but-undecided cluster
+    transaction. *)
+val cluster_held : t -> bool
+
+(** Client submissions currently parked behind the wedge. *)
+val deferred_count : t -> int
+
+(** [set_view_change_hook t (Some h)] — [h] runs at the end of every
+    fail-stop view change, after the survivors' chain repair. *)
+val set_view_change_hook : t -> (unit -> unit) option -> unit
+
+(** [set_recovery_hook t (Some h)] — [h ~node ~tx_id] is the cluster
+    marker's all-or-nothing decision for a Running intent record found when
+    replica [node] reboots: true rolls it forward (the cluster committed),
+    false rolls it back. *)
+val set_recovery_hook : t -> (node:int -> tx_id:int -> bool) option -> unit
 
 (** {1 Observation} *)
 

@@ -1,17 +1,22 @@
 module Kv = Kamino_kv.Kv
 
-type t = Put of int * string | Delete of int | Append of int * string
+type t =
+  | Put of int * string
+  | Delete of int
+  | Append of int * string
+  | Batch of t list
 
-let apply_tx tx op kv =
+let rec apply_tx tx op kv =
   match op with
   | Put (k, v) -> Kv.put_tx tx kv k v
   | Delete k -> ignore (Kv.delete_tx tx kv k)
   | Append (k, suffix) -> Kv.rmw_tx tx kv k (fun v -> v ^ suffix)
+  | Batch ops -> List.iter (fun sub -> apply_tx tx sub kv) ops
 
 let apply op kv =
   Kamino_core.Engine.with_tx (Kv.engine kv) (fun tx -> apply_tx tx op kv)
 
-let encode op =
+let rec encode op =
   let buf = Buffer.create 32 in
   let add_int n =
     let b = Bytes.create 8 in
@@ -31,13 +36,23 @@ let encode op =
       Buffer.add_char buf 'A';
       add_int k;
       add_int (String.length v);
-      Buffer.add_string buf v);
+      Buffer.add_string buf v
+  | Batch ops ->
+      Buffer.add_char buf 'B';
+      add_int (List.length ops);
+      List.iter
+        (fun sub ->
+          let s = encode sub in
+          add_int (String.length s);
+          Buffer.add_string buf s)
+        ops);
   Buffer.contents buf
 
 exception Decode_error of string
 
-let decode s =
-  let fail () = raise (Decode_error "Op.decode: malformed command") in
+let fail () = raise (Decode_error "Op.decode: malformed command")
+
+let rec decode s =
   let len = String.length s in
   if len < 9 then fail ();
   let int_at off = Int64.to_int (String.get_int64_le s off) in
@@ -52,11 +67,28 @@ let decode s =
   | 'P' -> with_payload (fun k v -> Put (k, v))
   | 'A' -> with_payload (fun k v -> Append (k, v))
   | 'D' -> if len <> 9 then fail () else Delete key
+  | 'B' ->
+      let count = key in
+      if count < 0 then fail ();
+      let rec subs off n acc =
+        if n = 0 then if off <> len then fail () else List.rev acc
+        else begin
+          if off + 8 > len then fail ();
+          let sl = int_at off in
+          if sl < 0 || off + 8 + sl > len then fail ();
+          subs (off + 8 + sl) (n - 1) (decode (String.sub s (off + 8) sl) :: acc)
+        end
+      in
+      Batch (subs 9 count [])
   | _ -> fail ()
 
 let equal a b = a = b
 
-let pp fmt = function
+let rec pp fmt = function
   | Put (k, v) -> Format.fprintf fmt "Put(%d, %d bytes)" k (String.length v)
   | Delete k -> Format.fprintf fmt "Delete(%d)" k
   | Append (k, v) -> Format.fprintf fmt "Append(%d, %d bytes)" k (String.length v)
+  | Batch ops ->
+      Format.fprintf fmt "Batch[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)
+        ops

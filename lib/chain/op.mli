@@ -13,6 +13,9 @@ type t =
   | Put of int * string
   | Delete of int
   | Append of int * string  (** append to the existing value, if any *)
+  | Batch of t list
+      (** sub-commands applied atomically in order, inside one transaction —
+          the per-shard unit of a cross-chain multi-put *)
 
 (** [apply op kv] executes the command (one transaction). *)
 val apply : t -> Kamino_kv.Kv.t -> unit

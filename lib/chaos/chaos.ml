@@ -157,17 +157,20 @@ type rrec = {
   mutable r_done : int;
 }
 
-let op_to_string = function
+let rec op_to_string = function
   | Op.Put (k, v) -> Printf.sprintf "Put(%d,%S)" k v
   | Op.Delete k -> Printf.sprintf "Delete(%d)" k
   | Op.Append (k, v) -> Printf.sprintf "Append(%d,%S)" k v
+  | Op.Batch ops ->
+      Printf.sprintf "Batch[%s]" (String.concat ";" (List.map op_to_string ops))
 
-let apply_model model = function
+let rec apply_model model = function
   | Op.Put (k, v) -> Hashtbl.replace model k v
   | Op.Delete k -> Hashtbl.remove model k
   | Op.Append (k, suffix) ->
       let prev = Option.value (Hashtbl.find_opt model k) ~default:"" in
       Hashtbl.replace model k (prev ^ suffix)
+  | Op.Batch ops -> List.iter (apply_model model) ops
 
 let model_contents model =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
@@ -277,7 +280,10 @@ let check_linearizable writes reads applied =
       let w = Hashtbl.find by_seq seq in
       apply_model model w.w_op;
       let key =
-        match w.w_op with Op.Put (k, _) | Op.Delete k | Op.Append (k, _) -> k
+        match w.w_op with
+        | Op.Put (k, _) | Op.Delete k | Op.Append (k, _) -> k
+        (* The single-chain workload never generates batches. *)
+        | Op.Batch _ -> assert false
       in
       push key (seq, w.w_at, Hashtbl.find_opt model key))
     applied;

@@ -1,0 +1,798 @@
+(* Chaos exploration over the whole replicated shard-cluster: the
+   {!Chaos} harness shape (seeded workload + fault schedule + oracles +
+   greedy shrinking) pointed at {!Kamino_cluster.Cluster} — fail-stops,
+   view changes, reboots and stale probes per (shard, replica), plus two
+   *targeted* fault kinds that arm on the cross-shard 2PC protocol steps
+   themselves:
+
+   - [Prepare_head_fail]: when cross-transaction [cross] reports shard
+     [shard] prepared, fail-stop that shard's head — the prepared
+     transaction dies with it, a head promotion starts, and the
+     coordinator must re-prepare through the new head before the marker
+     can persist (the "head promotion between prepare and commit-marker
+     persist" scenario);
+   - [Marker_head_fail]: when the commit marker persists, fail-stop shard
+     [shard]'s (prepared) head — the commit step must re-drive the
+     decided transaction through whatever head the chain promotes.
+
+   Event-indexed faults replay deterministically by event count, exactly
+   as in {!Chaos}; targeted faults replay deterministically because the
+   protocol steps they arm on are themselves events of the deterministic
+   simulation.
+
+   Oracles, in order:
+   - per-chain durable prefix (survivor applied-set agreement, no
+     phantoms, acked implies applied, sequential replay matches every
+     survivor's durable image, head backup verified);
+   - cluster atomicity: every cross-shard multi_put is all-or-nothing
+     across its participant chains under any crash schedule, and a
+     marker-written (= decided) multi_put is applied everywhere;
+   - linearizability of completed reads per chain;
+   - cluster quiescence (no undecided marker, no unacknowledged cross
+     transaction survives the drained run). *)
+
+module Sim = Kamino_sim.Engine
+module Rng = Kamino_sim.Rng
+module Engine = Kamino_core.Engine
+module Kv = Kamino_kv.Kv
+module Op = Kamino_chain.Op
+module Async = Kamino_chain.Async_chain
+module Cluster = Kamino_cluster.Cluster
+
+type fault =
+  | Reboot of { shard : int; node : int; at_event : int; downtime_ns : int }
+  | Fail_stop of { shard : int; node : int; at_event : int }
+  | Stale_probe of { shard : int; node : int; at_event : int }
+  | Hop_jitter of { shard : int; at_event : int; amplitude_ns : int }
+  | Prepare_head_fail of { cross : int; shard : int }
+  | Marker_head_fail of { cross : int; shard : int }
+
+type outcome = {
+  seed : int;
+  ops : int;
+  schedule : fault list;
+  verdict : (unit, string) result;
+  history : string;
+  events : int;
+  submitted : int;
+  acked : int;
+  multis : int;
+  multis_acked : int;
+  crossed : int;
+  redrives : int;
+  reads : int;
+  stale_drops : int;
+  fingerprint : string;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+}
+
+(* --- schedule serialization ------------------------------------------------ *)
+
+(* Targeted faults are armed before the run (they fire on protocol steps,
+   not event counts); ordering them first keeps the schedule file stable. *)
+let fault_at_event = function
+  | Reboot { at_event; _ }
+  | Fail_stop { at_event; _ }
+  | Stale_probe { at_event; _ }
+  | Hop_jitter { at_event; _ } ->
+      at_event
+  | Prepare_head_fail _ | Marker_head_fail _ -> 0
+
+let fault_to_string = function
+  | Reboot { shard; node; at_event; downtime_ns } ->
+      Printf.sprintf "reboot shard=%d node=%d at-event=%d downtime-ns=%d" shard
+        node at_event downtime_ns
+  | Fail_stop { shard; node; at_event } ->
+      Printf.sprintf "fail-stop shard=%d node=%d at-event=%d" shard node at_event
+  | Stale_probe { shard; node; at_event } ->
+      Printf.sprintf "stale-probe shard=%d node=%d at-event=%d" shard node
+        at_event
+  | Hop_jitter { shard; at_event; amplitude_ns } ->
+      Printf.sprintf "hop-jitter shard=%d at-event=%d amplitude-ns=%d" shard
+        at_event amplitude_ns
+  | Prepare_head_fail { cross; shard } ->
+      Printf.sprintf "prepare-head-fail cross=%d shard=%d" cross shard
+  | Marker_head_fail { cross; shard } ->
+      Printf.sprintf "marker-head-fail cross=%d shard=%d" cross shard
+
+let schedule_to_string schedule =
+  String.concat "" (List.map (fun f -> fault_to_string f ^ "\n") schedule)
+
+let schedule_of_string s =
+  let parse_line ln line =
+    let fields = String.split_on_char ' ' (String.trim line) in
+    let kind = List.hd fields in
+    let kvs =
+      List.filter_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i ->
+              Some
+                ( String.sub tok 0 i,
+                  String.sub tok (i + 1) (String.length tok - i - 1) )
+          | None -> None)
+        (List.tl fields)
+    in
+    let field name =
+      match List.assoc_opt name kvs with
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some n -> n
+          | None ->
+              failwith (Printf.sprintf "line %d: bad integer for %s" ln name))
+      | None -> failwith (Printf.sprintf "line %d: missing field %s" ln name)
+    in
+    match kind with
+    | "reboot" ->
+        Reboot
+          {
+            shard = field "shard";
+            node = field "node";
+            at_event = field "at-event";
+            downtime_ns = field "downtime-ns";
+          }
+    | "fail-stop" ->
+        Fail_stop
+          { shard = field "shard"; node = field "node"; at_event = field "at-event" }
+    | "stale-probe" ->
+        Stale_probe
+          { shard = field "shard"; node = field "node"; at_event = field "at-event" }
+    | "hop-jitter" ->
+        Hop_jitter
+          {
+            shard = field "shard";
+            at_event = field "at-event";
+            amplitude_ns = field "amplitude-ns";
+          }
+    | "prepare-head-fail" ->
+        Prepare_head_fail { cross = field "cross"; shard = field "shard" }
+    | "marker-head-fail" ->
+        Marker_head_fail { cross = field "cross"; shard = field "shard" }
+    | k -> failwith (Printf.sprintf "line %d: unknown fault kind %S" ln k)
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '#')
+  in
+  match List.map (fun (i, l) -> parse_line i l) lines with
+  | schedule -> Ok schedule
+  | exception Failure msg -> Error msg
+
+(* --- workload -------------------------------------------------------------- *)
+
+(* A slightly wider key space than the single-chain harness so multi_puts
+   usually span several shard-chains under the multiplicative router. *)
+let key_space = 16
+
+type cmd =
+  | Cwrite of Op.t
+  | Cmulti of (int * string) list
+  | Cread of int
+
+let gen_workload ~seed ~ops =
+  let rng = Rng.create ((seed * 37) + 11) in
+  let at = ref 0 in
+  List.init ops (fun i ->
+      at := !at + 900 + Rng.int rng 3_800;
+      let key = Rng.int rng key_space in
+      let cmd =
+        match Rng.int rng 12 with
+        | 0 | 1 | 2 -> Cwrite (Op.Put (key, Printf.sprintf "s%dw%d" seed i))
+        | 3 | 4 -> Cwrite (Op.Append (key, Printf.sprintf "+%d" i))
+        | 5 -> Cwrite (Op.Delete key)
+        | 6 | 7 | 8 ->
+            (* 2-4 distinct keys: under the router this is usually a
+               genuine cross-chain transaction. *)
+            let n = 2 + Rng.int rng 3 in
+            let rec draw acc = function
+              | 0 -> acc
+              | n ->
+                  let k = Rng.int rng key_space in
+                  if List.mem_assoc k acc then draw acc n
+                  else draw ((k, Printf.sprintf "s%dm%d.%d" seed i k) :: acc) (n - 1)
+            in
+            Cmulti (List.rev (draw [] n))
+        | _ -> Cread key
+      in
+      (!at, cmd))
+
+let count_multis steps =
+  List.length (List.filter (fun (_, c) -> match c with Cmulti _ -> true | _ -> false) steps)
+
+let gen_schedule ~seed ~faults ~shards ~nodes_per_chain ~events ~multis =
+  let rng = Rng.create ((seed * 137) + 5) in
+  List.init faults (fun _ ->
+      let at_event = 1 + Rng.int rng (max 1 events) in
+      let shard = Rng.int rng shards in
+      let node = Rng.int rng nodes_per_chain in
+      match Rng.int rng 100 with
+      | k when k < 32 ->
+          Reboot { shard; node; at_event; downtime_ns = Rng.int rng 20_000 }
+      | k when k < 48 -> Fail_stop { shard; node; at_event }
+      | k when k < 60 -> Stale_probe { shard; node; at_event }
+      | k when k < 72 ->
+          Hop_jitter { shard; at_event; amplitude_ns = 500 + Rng.int rng 4_000 }
+      | k when k < 87 && multis > 0 ->
+          Prepare_head_fail { cross = Rng.int rng multis; shard }
+      | k when k < 100 && multis > 0 ->
+          Marker_head_fail { cross = Rng.int rng multis; shard }
+      | _ -> Reboot { shard; node; at_event; downtime_ns = Rng.int rng 20_000 })
+  |> List.stable_sort (fun a b -> compare (fault_at_event a) (fault_at_event b))
+
+(* --- run records ------------------------------------------------------------ *)
+
+(* One chain-level write view: a single-key write, or one participant
+   slice of a multi_put, as the owning chain saw it. *)
+type vrec = {
+  v_seq : int;
+  v_op : Op.t;
+  v_at : int;
+  v_ack : int;  (* -1 if the client completion never fired *)
+}
+
+type wrec = {
+  w_index : int;
+  w_op : Op.t;
+  w_at : int;
+  mutable w_shard : int;
+  mutable w_seq : int;
+  mutable w_ack : int;
+}
+
+type mrec = {
+  m_index : int;
+  m_bindings : (int * string) list;
+  m_at : int;
+  mutable m_parts : (int * int) list;  (* (shard, seq), ascending shard *)
+  mutable m_marker : bool;  (* the commit point was reached *)
+  mutable m_ack : int;
+}
+
+type rrec = {
+  r_index : int;
+  r_key : int;
+  r_at : int;
+  r_shard : int;
+  mutable r_fired : bool;
+  mutable r_value : string option;
+  mutable r_done : int;
+}
+
+let rec op_to_string = function
+  | Op.Put (k, v) -> Printf.sprintf "Put(%d,%S)" k v
+  | Op.Delete k -> Printf.sprintf "Delete(%d)" k
+  | Op.Append (k, v) -> Printf.sprintf "Append(%d,%S)" k v
+  | Op.Batch ops ->
+      Printf.sprintf "Batch[%s]" (String.concat ";" (List.map op_to_string ops))
+
+let rec apply_model model = function
+  | Op.Put (k, v) -> Hashtbl.replace model k v
+  | Op.Delete k -> Hashtbl.remove model k
+  | Op.Append (k, suffix) ->
+      let prev = Option.value (Hashtbl.find_opt model k) ~default:"" in
+      Hashtbl.replace model k (prev ^ suffix)
+  | Op.Batch ops -> List.iter (apply_model model) ops
+
+let rec op_keys = function
+  | Op.Put (k, _) | Op.Delete k | Op.Append (k, _) -> [ k ]
+  | Op.Batch ops -> List.concat_map op_keys ops
+
+let model_contents model =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
+
+let kv_contents kv =
+  let acc = ref [] in
+  Kv.iter kv (fun k v -> acc := (k, v) :: !acc);
+  List.sort compare !acc
+
+(* --- oracles --------------------------------------------------------------- *)
+
+(* Durable prefix, per chain (the same contract as {!Chaos}, with the
+   chain's write view assembled from singles and multi_put slices). *)
+let check_durable_prefix ~shard chain (views : vrec list) =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "shard %d: %s" shard m)) fmt in
+  let survivors = Async.members chain in
+  let head = List.hd survivors in
+  let applied = Async.applied_seqs chain head in
+  let* () =
+    List.fold_left
+      (fun acc m ->
+        let* () = acc in
+        let theirs = Async.applied_seqs chain m in
+        if theirs = applied then Ok ()
+        else
+          fail "durable-prefix: replica %d applied a different op set than head %d"
+            m head)
+      (Ok ()) (List.tl survivors)
+  in
+  let by_seq = Hashtbl.create 64 in
+  List.iter (fun v -> if v.v_seq >= 0 then Hashtbl.replace by_seq v.v_seq v) views;
+  let* () =
+    List.fold_left
+      (fun acc seq ->
+        let* () = acc in
+        if Hashtbl.mem by_seq seq then Ok ()
+        else fail "durable-prefix: phantom op seq %d was executed" seq)
+      (Ok ()) applied
+  in
+  let applied_set = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace applied_set s ()) applied;
+  let* () =
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        if v.v_ack >= 0 && not (Hashtbl.mem applied_set v.v_seq) then
+          fail "durable-prefix: acknowledged write seq %d lost from survivors" v.v_seq
+        else Ok ())
+      (Ok ()) views
+  in
+  let model = Hashtbl.create 64 in
+  List.iter (fun seq -> apply_model model (Hashtbl.find by_seq seq).v_op) applied;
+  let expected = model_contents model in
+  let* () =
+    List.fold_left
+      (fun acc m ->
+        let* () = acc in
+        if kv_contents (Async.kv_at chain m) = expected then Ok ()
+        else
+          fail
+            "durable-prefix: replica %d's durable image diverges from the replay of \
+             its applied set"
+            m)
+      (Ok ()) survivors
+  in
+  let* () =
+    Result.map_error (fun e -> Printf.sprintf "shard %d: %s" shard e)
+      (Async.replicas_consistent chain)
+  in
+  let* () =
+    Result.map_error
+      (fun e -> Printf.sprintf "shard %d: durable-prefix: head backup: %s" shard e)
+      (Engine.verify_backup (Async.engine_at chain head))
+  in
+  Ok applied
+
+(* Cluster atomicity: a cross-shard multi_put is all-or-nothing across its
+   participant chains, and a decided one (marker written — or client
+   acknowledged, which is later) is applied on all of them. *)
+let check_cluster_atomicity cluster multis =
+  let applied_on (s, seq) =
+    let ch = Cluster.chain cluster s in
+    List.mem seq (Async.applied_seqs ch (Async.head_id ch))
+  in
+  List.fold_left
+    (fun acc m ->
+      Result.bind acc (fun () ->
+          if List.length m.m_parts < 2 then Ok ()
+          else begin
+            let states = List.map (fun p -> (p, applied_on p)) m.m_parts in
+            let all = List.for_all snd states in
+            let none = List.for_all (fun (_, a) -> not a) states in
+            if not (all || none) then
+              Error
+                (Printf.sprintf
+                   "cluster-atomicity: multi m%d is torn: applied on [%s] but not [%s]"
+                   m.m_index
+                   (String.concat ";"
+                      (List.filter_map
+                         (fun ((s, q), a) ->
+                           if a then Some (Printf.sprintf "%d:%d" s q) else None)
+                         states))
+                   (String.concat ";"
+                      (List.filter_map
+                         (fun ((s, q), a) ->
+                           if a then None else Some (Printf.sprintf "%d:%d" s q))
+                         states)))
+            else if (m.m_marker || m.m_ack >= 0) && not all then
+              Error
+                (Printf.sprintf
+                   "cluster-atomicity: multi m%d was decided (marker%s) but is not \
+                    applied on every participant chain"
+                   m.m_index
+                   (if m.m_ack >= 0 then "+ack" else ""))
+            else Ok ()
+          end))
+    (Ok ()) multis
+
+(* Linearizability of completed reads, per chain, against the chain's
+   applied write view — multi_put slices carry their client ack time. *)
+let check_linearizable views reads applied =
+  let by_seq = Hashtbl.create 64 in
+  List.iter (fun v -> if v.v_seq >= 0 then Hashtbl.replace by_seq v.v_seq v) views;
+  let model = Hashtbl.create 16 in
+  let timelines = Hashtbl.create 16 in
+  let push key state =
+    let tl = Option.value (Hashtbl.find_opt timelines key) ~default:[] in
+    Hashtbl.replace timelines key (state :: tl)
+  in
+  List.iter
+    (fun seq ->
+      let v = Hashtbl.find by_seq seq in
+      apply_model model v.v_op;
+      List.iter (fun key -> push key (seq, v.v_at, Hashtbl.find_opt model key)) (op_keys v.v_op))
+    applied;
+  let check_read acc r =
+    Result.bind acc (fun () ->
+        if not r.r_fired then Ok ()
+        else begin
+          let lo =
+            List.fold_left
+              (fun lo v ->
+                if
+                  List.mem r.r_key (op_keys v.v_op)
+                  && v.v_ack >= 0 && v.v_ack <= r.r_at
+                then max lo v.v_seq
+                else lo)
+              0 views
+          in
+          let timeline =
+            List.rev (Option.value (Hashtbl.find_opt timelines r.r_key) ~default:[])
+          in
+          let candidates =
+            (if lo = 0 then [ None ] else [])
+            @ List.filter_map
+                (fun (seq, at, state) ->
+                  if seq >= lo && at <= r.r_done then Some state else None)
+                timeline
+          in
+          if List.exists (fun c -> c = r.r_value) candidates then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "linearizability: read r%d of key %d returned %s, not a legal state \
+                  in its window"
+                 r.r_index r.r_key
+                 (match r.r_value with
+                 | Some v -> Printf.sprintf "%S" v
+                 | None -> "absent"))
+        end)
+  in
+  List.fold_left check_read (Ok ()) reads
+
+(* --- the runner ------------------------------------------------------------ *)
+
+let cluster_shards = 3
+let cluster_f = 1
+let nodes_per_chain = cluster_f + 2
+
+let chaos_engine_config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 1 lsl 18;
+    log_slots = 64;
+    data_log_bytes = 1 lsl 16;
+  }
+
+let make_cluster ~seed () =
+  Cluster.create ~engine_config:chaos_engine_config ~hop_ns:5000 ~rpc_ns:500
+    ~promote_ns:40_000 ~retry_ns:10_000 ~queue_slots:256 ~shards:cluster_shards
+    ~f:cluster_f ~value_size:64 ~node_size:512 ~seed ()
+
+(* Event-boundary faults; inapplicable ones become deterministic no-ops so
+   a schedule replays identically (same contract as {!Chaos}). *)
+let apply_fault cluster ~seed log fault =
+  let note verdict = Buffer.add_string log (fault_to_string fault ^ verdict ^ "\n") in
+  let chain s = Cluster.chain cluster s in
+  let alive s node =
+    s < Cluster.shards cluster
+    && node < Async.length (chain s)
+    && List.mem node (Async.members (chain s))
+  in
+  match fault with
+  | Reboot { shard; node; downtime_ns; _ } ->
+      if alive shard node then begin
+        Async.reboot_now ~downtime_ns (chain shard) node;
+        note " -> applied"
+      end
+      else note " -> skipped (not a member)"
+  | Fail_stop { shard; node; _ } ->
+      if alive shard node && List.length (Async.members (chain shard)) > 2 then begin
+        Async.fail_stop_now (chain shard) node;
+        note " -> applied"
+      end
+      else note " -> skipped (not a member, or chain too short)"
+  | Stale_probe { shard; node; _ } ->
+      if alive shard node then begin
+        Async.inject_stale_probe_now (chain shard) node;
+        note " -> applied"
+      end
+      else note " -> skipped (not a member)"
+  | Hop_jitter { shard; at_event; amplitude_ns } ->
+      if shard < Cluster.shards cluster then begin
+        Async.set_hop_jitter (chain shard)
+          (Some (Rng.create ((seed * 1_000_003) + at_event), amplitude_ns));
+        note " -> applied"
+      end
+      else note " -> skipped (no such shard)"
+  | Prepare_head_fail _ | Marker_head_fail _ ->
+      (* Armed on protocol steps, never at event boundaries. *)
+      note " -> skipped (targeted fault at boundary)"
+
+(* Fail-stop a shard's current head, as triggered from a 2PC protocol
+   step. Only legal while the chain keeps >= 2 members afterwards. *)
+let fire_targeted cluster log name ~cross ~shard =
+  let ch = Cluster.chain cluster shard in
+  let label = Printf.sprintf "%s cross=%d shard=%d" name cross shard in
+  if List.length (Async.members ch) > 2 then begin
+    Async.fail_stop_now ch (Async.head_id ch);
+    Buffer.add_string log (label ^ " -> applied (head fail-stopped)\n")
+  end
+  else Buffer.add_string log (label ^ " -> skipped (chain too short)\n")
+
+let run ?(recovery_fault = Async.No_fault) ~seed ~ops ~schedule () =
+  let cluster = make_cluster ~seed () in
+  Array.iter
+    (fun s -> Async.set_recovery_fault (Cluster.chain cluster s) recovery_fault)
+    (Array.init (Cluster.shards cluster) Fun.id);
+  let steps = gen_workload ~seed ~ops in
+  let fault_log = Buffer.create 256 in
+  (* Targeted 2PC faults, armed by (cross index, shard). *)
+  let prep_armed = Hashtbl.create 8 and marker_armed = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      match f with
+      | Prepare_head_fail { cross; shard } ->
+          Hashtbl.replace prep_armed (cross, shard) ()
+      | Marker_head_fail { cross; shard } ->
+          Hashtbl.replace marker_armed (cross, shard) ()
+      | _ -> ())
+    schedule;
+  let writes = ref [] and multis = ref [] and reads = ref [] in
+  let multi_idx = ref 0 in
+  List.iteri
+    (fun i (at, cmd) ->
+      match cmd with
+      | Cwrite op ->
+          let w =
+            { w_index = i; w_op = op; w_at = at; w_shard = -1; w_seq = -1; w_ack = -1 }
+          in
+          writes := w :: !writes;
+          Cluster.submit cluster ~at
+            ~on_submit:(fun ~shard ~seq ->
+              w.w_shard <- shard;
+              w.w_seq <- seq)
+            op
+            ~on_complete:(fun t -> w.w_ack <- t)
+      | Cmulti bindings ->
+          let mi = !multi_idx in
+          incr multi_idx;
+          let m =
+            { m_index = i; m_bindings = bindings; m_at = at; m_parts = [];
+              m_marker = false; m_ack = -1 }
+          in
+          multis := (mi, m) :: !multis;
+          Cluster.multi_put cluster ~at
+            ~on_seq:(fun ~shard ~seq ->
+              if not (List.mem_assoc shard m.m_parts) then
+                m.m_parts <- List.sort compare ((shard, seq) :: m.m_parts))
+            ~on_step:(fun step ->
+              match step with
+              | Cluster.Prepared s ->
+                  if Hashtbl.mem prep_armed (mi, s) then begin
+                    Hashtbl.remove prep_armed (mi, s);
+                    fire_targeted cluster fault_log "prepare-head-fail" ~cross:mi
+                      ~shard:s
+                  end
+              | Cluster.Marker_written ->
+                  m.m_marker <- true;
+                  List.iter
+                    (fun (s, _) ->
+                      if Hashtbl.mem marker_armed (mi, s) then begin
+                        Hashtbl.remove marker_armed (mi, s);
+                        fire_targeted cluster fault_log "marker-head-fail"
+                          ~cross:mi ~shard:s
+                      end)
+                    m.m_parts
+              | Cluster.Committed _ | Cluster.Marker_cleared -> ())
+            bindings
+            ~on_complete:(fun t -> m.m_ack <- t)
+      | Cread key ->
+          let r =
+            { r_index = i; r_key = key; r_at = at; r_shard = Cluster.route cluster key;
+              r_fired = false; r_value = None; r_done = -1 }
+          in
+          reads := r :: !reads;
+          Cluster.read cluster ~at key ~on_result:(fun v t ->
+              r.r_fired <- true;
+              r.r_value <- v;
+              r.r_done <- t))
+    steps;
+  let writes = List.rev !writes
+  and multis = List.rev_map snd !multis
+  and reads = List.rev !reads in
+  (* Arm event-boundary faults. *)
+  let sim = Cluster.sim cluster in
+  let boundary =
+    List.filter
+      (fun f ->
+        match f with Prepare_head_fail _ | Marker_head_fail _ -> false | _ -> true)
+      schedule
+  in
+  let pending = ref boundary in
+  Sim.set_boundary_hook sim
+    (Some
+       (fun () ->
+         let n = Sim.events_executed sim in
+         let rec fire () =
+           match !pending with
+           | f :: rest when fault_at_event f <= n ->
+               pending := rest;
+               apply_fault cluster ~seed fault_log f;
+               fire ()
+           | _ -> ()
+         in
+         fire ()));
+  let events = Cluster.run cluster in
+  Sim.set_boundary_hook sim None;
+  List.iter
+    (fun f -> Buffer.add_string fault_log (fault_to_string f ^ " -> unfired\n"))
+    !pending;
+  List.iter
+    (fun (tbl, name) ->
+      Hashtbl.iter
+        (fun (cross, shard) () ->
+          Buffer.add_string fault_log
+            (Printf.sprintf "%s cross=%d shard=%d -> unfired\n" name cross shard))
+        tbl)
+    [ (prep_armed, "prepare-head-fail"); (marker_armed, "marker-head-fail") ];
+  (* Assemble each chain's write view: singles plus multi_put slices. *)
+  let views = Array.make (Cluster.shards cluster) [] in
+  List.iter
+    (fun w ->
+      if w.w_seq >= 0 then
+        views.(w.w_shard) <-
+          { v_seq = w.w_seq; v_op = w.w_op; v_at = w.w_at; v_ack = w.w_ack }
+          :: views.(w.w_shard))
+    writes;
+  List.iter
+    (fun m ->
+      let by_shard = Cluster.group_bindings cluster m.m_bindings in
+      List.iter
+        (fun (s, seq) ->
+          match List.assoc_opt s by_shard with
+          | Some op ->
+              views.(s) <-
+                { v_seq = seq; v_op = op; v_at = m.m_at; v_ack = m.m_ack }
+                :: views.(s)
+          | None -> ())
+        m.m_parts)
+    multis;
+  (* Oracles. *)
+  let verdict =
+    let ( let* ) = Result.bind in
+    let* () =
+      Result.map_error (fun e -> "quiescence: " ^ e) (Cluster.quiescent cluster)
+    in
+    let* () = check_cluster_atomicity cluster multis in
+    let rec chains s =
+      if s >= Cluster.shards cluster then Ok ()
+      else
+        let ch = Cluster.chain cluster s in
+        let chain_views = List.rev views.(s) in
+        let* applied = check_durable_prefix ~shard:s ch chain_views in
+        let chain_reads = List.filter (fun r -> r.r_shard = s) reads in
+        let* () =
+          Result.map_error (fun e -> Printf.sprintf "shard %d: %s" s e)
+            (check_linearizable chain_views chain_reads applied)
+        in
+        chains (s + 1)
+    in
+    chains 0
+  in
+  let fingerprint = Cluster.fingerprint cluster in
+  (* Render the history. *)
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "# cluster-chaos seed=%d ops=%d shards=%d f=%d faults=%d\n" seed
+    ops cluster_shards cluster_f (List.length schedule);
+  if schedule <> [] then begin
+    Buffer.add_string b "# schedule:\n";
+    List.iter (fun f -> Printf.bprintf b "#   %s\n" (fault_to_string f)) schedule
+  end;
+  List.iter
+    (fun (at, cmd) ->
+      match cmd with
+      | Cwrite _ ->
+          let w = List.find (fun w -> w.w_at = at) writes in
+          Printf.bprintf b "w%d at=%d %s shard=%s seq=%s ack=%s\n" w.w_index w.w_at
+            (op_to_string w.w_op)
+            (if w.w_shard >= 0 then string_of_int w.w_shard else "-")
+            (if w.w_seq >= 0 then string_of_int w.w_seq else "-")
+            (if w.w_ack >= 0 then string_of_int w.w_ack else "-")
+      | Cmulti _ ->
+          let m = List.find (fun m -> m.m_at = at) multis in
+          Printf.bprintf b "m%d at=%d multi[%s] parts=[%s]%s ack=%s\n" m.m_index
+            m.m_at
+            (String.concat ";"
+               (List.map (fun (k, v) -> Printf.sprintf "%d=%S" k v) m.m_bindings))
+            (String.concat ";"
+               (List.map (fun (s, q) -> Printf.sprintf "%d:%d" s q) m.m_parts))
+            (if m.m_marker then " marker" else "")
+            (if m.m_ack >= 0 then string_of_int m.m_ack else "-")
+      | Cread _ ->
+          let r = List.find (fun r -> r.r_at = at) reads in
+          if r.r_fired then
+            Printf.bprintf b "r%d at=%d key=%d shard=%d -> %s done=%d\n" r.r_index
+              r.r_at r.r_key r.r_shard
+              (match r.r_value with
+              | Some v -> Printf.sprintf "%S" v
+              | None -> "absent")
+              r.r_done
+          else
+            Printf.bprintf b "r%d at=%d key=%d shard=%d -> (no response)\n" r.r_index
+              r.r_at r.r_key r.r_shard)
+    steps;
+  if Buffer.length fault_log > 0 then begin
+    Buffer.add_string b "# faults:\n";
+    String.split_on_char '\n' (Buffer.contents fault_log)
+    |> List.iter (fun l -> if l <> "" then Printf.bprintf b "#   %s\n" l)
+  end;
+  let stale_drops = ref 0 in
+  for s = 0 to Cluster.shards cluster - 1 do
+    let ch = Cluster.chain cluster s in
+    stale_drops := !stale_drops + Async.stale_drops ch;
+    Printf.bprintf b "# shard%d view=%d members=[%s] stale-drops=%d\n" s
+      (Async.view_id ch)
+      (String.concat ";" (List.map string_of_int (Async.members ch)))
+      (Async.stale_drops ch)
+  done;
+  Printf.bprintf b "# events=%d crossed=%d redrives=%d fingerprint=%s\n" events
+    (Cluster.crossed cluster) (Cluster.redrives cluster) fingerprint;
+  Printf.bprintf b "verdict: %s\n"
+    (match verdict with Ok () -> "PASS" | Error e -> "FAIL: " ^ e);
+  let commit_h =
+    Kamino_obs.Metrics.hist (Cluster.registry cluster) "cluster.commit_ns"
+  in
+  {
+    seed;
+    ops;
+    schedule;
+    verdict;
+    history = Buffer.contents b;
+    events;
+    submitted = List.length (List.filter (fun w -> w.w_seq >= 0) writes);
+    acked = List.length (List.filter (fun w -> w.w_ack >= 0) writes);
+    multis = List.length multis;
+    multis_acked = List.length (List.filter (fun m -> m.m_ack >= 0) multis);
+    crossed = Cluster.crossed cluster;
+    redrives = Cluster.redrives cluster;
+    reads = List.length reads;
+    stale_drops = !stale_drops;
+    fingerprint;
+    p50_ns = Kamino_obs.Metrics.percentile commit_h 50.;
+    p95_ns = Kamino_obs.Metrics.percentile commit_h 95.;
+    p99_ns = Kamino_obs.Metrics.percentile commit_h 99.;
+  }
+
+let explore ?(recovery_fault = Async.No_fault) ?(ops = 30) ?(faults = 6) ~seed () =
+  (* Dry run: measure the fault-free event count so the schedule spans the
+     whole workload. *)
+  let dry = run ~seed ~ops ~schedule:[] () in
+  let multis = count_multis (gen_workload ~seed ~ops) in
+  let schedule =
+    gen_schedule ~seed ~faults ~shards:cluster_shards ~nodes_per_chain
+      ~events:dry.events ~multis
+  in
+  run ~recovery_fault ~seed ~ops ~schedule ()
+
+let shrink ?(recovery_fault = Async.No_fault) ~seed ~ops schedule =
+  let fails s = (run ~recovery_fault ~seed ~ops ~schedule:s ()).verdict <> Ok () in
+  if not (fails schedule) then schedule
+  else begin
+    let rec minimize s =
+      let n = List.length s in
+      let rec try_drop i =
+        if i >= n then s
+        else
+          let s' = List.filteri (fun j _ -> j <> i) s in
+          if fails s' then minimize s' else try_drop (i + 1)
+      in
+      try_drop 0
+    in
+    minimize schedule
+  end

@@ -1,0 +1,127 @@
+(** Chaos exploration over the replicated shard-cluster: the {!Chaos}
+    harness shape (seeded workload + fault schedule + oracles + greedy
+    shrinking) pointed at {!Kamino_cluster.Cluster}. Beyond the per-node
+    event-boundary faults, two {e targeted} kinds arm on the cross-shard
+    2PC protocol steps themselves: [Prepare_head_fail] fail-stops a
+    participant's head the moment that shard prepares (head promotion
+    lands {e between} prepare and commit-marker persist), and
+    [Marker_head_fail] fail-stops it the moment the marker persists (the
+    decided transaction must be re-driven through the promoted head).
+
+    Oracles: per-chain durable prefix (survivor agreement, no phantoms,
+    acked implies applied, sequential replay, verified head backup),
+    cluster atomicity (every cross-shard multi_put is all-or-nothing, and
+    a decided one is applied on all participants), per-chain
+    linearizability of completed reads, and cluster quiescence. *)
+
+module Op = Kamino_chain.Op
+module Async = Kamino_chain.Async_chain
+module Cluster = Kamino_cluster.Cluster
+
+type fault =
+  | Reboot of { shard : int; node : int; at_event : int; downtime_ns : int }
+  | Fail_stop of { shard : int; node : int; at_event : int }
+  | Stale_probe of { shard : int; node : int; at_event : int }
+  | Hop_jitter of { shard : int; at_event : int; amplitude_ns : int }
+  | Prepare_head_fail of { cross : int; shard : int }
+      (** fail-stop shard [shard]'s head when multi_put number [cross]
+          (0-based over the workload's multi_puts) reports it prepared *)
+  | Marker_head_fail of { cross : int; shard : int }
+      (** fail-stop shard [shard]'s head when that multi_put's commit
+          marker persists *)
+
+type outcome = {
+  seed : int;
+  ops : int;
+  schedule : fault list;
+  verdict : (unit, string) result;
+  history : string;  (** deterministic human-readable run transcript *)
+  events : int;
+  submitted : int;  (** single writes that reached a head *)
+  acked : int;  (** single writes acknowledged to the client *)
+  multis : int;
+  multis_acked : int;
+  crossed : int;  (** cross-chain transactions fully acknowledged *)
+  redrives : int;  (** view-change re-drives of committed operations *)
+  reads : int;
+  stale_drops : int;  (** summed across all chains *)
+  fingerprint : string;
+  p50_ns : int;  (** cluster commit latency percentiles, all commits *)
+  p95_ns : int;
+  p99_ns : int;
+}
+
+val fault_to_string : fault -> string
+
+(** One fault per line, [kind k=v k=v...]; round-trips with
+    {!schedule_of_string}. *)
+val schedule_to_string : fault list -> string
+
+(** Parses {!schedule_to_string} output; blank lines and [#] comments are
+    ignored. *)
+val schedule_of_string : string -> (fault list, string) result
+
+type cmd =
+  | Cwrite of Op.t
+  | Cmulti of (int * string) list
+  | Cread of int
+
+(** Deterministic workload for [seed]: single writes, cross-shard
+    multi_puts (2-4 distinct keys) and reads with strictly increasing
+    submission times. *)
+val gen_workload : seed:int -> ops:int -> (int * cmd) list
+
+(** Multi_put commands in a workload (the [multis] input of
+    {!gen_schedule}). *)
+val count_multis : (int * cmd) list -> int
+
+(** Deterministic fault schedule for [seed]: [faults] draws across all
+    kinds, targeted 2PC faults included whenever the workload has
+    multi_puts ([multis] > 0), event-indexed faults spread over
+    [events]. *)
+val gen_schedule :
+  seed:int ->
+  faults:int ->
+  shards:int ->
+  nodes_per_chain:int ->
+  events:int ->
+  multis:int ->
+  fault list
+
+(** Cluster geometry of every run: 3 shard-chains of f+2 = 3 replicas. *)
+val cluster_shards : int
+
+val cluster_f : int
+
+val nodes_per_chain : int
+
+(** [run ~seed ~ops ~schedule ()] builds a fresh cluster, replays seed
+    [seed]'s workload under [schedule], drains the simulation and checks
+    every oracle. Identical inputs produce byte-identical histories and
+    fingerprints. *)
+val run :
+  ?recovery_fault:Async.recovery_fault ->
+  seed:int ->
+  ops:int ->
+  schedule:fault list ->
+  unit ->
+  outcome
+
+(** [explore ~seed ()] — dry fault-free run to size the event horizon,
+    then a drawn schedule replayed under faults. *)
+val explore :
+  ?recovery_fault:Async.recovery_fault ->
+  ?ops:int ->
+  ?faults:int ->
+  seed:int ->
+  unit ->
+  outcome
+
+(** Greedy drop-one minimisation: returns a subset of [schedule] that
+    still fails the oracles (or [schedule] itself if it passes). *)
+val shrink :
+  ?recovery_fault:Async.recovery_fault ->
+  seed:int ->
+  ops:int ->
+  fault list ->
+  fault list

@@ -79,6 +79,8 @@ let percentile h p =
     min ub h.hmax
   end
 
+let percentiles h ps = Array.map (fun p -> percentile h p) ps
+
 let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
 
 let fold_counters t ~init ~f =

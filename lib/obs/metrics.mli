@@ -50,6 +50,10 @@ val mean : hist -> float
 val percentile : hist -> float -> int
 (** [percentile h p] for [p] in [0..100]; 0 when empty. *)
 
+val percentiles : hist -> float array -> int array
+(** [percentiles h ps] maps {!percentile} over [ps] — the p50/p95/p99
+    triple every latency report uses. *)
+
 (** {1 Enumeration} *)
 
 val fold_counters : t -> init:'a -> f:('a -> string -> int -> 'a) -> 'a

@@ -19,8 +19,11 @@ type 'a t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  (* Minimum 2 cells: with a single cell the post-send sequence equals the
+     next enqueue ticket, so the full test [dif < 0] never trips and a
+     second send would overwrite the unconsumed slot. *)
   let cap =
-    let c = ref 1 in
+    let c = ref 2 in
     while !c < capacity do
       c := !c * 2
     done;

@@ -5,7 +5,8 @@
     bounded queue): senders and receivers each take one CAS per
     operation, and the sequence atomics provide the happens-before edges
     that publish the payload across domains. Capacity is rounded up to a
-    power of two. *)
+    power of two, minimum 2 — a one-cell ring cannot distinguish full
+    from empty. *)
 
 type 'a t
 

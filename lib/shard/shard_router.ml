@@ -36,6 +36,11 @@ type t = {
   cross : bool Atomic.t;  (* the single-coordinator lock *)
   parks : int Atomic.t;  (* parks in flight: the service fast path *)
   crossed : int Atomic.t;  (* leased operations completed *)
+  (* Fast-path accounting: plain ints — exact only when the router runs on
+     a single domain, which is all the regression tests need. *)
+  mutable service_calls : int;
+  mutable service_loads : int;  (* atomic loads of the [parks] gate *)
+  mutable service_drains : int;  (* slow-path entries (gate saw parks) *)
 }
 
 let create shard =
@@ -48,11 +53,20 @@ let create shard =
     cross = Atomic.make false;
     parks = Atomic.make 0;
     crossed = Atomic.make 0;
+    service_calls = 0;
+    service_loads = 0;
+    service_drains = 0;
   }
 
 let shard t = t.shard
 
 let crossed t = Atomic.get t.crossed
+
+let service_calls t = t.service_calls
+
+let service_loads t = t.service_loads
+
+let service_drains t = t.service_drains
 
 (* Round-robin shard -> domain placement; must mirror the driver's lane
    grouping exactly or a lease would park the wrong executor. *)
@@ -70,8 +84,16 @@ let host t i = t.host_of.(i)
    between operations and from every wait loop; the common case is one
    atomic load ([parks] = 0). A parked executor holds no transaction, so
    the coordinator may drive its engines until [release]. *)
+(* Every read of the [parks] gate goes through here so the lease-free
+   cost — exactly one atomic load per [service] call — stays measurable. *)
+let gate t =
+  t.service_loads <- t.service_loads + 1;
+  Atomic.get t.parks
+
 let service t ~domain =
-  if Atomic.get t.parks > 0 then begin
+  t.service_calls <- t.service_calls + 1;
+  if gate t > 0 then begin
+    t.service_drains <- t.service_drains + 1;
     let rec drain () =
       match Mailbox.try_recv t.inboxes.(domain) with
       | None -> ()

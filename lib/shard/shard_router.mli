@@ -70,3 +70,21 @@ val with_remote_tx : t -> from:int -> int -> (Kamino_core.Engine.tx -> 'a) -> 'a
 
 (** Leased (locked) operations completed so far. *)
 val crossed : t -> int
+
+(** {2 Fast-path accounting}
+
+    Plain-int counters — exact only when the router is driven from a
+    single domain, which is what the regression tests do. The invariant
+    they pin: with zero leases in flight, every {!service} call costs
+    exactly one atomic load (of the park gate) and never enters the
+    mailbox drain. *)
+
+(** {!service} invocations. *)
+val service_calls : t -> int
+
+(** Atomic loads of the park gate performed by {!service}. *)
+val service_loads : t -> int
+
+(** Slow-path entries: {!service} calls that saw parks in flight and
+    drained the mailbox. *)
+val service_drains : t -> int

@@ -415,6 +415,102 @@ let matrix_case name make_engine crash_mode () =
           name seed (List.length image_on) (List.length image_off))
     seeds
 
+(* --- chain snapshots across a view change ---------------------------------- *)
+
+(* §5.2 crossed with lock-free snapshot reads: while a head promotion is
+   in flight the new head has no full backup, so its snapshot watermark is
+   [None] and {!Cluster_kv.snapshot_get} must take the tail-read fallback;
+   once the promotion completes, every snapshot served from the backup at
+   the published watermark must be a prefix state of the chain's applied
+   history — never a torn or future value. *)
+let chain_snapshot_case () =
+  let module Sim = Kamino_sim.Engine in
+  let module Op = Kamino_chain.Op in
+  let module Async = Kamino_chain.Async_chain in
+  let module Cluster = Kamino_cluster.Cluster in
+  let module Cluster_kv = Kamino_cluster.Cluster_kv in
+  let module Kv = Kamino_kv.Kv in
+  let cluster =
+    Cluster.create
+      ~engine_config:
+        {
+          Engine.default_config with
+          Engine.heap_bytes = 1 lsl 18;
+          log_slots = 64;
+          data_log_bytes = 1 lsl 16;
+        }
+      ~hop_ns:5000 ~rpc_ns:500 ~promote_ns:40_000 ~shards:1 ~f:2 ~value_size:64
+      ~node_size:512 ~seed:21 ()
+  in
+  let ch = Cluster.chain cluster 0 in
+  let key = 1 in
+  let writes = 30 in
+  for i = 1 to writes do
+    Cluster.submit cluster ~at:(i * 3_000)
+      (Op.Put (key, Printf.sprintf "v%d" i))
+      ~on_complete:(fun _ -> ())
+  done;
+  (* Fail-stop the head mid-stream: the promotion window (40us) overlaps
+     both the remaining writes and the early probes. *)
+  Async.fail_stop ch ~at:25_000 (Async.head_id ch);
+  let probes = ref [] in
+  let sim = Cluster.sim cluster in
+  List.iter
+    (fun t ->
+      Sim.schedule sim ~at:t (fun () ->
+          let head = Async.head_id ch in
+          match Engine.snapshot_watermark (Async.engine_at ch head) with
+          | None -> probes := (t, None) :: !probes
+          | Some wm ->
+              probes :=
+                (t, Some (wm, Kv.snapshot_get (Async.kv_at ch head) key))
+                :: !probes))
+    [ 26_000; 31_000; 38_000; 47_000; 58_000; 72_000; 90_000; 110_000; 150_000 ];
+  ignore (Cluster.run cluster);
+  let probes = List.rev !probes in
+  (* Prefix states of key 1: absent, then v1..vN in order. Any snapshot
+     must be one of them. *)
+  let prefix_states =
+    None :: List.init writes (fun i -> Some (Printf.sprintf "v%d" (i + 1)))
+  in
+  let fallbacks = List.filter (fun (_, p) -> p = None) probes in
+  let snapshots = List.filter_map (fun (t, p) -> Option.map (fun s -> (t, s)) p) probes in
+  Alcotest.(check bool)
+    (Printf.sprintf "promotion window forced %d fallback probe(s)"
+       (List.length fallbacks))
+    true
+    (List.length fallbacks >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "backup served %d snapshot probe(s) after promotion"
+       (List.length snapshots))
+    true
+    (List.length snapshots >= 1);
+  List.iter
+    (fun (t, (wm, v)) ->
+      if not (List.mem v prefix_states) then
+        Alcotest.failf "probe at %d: snapshot %s is not a prefix state" t
+          (match v with Some s -> s | None -> "absent");
+      ignore wm)
+    snapshots;
+  (* Watermarks only advance. *)
+  ignore
+    (List.fold_left
+       (fun prev (t, (wm, _)) ->
+         if wm < prev then
+           Alcotest.failf "probe at %d: watermark went backwards" t;
+         wm)
+       (0, 0) snapshots);
+  (* Settled and with the head's applier drained, the closed-loop
+     snapshot agrees with a tail read. *)
+  let kv = Cluster_kv.create cluster in
+  Engine.drain_backup (Async.engine_at ch (Async.head_id ch));
+  Alcotest.(check bool) "settled head serves snapshots" true
+    (Engine.snapshot_watermark (Async.engine_at ch (Async.head_id ch)) <> None);
+  Alcotest.(check (option string))
+    "settled snapshot equals the tail read"
+    (Cluster_kv.get kv key)
+    (Cluster_kv.snapshot_get kv key)
+
 let () =
   let kinds =
     [
@@ -451,4 +547,15 @@ let () =
           `Slow (sharded_case mode))
       modes
   in
-  Alcotest.run "crash_matrix" [ ("matrix", cases); ("sharded", sharded) ]
+  let chain_snapshot =
+    [
+      Alcotest.test_case "snapshot_get across a chain view change" `Quick
+        chain_snapshot_case;
+    ]
+  in
+  Alcotest.run "crash_matrix"
+    [
+      ("matrix", cases);
+      ("sharded", sharded);
+      ("chain-snapshot", chain_snapshot);
+    ]

@@ -61,6 +61,35 @@ let test_router () =
         counts)
     [ 1; 2; 4; 8 ]
 
+(* The lease fast path is what keeps the parallel driver's per-op router
+   overhead flat: with zero leases in flight, a service drive costs
+   exactly one atomic load of the park gate and never touches the
+   mailbox. The counters are exact on a single domain. *)
+let test_service_fast_path () =
+  let s = Shard.create ~config ~kind:Engine.Kamino_simple ~seed:3 ~shards:4 () in
+  let router = Shard_router.create s in
+  Shard_router.attach router ~domains:2;
+  let n = 1_000 in
+  for _ = 1 to n do
+    Shard_router.service router ~domain:0;
+    Shard_router.service router ~domain:1
+  done;
+  Alcotest.(check int) "every drive counted" (2 * n)
+    (Shard_router.service_calls router);
+  Alcotest.(check int) "exactly one atomic load per drive" (2 * n)
+    (Shard_router.service_loads router);
+  Alcotest.(check int) "no mailbox drains without leases" 0
+    (Shard_router.service_drains router);
+  (* A home-hosted multi-shard exclusive takes the coordinator lock but
+     leases nobody — the fast-path accounting must not move. *)
+  Shard_router.attach router ~domains:1;
+  let loads = Shard_router.service_loads router in
+  Shard_router.exclusive router ~from:0 [ 0; 1 ] (fun () -> ());
+  Alcotest.(check int) "lock without foreign hosts loads nothing" loads
+    (Shard_router.service_loads router);
+  Alcotest.(check int) "and still never drains" 0
+    (Shard_router.service_drains router)
+
 (* --- per-shard isolation --------------------------------------------------- *)
 
 (* The uniform-key YCSB-A cell from the bench, parameterized so the same
@@ -658,7 +687,11 @@ let () =
   Alcotest.run "shard"
     [
       ( "router",
-        [ Alcotest.test_case "deterministic, in range, spreads" `Quick test_router ] );
+        [
+          Alcotest.test_case "deterministic, in range, spreads" `Quick test_router;
+          Alcotest.test_case "lease-free service is one atomic load" `Quick
+            test_service_fast_path;
+        ] );
       ( "isolation",
         [
           Alcotest.test_case "per-shard sim-ns equals a standalone engine" `Quick
