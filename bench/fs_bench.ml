@@ -1,0 +1,208 @@
+(* Filesystem bench: the classic smallfile / largefile pair from the
+   LFS-lineage of filesystem papers, run over the transactional inode
+   layer (`lib/fs`) on every engine kind.
+
+   - smallfile: metadata-bound churn — create a file in a rotating
+     directory, write a ~100-byte payload, read it back, unlink it.
+     Every cycle is four fs operations, each its own multi-object
+     transaction touching the inode table, a directory B+Tree and the
+     extent allocator.
+   - largefile: data-bound streaming — append block-sized chunks to a
+     single file up to a size cap, then truncate to zero and start
+     over.  This is where undo/cow pay per-byte logging or copy costs
+     and Kamino pays backup propagation.
+
+   Each cell reports wall ops/s, simulated ns/op, minor words/op and
+   the p50/p95/p99 of the workload's hot operation from the engine's
+   own `fs.op_ns.*` histograms.  After the measured window every cell
+   must pass `Fs_check.fsck` — a benchmark that corrupts the tree does
+   not get to report a number.
+
+   Usage: fs_bench.exe [--ops N] [--out PATH] [--engine NAME]
+   Exit status is non-zero if any cell completes zero operations or
+   fails fsck (the CI smoke gates). *)
+
+module Engine = Kamino_core.Engine
+module Backup = Kamino_core.Backup
+module Fs = Kamino_fs.Fs
+module Fs_check = Kamino_fs.Fs_check
+module Metrics = Kamino_obs.Metrics
+
+let kinds =
+  [
+    ("no-logging", Engine.No_logging);
+    ("undo-logging", Engine.Undo_logging);
+    ("cow", Engine.Cow);
+    ("kamino-simple", Engine.Kamino_simple);
+    ("kamino-dyn-30", Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy });
+  ]
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 32 * 1024 * 1024;
+    log_slots = 256;
+    max_tx_entries = 8192;
+    data_log_bytes = 8 * 1024 * 1024;
+  }
+
+type cell = {
+  engine : string;
+  workload : string;
+  ops : int;
+  wall_ns : float;
+  ops_per_sec : float;
+  sim_ns_per_op : float;
+  alloc_words_per_op : float;
+  hot_op : string;  (* which fs.op_ns.* histogram the percentiles are from *)
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+(* Run [cycles] iterations of [step] (each [per_cycle] fs ops) against a
+   fresh filesystem, then gate on fsck. *)
+let measure ~engine_name ~workload ~hot_op e fs ~cycles ~per_cycle step =
+  (* Touch the code paths once so the first measured cycle is not also
+     the first major-heap growth. *)
+  step 0;
+  Engine.drain_backup e;
+  Gc.minor ();
+  let sim0 = Engine.now e in
+  let w0 = Gc.minor_words () in
+  let t0 = Common.Wall.now_s () in
+  for i = 1 to cycles do
+    step i
+  done;
+  let wall_s = Common.Wall.elapsed_s ~since:t0 in
+  let sim_ns = Engine.now e - sim0 in
+  let words = Gc.minor_words () -. w0 in
+  let ops = cycles * per_cycle in
+  (match Fs_check.fsck fs with
+  | Ok () -> ()
+  | Error err ->
+      Printf.eprintf "FAIL: %s/%s: post-run fsck: %s\n" engine_name workload err;
+      exit 1);
+  let h = Metrics.hist (Engine.registry e) ("fs.op_ns." ^ hot_op) in
+  let per x = if ops = 0 then 0.0 else x /. float_of_int ops in
+  {
+    engine = engine_name;
+    workload;
+    ops;
+    wall_ns = wall_s *. 1e9;
+    ops_per_sec = (if wall_s <= 0.0 then 0.0 else float_of_int ops /. wall_s);
+    sim_ns_per_op = per (float_of_int sim_ns);
+    alloc_words_per_op = per words;
+    hot_op;
+    p50 = Metrics.percentile h 50.0;
+    p95 = Metrics.percentile h 95.0;
+    p99 = Metrics.percentile h 99.0;
+  }
+
+let smallfile_cell ~total_ops (engine_name, kind) =
+  let e = Engine.create ~config ~kind ~seed:90210 () in
+  let fs = Fs.format ~block_size:512 ~dir_hash_bits:4 e in
+  let root = Fs.root_ino fs in
+  let ndirs = 8 in
+  let dirs =
+    Array.init ndirs (fun i -> Fs.mkdir fs ~dir:root (Printf.sprintf "d%d" i))
+  in
+  let payload = String.make 100 's' in
+  let step i =
+    let dir = dirs.(i mod ndirs) in
+    let name = Printf.sprintf "f%d" (i mod 64) in
+    let ino = Fs.create fs ~dir name in
+    Fs.write fs ~ino ~off:0 payload;
+    ignore (Fs.read fs ~ino ~off:0 ~len:(String.length payload));
+    Fs.unlink fs ~dir name
+  in
+  measure ~engine_name ~workload:"smallfile" ~hot_op:"create" e fs
+    ~cycles:(max 1 (total_ops / 4)) ~per_cycle:4 step
+
+let largefile_cell ~total_ops (engine_name, kind) =
+  let e = Engine.create ~config ~kind ~seed:90210 () in
+  let fs = Fs.format ~block_size:4096 ~dir_hash_bits:4 e in
+  let ino = Fs.create fs ~dir:(Fs.root_ino fs) "big" in
+  (* Chunks fill whole blocks; 64 chunks = a 256 KB file per cycle. *)
+  let chunk = 4096 in
+  let chunks = 64 in
+  let payload = String.make chunk 'L' in
+  let step _ =
+    for c = 0 to chunks - 1 do
+      Fs.write fs ~ino ~off:(c * chunk) payload
+    done;
+    Fs.truncate fs ~ino ~len:0
+  in
+  let per_cycle = chunks + 1 in
+  measure ~engine_name ~workload:"largefile" ~hot_op:"write" e fs
+    ~cycles:(max 1 (total_ops / per_cycle)) ~per_cycle step
+
+let json_of_cell c =
+  Printf.sprintf
+    {|    {"engine": "%s", "workload": "%s", "ops": %d, "wall_ns": %.0f,
+     "ops_per_sec": %.1f, "sim_ns_per_op": %.1f, "alloc_words_per_op": %.1f,
+     "latency_sim_ns": {"op": "%s", "p50": %d, "p95": %d, "p99": %d}}|}
+    c.engine c.workload c.ops c.wall_ns c.ops_per_sec c.sim_ns_per_op
+    c.alloc_words_per_op c.hot_op c.p50 c.p95 c.p99
+
+let () =
+  let total_ops = ref 6_000 and out = ref "BENCH_fs.json" and engine_filter = ref "" in
+  let rec parse = function
+    | [] -> ()
+    | "--ops" :: v :: rest ->
+        total_ops := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--engine" :: v :: rest ->
+        engine_filter := v;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "fs_bench.exe: unknown argument %s\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let kinds =
+    List.filter (fun (name, _) -> !engine_filter = "" || name = !engine_filter) kinds
+  in
+  if kinds = [] then begin
+    Printf.eprintf "fs_bench.exe: no engine matches --engine %s\n" !engine_filter;
+    exit 2
+  end;
+  Printf.printf "filesystem bench: ~%d fs ops per cell, %d engine kinds\n%!" !total_ops
+    (List.length kinds);
+  let cells =
+    List.concat_map
+      (fun kind ->
+        let row =
+          [ smallfile_cell ~total_ops:!total_ops kind;
+            largefile_cell ~total_ops:!total_ops kind ]
+        in
+        List.iter
+          (fun c ->
+            Printf.printf
+              "  %-14s %-9s %9.0f ops/s  %8.0f sim-ns/op  %7.1f words/op  \
+               %s p50/p95/p99 %d/%d/%d sim-ns\n%!"
+              c.engine c.workload c.ops_per_sec c.sim_ns_per_op c.alloc_words_per_op
+              c.hot_op c.p50 c.p95 c.p99)
+          row;
+        row)
+      kinds
+  in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"kamino-fs-v1\",\n  \"target_ops\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    !total_ops
+    (String.concat ",\n" (List.map json_of_cell cells));
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" !out (List.length cells);
+  let dead = List.filter (fun c -> c.ops = 0 || c.p50 = 0) cells in
+  if dead <> [] then begin
+    List.iter
+      (fun c ->
+        Printf.eprintf "FAIL: %s/%s produced no measurable operations\n" c.engine
+          c.workload)
+      dead;
+    exit 1
+  end

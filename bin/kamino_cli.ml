@@ -5,6 +5,7 @@
      tpcc        run the TPC-C-lite mix
      crash-test  hammer an engine with random transactions + crash injection
      chain       run a replicated (chain) workload
+     fs          run a filesystem workload over lib/fs, fsck it, dump the tree
      trace       run a traced YCSB workload, export a Perfetto timeline
      info        print the cost model and storage layout constants *)
 
@@ -26,6 +27,8 @@ module Shard_kv = Kamino_shard.Shard_kv
 module Shard_driver = Kamino_shard.Shard_driver
 module Obs = Kamino_obs.Obs
 module Sink = Kamino_obs.Sink
+module Fs = Kamino_fs.Fs
+module Fs_check = Kamino_fs.Fs_check
 open Cmdliner
 
 (* --- shared arguments ----------------------------------------------------- *)
@@ -897,6 +900,123 @@ let cluster_cmd =
           oracles.")
     term
 
+(* --- fs --------------------------------------------------------------------- *)
+
+let fs_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "n"; "ops" ] ~docv:"OPS" ~doc:"Filesystem operations to run.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt ~vopt:20 int 0
+      & info [ "crashes" ] ~docv:"N"
+          ~doc:
+            "Inject N crash/recover/fsck cycles at operation boundaries during \
+             the run.")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ] ~doc:"Print the directory tree after the run.")
+  in
+  let run kind heap_mb seed rounds crashes dump =
+    let e = Engine.create ~config:(config_of heap_mb) ~kind ~seed () in
+    let fs = Fs.format ~block_size:512 ~dir_hash_bits:6 e in
+    let root = Fs.root_ino fs in
+    let rng = Rng.create (seed + 1) in
+    let dirs = ref [ root ] in
+    let files = ref [] in
+    let pick l = List.nth l (Rng.int rng (List.length l)) in
+    let gen_name tag = Printf.sprintf "%s%d" tag (Rng.int rng 40) in
+    let ignore_fs_errors f = try f () with Fs.Fs_error _ -> () in
+    let with_ino dir name f =
+      match Fs.lookup fs ~dir name with Some ino -> f ino | None -> ()
+    in
+    let fsck ctx =
+      match Fs_check.fsck fs with
+      | Ok () -> ()
+      | Error err ->
+          Printf.eprintf "CORRUPTED (%s): %s\n" ctx err;
+          exit 1
+    in
+    let crash_every = if crashes = 0 then max_int else max 1 (rounds / crashes) in
+    let crashed = ref 0 in
+    for round = 1 to rounds do
+      (match Rng.int rng 10 with
+      | 0 ->
+          ignore_fs_errors (fun () ->
+              dirs := Fs.mkdir fs ~dir:(pick !dirs) (gen_name "d") :: !dirs)
+      | 1 | 2 ->
+          ignore_fs_errors (fun () ->
+              files := (pick !dirs, gen_name "f") :: !files;
+              ignore (Fs.create fs ~dir:(fst (List.hd !files)) (snd (List.hd !files))))
+      | 3 | 4 | 5 when !files <> [] ->
+          let dir, name = pick !files in
+          ignore_fs_errors (fun () ->
+              with_ino dir name (fun ino ->
+                  Fs.write fs ~ino ~off:(Rng.int rng 2048)
+                    (Printf.sprintf "round-%d" round)))
+      | 6 when !files <> [] ->
+          let dir, name = pick !files in
+          ignore_fs_errors (fun () ->
+              with_ino dir name (fun ino ->
+                  Fs.truncate fs ~ino ~len:(Rng.int rng 4096)))
+      | 7 when !files <> [] ->
+          let src, src_name = pick !files in
+          let dst = pick !dirs and dst_name = gen_name "f" in
+          ignore_fs_errors (fun () ->
+              Fs.rename fs ~src ~src_name ~dst ~dst_name;
+              files :=
+                (dst, dst_name)
+                :: List.filter (fun en -> en <> (src, src_name)) !files)
+      | 8 when !files <> [] ->
+          let dir, name = pick !files in
+          ignore_fs_errors (fun () ->
+              Fs.unlink fs ~dir name;
+              files := List.filter (fun en -> en <> (dir, name)) !files)
+      | _ -> ignore_fs_errors (fun () -> ignore (Fs.readdir fs ~dir:(pick !dirs))));
+      if round mod crash_every = 0 && round < rounds then begin
+        incr crashed;
+        Engine.crash e;
+        Engine.recover e;
+        fsck (Printf.sprintf "after crash %d" !crashed)
+      end
+    done;
+    Engine.drain_backup e;
+    fsck "final";
+    if dump then print_string (Fs.dump fs);
+    let reg = Engine.registry e in
+    let p op =
+      let h = Kamino_obs.Metrics.hist reg ("fs.op_ns." ^ op) in
+      if Kamino_obs.Metrics.count h = 0 then ""
+      else
+        Printf.sprintf "  %-8s %6d ops  p50/p95/p99 %d/%d/%d sim-ns\n" op
+          (Kamino_obs.Metrics.count h)
+          (Kamino_obs.Metrics.percentile h 50.0)
+          (Kamino_obs.Metrics.percentile h 95.0)
+          (Kamino_obs.Metrics.percentile h 99.0)
+    in
+    Printf.printf "%d fs ops on %s, %d boundary crashes injected: CONSISTENT\n" rounds
+      (Engine.kind_name kind) !crashed;
+    List.iter
+      (fun op -> print_string (p op))
+      [ "create"; "mkdir"; "write"; "truncate"; "rename"; "unlink"; "readdir"; "fsck" ];
+    print_metrics e
+  in
+  let term =
+    Term.(const run $ engine_arg $ heap_mb_arg $ seed_arg $ rounds_arg $ crashes_arg
+          $ dump_arg)
+  in
+  Cmd.v
+    (Cmd.info "fs"
+       ~doc:
+         "Run a random filesystem workload over the transactional inode layer, \
+          optionally crash-injecting at operation boundaries, then fsck and \
+          dump the tree.")
+    term
+
 (* --- info ------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -923,6 +1043,7 @@ let () =
         chain_cmd;
         chaos_cmd;
         cluster_cmd;
+        fs_cmd;
         trace_cmd;
         info_cmd;
       ]

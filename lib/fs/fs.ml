@@ -1,0 +1,835 @@
+module Engine = Kamino_core.Engine
+module Heap = Kamino_heap.Heap
+module Btree = Kamino_index.Btree
+module Obs = Kamino_obs.Obs
+module Metrics = Kamino_obs.Metrics
+
+exception Fs_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Fs_error s)) fmt
+
+module Layout = struct
+  (* Superblock: anchored at the heap root. *)
+  let sb_magic = 0
+  let sb_version = 8
+  let sb_itab = 16
+  let sb_next_ord = 24
+  let sb_ino_base = 32
+  let sb_ino_stride = 40
+  let sb_root_ino = 48
+  let sb_inode_count = 56
+  let sb_dir_count = 64
+  let sb_block_count = 72
+  let sb_data_bytes = 80
+  let sb_block_size = 88
+  let sb_hash_bits = 96
+  let sb_size = 104
+  let magic = 0x4b46_534d (* "KFSM" *)
+  let version = 1
+
+  (* Inode. *)
+  let i_ino = 0
+  let i_kind = 8
+  let i_nlink = 16
+  let i_size = 24
+  let i_parent = 32
+  let i_gen = 40
+  let i_head = 48
+  let inode_size = 56
+  let kind_file = 1
+  let kind_dir = 2
+
+  (* Dirent: collision-chained under one hash key. *)
+  let d_next = 0
+  let d_ino = 8
+  let d_nlen = 16
+  let d_name = 24
+  let max_name_len = 40
+  let dirent_size = 64
+
+  (* Extent-chain node: [ext_slots] data-block pointers. *)
+  let e_next = 0
+  let e_slot i = 8 + (i * 8)
+  let ext_slots = 30
+  let ext_size = 8 + (ext_slots * 8)
+
+  let itab_node_size = 512
+  let dir_node_size = 256
+end
+
+open Layout
+
+type t = {
+  engine : Engine.t;
+  sb : Heap.ptr;
+  itab : Btree.t;
+  block_size : int;
+  hash_mask : int;
+  base : int;
+  stride : int;
+  obs_track : int;
+  hists : Metrics.hist array;
+  c_blocks : Metrics.counter;
+  c_extnodes : Metrics.counter;
+}
+
+type kind = File | Dir
+
+type stat = {
+  ino : int;
+  kind : kind;
+  nlink : int;
+  size : int;
+  parent : int;
+  gen : int;
+}
+
+(* --- Opcodes (obs span payloads, histogram names) ------------------------ *)
+
+let op_create = 0
+let op_mkdir = 1
+let op_write = 2
+let op_read = 3
+let op_readdir = 4
+let op_rename = 5
+let op_unlink = 6
+let op_truncate = 7
+let op_link = 8
+let op_rmdir = 9
+let op_fsck = 10
+
+let op_names =
+  [|
+    "create"; "mkdir"; "write"; "read"; "readdir"; "rename"; "unlink";
+    "truncate"; "link"; "rmdir"; "fsck";
+  |]
+
+let op_name op = if op >= 0 && op < Array.length op_names then op_names.(op) else "?"
+
+(* --- Names ---------------------------------------------------------------- *)
+
+let check_name name =
+  let n = String.length name in
+  if n = 0 || n > max_name_len then
+    err "Fs: name length %d out of range 1..%d" n max_name_len;
+  if name = "." || name = ".." then err "Fs: %S is reserved" name;
+  String.iter
+    (fun c -> if c = '/' || c = '\000' then err "Fs: name %S has a '/' or NUL" name)
+    name
+
+(* Deterministic djb2-xs hash, kept in 62 nonnegative bits (the FNV
+   basis does not fit OCaml's native int). *)
+let name_hash_raw name =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land max_int) name;
+  (!h lxor (!h lsr 31)) land max_int
+
+let hash_name t name = name_hash_raw name land t.hash_mask
+
+let step on_step label = match on_step with Some f -> f label | None -> ()
+
+(* --- Lifecycle ------------------------------------------------------------ *)
+
+let make_metric_handles engine =
+  let reg = Engine.registry engine in
+  ( Array.map (fun n -> Metrics.hist reg ("fs.op_ns." ^ n)) op_names,
+    Metrics.counter reg "fs.blocks_allocated",
+    Metrics.counter reg "fs.extent_nodes_allocated" )
+
+let kind_code = function File -> kind_file | Dir -> kind_dir
+
+(* [format] creates the root directory through this inside the
+   formatting transaction. *)
+let mknod_tx tx t kind ~parent =
+  Engine.add tx t.sb;
+  let ord = Engine.read_int tx t.sb sb_next_ord in
+  Engine.write_int tx t.sb sb_next_ord (ord + 1);
+  let ino = t.base + (ord * t.stride) in
+  let ip = Engine.alloc tx inode_size in
+  Engine.write_int tx ip i_ino ino;
+  Engine.write_int tx ip i_kind (kind_code kind);
+  Engine.write_int tx ip i_nlink 1;
+  Engine.write_int tx ip i_size 0;
+  Engine.write_int tx ip i_gen 0;
+  (match kind with
+  | File ->
+      Engine.write_int tx ip i_parent (-1);
+      Engine.write_int tx ip i_head Heap.null
+  | Dir ->
+      Engine.write_int tx ip i_parent parent;
+      let idx = Btree.create tx ~node_size:dir_node_size in
+      Engine.write_int tx ip i_head (Btree.descriptor idx));
+  ignore (Btree.insert tx t.itab ino ip);
+  Engine.write_int tx t.sb sb_inode_count (Engine.read_int tx t.sb sb_inode_count + 1);
+  if kind = Dir then
+    Engine.write_int tx t.sb sb_dir_count (Engine.read_int tx t.sb sb_dir_count + 1);
+  ino
+
+let format ?(block_size = 512) ?(dir_hash_bits = 40) ?(ino_base = 0)
+    ?(ino_stride = 1) ?(with_root = true) ?(obs_track = 4) engine =
+  if block_size < 8 || block_size mod 8 <> 0 || block_size > Heap.max_object_size
+  then invalid_arg "Fs.format: bad block_size";
+  if dir_hash_bits < 1 || dir_hash_bits > 61 then
+    invalid_arg "Fs.format: dir_hash_bits out of range";
+  if ino_stride < 1 || ino_base < 0 || ino_base >= ino_stride then
+    invalid_arg "Fs.format: need 0 <= ino_base < ino_stride";
+  if Engine.root engine <> Heap.null then
+    err "Fs.format: heap already has a root";
+  let hists, c_blocks, c_extnodes = make_metric_handles engine in
+  let t =
+    Engine.with_tx engine (fun tx ->
+        let itab = Btree.create tx ~node_size:itab_node_size in
+        let sb = Engine.alloc tx sb_size in
+        Engine.write_int tx sb sb_magic magic;
+        Engine.write_int tx sb sb_version version;
+        Engine.write_int tx sb sb_itab (Btree.descriptor itab);
+        Engine.write_int tx sb sb_next_ord 0;
+        Engine.write_int tx sb sb_ino_base ino_base;
+        Engine.write_int tx sb sb_ino_stride ino_stride;
+        Engine.write_int tx sb sb_root_ino (-1);
+        Engine.write_int tx sb sb_inode_count 0;
+        Engine.write_int tx sb sb_dir_count 0;
+        Engine.write_int tx sb sb_block_count 0;
+        Engine.write_int tx sb sb_data_bytes 0;
+        Engine.write_int tx sb sb_block_size block_size;
+        Engine.write_int tx sb sb_hash_bits dir_hash_bits;
+        Engine.set_root tx sb;
+        let t =
+          {
+            engine;
+            sb;
+            itab;
+            block_size;
+            hash_mask = (1 lsl dir_hash_bits) - 1;
+            base = ino_base;
+            stride = ino_stride;
+            obs_track;
+            hists;
+            c_blocks;
+            c_extnodes;
+          }
+        in
+        if with_root then begin
+          (* First ordinal, so the root's ino is the base — its own
+             parent, link count 1 for the superblock reference. *)
+          let rino = mknod_tx tx t Dir ~parent:ino_base in
+          Engine.write_int tx sb sb_root_ino rino
+        end;
+        t)
+  in
+  let obs = Engine.obs engine in
+  if Obs.enabled obs then Obs.name_track obs obs_track "fs.ops";
+  t
+
+let attach ?(obs_track = 4) engine =
+  let sb = Engine.root engine in
+  if sb = Heap.null then err "Fs.attach: heap has no root";
+  if Engine.peek_int engine sb sb_magic <> magic then
+    err "Fs.attach: root object is not a superblock";
+  let hists, c_blocks, c_extnodes = make_metric_handles engine in
+  let hash_bits = Engine.peek_int engine sb sb_hash_bits in
+  let t =
+    {
+      engine;
+      sb;
+      itab = Btree.attach engine (Engine.peek_int engine sb sb_itab);
+      block_size = Engine.peek_int engine sb sb_block_size;
+      hash_mask = (1 lsl hash_bits) - 1;
+      base = Engine.peek_int engine sb sb_ino_base;
+      stride = Engine.peek_int engine sb sb_ino_stride;
+      obs_track;
+      hists;
+      c_blocks;
+      c_extnodes;
+    }
+  in
+  let obs = Engine.obs engine in
+  if Obs.enabled obs then Obs.name_track obs obs_track "fs.ops";
+  t
+
+let engine t = t.engine
+let block_size t = t.block_size
+let superblock t = t.sb
+let itab t = t.itab
+let hash_mask t = t.hash_mask
+let ino_base t = t.base
+let ino_stride t = t.stride
+let has_root t = Engine.peek_int t.engine t.sb sb_root_ino >= 0
+
+let root_ino t =
+  let r = Engine.peek_int t.engine t.sb sb_root_ino in
+  if r < 0 then err "Fs.root_ino: filesystem has no root directory";
+  r
+
+(* --- Inode access --------------------------------------------------------- *)
+
+let inode_ptr t ino = Btree.find t.itab ino
+
+let inode_ptr_tx tx t ino =
+  match Btree.find_tx tx t.itab ino with
+  | Some p -> p
+  | None -> err "Fs: no inode %d" ino
+
+let stat_of_reads ino kind nlink size parent gen =
+  { ino; kind = (if kind = kind_dir then Dir else File); nlink; size; parent; gen }
+
+let stat_tx tx t ino =
+  let ip = inode_ptr_tx tx t ino in
+  stat_of_reads ino
+    (Engine.read_int tx ip i_kind)
+    (Engine.read_int tx ip i_nlink)
+    (Engine.read_int tx ip i_size)
+    (Engine.read_int tx ip i_parent)
+    (Engine.read_int tx ip i_gen)
+
+let stat t ino =
+  match inode_ptr t ino with
+  | None -> err "Fs: no inode %d" ino
+  | Some ip ->
+      let e = t.engine in
+      stat_of_reads ino (Engine.peek_int e ip i_kind)
+        (Engine.peek_int e ip i_nlink)
+        (Engine.peek_int e ip i_size)
+        (Engine.peek_int e ip i_parent)
+        (Engine.peek_int e ip i_gen)
+
+let dir_of_tx tx t dir =
+  let ip = inode_ptr_tx tx t dir in
+  if Engine.read_int tx ip i_kind <> kind_dir then
+    err "Fs: ino %d is not a directory" dir;
+  (ip, Btree.attach t.engine (Engine.read_int tx ip i_head))
+
+(* --- Dirent chains -------------------------------------------------------- *)
+
+let find_dirent tx idx key name =
+  match Btree.find_tx tx idx key with
+  | None -> None
+  | Some head ->
+      let nlen_want = String.length name in
+      let rec go prev p =
+        if p = Heap.null then None
+        else
+          let nlen = Engine.read_int tx p d_nlen in
+          if nlen = nlen_want && Engine.read_string tx p d_name nlen = name then
+            Some (prev, p)
+          else go (Some p) (Engine.read_int tx p d_next)
+      in
+      go None head
+
+let dirent_lookup_tx tx t ~dir ~name =
+  let _, idx = dir_of_tx tx t dir in
+  match find_dirent tx idx (hash_name t name) name with
+  | Some (_, de) -> Some (Engine.read_int tx de d_ino)
+  | None -> None
+
+let dirent_add_tx ?on_step tx t ~dir ~name ~ino =
+  check_name name;
+  step on_step "dirent-add";
+  let dp, idx = dir_of_tx tx t dir in
+  let key = hash_name t name in
+  let head =
+    match Btree.find_tx tx idx key with Some h -> h | None -> Heap.null
+  in
+  let de = Engine.alloc tx dirent_size in
+  Engine.write_int tx de d_next head;
+  Engine.write_int tx de d_ino ino;
+  Engine.write_int tx de d_nlen (String.length name);
+  Engine.write_string tx de d_name name;
+  ignore (Btree.insert tx idx key de);
+  Engine.add tx dp;
+  Engine.write_int tx dp i_size (Engine.read_int tx dp i_size + 1)
+
+let dirent_remove_tx ?on_step tx t ~dir ~name =
+  check_name name;
+  step on_step "dirent-remove";
+  let dp, idx = dir_of_tx tx t dir in
+  let key = hash_name t name in
+  match find_dirent tx idx key name with
+  | None -> err "Fs: %s: no such entry" name
+  | Some (prev, de) ->
+      let nxt = Engine.read_int tx de d_next in
+      (match prev with
+      | None ->
+          if nxt = Heap.null then ignore (Btree.delete tx idx key)
+          else ignore (Btree.insert tx idx key nxt)
+      | Some p ->
+          Engine.add_field tx p d_next 8;
+          Engine.write_int tx p d_next nxt);
+      let ino = Engine.read_int tx de d_ino in
+      Engine.free tx de;
+      Engine.add tx dp;
+      Engine.write_int tx dp i_size (Engine.read_int tx dp i_size - 1);
+      ino
+
+(* --- File extents --------------------------------------------------------- *)
+
+let blocks_for t size = (size + t.block_size - 1) / t.block_size
+let nodes_for nb = (nb + ext_slots - 1) / ext_slots
+
+let rec node_at tx p n =
+  if n = 0 then p else node_at tx (Engine.read_int tx p e_next) (n - 1)
+
+(* Visit blocks [from_b..to_b] with a single chain walk. *)
+let block_iter tx head ~from_b ~to_b f =
+  if to_b >= from_b then begin
+    let ni0 = from_b / ext_slots in
+    let node = ref (node_at tx head ni0) in
+    let ni = ref ni0 in
+    for b = from_b to to_b do
+      let n = b / ext_slots in
+      if n > !ni then begin
+        node := Engine.read_int tx !node e_next;
+        ni := n
+      end;
+      f b (Engine.read_int tx !node (e_slot (b mod ext_slots)))
+    done
+  end
+
+let sb_add_int tx t field delta =
+  Engine.add tx t.sb;
+  Engine.write_int tx t.sb field (Engine.read_int tx t.sb field + delta)
+
+(* Append zeroed blocks (and chain nodes) to reach [new_size]. Freshly
+   allocated objects are already intent-covered; only writes into the
+   pre-existing tail node need field declares. *)
+let grow_file_tx ?on_step tx t ip ~old_size ~new_size =
+  let old_nb = blocks_for t old_size and new_nb = blocks_for t new_size in
+  if new_nb > old_nb then begin
+    step on_step "extend";
+    let head = Engine.read_int tx ip i_head in
+    let cur = ref Heap.null and curidx = ref (-1) and cur_fresh = ref false in
+    if old_nb > 0 then begin
+      curidx := (old_nb - 1) / ext_slots;
+      cur := node_at tx head !curidx
+    end;
+    for b = old_nb to new_nb - 1 do
+      let ni = b / ext_slots in
+      if ni > !curidx then begin
+        let n = Engine.alloc tx ext_size in
+        (if !cur = Heap.null then begin
+           Engine.add tx ip;
+           Engine.write_int tx ip i_head n
+         end
+         else begin
+           if not !cur_fresh then Engine.add_field tx !cur e_next 8;
+           Engine.write_int tx !cur e_next n
+         end);
+        Metrics.incr t.c_extnodes;
+        cur := n;
+        curidx := ni;
+        cur_fresh := true
+      end;
+      let blk = Engine.alloc tx t.block_size in
+      if not !cur_fresh then Engine.add_field tx !cur (e_slot (b mod ext_slots)) 8;
+      Engine.write_int tx !cur (e_slot (b mod ext_slots)) blk;
+      Metrics.incr t.c_blocks
+    done
+  end;
+  (old_nb, new_nb)
+
+(* Shrink to [new_size]: re-zero the kept tail, null freed slots in kept
+   nodes, free dropped blocks, cut the chain and free trailing nodes. *)
+let shrink_file_tx ?on_step tx t ip ~old_size ~new_size =
+  let old_nb = blocks_for t old_size and new_nb = blocks_for t new_size in
+  let head = Engine.read_int tx ip i_head in
+  step on_step "zero-tail";
+  let tail = new_size mod t.block_size in
+  if tail <> 0 then
+    block_iter tx head ~from_b:(new_nb - 1) ~to_b:(new_nb - 1) (fun _ blk ->
+        Engine.add_field tx blk tail (t.block_size - tail);
+        Engine.write_string tx blk tail (String.make (t.block_size - tail) '\000'));
+  let keep_nodes = nodes_for new_nb and total_nodes = nodes_for old_nb in
+  (* Snapshot the chain before any frees. *)
+  let nodes = Array.make total_nodes Heap.null in
+  let p = ref head in
+  for i = 0 to total_nodes - 1 do
+    nodes.(i) <- !p;
+    p := Engine.read_int tx !p e_next
+  done;
+  step on_step "free-blocks";
+  if old_nb > new_nb then
+    block_iter tx head ~from_b:new_nb ~to_b:(old_nb - 1) (fun b blk ->
+        let ni = b / ext_slots in
+        if ni < keep_nodes then begin
+          Engine.add_field tx nodes.(ni) (e_slot (b mod ext_slots)) 8;
+          Engine.write_int tx nodes.(ni) (e_slot (b mod ext_slots)) Heap.null
+        end;
+        Engine.free tx blk);
+  step on_step "free-nodes";
+  if total_nodes > keep_nodes then begin
+    (if keep_nodes = 0 then begin
+       Engine.add tx ip;
+       Engine.write_int tx ip i_head Heap.null
+     end
+     else begin
+       Engine.add_field tx nodes.(keep_nodes - 1) e_next 8;
+       Engine.write_int tx nodes.(keep_nodes - 1) e_next Heap.null
+     end);
+    for i = keep_nodes to total_nodes - 1 do
+      Engine.free tx nodes.(i)
+    done
+  end;
+  (old_nb, new_nb)
+
+let free_file_tx tx t ~ino ip =
+  let size = Engine.read_int tx ip i_size in
+  let nb = blocks_for t size in
+  let head = Engine.read_int tx ip i_head in
+  block_iter tx head ~from_b:0 ~to_b:(nb - 1) (fun _ blk -> Engine.free tx blk);
+  let total_nodes = nodes_for nb in
+  let p = ref head in
+  for _ = 1 to total_nodes do
+    let nxt = Engine.read_int tx !p e_next in
+    Engine.free tx !p;
+    p := nxt
+  done;
+  Engine.free tx ip;
+  ignore (Btree.delete tx t.itab ino);
+  sb_add_int tx t sb_inode_count (-1);
+  sb_add_int tx t sb_block_count (-nb);
+  sb_add_int tx t sb_data_bytes (-size)
+
+(* --- Inode-side primitives ------------------------------------------------ *)
+
+let add_link_tx tx t ~ino =
+  let ip = inode_ptr_tx tx t ino in
+  if Engine.read_int tx ip i_kind <> kind_file then
+    err "Fs.link: ino %d is not a regular file" ino;
+  Engine.add tx ip;
+  Engine.write_int tx ip i_nlink (Engine.read_int tx ip i_nlink + 1)
+
+let drop_file_link_tx ?on_step tx t ~ino =
+  let ip = inode_ptr_tx tx t ino in
+  if Engine.read_int tx ip i_kind <> kind_file then
+    err "Fs: ino %d is not a regular file" ino;
+  step on_step "drop-link";
+  let nlink = Engine.read_int tx ip i_nlink in
+  if nlink > 1 then begin
+    Engine.add tx ip;
+    Engine.write_int tx ip i_nlink (nlink - 1)
+  end
+  else begin
+    step on_step "free-file";
+    free_file_tx tx t ~ino ip
+  end
+
+let free_dir_tx tx t ~ino =
+  let ip = inode_ptr_tx tx t ino in
+  if Engine.read_int tx ip i_kind <> kind_dir then
+    err "Fs: ino %d is not a directory" ino;
+  if Engine.read_int tx ip i_size <> 0 then err "Fs: directory %d not empty" ino;
+  let idx = Btree.attach t.engine (Engine.read_int tx ip i_head) in
+  Btree.destroy_empty tx idx;
+  Engine.free tx ip;
+  ignore (Btree.delete tx t.itab ino);
+  sb_add_int tx t sb_inode_count (-1);
+  sb_add_int tx t sb_dir_count (-1)
+
+let touch_moved_tx tx t ~ino ~new_parent =
+  let ip = inode_ptr_tx tx t ino in
+  Engine.add tx ip;
+  Engine.write_int tx ip i_gen (Engine.read_int tx ip i_gen + 1);
+  match new_parent with
+  | Some p -> Engine.write_int tx ip i_parent p
+  | None -> ()
+
+(* --- Composite operations ------------------------------------------------- *)
+
+let create_tx ?on_step tx t ~dir name =
+  check_name name;
+  if dirent_lookup_tx tx t ~dir ~name <> None then err "Fs.create: %s exists" name;
+  step on_step "mknod";
+  let ino = mknod_tx tx t File ~parent:(-1) in
+  dirent_add_tx ?on_step tx t ~dir ~name ~ino;
+  ino
+
+let mkdir_tx ?on_step tx t ~dir name =
+  check_name name;
+  if dirent_lookup_tx tx t ~dir ~name <> None then err "Fs.mkdir: %s exists" name;
+  step on_step "mknod";
+  let ino = mknod_tx tx t Dir ~parent:dir in
+  dirent_add_tx ?on_step tx t ~dir ~name ~ino;
+  ino
+
+let link_tx ?on_step tx t ~ino ~dir name =
+  check_name name;
+  if dirent_lookup_tx tx t ~dir ~name <> None then err "Fs.link: %s exists" name;
+  step on_step "nlink";
+  add_link_tx tx t ~ino;
+  dirent_add_tx ?on_step tx t ~dir ~name ~ino
+
+let unlink_tx ?on_step tx t ~dir name =
+  (match dirent_lookup_tx tx t ~dir ~name with
+  | None -> err "Fs.unlink: %s: no such entry" name
+  | Some ino ->
+      if (stat_tx tx t ino).kind <> File then
+        err "Fs.unlink: %s is a directory (use rmdir)" name);
+  let ino = dirent_remove_tx ?on_step tx t ~dir ~name in
+  drop_file_link_tx ?on_step tx t ~ino
+
+let rmdir_tx ?on_step tx t ~dir name =
+  (match dirent_lookup_tx tx t ~dir ~name with
+  | None -> err "Fs.rmdir: %s: no such entry" name
+  | Some ino ->
+      let st = stat_tx tx t ino in
+      if st.kind <> Dir then err "Fs.rmdir: %s is not a directory" name;
+      if st.size <> 0 then err "Fs.rmdir: %s not empty" name);
+  let ino = dirent_remove_tx ?on_step tx t ~dir ~name in
+  free_dir_tx tx t ~ino
+
+(* Walk [cur]'s parent chain; [Fs_error] if it passes through [m]. *)
+let check_no_cycle tx t ~moved:m ~dst =
+  let rec up cur fuel =
+    if cur = m then err "Fs.rename: would create a cycle";
+    if fuel = 0 then err "Fs.rename: parent chain does not reach a root";
+    let cp = inode_ptr_tx tx t cur in
+    let parent = Engine.read_int tx cp i_parent in
+    if parent <> cur then up parent (fuel - 1)
+  in
+  up dst 1_000_000
+
+let rename_tx ?on_step tx t ~src ~src_name ~dst ~dst_name =
+  check_name src_name;
+  check_name dst_name;
+  if src = dst && src_name = dst_name then ()
+  else begin
+    let _, sidx = dir_of_tx tx t src in
+    ignore (dir_of_tx tx t dst);
+    let m =
+      match find_dirent tx sidx (hash_name t src_name) src_name with
+      | Some (_, de) -> Engine.read_int tx de d_ino
+      | None -> err "Fs.rename: %s: no such entry" src_name
+    in
+    let mkind = (stat_tx tx t m).kind in
+    if mkind = Dir then check_no_cycle tx t ~moved:m ~dst;
+    (match dirent_lookup_tx tx t ~dir:dst ~name:dst_name with
+    | Some c when c = m ->
+        (* Two links to the same inode: clobbering would drop the moved
+           inode's own link (possibly freeing it) before re-linking. *)
+        err "Fs.rename: %s already names the same inode" dst_name
+    | Some c ->
+        if (stat_tx tx t c).kind <> File then
+          err "Fs.rename: %s exists and is a directory" dst_name;
+        if mkind <> File then
+          err "Fs.rename: cannot replace %s with a directory" dst_name;
+        ignore (dirent_remove_tx ?on_step tx t ~dir:dst ~name:dst_name);
+        drop_file_link_tx ?on_step tx t ~ino:c
+    | None -> ());
+    ignore (dirent_remove_tx ?on_step tx t ~dir:src ~name:src_name);
+    dirent_add_tx ?on_step tx t ~dir:dst ~name:dst_name ~ino:m;
+    step on_step "touch";
+    touch_moved_tx tx t ~ino:m
+      ~new_parent:(if mkind = Dir then Some dst else None)
+  end
+
+let write_tx ?on_step tx t ~ino ~off data =
+  if off < 0 then err "Fs.write: negative offset";
+  let ip = inode_ptr_tx tx t ino in
+  if Engine.read_int tx ip i_kind <> kind_file then
+    err "Fs.write: ino %d is not a file" ino;
+  let len = String.length data in
+  if len > 0 then begin
+    Engine.add tx ip;
+    let old_size = Engine.read_int tx ip i_size in
+    let new_size = max old_size (off + len) in
+    let old_nb, new_nb = grow_file_tx ?on_step tx t ip ~old_size ~new_size in
+    step on_step "data";
+    let head = Engine.read_int tx ip i_head in
+    block_iter tx head ~from_b:(off / t.block_size)
+      ~to_b:((off + len - 1) / t.block_size) (fun b blk ->
+        let blo = b * t.block_size in
+        let lo = max off blo and hi = min (off + len) (blo + t.block_size) in
+        if b < old_nb then Engine.add_field tx blk (lo - blo) (hi - lo);
+        Engine.write_string tx blk (lo - blo) (String.sub data (lo - off) (hi - lo)));
+    step on_step "meta";
+    if new_size > old_size then begin
+      Engine.write_int tx ip i_size new_size;
+      sb_add_int tx t sb_data_bytes (new_size - old_size);
+      sb_add_int tx t sb_block_count (new_nb - old_nb)
+    end
+  end
+
+let truncate_tx ?on_step tx t ~ino ~len =
+  if len < 0 then err "Fs.truncate: negative length";
+  let ip = inode_ptr_tx tx t ino in
+  if Engine.read_int tx ip i_kind <> kind_file then
+    err "Fs.truncate: ino %d is not a file" ino;
+  let old_size = Engine.read_int tx ip i_size in
+  if len <> old_size then begin
+    Engine.add tx ip;
+    let old_nb, new_nb =
+      if len > old_size then grow_file_tx ?on_step tx t ip ~old_size ~new_size:len
+      else shrink_file_tx ?on_step tx t ip ~old_size ~new_size:len
+    in
+    step on_step "meta";
+    Engine.write_int tx ip i_size len;
+    sb_add_int tx t sb_data_bytes (len - old_size);
+    sb_add_int tx t sb_block_count (new_nb - old_nb)
+  end
+
+let read_op_tx tx t ~ino ~off ~len =
+  if off < 0 || len < 0 then err "Fs.read: negative offset/length";
+  let ip = inode_ptr_tx tx t ino in
+  if Engine.read_int tx ip i_kind <> kind_file then
+    err "Fs.read: ino %d is not a file" ino;
+  Engine.read_lock tx ip;
+  let size = Engine.read_int tx ip i_size in
+  let off = min off size in
+  let len = min len (size - off) in
+  if len <= 0 then ""
+  else begin
+    let head = Engine.read_int tx ip i_head in
+    let buf = Buffer.create len in
+    block_iter tx head ~from_b:(off / t.block_size)
+      ~to_b:((off + len - 1) / t.block_size) (fun b blk ->
+        let blo = b * t.block_size in
+        let lo = max off blo and hi = min (off + len) (blo + t.block_size) in
+        Buffer.add_bytes buf (Engine.read_bytes tx blk (lo - blo) (hi - lo)));
+    Buffer.contents buf
+  end
+
+let readdir_tx tx t ~dir =
+  let _, idx = dir_of_tx tx t dir in
+  Btree.fold_range_tx tx idx ~lo:0 ~hi:max_int ~init:[] ~f:(fun acc _key head ->
+      let rec go p acc =
+        if p = Heap.null then acc
+        else
+          let nlen = Engine.read_int tx p d_nlen in
+          let name = Engine.read_string tx p d_name nlen in
+          go (Engine.read_int tx p d_next)
+            ((name, Engine.read_int tx p d_ino) :: acc)
+      in
+      go head acc)
+  |> List.rev
+
+(* --- Public wrappers: one transaction + one obs span per call ------------- *)
+
+let record_op t ~op ~t0 ~ino ~aux =
+  let dur = Engine.now t.engine - t0 in
+  Metrics.observe t.hists.(op) dur;
+  let obs = Engine.obs t.engine in
+  if Obs.enabled obs then
+    Obs.emit obs ~kind:Obs.k_fs_op ~track:t.obs_track ~ts:t0 ~dur ~a:op ~b:ino
+      ~c:aux
+
+(* Not [Engine.with_tx]: a semantic [Fs_error] raised mid-validation must
+   surface even on engines whose [abort] raises (No_logging), and a
+   crash-injection hook that crashed the engine leaves a finished
+   transaction behind ([abort] then raises [Tx_finished]). *)
+let op_span t op f =
+  let t0 = Engine.now t.engine in
+  let tx = Engine.begin_tx t.engine in
+  match f tx with
+  | r, ino, aux ->
+      Engine.commit tx;
+      record_op t ~op ~t0 ~ino ~aux;
+      r
+  | exception exn ->
+      (try Engine.abort tx with Engine.Error _ -> ());
+      raise exn
+
+let create ?on_step t ~dir name =
+  op_span t op_create (fun tx ->
+      let ino = create_tx ?on_step tx t ~dir name in
+      (ino, ino, dir))
+
+let mkdir ?on_step t ~dir name =
+  op_span t op_mkdir (fun tx ->
+      let ino = mkdir_tx ?on_step tx t ~dir name in
+      (ino, ino, dir))
+
+let write ?on_step t ~ino ~off data =
+  op_span t op_write (fun tx ->
+      write_tx ?on_step tx t ~ino ~off data;
+      ((), ino, String.length data))
+
+let read t ~ino ~off ~len =
+  op_span t op_read (fun tx ->
+      let s = read_op_tx tx t ~ino ~off ~len in
+      (s, ino, String.length s))
+
+let readdir t ~dir =
+  op_span t op_readdir (fun tx ->
+      let es = readdir_tx tx t ~dir in
+      (es, dir, List.length es))
+
+let rename ?on_step t ~src ~src_name ~dst ~dst_name =
+  op_span t op_rename (fun tx ->
+      rename_tx ?on_step tx t ~src ~src_name ~dst ~dst_name;
+      ((), src, dst))
+
+let link ?on_step t ~ino ~dir name =
+  op_span t op_link (fun tx ->
+      link_tx ?on_step tx t ~ino ~dir name;
+      ((), ino, dir))
+
+let unlink ?on_step t ~dir name =
+  op_span t op_unlink (fun tx ->
+      unlink_tx ?on_step tx t ~dir name;
+      ((), dir, 0))
+
+let rmdir ?on_step t ~dir name =
+  op_span t op_rmdir (fun tx ->
+      rmdir_tx ?on_step tx t ~dir name;
+      ((), dir, 0))
+
+let truncate ?on_step t ~ino ~len =
+  op_span t op_truncate (fun tx ->
+      truncate_tx ?on_step tx t ~ino ~len;
+      ((), ino, len))
+
+(* --- Committed-state conveniences ----------------------------------------- *)
+
+let lookup t ~dir name =
+  match inode_ptr t dir with
+  | None -> None
+  | Some dp when Engine.peek_int t.engine dp i_kind <> kind_dir -> None
+  | Some dp -> (
+      let e = t.engine in
+      let idx = Btree.attach e (Engine.peek_int e dp i_head) in
+      match Btree.find idx (hash_name t name) with
+      | None -> None
+      | Some head ->
+          let nlen_want = String.length name in
+          let rec go p =
+            if p = Heap.null then None
+            else
+              let nlen = Engine.peek_int e p d_nlen in
+              if nlen = nlen_want && Engine.peek_string e p d_name nlen = name
+              then Some (Engine.peek_int e p d_ino)
+              else go (Engine.peek_int e p d_next)
+          in
+          go head)
+
+let resolve t path =
+  let parts = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+  let rec go dir = function
+    | [] -> Some dir
+    | name :: rest -> (
+        match lookup t ~dir name with None -> None | Some i -> go i rest)
+  in
+  go (root_ino t) parts
+
+let dump t =
+  let buf = Buffer.create 256 in
+  let rec go indent dir =
+    let entries =
+      readdir t ~dir |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (name, ino) ->
+        let st = stat t ino in
+        match st.kind with
+        | Dir ->
+            Printf.bprintf buf "%s%s/ (ino %d, %d entries)\n" indent name ino
+              st.size;
+            go (indent ^ "  ") ino
+        | File ->
+            Printf.bprintf buf "%s%s (ino %d, %d bytes, nlink %d, gen %d)\n"
+              indent name ino st.size st.nlink st.gen)
+      entries
+  in
+  let r = root_ino t in
+  Printf.bprintf buf "/ (ino %d, %d entries)\n" r (stat t r).size;
+  go "  " r;
+  Buffer.contents buf

@@ -1,0 +1,331 @@
+(** A small POSIX-flavored filesystem over the transactional engine.
+
+    The application layer the paper's evaluation shape calls for: deep
+    object graphs, variable-size data and cross-object invariants, none
+    of which a KV point-write mix exercises. Every operation —
+    [create], [write], [mkdir], [readdir], [rename], [unlink],
+    [truncate], ... — is one multi-object transaction, so under every
+    engine kind the filesystem is all-or-nothing at any crash point
+    (modulo [No_logging], which is exactly Figure 1's motivation), and
+    {!Fs_check.fsck} can re-derive every invariant from the committed
+    heap after recovery.
+
+    {b On-heap layout} (all fields are 8-byte words unless noted; see
+    {!Layout} for offsets):
+
+    - {e superblock}: anchored at the heap root. Magic, version, the
+      inode-table B+Tree descriptor, the inode-number allocator
+      ([next_ord], [ino_base], [ino_stride] — the stride is how the
+      sharded façade gives each shard its own congruence class), the
+      root directory's ino, and exact counters (inodes, directories,
+      data blocks, file bytes) that fsck recomputes.
+    - {e inode table}: a {!Kamino_index.Btree} mapping ino -> inode
+      object.
+    - {e inode}: ino, kind (file/dir), link count, size (file bytes /
+      directory entry count), parent ino (directories; the root is its
+      own parent; files carry [-1]), a generation counter bumped by
+      rename, and a head pointer — extent-chain head for files, the
+      directory-index B+Tree descriptor for directories.
+    - {e directory index}: a B+Tree mapping [hash(name) land mask] ->
+      head of a chain of {e dirent} objects (collision chain through
+      [d_next]); each dirent holds the target ino and the name (up to
+      {!Layout.max_name_len} bytes). [dir_hash_bits] can be tiny in
+      tests to force collisions.
+    - {e file extents}: a chain of extent nodes, each holding
+      {!Layout.ext_slots} data-block pointers. A file of size [s] owns
+      {e exactly} [ceil(s / block_size)] blocks and exactly the chain
+      nodes those need — no holes ever materialize as missing blocks
+      (sparse writes allocate zeroed blocks), slots past EOF are null,
+      and bytes past EOF in the last block are zero, which makes torn
+      writes visible to fsck.
+
+    Transactions follow the engine's granularity argument: metadata
+    objects are declared whole (they are a cache line or two), file
+    data is declared with byte-range [add_field] intents on exactly the
+    written span — what makes the copying baselines pay for whole-block
+    logging while Kamino logs 8-byte-scale intents.
+
+    The [*_tx] variants take a caller-owned transaction plus an
+    [?on_step] hook fired at each internal mutation boundary — the
+    crash-injection surface the fs crash-matrix dimension drives
+    (crash at step [k] for every [k], recover, fsck). The plain
+    variants open their own transaction, emit a {!Kamino_obs.Obs.k_fs_op}
+    span and feed the [fs.op_ns.<op>] histogram of the engine's metrics
+    registry. *)
+
+module Engine = Kamino_core.Engine
+module Heap = Kamino_heap.Heap
+module Btree = Kamino_index.Btree
+
+exception Fs_error of string
+(** Semantic failure (name exists, directory not empty, would create a
+    cycle, ...). Raised before any mutation, so an aborted operation
+    leaves no trace even on engines that cannot roll back. *)
+
+(** Word offsets of every persistent structure — exported so
+    {!Fs_check} and white-box tests can read the heap independently of
+    this module's accessors. *)
+module Layout : sig
+  val sb_magic : int
+  val sb_version : int
+  val sb_itab : int
+  val sb_next_ord : int
+  val sb_ino_base : int
+  val sb_ino_stride : int
+  val sb_root_ino : int
+  val sb_inode_count : int
+  val sb_dir_count : int
+  val sb_block_count : int
+  val sb_data_bytes : int
+  val sb_block_size : int
+  val sb_hash_bits : int
+  val sb_size : int
+  val magic : int
+  val version : int
+
+  val i_ino : int
+  val i_kind : int
+  val i_nlink : int
+  val i_size : int
+  val i_parent : int
+  val i_gen : int
+  val i_head : int
+  val inode_size : int
+  val kind_file : int
+  val kind_dir : int
+
+  val d_next : int
+  val d_ino : int
+  val d_nlen : int
+  val d_name : int
+  val max_name_len : int
+  val dirent_size : int
+
+  val e_next : int
+  val e_slot : int -> int
+  val ext_slots : int
+  val ext_size : int
+
+  val itab_node_size : int
+  val dir_node_size : int
+end
+
+type t
+
+type kind = File | Dir
+
+type stat = {
+  ino : int;
+  kind : kind;
+  nlink : int;
+  size : int;  (** file bytes, or directory entry count *)
+  parent : int;  (** containing directory (dirs only; root = own ino) *)
+  gen : int;  (** bumped by every rename of this inode *)
+}
+
+(** {1 Lifecycle} *)
+
+(** [format engine] initializes a filesystem on an empty engine heap:
+    superblock (becomes the heap root), inode table, and — unless
+    [with_root:false] — the root directory, all in one transaction.
+
+    [block_size] (default 512, multiple of 8) is the data-block payload
+    size; [dir_hash_bits] (default 40) masks the directory name hash
+    ([2] in tests forces collision chains). [ino_base]/[ino_stride]
+    (defaults 0/1) put this filesystem's inos on the congruence class
+    [base + k * stride] — shard [i] of [n] uses [(i, n)] so every shard
+    allocates inos it owns. [with_root:false] is for non-root shards of
+    the sharded façade, whose namespace hangs off shard 0's root.
+
+    [obs_track] (default 4) is the Perfetto track for
+    {!Kamino_obs.Obs.k_fs_op} spans, named ["fs.ops"]. *)
+val format :
+  ?block_size:int ->
+  ?dir_hash_bits:int ->
+  ?ino_base:int ->
+  ?ino_stride:int ->
+  ?with_root:bool ->
+  ?obs_track:int ->
+  Engine.t ->
+  t
+
+(** [attach engine] reopens a formatted filesystem (e.g. a fresh
+    process after a crash — within a process, handles survive
+    {!Engine.crash}/{!Engine.recover} unchanged). Raises [Fs_error] if
+    the heap root is not a superblock. *)
+val attach : ?obs_track:int -> Engine.t -> t
+
+val engine : t -> Engine.t
+val block_size : t -> int
+val root_ino : t -> int
+(** Raises [Fs_error] on a filesystem formatted [with_root:false]. *)
+
+val has_root : t -> bool
+val ino_base : t -> int
+val ino_stride : t -> int
+
+(** {1 Operations}
+
+    Directories are named by ino ([dir]); the root comes from
+    {!root_ino}. Each call is one transaction. *)
+
+val create : ?on_step:(string -> unit) -> t -> dir:int -> string -> int
+(** Create an empty regular file; returns its ino. Raises [Fs_error]
+    if the name exists. *)
+
+val mkdir : ?on_step:(string -> unit) -> t -> dir:int -> string -> int
+
+val lookup : t -> dir:int -> string -> int option
+(** Committed-state name lookup (single-shard view; dangling entries of
+    a sharded namespace resolve to [None] only via {!Shard_fs}). *)
+
+val resolve : t -> string -> int option
+(** ["/a/b/c"]-style path walk from the root (committed state). *)
+
+val stat : t -> int -> stat
+val stat_tx : Engine.tx -> t -> int -> stat
+
+val write : ?on_step:(string -> unit) -> t -> ino:int -> off:int -> string -> unit
+(** Write bytes at [off], extending the file as needed; a write past
+    EOF materializes the gap as zeroed blocks. *)
+
+val read : t -> ino:int -> off:int -> len:int -> string
+(** Read up to [len] bytes at [off]; short at EOF. *)
+
+val readdir : t -> dir:int -> (string * int) list
+(** All entries, in name-hash order (deterministic). *)
+
+val rename :
+  ?on_step:(string -> unit) ->
+  t ->
+  src:int ->
+  src_name:string ->
+  dst:int ->
+  dst_name:string ->
+  unit
+(** Atomically move [src_name] in directory [src] to [dst_name] in
+    directory [dst]: drops the source dirent, adds the target dirent,
+    bumps the moved inode's generation and (for directories) rewrites
+    its parent pointer — one transaction touching source dir, target
+    dir and the moved inode, the classic atomicity test. An existing
+    [dst_name] regular file is replaced (and its last link dropped);
+    anything else there raises [Fs_error], as does moving a directory
+    under its own subtree (cycle). *)
+
+val link : ?on_step:(string -> unit) -> t -> ino:int -> dir:int -> string -> unit
+(** Hard link (regular files only). *)
+
+val unlink : ?on_step:(string -> unit) -> t -> dir:int -> string -> unit
+(** Drop a regular file's dirent; at link count zero the inode, its
+    extent chain and every data block are freed in the same
+    transaction. *)
+
+val rmdir : ?on_step:(string -> unit) -> t -> dir:int -> string -> unit
+(** Remove an {e empty} directory (dirent, index tree, inode). *)
+
+val truncate : ?on_step:(string -> unit) -> t -> ino:int -> len:int -> unit
+(** Grow (zero-filled) or shrink; shrinking frees blocks and trailing
+    extent nodes and re-zeroes the kept tail. *)
+
+val dump : t -> string
+(** Human-readable recursive tree listing (committed state), entries
+    sorted by name. *)
+
+(** {1 Transactional primitives}
+
+    Building blocks of the composite operations, exported for the
+    sharded façade ({!Shard_fs}), which runs each piece on the owning
+    shard's transaction inside one cross-shard 2PC. All take the
+    transaction of {e this} filesystem's engine. [on_step] fires before
+    each mutation phase. *)
+
+val create_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> dir:int -> string -> int
+val mkdir_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> dir:int -> string -> int
+
+val rename_tx :
+  ?on_step:(string -> unit) ->
+  Engine.tx ->
+  t ->
+  src:int ->
+  src_name:string ->
+  dst:int ->
+  dst_name:string ->
+  unit
+
+val link_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> ino:int -> dir:int -> string -> unit
+val unlink_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> dir:int -> string -> unit
+val rmdir_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> dir:int -> string -> unit
+val write_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> ino:int -> off:int -> string -> unit
+val truncate_tx : ?on_step:(string -> unit) -> Engine.tx -> t -> ino:int -> len:int -> unit
+val read_op_tx : Engine.tx -> t -> ino:int -> off:int -> len:int -> string
+val readdir_tx : Engine.tx -> t -> dir:int -> (string * int) list
+
+val mknod_tx : Engine.tx -> t -> kind -> parent:int -> int
+(** Allocate an ino (from this filesystem's congruence class) and its
+    inode with link count 1; directories get a fresh empty index.
+    Does {e not} add a dirent — the caller links it, possibly on
+    another shard. *)
+
+val dirent_add_tx :
+  ?on_step:(string -> unit) -> Engine.tx -> t -> dir:int -> name:string -> ino:int -> unit
+(** Insert a dirent (no existence check beyond name validity — use
+    {!dirent_lookup_tx} first) and bump the directory's entry count.
+    The target inode is untouched (it may live on another shard). *)
+
+val dirent_remove_tx :
+  ?on_step:(string -> unit) -> Engine.tx -> t -> dir:int -> name:string -> int
+(** Remove a dirent and return the ino it referenced. The target inode
+    is untouched. *)
+
+val dirent_lookup_tx : Engine.tx -> t -> dir:int -> name:string -> int option
+
+val add_link_tx : Engine.tx -> t -> ino:int -> unit
+(** Increment a regular file's link count. *)
+
+val drop_file_link_tx :
+  ?on_step:(string -> unit) -> Engine.tx -> t -> ino:int -> unit
+(** Decrement a regular file's link count; at zero, free the inode,
+    extent chain and data blocks and retire it from the inode table. *)
+
+val free_dir_tx : Engine.tx -> t -> ino:int -> unit
+(** Free an {e empty, already unlinked} directory: index tree, inode,
+    inode-table entry. *)
+
+val touch_moved_tx : Engine.tx -> t -> ino:int -> new_parent:int option -> unit
+(** Rename's inode-side half: bump the generation and, for a moved
+    directory, set the new parent. *)
+
+val check_name : string -> unit
+(** Raises [Fs_error] unless the name is 1..{!Layout.max_name_len}
+    bytes with no ['/'] or NUL and is not ["."] / [".."]. *)
+
+val name_hash_raw : string -> int
+(** The full-width (pre-mask) deterministic name hash — the sharded
+    façade's placement input. *)
+
+(** {1 Introspection (fsck, tests)} *)
+
+val superblock : t -> Heap.ptr
+val itab : t -> Btree.t
+val hash_mask : t -> int
+val hash_name : t -> string -> int
+val inode_ptr : t -> int -> Heap.ptr option
+(** Committed inode-table lookup. *)
+
+val op_create : int
+val op_mkdir : int
+val op_write : int
+val op_read : int
+val op_readdir : int
+val op_rename : int
+val op_unlink : int
+val op_truncate : int
+val op_link : int
+val op_rmdir : int
+val op_fsck : int
+val op_name : int -> string
+
+val record_op : t -> op:int -> t0:int -> ino:int -> aux:int -> unit
+(** Observe a completed operation that ran outside {!op_span}'s
+    wrappers (fsck): feeds [fs.op_ns.<op>] and emits the k_fs_op span
+    with [dur = now - t0]. *)

@@ -1,0 +1,285 @@
+module Engine = Kamino_core.Engine
+module Heap = Kamino_heap.Heap
+module Btree = Kamino_index.Btree
+open Fs.Layout
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type inode_info = {
+  shard : int;
+  ptr : Heap.ptr;
+  ikind : int;
+  nlink : int;
+  isize : int;
+  parent : int;
+}
+
+(* Claim object [p] for [role] in shard [s]'s accounting table. Claiming
+   an object twice is the doubly-referenced failure — and because every
+   chain walk claims a node before following its next pointer, it also
+   bounds walks over corrupt cyclic chains. *)
+let claim s tbl heap p role =
+  if p = Heap.null then fail "shard %d: %s is a null pointer" s role;
+  if not (Heap.is_allocated heap p) then
+    fail "shard %d: %s at %d is not an allocated object" s role p;
+  match Hashtbl.find_opt tbl p with
+  | Some other -> fail "shard %d: object %d doubly referenced: %s and %s" s p other role
+  | None -> Hashtbl.add tbl p role
+
+let fsck_cluster ?(strict_heap = true) fss =
+  let n = Array.length fss in
+  if n = 0 then invalid_arg "Fs_check.fsck_cluster: no shards";
+  let t0s = Array.map (fun fs -> Engine.now (Fs.engine fs)) fss in
+  let inodes : (int, inode_info) Hashtbl.t = Hashtbl.create 64 in
+  let refs : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let child_parent : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let claimed = Array.map (fun _ -> Hashtbl.create 64) fss in
+  let per_shard_inos = Array.make n [] in
+  let result =
+    try
+      (* Pass A: superblocks and inode tables, all shards. *)
+      Array.iteri
+        (fun s fs ->
+          let e = Fs.engine fs in
+          let heap = Engine.heap e in
+          let sb = Fs.superblock fs in
+          let pk p off = Engine.peek_int e p off in
+          claim s claimed.(s) heap sb "superblock";
+          if pk sb sb_magic <> magic then fail "shard %d: bad superblock magic" s;
+          if pk sb sb_version <> version then
+            fail "shard %d: superblock version %d" s (pk sb sb_version);
+          if pk sb sb_block_size <> Fs.block_size fs then
+            fail "shard %d: superblock block_size disagrees with the handle" s;
+          if pk sb sb_ino_base <> s || pk sb sb_ino_stride <> n then
+            fail "shard %d: ino class (%d,%d), expected (%d,%d)" s
+              (pk sb sb_ino_base) (pk sb sb_ino_stride) s n;
+          if s > 0 && pk sb sb_root_ino >= 0 then
+            fail "shard %d: non-zero shard claims the root" s;
+          let itab = Fs.itab fs in
+          (match Btree.validate itab with
+          | Ok () -> ()
+          | Error m -> fail "shard %d: inode table invalid: %s" s m);
+          Btree.iter_nodes itab (fun p -> claim s claimed.(s) heap p "itab node");
+          let next_ord = pk sb sb_next_ord in
+          Btree.iter itab (fun ino ip ->
+              claim s claimed.(s) heap ip (Printf.sprintf "inode %d" ino);
+              if pk ip i_ino <> ino then
+                fail "shard %d: inode %d records ino %d" s ino (pk ip i_ino);
+              if ino < 0 || ino mod n <> s then
+                fail "shard %d: inode %d is not in this shard's ino class" s ino;
+              if ino / n >= next_ord then
+                fail "shard %d: inode %d at or past the allocator cursor %d" s ino
+                  next_ord;
+              let k = pk ip i_kind in
+              if k <> kind_file && k <> kind_dir then
+                fail "shard %d: inode %d has kind %d" s ino k;
+              let nlink = pk ip i_nlink in
+              if nlink < 1 then fail "shard %d: inode %d has nlink %d" s ino nlink;
+              let isize = pk ip i_size in
+              if isize < 0 then fail "shard %d: inode %d has size %d" s ino isize;
+              if Hashtbl.mem inodes ino then
+                fail "shard %d: ino %d appears twice in the cluster" s ino;
+              Hashtbl.add inodes ino
+                { shard = s; ptr = ip; ikind = k; nlink; isize; parent = pk ip i_parent };
+              per_shard_inos.(s) <- ino :: per_shard_inos.(s)))
+        fss;
+      (* Pass B: directory indexes, dirent chains, file extents,
+         per-shard counters and heap accounting. *)
+      Array.iteri
+        (fun s fs ->
+          let e = Fs.engine fs in
+          let heap = Engine.heap e in
+          let sb = Fs.superblock fs in
+          let bs = Fs.block_size fs in
+          let pk p off = Engine.peek_int e p off in
+          let ndirs = ref 0 and nblocks = ref 0 and ndata = ref 0 in
+          List.iter
+            (fun ino ->
+              let info = Hashtbl.find inodes ino in
+              if info.ikind = kind_dir then begin
+                incr ndirs;
+                let idx = Btree.attach e (pk info.ptr i_head) in
+                (match Btree.validate idx with
+                | Ok () -> ()
+                | Error m -> fail "shard %d: dir %d index invalid: %s" s ino m);
+                Btree.iter_nodes idx (fun p ->
+                    claim s claimed.(s) heap p (Printf.sprintf "dir %d index node" ino));
+                let names = Hashtbl.create 8 in
+                let entries = ref 0 in
+                Btree.iter idx (fun key head ->
+                    let rec walk p =
+                      if p <> Heap.null then begin
+                        claim s claimed.(s) heap p
+                          (Printf.sprintf "dirent in dir %d" ino);
+                        let nlen = pk p d_nlen in
+                        if nlen < 1 || nlen > max_name_len then
+                          fail "shard %d: dir %d dirent with name length %d" s ino nlen;
+                        let name = Engine.peek_string e p d_name nlen in
+                        (match Fs.check_name name with
+                        | () -> ()
+                        | exception Fs.Fs_error m ->
+                            fail "shard %d: dir %d: invalid name: %s" s ino m);
+                        if Fs.hash_name fs name <> key then
+                          fail "shard %d: dir %d: %S chained under key %d, hash %d" s
+                            ino name key (Fs.hash_name fs name);
+                        if Hashtbl.mem names name then
+                          fail "shard %d: dir %d: duplicate entry %S" s ino name;
+                        Hashtbl.add names name ();
+                        incr entries;
+                        let target = pk p d_ino in
+                        Hashtbl.replace refs target
+                          (1 + Option.value ~default:0 (Hashtbl.find_opt refs target));
+                        (match Hashtbl.find_opt inodes target with
+                        | None ->
+                            fail "shard %d: dir %d: %S references missing ino %d" s
+                              ino name target
+                        | Some ti ->
+                            if ti.ikind = kind_dir then
+                              if Hashtbl.mem child_parent target then
+                                fail "directory %d referenced from two directories"
+                                  target
+                              else Hashtbl.add child_parent target ino);
+                        walk (pk p d_next)
+                      end
+                    in
+                    walk head);
+                if !entries <> info.isize then
+                  fail "shard %d: dir %d holds %d entries, inode says %d" s ino
+                    !entries info.isize
+              end
+              else begin
+                (* Regular file: exact extent coverage. *)
+                let size = info.isize in
+                let nb = (size + bs - 1) / bs in
+                let nnodes = (nb + ext_slots - 1) / ext_slots in
+                ndata := !ndata + size;
+                nblocks := !nblocks + nb;
+                let head = pk info.ptr i_head in
+                if nnodes = 0 then begin
+                  if head <> Heap.null then
+                    fail "shard %d: empty file %d has an extent chain" s ino
+                end
+                else begin
+                  let node = ref head in
+                  let last_blk = ref Heap.null in
+                  for ni = 0 to nnodes - 1 do
+                    claim s claimed.(s) heap !node
+                      (Printf.sprintf "extent node %d of file %d" ni ino);
+                    for si = 0 to ext_slots - 1 do
+                      let b = (ni * ext_slots) + si in
+                      let blk = pk !node (e_slot si) in
+                      if b < nb then begin
+                        claim s claimed.(s) heap blk
+                          (Printf.sprintf "block %d of file %d" b ino);
+                        if Heap.capacity heap blk < bs then
+                          fail "shard %d: file %d block %d too small" s ino b;
+                        if b = nb - 1 then last_blk := blk
+                      end
+                      else if blk <> Heap.null then
+                        fail "shard %d: file %d has a block pointer past EOF (slot %d)"
+                          s ino b
+                    done;
+                    let nxt = pk !node e_next in
+                    if ni = nnodes - 1 then begin
+                      if nxt <> Heap.null then
+                        fail "shard %d: file %d extent chain longer than its size" s ino
+                    end
+                    else node := nxt
+                  done;
+                  (* Bytes past EOF in the last block must be zero — the
+                     strongest torn-write detector fsck has. *)
+                  let tail = size - ((nb - 1) * bs) in
+                  let cap = Heap.capacity heap !last_blk in
+                  if tail < cap then begin
+                    let bytes = Engine.peek_bytes e !last_blk tail (cap - tail) in
+                    Bytes.iteri
+                      (fun i c ->
+                        if c <> '\000' then
+                          fail "shard %d: file %d has nonzero byte %d past EOF" s ino
+                            (tail + i))
+                      bytes
+                  end
+                end
+              end)
+            per_shard_inos.(s);
+          (* Exact superblock counters. *)
+          let ninodes = List.length per_shard_inos.(s) in
+          if pk sb sb_inode_count <> ninodes then
+            fail "shard %d: superblock says %d inodes, found %d" s
+              (pk sb sb_inode_count) ninodes;
+          if pk sb sb_dir_count <> !ndirs then
+            fail "shard %d: superblock says %d dirs, found %d" s
+              (pk sb sb_dir_count) !ndirs;
+          if pk sb sb_block_count <> !nblocks then
+            fail "shard %d: superblock says %d blocks, found %d" s
+              (pk sb sb_block_count) !nblocks;
+          if pk sb sb_data_bytes <> !ndata then
+            fail "shard %d: superblock says %d data bytes, found %d" s
+              (pk sb sb_data_bytes) !ndata;
+          if strict_heap then begin
+            (match Heap.validate heap with
+            | Ok () -> ()
+            | Error m -> fail "shard %d: heap invalid: %s" s m);
+            Heap.iter_objects heap (fun p ~capacity ~allocated ->
+                if allocated && not (Hashtbl.mem claimed.(s) p) then
+                  fail "shard %d: orphaned object %d (capacity %d)" s p capacity)
+          end)
+        fss;
+      (* Pass C: global link counts, parents, rooted acyclic tree. *)
+      if not (Fs.has_root fss.(0)) then fail "shard 0 has no root directory";
+      let root = Fs.root_ino fss.(0) in
+      Hashtbl.iter
+        (fun ino r ->
+          if not (Hashtbl.mem inodes ino) then
+            fail "%d dirent(s) reference missing ino %d" r ino)
+        refs;
+      Hashtbl.iter
+        (fun ino info ->
+          let r = Option.value ~default:0 (Hashtbl.find_opt refs ino) in
+          let expected = info.nlink - if ino = root then 1 else 0 in
+          if r <> expected then
+            fail "ino %d: nlink %d but %d dirent reference(s)%s" ino info.nlink r
+              (if ino = root then " (+1 superblock root)" else "");
+          if info.ikind = kind_dir then begin
+            if ino = root then begin
+              if r <> 0 then fail "root %d has a dirent reference" ino;
+              if info.parent <> root then fail "root %d is not its own parent" ino
+            end
+            else begin
+              if r <> 1 then fail "directory %d has %d references" ino r;
+              match Hashtbl.find_opt child_parent ino with
+              | None -> fail "directory %d unreachable" ino
+              | Some p ->
+                  if info.parent <> p then
+                    fail "directory %d: parent field %d but linked under %d" ino
+                      info.parent p
+            end
+          end)
+        inodes;
+      (* Every parent chain reaches the root within |dirs| hops. *)
+      let ndirs_total = Hashtbl.length child_parent + 1 in
+      Hashtbl.iter
+        (fun ino info ->
+          if info.ikind = kind_dir then begin
+            let rec up cur fuel =
+              if cur <> root then
+                if fuel = 0 then fail "directory %d: parent chain has a cycle" ino
+                else
+                  match Hashtbl.find_opt inodes cur with
+                  | None -> fail "directory %d: parent chain hits missing ino %d" ino cur
+                  | Some i -> up i.parent (fuel - 1)
+            in
+            up ino ndirs_total
+          end)
+        inodes;
+      Ok ()
+    with Bad m -> Error m
+  in
+  Array.iteri
+    (fun s fs -> Fs.record_op fs ~op:Fs.op_fsck ~t0:t0s.(s) ~ino:(-1) ~aux:n)
+    fss;
+  result
+
+let fsck ?strict_heap fs = fsck_cluster ?strict_heap [| fs |]

@@ -430,23 +430,61 @@ let iter t f =
   in
   walk (leftmost_leaf r t)
 
-let range t ~lo ~hi f =
-  let r = peek_reader t.engine in
-  (* Descend to the leaf containing the first key >= lo. *)
-  let rec descend node = if is_leaf r node then node else descend (ptr_at t r node (child_index r node (nkeys r node) lo)) in
-  let rec walk leaf =
-    if leaf <> Heap.null then begin
+(* Shared range walk: descend once to the leaf holding the first key
+   >= [lo], then follow the leaf chain until a key exceeds [hi]. The
+   reader parameterizes committed-state vs in-transaction traversal. *)
+let fold_range_with r t ~lo ~hi ~init ~f =
+  let rec descend node =
+    if is_leaf r node then node
+    else descend (ptr_at t r node (child_index r node (nkeys r node) lo))
+  in
+  let rec walk leaf acc =
+    if leaf = Heap.null then acc
+    else begin
       let n = nkeys r leaf in
-      let stop = ref false in
-      for i = 0 to n - 1 do
-        let k = key_at r leaf i in
-        if k > hi then stop := true
-        else if k >= lo then f k (ptr_at t r leaf i)
-      done;
-      if not !stop then walk (next_leaf r leaf)
+      let rec scan i acc =
+        if i >= n then (false, acc)
+        else begin
+          let k = key_at r leaf i in
+          if k > hi then (true, acc)
+          else if k >= lo then scan (i + 1) (f acc k (ptr_at t r leaf i))
+          else scan (i + 1) acc
+        end
+      in
+      let stop, acc = scan 0 acc in
+      if stop then acc else walk (next_leaf r leaf) acc
     end
   in
-  walk (descend (root_of r t))
+  if lo > hi then init else walk (descend (root_of r t)) init
+
+let fold_range t ~lo ~hi ~init ~f =
+  fold_range_with (peek_reader t.engine) t ~lo ~hi ~init ~f
+
+let fold_range_tx tx t ~lo ~hi ~init ~f =
+  fold_range_with (tx_reader tx) t ~lo ~hi ~init ~f
+
+let range t ~lo ~hi f =
+  fold_range t ~lo ~hi ~init:() ~f:(fun () k v -> f k v)
+
+let iter_nodes t f =
+  let r = peek_reader t.engine in
+  f t.desc;
+  let rec go node =
+    f node;
+    if not (is_leaf r node) then
+      for i = 0 to nkeys r node do
+        go (ptr_at t r node i)
+      done
+  in
+  go (root_of r t)
+
+let destroy_empty tx t =
+  let r = tx_reader tx in
+  let root = root_of r t in
+  if (not (is_leaf r root)) || nkeys r root <> 0 then
+    invalid_arg "Btree.destroy_empty: tree is not empty";
+  Engine.free tx root;
+  Engine.free tx t.desc
 
 let min_key t =
   let r = peek_reader t.engine in

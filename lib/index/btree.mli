@@ -59,6 +59,37 @@ val iter : t -> (int -> Kamino_heap.Heap.ptr -> unit) -> unit
 (** [range t ~lo ~hi f] visits bindings with [lo <= key <= hi]. *)
 val range : t -> lo:int -> hi:int -> (int -> Kamino_heap.Heap.ptr -> unit) -> unit
 
+(** [fold_range t ~lo ~hi ~init ~f] folds [f] over committed bindings with
+    [lo <= key <= hi] in ascending key order — the in-order range-scan
+    iterator behind [readdir] and YCSB-E style scans. The traversal
+    descends once to the first leaf holding a key [>= lo], then walks the
+    leaf chain and stops at the first key [> hi]. *)
+val fold_range :
+  t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> Kamino_heap.Heap.ptr -> 'a) -> 'a
+
+(** [fold_range_tx tx t ~lo ~hi ~init ~f] — the same scan inside a
+    transaction (sees the transaction's own writes). *)
+val fold_range_tx :
+  Kamino_core.Engine.tx ->
+  t ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  f:('a -> int -> Kamino_heap.Heap.ptr -> 'a) ->
+  'a
+
+(** [iter_nodes t f] calls [f] on every heap object the tree owns — the
+    descriptor, every internal node and every leaf (committed state).
+    Exists for whole-heap accounting oracles (fsck-style checks that
+    every allocated object is referenced by exactly one structure). *)
+val iter_nodes : t -> (Kamino_heap.Heap.ptr -> unit) -> unit
+
+(** [destroy_empty tx t] transactionally frees an {e empty} tree — the
+    descriptor and its single root leaf. Raises [Invalid_argument] if the
+    tree still holds keys (the caller owns emptying it first). The handle
+    must not be used afterwards. *)
+val destroy_empty : Kamino_core.Engine.tx -> t -> unit
+
 (** [min_key t] / [max_key t] — extremes, [None] when empty. *)
 val min_key : t -> int option
 

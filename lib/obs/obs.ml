@@ -37,7 +37,8 @@ let k_hop = 9
 let k_view_change = 10
 let k_promote = 11
 let k_fault = 12
-let n_kinds = 13
+let k_fs_op = 13
+let n_kinds = 14
 
 let kind_name = function
   | 0 -> "flush"
@@ -53,6 +54,7 @@ let kind_name = function
   | 10 -> "view_change"
   | 11 -> "promote"
   | 12 -> "fault"
+  | 13 -> "fs_op"
   | _ -> "unknown"
 
 let kind_cat = function
@@ -61,6 +63,7 @@ let kind_cat = function
   | 6 | 7 | 8 -> "applier"
   | 9 | 10 | 11 -> "chain"
   | 12 -> "chaos"
+  | 13 -> "fs"
   | _ -> "unknown"
 
 let arg_names = function
@@ -77,6 +80,7 @@ let arg_names = function
   | 10 -> ("view", "removed", "")
   | 11 -> ("node", "view", "")
   | 12 -> ("fault", "node", "event")
+  | 13 -> ("op", "ino", "aux")
   | _ -> ("a", "b", "c")
 
 let make_slots n =

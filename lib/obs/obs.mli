@@ -75,14 +75,20 @@ val k_fault : int
     [a] = fault code (0 = reboot, 1 = fail-stop, 2 = stale-view probe,
     3 = hop jitter), [b] = node, [c] = event index. *)
 
+val k_fs_op : int
+(** Span on the filesystem track: one fs operation (create, write,
+    rename, unlink, fsck, ...). [a] = opcode ({!Kamino_fs.Fs.opcode}
+    order), [b] = primary inode, [c] = op-specific auxiliary (bytes
+    written, entries scanned, target inode, ...). *)
+
 val n_kinds : int
 
 val kind_name : int -> string
 (** Stable display name, e.g. ["flush"], ["lock_wait"]. *)
 
 val kind_cat : int -> string
-(** Perfetto category: ["nvm"], ["tx"], ["applier"], ["chain"] or
-    ["chaos"]. *)
+(** Perfetto category: ["nvm"], ["tx"], ["applier"], ["chain"],
+    ["chaos"] or ["fs"]. *)
 
 val arg_names : int -> string * string * string
 (** Display labels for [a], [b], [c]; [""] means the field is unused

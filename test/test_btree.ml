@@ -130,6 +130,68 @@ let test_range () =
   Btree.range tree ~lo:101 ~hi:200 (fun k _ -> empty := k :: !empty);
   Alcotest.(check (list int)) "empty range" [] !empty
 
+let test_fold_range_basic () =
+  let e, tree = make ~node_size:96 () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 50 do
+        ignore (Btree.insert tx tree (2 * k) (v k))
+      done);
+  let sum = Btree.fold_range tree ~lo:10 ~hi:20 ~init:0 ~f:(fun acc k _ -> acc + k) in
+  Alcotest.(check int) "sum of keys 10..20" (10 + 12 + 14 + 16 + 18 + 20) sum;
+  let count f = Btree.fold_range tree ~lo:(fst f) ~hi:(snd f) ~init:0 ~f:(fun a _ _ -> a + 1) in
+  Alcotest.(check int) "past the end" 0 (count (101, 200));
+  Alcotest.(check int) "before the start" 0 (count (-5, 1));
+  Alcotest.(check int) "inverted bounds" 0 (count (20, 10));
+  Alcotest.(check int) "single key" 1 (count (10, 10));
+  Alcotest.(check int) "whole tree" 50 (count (min_int, max_int))
+
+let test_fold_range_tx_sees_own_writes () =
+  let e, tree = make ~node_size:96 () in
+  Engine.with_tx e (fun tx ->
+      for k = 1 to 10 do
+        ignore (Btree.insert tx tree k (v k))
+      done);
+  Engine.with_tx e (fun tx ->
+      ignore (Btree.insert tx tree 5 999);
+      ignore (Btree.delete tx tree 7);
+      let got =
+        List.rev
+          (Btree.fold_range_tx tx tree ~lo:4 ~hi:8 ~init:[] ~f:(fun acc k p ->
+               (k, p) :: acc))
+      in
+      Alcotest.(check (list (pair int int)))
+        "in-tx scan sees uncommitted writes"
+        [ (4, v 4); (5, 999); (6, v 6); (8, v 8) ]
+        got)
+
+(* fold_range against a sorted-assoc-list model: same bindings, same
+   order, for arbitrary key multisets and bounds (including empty and
+   inverted ranges), across enough keys to force multi-level trees. *)
+let fold_range_qcheck kind =
+  let name =
+    Printf.sprintf "fold_range matches sorted-assoc model (%s)" (Engine.kind_name kind)
+  in
+  QCheck.Test.make ~name ~count:50
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 150) (int_range 0 300))
+        (int_range (-10) 310) (int_range (-10) 310))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let e, tree = make ~kind ~node_size:96 () in
+      Engine.with_tx e (fun tx ->
+          List.iter (fun k -> ignore (Btree.insert tx tree k (v k))) keys);
+      let model =
+        List.sort_uniq compare keys
+        |> List.filter (fun k -> lo <= k && k <= hi)
+        |> List.map (fun k -> (k, v k))
+      in
+      let scanned =
+        List.rev
+          (Btree.fold_range tree ~lo ~hi ~init:[] ~f:(fun acc k p -> (k, p) :: acc))
+      in
+      scanned = model)
+
 let test_find_tx_sees_own_writes () =
   let e, tree = make () in
   Engine.with_tx e (fun tx ->
@@ -281,6 +343,9 @@ let () =
         [
           Alcotest.test_case "iter ordered" `Quick test_iter_ordered;
           Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "fold_range basics" `Quick test_fold_range_basic;
+          Alcotest.test_case "fold_range_tx sees own writes" `Quick
+            test_fold_range_tx_sees_own_writes;
         ] );
       ( "transactions",
         [
@@ -295,6 +360,8 @@ let () =
           QCheck_alcotest.to_alcotest (model_qcheck Engine.Kamino_simple);
           QCheck_alcotest.to_alcotest
             (model_qcheck (Engine.Kamino_dynamic { alpha = 0.4; policy = Backup.Lru_policy }));
+          QCheck_alcotest.to_alcotest (fold_range_qcheck Engine.Undo_logging);
+          QCheck_alcotest.to_alcotest (fold_range_qcheck Engine.Kamino_simple);
           QCheck_alcotest.to_alcotest (crash_qcheck Engine.Undo_logging);
           QCheck_alcotest.to_alcotest (crash_qcheck Engine.Kamino_simple);
           QCheck_alcotest.to_alcotest

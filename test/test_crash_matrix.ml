@@ -415,6 +415,260 @@ let matrix_case name make_engine crash_mode () =
           name seed (List.length image_on) (List.length image_off))
     seeds
 
+(* --- filesystem dimension --------------------------------------------------- *)
+
+module Fs = Kamino_fs.Fs
+module Fs_check = Kamino_fs.Fs_check
+
+(* Seeded random filesystem workloads with crash injection, across all
+   six engine kinds and both crash modes. The namespace and every file's
+   bytes are mirrored in a volatile model; fs semantic rejections (name
+   exists, directory not empty, cycle, ...) leave both sides untouched.
+   Atomic kinds additionally crash at random mutation steps inside
+   operations; every kind crashes at operation boundaries. After every
+   recovery: {!Fs_check.fsck} plus a full sweep — every directory's
+   listing, every file's bytes, every link count. *)
+
+type fs_spec = Fs_plain of Engine.kind | Fs_chain_head
+
+let fs_builders =
+  [
+    ("no-logging", Fs_plain Engine.No_logging, false);
+    ("undo", Fs_plain Engine.Undo_logging, true);
+    ("cow", Fs_plain Engine.Cow, true);
+    ("kamino-simple", Fs_plain Engine.Kamino_simple, true);
+    ( "kamino-dynamic",
+      Fs_plain (Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy }),
+      true );
+    ("chain-head", Fs_chain_head, true);
+  ]
+
+let splice content ~off s =
+  let n = max (String.length content) (off + String.length s) in
+  let b = Bytes.make n '\000' in
+  Bytes.blit_string content 0 b 0 (String.length content);
+  Bytes.blit_string s 0 b off (String.length s);
+  Bytes.to_string b
+
+let model_truncate content len =
+  if len <= String.length content then String.sub content 0 len
+  else content ^ String.make (len - String.length content) '\000'
+
+let fs_case (kname, spec, atomic) crash_mode () =
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          base_config with
+          Engine.heap_bytes = 2 lsl 20;
+          log_slots = 64;
+          max_tx_entries = 8192;
+          data_log_bytes = 1 lsl 20;
+          crash_mode;
+        }
+      in
+      (* The chain head formats while still an [Intent_only] replica and
+         is then promoted (§5.2) — the whole heap stays fs-owned, which
+         the fsck heap-accounting pass insists on. *)
+      let e, fs =
+        match spec with
+        | Fs_plain kind ->
+            let e = Engine.create ~config ~kind ~seed:(seed + 500) () in
+            (e, Fs.format ~block_size:64 ~dir_hash_bits:2 e)
+        | Fs_chain_head ->
+            let e = Engine.create ~config ~kind:Engine.Intent_only ~seed:(seed + 500) () in
+            let fs = Fs.format ~block_size:64 ~dir_hash_bits:2 e in
+            Engine.promote_to_kamino e;
+            (e, fs)
+      in
+      let root = Fs.root_ino fs in
+      let rng = Rng.create (seed * 13) in
+      (* The volatile mirror. *)
+      let entries : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+      let contents : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let nlinks : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.replace entries root (Hashtbl.create 8);
+      let dirs () = Hashtbl.fold (fun k _ a -> k :: a) entries [] |> List.sort compare in
+      let files () = Hashtbl.fold (fun k _ a -> k :: a) contents [] |> List.sort compare in
+      let pick l = List.nth l (Rng.int rng (List.length l)) in
+      let gen_name () = Printf.sprintf "n%d" (Rng.int rng 10) in
+      let drop_link ino =
+        let nl = Hashtbl.find nlinks ino - 1 in
+        if nl = 0 then begin
+          Hashtbl.remove nlinks ino;
+          Hashtbl.remove contents ino
+        end
+        else Hashtbl.replace nlinks ino nl
+      in
+      let verify ctx =
+        (match Fs_check.fsck fs with
+        | Ok () -> ()
+        | Error err -> Alcotest.failf "%s: fsck: %s" ctx err);
+        Hashtbl.iter
+          (fun d tbl ->
+            let got = List.sort compare (Fs.readdir fs ~dir:d) in
+            let want =
+              Hashtbl.fold (fun n i a -> (n, i) :: a) tbl [] |> List.sort compare
+            in
+            if got <> want then
+              Alcotest.failf "%s: directory %d lists %d entries, model has %d" ctx d
+                (List.length got) (List.length want))
+          entries;
+        Hashtbl.iter
+          (fun f content ->
+            let st = Fs.stat fs f in
+            if st.Fs.size <> String.length content then
+              Alcotest.failf "%s: file %d size %d, model %d" ctx f st.Fs.size
+                (String.length content);
+            if st.Fs.nlink <> Hashtbl.find nlinks f then
+              Alcotest.failf "%s: file %d nlink %d, model %d" ctx f st.Fs.nlink
+                (Hashtbl.find nlinks f);
+            let got = Fs.read fs ~ino:f ~off:0 ~len:(String.length content) in
+            if got <> content then Alcotest.failf "%s: file %d bytes diverge" ctx f)
+          contents
+      in
+      (* Run one operation, possibly with a crash at a random mutation
+         step; apply the model mutation only if the fs applied it. *)
+      let run ctx op ~apply =
+        if atomic && Rng.int rng 4 = 0 then begin
+          let crash_at = Rng.int rng 30 in
+          let count = ref 0 in
+          let on_step _ =
+            if !count = crash_at then begin
+              Engine.crash e;
+              raise Crashed
+            end;
+            incr count
+          in
+          match op ~on_step:(Some on_step) () with
+          | v -> apply v
+          | exception Fs.Fs_error _ -> ()
+          | exception Crashed ->
+              Engine.recover e;
+              verify (ctx ^ " (mid-op crash)")
+        end
+        else
+          match op ~on_step:None () with
+          | v -> apply v
+          | exception Fs.Fs_error _ -> ()
+      in
+      for round = 1 to 50 do
+        let ctx = Printf.sprintf "fs/%s seed=%d round=%d" kname seed round in
+        (match Rng.int rng 12 with
+        | 0 | 1 ->
+            let dir = pick (dirs ()) and name = gen_name () in
+            run ctx
+              (fun ~on_step () -> Fs.create ?on_step fs ~dir name)
+              ~apply:(fun ino ->
+                Hashtbl.replace (Hashtbl.find entries dir) name ino;
+                Hashtbl.replace contents ino "";
+                Hashtbl.replace nlinks ino 1)
+        | 2 ->
+            let dir = pick (dirs ()) and name = gen_name () in
+            run ctx
+              (fun ~on_step () -> Fs.mkdir ?on_step fs ~dir name)
+              ~apply:(fun ino ->
+                Hashtbl.replace (Hashtbl.find entries dir) name ino;
+                Hashtbl.replace entries ino (Hashtbl.create 8))
+        | 3 | 4 when files () <> [] ->
+            let f = pick (files ()) in
+            let off = Rng.int rng 300 in
+            let s = Printf.sprintf "<%d:%d>" round (Rng.int rng 1000) in
+            run ctx
+              (fun ~on_step () -> Fs.write ?on_step fs ~ino:f ~off s)
+              ~apply:(fun () ->
+                Hashtbl.replace contents f (splice (Hashtbl.find contents f) ~off s))
+        | 5 when files () <> [] ->
+            let f = pick (files ()) in
+            let len = Rng.int rng 400 in
+            run ctx
+              (fun ~on_step () -> Fs.truncate ?on_step fs ~ino:f ~len)
+              ~apply:(fun () ->
+                Hashtbl.replace contents f (model_truncate (Hashtbl.find contents f) len))
+        | 6 ->
+            (* Rename a random model entry to a random directory; the fs
+               decides legality (clobber rules, cycles) and the model
+               follows its verdict. *)
+            let candidates =
+              Hashtbl.fold
+                (fun d tbl acc -> Hashtbl.fold (fun n i acc -> (d, n, i) :: acc) tbl acc)
+                entries []
+              |> List.sort compare
+            in
+            if candidates <> [] then begin
+              let src, src_name, moved = pick candidates in
+              let dst = pick (dirs ()) and dst_name = gen_name () in
+              let clobbered = Hashtbl.find_opt (Hashtbl.find entries dst) dst_name in
+              run ctx
+                (fun ~on_step () ->
+                  Fs.rename ?on_step fs ~src ~src_name ~dst ~dst_name)
+                ~apply:(fun () ->
+                  if not (src = dst && src_name = dst_name) then begin
+                    (match clobbered with
+                    | Some c -> drop_link c
+                    | None -> ());
+                    Hashtbl.remove (Hashtbl.find entries src) src_name;
+                    Hashtbl.replace (Hashtbl.find entries dst) dst_name moved
+                  end)
+            end
+        | 7 when files () <> [] ->
+            let f = pick (files ()) in
+            let dir = pick (dirs ()) and name = gen_name () in
+            run ctx
+              (fun ~on_step () -> Fs.link ?on_step fs ~ino:f ~dir name)
+              ~apply:(fun () ->
+                Hashtbl.replace (Hashtbl.find entries dir) name f;
+                Hashtbl.replace nlinks f (Hashtbl.find nlinks f + 1))
+        | 8 ->
+            let with_entries =
+              List.filter (fun d -> Hashtbl.length (Hashtbl.find entries d) > 0) (dirs ())
+            in
+            if with_entries <> [] then begin
+              let dir = pick with_entries in
+              let tbl = Hashtbl.find entries dir in
+              let names = Hashtbl.fold (fun n _ a -> n :: a) tbl [] |> List.sort compare in
+              let name = pick names in
+              let target = Hashtbl.find tbl name in
+              if Hashtbl.mem entries target then
+                run ctx
+                  (fun ~on_step () -> Fs.rmdir ?on_step fs ~dir name)
+                  ~apply:(fun () ->
+                    Hashtbl.remove tbl name;
+                    Hashtbl.remove entries target)
+              else
+                run ctx
+                  (fun ~on_step () -> Fs.unlink ?on_step fs ~dir name)
+                  ~apply:(fun () ->
+                    Hashtbl.remove tbl name;
+                    drop_link target)
+            end
+        | 9 ->
+            (* Crash at an operation boundary — the only crash point
+               No_logging promises anything about. *)
+            crash_recover e;
+            verify (ctx ^ " (boundary crash)")
+        | 10 ->
+            (* Partially retired applier batch, then the power fails. *)
+            (match Engine.applier e with
+            | Some a -> ignore (Applier.drain_one a)
+            | None -> ());
+            crash_recover e;
+            verify (ctx ^ " (mid-applier crash)")
+        | _ when files () <> [] ->
+            let f = pick (files ()) in
+            let model = Hashtbl.find contents f in
+            let got = Fs.read fs ~ino:f ~off:0 ~len:(max 1 (String.length model)) in
+            if got <> model then Alcotest.failf "%s: read diverges from model" ctx
+        | _ -> ());
+        if round mod 10 = 0 then verify ctx
+      done;
+      Engine.drain_backup e;
+      verify (Printf.sprintf "fs/%s seed=%d final" kname seed);
+      match Engine.verify_backup e with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "fs/%s seed=%d: backup: %s" kname seed err)
+    (List.init 6 (fun i -> i + 1))
+
 (* --- chain snapshots across a view change ---------------------------------- *)
 
 (* §5.2 crossed with lock-free snapshot reads: while a head promotion is
@@ -547,6 +801,17 @@ let () =
           `Slow (sharded_case mode))
       modes
   in
+  let fs_cases =
+    List.concat_map
+      (fun ((kname, _, _) as builder) ->
+        List.map
+          (fun (mname, mode) ->
+            Alcotest.test_case
+              (Printf.sprintf "fs/%s x %s (6 seeds, random workload)" kname mname)
+              `Slow (fs_case builder mode))
+          modes)
+      fs_builders
+  in
   let chain_snapshot =
     [
       Alcotest.test_case "snapshot_get across a chain view change" `Quick
@@ -557,5 +822,6 @@ let () =
     [
       ("matrix", cases);
       ("sharded", sharded);
+      ("fs", fs_cases);
       ("chain-snapshot", chain_snapshot);
     ]

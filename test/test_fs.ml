@@ -1,0 +1,877 @@
+(* Tests for the transactional filesystem: functional coverage of every
+   operation, the fsck oracle's ability to detect planted corruption,
+   deterministic crash injection at every mutation step of
+   rename/unlink/truncate across every engine kind, the rename
+   all-or-nothing property, the sharded façade (including crashes at
+   every 2PC protocol position), and trace/metrics determinism of the
+   fs observability hooks. *)
+
+module Rng = Kamino_sim.Rng
+module Heap = Kamino_heap.Heap
+module Engine = Kamino_core.Engine
+module Applier = Kamino_core.Applier
+module Backup = Kamino_core.Backup
+module Btree = Kamino_index.Btree
+module Obs = Kamino_obs.Obs
+module Metrics = Kamino_obs.Metrics
+module Sink = Kamino_obs.Sink
+module Shard = Kamino_shard.Shard
+module Fs = Kamino_fs.Fs
+module Fs_check = Kamino_fs.Fs_check
+module Shard_fs = Kamino_fs.Shard_fs
+
+let config =
+  {
+    Engine.default_config with
+    Engine.heap_bytes = 2 lsl 20;
+    log_slots = 64;
+    max_tx_entries = 8192;
+    data_log_bytes = 2 lsl 20;
+  }
+
+(* The six engine kinds of the crash coverage. [atomic] marks the kinds
+   that roll mid-transaction crashes back; [No_logging] is Figure 1's
+   motivation and only survives crashes at operation boundaries. The
+   chain head is an [Intent_only] replica promoted to a Kamino head
+   right after format (§5.2), from then on crashing like any other. *)
+type spec = Plain of Engine.kind | Chain_head
+
+let builders =
+  [
+    ("no-logging", Plain Engine.No_logging, false);
+    ("undo", Plain Engine.Undo_logging, true);
+    ("cow", Plain Engine.Cow, true);
+    ("kamino-simple", Plain Engine.Kamino_simple, true);
+    ( "kamino-dynamic",
+      Plain (Engine.Kamino_dynamic { alpha = 0.3; policy = Backup.Lru_policy }),
+      true );
+    ("chain-head", Chain_head, true);
+  ]
+
+let make_fs ?(block_size = 64) ?(dir_hash_bits = 2) spec seed =
+  match spec with
+  | Plain kind ->
+      let e = Engine.create ~config ~kind ~seed () in
+      (e, Fs.format ~block_size ~dir_hash_bits e)
+  | Chain_head ->
+      let e = Engine.create ~config ~kind:Engine.Intent_only ~seed () in
+      let fs = Fs.format ~block_size ~dir_hash_bits e in
+      Engine.promote_to_kamino e;
+      (e, fs)
+
+let check_fsck fs ctx =
+  match Fs_check.fsck fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: fsck: %s" ctx e
+
+let check_fsck_cluster fss ctx =
+  match Fs_check.fsck_cluster fss with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: fsck_cluster: %s" ctx e
+
+let expect_error f =
+  match f () with
+  | _ -> false
+  | exception Fs.Fs_error _ -> true
+
+(* --- functional coverage ---------------------------------------------------- *)
+
+let test_tree_ops () =
+  let _e, fs = make_fs ~block_size:128 ~dir_hash_bits:4 (Plain Engine.Kamino_simple) 3 in
+  let root = Fs.root_ino fs in
+  let f1 = Fs.create fs ~dir:root "hello.txt" in
+  Fs.write fs ~ino:f1 ~off:0 "hello, world";
+  Alcotest.(check string) "read back" "hello, world" (Fs.read fs ~ino:f1 ~off:0 ~len:100);
+  Alcotest.(check string) "offset read" "world" (Fs.read fs ~ino:f1 ~off:7 ~len:5);
+  Alcotest.(check string) "read past EOF is short" "" (Fs.read fs ~ino:f1 ~off:50 ~len:10);
+  let d1 = Fs.mkdir fs ~dir:root "sub" in
+  let f2 = Fs.create fs ~dir:d1 "nested" in
+  (* Sparse write: the gap materializes as zero bytes. *)
+  Fs.write fs ~ino:f2 ~off:300 "far";
+  let got = Fs.read fs ~ino:f2 ~off:0 ~len:1000 in
+  Alcotest.(check int) "sparse size" 303 (String.length got);
+  Alcotest.(check string) "gap reads zero" (String.make 300 '\000' ^ "far") got;
+  let st = Fs.stat fs f2 in
+  Alcotest.(check int) "file size" 303 st.Fs.size;
+  Alcotest.(check int) "file nlink" 1 st.Fs.nlink;
+  Alcotest.(check bool) "file kind" true (st.Fs.kind = Fs.File);
+  let std = Fs.stat fs d1 in
+  Alcotest.(check bool) "dir kind" true (std.Fs.kind = Fs.Dir);
+  Alcotest.(check int) "dir entry count" 1 std.Fs.size;
+  Alcotest.(check int) "dir parent" root std.Fs.parent;
+  Alcotest.(check (list string)) "readdir root"
+    [ "hello.txt"; "sub" ]
+    (List.sort compare (List.map fst (Fs.readdir fs ~dir:root)));
+  Alcotest.(check (option int)) "resolve path" (Some f2) (Fs.resolve fs "/sub/nested");
+  Alcotest.(check (option int)) "resolve missing" None (Fs.resolve fs "/sub/ghost");
+  check_fsck fs "mid functional";
+  (* Rename within a directory, then across directories. *)
+  Fs.rename fs ~src:root ~src_name:"hello.txt" ~dst:root ~dst_name:"renamed";
+  Alcotest.(check (option int)) "old name gone" None (Fs.lookup fs ~dir:root "hello.txt");
+  Alcotest.(check (option int)) "new name" (Some f1) (Fs.lookup fs ~dir:root "renamed");
+  let g0 = (Fs.stat fs f1).Fs.gen in
+  Fs.rename fs ~src:root ~src_name:"renamed" ~dst:d1 ~dst_name:"moved";
+  Alcotest.(check (option int)) "cross-dir rename" (Some f1) (Fs.lookup fs ~dir:d1 "moved");
+  Alcotest.(check bool) "rename bumps gen" true ((Fs.stat fs f1).Fs.gen > g0);
+  Alcotest.(check string) "content follows the inode" "hello, world"
+    (Fs.read fs ~ino:f1 ~off:0 ~len:100);
+  (* Clobbering rename drops the target's last link. *)
+  Fs.rename fs ~src:d1 ~src_name:"moved" ~dst:d1 ~dst_name:"nested";
+  Alcotest.(check (option int)) "clobber wins" (Some f1) (Fs.lookup fs ~dir:d1 "nested");
+  Alcotest.(check (option int)) "clobbered inode freed" None (Fs.inode_ptr fs f2);
+  check_fsck fs "after clobber";
+  (* Hard links. *)
+  Fs.link fs ~ino:f1 ~dir:root "hard";
+  Alcotest.(check int) "nlink 2" 2 (Fs.stat fs f1).Fs.nlink;
+  Fs.write fs ~ino:f1 ~off:0 "HELLO";
+  Alcotest.(check string) "both names, one inode" "HELLO, world"
+    (Fs.read fs ~ino:(Option.get (Fs.lookup fs ~dir:root "hard")) ~off:0 ~len:100);
+  Fs.unlink fs ~dir:d1 "nested";
+  Alcotest.(check int) "nlink back to 1" 1 (Fs.stat fs f1).Fs.nlink;
+  Alcotest.(check bool) "survives while linked" true (Fs.inode_ptr fs f1 <> None);
+  (* Truncate shrink and grow. *)
+  Fs.truncate fs ~ino:f1 ~len:5;
+  Alcotest.(check string) "shrunk" "HELLO" (Fs.read fs ~ino:f1 ~off:0 ~len:100);
+  Fs.truncate fs ~ino:f1 ~len:300;
+  Alcotest.(check string) "grown with zeros" ("HELLO" ^ String.make 295 '\000')
+    (Fs.read fs ~ino:f1 ~off:0 ~len:1000);
+  Fs.truncate fs ~ino:f1 ~len:0;
+  Alcotest.(check string) "truncated to empty" "" (Fs.read fs ~ino:f1 ~off:0 ~len:10);
+  check_fsck fs "after truncates";
+  (* Teardown. *)
+  Fs.unlink fs ~dir:root "hard";
+  Alcotest.(check (option int)) "last unlink frees" None (Fs.inode_ptr fs f1);
+  Fs.rmdir fs ~dir:root "sub";
+  Alcotest.(check (list string)) "root empty again" []
+    (List.map fst (Fs.readdir fs ~dir:root));
+  check_fsck fs "emptied";
+  let dump = Fs.dump fs in
+  Alcotest.(check bool) "dump renders" true (String.length dump > 0)
+
+let test_errors () =
+  let _e, fs = make_fs ~block_size:128 ~dir_hash_bits:4 (Plain Engine.Kamino_simple) 4 in
+  let root = Fs.root_ino fs in
+  let d = Fs.mkdir fs ~dir:root "d" in
+  let f = Fs.create fs ~dir:root "f" in
+  let sub = Fs.mkdir fs ~dir:d "sub" in
+  Alcotest.(check bool) "duplicate create" true
+    (expect_error (fun () -> Fs.create fs ~dir:root "f"));
+  Alcotest.(check bool) "duplicate mkdir over file" true
+    (expect_error (fun () -> Fs.mkdir fs ~dir:root "f"));
+  Alcotest.(check bool) "unlink a directory" true
+    (expect_error (fun () -> Fs.unlink fs ~dir:root "d"));
+  Alcotest.(check bool) "rmdir a file" true
+    (expect_error (fun () -> Fs.rmdir fs ~dir:root "f"));
+  Alcotest.(check bool) "rmdir non-empty" true
+    (expect_error (fun () -> Fs.rmdir fs ~dir:root "d"));
+  Alcotest.(check bool) "unlink missing" true
+    (expect_error (fun () -> Fs.unlink fs ~dir:root "ghost"));
+  Alcotest.(check bool) "rename missing" true
+    (expect_error (fun () ->
+         Fs.rename fs ~src:root ~src_name:"ghost" ~dst:root ~dst_name:"g2"));
+  Alcotest.(check bool) "rename dir under itself" true
+    (expect_error (fun () ->
+         Fs.rename fs ~src:root ~src_name:"d" ~dst:sub ~dst_name:"loop"));
+  Alcotest.(check bool) "rename dir over file" true
+    (expect_error (fun () ->
+         Fs.rename fs ~src:root ~src_name:"d" ~dst:root ~dst_name:"f"));
+  Alcotest.(check bool) "rename file over dir" true
+    (expect_error (fun () ->
+         Fs.rename fs ~src:root ~src_name:"f" ~dst:root ~dst_name:"d"));
+  Fs.link fs ~ino:f ~dir:root "f2";
+  Alcotest.(check bool) "rename over a link to itself" true
+    (expect_error (fun () ->
+         Fs.rename fs ~src:root ~src_name:"f" ~dst:root ~dst_name:"f2"));
+  Alcotest.(check bool) "link a directory" true
+    (expect_error (fun () -> Fs.link fs ~ino:d ~dir:root "dlink"));
+  Alcotest.(check bool) "write a directory" true
+    (expect_error (fun () -> Fs.write fs ~ino:d ~off:0 "x"));
+  Alcotest.(check bool) "negative write offset" true
+    (expect_error (fun () -> Fs.write fs ~ino:f ~off:(-1) "x"));
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bad name %S" bad)
+        true
+        (expect_error (fun () -> Fs.create fs ~dir:root bad)))
+    [ ""; "."; ".."; "a/b"; "nul\000byte"; String.make (Fs.Layout.max_name_len + 1) 'x' ];
+  let long = String.make Fs.Layout.max_name_len 'y' in
+  ignore (Fs.create fs ~dir:root long);
+  Alcotest.(check bool) "max-length name round-trips" true
+    (Fs.lookup fs ~dir:root long <> None);
+  check_fsck fs "after errors"
+
+(* A one-bit name hash: every directory has at most two B+Tree keys, so
+   the dirent collision chains do all the work. *)
+let test_collision_chains () =
+  let _e, fs = make_fs ~block_size:64 ~dir_hash_bits:1 (Plain Engine.Kamino_simple) 5 in
+  let root = Fs.root_ino fs in
+  let names = List.init 20 (Printf.sprintf "file%02d") in
+  let inos = List.map (fun n -> (n, Fs.create fs ~dir:root n)) names in
+  Alcotest.(check int) "all entries found" 20
+    (List.length (Fs.readdir fs ~dir:root));
+  List.iter
+    (fun (n, i) ->
+      Alcotest.(check (option int)) ("lookup " ^ n) (Some i) (Fs.lookup fs ~dir:root n))
+    inos;
+  check_fsck fs "collision chains";
+  (* Remove from the middle, the head and the tail of chains. *)
+  List.iteri (fun i (n, _) -> if i mod 2 = 0 then Fs.unlink fs ~dir:root n) inos;
+  Alcotest.(check int) "half remain" 10 (List.length (Fs.readdir fs ~dir:root));
+  List.iteri
+    (fun i (n, ino) ->
+      Alcotest.(check (option int)) ("post-unlink " ^ n)
+        (if i mod 2 = 0 then None else Some ino)
+        (Fs.lookup fs ~dir:root n))
+    inos;
+  check_fsck fs "after chain surgery"
+
+(* --- the oracle detects planted corruption ---------------------------------- *)
+
+let poke_int e p off v =
+  Engine.with_tx e (fun tx ->
+      Engine.add tx p;
+      Engine.write_int tx p off v)
+
+let test_fsck_detects_corruption () =
+  let expect_violation name corrupt =
+    let e, fs = make_fs ~block_size:64 ~dir_hash_bits:2 (Plain Engine.Kamino_simple) 6 in
+    let root = Fs.root_ino fs in
+    let f = Fs.create fs ~dir:root "victim" in
+    Fs.write fs ~ino:f ~off:0 "some file content";
+    ignore (Fs.mkdir fs ~dir:root "d");
+    check_fsck fs (name ^ " (pre-corruption)");
+    corrupt e fs f;
+    match Fs_check.fsck fs with
+    | Ok () -> Alcotest.failf "%s: fsck missed the corruption" name
+    | Error _ -> ()
+  in
+  expect_violation "inflated nlink" (fun e fs f ->
+      poke_int e (Option.get (Fs.inode_ptr fs f)) Fs.Layout.i_nlink 7);
+  expect_violation "skewed inode counter" (fun e fs _ ->
+      let sb = Fs.superblock fs in
+      poke_int e sb Fs.Layout.sb_inode_count
+        (Engine.peek_int e sb Fs.Layout.sb_inode_count + 1));
+  expect_violation "skewed byte counter" (fun e fs _ ->
+      let sb = Fs.superblock fs in
+      poke_int e sb Fs.Layout.sb_data_bytes
+        (Engine.peek_int e sb Fs.Layout.sb_data_bytes + 8));
+  expect_violation "garbage past EOF" (fun e fs f ->
+      (* A torn in-place write that recovery failed to roll back: a
+         nonzero byte between the file size and the end of its last
+         block. *)
+      let ip = Option.get (Fs.inode_ptr fs f) in
+      let head = Engine.peek_int e ip Fs.Layout.i_head in
+      let blk = Engine.peek_int e head (Fs.Layout.e_slot 0) in
+      Engine.with_tx e (fun tx ->
+          Engine.add tx blk;
+          Engine.write_byte tx blk 30 0xAB));
+  expect_violation "dangling dirent" (fun e fs f ->
+      (* Point the victim's dirent at an inode that does not exist. *)
+      let idx = Btree.attach e (Engine.peek_int e (Option.get (Fs.inode_ptr fs (Fs.root_ino fs))) Fs.Layout.i_head) in
+      let de = Option.get (Btree.find idx (Fs.hash_name fs "victim")) in
+      ignore f;
+      poke_int e de Fs.Layout.d_ino 999_999);
+  expect_violation "dropped size" (fun e fs f ->
+      poke_int e (Option.get (Fs.inode_ptr fs f)) Fs.Layout.i_size 3)
+
+(* --- deterministic crash sweeps --------------------------------------------- *)
+
+exception Crashed
+
+(* Run [op] once per crash point: attempt [k] injects a power failure at
+   the [k]-th step callback, recovers, runs fsck and the caller's
+   [rolled_back] oracle; the sweep ends with the first attempt that
+   completes without reaching its crash point. Mid-transaction crashes
+   always roll back (commit happens after the last step), so each
+   crashed attempt leaves the pre-op state and the op can simply be
+   retried. Returns the number of crash points covered. *)
+let crash_sweep e fs ~ctx ~rolled_back op =
+  let rec go k =
+    if k > 5000 then Alcotest.failf "%s: operation never completes" ctx;
+    let count = ref 0 in
+    let on_step _label =
+      if !count = k then begin
+        Engine.crash e;
+        raise Crashed
+      end;
+      incr count
+    in
+    match op ~on_step with
+    | _ -> k
+    | exception Crashed ->
+        Engine.recover e;
+        check_fsck fs (Printf.sprintf "%s (crash at step %d)" ctx k);
+        rolled_back (Printf.sprintf "%s step %d" ctx k);
+        go (k + 1)
+  in
+  go 0
+
+let crash_recover_check e fs ctx =
+  Engine.crash e;
+  Engine.recover e;
+  check_fsck fs ctx
+
+let test_crash_every_step (name, spec, atomic) () =
+  if not atomic then ()
+  else begin
+    let e, fs = make_fs ~block_size:64 ~dir_hash_bits:2 spec 7 in
+    let root = Fs.root_ino fs in
+    let da = Fs.mkdir fs ~dir:root "a" in
+    let db = Fs.mkdir fs ~dir:root "b" in
+    let content = String.init 300 (fun i -> Char.chr (33 + (i mod 90))) in
+    let f = Fs.create fs ~dir:da "x" in
+    Fs.write fs ~ino:f ~off:0 content;
+    let check_intact ctx =
+      Alcotest.(check (option int)) (ctx ^ ": still in a") (Some f)
+        (Fs.lookup fs ~dir:da "x");
+      Alcotest.(check string) (ctx ^ ": content intact") content
+        (Fs.read fs ~ino:f ~off:0 ~len:1000)
+    in
+    (* rename: multi-dirent, multi-object transaction. *)
+    let steps =
+      crash_sweep e fs ~ctx:(name ^ "/rename")
+        ~rolled_back:(fun ctx ->
+          check_intact ctx;
+          Alcotest.(check (option int)) (ctx ^ ": not yet in b") None
+            (Fs.lookup fs ~dir:db "y"))
+        (fun ~on_step -> Fs.rename ~on_step fs ~src:da ~src_name:"x" ~dst:db ~dst_name:"y")
+    in
+    Alcotest.(check bool) (name ^ ": rename sweep covered steps") true (steps >= 2);
+    Alcotest.(check (option int)) (name ^ ": rename applied") (Some f)
+      (Fs.lookup fs ~dir:db "y");
+    crash_recover_check e fs (name ^ "/rename post-commit crash");
+    Fs.rename fs ~src:db ~src_name:"y" ~dst:da ~dst_name:"x";
+    (* truncate shrink: frees blocks and chain nodes, zeroes the tail. *)
+    ignore
+      (crash_sweep e fs ~ctx:(name ^ "/truncate-shrink")
+         ~rolled_back:(fun ctx ->
+           Alcotest.(check int) (ctx ^ ": size unchanged") 300 (Fs.stat fs f).Fs.size;
+           check_intact ctx)
+         (fun ~on_step -> Fs.truncate ~on_step fs ~ino:f ~len:10));
+    Alcotest.(check string) (name ^ ": shrink applied") (String.sub content 0 10)
+      (Fs.read fs ~ino:f ~off:0 ~len:1000);
+    (* truncate grow: allocates zeroed blocks. *)
+    ignore
+      (crash_sweep e fs ~ctx:(name ^ "/truncate-grow")
+         ~rolled_back:(fun ctx ->
+           Alcotest.(check int) (ctx ^ ": size unchanged") 10 (Fs.stat fs f).Fs.size)
+         (fun ~on_step -> Fs.truncate ~on_step fs ~ino:f ~len:500));
+    Alcotest.(check int) (name ^ ": grow applied") 500 (Fs.stat fs f).Fs.size;
+    crash_recover_check e fs (name ^ "/truncate post-commit crash");
+    (* sparse write across several blocks. *)
+    ignore
+      (crash_sweep e fs ~ctx:(name ^ "/write")
+         ~rolled_back:(fun ctx ->
+           Alcotest.(check int) (ctx ^ ": size unchanged") 500 (Fs.stat fs f).Fs.size)
+         (fun ~on_step -> Fs.write ~on_step fs ~ino:f ~off:700 content));
+    Alcotest.(check int) (name ^ ": write applied") 1000 (Fs.stat fs f).Fs.size;
+    (* unlink: dirent surgery + freeing the whole extent chain. *)
+    let steps =
+      crash_sweep e fs ~ctx:(name ^ "/unlink")
+        ~rolled_back:(fun ctx ->
+          Alcotest.(check (option int)) (ctx ^ ": entry survives") (Some f)
+            (Fs.lookup fs ~dir:da "x");
+          Alcotest.(check int) (ctx ^ ": size survives") 1000 (Fs.stat fs f).Fs.size)
+        (fun ~on_step -> Fs.unlink ~on_step fs ~dir:da "x")
+    in
+    Alcotest.(check bool) (name ^ ": unlink sweep covered steps") true (steps >= 2);
+    Alcotest.(check (option int)) (name ^ ": unlink applied") None
+      (Fs.lookup fs ~dir:da "x");
+    Alcotest.(check (option int)) (name ^ ": inode freed") None (Fs.inode_ptr fs f);
+    crash_recover_check e fs (name ^ "/unlink post-commit crash");
+    (* rmdir and a clobbering rename, for the remaining step labels. *)
+    let g = Fs.create fs ~dir:da "src" in
+    let h = Fs.create fs ~dir:db "dst" in
+    Fs.write fs ~ino:g ~off:0 "SOURCE";
+    Fs.write fs ~ino:h ~off:0 "TARGET";
+    ignore
+      (crash_sweep e fs ~ctx:(name ^ "/rename-clobber")
+         ~rolled_back:(fun ctx ->
+           Alcotest.(check (option int)) (ctx ^ ": src entry intact") (Some g)
+             (Fs.lookup fs ~dir:da "src");
+           Alcotest.(check (option int)) (ctx ^ ": dst entry intact") (Some h)
+             (Fs.lookup fs ~dir:db "dst");
+           Alcotest.(check string) (ctx ^ ": target content intact") "TARGET"
+             (Fs.read fs ~ino:h ~off:0 ~len:10))
+         (fun ~on_step ->
+           Fs.rename ~on_step fs ~src:da ~src_name:"src" ~dst:db ~dst_name:"dst"));
+    Alcotest.(check (option int)) (name ^ ": clobber applied") (Some g)
+      (Fs.lookup fs ~dir:db "dst");
+    Alcotest.(check (option int)) (name ^ ": clobbered inode freed") None
+      (Fs.inode_ptr fs h);
+    Fs.unlink fs ~dir:db "dst";
+    ignore
+      (crash_sweep e fs ~ctx:(name ^ "/rmdir")
+         ~rolled_back:(fun ctx ->
+           Alcotest.(check (option int)) (ctx ^ ": dir survives") (Some da)
+             (Fs.lookup fs ~dir:root "a"))
+         (fun ~on_step -> Fs.rmdir ~on_step fs ~dir:root "a"));
+    Alcotest.(check (option int)) (name ^ ": rmdir applied") None
+      (Fs.lookup fs ~dir:root "a");
+    ignore
+      (crash_sweep e fs ~ctx:(name ^ "/mkdir")
+         ~rolled_back:(fun ctx ->
+           Alcotest.(check (option int)) (ctx ^ ": not created") None
+             (Fs.lookup fs ~dir:root "fresh"))
+         (fun ~on_step -> ignore (Fs.mkdir ~on_step fs ~dir:root "fresh")));
+    (* Drive the applier half-way into a batch, then crash. *)
+    ignore (Fs.create fs ~dir:root "late1");
+    ignore (Fs.create fs ~dir:root "late2");
+    (match Engine.applier e with
+    | Some a -> ignore (Applier.drain_one a)
+    | None -> ());
+    crash_recover_check e fs (name ^ "/mid-applier crash");
+    Alcotest.(check bool) (name ^ ": late entries survive") true
+      (Fs.lookup fs ~dir:root "late1" <> None && Fs.lookup fs ~dir:root "late2" <> None);
+    Engine.drain_backup e;
+    check_fsck fs (name ^ " final");
+    match Engine.verify_backup e with
+    | Ok () -> ()
+    | Error err -> Alcotest.failf "%s: backup: %s" name err
+  end
+
+(* No_logging only promises durability at operation boundaries; crash
+   there, everywhere. *)
+let test_no_logging_boundaries () =
+  let e, fs = make_fs ~block_size:64 ~dir_hash_bits:2 (Plain Engine.No_logging) 8 in
+  let root = Fs.root_ino fs in
+  let d = Fs.mkdir fs ~dir:root "d" in
+  crash_recover_check e fs "no-logging after mkdir";
+  let f = Fs.create fs ~dir:d "f" in
+  crash_recover_check e fs "no-logging after create";
+  Fs.write fs ~ino:f ~off:0 "persisted";
+  crash_recover_check e fs "no-logging after write";
+  Alcotest.(check string) "content survives" "persisted" (Fs.read fs ~ino:f ~off:0 ~len:100);
+  Fs.rename fs ~src:d ~src_name:"f" ~dst:root ~dst_name:"g";
+  crash_recover_check e fs "no-logging after rename";
+  Alcotest.(check (option int)) "rename survives" (Some f) (Fs.lookup fs ~dir:root "g");
+  Fs.unlink fs ~dir:root "g";
+  Fs.rmdir fs ~dir:root "d";
+  crash_recover_check e fs "no-logging after teardown";
+  Alcotest.(check (list string)) "empty" [] (List.map fst (Fs.readdir fs ~dir:root))
+
+(* The headline atomicity property: at every crash point of a rename the
+   file is in exactly one of the two directories — never both, never
+   neither — and its content is intact. *)
+let test_rename_atomicity (name, spec, atomic) () =
+  if not atomic then ()
+  else begin
+    let e, fs = make_fs ~block_size:64 ~dir_hash_bits:2 spec 9 in
+    let root = Fs.root_ino fs in
+    let da = Fs.mkdir fs ~dir:root "a" in
+    let db = Fs.mkdir fs ~dir:root "b" in
+    let f = Fs.create fs ~dir:da "x" in
+    Fs.write fs ~ino:f ~off:0 "payload";
+    let rec go k =
+      if k > 5000 then Alcotest.failf "%s: rename never completes" name;
+      let count = ref 0 in
+      let on_step _ =
+        if !count = k then begin
+          Engine.crash e;
+          raise Crashed
+        end;
+        incr count
+      in
+      match Fs.rename ~on_step fs ~src:da ~src_name:"x" ~dst:db ~dst_name:"y" with
+      | () -> k
+      | exception Crashed ->
+          Engine.recover e;
+          let in_a = Fs.lookup fs ~dir:da "x" in
+          let in_b = Fs.lookup fs ~dir:db "y" in
+          (match (in_a, in_b) with
+          | Some i, None when i = f -> ()
+          | None, Some i when i = f -> ()
+          | Some _, Some _ ->
+              Alcotest.failf "%s crash at %d: file in BOTH directories" name k
+          | None, None ->
+              Alcotest.failf "%s crash at %d: file in NEITHER directory" name k
+          | _ -> Alcotest.failf "%s crash at %d: entry points at a stranger" name k);
+          check_fsck fs (Printf.sprintf "%s rename-atomicity step %d" name k);
+          (* Mid-transaction crashes roll back; if a future engine ever
+             rolled forward instead, move the file back for the next
+             attempt rather than failing the sweep. *)
+          if in_b <> None then
+            Fs.rename fs ~src:db ~src_name:"y" ~dst:da ~dst_name:"x";
+          go (k + 1)
+    in
+    let covered = go 0 in
+    Alcotest.(check bool) (name ^ ": sweep hit several crash points") true (covered >= 3);
+    Alcotest.(check (option int)) (name ^ ": final state in b") (Some f)
+      (Fs.lookup fs ~dir:db "y");
+    Alcotest.(check (option int)) (name ^ ": final state not in a") None
+      (Fs.lookup fs ~dir:da "x");
+    Alcotest.(check string) (name ^ ": payload intact") "payload"
+      (Fs.read fs ~ino:f ~off:0 ~len:100)
+  end
+
+(* --- the sharded façade ------------------------------------------------------ *)
+
+let test_sharded_basic () =
+  let t = Shard_fs.create ~block_size:64 ~dir_hash_bits:2 ~kind:Engine.Kamino_simple
+      ~seed:11 ~shards:3 () in
+  let root = Shard_fs.root_ino t in
+  let names = List.init 12 (Printf.sprintf "n%02d") in
+  let files = List.map (fun n -> (n, Shard_fs.create_file t ~dir:root n)) names in
+  (* The placement rule must actually spread inodes across shards. *)
+  let shards_used =
+    List.sort_uniq compare (List.map (fun (_, i) -> Shard_fs.owner t i) files)
+  in
+  Alcotest.(check bool) "placement spreads across shards" true
+    (List.length shards_used >= 2);
+  List.iter
+    (fun (n, i) ->
+      Alcotest.(check (option int)) ("lookup " ^ n) (Some i) (Shard_fs.lookup t ~dir:root n);
+      Shard_fs.write t ~ino:i ~off:0 ("content of " ^ n);
+      Alcotest.(check string) ("read " ^ n) ("content of " ^ n)
+        (Shard_fs.read t ~ino:i ~off:0 ~len:100))
+    files;
+  Alcotest.(check int) "readdir sees all" 12 (List.length (Shard_fs.readdir t ~dir:root));
+  check_fsck_cluster (Shard_fs.fss t) "sharded populated";
+  (* Directories too, with nesting across shards. *)
+  let d1 = Shard_fs.mkdir t ~dir:root "dir1" in
+  let d2 = Shard_fs.mkdir t ~dir:d1 "dir2" in
+  let fx = Shard_fs.create_file t ~dir:d2 "deep" in
+  Alcotest.(check (option int)) "resolve across shards" (Some fx)
+    (Shard_fs.resolve t "/dir1/dir2/deep");
+  (* Cross-shard rename, link, unlink, rmdir. *)
+  let n0, f0 = List.hd files in
+  Shard_fs.rename t ~src:root ~src_name:n0 ~dst:d2 ~dst_name:"moved";
+  Alcotest.(check (option int)) "cross-shard rename" (Some f0)
+    (Shard_fs.lookup t ~dir:d2 "moved");
+  Alcotest.(check string) "content follows" ("content of " ^ n0)
+    (Shard_fs.read t ~ino:f0 ~off:0 ~len:100);
+  Shard_fs.link t ~ino:f0 ~dir:root "hard";
+  Alcotest.(check int) "cross-shard link" 2 (Shard_fs.stat t f0).Fs.nlink;
+  Shard_fs.unlink t ~dir:root "hard";
+  Shard_fs.unlink t ~dir:d2 "moved";
+  Shard_fs.unlink t ~dir:d2 "deep";
+  Shard_fs.rmdir t ~dir:d1 "dir2";
+  Shard_fs.rmdir t ~dir:root "dir1";
+  check_fsck_cluster (Shard_fs.fss t) "sharded after teardown";
+  (* Crash and recover the whole cluster; everything must still verify. *)
+  Shard_fs.crash t;
+  Shard_fs.recover t;
+  check_fsck_cluster (Shard_fs.fss t) "sharded post-crash";
+  List.iter
+    (fun (n, i) ->
+      if n <> n0 then
+        Alcotest.(check (option int)) ("survives " ^ n) (Some i)
+          (Shard_fs.lookup t ~dir:root n))
+    files;
+  Shard_fs.drain_backups t;
+  match Shard.verify_backups (Shard_fs.shard t) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sharded backups: %s" e
+
+(* Crash at every step — fs mutation labels and 2PC protocol positions
+   alike — of cross-shard renames. The file must always be in exactly
+   one directory: before the commit marker is durable every shard rolls
+   back, from the marker on every shard rolls forward, and there is no
+   step with a mixed outcome. The swept rename flips direction whenever
+   an attempt applied, so one loop covers every crash point of the
+   protocol tail as well. *)
+let test_sharded_rename_sweep () =
+  let t = Shard_fs.create ~block_size:64 ~dir_hash_bits:2 ~kind:Engine.Kamino_simple
+      ~seed:13 ~shards:3 () in
+  let root = Shard_fs.root_ino t in
+  (* Hunt for two directories on different shards. *)
+  let rec pick_dirs i =
+    if i > 50 then Alcotest.fail "no cross-shard directory pair found"
+    else
+      let a = Shard_fs.mkdir t ~dir:root (Printf.sprintf "pa%d" i) in
+      let b = Shard_fs.mkdir t ~dir:root (Printf.sprintf "pb%d" i) in
+      if Shard_fs.owner t a <> Shard_fs.owner t b then (a, b) else pick_dirs (i + 1)
+  in
+  let da, db = pick_dirs 0 in
+  let f = Shard_fs.create_file t ~dir:da "x" in
+  Shard_fs.write t ~ino:f ~off:0 "payload";
+  let applied_crashes = ref 0 in
+  let rec go k =
+    if k > 5000 then Alcotest.fail "sharded rename never completes";
+    (* The file is in exactly one directory; rename it to the other. *)
+    let src, src_name, dst, dst_name =
+      match (Shard_fs.lookup t ~dir:da "x", Shard_fs.lookup t ~dir:db "y") with
+      | Some _, None -> (da, "x", db, "y")
+      | None, Some _ -> (db, "y", da, "x")
+      | a, b ->
+          Alcotest.failf "sweep %d: inconsistent starting state (%b, %b)" k
+            (a <> None) (b <> None)
+    in
+    let count = ref 0 in
+    let marker_seen = ref false in
+    let on_step label =
+      if String.equal label "marker" then marker_seen := true;
+      if !count = k then begin
+        Shard_fs.crash t;
+        raise Crashed
+      end;
+      incr count
+    in
+    match Shard_fs.rename ~on_step t ~src ~src_name ~dst ~dst_name with
+    | () -> k
+    | exception Crashed ->
+        Shard_fs.recover t;
+        check_fsck_cluster (Shard_fs.fss t)
+          (Printf.sprintf "sharded rename crash at step %d" k);
+        let in_src = Shard_fs.lookup t ~dir:src src_name in
+        let in_dst = Shard_fs.lookup t ~dir:dst dst_name in
+        (* Applied iff the commit marker's valid flag was durable when
+           the power failed — i.e. the "marker" label had fired. *)
+        let applied = !marker_seen in
+        if applied then incr applied_crashes;
+        (match (in_src, in_dst) with
+        | Some i, None when i = f ->
+            if applied then
+              Alcotest.failf "step %d: marker durable but rename rolled back" k
+        | None, Some i when i = f ->
+            if not applied then
+              Alcotest.failf "step %d: no marker but rename rolled forward" k
+        | Some _, Some _ -> Alcotest.failf "step %d: file in BOTH directories" k
+        | None, None -> Alcotest.failf "step %d: file in NEITHER directory" k
+        | _ -> Alcotest.failf "step %d: entry points at a stranger" k);
+        Alcotest.(check string)
+          (Printf.sprintf "step %d: payload intact" k)
+          "payload"
+          (Shard_fs.read t ~ino:f ~off:0 ~len:100);
+        go (k + 1)
+  in
+  let covered = go 0 in
+  (* The sweep must have walked clean through the protocol tail: crash
+     points at and after Marker_written roll forward. *)
+  Alcotest.(check bool) "post-marker crash points covered" true (!applied_crashes >= 2);
+  Alcotest.(check bool) "sweep hit many crash points" true (covered >= 6);
+  check_fsck_cluster (Shard_fs.fss t) "sharded rename sweep final"
+
+(* Cross-shard create and unlink, swept the same way. *)
+let test_sharded_create_unlink_sweep () =
+  let t = Shard_fs.create ~block_size:64 ~dir_hash_bits:2 ~kind:Engine.Kamino_simple
+      ~seed:17 ~shards:2 () in
+  let root = Shard_fs.root_ino t in
+  (* A name whose placement lands on the other shard than the root dir. *)
+  let rec pick_name i =
+    if i > 200 then Alcotest.fail "no cross-shard name found"
+    else
+      let n = Printf.sprintf "x%d" i in
+      if (Fs.name_hash_raw n + root) mod 2 <> Shard_fs.owner t root then n
+      else pick_name (i + 1)
+  in
+  let name = pick_name 0 in
+  (* create sweep: attempt k crashes at step k; applied iff the marker
+     label fired. When an attempt applied, unlink (uncrashed) to reset. *)
+  let rec go_create k =
+    if k > 1000 then Alcotest.fail "sharded create never completes";
+    let count = ref 0 in
+    let marker_seen = ref false in
+    let on_step label =
+      if String.equal label "marker" then marker_seen := true;
+      if !count = k then begin
+        Shard_fs.crash t;
+        raise Crashed
+      end;
+      incr count
+    in
+    match Shard_fs.create_file ~on_step t ~dir:root name with
+    | _ -> k
+    | exception Crashed ->
+        Shard_fs.recover t;
+        check_fsck_cluster (Shard_fs.fss t)
+          (Printf.sprintf "sharded create crash at %d" k);
+        let present = Shard_fs.lookup t ~dir:root name <> None in
+        Alcotest.(check bool)
+          (Printf.sprintf "create crash at %d: present iff marker durable" k)
+          !marker_seen present;
+        if present then Shard_fs.unlink t ~dir:root name;
+        go_create (k + 1)
+  in
+  ignore (go_create 0);
+  let f = Option.get (Shard_fs.lookup t ~dir:root name) in
+  Alcotest.(check bool) "created on the foreign shard" true
+    (Shard_fs.owner t f <> Shard_fs.owner t root);
+  Shard_fs.write t ~ino:f ~off:0 "doomed";
+  (* unlink sweep: when an attempt applied, re-create and re-fill. *)
+  let rec go_unlink k =
+    if k > 1000 then Alcotest.fail "sharded unlink never completes";
+    let count = ref 0 in
+    let marker_seen = ref false in
+    let on_step label =
+      if String.equal label "marker" then marker_seen := true;
+      if !count = k then begin
+        Shard_fs.crash t;
+        raise Crashed
+      end;
+      incr count
+    in
+    match Shard_fs.unlink ~on_step t ~dir:root name with
+    | () -> k
+    | exception Crashed ->
+        Shard_fs.recover t;
+        check_fsck_cluster (Shard_fs.fss t)
+          (Printf.sprintf "sharded unlink crash at %d" k);
+        let present = Shard_fs.lookup t ~dir:root name <> None in
+        Alcotest.(check bool)
+          (Printf.sprintf "unlink crash at %d: gone iff marker durable" k)
+          (not !marker_seen) present;
+        if not present then begin
+          let f = Shard_fs.create_file t ~dir:root name in
+          Shard_fs.write t ~ino:f ~off:0 "doomed"
+        end;
+        go_unlink (k + 1)
+  in
+  ignore (go_unlink 0);
+  Alcotest.(check (option int)) "finally unlinked" None (Shard_fs.lookup t ~dir:root name);
+  check_fsck_cluster (Shard_fs.fss t) "sharded create/unlink sweep final"
+
+(* --- observability ----------------------------------------------------------- *)
+
+(* A deterministic seeded workload: same seed, same trace bytes. *)
+let run_obs_workload ?obs () =
+  let e = Engine.create ~config ?obs ~kind:Engine.Kamino_simple ~seed:19 () in
+  let fs = Fs.format ~block_size:128 ~dir_hash_bits:3 e in
+  let root = Fs.root_ino fs in
+  let rng = Rng.create 23 in
+  let dirs = ref [ root ] in
+  let files = ref [] in
+  for round = 1 to 120 do
+    let dir = List.nth !dirs (Rng.int rng (List.length !dirs)) in
+    (match Rng.int rng 8 with
+    | 0 -> dirs := Fs.mkdir fs ~dir (Printf.sprintf "d%d" round) :: !dirs
+    | 1 | 2 ->
+        let f = Fs.create fs ~dir (Printf.sprintf "f%d" round) in
+        files := (f, dir, Printf.sprintf "f%d" round) :: !files
+    | 3 | 4 -> (
+        match !files with
+        | [] -> ()
+        | (f, _, _) :: _ ->
+            Fs.write fs ~ino:f ~off:(Rng.int rng 256) (Printf.sprintf "data%d" round))
+    | 5 -> (
+        match !files with
+        | [] -> ()
+        | (f, _, _) :: _ -> Fs.truncate fs ~ino:f ~len:(Rng.int rng 300))
+    | 6 -> (
+        match !files with
+        | [] -> ()
+        | (f, d, n) :: rest ->
+            let n' = n ^ "r" in
+            Fs.rename fs ~src:d ~src_name:n ~dst:root ~dst_name:n';
+            files := (f, root, n') :: rest)
+    | _ -> ignore (Fs.readdir fs ~dir));
+    if round mod 40 = 0 then
+      match Fs_check.fsck fs with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "obs workload round %d: %s" round err
+  done;
+  Engine.drain_backup e;
+  (e, fs)
+
+let test_fs_trace_deterministic () =
+  let trace () =
+    let obs = Obs.create ~capacity:65536 () in
+    let _ = run_obs_workload ~obs () in
+    (obs, Sink.perfetto_string obs)
+  in
+  let oa, a = trace () in
+  let _, b = trace () in
+  Alcotest.(check bool) "byte-identical fs trace for the same seed" true (a = b);
+  (* fs spans ride their own dedicated track, and only that track. *)
+  let fs_spans = ref 0 and fs_tracks = ref [] and ops_seen = ref [] in
+  Obs.iter oa (fun ~kind ~track ~ts:_ ~dur ~a ~b:_ ~c:_ ->
+      if kind = Obs.k_fs_op then begin
+        incr fs_spans;
+        if not (List.mem track !fs_tracks) then fs_tracks := track :: !fs_tracks;
+        if not (List.mem a !ops_seen) then ops_seen := a :: !ops_seen;
+        if dur < 0 then Alcotest.fail "negative fs span duration"
+      end);
+  Alcotest.(check bool) "fs spans recorded" true (!fs_spans > 100);
+  Alcotest.(check (list int)) "all fs spans on the dedicated track" [ 4 ] !fs_tracks;
+  Alcotest.(check bool) "several distinct opcodes traced" true
+    (List.length !ops_seen >= 5);
+  Alcotest.(check bool) "track is named" true
+    (List.mem_assoc 4 (Obs.tracks oa))
+
+let test_fs_tracing_invisible () =
+  let fingerprint (e, _) = (Engine.now e, Engine.metrics e, Engine.main_counters e) in
+  let plain = run_obs_workload () in
+  let obs = Obs.create ~capacity:65536 () in
+  let traced = run_obs_workload ~obs () in
+  Alcotest.(check bool) "tracer saw the run" true (Obs.total obs > 0);
+  Alcotest.(check bool) "tracing changes nothing" true
+    (fingerprint plain = fingerprint traced)
+
+let test_fs_metrics () =
+  let e, fs = run_obs_workload () in
+  let reg = Engine.registry e in
+  let counter name =
+    Metrics.fold_counters reg ~init:0 ~f:(fun acc n v -> if n = name then v else acc)
+  in
+  Alcotest.(check bool) "blocks allocated counted" true
+    (counter "fs.blocks_allocated" > 0);
+  Alcotest.(check bool) "extent nodes counted" true
+    (counter "fs.extent_nodes_allocated" > 0);
+  let h = Metrics.hist reg ("fs.op_ns." ^ Fs.op_name Fs.op_create) in
+  Alcotest.(check bool) "create latencies observed" true (Metrics.count h > 0);
+  Alcotest.(check bool) "percentiles monotone" true
+    (Metrics.percentile h 50.0 <= Metrics.percentile h 99.0);
+  let hf = Metrics.hist reg ("fs.op_ns." ^ Fs.op_name Fs.op_fsck) in
+  Alcotest.(check bool) "fsck feeds its histogram" true (Metrics.count hf > 0);
+  ignore fs
+
+let () =
+  let sweep_cases =
+    List.filter_map
+      (fun ((name, _, atomic) as b) ->
+        if atomic then
+          Some
+            (Alcotest.test_case
+               (Printf.sprintf "crash at every step (%s)" name)
+               `Slow (test_crash_every_step b))
+        else None)
+      builders
+  in
+  let atomicity_cases =
+    List.filter_map
+      (fun ((name, _, atomic) as b) ->
+        if atomic then
+          Some
+            (Alcotest.test_case
+               (Printf.sprintf "rename all-or-nothing (%s)" name)
+               `Quick (test_rename_atomicity b))
+        else None)
+      builders
+  in
+  Alcotest.run "fs"
+    [
+      ( "functional",
+        [
+          Alcotest.test_case "tree of ops" `Quick test_tree_ops;
+          Alcotest.test_case "error paths" `Quick test_errors;
+          Alcotest.test_case "collision chains" `Quick test_collision_chains;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "fsck detects planted corruption" `Quick
+            test_fsck_detects_corruption;
+        ] );
+      ("crash-sweep", sweep_cases);
+      ( "crash-boundary",
+        [
+          Alcotest.test_case "no-logging at operation boundaries" `Quick
+            test_no_logging_boundaries;
+        ] );
+      ("rename-atomicity", atomicity_cases);
+      ( "sharded",
+        [
+          Alcotest.test_case "basic namespace over shards" `Quick test_sharded_basic;
+          Alcotest.test_case "cross-shard rename crash sweep" `Slow
+            test_sharded_rename_sweep;
+          Alcotest.test_case "cross-shard create/unlink crash sweep" `Slow
+            test_sharded_create_unlink_sweep;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace determinism" `Quick test_fs_trace_deterministic;
+          Alcotest.test_case "tracing invisible to the simulation" `Quick
+            test_fs_tracing_invisible;
+          Alcotest.test_case "metrics registry wiring" `Quick test_fs_metrics;
+        ] );
+    ]
