@@ -177,19 +177,8 @@ let fig14_15 p =
 
 (* --- Figure 16: normalized performance per dollar ------------------------ *)
 
-(* TCO stand-in (documented substitution): a server base price plus an NVM
-   price per dataset-sized multiple. The paper's evaluation ran ~10 GB-scale
-   datasets on 112 GB VMs where memory dominates the bill; our scaled heap
-   is tiny, so pricing is per heap-equivalent rather than per raw GB to
-   preserve the figure's shape. Only ratios matter. *)
-let server_base_usd = 2000.0
-
-let usd_per_dataset = 2000.0
-
-let dollars p storage_bytes =
-  server_base_usd
-  +. (float_of_int storage_bytes /. float_of_int p.heap_bytes *. usd_per_dataset)
-
+(* Pricing lives in {!Common} ([dollars] and friends), shared with the
+   throughput harness's fig16-at-scale sweep. *)
 let fig16 p =
   header "Figure 16: normalized ops/sec per dollar (baseline: undo-logging)";
   let configs =

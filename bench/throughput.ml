@@ -71,6 +71,7 @@ type cell = {
   alloc_words_per_op : float;
   sim_ns_per_op : float;
   counters : Region.counters;  (* aggregate deltas over the measured window *)
+  storage_bytes : int;  (* total NVM footprint (fig16 pricing input) *)
 }
 
 let config records =
@@ -134,27 +135,41 @@ let measure ?(max_ops = max_int) ~engine_name ~workload ~budget_s e step =
     alloc_words_per_op = per words;
     sim_ns_per_op = per (float_of_int sim_ns);
     counters = sub_counters c1 c0;
+    storage_bytes = Engine.storage_bytes e;
   }
 
-let ycsb_cell ?obs ?max_ops ~budget_s ~records (engine_name, kind) wl =
-  let e = Engine.create ~config:(config records) ?obs ~kind ~seed:90210 () in
+let ycsb_cell ?obs ?max_ops ?(uniform = false) ~budget_s ~records (engine_name, kind) wl =
+  (* Insert-bearing workloads (D/E grow the key space 5% of ops) get heap
+     headroom so an op-capped run cannot fill the arena however fast the
+     engine gets; the A/B/C cells keep the exact historical config so the
+     words/op trajectory stays comparable across PRs. *)
+  let cfg =
+    match wl with
+    | Ycsb.D | Ycsb.E ->
+        let base = config records in
+        { base with Engine.heap_bytes = base.Engine.heap_bytes + (64 * 1024 * 1024) }
+    | _ -> config records
+  in
+  let e = Engine.create ~config:cfg ?obs ~kind ~seed:90210 () in
   let kv = Kv.create e ~value_size:256 ~node_size:1024 in
   let payload = String.make 240 'k' in
-  for k = 0 to records - 1 do
-    Kv.put kv k payload
-  done;
+  Kv.load kv ~count:records ~key:Fun.id ~value:(fun _ -> payload);
   Engine.drain_backup e;
-  let w = Ycsb.create wl ~record_count:records ~theta:0.99 in
+  let w = Ycsb.create ~uniform wl ~record_count:records ~theta:0.99 in
   let rng = Rng.create 777 in
   let step () =
     match Ycsb.next w rng with
     | Ycsb.Read k -> ignore (Kv.get kv k)
     | Ycsb.Update k | Ycsb.Insert k -> Kv.put kv k payload
-    | Ycsb.Scan (k, n) -> ignore (Kv.range kv ~lo:k ~hi:(k + n))
+    | Ycsb.Scan (k, n) -> ignore (Kv.scan kv ~lo:k ~count:n (fun _ _ -> ()))
     | Ycsb.Rmw k -> ignore (Kv.read_modify_write kv k Fun.id)
   in
-  measure ?max_ops ~engine_name ~workload:("ycsb-" ^ String.lowercase_ascii (Ycsb.name wl))
-    ~budget_s e step
+  let workload =
+    "ycsb-"
+    ^ String.lowercase_ascii (Ycsb.name wl)
+    ^ if uniform then "-uniform" else ""
+  in
+  measure ?max_ops ~engine_name ~workload ~budget_s e step
 
 let tpcc_cell ~budget_s ~records:_ (engine_name, kind) =
   (* TPC-C grows the heap (~200 net bytes per mix op from undelivered
@@ -292,9 +307,7 @@ let read_cell ?max_ops ~snapshot ~budget_s ~records (wl_name, wl) =
   let e = Engine.create ~config:cfg ~kind:Engine.Kamino_simple ~seed:90210 () in
   let kv = Kv.create e ~value_size:256 ~node_size:1024 in
   let payload = String.make 240 'k' in
-  for k = 0 to records - 1 do
-    Kv.put kv k payload
-  done;
+  Kv.load kv ~count:records ~key:Fun.id ~value:(fun _ -> payload);
   Engine.drain_backup e;
   let w = Ycsb.create wl ~record_count:records ~theta:0.99 in
   let rng = Rng.create 777 in
@@ -307,7 +320,7 @@ let read_cell ?max_ops ~snapshot ~budget_s ~records (wl_name, wl) =
     match Ycsb.next w rng with
     | Ycsb.Read k -> read k
     | Ycsb.Update k | Ycsb.Insert k -> Kv.put kv k payload
-    | Ycsb.Scan (k, n) -> ignore (Kv.range kv ~lo:k ~hi:(k + n))
+    | Ycsb.Scan (k, n) -> ignore (Kv.scan kv ~lo:k ~count:n (fun _ _ -> ()))
     | Ycsb.Rmw k -> ignore (Kv.read_modify_write kv k Fun.id)
   in
   let c = measure ?max_ops ~engine_name:"kamino-simple" ~workload:wl_name ~budget_s e step in
@@ -635,6 +648,41 @@ let json_of_cell c =
     c.sim_ns_per_op n.Region.stores n.Region.bytes_stored n.Region.loads
     n.Region.bytes_loaded n.Region.lines_flushed n.Region.fences n.Region.bytes_copied
 
+(* --- Figure 16 at scale ----------------------------------------------------
+
+   The paper's performance-per-dollar sweep (Figure 16), re-run on the
+   wall-clock harness at full record count: YCSB-A on Kamino-Tx-Dynamic
+   across backup fractions alpha, priced with the same TCO stand-in the
+   figure bench uses ({!Common.dollars_of}). Emitted as a separate
+   "fig16" section of BENCH_throughput.json so the alpha/price trade-off
+   has a committed trajectory at 1M records, not just at bench scale. *)
+
+type fig16_cell = { f_alpha : float; f_cell : cell; f_ops_per_usd : float }
+
+let fig16_alphas = [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let fig16_sweep ~budget_s ~records =
+  let heap_bytes = (config records).Engine.heap_bytes in
+  List.map
+    (fun alpha ->
+      let name = Printf.sprintf "kamino-dyn-%02d" (int_of_float (alpha *. 100.)) in
+      let kind = Engine.Kamino_dynamic { alpha; policy = Backup.Lru_policy } in
+      let c = ycsb_cell ~budget_s ~records (name, kind) Ycsb.A in
+      let usd = Common.dollars_of ~heap_bytes c.storage_bytes in
+      let f = { f_alpha = alpha; f_cell = c; f_ops_per_usd = c.ops_per_sec /. usd } in
+      Printf.printf "  fig16 alpha=%.1f %9.0f ops/s  %10d bytes  %7.2f ops/s/$\n%!" alpha
+        c.ops_per_sec c.storage_bytes f.f_ops_per_usd;
+      f)
+    fig16_alphas
+
+let json_of_fig16 f =
+  Printf.sprintf
+    {|    {"alpha": %.2f, "engine": "%s", "workload": "%s", "ops": %d,
+     "ops_per_sec": %.1f, "sim_ns_per_op": %.1f, "storage_bytes": %d,
+     "ops_per_usd": %.4f}|}
+    f.f_alpha f.f_cell.engine f.f_cell.workload f.f_cell.ops f.f_cell.ops_per_sec
+    f.f_cell.sim_ns_per_op f.f_cell.storage_bytes f.f_ops_per_usd
+
 let () =
   let budget = ref 0.4 and out = ref "" and records = ref 4096 in
   let engine_filter = ref "" and workload_filter = ref "" in
@@ -708,39 +756,63 @@ let () =
     exit 0
   end;
   let out = if !out = "" then "BENCH_throughput.json" else !out in
+  let full_grid = !engine_filter = "" && !workload_filter = "" in
+  (* --engine and --workload both take comma-separated lists
+     (e.g. --engine kamino-dyn-50,undo-logging --workload ycsb-a,ycsb-e). *)
   let kinds =
-    List.filter (fun (name, _) -> !engine_filter = "" || name = !engine_filter) kinds
+    let wanted_kinds =
+      if !engine_filter = "" then [] else String.split_on_char ',' !engine_filter
+    in
+    List.filter (fun (name, _) -> wanted_kinds = [] || List.mem name wanted_kinds) kinds
   in
-  let want_wl name = !workload_filter = "" || name = !workload_filter in
+  let wanted =
+    if !workload_filter = "" then [] else String.split_on_char ',' !workload_filter
+  in
+  let want_wl name = wanted = [] || List.mem name wanted in
   Printf.printf
     "wall-clock throughput: %d records, %.2fs budget per cell, %d engine kinds\n%!"
     records budget_s (List.length kinds);
+  (* The E cells are op-capped: 5% of ops insert fresh keys, so a fixed cap
+     (with the D/E heap headroom in [ycsb_cell]) bounds net heap growth
+     regardless of engine speed. *)
   let cells =
     List.concat_map
       (fun kind ->
         let ycsb =
           List.filter_map
-            (fun (name, wl) ->
-              if want_wl name then Some (ycsb_cell ~budget_s ~records kind wl) else None)
-            [ ("ycsb-a", Ycsb.A); ("ycsb-b", Ycsb.B); ("ycsb-c", Ycsb.C) ]
+            (fun (name, wl, uniform, max_ops) ->
+              if want_wl name then
+                Some (ycsb_cell ~uniform ?max_ops ~budget_s ~records kind wl)
+              else None)
+            [
+              ("ycsb-a", Ycsb.A, false, None);
+              ("ycsb-b", Ycsb.B, false, None);
+              ("ycsb-c", Ycsb.C, false, None);
+              ("ycsb-e", Ycsb.E, false, Some 200_000);
+              ("ycsb-e-uniform", Ycsb.E, true, Some 200_000);
+            ]
         in
         let row =
           ycsb @ (if want_wl "tpcc" then [ tpcc_cell ~budget_s ~records kind ] else [])
         in
         List.iter
           (fun c ->
-            Printf.printf "  %-14s %-7s %9.0f ops/s  %7.1f words/op  %8.0f sim-ns/op\n%!"
+            Printf.printf "  %-14s %-14s %9.0f ops/s  %7.1f words/op  %8.0f sim-ns/op\n%!"
               c.engine c.workload c.ops_per_sec c.alloc_words_per_op c.sim_ns_per_op)
           row;
         row)
       kinds
   in
+  (* The fig16 alpha sweep rides along only on the unfiltered grid: filtered
+     invocations are smoke/CI runs that want one cell, not five extras. *)
+  let fig16 = if full_grid then fig16_sweep ~budget_s ~records else [] in
   let oc = open_out out in
   Printf.fprintf oc
     "{\n  \"schema\": \"kamino-throughput-v1\",\n  \"budget_s\": %.3f,\n  \
-     \"records\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+     \"records\": %d,\n  \"results\": [\n%s\n  ],\n  \"fig16\": [\n%s\n  ]\n}\n"
     budget_s records
-    (String.concat ",\n" (List.map json_of_cell cells));
+    (String.concat ",\n" (List.map json_of_cell cells))
+    (String.concat ",\n" (List.map json_of_fig16 fig16));
   close_out oc;
   Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
   let dead = List.filter (fun c -> c.ops = 0) cells in

@@ -140,9 +140,7 @@ let run_ycsb ?(after_load = ignore) ?(snapshot_reads = false) e ~kind ~workload
   let kv = Kv.create e ~value_size:1024 ~node_size:4096 in
   let payload = String.make 1000 'v' in
   Printf.printf "loading %d records...\n%!" records;
-  for k = 0 to records - 1 do
-    Kv.put kv k payload
-  done;
+  Kv.load kv ~count:records ~key:Fun.id ~value:(fun _ -> payload);
   Engine.drain_backup e;
   after_load ();
   (* Snapshot reads run on their own clock: they serve from the backup at
@@ -170,11 +168,16 @@ let run_ycsb ?(after_load = ignore) ?(snapshot_reads = false) e ~kind ~workload
           Kv.put kv k payload;
           "insert"
       | Ycsb.Scan (k, n) ->
-          ignore (Kv.range kv ~lo:k ~hi:(k + n));
+          ignore (Kv.scan kv ~lo:k ~count:n (fun _ _ -> ()));
           "scan"
       | Ycsb.Rmw k ->
           ignore (Kv.read_modify_write kv k Fun.id);
           "rmw")
+  |> fun r ->
+  (* Refresh the structural gauges (btree.depth) so metric summaries
+     printed after the run see the final tree shape. *)
+  Kv.sync_gauges kv;
+  r
 
 (* --- ycsb ------------------------------------------------------------------ *)
 
@@ -231,7 +234,7 @@ let run_ycsb_sharded ?(snapshot_reads = false) ?(domains = 1) ~config ~kind ~wor
             Kv.put store (key k) payload;
             "insert"
         | Ycsb.Scan (k, n) ->
-            ignore (Kv.range store ~lo:(key k) ~hi:(key k + n));
+            ignore (Kv.scan store ~lo:(key k) ~count:n (fun _ _ -> ()));
             "scan"
         | Ycsb.Rmw k ->
             ignore (Kv.read_modify_write store (key k) Fun.id);

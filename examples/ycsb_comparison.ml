@@ -55,7 +55,7 @@ let run kind =
             Kv.put kv k payload;
             "update"
         | Ycsb.Scan (k, n) ->
-            ignore (Kv.range kv ~lo:k ~hi:(k + n));
+            ignore (Kv.scan kv ~lo:k ~count:n (fun _ _ -> ()));
             "scan"
         | Ycsb.Rmw k ->
             ignore (Kv.read_modify_write kv k Fun.id);

@@ -23,8 +23,16 @@ type policy = Lru_policy | Fifo_policy
     The caller must initialize it (one whole-heap copy) with {!initialize_full}. *)
 val create_full : Kamino_nvm.Region.t -> t
 
+(** [create_dynamic ~slots ~table ~capacity ~policy] — [capacity] is the
+    initial look-up-table capacity. It is explicit (not derived from the
+    table region's size) because table regions are sized with incremental-
+    resize headroom: see {!Phash.chain_size}. *)
 val create_dynamic :
-  slots:Kamino_nvm.Region.t -> table:Kamino_nvm.Region.t -> policy:policy -> t
+  slots:Kamino_nvm.Region.t ->
+  table:Kamino_nvm.Region.t ->
+  capacity:int ->
+  policy:policy ->
+  t
 
 (** Re-attach after a crash: reopens the persistent look-up table (dynamic)
     and resets volatile state. *)
@@ -101,6 +109,9 @@ val misses : t -> int
 val evictions : t -> int
 
 val resident : t -> int
+
+(** Completed incremental resizes of the dynamic look-up table. *)
+val migrations : t -> int
 
 (** [copy_matches t ~main ~off] — does the resident copy for the range at
     [off] currently equal the main heap's bytes? [None] when absent

@@ -145,8 +145,14 @@ let create ?(config = default_config) ?(obs = Obs.null) ?(obs_track = 1) ~kind
     | Kamino_dynamic { alpha; policy } ->
         let slots_bytes = max (int_of_float (alpha *. float_of_int config.heap_bytes)) 65536 in
         let slots = mk slots_bytes in
-        let table = mk (Phash.required_size ~capacity:(max 1024 (slots_bytes / 128))) in
-        (Some (Backup.create_dynamic ~slots ~table ~policy), [ slots; table ])
+        let capacity = max 1024 (slots_bytes / 128) in
+        (* Headroom for two incremental table doublings when the initial
+           capacity is modest; tables already sized for millions of slots
+           get no extra chain (the region would double for headroom that a
+           bounded slot heap can never need). *)
+        let doublings = if capacity <= 65536 then 2 else 0 in
+        let table = mk (Phash.chain_size ~capacity ~doublings) in
+        (Some (Backup.create_dynamic ~slots ~table ~capacity ~policy), [ slots; table ])
     | No_logging | Undo_logging | Cow | Intent_only -> (None, [])
   in
   let all_regions =
@@ -345,12 +351,25 @@ let read_lock tx p =
 let alloc tx size =
   active_tx tx;
   let t = tx.owner in
-  let p, ranges = Heap.alloc_ranges t.heap size in
-  List.iter (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false) ranges;
-  do_barrier tx;
-  let p' = Heap.alloc t.heap size in
-  assert (p' = p);
-  p
+  if size > Heap.max_object_size then begin
+    (* Chained extent: declare every link's allocator words and extent,
+       then perform the whole multi-link allocation under one barrier — the
+       chain appears or rolls back atomically like any other allocation. *)
+    let ptrs, ranges = Heap.alloc_chain_ranges t.heap size in
+    List.iter (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false) ranges;
+    do_barrier tx;
+    let head = Heap.alloc_chain t.heap size in
+    assert (head = List.hd ptrs);
+    head
+  end
+  else begin
+    let p, ranges = Heap.alloc_ranges t.heap size in
+    List.iter (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false) ranges;
+    do_barrier tx;
+    let p' = Heap.alloc t.heap size in
+    assert (p' = p);
+    p
+  end
 
 let free tx p =
   active_tx tx;
@@ -364,6 +383,25 @@ let free tx p =
     (Heap.free_ranges t.heap p);
   do_barrier tx;
   Heap.free t.heap p
+
+let chain_links t p = Heap.chain_links t.heap p
+
+let chain_size t p = Heap.chain_size t.heap p
+
+let free_chain tx p =
+  active_tx tx;
+  let t = tx.owner in
+  let links = Heap.chain_links t.heap p in
+  List.iter
+    (fun (lp, _, _) ->
+      let extent = Heap.extent t.heap lp in
+      t.strat.v_pre_free t tx extent;
+      List.iter
+        (fun { Heap.off; len } -> declare tx ~off ~len ~redirectable:false)
+        (Heap.free_ranges t.heap lp))
+    links;
+  do_barrier tx;
+  Heap.free_chain t.heap p
 
 (* --- Data access -------------------------------------------------------- *)
 
@@ -585,6 +623,11 @@ let peek_bytes t p field len = Region.read_bytes t.main (p + field) len
 
 let peek_string t p field len = Region.read_string t.main (p + field) len
 
+(* Cost-free committed read for observability walks (B+Tree depth/occupancy
+   gauges): no simulated load is charged, so gauge collection cannot drift
+   the bit-identity oracles. Never use on a data path. *)
+let probe_int t p field = Region.peek_int t.main (p + field)
+
 let set_root tx p =
   active_tx tx;
   let t = tx.owner in
@@ -616,6 +659,9 @@ let abort tx =
   active_tx tx;
   let t = tx.owner in
   t.strat.v_abort t tx;
+  (* Rollback restores allocator words behind the heap's back; the
+     occupancy directory resyncs lazily on the next stats read. *)
+  Heap.mark_stats_stale t.heap;
   Metrics.incr t.m_aborted;
   (if Obs.enabled t.e_obs then
      let nowc = Clock.now t.clk in
@@ -810,4 +856,13 @@ let registry t =
   gauge "locks.wait_ns" (Locks.waits t.locks);
   gauge "locks.wait_events" (Locks.wait_events t.locks);
   gauge "storage.bytes" (storage_bytes t);
+  (* Heap occupancy and table-resize gauges are cost-free by construction:
+     [Heap.stats] reads only the volatile directory (resyncing, when stale,
+     through [Region.peek_*]) and [Backup.migrations] is an in-memory
+     counter — calling [registry] cannot drift the A/B words/op gate. *)
+  let hs = Heap.stats t.heap in
+  gauge "heap.segments" hs.Heap.segments_live;
+  gauge "heap.live_bytes" hs.Heap.live_bytes;
+  gauge "heap.live_objects" hs.Heap.live_objects;
+  gauge "phash.migrations" (match t.bkp with Some b -> Backup.migrations b | None -> 0);
   t.reg

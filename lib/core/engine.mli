@@ -172,11 +172,26 @@ val add_field : tx -> Heap.ptr -> int -> int -> unit
 val read_lock : tx -> Heap.ptr -> unit
 
 (** [alloc tx size] — [TX_ZALLOC]: transactionally allocates a zeroed
-    object; undone on abort or crash. *)
+    object; undone on abort or crash. Sizes above [Heap.max_object_size]
+    are allocated as a chained extent (a linked list of class-sized links)
+    under the same single barrier: the returned pointer is the chain head;
+    free it with {!free_chain} and address its payload via {!chain_links}. *)
 val alloc : tx -> int -> Heap.ptr
 
-(** [free tx p] — [TX_FREE]: transactionally frees an object. *)
+(** [free tx p] — [TX_FREE]: transactionally frees an object. Refuses
+    members of a chained extent (use {!free_chain} on the head). *)
 val free : tx -> Heap.ptr -> unit
+
+(** [free_chain tx p] transactionally frees every link of the chained
+    extent headed at [p]. *)
+val free_chain : tx -> Heap.ptr -> unit
+
+(** [chain_links t p] — committed-state view of a chained extent:
+    [(link_ptr, data_rel, data_len)] per link (see [Heap.chain_links]). *)
+val chain_links : t -> Heap.ptr -> (Heap.ptr * int * int) list
+
+(** [chain_size t p] — logical byte size of the chained extent at [p]. *)
+val chain_size : t -> Heap.ptr -> int
 
 (** [commit tx] makes the transaction durable and atomic. The critical path
     ends when this returns; lock release may be later (Kamino kinds). *)
@@ -250,6 +265,12 @@ val peek_int : t -> Heap.ptr -> int -> int
 val peek_bytes : t -> Heap.ptr -> int -> int -> bytes
 
 val peek_string : t -> Heap.ptr -> int -> int -> string
+
+(** [probe_int t p field] — cost-free committed read (no simulated load
+    charged, like [Region.peek_int]). Strictly for observability walks such
+    as the B+Tree depth/occupancy gauges; data paths must use {!peek_int}
+    so the cost model sees the access. *)
+val probe_int : t -> Heap.ptr -> int -> int
 
 (** {1 Snapshot reads (MVCC-lite)}
 

@@ -10,7 +10,11 @@ type t = {
   mutable lru : node option;
 }
 
-let create () = { table = Hashtbl.create 1024; mru = None; lru = None }
+(* [size_hint] pre-sizes the key table: at millions of resident copies the
+   default 1024 buckets would force a cascade of doubling rehashes while
+   reattaching after a crash. *)
+let create ?(size_hint = 1024) () =
+  { table = Hashtbl.create (max 16 size_hint); mru = None; lru = None }
 
 let length t = Hashtbl.length t.table
 

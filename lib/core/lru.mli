@@ -10,7 +10,10 @@
 
 type t
 
-val create : unit -> t
+(** [create ?size_hint ()] — [size_hint] pre-sizes the internal key table
+    (e.g. to the backup table's capacity) so large reattaches avoid
+    rehashing cascades. *)
+val create : ?size_hint:int -> unit -> t
 
 val length : t -> int
 

@@ -1,56 +1,110 @@
 module Region = Kamino_nvm.Region
 module Cost_model = Kamino_nvm.Cost_model
 
-type t = { region : Region.t; capacity : int; mask : int; mutable count : int }
+(* Persistent open-addressing hash table with crash-safe incremental
+   resize.
+
+   Layout: the header keeps the magic at word 0 and a packed state word at
+   word 1: [cap | doublings << 48 | armed << 62]. A table that has never
+   resized stores exactly its capacity there — bit-for-bit what the
+   fixed-capacity format wrote — so legacy images decode unchanged and
+   opening one charges exactly the same loads as before. The migration
+   cursor lives at word 2 and is only ever read when the armed bit is set,
+   which keeps the never-resized open path free of extra charged ops (the
+   variant oracle pins them).
+
+   Tables live in a geometric chain inside the region: generation [d] has
+   capacity [c0 * 2^d] and starts at [64 + 16*c0*(2^d - 1)]. Both the
+   active table's offset and the migration target's offset are derivable
+   from (c0, d), so the state word alone names the whole on-NVM layout.
+
+   Resize protocol (split-migration):
+   - arm: zero + persist the next table's range, persist cursor := 0, then
+     persist the state word with the armed bit set. The state-word store is
+     the commit point; a crash before it leaves a plain table.
+   - migrate: each insert call first copies a small batch of old-table
+     buckets into the new table via insert-if-absent (idempotent, so
+     replaying a batch after a crash is harmless), then persists the
+     cursor. Live inserts go to the new table and tombstone any old copy;
+     removes tombstone both tables; finds probe new-then-old.
+   - complete: one persisted store of the state word advances the
+     generation and clears the armed bit atomically. Recovery (open) of an
+     armed image just finishes the remaining batches and completes. *)
+
+type t = {
+  region : Region.t;
+  mutable cap : int; (* active table capacity (power of two) *)
+  mutable mask : int;
+  mutable off : int; (* active table start *)
+  mutable doublings : int; (* completed resizes *)
+  mutable mig : int; (* migration cursor; -1 when not armed *)
+  mutable ncap : int; (* migration target, valid when mig >= 0 *)
+  mutable nmask : int;
+  mutable noff : int;
+  mutable count : int;
+}
+
+exception Overload of { capacity : int; count : int }
 
 let magic_value = 0x4B54484153485631L (* "KTHASHV1" *)
 
 let magic_off = 0
-let capacity_off = 8
+let state_off = 8
+let mig_cursor_off = 16
 let entries_start = 64
 
 let empty_key = 0L
 let tombstone_key = -1L
 
+let armed_bit = 1 lsl 62
+let cap_mask = (1 lsl 48) - 1
+let migrate_batch = 8
+
+let encode_state ~cap ~d ~armed =
+  cap lor (d lsl 48) lor (if armed then armed_bit else 0)
+
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 
-let required_size ~capacity = entries_start + (pow2_at_least capacity 16 * 16)
+let chain_size ~capacity ~doublings =
+  let c0 = pow2_at_least capacity 16 in
+  entries_start + (c0 * 16 * ((1 lsl (doublings + 1)) - 1))
 
-let entry_off _t i = entries_start + (i * 16)
+let required_size ~capacity = chain_size ~capacity ~doublings:0
+
+let slot_off off i = off + (i * 16)
 
 let format region ~capacity =
   let capacity = pow2_at_least capacity 16 in
   if Region.size region < required_size ~capacity then
     invalid_arg "Phash.format: region too small";
   Region.write_int64 region magic_off magic_value;
-  Region.write_int region capacity_off capacity;
+  Region.write_int region state_off (encode_state ~cap:capacity ~d:0 ~armed:false);
   (* Zero the bucket array (fresh regions are zeroed already, but reformats
      of reused regions are not). *)
   Region.fill region entries_start (capacity * 16) 0;
   Region.persist_all region;
-  { region; capacity; mask = capacity - 1; count = 0 }
+  {
+    region;
+    cap = capacity;
+    mask = capacity - 1;
+    off = entries_start;
+    doublings = 0;
+    mig = -1;
+    ncap = 0;
+    nmask = 0;
+    noff = 0;
+    count = 0;
+  }
 
-let rebuild_count t =
-  let n = ref 0 in
-  for i = 0 to t.capacity - 1 do
-    let k = Region.read_int64 t.region (entry_off t i) in
-    if k <> empty_key && k <> tombstone_key then incr n
-  done;
-  t.count <- !n
-
-let open_existing region =
-  if Region.read_int64 region magic_off <> magic_value then
-    failwith "Phash.open_existing: bad magic";
-  let capacity = Region.read_int region capacity_off in
-  let t = { region; capacity; mask = capacity - 1; count = 0 } in
-  rebuild_count t;
-  t
-
-let capacity t = t.capacity
+let capacity t = t.cap
 
 let region t = t.region
 
 let count t = t.count
+
+let migrations t = t.doublings
+
+let resizing t = t.mig >= 0
 
 let hash key =
   let z = Int64.of_int key in
@@ -60,78 +114,283 @@ let hash key =
 
 let charge_index t = Region.charge t.region (Region.cost_model t.region).Cost_model.index_ns
 
-let insert t ~key ~value =
-  if key <= 0 then invalid_arg "Phash.insert: keys must be positive";
-  charge_index t;
-  let start = hash key land t.mask in
-  let rec probe i steps first_tomb =
-    if steps > t.capacity then failwith "Phash.insert: table full"
+(* Raw probes over one table of the chain. *)
+
+let find_in t off cap mask key =
+  let start = hash key land mask in
+  let rec probe i steps =
+    if steps > cap then -1
     else begin
-      let off = entry_off t i in
-      let k = Region.read_int64 t.region off in
+      let o = slot_off off i in
+      let k = Region.read_int64 t.region o in
+      if k = empty_key then -1
+      else if k = Int64.of_int key then Region.read_int t.region (o + 8)
+      else probe ((i + 1) land mask) (steps + 1)
+    end
+  in
+  probe start 0
+
+let tombstone_in t off cap mask key =
+  let start = hash key land mask in
+  let rec probe i steps =
+    if steps > cap then false
+    else begin
+      let o = slot_off off i in
+      let k = Region.read_int64 t.region o in
+      if k = empty_key then false
+      else if k = Int64.of_int key then begin
+        Region.write_int64 t.region o tombstone_key;
+        Region.persist t.region o 8;
+        true
+      end
+      else probe ((i + 1) land mask) (steps + 1)
+    end
+  in
+  probe start 0
+
+(* Upsert into the table at [off]: overwrite in place if present, else
+   publish value-then-key at the first reusable slot. Returns [true] when a
+   new entry was created (as opposed to an overwrite). *)
+let upsert_in t off cap mask key value =
+  let start = hash key land mask in
+  let rec probe i steps first_tomb =
+    if steps > cap then raise (Overload { capacity = cap; count = t.count })
+    else begin
+      let o = slot_off off i in
+      let k = Region.read_int64 t.region o in
       if k = Int64.of_int key then begin
         (* Overwrite in place: publish the new value with a persist; the key
            word is untouched so the entry is never half-visible. *)
-        Region.write_int t.region (off + 8) value;
-        Region.persist t.region off 16
+        Region.write_int t.region (o + 8) value;
+        Region.persist t.region o 16;
+        false
       end
       else if k = empty_key then begin
-        let slot = match first_tomb with Some s -> s | None -> off in
+        let slot = match first_tomb with Some s -> s | None -> o in
         Region.write_int t.region (slot + 8) value;
         Region.persist t.region slot 16;
         Region.write_int t.region slot key;
         Region.persist t.region slot 16;
-        t.count <- t.count + 1
+        true
       end
       else begin
         let first_tomb =
-          if k = tombstone_key && first_tomb = None then Some off else first_tomb
+          if k = tombstone_key && first_tomb = None then Some o else first_tomb
         in
-        probe ((i + 1) land t.mask) (steps + 1) first_tomb
+        probe ((i + 1) land mask) (steps + 1) first_tomb
       end
     end
   in
   probe start 0 None
 
-let find t ~key =
-  charge_index t;
-  let start = hash key land t.mask in
-  let rec probe i steps =
-    if steps > t.capacity then None
+(* Insert-if-absent into the migration target: the idempotent step that
+   makes batch replay after a crash harmless. A key already present keeps
+   its (fresher) value. *)
+let migrate_entry t key value =
+  let start = hash key land t.nmask in
+  let rec probe i steps first_tomb =
+    if steps > t.ncap then raise (Overload { capacity = t.ncap; count = t.count })
     else begin
-      let off = entry_off t i in
-      let k = Region.read_int64 t.region off in
-      if k = empty_key then None
-      else if k = Int64.of_int key then Some (Region.read_int t.region (off + 8))
-      else probe ((i + 1) land t.mask) (steps + 1)
+      let o = slot_off t.noff i in
+      let k = Region.read_int64 t.region o in
+      if k = Int64.of_int key then ()
+      else if k = empty_key then begin
+        let slot = match first_tomb with Some s -> s | None -> o in
+        Region.write_int t.region (slot + 8) value;
+        Region.persist t.region slot 16;
+        Region.write_int t.region slot key;
+        Region.persist t.region slot 16
+      end
+      else begin
+        let first_tomb =
+          if k = tombstone_key && first_tomb = None then Some o else first_tomb
+        in
+        probe ((i + 1) land t.nmask) (steps + 1) first_tomb
+      end
     end
   in
-  probe start 0
+  probe start 0 None
+
+let complete t =
+  Region.write_int t.region state_off
+    (encode_state ~cap:t.ncap ~d:(t.doublings + 1) ~armed:false);
+  Region.persist t.region state_off 8;
+  t.cap <- t.ncap;
+  t.mask <- t.nmask;
+  t.off <- t.noff;
+  t.doublings <- t.doublings + 1;
+  t.ncap <- 0;
+  t.nmask <- 0;
+  t.noff <- 0;
+  t.mig <- -1
+
+let migrate_step t =
+  let stop = min (t.mig + migrate_batch) t.cap in
+  for i = t.mig to stop - 1 do
+    let o = slot_off t.off i in
+    let k = Region.read_int64 t.region o in
+    if k <> empty_key && k <> tombstone_key then
+      migrate_entry t (Int64.to_int k) (Region.read_int t.region (o + 8))
+  done;
+  Region.write_int t.region mig_cursor_off stop;
+  Region.persist t.region mig_cursor_off 8;
+  t.mig <- stop;
+  if stop >= t.cap then complete t
+
+(* Arm a 2x resize if the region has room for the next table in the chain;
+   silently a no-op when it does not (the table then degrades to the
+   explicit [Overload] once genuinely full). *)
+let try_arm t =
+  let noff = t.off + (t.cap * 16) in
+  let ncap = t.cap * 2 in
+  if noff + (ncap * 16) <= Region.size t.region then begin
+    Region.fill t.region noff (ncap * 16) 0;
+    Region.persist t.region noff (ncap * 16);
+    Region.write_int t.region mig_cursor_off 0;
+    Region.persist t.region mig_cursor_off 8;
+    Region.write_int t.region state_off
+      (encode_state ~cap:t.cap ~d:t.doublings ~armed:true);
+    Region.persist t.region state_off 8;
+    t.ncap <- ncap;
+    t.nmask <- ncap - 1;
+    t.noff <- noff;
+    t.mig <- 0
+  end
+
+let insert t ~key ~value =
+  if key <= 0 then invalid_arg "Phash.insert: keys must be positive";
+  charge_index t;
+  if t.mig < 0 && t.count + 1 > t.cap - (t.cap lsr 3) then try_arm t;
+  if t.mig >= 0 then begin
+    migrate_step t;
+    if t.mig >= 0 then begin
+      (* Publish into the target first, then tombstone any live old copy so
+         a replayed migration batch cannot resurrect the stale value. A
+         crash between the two leaves both copies live; finds prefer the
+         target and insert-if-absent skips the stale one. *)
+      if upsert_in t t.noff t.ncap t.nmask key value then
+        if not (tombstone_in t t.off t.cap t.mask key) then t.count <- t.count + 1
+    end
+    else if upsert_in t t.off t.cap t.mask key value then t.count <- t.count + 1
+  end
+  else if upsert_in t t.off t.cap t.mask key value then t.count <- t.count + 1
+
+let find t ~key =
+  charge_index t;
+  if t.mig >= 0 then begin
+    match find_in t t.noff t.ncap t.nmask key with
+    | -1 -> (
+        match find_in t t.off t.cap t.mask key with -1 -> None | v -> Some v)
+    | v -> Some v
+  end
+  else match find_in t t.off t.cap t.mask key with -1 -> None | v -> Some v
+
+let find_or t ~key ~default =
+  charge_index t;
+  if t.mig >= 0 then begin
+    match find_in t t.noff t.ncap t.nmask key with
+    | -1 -> (
+        match find_in t t.off t.cap t.mask key with -1 -> default | v -> v)
+    | v -> v
+  end
+  else match find_in t t.off t.cap t.mask key with -1 -> default | v -> v
 
 let remove t ~key =
   charge_index t;
-  let start = hash key land t.mask in
-  let rec probe i steps =
-    if steps > t.capacity then false
-    else begin
-      let off = entry_off t i in
-      let k = Region.read_int64 t.region off in
-      if k = empty_key then false
-      else if k = Int64.of_int key then begin
-        Region.write_int64 t.region off tombstone_key;
-        Region.persist t.region off 8;
-        t.count <- t.count - 1;
-        true
-      end
-      else probe ((i + 1) land t.mask) (steps + 1)
+  if t.mig >= 0 then begin
+    (* Tombstone both copies; a crash between the two leaves the key still
+       visible (new-table copy checked first), i.e. the remove atomically
+       did not happen. *)
+    let in_new = tombstone_in t t.noff t.ncap t.nmask key in
+    let in_old = tombstone_in t t.off t.cap t.mask key in
+    if in_new || in_old then begin
+      t.count <- t.count - 1;
+      true
     end
-  in
-  probe start 0
+    else false
+  end
+  else if tombstone_in t t.off t.cap t.mask key then begin
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let iter_table t off cap f =
+  for i = 0 to cap - 1 do
+    let o = slot_off off i in
+    let k = Region.read_int64 t.region o in
+    if k <> empty_key && k <> tombstone_key then
+      f ~key:(Int64.to_int k) ~value:(Region.read_int t.region (o + 8))
+  done
 
 let iter t f =
-  for i = 0 to t.capacity - 1 do
-    let off = entry_off t i in
-    let k = Region.read_int64 t.region off in
+  if t.mig >= 0 then begin
+    (* Live set = target ∪ (active \ target): the target copy wins for keys
+       present in both (it is at least as fresh). *)
+    iter_table t t.noff t.ncap f;
+    iter_table t t.off t.cap (fun ~key ~value ->
+        if find_in t t.noff t.ncap t.nmask key = -1 then f ~key ~value)
+  end
+  else iter_table t t.off t.cap f
+
+let iter_table_rev t off cap f =
+  for i = cap - 1 downto 0 do
+    let o = slot_off off i in
+    let k = Region.read_int64 t.region o in
     if k <> empty_key && k <> tombstone_key then
-      f ~key:(Int64.to_int k) ~value:(Region.read_int t.region (off + 8))
+      f ~key:(Int64.to_int k) ~value:(Region.read_int t.region (o + 8))
   done
+
+let iter_rev t f =
+  if t.mig >= 0 then begin
+    iter_table_rev t t.noff t.ncap f;
+    iter_table_rev t t.off t.cap (fun ~key ~value ->
+        if find_in t t.noff t.ncap t.nmask key = -1 then f ~key ~value)
+  end
+  else iter_table_rev t t.off t.cap f
+
+let rebuild_count t =
+  let n = ref 0 in
+  for i = 0 to t.cap - 1 do
+    let k = Region.read_int64 t.region (slot_off t.off i) in
+    if k <> empty_key && k <> tombstone_key then incr n
+  done;
+  t.count <- !n
+
+let open_existing reg =
+  if Region.read_int64 reg magic_off <> magic_value then
+    failwith "Phash.open_existing: bad magic";
+  let state = Region.read_int reg state_off in
+  let armed = state land armed_bit <> 0 in
+  let d = (state lsr 48) land 0x3FFF in
+  let cap = state land cap_mask in
+  let c0 = cap asr d in
+  let off = entries_start + ((cap - c0) * 16) in
+  let t =
+    {
+      region = reg;
+      cap;
+      mask = cap - 1;
+      off;
+      doublings = d;
+      mig = -1;
+      ncap = 0;
+      nmask = 0;
+      noff = 0;
+      count = 0;
+    }
+  in
+  if armed then begin
+    (* Finish the interrupted migration eagerly: every batch is
+       insert-if-absent, so replaying the batch that was in flight at the
+       crash is harmless. The cursor word is only read on this path. *)
+    t.ncap <- cap * 2;
+    t.nmask <- t.ncap - 1;
+    t.noff <- off + (cap * 16);
+    t.mig <- Region.read_int reg mig_cursor_off;
+    while t.mig >= 0 do
+      migrate_step t
+    done
+  end;
+  rebuild_count t;
+  t

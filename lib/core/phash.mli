@@ -1,4 +1,5 @@
-(** Persistent open-addressing hash table.
+(** Persistent open-addressing hash table with crash-safe incremental
+    resize.
 
     Kamino-Tx-Dynamic's "backup look-up table": maps a main-heap offset to
     the offset of its copy in the partial backup region. The mapping must be
@@ -9,18 +10,40 @@
     insert leaves either no entry or a complete one, never a key pointing at
     a garbage value.
 
+    When an insert would push the load factor past 7/8 and the region has
+    room for the next table in the geometric chain, the table arms a 2x
+    {e split-migration}: a handful of old buckets are copied per subsequent
+    insert (each batch an idempotent, persisted unit), and one final
+    persisted store of the packed state word swaps generations atomically.
+    A crash at any point either replays the in-flight batch (insert-if-
+    absent, so harmless) or finds the swap already durable. Regions sized
+    with [required_size ~doublings:n] can absorb [n] such doublings;
+    without headroom the table instead raises {!Overload} once genuinely
+    full.
+
     Keys are positive integers (NVM offsets); 0 marks an empty bucket and -1
     a tombstone. *)
 
 type t
 
+(** Raised by {!insert} when the table is full and cannot grow (no room in
+    the region for the next table of the chain). *)
+exception Overload of { capacity : int; count : int }
+
 (** [required_size ~capacity] — [capacity] is rounded up to a power of two. *)
 val required_size : capacity:int -> int
+
+(** [chain_size ~capacity ~doublings] — region size with headroom for
+    [doublings] incremental 2x resizes: the whole geometric chain
+    [c0 + 2*c0 + ... + 2^doublings*c0] of tables.
+    [chain_size ~doublings:0] = {!required_size}. *)
+val chain_size : capacity:int -> doublings:int -> int
 
 val format : Kamino_nvm.Region.t -> capacity:int -> t
 
 val open_existing : Kamino_nvm.Region.t -> t
 
+(** Capacity of the {e active} table (grows across resizes). *)
 val capacity : t -> int
 
 val region : t -> Kamino_nvm.Region.t
@@ -28,15 +51,29 @@ val region : t -> Kamino_nvm.Region.t
 (** Number of live entries (maintained volatilely, rebuilt on open). *)
 val count : t -> int
 
-(** [insert t ~key ~value] adds or overwrites. Raises [Failure] when the
-    table is full (the dynamic backup sizes it at twice the LRU capacity, so
-    this indicates a bug). *)
+(** Completed incremental resizes (the generation of the active table). *)
+val migrations : t -> int
+
+(** Whether a split-migration is currently in flight. *)
+val resizing : t -> bool
+
+(** [insert t ~key ~value] adds or overwrites. Raises {!Overload} when the
+    table is full and the region has no room to grow it. *)
 val insert : t -> key:int -> value:int -> unit
 
 val find : t -> key:int -> int option
+
+(** [find_or t ~key ~default] — allocation-free {!find} for hot paths
+    (the backup consults the table on every transactional write). *)
+val find_or : t -> key:int -> default:int -> int
 
 (** [remove t ~key] deletes the mapping if present; returns whether it was. *)
 val remove : t -> key:int -> bool
 
 (** [iter t f] calls [f ~key ~value] for every live entry. *)
 val iter : t -> (key:int -> value:int -> unit) -> unit
+
+(** [iter_rev t f] — like {!iter} but in descending bucket order. Lets the
+    backup's reopen stream straight into the heap rebuild without first
+    materializing (and reversing) a list of every live entry. *)
+val iter_rev : t -> (key:int -> value:int -> unit) -> unit

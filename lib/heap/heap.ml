@@ -1,8 +1,6 @@
 module Region = Kamino_nvm.Region
 module Cost_model = Kamino_nvm.Cost_model
 
-type t = { region : Region.t }
-
 type ptr = int
 
 let null = 0
@@ -34,6 +32,17 @@ let header_size = 16
 let hdr_capacity_rel = 0
 let hdr_flags_rel = 8
 
+(* Flags word values. Bit 0 = allocated; chained extents set an extra bit so
+   a plain [free] cannot silently orphan the rest of a chain. Old images only
+   ever contain 0/1, which decode identically under the [land 1] test. *)
+let chain_head_flag = 3L
+let chain_link_flag = 5L
+
+(* Chain link payload prelude: every link starts with a next pointer; the
+   head additionally records the total logical size. *)
+let chain_head_meta = 16
+let chain_link_meta = 8
+
 let class_of_size size =
   if size <= 0 then invalid_arg "Heap: object size must be positive";
   if size > max_object_size then
@@ -45,14 +54,123 @@ let is_class_size len = Array.exists (fun c -> c = len) size_classes
 
 let class_head_off cls = free_heads_off + (cls * 8)
 
+(* --- Segment directory and occupancy accounting --------------------------
+
+   Volatile, observability-only state: live objects/bytes, per-class
+   occupancy and per-segment live bytes, maintained incrementally on
+   alloc/free so [stats] is O(1) in steady state and O(heap) only after the
+   allocator was mutated behind our back (crash recovery, abort rollback —
+   the engine calls [mark_stats_stale] there). The resync walk uses the
+   cost-free [Region.peek_*] reads: turning stats on must not charge a
+   single simulated load, or the bit-identity oracles would drift. *)
+
+let seg_shift = 20 (* 1 MiB segments *)
+
+type t = {
+  region : Region.t;
+  mutable st_valid : bool;
+  mutable st_objects : int;
+  mutable st_bytes : int;
+  mutable st_chained : int;
+  st_class : int array; (* live objects per size class *)
+  seg_live : int array; (* live extent bytes per segment *)
+}
+
+type stats = {
+  segments_total : int;
+  segments_live : int;
+  live_objects : int;
+  live_bytes : int;
+  chained_objects : int;
+  per_class : int array;
+}
+
+let mk_t region =
+  let segs = max 1 ((Region.size region + (1 lsl seg_shift) - 1) lsr seg_shift) in
+  {
+    region;
+    st_valid = false;
+    st_objects = 0;
+    st_bytes = 0;
+    st_chained = 0;
+    st_class = Array.make n_classes 0;
+    seg_live = Array.make segs 0;
+  }
+
+let class_index cap =
+  let rec find i = if i >= n_classes then -1 else if size_classes.(i) = cap then i else find (i + 1) in
+  find 0
+
+let account_add t ~extent_off ~cap ~head_of_chain =
+  t.st_objects <- t.st_objects + 1;
+  t.st_bytes <- t.st_bytes + cap;
+  if head_of_chain then t.st_chained <- t.st_chained + 1;
+  let c = class_index cap in
+  if c >= 0 then t.st_class.(c) <- t.st_class.(c) + 1;
+  let s = extent_off lsr seg_shift in
+  t.seg_live.(s) <- t.seg_live.(s) + header_size + cap
+
+let account_remove t ~extent_off ~cap ~head_of_chain =
+  t.st_objects <- t.st_objects - 1;
+  t.st_bytes <- t.st_bytes - cap;
+  if head_of_chain then t.st_chained <- t.st_chained - 1;
+  let c = class_index cap in
+  if c >= 0 then t.st_class.(c) <- t.st_class.(c) - 1;
+  let s = extent_off lsr seg_shift in
+  t.seg_live.(s) <- t.seg_live.(s) - header_size - cap
+
+let mark_stats_stale t = t.st_valid <- false
+
 let region t = t.region
 
 let charge_cost t ns = Region.charge t.region ns
 
+let align16 n = (n + 15) land lnot 15
+
+(* Cost-free whole-heap walk rebuilding the occupancy directory. Stops at
+   anything that does not look like a header so a half-recovered heap cannot
+   spin it; the next successful resync (or explicit validate) reports the
+   truth. *)
+let resync_stats t =
+  Array.fill t.st_class 0 n_classes 0;
+  Array.fill t.seg_live 0 (Array.length t.seg_live) 0;
+  t.st_objects <- 0;
+  t.st_bytes <- 0;
+  t.st_chained <- 0;
+  let limit = Region.peek_int t.region bump_off in
+  let limit = min limit (Region.size t.region) in
+  let rec walk off =
+    let off = align16 off in
+    if off + header_size <= limit then begin
+      let cap = Region.peek_int t.region (off + hdr_capacity_rel) in
+      if cap > 0 && cap <= max_object_size then begin
+        let flags = Region.peek_int64 t.region (off + hdr_flags_rel) in
+        if Int64.logand flags 1L = 1L then
+          account_add t ~extent_off:off ~cap ~head_of_chain:(flags = chain_head_flag);
+        walk (off + header_size + cap)
+      end
+    end
+  in
+  if limit >= data_start_off then walk data_start_off;
+  t.st_valid <- true
+
+let stats t =
+  if not t.st_valid then resync_stats t;
+  let live = ref 0 in
+  Array.iter (fun b -> if b > 0 then incr live) t.seg_live;
+  {
+    segments_total = Array.length t.seg_live;
+    segments_live = !live;
+    live_objects = t.st_objects;
+    live_bytes = t.st_bytes;
+    chained_objects = t.st_chained;
+    per_class = Array.copy t.st_class;
+  }
+
 let format region =
   if Region.size region < data_start_off + 4096 then
     invalid_arg "Heap.format: region too small";
-  let t = { region } in
+  let t = mk_t region in
   Region.write_int64 region magic_off magic_value;
   Region.write_int64 region version_off version_value;
   Region.write_int region size_off (Region.size region);
@@ -62,10 +180,16 @@ let format region =
     Region.write_int region (class_head_off cls) null
   done;
   Region.persist region 0 data_start_off;
+  t.st_valid <- true;
   t
 
-let rebuild_with region ~live =
-  let t = { region } in
+(* Streaming allocator rebuild: the caller supplies an iterator over the
+   live (ptr, size) set instead of a materialized list, so reattaching a
+   dynamic backup with millions of resident copies does not allocate a
+   million-element list first. The write sequence per object is identical to
+   the list-based [rebuild_with]. *)
+let rebuild_via region ~iter =
+  let t = mk_t region in
   Region.write_int64 region magic_off magic_value;
   Region.write_int64 region version_off version_value;
   Region.write_int region size_off (Region.size region);
@@ -74,33 +198,34 @@ let rebuild_with region ~live =
     Region.write_int region (class_head_off cls) null
   done;
   let bump = ref data_start_off in
-  List.iter
-    (fun (p, size) ->
+  iter (fun p size ->
       let cls = class_of_size size in
       let capacity = size_classes.(cls) in
       Region.write_int region (p - header_size + hdr_capacity_rel) capacity;
       Region.write_int64 region (p - header_size + hdr_flags_rel) 1L;
       Region.persist region (p - header_size) header_size;
-      bump := max !bump (p + capacity))
-    live;
+      account_add t ~extent_off:(p - header_size) ~cap:capacity ~head_of_chain:false;
+      bump := max !bump (p + capacity));
   Region.write_int region bump_off !bump;
   Region.persist region 0 data_start_off;
+  t.st_valid <- true;
   t
+
+let rebuild_with region ~live =
+  rebuild_via region ~iter:(fun f -> List.iter (fun (p, size) -> f p size) live)
 
 let open_existing region =
   if Region.read_int64 region magic_off <> magic_value then
     failwith "Heap.open_existing: bad magic (region was never formatted?)";
   if Region.read_int64 region version_off <> version_value then
     failwith "Heap.open_existing: unsupported heap version";
-  { region }
+  mk_t region
 
 (* Allocation. *)
 
 let bump t = Region.read_int t.region bump_off
 
 let free_head t cls = Region.read_int t.region (class_head_off cls)
-
-let align16 n = (n + 15) land lnot 15
 
 let alloc_ranges t size =
   let cls = class_of_size size in
@@ -126,37 +251,43 @@ let alloc t size =
   let capacity = size_classes.(cls) in
   charge_cost t (Region.cost_model t.region).Cost_model.alloc_ns;
   let head = free_head t cls in
-  if head <> null then begin
-    (* Pop the free list: the object's first payload word links to the next
-       free object of the class. *)
-    let next = Region.read_int t.region head in
-    Region.write_int t.region (class_head_off cls) next;
-    Region.write_int64 t.region (head - header_size + hdr_flags_rel) 1L;
-    Region.fill t.region head capacity 0;
-    head
-  end
-  else begin
-    let b = align16 (bump t) in
-    let extent_len = header_size + capacity in
-    if b + extent_len > Region.size t.region then raise Out_of_memory;
-    Region.write_int t.region bump_off (b + extent_len);
-    Region.write_int t.region (b + hdr_capacity_rel) capacity;
-    Region.write_int64 t.region (b + hdr_flags_rel) 1L;
-    (* A fresh bump object is already zero, but an object being re-formatted
-       after a rollback may not be; zero it for deterministic contents. *)
-    Region.fill t.region (b + header_size) capacity 0;
-    b + header_size
-  end
+  let p =
+    if head <> null then begin
+      (* Pop the free list: the object's first payload word links to the next
+         free object of the class. *)
+      let next = Region.read_int t.region head in
+      Region.write_int t.region (class_head_off cls) next;
+      Region.write_int64 t.region (head - header_size + hdr_flags_rel) 1L;
+      Region.fill t.region head capacity 0;
+      head
+    end
+    else begin
+      let b = align16 (bump t) in
+      let extent_len = header_size + capacity in
+      if b + extent_len > Region.size t.region then raise Out_of_memory;
+      Region.write_int t.region bump_off (b + extent_len);
+      Region.write_int t.region (b + hdr_capacity_rel) capacity;
+      Region.write_int64 t.region (b + hdr_flags_rel) 1L;
+      (* A fresh bump object is already zero, but an object being re-formatted
+         after a rollback may not be; zero it for deterministic contents. *)
+      Region.fill t.region (b + header_size) capacity 0;
+      b + header_size
+    end
+  in
+  if t.st_valid then
+    account_add t ~extent_off:(p - header_size) ~cap:capacity ~head_of_chain:false;
+  p
 
 let capacity t p =
   if p = null then invalid_arg "Heap.capacity: null pointer";
   Region.read_int t.region (p - header_size + hdr_capacity_rel)
 
-let is_allocated t p =
-  p <> null
-  && p >= data_start_off + header_size
-  && p < bump t
-  && Region.read_int64 t.region (p - header_size + hdr_flags_rel) = 1L
+let header_flags t p =
+  if p <> null && p >= data_start_off + header_size && p < bump t then
+    Region.read_int64 t.region (p - header_size + hdr_flags_rel)
+  else 0L
+
+let is_allocated t p = Int64.logand (header_flags t p) 1L = 1L
 
 let extent t p =
   let cap = capacity t p in
@@ -167,16 +298,138 @@ let free_ranges t p =
   let cls = class_of_size cap in
   [ { off = class_head_off cls; len = 8 }; { off = p - header_size; len = header_size + cap } ]
 
-let free t p =
-  if not (is_allocated t p) then
-    invalid_arg (Printf.sprintf "Heap.free: %d is not an allocated object" p);
+let free_one t p ~head_of_chain =
   charge_cost t (Region.cost_model t.region).Cost_model.free_ns;
   let cap = capacity t p in
   let cls = class_of_size cap in
   let head = free_head t cls in
   Region.write_int64 t.region (p - header_size + hdr_flags_rel) 0L;
   Region.write_int t.region p head;
-  Region.write_int t.region (class_head_off cls) p
+  Region.write_int t.region (class_head_off cls) p;
+  if t.st_valid then account_remove t ~extent_off:(p - header_size) ~cap ~head_of_chain
+
+let free t p =
+  let flags = header_flags t p in
+  if Int64.logand flags 1L <> 1L then
+    invalid_arg (Printf.sprintf "Heap.free: %d is not an allocated object" p);
+  if flags <> 1L then
+    invalid_arg
+      (Printf.sprintf "Heap.free: %d belongs to a chained extent (use free_chain)" p);
+  free_one t p ~head_of_chain:false
+
+(* --- Chained extents ------------------------------------------------------
+
+   Objects larger than [max_object_size] are carved into a linked chain of
+   class-sized links: the head stores [next; total] before its data, every
+   continuation stores [next]. The link sizes are a pure function of the
+   total ([chain_plan]), so predicted ranges, the allocation itself and any
+   later walk all agree without consulting the allocator. *)
+
+let chain_plan size =
+  if size <= 0 then invalid_arg "Heap: object size must be positive";
+  let rec go remaining acc first =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let meta = if first then chain_head_meta else chain_link_meta in
+      let data = min remaining (max_object_size - meta) in
+      go (remaining - data) ((meta + data) :: acc) false
+    end
+  in
+  go size [] true
+
+let alloc_chain_ranges t size =
+  let plan = chain_plan size in
+  (* Predict each link's placement by simulating the allocator: free-list
+     pops chase the on-NVM next pointers (charged, same words the later
+     [alloc] reads), bump allocations advance a local cursor. *)
+  let heads = Array.make n_classes (-1) in
+  let head_of cls =
+    if heads.(cls) < 0 then heads.(cls) <- free_head t cls;
+    heads.(cls)
+  in
+  let bump_sim = ref (-1) in
+  let bump_of () =
+    if !bump_sim < 0 then bump_sim := bump t;
+    !bump_sim
+  in
+  let ptrs = ref [] and ranges = ref [] in
+  List.iter
+    (fun link_size ->
+      let cls = class_of_size link_size in
+      let cap = size_classes.(cls) in
+      let h = head_of cls in
+      if h <> null then begin
+        ptrs := h :: !ptrs;
+        ranges :=
+          { off = h - header_size; len = header_size + cap }
+          :: { off = class_head_off cls; len = 8 }
+          :: !ranges;
+        heads.(cls) <- Region.read_int t.region h
+      end
+      else begin
+        let b = align16 (bump_of ()) in
+        let extent_len = header_size + cap in
+        if b + extent_len > Region.size t.region then raise Out_of_memory;
+        ptrs := (b + header_size) :: !ptrs;
+        ranges := { off = b; len = extent_len } :: { off = bump_off; len = 8 } :: !ranges;
+        bump_sim := b + extent_len
+      end)
+    plan;
+  (List.rev !ptrs, List.rev !ranges)
+
+let alloc_chain t size =
+  let plan = chain_plan size in
+  let links = List.map (fun link_size -> alloc t link_size) plan in
+  (* Wire the chain back-to-front so every next pointer is written exactly
+     once; all writes land inside the extents the caller declared. *)
+  let rec wire = function
+    | [] -> ()
+    | [ last ] ->
+        Region.write_int t.region last null
+    | a :: (b :: _ as rest) ->
+        wire rest;
+        Region.write_int t.region a b
+  in
+  wire links;
+  let head = List.hd links in
+  Region.write_int64 t.region (head - header_size + hdr_flags_rel) chain_head_flag;
+  List.iter
+    (fun p ->
+      if p <> head then Region.write_int64 t.region (p - header_size + hdr_flags_rel) chain_link_flag)
+    links;
+  Region.write_int t.region (head + chain_link_meta) size;
+  if t.st_valid then t.st_chained <- t.st_chained + 1;
+  head
+
+let chain_links t p =
+  let flags = header_flags t p in
+  if flags <> chain_head_flag then
+    invalid_arg (Printf.sprintf "Heap.chain_links: %d is not a chain head" p);
+  let total = Region.read_int t.region (p + chain_link_meta) in
+  let rec go p remaining first acc =
+    let meta = if first then chain_head_meta else chain_link_meta in
+    let data = min remaining (max_object_size - meta) in
+    let acc = (p, meta, data) :: acc in
+    let remaining = remaining - data in
+    if remaining <= 0 then List.rev acc
+    else go (Region.read_int t.region p) remaining false acc
+  in
+  go p total true []
+
+let chain_size t p =
+  let flags = header_flags t p in
+  if flags <> chain_head_flag then
+    invalid_arg (Printf.sprintf "Heap.chain_size: %d is not a chain head" p);
+  Region.read_int t.region (p + chain_link_meta)
+
+let free_chain_ranges t p =
+  List.concat_map (fun (lp, _, _) -> free_ranges t lp) (chain_links t p)
+
+let free_chain t p =
+  let links = chain_links t p in
+  List.iteri
+    (fun i (lp, _, _) -> free_one t lp ~head_of_chain:(i = 0))
+    links
 
 (* Root. *)
 
@@ -202,7 +455,7 @@ let iter_objects t f =
       if off + header_size <= limit then begin
         let cap = Region.read_int t.region (off + hdr_capacity_rel) in
         let flags = Region.read_int64 t.region (off + hdr_flags_rel) in
-        f (off + header_size) ~capacity:cap ~allocated:(flags = 1L);
+        f (off + header_size) ~capacity:cap ~allocated:(Int64.logand flags 1L = 1L);
         walk (off + header_size + cap)
       end
     end
@@ -237,8 +490,10 @@ let validate t =
             let flags = Region.read_int64 t.region (off + hdr_flags_rel) in
             if not (is_class_size cap) then
               fail "object at %d has non-class capacity %d" off cap
-            else if flags <> 0L && flags <> 1L then
-              fail "object at %d has corrupt flags %Ld" off flags
+            else if
+              flags <> 0L && flags <> 1L && flags <> chain_head_flag
+              && flags <> chain_link_flag
+            then fail "object at %d has corrupt flags %Ld" off flags
             else walk (off + header_size + cap)
           end
           else if off <> limit && off + header_size > limit then

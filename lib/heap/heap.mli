@@ -52,6 +52,14 @@ val open_existing : Kamino_nvm.Region.t -> t
     touched. *)
 val rebuild_with : Kamino_nvm.Region.t -> live:(ptr * int) list -> t
 
+(** [rebuild_via region ~iter] — streaming {!rebuild_with}: [iter f] must
+    call [f ptr size] once per live object. The write sequence per object is
+    identical to [rebuild_with]; the difference is purely volatile — no
+    intermediate list of the live set is materialized, which is what keeps
+    reattaching a dynamic backup with millions of resident copies
+    allocation-lean. *)
+val rebuild_via : Kamino_nvm.Region.t -> iter:((ptr -> int -> unit) -> unit) -> t
+
 val region : t -> Kamino_nvm.Region.t
 
 (** {1 Allocation} *)
@@ -79,7 +87,44 @@ val free_ranges : t -> ptr -> range list
     Raises [Invalid_argument] if [p] is not an allocated object. *)
 val free : t -> ptr -> unit
 
-(** [capacity t p] is the usable payload size of object [p]. *)
+(** {1 Chained extents}
+
+    Objects larger than {!max_object_size} are stored as a chain of
+    class-sized links. The head link's payload starts with
+    [[next: 8][total: 8]] before its data; every continuation starts with
+    [[next: 8]]. Link sizes are a pure function of the total, so predicted
+    ranges, the allocation and later walks agree without consulting the
+    allocator. Chain members carry distinct header flags: {!free} refuses
+    them ([free_chain] owns the whole chain) and {!is_allocated} still
+    answers true. *)
+
+(** [alloc_chain_ranges t size] — like {!alloc_ranges} for a chained
+    allocation: [(link_ptrs, ranges)] covering every link's extent plus the
+    allocator words each link will touch. No mutation. *)
+val alloc_chain_ranges : t -> int -> ptr list * range list
+
+(** [alloc_chain t size] allocates the chain and wires next pointers, head
+    flags and the stored total; returns the head pointer. The caller must
+    have declared [alloc_chain_ranges] first (engines do). *)
+val alloc_chain : t -> int -> ptr
+
+(** [chain_links t p] — [(link_ptr, data_rel, data_len)] per link in chain
+    order: the payload bytes of link [i] live at
+    [link_ptr + data_rel .. + data_len). Raises [Invalid_argument] unless
+    [p] is a chain head. *)
+val chain_links : t -> ptr -> (ptr * int * int) list
+
+(** [chain_size t p] — the logical byte size the chain was allocated with. *)
+val chain_size : t -> ptr -> int
+
+(** [free_chain_ranges t p] returns the ranges {!free_chain} will modify. *)
+val free_chain_ranges : t -> ptr -> range list
+
+(** [free_chain t p] frees every link of the chain headed at [p]. *)
+val free_chain : t -> ptr -> unit
+
+(** [capacity t p] is the usable payload size of object [p] (for a chain
+    head: of that link only — see {!chain_size} for the logical size). *)
 val capacity : t -> ptr -> int
 
 (** [extent t p] is the byte range covering [p]'s header and payload — what
@@ -102,6 +147,27 @@ val set_root : t -> ptr -> unit
 val root_range : t -> range
 
 (** {1 Introspection} *)
+
+(** Occupancy snapshot from the volatile segment directory. Maintained
+    incrementally by alloc/free; rebuilt lazily (cost-free, via
+    [Region.peek_*]) after the allocator was mutated outside the normal
+    paths — crash recovery or abort rollback, where the engine calls
+    {!mark_stats_stale}. Reading stats never charges simulated cost, so
+    metric gauges built on it cannot perturb the bit-identity oracles. *)
+type stats = {
+  segments_total : int;  (** 1 MiB segments covering the region *)
+  segments_live : int;  (** segments holding at least one live byte *)
+  live_objects : int;
+  live_bytes : int;  (** sum of live payload capacities *)
+  chained_objects : int;  (** chain heads (logical large objects) *)
+  per_class : int array;  (** live objects per entry of {!size_classes} *)
+}
+
+val stats : t -> stats
+
+(** Invalidate the incremental occupancy directory; the next {!stats} call
+    resynchronizes with a cost-free heap walk. *)
+val mark_stats_stale : t -> unit
 
 (** [live_objects t] counts currently allocated objects (walks the heap). *)
 val live_objects : t -> int

@@ -35,6 +35,11 @@ let tx_reader tx = { rd = (fun p off -> Engine.read_int tx p off) }
    read from the backup image are offsets into that same image. *)
 let snapshot_reader snap = { rd = (fun p off -> Engine.snapshot_read_int snap p off) }
 
+(* Cost-free committed reads for observability walks (depth/occupancy
+   gauges): the traversal charges nothing to the NVM cost model, so
+   sampling gauges cannot perturb bit-identity oracles. *)
+let probe_reader engine = { rd = (fun p off -> Engine.probe_int engine p off) }
+
 let is_leaf r node = r.rd node n_flags = 1
 
 let nkeys r node = r.rd node n_nkeys
@@ -101,6 +106,8 @@ let root_of r t = r.rd t.desc d_root
 let cardinal t = Engine.peek_int t.engine t.desc d_count
 
 let node_cap t = Engine.peek_int t.engine t.desc d_node_cap
+
+let branching t = t.mk
 
 (* --- Bulk array edits (within a transaction) ----------------------------
 
@@ -411,6 +418,124 @@ let delete tx t key =
   end
   else None
 
+(* --- Bulk load ----------------------------------------------------------
+
+   Sorted batches append at the rightmost spine: one leaf is materialized
+   per chunk and stitched in with a single separator insertion, so loading
+   n records costs O(n) node writes instead of the O(n log n) full-descent
+   cost of repeated [insert] — the difference between seconds and minutes
+   at a million records. *)
+
+(* Sizes of the successive leaves a [total]-entry append materializes.
+   Full leaves are peeled off while enough remains; a tail that would
+   leave an underfull (< min_keys) non-root leaf is balanced into two
+   near-halves instead, each >= min_keys. Pure plan, no engine work. *)
+let leaf_plan t total =
+  let mk = t.mk and mn = min_keys t in
+  let rec go rem acc =
+    if rem = 0 then List.rev acc
+    else if rem > mk + mn then go (rem - mk) (mk :: acc)
+    else if rem <= mk then List.rev (rem :: acc)
+    else begin
+      let a = (rem + 1) / 2 in
+      List.rev ((rem - a) :: a :: acc)
+    end
+  in
+  go total []
+
+(* Rightmost root-to-leaf path, in [insert_upward]'s format: every hop
+   takes the last child, so each path entry is [(node, nkeys node)] — the
+   position where a new separator for an appended sibling belongs. *)
+let path_to_rightmost r t =
+  let rec go node acc =
+    if is_leaf r node then (node, acc)
+    else begin
+      let n = nkeys r node in
+      go (ptr_at t r node n) ((node, n) :: acc)
+    end
+  in
+  go (root_of r t) []
+
+let append_sorted tx t entries =
+  let m = Array.length entries in
+  if m > 0 then begin
+    let r = tx_reader tx in
+    for i = 1 to m - 1 do
+      if fst entries.(i) <= fst entries.(i - 1) then
+        invalid_arg "Btree.append_sorted: keys not strictly increasing"
+    done;
+    let leaf, _ = path_to_leaf r t (fst entries.(0)) in
+    let n = nkeys r leaf in
+    if n > 0 && fst entries.(0) <= key_at r leaf (n - 1) then
+      invalid_arg "Btree.append_sorted: keys must exceed the current maximum";
+    if next_leaf r leaf <> Heap.null then
+      invalid_arg "Btree.append_sorted: keys must exceed the current maximum";
+    let fill dst at ~from ~cnt =
+      for j = 0 to cnt - 1 do
+        let key, value = entries.(from + j) in
+        set_key tx dst (at + j) key;
+        set_ptr tx t dst (at + j) value
+      done
+    in
+    if n + m <= t.mk then begin
+      (* The whole batch fits in the rightmost leaf. *)
+      Engine.add tx leaf;
+      fill leaf n ~from:0 ~cnt:m;
+      set_nkeys tx leaf (n + m);
+      bump_count tx t m
+    end
+    else begin
+      (* Top the rightmost leaf up to capacity, then hang whole new leaves
+         off the rightmost spine. A remainder too small to stand as a leaf
+         of its own falls back to point inserts (bounded by min_keys). *)
+      let room = t.mk - n in
+      if room > 0 then begin
+        Engine.add tx leaf;
+        fill leaf n ~from:0 ~cnt:room;
+        set_nkeys tx leaf t.mk;
+        bump_count tx t room
+      end;
+      let rem = m - room in
+      if rem <= min_keys t then begin
+        (* The tail cannot stand as a leaf of its own: split the (now
+           full) rightmost leaf instead, moving its upper half plus the
+           tail into a fresh sibling. Both halves end >= min_keys, and
+           the work touches O(depth) objects — never one tx intent per
+           tail key. *)
+        let prev, path = path_to_rightmost r t in
+        let total = t.mk + rem in
+        let keep = total / 2 in
+        let moved = t.mk - keep in
+        let nleaf = alloc_node tx ~node_cap:(node_cap t) ~leaf:true in
+        Engine.add tx prev;
+        move_span tx t ~src:prev ~dst:nleaf ~from:keep ~cnt:moved ~pfrom:keep ~pcnt:moved
+          ~dj:0 ~pdj:0;
+        fill nleaf moved ~from:room ~cnt:rem;
+        set_nkeys tx nleaf (total - keep);
+        set_nkeys tx prev keep;
+        Engine.write_int tx prev n_next nleaf;
+        let sep = key_at r nleaf 0 in
+        insert_upward tx t path sep nleaf;
+        bump_count tx t rem
+      end
+      else begin
+        let from = ref room in
+        List.iter
+          (fun cnt ->
+            let prev, path = path_to_rightmost r t in
+            let nleaf = alloc_node tx ~node_cap:(node_cap t) ~leaf:true in
+            fill nleaf 0 ~from:!from ~cnt;
+            set_nkeys tx nleaf cnt;
+            Engine.add tx prev;
+            Engine.write_int tx prev n_next nleaf;
+            insert_upward tx t path (fst entries.(!from)) nleaf;
+            bump_count tx t cnt;
+            from := !from + cnt)
+          (leaf_plan t rem)
+      end
+    end
+  end
+
 (* --- Iteration ----------------------------------------------------------- *)
 
 let leftmost_leaf r t =
@@ -466,6 +591,39 @@ let fold_range_tx tx t ~lo ~hi ~init ~f =
 let range t ~lo ~hi f =
   fold_range t ~lo ~hi ~init:() ~f:(fun () k v -> f k v)
 
+(* Count-bounded scan (YCSB-E): descend once to the first key >= [lo],
+   then walk the leaf chain, stopping as soon as [count] bindings have
+   been visited — the charged cost is O(depth + count), independent of
+   how many records lie beyond the window. Returns the visited count. *)
+let scan t ~lo ~count f =
+  if count <= 0 then 0
+  else begin
+    let r = peek_reader t.engine in
+    let rec descend node =
+      if is_leaf r node then node
+      else descend (ptr_at t r node (child_index r node (nkeys r node) lo))
+    in
+    let remaining = ref count in
+    (* [start] is non-zero only in the first leaf; later leaves hold only
+       keys >= lo, so re-running the binary search would waste charged
+       reads. *)
+    let rec walk leaf start =
+      if leaf <> Heap.null && !remaining > 0 then begin
+        let n = nkeys r leaf in
+        let i = ref start in
+        while !i < n && !remaining > 0 do
+          f (key_at r leaf !i) (ptr_at t r leaf !i);
+          decr remaining;
+          incr i
+        done;
+        if !remaining > 0 then walk (next_leaf r leaf) 0
+      end
+    in
+    let first = descend (root_of r t) in
+    walk first (lower_bound r first (nkeys r first) lo);
+    count - !remaining
+  end
+
 let iter_nodes t f =
   let r = peek_reader t.engine in
   f t.desc;
@@ -504,6 +662,51 @@ let height t =
   let r = peek_reader t.engine in
   let rec go node acc = if is_leaf r node then acc else go (ptr_at t r node 0) (acc + 1) in
   go (root_of r t) 1
+
+(* --- Cost-free introspection ---------------------------------------------
+
+   Gauge feeders: these walk committed state through the probe reader, so
+   sampling them charges nothing — metrics registries can read them
+   between transactions without perturbing the deterministic clock or the
+   bit-identity oracles. *)
+
+let depth t =
+  let r = probe_reader t.engine in
+  let rec go node acc = if is_leaf r node then acc else go (ptr_at t r node 0) (acc + 1) in
+  go (root_of r t) 1
+
+type stats = {
+  depth : int;
+  internal_nodes : int;
+  leaf_nodes : int;
+  keys : int;
+  occupancy : float;
+}
+
+let stats t =
+  let r = probe_reader t.engine in
+  let internal = ref 0 and leaves = ref 0 and keys = ref 0 in
+  let rec go node =
+    if is_leaf r node then begin
+      incr leaves;
+      keys := !keys + nkeys r node
+    end
+    else begin
+      incr internal;
+      for i = 0 to nkeys r node do
+        go (ptr_at t r node i)
+      done
+    end
+  in
+  go (root_of r t);
+  {
+    depth = depth t;
+    internal_nodes = !internal;
+    leaf_nodes = !leaves;
+    keys = !keys;
+    occupancy =
+      (if !leaves = 0 then 0.0 else float_of_int !keys /. float_of_int (!leaves * t.mk));
+  }
 
 (* --- Validation ---------------------------------------------------------- *)
 

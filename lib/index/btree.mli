@@ -49,6 +49,22 @@ val insert : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr -> Kamino
 (** [delete tx t key] removes the mapping; returns the removed value. *)
 val delete : Kamino_core.Engine.tx -> t -> int -> Kamino_heap.Heap.ptr option
 
+(** [append_sorted tx t entries] bulk-appends strictly increasing
+    [(key, value)] pairs, all greater than the tree's current maximum key.
+    Entries land as whole leaves stitched onto the rightmost spine — one
+    separator insertion per leaf instead of one full descent per key — so
+    sorted loading is O(n) in node writes. A tail too small to stand as a
+    valid leaf is balanced into two near-halves (or falls back to point
+    inserts), so the tree never holds an underfull non-root leaf.
+    Raises [Invalid_argument] on unsorted input or keys below the current
+    maximum. *)
+val append_sorted :
+  Kamino_core.Engine.tx -> t -> (int * Kamino_heap.Heap.ptr) array -> unit
+
+(** Maximum keys per node (the branching factor implied by [node_size]).
+    Loaders use it to size per-transaction batches. *)
+val branching : t -> int
+
 (** Number of keys in the tree (maintained in the descriptor). *)
 val cardinal : t -> int
 
@@ -95,8 +111,32 @@ val min_key : t -> int option
 
 val max_key : t -> int option
 
+(** [scan t ~lo ~count f] visits up to [count] committed bindings with
+    key [>= lo] in ascending order (the YCSB-E range query) and returns
+    the number visited. Charged cost is O(depth + count) — the walk stops
+    at the count bound, never the end of the leaf chain. *)
+val scan : t -> lo:int -> count:int -> (int -> Kamino_heap.Heap.ptr -> unit) -> int
+
 (** Height of the tree (1 = root is a leaf). *)
 val height : t -> int
+
+(** [depth t] — the tree's height, read through the cost-free probe path:
+    sampling it (e.g. from a metrics registry) charges nothing to the NVM
+    cost model, so gauges cannot perturb bit-identity oracles. *)
+val depth : t -> int
+
+(** Cost-free structural summary: node counts, total keys, and leaf
+    occupancy ([keys / (leaf_nodes * branching)]). The walk touches every
+    node through the probe path — zero charged reads. *)
+type stats = {
+  depth : int;
+  internal_nodes : int;
+  leaf_nodes : int;
+  keys : int;
+  occupancy : float;
+}
+
+val stats : t -> stats
 
 (** [validate t] checks the B+Tree structural invariants on committed
     state: key ordering within and across nodes, uniform leaf depth,

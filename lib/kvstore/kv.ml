@@ -61,6 +61,33 @@ let put_tx tx t key value =
 
 let put t key value = Engine.with_tx t.engine (fun tx -> put_tx tx t key value)
 
+(* Bulk load of a sorted key stream. Values are allocated and the index
+   grown via {!Btree.append_sorted} — whole leaves stitched onto the
+   rightmost spine — so loading n records is O(n) instead of the
+   O(n log n) full descents that n [put]s cost. Each batch is one
+   transaction sized to the intent-log budget: one intent per value
+   object plus O(depth) for the touched index nodes. *)
+let load t ~count ~key ~value =
+  let mk = Btree.branching t.tree in
+  let cfg = Engine.config t.engine in
+  let chunk = max 1 (min mk (cfg.Engine.max_tx_entries - 48)) in
+  let i = ref 0 in
+  while !i < count do
+    let n = min chunk (count - !i) in
+    Engine.with_tx t.engine (fun tx ->
+        let batch =
+          Array.init n (fun j ->
+              let idx = !i + j in
+              let v = value idx in
+              check_value t v;
+              let vptr = Engine.alloc tx (v_data + t.value_size) in
+              write_value tx vptr v;
+              (key idx, vptr))
+        in
+        Btree.append_sorted tx t.tree batch);
+    i := !i + n
+  done
+
 let get t key =
   Engine.with_tx t.engine (fun tx ->
       match Btree.find_tx tx t.tree key with
@@ -157,6 +184,23 @@ let range t ~lo ~hi =
       let len = Engine.peek_int t.engine vptr v_len in
       acc := (key, Engine.peek_string t.engine vptr v_data len) :: !acc);
   List.rev !acc
+
+(* Count-bounded committed-state scan (YCSB-E): [count] bindings from the
+   first key >= [lo], charged O(tree depth + count) — the walk never
+   depends on how many records lie past the window. *)
+let scan t ~lo ~count f =
+  Btree.scan t.tree ~lo ~count (fun key vptr ->
+      let len = Engine.peek_int t.engine vptr v_len in
+      f key (Engine.peek_string t.engine vptr v_data len))
+
+(* Push the index-shape gauge into the engine's registry. [Btree.depth]
+   reads through the cost-free probe path, so syncing gauges cannot
+   perturb the simulated clock or the bit-identity oracles. *)
+let sync_gauges t =
+  let reg = Engine.registry t.engine in
+  Kamino_obs.Metrics.set
+    (Kamino_obs.Metrics.counter reg "btree.depth")
+    (Btree.depth t.tree)
 
 let validate t =
   match Btree.validate t.tree with

@@ -82,6 +82,25 @@ val iter : t -> (int -> string -> unit) -> unit
     key order (a YCSB-style scan). *)
 val range : t -> lo:int -> hi:int -> (int * string) list
 
+(** [scan t ~lo ~count f] visits up to [count] committed bindings starting
+    at the first key [>= lo], in ascending key order, and returns the
+    number visited — the YCSB-E range query. Charged cost is
+    O(tree depth + count), independent of the table size. *)
+val scan : t -> lo:int -> count:int -> (int -> string -> unit) -> int
+
+(** [load t ~count ~key ~value] bulk-loads [count] records: keys
+    [key 0 .. key (count-1)] (which must be strictly increasing and exceed
+    every key already present) with values [value i]. Runs as a sequence
+    of transactions, each appending whole index leaves
+    ({!Kamino_index.Btree.append_sorted}) — O(n) total index work, the
+    only way a million-record table populates within budget. *)
+val load : t -> count:int -> key:(int -> int) -> value:(int -> string) -> unit
+
+(** Sync index-shape gauges ([btree.depth]) into the engine's metrics
+    registry. Reads only the cost-free probe path: calling it never moves
+    the simulated clock. *)
+val sync_gauges : t -> unit
+
 (** [put_aborted t key value] runs the put transaction and aborts it just
     before commit — the store is unchanged. Exercises the abort paths
     (local-only at a chain head). Raises [Failure] on engines that cannot

@@ -596,6 +596,18 @@ let dirty_lines t =
 let digest t =
   Digest.to_hex (Digest.string (Digest.bytes t.volatile ^ Digest.bytes t.persistent))
 
+(* Cost-free observability reads, same contract as [digest]: gauges and
+   stats walks must be able to inspect the volatile image without charging
+   simulated loads, otherwise turning observability on would drift the
+   bit-identity oracles. Never use these on a data path. *)
+let peek_int t off =
+  check_range t off 8 "peek";
+  get_int_le t.volatile off
+
+let peek_int64 t off =
+  check_range t off 8 "peek";
+  Bytes.get_int64_le t.volatile off
+
 let counters t = t.counters
 
 let reset_counters t =

@@ -169,6 +169,15 @@ val charge : t -> float -> unit
     execution they are checking. *)
 val digest : t -> string
 
+(** [peek_int t off] / [peek_int64 t off] read the volatile image without
+    charging any simulated cost — the load counters and the clock are
+    untouched, like {!digest}. Strictly for observability (metric gauges,
+    allocator stats walks): data paths must use [read_*] so the cost model
+    sees every access. Bounds-checked. *)
+val peek_int : t -> int -> int
+
+val peek_int64 : t -> int -> int64
+
 (** {1 Counters} *)
 
 type counters = {

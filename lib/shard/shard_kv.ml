@@ -48,6 +48,11 @@ let exists t key = Kv.exists (store_of_key t key) key
 
 let range t i ~lo ~hi = Kv.range t.stores.(i) ~lo ~hi
 
+(* Keys are hash-routed, so the ordered successor set of [lo] lives on the
+   shard that owns [lo]'s slice of the key space — YCSB-E's scan runs
+   against the owning store's leaf chain. *)
+let scan t ~lo ~count f = Kv.scan (store_of_key t lo) ~lo ~count f
+
 (* [multi_put] is the cross-shard client: all bindings become visible
    atomically even when their keys route to different shards. The
    single-shard case degenerates to one plain transaction — no marker,

@@ -46,6 +46,12 @@ val exists : t -> int -> bool
     routed, so a global key-ordered scan does not exist by design). *)
 val range : t -> int -> lo:int -> hi:int -> (int * string) list
 
+(** [scan t ~lo ~count f] — count-bounded ordered scan from the first key
+    [>= lo], served by the shard owning [lo] (keys are hash-routed; the
+    ordered window lives in that shard's leaf chain). Returns the number
+    of bindings visited. *)
+val scan : t -> lo:int -> count:int -> (int -> string -> unit) -> int
+
 (** [multi_put t bindings] makes all bindings visible atomically. One
     participating shard: a plain transaction. Several: a cross-shard
     two-phase commit ([on_step] passes through to

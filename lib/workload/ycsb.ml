@@ -20,23 +20,38 @@ type op = Read of int | Update of int | Insert of int | Scan of int * int | Rmw 
 
 type t = {
   workload : workload;
-  zipf : Zipf.t;
+  zipf : Zipf.t option;  (* [None] = uniform key choice *)
+  record_count : int;
   mutable inserted : int;  (* total key-space size including loaded records *)
 }
 
-let create workload ~record_count ~theta =
+let create ?(uniform = false) workload ~record_count ~theta =
   if record_count <= 0 then invalid_arg "Ycsb.create: record_count must be positive";
-  { workload; zipf = Zipf.create ~n:record_count ~theta; inserted = record_count }
+  {
+    workload;
+    zipf = (if uniform then None else Some (Zipf.create ~n:record_count ~theta));
+    record_count;
+    inserted = record_count;
+  }
 
 let key_space t = t.inserted
 
-(* Zipfian choice over the loaded records, scattered. *)
-let zipf_key t rng = Zipf.sample_scrambled t.zipf rng
+(* Zipfian choice over the loaded records, scattered — or uniform when the
+   generator was created with [~uniform:true] (the distribution ablation;
+   also the only option for theta outside Zipf's (0,1) domain). *)
+let zipf_key t rng =
+  match t.zipf with
+  | Some z -> Zipf.sample_scrambled z rng
+  | None -> Rng.int rng t.record_count
 
 (* "Latest" distribution: zipfian over recency — rank 0 is the most
    recently inserted key. *)
 let latest_key t rng =
-  let rank = Zipf.sample t.zipf rng in
+  let rank =
+    match t.zipf with
+    | Some z -> Zipf.sample z rng
+    | None -> Rng.int rng t.record_count
+  in
   let k = t.inserted - 1 - rank in
   if k < 0 then 0 else k
 

@@ -36,8 +36,10 @@ type op =
 type t
 
 (** [create workload ~record_count ~theta] — [record_count] keys are
-    assumed preloaded as keys [0 .. record_count-1]. *)
-val create : workload -> record_count:int -> theta:float -> t
+    assumed preloaded as keys [0 .. record_count-1]. [~uniform:true]
+    replaces the zipfian key choice with a uniform one ([theta] is then
+    ignored) — the distribution ablation for skew-sensitive paths. *)
+val create : ?uniform:bool -> workload -> record_count:int -> theta:float -> t
 
 val next : t -> Kamino_sim.Rng.t -> op
 

@@ -323,6 +323,93 @@ let crash_qcheck kind =
       && M.for_all (fun k value -> Btree.find !tree k = Some value) !model
       && Btree.cardinal !tree = M.cardinal !model)
 
+(* --- Bulk load and count-bounded scan --- *)
+
+(* Append in uneven batches (including sizes below min_keys, which must
+   rebalance rather than create underfull leaves) and check the result is
+   a valid tree holding exactly the appended bindings. node_size 96 means
+   mk = 4, so a few hundred keys exercise real depth. *)
+let test_append_sorted () =
+  let e, tree = make () in
+  let next = ref 0 in
+  List.iter
+    (fun batch ->
+      let entries = Array.init batch (fun i -> (!next + i, v (!next + i))) in
+      Engine.with_tx e (fun tx -> Btree.append_sorted tx tree entries);
+      next := !next + batch;
+      check_validate tree (Printf.sprintf "after batch of %d" batch))
+    [ 1; 3; 4; 2; 17; 1; 40; 5; 100; 2; 64 ];
+  Alcotest.(check int) "cardinal" !next (Btree.cardinal tree);
+  for k = 0 to !next - 1 do
+    Alcotest.(check (option int)) (Printf.sprintf "key %d" k) (Some (v k))
+      (Btree.find tree k)
+  done;
+  Alcotest.(check bool) "bulk load built real depth" true (Btree.height tree >= 4);
+  (* Ascending-order iteration sees exactly the appended keys. *)
+  let seen = ref [] in
+  Btree.iter tree (fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list int)) "iter in order" (List.init !next Fun.id) (List.rev !seen)
+
+let test_append_rejects_bad_input () =
+  let e, tree = make () in
+  Engine.with_tx e (fun tx -> Btree.append_sorted tx tree [| (10, v 10); (20, v 20) |]);
+  let raises entries =
+    try
+      Engine.with_tx e (fun tx -> Btree.append_sorted tx tree entries);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "key below current max rejected" true (raises [| (15, v 15) |]);
+  Alcotest.(check bool) "unsorted batch rejected" true
+    (raises [| (30, v 30); (25, v 25) |]);
+  check_validate tree "after rejected appends"
+
+let test_scan_count_bounded () =
+  let e, tree = make () in
+  (* Even keys 0..198. *)
+  let entries = Array.init 100 (fun i -> (2 * i, v (2 * i))) in
+  Engine.with_tx e (fun tx -> Btree.append_sorted tx tree entries);
+  let collect lo count =
+    let acc = ref [] in
+    let n = Btree.scan tree ~lo ~count (fun k _ -> acc := k :: !acc) in
+    (n, List.rev !acc)
+  in
+  (* lo between keys: starts at the next present key. *)
+  let n, keys = collect 5 4 in
+  Alcotest.(check int) "visited" 4 n;
+  Alcotest.(check (list int)) "window" [ 6; 8; 10; 12 ] keys;
+  (* Window crossing many leaves. *)
+  let n, keys = collect 0 50 in
+  Alcotest.(check int) "long scan count" 50 n;
+  Alcotest.(check (list int)) "long scan keys" (List.init 50 (fun i -> 2 * i)) keys;
+  (* Truncated at the end of the key space. *)
+  let n, keys = collect 190 10 in
+  Alcotest.(check int) "tail scan" 5 n;
+  Alcotest.(check (list int)) "tail keys" [ 190; 192; 194; 196; 198 ] keys;
+  (* Degenerate windows. *)
+  Alcotest.(check int) "count 0" 0 (fst (collect 0 0));
+  Alcotest.(check int) "lo past max" 0 (fst (collect 1000 5))
+
+let test_depth_and_stats () =
+  let e, tree = make () in
+  let entries = Array.init 200 (fun i -> (i, v i)) in
+  Engine.with_tx e (fun tx -> Btree.append_sorted tx tree entries);
+  Alcotest.(check int) "depth agrees with height" (Btree.height tree) (Btree.depth tree);
+  let s = Btree.stats tree in
+  Alcotest.(check int) "stats depth" (Btree.depth tree) s.Btree.depth;
+  Alcotest.(check int) "stats keys = cardinal" (Btree.cardinal tree) s.Btree.keys;
+  (* node_size 96 rounds up to the 128-byte class -> mk = 6, so 200 keys
+     need at least ceil(200/6) = 34 leaves. *)
+  Alcotest.(check bool) "leaves counted" true (s.Btree.leaf_nodes >= 34);
+  Alcotest.(check bool) "occupancy in (0,1]" true
+    (s.Btree.occupancy > 0.0 && s.Btree.occupancy <= 1.0);
+  (* The introspection walk is cost-free: reading it must not advance the
+     simulated clock. *)
+  let t0 = Engine.now e in
+  ignore (Btree.stats tree);
+  ignore (Btree.depth tree);
+  Alcotest.(check int) "stats walk charges nothing" t0 (Engine.now e)
+
 let () =
   Alcotest.run "btree"
     [
@@ -352,6 +439,15 @@ let () =
           Alcotest.test_case "abort rolls back structure" `Quick
             test_abort_rolls_back_structure;
           Alcotest.test_case "attach after reopen" `Quick test_attach_after_reopen;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "append_sorted" `Quick test_append_sorted;
+          Alcotest.test_case "append_sorted rejects bad input" `Quick
+            test_append_rejects_bad_input;
+          Alcotest.test_case "count-bounded scan" `Quick test_scan_count_bounded;
+          Alcotest.test_case "depth and stats are cost-free" `Quick
+            test_depth_and_stats;
         ] );
       ( "properties",
         [

@@ -207,7 +207,7 @@ let make_dynamic ?(policy = Backup.Lru_policy) ?(slots_bytes = 16384) () =
   let main = mk 65536 in
   let slots = mk slots_bytes in
   let table = mk 8192 in
-  (Backup.create_dynamic ~slots ~table ~policy, main)
+  (Backup.create_dynamic ~slots ~table ~capacity:(Region.size table / 32) ~policy, main)
 
 let no_pressure () = ()
 

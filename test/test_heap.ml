@@ -150,6 +150,56 @@ let test_live_bytes () =
   Heap.free h p;
   Alcotest.(check int) "after free" 1024 (Heap.live_bytes h)
 
+(* --- Occupancy stats and chained extents --- *)
+
+let test_stats_accounting () =
+  let h, r = make () in
+  let s0 = Heap.stats h in
+  Alcotest.(check int) "fresh heap has no live objects" 0 s0.Heap.live_objects;
+  let a = Heap.alloc h 100 in
+  let b = Heap.alloc h 1000 in
+  let s1 = Heap.stats h in
+  Alcotest.(check int) "two live" 2 s1.Heap.live_objects;
+  Alcotest.(check int) "live bytes tracks capacities"
+    (Heap.capacity h a + Heap.capacity h b)
+    s1.Heap.live_bytes;
+  Alcotest.(check bool) "at least one live segment" true (s1.Heap.segments_live >= 1);
+  Heap.free h a;
+  let s2 = Heap.stats h in
+  Alcotest.(check int) "one live after free" 1 s2.Heap.live_objects;
+  (* Stats survive a stale -> resync cycle (what reopen does). *)
+  let h' = Heap.open_existing r in
+  let s3 = Heap.stats h' in
+  Alcotest.(check int) "resynced live objects" 1 s3.Heap.live_objects;
+  Alcotest.(check int) "resynced live bytes" s2.Heap.live_bytes s3.Heap.live_bytes
+
+let test_chained_alloc () =
+  let h, r = make ~size:(1 lsl 22) () in
+  let size = Heap.max_object_size + 100_000 in
+  let plan, _ranges = Heap.alloc_chain_ranges h size in
+  Alcotest.(check bool) "multi-extent plan" true (List.length plan >= 2);
+  let head = Heap.alloc_chain h size in
+  Alcotest.(check bool) "head allocated" true (Heap.is_allocated h head);
+  Alcotest.(check int) "links match plan" (List.length plan)
+    (List.length (Heap.chain_links h head));
+  Alcotest.(check int) "total size recorded" size (Heap.chain_size h head);
+  let s = Heap.stats h in
+  Alcotest.(check int) "chained head counted once" 1 s.Heap.chained_objects;
+  Alcotest.(check bool) "validate accepts chains" true (Heap.validate h = Ok ());
+  (* Chain links are not individually freeable. *)
+  Alcotest.(check bool) "free of head refused" true
+    (try
+       Heap.free h head;
+       false
+     with Invalid_argument _ -> true);
+  (* Chains survive reopen. *)
+  let h' = Heap.open_existing r in
+  Alcotest.(check int) "chain intact after reopen" size (Heap.chain_size h' head);
+  Heap.free_chain h' head;
+  let s' = Heap.stats h' in
+  Alcotest.(check int) "all extents released" 0 s'.Heap.live_objects;
+  Alcotest.(check int) "no chained objects left" 0 s'.Heap.chained_objects
+
 let test_validate_ok () =
   let h, _ = make () in
   let ps = List.init 20 (fun i -> Heap.alloc h ((i mod 5) + 1 * 100)) in
@@ -236,6 +286,8 @@ let () =
         ] );
       ( "validation",
         [
+          Alcotest.test_case "occupancy stats" `Quick test_stats_accounting;
+          Alcotest.test_case "chained extents" `Quick test_chained_alloc;
           Alcotest.test_case "valid heap" `Quick test_validate_ok;
           Alcotest.test_case "detects corruption" `Quick test_validate_detects_corruption;
           Alcotest.test_case "iter objects" `Quick test_iter_objects;

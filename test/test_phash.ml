@@ -110,6 +110,118 @@ let model_qcheck =
       Hashtbl.fold (fun k v acc -> acc && Phash.find h ~key:k = Some v) model true
       && Phash.count h = Hashtbl.length model)
 
+(* --- Capacity: overload and incremental resize --- *)
+
+(* Fixed-size region (no resize headroom): the table serves load factors
+   0.5 and 0.9 correctly, fills to 1.0, and the insert past full raises
+   the typed [Overload] — never a silent wedge or a string failwith. *)
+let test_load_factors () =
+  let capacity = 64 in
+  let check_load h n =
+    for k = 1 to n do
+      Phash.insert h ~key:(k * 7919) ~value:k
+    done;
+    for k = 1 to n do
+      Alcotest.(check (option int))
+        (Printf.sprintf "load %d/%d key %d" n capacity k)
+        (Some k)
+        (Phash.find h ~key:(k * 7919))
+    done;
+    Alcotest.(check int) "count" n (Phash.count h)
+  in
+  let h, _ = make ~capacity () in
+  check_load h (capacity / 2);
+  (* 0.5 *)
+  let h, _ = make ~capacity () in
+  check_load h (capacity * 9 / 10);
+  (* 0.9 *)
+  let h, _ = make ~capacity () in
+  check_load h capacity;
+  (* 1.0: completely full, every key still reachable *)
+  Alcotest.(check bool) "not resizing (no headroom)" false (Phash.resizing h);
+  match Phash.insert h ~key:999_999 ~value:1 with
+  | () -> Alcotest.fail "insert past capacity must raise Overload"
+  | exception Phash.Overload { capacity = c; count } ->
+      Alcotest.(check int) "overload capacity" capacity c;
+      Alcotest.(check int) "overload count" capacity count
+
+(* Region sized with [chain_size ~doublings]: crossing the load trigger
+   arms a split migration; inserts keep landing while old entries drain
+   over, and the table ends with doubled capacity and zero loss. *)
+let test_transparent_resize () =
+  let capacity = 32 in
+  let clock = Clock.create () in
+  let r =
+    Region.create ~rng:(Rng.create 3) ~clock
+      ~size:(Phash.chain_size ~capacity ~doublings:2) ()
+  in
+  let h = Phash.format r ~capacity in
+  let n = 100 in
+  (* > 2x initial capacity: needs both doublings *)
+  for k = 1 to n do
+    Phash.insert h ~key:(k * 131) ~value:k
+  done;
+  Alcotest.(check int) "count after growth" n (Phash.count h);
+  Alcotest.(check bool) "capacity grew" true (Phash.capacity h > capacity);
+  Alcotest.(check bool) "migrations completed" true (Phash.migrations h >= 1);
+  for k = 1 to n do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d after resize" k)
+      (Some k)
+      (Phash.find h ~key:(k * 131))
+  done;
+  (* Overwrites and removes stay correct whatever table a key lives in. *)
+  Phash.insert h ~key:131 ~value:1001;
+  Alcotest.(check (option int)) "overwrite post-resize" (Some 1001) (Phash.find h ~key:131);
+  Alcotest.(check bool) "remove post-resize" true (Phash.remove h ~key:(2 * 131));
+  Alcotest.(check (option int)) "removed gone" None (Phash.find h ~key:(2 * 131));
+  Alcotest.(check int) "count tracks" (n - 1) (Phash.count h)
+
+(* Crash at every insert index, under both crash modes: reopening must
+   recover every completed insert with its exact value — including
+   crashes that land mid-migration, where [open_existing] finishes the
+   interrupted split before serving. *)
+let test_resize_crash_sweep () =
+  (* capacity 16 with two doublings tops out at 64 slots; 60 inserts cross
+     both arm thresholds (>14 and >28) without overloading the final table. *)
+  let n = 60 in
+  List.iter
+    (fun crash_mode ->
+      List.iter
+        (fun seed ->
+          for crash_at = 0 to n do
+            let clock = Clock.create () in
+            let r =
+              Region.create ~crash_mode ~rng:(Rng.create (seed + (crash_at * 97)))
+                ~clock
+                ~size:(Phash.chain_size ~capacity:16 ~doublings:2) ()
+            in
+            let h = Phash.format r ~capacity:16 in
+            for k = 1 to crash_at do
+              Phash.insert h ~key:(k * 4093) ~value:(k * 3)
+            done;
+            Region.crash r;
+            let h' = Phash.open_existing r in
+            Alcotest.(check bool) "no migration pending after reopen" false
+              (Phash.resizing h');
+            Alcotest.(check int)
+              (Printf.sprintf "count at crash_at=%d" crash_at)
+              crash_at (Phash.count h');
+            for k = 1 to crash_at do
+              Alcotest.(check (option int))
+                (Printf.sprintf "crash_at=%d key %d" crash_at k)
+                (Some (k * 3))
+                (Phash.find h' ~key:(k * 4093))
+            done;
+            (* The reopened table must keep working, through more growth. *)
+            for k = crash_at + 1 to n do
+              Phash.insert h' ~key:(k * 4093) ~value:(k * 3)
+            done;
+            Alcotest.(check int) "final count" n (Phash.count h')
+          done)
+        [ 1; 2 ])
+    [ Region.Drop_unflushed; Region.Words_survive_randomly ]
+
 let test_iter () =
   let h, _ = make () in
   Phash.insert h ~key:1 ~value:10;
@@ -188,6 +300,14 @@ let () =
           Alcotest.test_case "invalid key" `Quick test_invalid_key;
           Alcotest.test_case "iter" `Quick test_iter;
           QCheck_alcotest.to_alcotest model_qcheck;
+        ] );
+      ( "phash capacity",
+        [
+          Alcotest.test_case "load factors 0.5/0.9/1.0 + Overload" `Quick
+            test_load_factors;
+          Alcotest.test_case "transparent incremental resize" `Quick
+            test_transparent_resize;
+          Alcotest.test_case "resize crash sweep" `Quick test_resize_crash_sweep;
         ] );
       ( "phash durability",
         [

@@ -32,7 +32,11 @@ let dynamic_metadata_bytes cfg ~alpha =
   let slots_bytes =
     max (int_of_float (alpha *. float_of_int cfg.Engine.heap_bytes)) 65536
   in
-  ilog_bytes cfg + Phash.required_size ~capacity:(max 1024 (slots_bytes / 128))
+  (* Mirrors the engine's sizing: the look-up table region carries headroom
+     for two incremental doublings when its initial capacity is modest. *)
+  let capacity = max 1024 (slots_bytes / 128) in
+  let doublings = if capacity <= 65536 then 2 else 0 in
+  ilog_bytes cfg + Phash.chain_size ~capacity ~doublings
 
 (* Churn an engine: committed puts/frees, an abort, a crash + recovery.
    Storage accounting must be invariant under all of it. *)
